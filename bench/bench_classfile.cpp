@@ -1,0 +1,85 @@
+// E6 "class-file frontend" — throughput of the binary .class reader, the
+// paper's original Java input path (§4: "a simple extractor of type
+// declarations from Java .class files").
+//
+// Synthesizes M class files with the writer, then measures parse rate.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "javaclass/classfile.hpp"
+#include "javasrc/javaparser.hpp"
+
+namespace {
+
+using namespace mbird;
+
+std::vector<std::vector<uint8_t>> synthesize_class_files(int m) {
+  std::ostringstream os;
+  for (int k = 0; k < m; ++k) {
+    os << "public class Widget" << k << " {\n";
+    os << "  int id;\n  float weight;\n  boolean active;\n";
+    if (k > 0) os << "  Widget" << (k - 1) << " parent;\n";
+    os << "  int[] history;\n";
+    for (int i = 0; i < 6; ++i) {
+      os << "  " << (i % 2 ? "float" : "int") << " op" << i
+         << "(int a, float b);\n";
+    }
+    os << "}\n";
+  }
+  DiagnosticEngine diags;
+  stype::Module src = javasrc::parse_java(os.str(), "W.java", diags);
+  std::vector<std::vector<uint8_t>> files;
+  for (const auto& name : src.decl_order()) {
+    files.push_back(javaclass::emit_class_file(src, src.find(name), diags));
+  }
+  if (diags.has_errors()) {
+    fprintf(stderr, "%s\n", diags.summary().c_str());
+    abort();
+  }
+  return files;
+}
+
+void BM_ParseClassFiles(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  auto files = synthesize_class_files(m);
+  size_t total_bytes = 0;
+  for (const auto& f : files) total_bytes += f.size();
+
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    stype::Module mod = javaclass::parse_class_files(files, "w", diags);
+    if (mod.decl_count() == 0) {
+      state.SkipWithError("parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(mod);
+  }
+  state.counters["classes"] = m;
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(total_bytes));
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ParseClassFiles)->Arg(12)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_EmitClassFiles(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  std::ostringstream os;
+  for (int k = 0; k < m; ++k) {
+    os << "class C" << k << " { int a; float b; int f(int x); }\n";
+  }
+  DiagnosticEngine diags;
+  stype::Module src = javasrc::parse_java(os.str(), "C.java", diags);
+
+  for (auto _ : state) {
+    size_t bytes = 0;
+    for (const auto& name : src.decl_order()) {
+      auto f = javaclass::emit_class_file(src, src.find(name), diags);
+      bytes += f.size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_EmitClassFiles)->Arg(50)->Arg(500);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// E2 "comparer scaling" — the paper's §5 VisualAge trial, quantified:
+// N highly inter-related classes (12 == the paper's miniature system,
+// 500 == the full system) mirrored across C++ and Java, each pair compared.
+//
+// Expected shape: near-linear growth in N with hash pruning and pair
+// memoization; the ablation column (commutativity off) stays close because
+// the mirrored declarations match in order, while pruning off explodes the
+// candidate sets (see bench_isomorphism for that axis).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "annotate/script.hpp"
+#include "cfront/cparser.hpp"
+#include "compare/compare.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+
+namespace {
+
+using namespace mbird;
+
+std::string synthesize(int n, bool java) {
+  std::ostringstream os;
+  for (int k = 0; k < n; ++k) {
+    os << (java ? "public class " : "class ") << "Node" << k << " {\n";
+    if (!java) os << "public:\n";
+    os << "  int kind;\n  int line;\n  float weight;\n";
+    if (k > 0) {
+      os << "  Node" << (k - 1) << (java ? " prev;\n" : " *prev;\n");
+      os << "  Node" << (k / 2) << (java ? " owner;\n" : " *owner;\n");
+    }
+    for (int m = 0; m < 10; ++m) {
+      const char* ret = m % 3 == 0 ? "int" : (m % 3 == 1 ? "float" : "void");
+      os << "  " << ret << " method" << m << "(int a"
+         << (m % 2 ? ", float b" : "") << ");\n";
+    }
+    os << "}" << (java ? "" : ";") << "\n";
+  }
+  return os.str();
+}
+
+void run_trial(benchmark::State& state, const compare::Options& opts) {
+  int n = static_cast<int>(state.range(0));
+  DiagnosticEngine diags;
+  stype::Module cm = cfront::parse_c(synthesize(n, false), "e.hpp", diags);
+  stype::Module jm = javasrc::parse_java(synthesize(n, true), "E.java", diags);
+  const char* script =
+      "annotate \"Node*.prev\" notnull;\nannotate \"Node*.owner\" notnull;\n";
+  annotate::run_script(script, "b.mba", cm, diags);
+  annotate::run_script(script, "b.mba", jm, diags);
+  if (diags.has_errors()) {
+    state.SkipWithError(diags.summary().c_str());
+    return;
+  }
+
+  size_t steps = 0;
+  for (auto _ : state) {
+    // A tool session: lower the whole declaration set, hash once, then run
+    // all comparisons against the shared graphs.
+    mtype::Graph gc, gj;
+    lower::LowerEngine ce(cm, gc, diags), je(jm, gj, diags);
+    std::vector<mtype::Ref> rcs, rjs;
+    for (int k = 0; k < n; ++k) {
+      std::string name = "Node" + std::to_string(k);
+      rcs.push_back(ce.lower_decl(name));
+      rjs.push_back(je.lower_decl(name));
+    }
+    compare::HashCache hc(gc), hj(gj);
+    compare::Options o = opts;
+    o.left_hashes = hc.get();
+    o.right_hashes = hj.get();
+
+    compare::Session session(gc, gj, o);
+    steps = 0;
+    for (int k = 0; k < n; ++k) {
+      auto res = session.compare(rcs[static_cast<size_t>(k)],
+                                 rjs[static_cast<size_t>(k)]);
+      steps += res.steps;
+      if (!res.ok) {
+        state.SkipWithError("unexpected mismatch");
+        return;
+      }
+    }
+  }
+  state.counters["classes"] = n;
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_CompareClasses(benchmark::State& state) {
+  run_trial(state, compare::Options{});
+}
+BENCHMARK(BM_CompareClasses)->Arg(12)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(500);
+
+void BM_CompareClasses_NoCommutativity(benchmark::State& state) {
+  compare::Options opts;
+  opts.commutative = false;
+  run_trial(state, opts);
+}
+BENCHMARK(BM_CompareClasses_NoCommutativity)->Arg(12)->Arg(100)->Arg(500);
+
+void BM_CompareClasses_NoHashPrune(benchmark::State& state) {
+  compare::Options opts;
+  opts.use_hash_prune = false;
+  run_trial(state, opts);
+}
+BENCHMARK(BM_CompareClasses_NoHashPrune)->Arg(12)->Arg(100)->Arg(500);
+
+}  // namespace

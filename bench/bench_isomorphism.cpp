@@ -1,0 +1,110 @@
+// E4 "isomorphism ablation" — the cost of the §4 matching rules.
+//
+// Records of width k with randomly permuted, mutually distinct children
+// are matched with commutativity. Two axes:
+//   * structure-hash pruning on/off — pruned matching stays near-linear in
+//     k because each child has exactly one hash-compatible candidate;
+//     unpruned backtracking explores O(k!)-shaped candidate sets (visible
+//     already at small k when children are indistinguishable).
+//   * identical children (worst case) with pruning on — hashing cannot
+//     separate candidates, but all assignments are equivalent, so the
+//     first succeeds; the cost is the per-pair conversion work.
+#include <benchmark/benchmark.h>
+
+#include "compare/compare.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mbird;
+using mtype::Graph;
+using mtype::Ref;
+
+/// Distinct leaf types: integers with distinct ranges.
+Ref make_distinct_record(Graph& g, int width, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> order(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) order[static_cast<size_t>(i)] = i;
+  for (int i = width - 1; i > 0; --i) {
+    std::swap(order[static_cast<size_t>(i)],
+              order[rng.below(static_cast<uint64_t>(i) + 1)]);
+  }
+  std::vector<Ref> children;
+  children.reserve(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    children.push_back(g.integer(0, 10 + order[static_cast<size_t>(i)]));
+  }
+  return g.record(std::move(children));
+}
+
+Ref make_identical_record(Graph& g, int width) {
+  std::vector<Ref> children;
+  for (int i = 0; i < width; ++i) children.push_back(g.integer(0, 255));
+  return g.record(std::move(children));
+}
+
+void run_match(benchmark::State& state, bool prune, bool identical) {
+  int width = static_cast<int>(state.range(0));
+  Graph ga, gb;
+  Ref a = identical ? make_identical_record(ga, width)
+                    : make_distinct_record(ga, width, 1);
+  Ref b = identical ? make_identical_record(gb, width)
+                    : make_distinct_record(gb, width, 2);
+
+  compare::Options opts;
+  opts.use_hash_prune = prune;
+  size_t steps = 0;
+  for (auto _ : state) {
+    auto res = compare::compare(ga, a, gb, b, opts);
+    if (!res.ok) {
+      state.SkipWithError("expected match");
+      return;
+    }
+    steps = res.steps;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetItemsProcessed(state.iterations() * width);
+}
+
+void BM_PermutedDistinct_Pruned(benchmark::State& state) {
+  run_match(state, true, false);
+}
+BENCHMARK(BM_PermutedDistinct_Pruned)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PermutedDistinct_Unpruned(benchmark::State& state) {
+  run_match(state, false, false);
+}
+BENCHMARK(BM_PermutedDistinct_Unpruned)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_IdenticalChildren_Pruned(benchmark::State& state) {
+  run_match(state, true, true);
+}
+BENCHMARK(BM_IdenticalChildren_Pruned)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_AssociativeReshape(benchmark::State& state) {
+  // Line-vs-four-floats generalized: a left-nested comb of depth d against
+  // the flat record — pure associativity work.
+  int depth = static_cast<int>(state.range(0));
+  Graph ga, gb;
+  Ref acc = ga.record({ga.real(24, 8), ga.real(24, 8)});
+  for (int i = 0; i < depth; ++i) {
+    acc = ga.record({acc, ga.real(24, 8)});
+  }
+  std::vector<Ref> flat;
+  for (int i = 0; i < depth + 2; ++i) flat.push_back(gb.real(24, 8));
+  Ref b = gb.record(std::move(flat));
+
+  for (auto _ : state) {
+    auto res = compare::compare(ga, acc, gb, b, {});
+    if (!res.ok) {
+      state.SkipWithError("expected match");
+      return;
+    }
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * (depth + 2));
+}
+BENCHMARK(BM_AssociativeReshape)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,122 @@
+// E3 "collab messaging" — wire throughput for the §5 message workload.
+//
+// Marshals/unmarshals representative collaborative-session messages with
+// the range-aware wire format, sweeping payload size (points per stroke).
+// Also reports bytes per message so the range-aware integer widths are
+// visible (a tag that fits a byte costs a byte).
+#include <benchmark/benchmark.h>
+
+#include "annotate/script.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+#include "runtime/conform.hpp"
+#include "wire/wire.hpp"
+
+namespace {
+
+using namespace mbird;
+using runtime::Value;
+
+struct World {
+  stype::Module mod{stype::Lang::Java, ""};
+  mtype::Graph g;
+  mtype::Ref stroke = mtype::kNullRef;
+  mtype::Ref cursor = mtype::kNullRef;
+
+  World() {
+    DiagnosticEngine diags;
+    mod = javasrc::parse_java(
+        "class Color { int rgb; }\n"
+        "class Pt { float x; float y; }\n"
+        "class StrokeStyle { Color color; float width; }\n"
+        "class SiteId { int id; }\n"
+        "class UserInfo { SiteId site; char initial; }\n"
+        "class CursorPos { UserInfo user; Pt at; }\n"
+        "class MsgCreateStroke { StrokeStyle style; Pt[] points; }\n"
+        "class MsgCursor { CursorPos pos; }\n",
+        "Msgs.java", diags);
+    annotate::run_script(
+        "annotate \"Msg*\" byvalue;\n"
+        "annotate MsgCreateStroke.style notnull;\n"
+        "annotate MsgCreateStroke.points.element notnull;\n"
+        "annotate MsgCursor.pos notnull;\n"
+        "annotate \"CursorPos.*\" notnull;\n"
+        "annotate \"UserInfo.*\" notnull;\n"
+        "annotate \"StrokeStyle.*\" notnull;\n"
+        "annotate SiteId.id range 0 65535;\n"
+        "annotate Color.rgb range 0 16777215;\n",
+        "m.mba", mod, diags);
+    stroke = lower::lower_decl(mod, g, "MsgCreateStroke", diags);
+    cursor = lower::lower_decl(mod, g, "MsgCursor", diags);
+    if (diags.has_errors()) {
+      fprintf(stderr, "%s\n", diags.summary().c_str());
+      abort();
+    }
+  }
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+Value make_stroke(int points) {
+  std::vector<Value> pts;
+  pts.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    pts.push_back(Value::record({Value::real(i * 0.25), Value::real(i * 0.5)}));
+  }
+  Value style = Value::record(
+      {Value::record({Value::integer(0x336699)}), Value::real(2.0)});
+  return Value::record({style, Value::list(std::move(pts))});
+}
+
+void BM_EncodeStroke(benchmark::State& state) {
+  World& w = world();
+  Value msg = make_stroke(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto buf = wire::encode(w.g, w.stroke, msg);
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["msg_bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeStroke)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DecodeStroke(benchmark::State& state) {
+  World& w = world();
+  Value msg = make_stroke(static_cast<int>(state.range(0)));
+  auto buf = wire::encode(w.g, w.stroke, msg);
+  for (auto _ : state) {
+    Value v = wire::decode(w.g, w.stroke, buf);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_DecodeStroke)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RoundtripCursor(benchmark::State& state) {
+  // The small, frequent message of a collaborative session.
+  World& w = world();
+  Value msg = Value::record({Value::record(
+      {Value::record({Value::record({Value::integer(7)}), Value::character('a')}),
+       Value::record({Value::real(10.5), Value::real(-3.25)})})});
+  if (!runtime::conforms(w.g, w.cursor, msg)) {
+    state.SkipWithError("cursor message does not conform");
+    return;
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto buf = wire::encode(w.g, w.cursor, msg);
+    bytes = buf.size();
+    Value v = wire::decode(w.g, w.cursor, buf);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["msg_bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundtripCursor);
+
+}  // namespace

@@ -1,0 +1,216 @@
+// The Lotus Notes trial (paper §5, second trial).
+//
+// "Mockingbird has also been used in an experiment to develop a Java
+// interface to part of the C++ programming API of Lotus Notes. The full
+// Notes API consists of several thousand methods, of which this limited
+// prototype covered a small, but representative, set of 30 classes."
+//
+// This example models a representative 30-class groupware API in C++,
+// derives Java declarations with the X2Y baseline, verifies each derived
+// class matches its original, then demonstrates the better Mockingbird
+// workflow: a hand-written Java-ideal declaration for one service bridged
+// directly to the C++ side and invoked through a generated plan, with the
+// C++ side "implemented" against the simulated native heap.
+#include <iostream>
+
+#include "annotate/script.hpp"
+#include "baseline/baseline.hpp"
+#include "bridge/cbridge.hpp"
+#include "cfront/cparser.hpp"
+#include "compare/compare.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+#include "rpc/rpc.hpp"
+#include "runtime/convert.hpp"
+
+using namespace mbird;
+using runtime::NativeHeap;
+using runtime::Value;
+
+namespace {
+
+// A representative 30-class slice of a groupware API (names inspired by the
+// Notes object model; contents synthetic).
+constexpr const char* kNotesApi = R"(
+struct DateTime { int julian; int ticks; };
+struct UniqueId { unsigned int w0; unsigned int w1; unsigned int w2; unsigned int w3; };
+struct ItemValue { int type; double number; };
+struct Item { UniqueId id; int type; int flags; };
+struct RichTextStyle { int font; int size; int color; };
+struct RichTextRun { RichTextStyle style; int length; };
+struct Attachment { UniqueId id; int size; int compression; };
+struct DocSummary { UniqueId id; DateTime created; DateTime modified; int size; };
+struct Document { DocSummary summary; int item_count; int attachment_count; };
+struct ViewColumn { int position; int width; int sort; };
+struct ViewEntry { UniqueId doc; int indent; int sibling_count; };
+struct View { UniqueId id; int column_count; int entry_count; };
+struct Folder { UniqueId id; int entry_count; };
+struct Agent { UniqueId id; int trigger; int enabled; };
+struct Acl { int entry_count; int uniform_access; };
+struct AclEntry { int level; int flags; };
+struct ReplicaInfo { UniqueId replica_id; DateTime cutoff; int flags; };
+struct DatabaseInfo { ReplicaInfo replica; int size_quota; int category_count; };
+struct Database { UniqueId id; DatabaseInfo info; };
+struct Session { int handle; int auth_level; };
+struct Registration { DateTime expiration; int id_type; };
+struct Newsletter { int doc_count; int subject_item; };
+struct Outline { UniqueId id; int entry_count; };
+struct OutlineEntry { int level; int type; };
+struct Form { UniqueId id; int field_count; };
+struct Field { int type; int flags; };
+struct MimeEntity { int encoding; int part_count; };
+struct EmbeddedObject { UniqueId id; int type; int size; };
+struct International { int currency_digits; int time_zone; int dst; };
+struct Log { int entry_count; int is_open; };
+
+int NotesDocumentWordCount(struct Document *doc, int include_attachments);
+void NotesDatabaseSummary(struct Database *db, struct DocSummary *newest,
+                          int *doc_count);
+)";
+
+}  // namespace
+
+int main() {
+  DiagnosticEngine diags([](const Diagnostic& d) {
+    std::cerr << d.to_string() << '\n';
+  });
+
+  std::cout << "== load the 30-class C++ API ==\n";
+  stype::Module c_mod = cfront::parse_c(kNotesApi, "notes.h", diags);
+  int n_classes = 0;
+  for (const auto& name : c_mod.decl_order()) {
+    if (c_mod.find(name)->kind == stype::Kind::Aggregate) ++n_classes;
+  }
+  std::cout << n_classes << " classes, " << c_mod.decl_count()
+            << " declarations total\n\n";
+
+  std::cout << "== X2Y baseline: derive Java bindings mechanically ==\n";
+  stype::Module derived = baseline::x2y_java_from_c(c_mod, diags);
+  int matched = 0, failed = 0;
+  for (const auto& name : c_mod.decl_order()) {
+    stype::Stype* d = c_mod.find(name);
+    if (d->kind != stype::Kind::Aggregate) continue;
+    mtype::Graph gc, gj;
+    mtype::Ref rc = lower::lower_decl(c_mod, gc, name, diags);
+    mtype::Ref rj = lower::lower_decl(derived, gj, name, diags);
+    auto res = compare::compare(gc, rc, gj, rj, {});
+    if (res.ok) {
+      ++matched;
+    } else {
+      ++failed;
+      std::cerr << "  " << name << ": " << res.mismatch.reason << '\n';
+    }
+  }
+  std::cout << matched << "/" << (matched + failed)
+            << " derived classes verified structurally equivalent\n"
+            << "(derived types work, but they are imposed — not the types a\n"
+            << " Java programmer would choose; that is the paper's point)\n\n";
+
+  std::cout << "== the Mockingbird way: programmer-chosen Java declaration ==\n";
+  annotate::run_script(
+      "annotate NotesDocumentWordCount.doc notnull;\n"
+      "annotate NotesDocumentWordCount.include_attachments range 0 1;\n",
+      "n.mba", c_mod, diags);
+
+  // An aside the paper's §6 anticipates: a Java developer might want to
+  // pack the 4x u32 UniqueId into two longs. That is a *semantic*
+  // regrouping — the structural comparer rightly rejects it, and composing
+  // hand-written conversions with structural ones is listed as future
+  // work. The ideal declaration below mirrors the structure instead.
+  {
+    stype::Module packed = javasrc::parse_java(
+        "public class Doc { long uid0; long uid1; int size; }\n"
+        "public interface WordCount { int count(Doc doc, boolean b); }\n",
+        "Packed.java", diags);
+    mtype::Graph gp, gq;
+    mtype::Ref rp = lower::lower_decl(packed, gp, "Doc", diags);
+    mtype::Ref rq = lower::lower_decl(c_mod, gq, "UniqueId", diags);
+    auto res = compare::compare(gp, rp, gq, rq, {});
+    std::cout << "packed-longs Doc vs UniqueId: "
+              << (res.ok ? "match (unexpected!)" : "mismatch, as it should be")
+              << "\n\n";
+  }
+
+  stype::Module ideal2 = javasrc::parse_java(
+      "public class Uid { int w0; int w1; int w2; int w3; }\n"
+      "public class When { int julian; int ticks; }\n"
+      "public class Doc {\n"
+      "  Uid id; When created; When modified;\n"
+      "  int size; int items; int attachments;\n"
+      "}\n"
+      "public interface WordCount { int count(Doc doc, boolean withAttachments); }\n",
+      "Ideal2.java", diags);
+  annotate::run_script(
+      "annotate \"Doc.*\" notnull;\n"
+      "annotate WordCount.count.doc notnull;\n"
+      "annotate \"Uid.*\" range 0 4294967295;\n"
+      "annotate WordCount.count.withAttachments range 0 1;\n",
+      "i2.mba", ideal2, diags);
+  if (diags.has_errors()) return 1;
+
+  mtype::Graph gc, gj;
+  mtype::Ref rc = lower::lower_decl(c_mod, gc, "NotesDocumentWordCount", diags);
+  mtype::Ref rj = lower::lower_decl(ideal2, gj, "WordCount.count", diags);
+  if (diags.has_errors()) return 1;
+
+  auto full = compare::compare_full(gj, rj, gc, rc);
+  std::cout << "WordCount.count vs NotesDocumentWordCount: "
+            << compare::to_string(full.verdict) << '\n';
+  if (full.verdict != compare::Verdict::Equivalent) {
+    std::cout << full.to_right.mismatch.to_string() << '\n';
+    return 1;
+  }
+
+  // Serve the C function and call it through the converting stub.
+  mtype::Ref inv_j = gj.at(rj).body();
+  mtype::Ref inv_c = gc.at(rc).body();
+  auto inv_cmp = compare::compare(gj, inv_j, gc, inv_c, {});
+
+  rpc::Node node(1);
+  NativeHeap heap;
+  auto impl = bridge::wrap_c_function(
+      c_mod, c_mod.find("NotesDocumentWordCount"), heap,
+      [](NativeHeap& h, const std::vector<uint64_t>& slots) {
+        // doc*, include_attachments, return slot. Document layout:
+        // DocSummary (UniqueId 16 + 2x DateTime 16 + size 4) = 36,
+        // then item_count @36, attachment_count @40.
+        uint64_t doc = slots[0];
+        int items = static_cast<int>(h.read_int(doc + 36, 4));
+        int atts = static_cast<int>(h.read_int(doc + 40, 4));
+        int include = static_cast<int>(slots[1]);
+        h.write_uint(slots[2], 4,
+                     static_cast<uint64_t>(items * 120 + (include ? atts * 50 : 0)));
+      });
+  uint64_t fn = rpc::serve_function(node, gc, inv_c, impl);
+
+  runtime::Converter conv(inv_cmp.plan,
+                          rpc::make_port_adapter(node, inv_cmp.plan, gj, gc));
+  mtype::Ref j_out = gj.at(gj.at(inv_j).children[1]).body();
+  std::optional<Value> reply;
+  uint64_t reply_port =
+      node.open_port(&gj, j_out, [&](const Value& v) { reply = v; }, true);
+
+  Value doc = Value::record({
+      Value::record({Value::integer(1), Value::integer(2), Value::integer(3),
+                     Value::integer(4)}),             // Uid
+      Value::record({Value::integer(2451545), Value::integer(0)}),  // created
+      Value::record({Value::integer(2460000), Value::integer(99)}), // modified
+      Value::integer(8192),  // size
+      Value::integer(7),     // items
+      Value::integer(2),     // attachments
+  });
+  Value j_inv = Value::record(
+      {Value::record({doc, Value::boolean(true)}), Value::port(reply_port)});
+  node.send(fn, gc, inv_c, conv.apply(inv_cmp.root, j_inv));
+  rpc::pump({&node});
+
+  if (!reply) {
+    std::cerr << "no reply\n";
+    return 1;
+  }
+  std::cout << "word count (7 items, 2 attachments, withAttachments=true): "
+            << reply->at(0).to_string() << "\n";
+  std::cout << "\nnotes_api complete: " << matched
+            << " X2Y classes verified + 1 ideal-interface bridge invoked.\n";
+  return 0;
+}

@@ -1,0 +1,310 @@
+#include "annotate/script.hpp"
+
+#include <set>
+
+#include "lex/lexer.hpp"
+#include "support/strings.hpp"
+
+namespace mbird::annotate {
+
+using lex::Kind;
+using lex::Token;
+using lex::TokenStream;
+using stype::Annotations;
+using stype::Direction;
+using stype::LengthSpec;
+using stype::Module;
+using stype::Repertoire;
+using stype::ScalarIntent;
+using stype::Stype;
+
+bool glob_match(std::string_view pattern, std::string_view name) {
+  // Classic iterative glob with single backtrack point.
+  size_t p = 0, n = 0, star = std::string_view::npos, mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+const std::set<std::string>& script_keywords() {
+  static const std::set<std::string> kw = {
+      "annotate", "notnull", "nullable", "noalias", "mayalias",
+      "byvalue",  "byref",   "in",       "out",     "inout",
+      "range",    "repertoire", "intent", "real",   "length",
+      "static",   "runtime", "param",    "field",   "nul",
+      "collection", "element", "integer", "character",
+  };
+  return kw;
+}
+
+class Interp {
+ public:
+  Interp(std::string_view script, std::string file, Module& module,
+         DiagnosticEngine& diags)
+      : module_(module),
+        diags_(diags),
+        ts_(lex::Lexer(script, std::move(file), script_keywords(), diags)
+                .tokenize(),
+            diags) {}
+
+  ApplyStats run() {
+    while (!ts_.at_end()) {
+      if (ts_.accept_punct(";")) continue;
+      if (ts_.peek().is_keyword("annotate")) {
+        parse_annotate();
+      } else {
+        ts_.error_here("expected 'annotate' statement");
+        skip_statement();
+      }
+    }
+    return stats_;
+  }
+
+ private:
+  void skip_statement() {
+    while (!ts_.at_end() && !ts_.peek().is_punct(";")) ts_.advance();
+    ts_.accept_punct(";");
+  }
+
+  /// A path is a quoted string (possibly with globs) or a dotted chain of
+  /// identifiers/keywords ("in" etc. are legal member names).
+  std::string parse_path() {
+    const Token& t = ts_.peek();
+    if (t.kind == Kind::StrLit) return ts_.advance().text;
+    std::string path;
+    for (;;) {
+      const Token& seg = ts_.peek();
+      if (seg.kind != Kind::Ident && seg.kind != Kind::Keyword) break;
+      path += ts_.advance().text;
+      if (!ts_.accept_punct(".")) break;
+      path += '.';
+    }
+    if (path.empty()) ts_.error_here("expected an annotation path");
+    return path;
+  }
+
+  Int128 parse_int() {
+    bool neg = ts_.accept_punct("-");
+    if (ts_.peek().kind != Kind::IntLit) {
+      ts_.error_here("expected an integer");
+      if (!ts_.at_end()) ts_.advance();
+      return 0;
+    }
+    Int128 v = ts_.advance().int_value;
+    return neg ? -v : v;
+  }
+
+  std::string parse_name() {
+    const Token& t = ts_.peek();
+    if (t.kind == Kind::Ident || t.kind == Kind::Keyword || t.kind == Kind::StrLit) {
+      std::string name = ts_.advance().text;
+      // Qualified element types: java.util.Vector
+      while (ts_.peek().is_punct(".") && ts_.peek(1).is_ident()) {
+        ts_.advance();
+        name += "." + ts_.advance().text;
+      }
+      return name;
+    }
+    ts_.error_here("expected a name");
+    return "";
+  }
+
+  bool parse_attr(Annotations& ann) {
+    const Token& t = ts_.peek();
+    if (t.kind != Kind::Keyword) return false;
+    const std::string& k = t.text;
+    if (k == "annotate") return false;  // next statement (missing ';')
+
+    ts_.advance();
+    if (k == "notnull") ann.not_null = true;
+    else if (k == "nullable") ann.not_null = false;
+    else if (k == "noalias") ann.no_alias = true;
+    else if (k == "mayalias") ann.no_alias = false;
+    else if (k == "byvalue") ann.by_value = true;
+    else if (k == "byref") ann.by_value = false;
+    else if (k == "in") ann.direction = Direction::In;
+    else if (k == "out") ann.direction = Direction::Out;
+    else if (k == "inout") ann.direction = Direction::InOut;
+    else if (k == "collection") ann.ordered_collection = true;
+    else if (k == "range") {
+      ann.range_lo = parse_int();
+      ann.range_hi = parse_int();
+    } else if (k == "repertoire") {
+      std::string r = parse_name();
+      if (r == "ascii") ann.repertoire = Repertoire::Ascii;
+      else if (r == "latin1") ann.repertoire = Repertoire::Latin1;
+      else if (r == "ucs2") ann.repertoire = Repertoire::Ucs2;
+      else if (r == "unicode") ann.repertoire = Repertoire::Unicode;
+      else ts_.error_here("unknown repertoire '" + r + "'");
+    } else if (k == "intent") {
+      if (ts_.accept_keyword("integer")) ann.intent = ScalarIntent::Integer;
+      else if (ts_.accept_keyword("character")) ann.intent = ScalarIntent::Character;
+      else ts_.error_here("expected 'integer' or 'character'");
+    } else if (k == "real") {
+      ann.real = stype::RealSpec{static_cast<uint16_t>(parse_int()),
+                                 static_cast<uint16_t>(parse_int())};
+    } else if (k == "length") {
+      LengthSpec spec;
+      if (ts_.accept_keyword("static")) {
+        spec.kind = LengthSpec::Kind::Static;
+        spec.static_size = static_cast<uint64_t>(parse_int());
+      } else if (ts_.accept_keyword("runtime")) {
+        spec.kind = LengthSpec::Kind::Runtime;
+      } else if (ts_.accept_keyword("param")) {
+        spec.kind = LengthSpec::Kind::ParamName;
+        spec.name = parse_name();
+      } else if (ts_.accept_keyword("field")) {
+        spec.kind = LengthSpec::Kind::FieldName;
+        spec.name = parse_name();
+      } else if (ts_.accept_keyword("nul")) {
+        spec.kind = LengthSpec::Kind::NulTerminated;
+      } else {
+        ts_.error_here("expected static/runtime/param/field/nul");
+      }
+      ann.length = spec;
+    } else if (k == "element") {
+      ann.element_type = parse_name();
+    } else {
+      // notnull-elements / nullable-elements are lexed as keyword '-' ident?
+      // No: '-' splits tokens. Handle the two-token spellings here.
+      ts_.error_here("unknown attribute '" + k + "'");
+      return true;
+    }
+
+    // notnull-elements / nullable-elements: keyword '-' 'elements'
+    // (handled as a suffix of notnull/nullable).
+    if ((k == "notnull" || k == "nullable") && ts_.peek().is_punct("-") &&
+        ts_.peek(1).is_ident() && ts_.peek(1).text == "elements") {
+      ts_.advance();
+      ts_.advance();
+      ann.not_null.reset();
+      ann.element_not_null = k == "notnull";
+    }
+    return true;
+  }
+
+  void parse_annotate() {
+    ts_.expect_keyword("annotate");
+    std::string path = parse_path();
+    Annotations ann;
+    while (parse_attr(ann)) {
+    }
+    ts_.expect_punct(";");
+    ++stats_.statements;
+
+    if (ann.empty()) {
+      diags_.warning({}, "annotate '" + path + "': no attributes given");
+      return;
+    }
+
+    bool has_glob = path.find('*') != std::string::npos ||
+                    path.find('?') != std::string::npos;
+    std::vector<std::string> targets = expand_paths(path);
+    if (targets.empty()) {
+      diags_.error({}, "annotate '" + path + "': pattern matches no declaration");
+      return;
+    }
+
+    size_t applied = 0;
+    for (const auto& target : targets) {
+      // For glob-expanded paths, skip candidates where a literal tail
+      // segment is missing ("wherever this path exists" semantics); report
+      // errors normally for fully literal paths.
+      DiagnosticEngine local;
+      Stype* node = stype::resolve_annotation_path(module_, target, local);
+      if (node == nullptr) {
+        if (!has_glob) {
+          for (const auto& d : local.all()) diags_.report(d.severity, d.loc, d.message);
+        }
+        continue;
+      }
+      node->ann.merge(ann);
+      ++applied;
+    }
+    stats_.applications += applied;
+    if (applied == 0 && has_glob) {
+      diags_.error({}, "annotate '" + path + "': pattern applied to nothing");
+    }
+  }
+
+  /// Expand glob segments against declaration and member names, producing
+  /// concrete candidate paths. Non-glob segments pass through untouched.
+  std::vector<std::string> expand_paths(const std::string& path) {
+    auto segments = split(path, '.');
+    std::vector<std::string> fronts;
+
+    // First segment: declaration names.
+    const std::string& head = segments[0];
+    if (head.find('*') != std::string::npos || head.find('?') != std::string::npos) {
+      for (const auto& name : module_.decl_order()) {
+        if (glob_match(head, name)) fronts.push_back(name);
+      }
+    } else {
+      fronts.push_back(head);
+    }
+
+    for (size_t si = 1; si < segments.size(); ++si) {
+      const std::string& seg = segments[si];
+      bool seg_glob = seg.find('*') != std::string::npos ||
+                      seg.find('?') != std::string::npos;
+      std::vector<std::string> next;
+      for (const auto& prefix : fronts) {
+        if (!seg_glob) {
+          next.push_back(prefix + "." + seg);
+          continue;
+        }
+        // Enumerate members at this level to match the pattern against.
+        DiagnosticEngine local;
+        Stype* node = si == 1
+                          ? module_.find(prefix)
+                          : stype::resolve_annotation_path(module_, prefix, local);
+        if (node == nullptr) continue;
+        Stype* decl = module_.resolve(node);
+        if (decl == nullptr) decl = node;
+        std::vector<std::string> members;
+        if (decl->kind == stype::Kind::Aggregate) {
+          for (const auto& f : decl->fields) members.push_back(f.name);
+          for (const auto* mth : decl->methods) members.push_back(mth->name);
+        } else if (decl->kind == stype::Kind::Function) {
+          for (const auto& prm : decl->params) members.push_back(prm.name);
+          if (decl->ret != nullptr) members.push_back("return");
+        }
+        for (const auto& mname : members) {
+          if (glob_match(seg, mname)) next.push_back(prefix + "." + mname);
+        }
+      }
+      fronts = std::move(next);
+    }
+    return fronts;
+  }
+
+  Module& module_;
+  DiagnosticEngine& diags_;
+  TokenStream ts_;
+  ApplyStats stats_;
+};
+
+}  // namespace
+
+ApplyStats run_script(std::string_view script, std::string file, Module& module,
+                      DiagnosticEngine& diags) {
+  Interp interp(script, std::move(file), module, diags);
+  return interp.run();
+}
+
+}  // namespace mbird::annotate

@@ -1,0 +1,52 @@
+// The annotation script language.
+//
+// Paper §5: "We have developed a scripting technique that allows
+// annotations, worked out in detail with representative classes, to be
+// applied in batch mode to a much larger set." This module is that
+// technique: a small declarative language that addresses declarations (or
+// members, parameters, return values, collection elements) by dotted path —
+// with glob patterns for batch application — and attaches annotations.
+//
+//   # the fitter example (§3.4)
+//   annotate fitter.pts    length param count;
+//   annotate fitter.start  out;
+//   annotate fitter.end    out;
+//   annotate Line.start    notnull noalias;
+//   annotate Line.end      notnull noalias;
+//   annotate PointVector   collection element Point notnull-elements;
+//
+//   # batch mode: every Msg class passes by value
+//   annotate "Msg*" byvalue;
+//   annotate "Msg*.payload" notnull;
+//
+// Attributes: notnull nullable noalias mayalias byvalue byref in out inout
+//   collection notnull-elements nullable-elements
+//   range <lo> <hi> | repertoire <ascii|latin1|ucs2|unicode>
+//   intent <integer|character> | real <mantissa> <exponent>
+//   length (static <n> | runtime | param <name> | field <name> | nul)
+//   element <TypeName>
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::annotate {
+
+struct ApplyStats {
+  size_t statements = 0;    // annotate statements executed
+  size_t applications = 0;  // nodes annotated (patterns can fan out)
+};
+
+/// Parse and apply a script against a module. Errors (syntax, unresolved
+/// paths, patterns matching nothing) are reported through `diags`;
+/// execution continues with the remaining statements.
+ApplyStats run_script(std::string_view script, std::string file,
+                      stype::Module& module, DiagnosticEngine& diags);
+
+/// Glob matching used for path segments: '*' matches any run, '?' one char.
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view name);
+
+}  // namespace mbird::annotate

@@ -1,0 +1,167 @@
+#include "baseline/baseline.hpp"
+
+namespace mbird::baseline {
+
+using stype::AggKind;
+using stype::Kind;
+using stype::Lang;
+using stype::LengthSpec;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+namespace {
+
+/// Deep-copies a type-use tree from one module's arena into another,
+/// applying a per-node rewrite first. The rewriter returns nullptr to mean
+/// "copy structurally".
+class Cloner {
+ public:
+  using Rewrite = Stype* (*)(Module&, Stype*);
+
+  Cloner(Module& dst, Rewrite rewrite) : dst_(dst), rewrite_(rewrite) {}
+
+  Stype* clone(Stype* node) {
+    if (node == nullptr) return nullptr;
+    if (rewrite_ != nullptr) {
+      if (Stype* replaced = rewrite_(dst_, node)) return replaced;
+    }
+    Stype* out = dst_.make(node->kind);
+    out->prim = node->prim;
+    out->name = node->name;
+    out->ann = node->ann;
+    out->array_size = node->array_size;
+    out->agg_kind = node->agg_kind;
+    out->bases = node->bases;
+    out->enumerators = node->enumerators;
+    out->elem = clone(node->elem);
+    out->ret = clone(node->ret);
+    for (const auto& f : node->fields) {
+      out->fields.push_back({f.name, clone(f.type), f.loc, f.is_static,
+                             /*is_private=*/false});  // imposed fields: public
+    }
+    for (auto* m : node->methods) out->methods.push_back(clone(m));
+    for (const auto& p : node->params) {
+      out->params.push_back({p.name, clone(p.type), p.loc});
+    }
+    return out;
+  }
+
+ private:
+  Module& dst_;
+  Rewrite rewrite_;
+};
+
+Stype* java_rewrite(Module& dst, Stype* node) {
+  switch (node->kind) {
+    case Kind::Sequence: {
+      // sequence<T> -> T[] (the fixed translation of Fig. 4).
+      Stype* arr = dst.make(Kind::Array);
+      Cloner inner(dst, &java_rewrite);
+      arr->elem = inner.clone(node->elem);
+      arr->ann = node->ann;
+      return arr;
+    }
+    case Kind::Named: {
+      // References to user types become Java object references.
+      Stype* ref = dst.make(Kind::Reference);
+      ref->elem = dst.make_named(node->name);
+      ref->ann = node->ann;
+      // Imposed bindings never make nullability promises.
+      return ref;
+    }
+    default: return nullptr;
+  }
+}
+
+Stype* c_rewrite(Module& dst, Stype* node) {
+  switch (node->kind) {
+    case Kind::Sequence: {
+      // sequence<T> -> struct { unsigned long _length; T *_buffer; } — the
+      // classic CORBA C mapping. Synthesized inline with the length-field
+      // annotation so the runtime knows how to traverse it.
+      Stype* agg = dst.make(Kind::Aggregate);
+      agg->agg_kind = AggKind::Struct;
+      static int counter = 0;
+      agg->name = "_seq" + std::to_string(counter++);
+      Stype* len = dst.make_prim(Prim::U32);
+      Cloner inner(dst, &c_rewrite);
+      Stype* buf = dst.make(Kind::Pointer);
+      buf->elem = inner.clone(node->elem);
+      buf->ann.length = LengthSpec{LengthSpec::Kind::FieldName, 0, "_length"};
+      agg->fields.push_back({"_length", len, {}, false, false});
+      agg->fields.push_back({"_buffer", buf, {}, false, false});
+      dst.declare(agg->name, agg);
+      return dst.make_named(agg->name);
+    }
+    default: return nullptr;
+  }
+}
+
+Stype* x2y_rewrite(Module& dst, Stype* node) {
+  switch (node->kind) {
+    case Kind::Pointer: {
+      Stype* ref = dst.make(Kind::Reference);
+      Cloner inner(dst, &x2y_rewrite);
+      ref->elem = inner.clone(node->elem);
+      ref->ann = node->ann;
+      return ref;
+    }
+    case Kind::Prim:
+      if (node->prim == Prim::Char8) {
+        // C char -> Java char (the mechanical translation widens).
+        Stype* c = dst.make_prim(Prim::Char16);
+        c->ann = node->ann;
+        if (!c->ann.repertoire) c->ann.repertoire = stype::Repertoire::Latin1;
+        return c;
+      }
+      if (node->prim == Prim::U8) {
+        Stype* c = dst.make_prim(Prim::I16);
+        c->ann = node->ann;
+        if (!c->ann.range_lo) {
+          c->ann.range_lo = 0;
+          c->ann.range_hi = 255;
+        }
+        return c;
+      }
+      return nullptr;
+    default: return nullptr;
+  }
+}
+
+Module transform(const Module& src, Lang lang, const std::string& suffix,
+                 Cloner::Rewrite rewrite, AggKind struct_becomes) {
+  Module out(lang, src.name() + suffix);
+  Cloner cloner(out, rewrite);
+  for (const auto& name : src.decl_order()) {
+    Stype* d = src.find(name);
+    if (d == nullptr) continue;
+    if (out.find(name) != nullptr) continue;  // scoped aliases
+    Stype* cloned = cloner.clone(d);
+    if (cloned->kind == Kind::Aggregate && cloned->agg_kind == AggKind::Struct) {
+      cloned->agg_kind = struct_becomes;
+      cloned->ann.by_value = true;
+    }
+    out.declare(name, cloned);
+  }
+  return out;
+}
+
+}  // namespace
+
+Module imposed_java_from_idl(const Module& idl, DiagnosticEngine& diags) {
+  (void)diags;
+  return transform(idl, Lang::Java, "_java", &java_rewrite, AggKind::Class);
+}
+
+Module imposed_c_from_idl(const Module& idl, DiagnosticEngine& diags) {
+  (void)diags;
+  return transform(idl, Lang::C, "_c", &c_rewrite, AggKind::Struct);
+}
+
+Module x2y_java_from_c(const Module& c, DiagnosticEngine& diags) {
+  (void)diags;
+  return transform(c, Lang::Java, "_j2c", &x2y_rewrite, AggKind::Class);
+}
+
+}  // namespace mbird::baseline

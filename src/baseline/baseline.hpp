@@ -1,0 +1,41 @@
+// Baselines the paper argues against (§1-§2), implemented so the
+// benchmarks can measure what Mockingbird saves.
+//
+//  * The IDL-compiler baseline: from an IDL declaration set, generate the
+//    *imposed* language bindings (the paper's Fig. 4 — "canned" classes with
+//    public fields, sequences as arrays). An application using its own types
+//    must then copy between app types and imposed types before anything can
+//    cross the interface; bench E1 measures that extra materialization.
+//
+//  * The X2Y baseline (à la J2c++): mechanically derive a Java declaration
+//    from a C declaration (and vice versa). The derived types are again
+//    imposed — not the application's own.
+//
+// Both generators are declaration-to-declaration transforms over Stype, so
+// the derived modules flow through the same lowering/comparison/conversion
+// machinery as everything else.
+#pragma once
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::baseline {
+
+/// IDL -> imposed Java bindings: structs become classes with public fields
+/// (passed by value), sequences become arrays, enums map through, strings
+/// become char arrays, interfaces keep their operations.
+[[nodiscard]] stype::Module imposed_java_from_idl(const stype::Module& idl,
+                                                  DiagnosticEngine& diags);
+
+/// IDL -> imposed C bindings: structs stay structs, sequences become
+/// {count + pointer} pairs (a synthesized `<name>_seq` struct with a
+/// length-field annotation), enums map through.
+[[nodiscard]] stype::Module imposed_c_from_idl(const stype::Module& idl,
+                                               DiagnosticEngine& diags);
+
+/// X2Y: derive Java declarations from C declarations (structs -> classes,
+/// fixed arrays -> fixed arrays, pointers -> nullable references).
+[[nodiscard]] stype::Module x2y_java_from_c(const stype::Module& c,
+                                            DiagnosticEngine& diags);
+
+}  // namespace mbird::baseline

@@ -1,0 +1,588 @@
+#include "cfront/cparser.hpp"
+
+#include <functional>
+#include <set>
+
+#include "lex/lexer.hpp"
+
+namespace mbird::cfront {
+
+using lex::Kind;
+using lex::Token;
+using lex::TokenStream;
+using stype::AggKind;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+namespace {
+
+const std::set<std::string>& c_keywords() {
+  static const std::set<std::string> kw = {
+      "void",     "char",    "short",     "int",       "long",   "float",
+      "double",   "signed",  "unsigned",  "bool",      "wchar_t", "_Bool",
+      "struct",   "union",   "enum",      "typedef",   "const",  "volatile",
+      "static",   "extern",  "inline",    "register",  "class",  "public",
+      "private",  "protected", "virtual", "namespace", "using",  "operator",
+      "template", "typename", "friend",   "mutable",   "explicit",
+  };
+  return kw;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string file, DiagnosticEngine& diags,
+         const Options& options)
+      : module_(options.cplusplus ? stype::Lang::Cpp : stype::Lang::C, file),
+        diags_(diags),
+        options_(options),
+        ts_(lex::Lexer(source, std::move(file), c_keywords(), diags).tokenize(),
+            diags) {}
+
+  Module take() {
+    while (!ts_.at_end() && !give_up_) parse_top_level();
+    return std::move(module_);
+  }
+
+ private:
+  // ---- declaration specifiers -------------------------------------------
+
+  /// Parses the "base type" part of a declaration: primitive spellings,
+  /// struct/union/enum heads (definitions or references), or a named type.
+  /// Returns nullptr when the tokens do not begin a type.
+  Stype* parse_decl_specifiers() {
+    skip_qualifiers();
+    const Token& t = ts_.peek();
+    if (t.kind == Kind::Keyword) {
+      if (t.text == "struct" || t.text == "class" || t.text == "union") {
+        return parse_aggregate();
+      }
+      if (t.text == "enum") return parse_enum();
+      return parse_prim_spelling();
+    }
+    if (t.is_ident()) {
+      std::string name = ts_.advance().text;
+      while (ts_.accept_punct("::")) {
+        // Qualified names are flattened: A::B -> "A::B".
+        name += "::" + ts_.expect_ident("qualified name component");
+      }
+      Stype* named = module_.make_named(name);
+      named->loc = t.loc;
+      return named;
+    }
+    return nullptr;
+  }
+
+  void skip_qualifiers() {
+    for (;;) {
+      const Token& t = ts_.peek();
+      if (t.kind == Kind::Keyword &&
+          (t.text == "const" || t.text == "volatile" || t.text == "static" ||
+           t.text == "extern" || t.text == "inline" || t.text == "register" ||
+           t.text == "virtual" || t.text == "mutable" || t.text == "explicit" ||
+           t.text == "friend")) {
+        ts_.advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  /// Primitive type spellings, combining signed/unsigned/long/short/int.
+  Stype* parse_prim_spelling() {
+    SourceLoc loc = ts_.peek().loc;
+    bool is_unsigned = false, saw_signed = false;
+    int longs = 0;
+    bool saw_short = false, saw_int = false, saw_char = false;
+    bool saw_float = false, saw_double = false, saw_void = false;
+    bool saw_bool = false, saw_wchar = false;
+    bool any = false;
+
+    for (;;) {
+      const Token& t = ts_.peek();
+      if (t.kind != Kind::Keyword) break;
+      if (t.text == "unsigned") is_unsigned = true;
+      else if (t.text == "signed") saw_signed = true;
+      else if (t.text == "long") ++longs;
+      else if (t.text == "short") saw_short = true;
+      else if (t.text == "int") saw_int = true;
+      else if (t.text == "char") saw_char = true;
+      else if (t.text == "float") saw_float = true;
+      else if (t.text == "double") saw_double = true;
+      else if (t.text == "void") saw_void = true;
+      else if (t.text == "bool" || t.text == "_Bool") saw_bool = true;
+      else if (t.text == "wchar_t") saw_wchar = true;
+      else if (t.text == "const" || t.text == "volatile") { ts_.advance(); continue; }
+      else break;
+      ts_.advance();
+      any = true;
+    }
+    if (!any) {
+      ts_.error_here("expected a type");
+      give_up_ = true;
+      return module_.make_prim(Prim::Void);
+    }
+
+    (void)saw_int;  // "int" adds no information beyond the default
+    Prim p;
+    if (saw_void) p = Prim::Void;
+    else if (saw_bool) p = Prim::Bool;
+    else if (saw_wchar) p = Prim::Char16;
+    else if (saw_char) p = saw_signed ? Prim::I8 : (is_unsigned ? Prim::U8 : Prim::Char8);
+    else if (saw_float) p = Prim::F32;
+    else if (saw_double) p = Prim::F64;  // long double folds to F64
+    else if (saw_short) p = is_unsigned ? Prim::U16 : Prim::I16;
+    else if (longs >= 2) p = is_unsigned ? Prim::U64 : Prim::I64;
+    else if (longs == 1) {
+      if (options_.long_bits == 64) p = is_unsigned ? Prim::U64 : Prim::I64;
+      else p = is_unsigned ? Prim::U32 : Prim::I32;
+    } else {
+      p = is_unsigned ? Prim::U32 : Prim::I32;  // (unsigned) int, bare signed
+    }
+    Stype* s = module_.make_prim(p);
+    s->loc = loc;
+    return s;
+  }
+
+  // ---- declarators -------------------------------------------------------
+
+  /// A parsed declarator: the declared name plus a function that wraps the
+  /// base type with the declarator's pointer/array/function structure.
+  struct Declarator {
+    std::string name;
+    SourceLoc loc;
+    // The chain is applied inside-out: build(base) returns the full type.
+    std::vector<std::function<Stype*(Stype*)>> wrap_outside_in;
+
+    Stype* build(Stype* base) const {
+      // Pointers recorded first bind closest to the base; array/function
+      // suffixes were pushed after and apply outside them.
+      Stype* t = base;
+      for (const auto& w : wrap_outside_in) t = w(t);
+      return t;
+    }
+  };
+
+  Declarator parse_declarator() {
+    Declarator d;
+    d.loc = ts_.peek().loc;
+    std::vector<std::function<Stype*(Stype*)>> prefix;  // pointers/refs
+
+    while (ts_.peek().is_punct("*") || ts_.peek().is_punct("&")) {
+      bool is_ref = ts_.advance().text == "&";
+      skip_qualifiers();
+      prefix.push_back([this, is_ref](Stype* inner) {
+        Stype* p = module_.make(is_ref ? stype::Kind::Reference : stype::Kind::Pointer);
+        p->elem = inner;
+        return p;
+      });
+    }
+
+    Declarator inner_decl;
+    bool have_inner = false;
+    if (ts_.peek().is_punct("(") &&
+        (ts_.peek(1).is_punct("*") || ts_.peek(1).is_punct("&"))) {
+      // Parenthesized declarator: function pointers, pointer-to-array.
+      ts_.advance();
+      inner_decl = parse_declarator();
+      ts_.expect_punct(")");
+      have_inner = true;
+      d.name = inner_decl.name;
+      d.loc = inner_decl.loc;
+    } else if (ts_.peek().is_ident()) {
+      d.name = ts_.advance().text;
+    }
+    // else: abstract declarator (unnamed parameter)
+
+    std::vector<std::function<Stype*(Stype*)>> suffix;
+    for (;;) {
+      if (ts_.peek().is_punct("[")) {
+        ts_.advance();
+        std::optional<uint64_t> size;
+        if (ts_.peek().kind == Kind::IntLit) {
+          size = static_cast<uint64_t>(ts_.advance().int_value);
+        }
+        ts_.expect_punct("]");
+        suffix.push_back([this, size](Stype* inner) {
+          Stype* a = module_.make(stype::Kind::Array);
+          a->elem = inner;
+          a->array_size = size;
+          return a;
+        });
+      } else if (ts_.peek().is_punct("(")) {
+        auto params = parse_param_list();
+        suffix.push_back([this, params](Stype* inner) {
+          Stype* f = module_.make(stype::Kind::Function);
+          f->ret = inner;
+          f->params = params;
+          return f;
+        });
+      } else {
+        break;
+      }
+    }
+
+    // Assembly (C declarator semantics, inside-out): pointer/reference
+    // prefixes bind closest to the base type, suffixes wrap around them with
+    // the leftmost [] outermost, and an inner parenthesized declarator wraps
+    // around everything (e.g. `int (*fp)(void)` = pointer to function).
+    d.wrap_outside_in.clear();
+    for (const auto& w : prefix) d.wrap_outside_in.push_back(w);
+    for (auto it = suffix.rbegin(); it != suffix.rend(); ++it) {
+      d.wrap_outside_in.push_back(*it);
+    }
+    if (have_inner) {
+      for (const auto& w : inner_decl.wrap_outside_in) d.wrap_outside_in.push_back(w);
+    }
+    return d;
+  }
+
+  std::vector<stype::Param> parse_param_list() {
+    std::vector<stype::Param> params;
+    ts_.expect_punct("(");
+    if (ts_.accept_punct(")")) return params;
+    if (ts_.peek().is_keyword("void") && ts_.peek(1).is_punct(")")) {
+      ts_.advance();
+      ts_.advance();
+      return params;
+    }
+    for (;;) {
+      if (ts_.peek().is_punct("...")) {
+        ts_.advance();
+        diags_.warning(ts_.peek().loc, "variadic parameters are ignored");
+        break;
+      }
+      Stype* base = parse_decl_specifiers();
+      if (base == nullptr) {
+        ts_.error_here("expected parameter type");
+        give_up_ = true;
+        break;
+      }
+      Declarator d = parse_declarator();
+      stype::Param p;
+      p.name = d.name;
+      p.type = d.build(base);
+      p.loc = d.loc;
+      params.push_back(std::move(p));
+      if (!ts_.accept_punct(",")) break;
+    }
+    ts_.expect_punct(")");
+    return params;
+  }
+
+  // ---- aggregates --------------------------------------------------------
+
+  Stype* parse_aggregate() {
+    const Token& kw = ts_.advance();  // struct/class/union
+    AggKind agg = kw.text == "union"   ? AggKind::Union
+                  : kw.text == "class" ? AggKind::Class
+                                       : AggKind::Struct;
+    std::string name;
+    if (ts_.peek().is_ident()) name = ts_.advance().text;
+
+    if (!ts_.peek().is_punct("{") && !ts_.peek().is_punct(":")) {
+      // A reference to a (possibly forward-declared) aggregate.
+      if (name.empty()) {
+        ts_.error_here("anonymous aggregate requires a body");
+        give_up_ = true;
+        return module_.make_prim(Prim::Void);
+      }
+      return module_.make_named(name);
+    }
+
+    Stype* s = module_.make(stype::Kind::Aggregate);
+    s->agg_kind = agg;
+    s->loc = kw.loc;
+    if (name.empty()) name = "__anon" + std::to_string(anon_counter_++);
+    s->name = name;
+
+    if (ts_.accept_punct(":")) {
+      do {
+        while (ts_.peek().is_keyword("public") || ts_.peek().is_keyword("private") ||
+               ts_.peek().is_keyword("protected") || ts_.peek().is_keyword("virtual")) {
+          ts_.advance();
+        }
+        std::string base = ts_.expect_ident("base class name");
+        while (ts_.accept_punct("::")) {
+          base += "::" + ts_.expect_ident("qualified base name");
+        }
+        if (!base.empty()) s->bases.push_back(base);
+      } while (ts_.accept_punct(","));
+    }
+
+    ts_.expect_punct("{");
+    bool member_private = agg == AggKind::Class;
+    while (!ts_.peek().is_punct("}") && !ts_.at_end() && !give_up_) {
+      parse_member(s, member_private);
+    }
+    ts_.expect_punct("}");
+    module_.declare(name, s);
+    return module_.make_named(name);
+  }
+
+  void parse_member(Stype* agg, bool& member_private) {
+    // Access specifiers.
+    const Token& t = ts_.peek();
+    if (t.is_keyword("public") || t.is_keyword("private") || t.is_keyword("protected")) {
+      member_private = !t.is_keyword("public");
+      ts_.advance();
+      ts_.expect_punct(":");
+      return;
+    }
+    if (ts_.accept_punct(";")) return;
+
+    // Leading method qualifiers so that the constructor check below sees
+    // the name ("explicit Point(...)", "virtual ~Point()").
+    while (ts_.peek().is_keyword("virtual") || ts_.peek().is_keyword("inline") ||
+           ts_.peek().is_keyword("explicit") || ts_.peek().is_keyword("mutable")) {
+      ts_.advance();
+    }
+
+    // Constructors / destructors: Name(... or ~Name(... — skipped.
+    if (ts_.peek().is_punct("~") ||
+        (ts_.peek().is_ident() && ts_.peek().text == agg->name &&
+         ts_.peek(1).is_punct("("))) {
+      skip_to_member_end();
+      return;
+    }
+    if (ts_.peek().is_keyword("operator") ||
+        (ts_.peek().is_keyword("using")) || ts_.peek().is_keyword("template") ||
+        ts_.peek().is_keyword("friend")) {
+      skip_to_member_end();
+      return;
+    }
+
+    bool is_static = false;
+    {
+      const Token& q = ts_.peek();
+      if (q.is_keyword("static")) is_static = true;
+    }
+
+    Stype* base = parse_decl_specifiers();
+    if (base == nullptr) {
+      ts_.error_here("expected member declaration");
+      skip_to_member_end();
+      return;
+    }
+    if (ts_.peek().is_keyword("operator")) {
+      skip_to_member_end();
+      return;
+    }
+
+    do {
+      Declarator d = parse_declarator();
+      Stype* type = d.build(base);
+      if (type->kind == stype::Kind::Function) {
+        type->name = d.name;
+        // Trailing const / noexcept / override / final / = 0.
+        skip_qualifiers();
+        while (ts_.peek().is_ident() &&
+               (ts_.peek().text == "override" || ts_.peek().text == "final" ||
+                ts_.peek().text == "noexcept")) {
+          ts_.advance();
+        }
+        if (ts_.accept_punct("=")) ts_.advance();
+        agg->methods.push_back(type);
+        if (ts_.peek().is_punct("{")) {
+          skip_braces();
+          return;  // no comma-chaining after a body
+        }
+        break;  // methods are not comma-chained
+      }
+      stype::Field f;
+      f.name = d.name;
+      f.type = type;
+      f.loc = d.loc;
+      f.is_static = is_static;
+      f.is_private = member_private;
+      if (ts_.accept_punct("=")) skip_initializer();
+      if (ts_.accept_punct(":")) {
+        // bitfield width: record the range implied by the bit count
+        if (ts_.peek().kind == Kind::IntLit) {
+          int bits = static_cast<int>(ts_.advance().int_value);
+          if (bits > 0 && bits < 64) {
+            f.type->ann.range_lo = 0;
+            f.type->ann.range_hi = pow2(bits) - 1;
+          }
+        }
+      }
+      agg->fields.push_back(std::move(f));
+    } while (ts_.accept_punct(","));
+    ts_.expect_punct(";");
+  }
+
+  // ---- enums ---------------------------------------------------------------
+
+  Stype* parse_enum() {
+    SourceLoc loc = ts_.advance().loc;  // 'enum'
+    if (ts_.peek().is_keyword("class") || ts_.peek().is_keyword("struct")) ts_.advance();
+    std::string name;
+    if (ts_.peek().is_ident()) name = ts_.advance().text;
+    if (ts_.accept_punct(":")) parse_decl_specifiers();  // underlying type: ignored
+
+    if (!ts_.peek().is_punct("{")) {
+      return module_.make_named(name);
+    }
+    Stype* e = module_.make(stype::Kind::Enum);
+    e->loc = loc;
+    if (name.empty()) name = "__anon" + std::to_string(anon_counter_++);
+    e->name = name;
+    ts_.expect_punct("{");
+    Int128 next = 0;
+    while (!ts_.peek().is_punct("}") && !ts_.at_end()) {
+      std::string en = ts_.expect_ident("enumerator");
+      if (en.empty()) break;
+      if (ts_.accept_punct("=")) {
+        bool neg = ts_.accept_punct("-");
+        if (ts_.peek().kind == Kind::IntLit) {
+          next = ts_.advance().int_value;
+          if (neg) next = -next;
+        } else {
+          ts_.error_here("expected integer enumerator value");
+          ts_.advance();
+        }
+      }
+      e->enumerators.push_back({en, next});
+      next = next + 1;
+      if (!ts_.accept_punct(",")) break;
+    }
+    ts_.expect_punct("}");
+    module_.declare(name, e);
+    return module_.make_named(name);
+  }
+
+  // ---- top level -----------------------------------------------------------
+
+  void parse_top_level() {
+    if (ts_.accept_punct(";")) return;
+    if (ts_.peek().is_keyword("namespace")) {
+      // namespace N { ... } — contents parsed as if at top level (names are
+      // not qualified; Mockingbird sessions load flat declaration sets).
+      ts_.advance();
+      if (ts_.peek().is_ident()) ts_.advance();
+      ts_.expect_punct("{");
+      while (!ts_.peek().is_punct("}") && !ts_.at_end() && !give_up_) {
+        parse_top_level();
+      }
+      ts_.expect_punct("}");
+      return;
+    }
+    if (ts_.peek().is_keyword("using") || ts_.peek().is_keyword("template")) {
+      skip_to_member_end();
+      return;
+    }
+    if (ts_.peek().is_keyword("typedef")) {
+      ts_.advance();
+      Stype* base = parse_decl_specifiers();
+      if (base == nullptr) {
+        ts_.error_here("expected type after typedef");
+        give_up_ = true;
+        return;
+      }
+      do {
+        Declarator d = parse_declarator();
+        if (d.name.empty()) {
+          ts_.error_here("typedef requires a name");
+          break;
+        }
+        Stype* td = module_.make(stype::Kind::Typedef);
+        td->name = d.name;
+        td->elem = d.build(base);
+        td->loc = d.loc;
+        module_.declare(d.name, td);
+      } while (ts_.accept_punct(","));
+      ts_.expect_punct(";");
+      return;
+    }
+
+    skip_qualifiers();
+    Stype* base = parse_decl_specifiers();
+    if (base == nullptr) {
+      ts_.error_here("expected a declaration");
+      give_up_ = true;
+      return;
+    }
+    if (ts_.accept_punct(";")) return;  // bare "struct X {...};"
+
+    do {
+      Declarator d = parse_declarator();
+      Stype* type = d.build(base);
+      if (type->kind == stype::Kind::Function) {
+        type->name = d.name;
+        module_.declare(d.name, type);
+        if (ts_.peek().is_punct("{")) {
+          skip_braces();
+          return;
+        }
+        break;
+      }
+      // Global variable declarations: recorded as typedefs of their type so
+      // annotation paths can reach them (rare in interface sets).
+      if (!d.name.empty()) {
+        Stype* td = module_.make(stype::Kind::Typedef);
+        td->name = d.name;
+        td->elem = type;
+        module_.declare(d.name, td);
+      }
+      if (ts_.accept_punct("=")) skip_initializer();
+    } while (ts_.accept_punct(","));
+    ts_.expect_punct(";");
+  }
+
+  // ---- recovery helpers ------------------------------------------------------
+
+  void skip_braces() {
+    int depth = 0;
+    do {
+      const Token& t = ts_.advance();
+      if (t.is_punct("{")) ++depth;
+      else if (t.is_punct("}")) --depth;
+      if (ts_.at_end()) return;
+    } while (depth > 0);
+    ts_.accept_punct(";");
+  }
+
+  void skip_initializer() {
+    int depth = 0;
+    while (!ts_.at_end()) {
+      const Token& t = ts_.peek();
+      if (depth == 0 && (t.is_punct(",") || t.is_punct(";"))) return;
+      if (t.is_punct("{") || t.is_punct("(") || t.is_punct("[")) ++depth;
+      if (t.is_punct("}") || t.is_punct(")") || t.is_punct("]")) --depth;
+      ts_.advance();
+    }
+  }
+
+  void skip_to_member_end() {
+    while (!ts_.at_end()) {
+      const Token& t = ts_.peek();
+      if (t.is_punct(";")) {
+        ts_.advance();
+        return;
+      }
+      if (t.is_punct("{")) {
+        skip_braces();
+        return;
+      }
+      if (t.is_punct("}")) return;  // let caller consume
+      ts_.advance();
+    }
+  }
+
+  Module module_;
+  DiagnosticEngine& diags_;
+  Options options_;
+  TokenStream ts_;
+  int anon_counter_ = 0;
+  bool give_up_ = false;
+};
+
+}  // namespace
+
+stype::Module parse_c(std::string_view source, std::string file,
+                      DiagnosticEngine& diags, const Options& options) {
+  Parser p(source, std::move(file), diags, options);
+  return p.take();
+}
+
+}  // namespace mbird::cfront

@@ -1,0 +1,42 @@
+// C/C++ declaration frontend.
+//
+// Parses the declaration subset Mockingbird consumes (the paper used a
+// modified IBM compiler frontend; we parse declarations directly):
+//   - typedefs, including array/pointer/function declarators
+//   - struct / union / enum definitions
+//   - C++ classes with fields, methods, single/multiple inheritance,
+//     access specifiers; method bodies are skipped
+//   - free function declarations
+//
+// Expressions, statements, templates, and the preprocessor are out of scope
+// (inputs are assumed to be preprocessed declarations, as in the paper's
+// tool pipeline). Qualifiers (const/volatile) are accepted and ignored —
+// they do not affect structural typing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::cfront {
+
+struct Options {
+  /// Treat the input as C++ (classes, references, access specifiers,
+  /// namespaces-as-prefixes). Plain C inputs also parse with this on.
+  bool cplusplus = true;
+  /// Width of `long` in bits (LP64 = 64, ILP32 = 32). The paper's platforms
+  /// (AIX, Win95/NT) were ILP32; the default here follows the host model
+  /// but either can be selected.
+  int long_bits = 64;
+};
+
+/// Parse a buffer of C/C++ declarations into a Module. All diagnostics are
+/// reported through `diags`; on errors the returned module contains the
+/// declarations that parsed successfully.
+[[nodiscard]] stype::Module parse_c(std::string_view source, std::string file,
+                                    DiagnosticEngine& diags,
+                                    const Options& options = {});
+
+}  // namespace mbird::cfront

@@ -1,0 +1,828 @@
+#include "codegen/cgen.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/writer.hpp"
+#include "wire/wire.hpp"
+
+namespace mbird::codegen {
+
+using mtype::Graph;
+using mtype::MKind;
+using mtype::Path;
+using mtype::Ref;
+using plan::PKind;
+using plan::PlanNode;
+using plan::PlanRef;
+
+std::string c_int_type(Int128 lo, Int128 hi) {
+  if (lo >= 0) {
+    if (hi <= 0xff) return "uint8_t";
+    if (hi <= 0xffff) return "uint16_t";
+    if (hi <= 0xffffffffLL) return "uint32_t";
+    return "uint64_t";
+  }
+  if (lo >= -128 && hi <= 127) return "int8_t";
+  if (lo >= -32768 && hi <= 32767) return "int16_t";
+  if (lo >= -pow2(31) && hi <= pow2(31) - 1) return "int32_t";
+  return "int64_t";
+}
+
+namespace {
+
+/// Follow a Record path (for RecordMap moves) or Choice path (arm moves).
+Ref follow_record_path(const Graph& g, Ref r, const Path& path) {
+  for (uint32_t idx : path) {
+    r = mtype::skip_var(g, r);
+    r = g.at(r).children.at(idx);
+  }
+  return mtype::skip_var(g, r);
+}
+
+/// Emits C type declarations for the reachable part of a graph.
+class TypeEmitter {
+ public:
+  TypeEmitter(const Graph& g, std::string prefix, CodeWriter& out)
+      : g_(g), prefix_(std::move(prefix)), out_(out) {}
+
+  /// The C type name for a node (emitting its declaration on first use).
+  /// Var nodes yield "<rec name>*" — member declarations handle the star.
+  std::string type_of(Ref r) {
+    const auto& n = g_.at(r);
+    if (n.kind == MKind::Var) return type_of(n.var_target) + "*";
+    auto it = names_.find(r);
+    if (it != names_.end()) return it->second;
+    return emit(r);
+  }
+
+  [[nodiscard]] bool is_pointer_member(Ref r) const {
+    return g_.at(r).kind == MKind::Var;
+  }
+
+ private:
+  std::string fresh_name(Ref r, const char* stem) {
+    std::string base = prefix_ + "_" + stem;
+    const auto& n = g_.at(r);
+    if (!n.name.empty()) base += "_" + sanitize_identifier(n.name);
+    base += "_" + std::to_string(r);
+    return base;
+  }
+
+  std::string emit(Ref r) {
+    const auto& n = g_.at(r);
+    switch (n.kind) {
+      case MKind::Unit: {
+        std::string name = fresh_name(r, "unit");
+        names_[r] = name;
+        out_.line("typedef uint8_t " + name + "; /* unit */");
+        return name;
+      }
+      case MKind::Int: {
+        std::string name = fresh_name(r, "int");
+        names_[r] = name;
+        out_.line("typedef " + c_int_type(n.lo, n.hi) + " " + name + "; /* [" +
+                  to_string(n.lo) + ".." + to_string(n.hi) + "] */");
+        return name;
+      }
+      case MKind::Real: {
+        std::string name = fresh_name(r, "real");
+        names_[r] = name;
+        out_.line(std::string("typedef ") +
+                  (n.mantissa_bits <= 24 ? "float " : "double ") + name + ";");
+        return name;
+      }
+      case MKind::Char: {
+        std::string name = fresh_name(r, "char");
+        names_[r] = name;
+        bool narrow = n.repertoire == stype::Repertoire::Ascii ||
+                      n.repertoire == stype::Repertoire::Latin1;
+        out_.line(std::string("typedef ") + (narrow ? "uint8_t " : "uint32_t ") +
+                  name + "; /* " + stype::to_string(n.repertoire) + " */");
+        return name;
+      }
+      case MKind::Port: {
+        std::string name = fresh_name(r, "port");
+        names_[r] = name;
+        out_.line("typedef uint64_t " + name + "; /* endpoint id */");
+        return name;
+      }
+      case MKind::Record: {
+        std::string name = fresh_name(r, "rec");
+        names_[r] = name;  // register early: records cannot self-reference
+                           // except through Rec, but be safe
+        std::vector<std::string> member_types;
+        member_types.reserve(n.children.size());
+        for (Ref c : n.children) member_types.push_back(type_of(c));
+        out_.open("typedef struct " + name + " {");
+        if (n.children.empty()) out_.line("uint8_t _empty;");
+        for (size_t i = 0; i < n.children.size(); ++i) {
+          std::string label =
+              i < n.labels.size() && !n.labels[i].empty() ? n.labels[i] : "";
+          out_.line(member_types[i] + " m" + std::to_string(i) + ";" +
+                    (label.empty() ? "" : " /* " + label + " */"));
+        }
+        out_.close("} " + name + ";");
+        return name;
+      }
+      case MKind::Choice: {
+        std::string name = fresh_name(r, "ch");
+        names_[r] = name;
+        std::vector<std::string> member_types;
+        std::vector<bool> is_unit;
+        for (Ref c : n.children) {
+          is_unit.push_back(g_.at(mtype::skip_var(g_, c)).kind == MKind::Unit);
+          member_types.push_back(is_unit.back() ? "" : type_of(c));
+        }
+        out_.open("typedef struct " + name + " {");
+        out_.line("uint32_t tag;");
+        bool any_payload = false;
+        for (bool u : is_unit) any_payload |= !u;
+        if (any_payload) {
+          out_.open("union {");
+          for (size_t i = 0; i < n.children.size(); ++i) {
+            if (is_unit[i]) continue;
+            std::string label =
+                i < n.labels.size() && !n.labels[i].empty() ? n.labels[i] : "";
+            out_.line(member_types[i] + " a" + std::to_string(i) + ";" +
+                      (label.empty() ? "" : " /* " + label + " */"));
+          }
+          out_.close("} u;");
+        }
+        out_.close("} " + name + ";");
+        return name;
+      }
+      case MKind::Rec: {
+        // Canonical single-element lists get the {len, data} representation.
+        auto elems = mtype::match_list_shape(g_, r);
+        if (elems && elems->size() == 1) {
+          std::string name = fresh_name(r, "list");
+          names_[r] = name;
+          std::string elem_type = type_of((*elems)[0]);
+          out_.open("typedef struct " + name + " {");
+          out_.line("uint32_t len;");
+          out_.line(elem_type + " *data;");
+          out_.close("} " + name + ";");
+          return name;
+        }
+        // General recursion: the Rec struct IS its body; back-references
+        // (Var) become pointers to it.
+        std::string name = fresh_name(r, "mu");
+        names_[r] = name;
+        out_.line("struct " + name + "_s;");
+        out_.line("typedef struct " + name + "_s " + name + ";");
+        // Emit the body with the Rec's own struct tag.
+        Ref body = n.body();
+        const auto& bn = g_.at(body);
+        if (bn.kind == MKind::Choice) {
+          std::vector<std::string> member_types;
+          std::vector<bool> is_unit;
+          for (Ref c : bn.children) {
+            is_unit.push_back(g_.at(mtype::skip_var(g_, c)).kind == MKind::Unit);
+            member_types.push_back(is_unit.back() ? "" : type_of(c));
+          }
+          out_.open("struct " + name + "_s {");
+          out_.line("uint32_t tag;");
+          bool any_payload = false;
+          for (bool u : is_unit) any_payload |= !u;
+          if (any_payload) {
+            out_.open("union {");
+            for (size_t i = 0; i < bn.children.size(); ++i) {
+              if (is_unit[i]) continue;
+              out_.line(member_types[i] + " a" + std::to_string(i) + ";");
+            }
+            out_.close("} u;");
+          }
+          out_.close("};");
+        } else if (bn.kind == MKind::Record) {
+          std::vector<std::string> member_types;
+          for (Ref c : bn.children) member_types.push_back(type_of(c));
+          out_.open("struct " + name + "_s {");
+          if (bn.children.empty()) out_.line("uint8_t _empty;");
+          for (size_t i = 0; i < bn.children.size(); ++i) {
+            out_.line(member_types[i] + " m" + std::to_string(i) + ";");
+          }
+          out_.close("};");
+        } else {
+          throw MbError("codegen: unsupported recursive body shape");
+        }
+        names_[body] = name;  // the body shares the Rec's type
+        return name;
+      }
+      case MKind::Var: return type_of(n.var_target) + "*";
+    }
+    throw MbError("codegen: unhandled mtype kind");
+  }
+
+  const Graph& g_;
+  std::string prefix_;
+  CodeWriter& out_;
+  std::map<Ref, std::string> names_;
+};
+
+/// Emits converter functions, one per (plan node, src ref, dst ref) triple.
+class ConvEmitter {
+ public:
+  ConvEmitter(const Graph& ga, const Graph& gb, const plan::PlanGraph& plans,
+              TypeEmitter& src_types, TypeEmitter& dst_types,
+              const std::string& prefix, CodeWriter& protos, CodeWriter& bodies)
+      : ga_(ga), gb_(gb), plans_(plans), src_types_(src_types),
+        dst_types_(dst_types), prefix_(prefix), protos_(protos), bodies_(bodies) {}
+
+  /// Returns the function name converting (a -> b) per plan node p.
+  std::string emit(Ref a, Ref b, PlanRef p) {
+    a = mtype::skip_var(ga_, a);
+    b = mtype::skip_var(gb_, b);
+    auto key = std::make_tuple(a, b, p);
+    auto it = emitted_.find(key);
+    if (it != emitted_.end()) return it->second;
+
+    std::string fn = prefix_ + "_p" + std::to_string(p) + "_" +
+                     std::to_string(a) + "_" + std::to_string(b);
+    emitted_[key] = fn;
+
+    std::string src_t = src_types_.type_of(a);
+    std::string dst_t = dst_types_.type_of(b);
+    std::string sig = "static void " + fn + "(const " + src_t + " *in, " +
+                      dst_t + " *out)";
+    protos_.line(sig + ";");
+
+    CodeWriter body;
+    body.open(sig + " {");
+    emit_body(a, b, p, body);
+    body.close("}");
+    body.blank();
+    pending_.push_back(body.take());
+    flush_if_root(p);
+    return fn;
+  }
+
+  void flush_all() {
+    for (auto& s : pending_) bodies_.raw(s);
+    pending_.clear();
+  }
+
+ private:
+  void flush_if_root(PlanRef) { /* bodies flushed at the end for ordering */ }
+
+  void emit_body(Ref a, Ref b, PlanRef p, CodeWriter& w) {
+    const PlanNode& node = plans_.at(p);
+    switch (node.kind) {
+      case PKind::UnitMake:
+        w.line("(void)in;");
+        w.line("*out = 0;");
+        return;
+      case PKind::IntCopy:
+      case PKind::RealCopy:
+      case PKind::CharCopy: {
+        std::string dst_t = dst_types_.type_of(b);
+        w.line("*out = (" + dst_t + ")(*in);");
+        return;
+      }
+      case PKind::PortMap:
+        w.line("*out = *in; /* endpoint ids convert at the rpc layer */");
+        return;
+      case PKind::Alias: {
+        // Unfold the recursive pair and forward (same struct layout).
+        Ref ua = unfold(ga_, a);
+        Ref ub = unfold(gb_, b);
+        std::string inner = emit(ua, ub, node.inner);
+        w.line(inner + "((const void *)in, (void *)out);");
+        // The cast is sound: a Rec's typedef IS its body's struct.
+        return;
+      }
+      case PKind::ListMap: {
+        auto ea = mtype::match_list_shape(ga_, a);
+        auto eb = mtype::match_list_shape(gb_, b);
+        if (!ea || !eb) throw MbError("codegen: ListMap on non-list types");
+        std::string elem_fn = emit((*ea)[0], (*eb)[0], node.inner);
+        std::string dst_elem = dst_types_.type_of((*eb)[0]);
+        w.line("out->len = in->len;");
+        w.line("out->data = (" + dst_elem + " *)malloc(in->len * sizeof(" +
+               dst_elem + "));");
+        w.open("for (uint32_t i = 0; i < in->len; ++i) {");
+        w.line(elem_fn + "(&in->data[i], &out->data[i]);");
+        w.close("}");
+        return;
+      }
+      case PKind::Extract: {
+        const auto& move = node.fields.at(0);
+        Ref src_child = follow_record_path(ga_, a, move.src_path);
+        std::string inner = emit(src_child, b, move.op);
+        w.line(inner + "(&in" + record_expr(move.src_path) + ", out);");
+        return;
+      }
+      case PKind::RecordMap: {
+        for (size_t i = 0; i < node.fields.size(); ++i) {
+          const auto& move = node.fields[i];
+          Ref src_child = follow_record_path(ga_, a, move.src_path);
+          Ref dst_child = follow_record_path(gb_, b, move.dst_path);
+          bool src_ptr = raw_child_is_var(ga_, a, move.src_path);
+          bool dst_ptr = raw_child_is_var(gb_, b, move.dst_path);
+          std::string fn = emit(src_child, dst_child, move.op);
+          std::string src_expr = src_ptr
+                                     ? "in" + record_expr(move.src_path)
+                                     : "&in" + record_expr(move.src_path);
+          std::string dst_lv = "out" + record_expr(move.dst_path);
+          if (dst_ptr) {
+            std::string dst_t = dst_types_.type_of(dst_child);
+            w.line(dst_lv + " = (" + dst_t + " *)malloc(sizeof(" + dst_t + "));");
+            w.line(fn + "(" + src_expr + ", " + dst_lv + ");");
+          } else {
+            w.line(fn + "(" + src_expr + ", &" + dst_lv + ");");
+          }
+        }
+        if (node.fields.empty()) {
+          w.line("(void)in;");
+          w.line("(void)out;");
+        }
+        return;
+      }
+      case PKind::ChoiceMap: {
+        emit_choice(a, b, node, w);
+        return;
+      }
+      case PKind::Custom: {
+        // Hand-written conversions are linked in by the user: emit an
+        // extern prototype and the call (paper §6 composition).
+        std::string fn = sanitize_identifier(node.note);
+        std::string src_t = src_types_.type_of(a);
+        std::string dst_t = dst_types_.type_of(b);
+        protos_.line("extern void " + fn + "(const " + src_t + " *in, " +
+                     dst_t + " *out); /* hand-written */");
+        w.line(fn + "(in, out);");
+        return;
+      }
+    }
+    throw MbError("codegen: unhandled plan node");
+  }
+
+  /// A member-access expression descending a choice-arm path, tracking
+  /// pointer-ness: the base ("in"/"out") is a pointer; union payloads are
+  /// values, except Var payloads (pointers to the Rec struct).
+  struct Access {
+    std::string expr;
+    bool is_ptr;
+    [[nodiscard]] std::string sep() const { return is_ptr ? "->" : "."; }
+  };
+
+  /// Step into arm `idx`'s payload.
+  Access descend_arm(const Graph& g, Access acc, Ref choice_ref, uint32_t idx,
+                     Ref* next_out) const {
+    Ref raw_child = g.at(mtype::skip_var(g, choice_ref)).children.at(idx);
+    bool child_is_var = g.at(raw_child).kind == MKind::Var;
+    Access next;
+    next.expr = acc.expr + acc.sep() + "u.a" + std::to_string(idx);
+    next.is_ptr = child_is_var;
+    *next_out = mtype::skip_var(g, raw_child);
+    return next;
+  }
+
+  void emit_choice(Ref a, Ref b, const PlanNode& node, CodeWriter& w) {
+    // Each flattened source arm becomes one branch of an if-else chain
+    // testing the (possibly nested) tag path.
+    bool first = true;
+    for (const auto& arm : node.arms) {
+      std::string cond;
+      Access in{"in", true};
+      Ref cur = a;
+      for (size_t d = 0; d < arm.src_path.size(); ++d) {
+        uint32_t idx = arm.src_path[d];
+        if (!cond.empty()) cond += " && ";
+        cond += in.expr + in.sep() + "tag == " + std::to_string(idx) + "u";
+        in = descend_arm(ga_, in, cur, idx, &cur);
+      }
+      bool src_unit = ga_.at(cur).kind == MKind::Unit;
+
+      w.open((first ? "if (" : "else if (") + cond + ") {");
+      first = false;
+
+      // Set target tags along the destination path.
+      Access out{"out", true};
+      Ref dst_cur = b;
+      for (size_t d = 0; d < arm.dst_path.size(); ++d) {
+        uint32_t idx = arm.dst_path[d];
+        w.line(out.expr + out.sep() + "tag = " + std::to_string(idx) + "u;");
+        Access next = descend_arm(gb_, out, dst_cur, idx, &dst_cur);
+        if (next.is_ptr && d + 1 < arm.dst_path.size()) {
+          // A Var payload on the way down: allocate the next cell.
+          std::string t = dst_types_.type_of(dst_cur);
+          w.line(next.expr + " = (" + t + " *)malloc(sizeof(" + t + "));");
+        }
+        out = next;
+      }
+      bool dst_unit = gb_.at(dst_cur).kind == MKind::Unit;
+
+      if (!dst_unit && !src_unit) {
+        std::string fn = emit(cur, dst_cur, arm.op);
+        std::string src_ref = in.is_ptr ? in.expr : "&" + in.expr;
+        if (out.is_ptr) {
+          std::string t = dst_types_.type_of(dst_cur);
+          w.line(out.expr + " = (" + t + " *)malloc(sizeof(" + t + "));");
+          w.line(fn + "(" + src_ref + ", " + out.expr + ");");
+        } else {
+          w.line(fn + "(" + src_ref + ", &" + out.expr + ");");
+        }
+      }
+      w.close("}");
+    }
+    w.open("else {");
+    w.line("/* no matching arm: leave target zeroed */");
+    w.close("}");
+  }
+
+  static Ref unfold(const Graph& g, Ref r) {
+    r = mtype::skip_var(g, r);
+    const auto& n = g.at(r);
+    return n.kind == MKind::Rec && n.body() != mtype::kNullRef ? n.body() : r;
+  }
+
+  static Ref follow_choice_path(const Graph& g, Ref r, const Path& path) {
+    for (uint32_t idx : path) {
+      r = mtype::skip_var(g, r);
+      r = g.at(r).children.at(idx);
+    }
+    return mtype::skip_var(g, r);
+  }
+
+  static Ref raw_choice_child(const Graph& g, Ref r, const Path& path) {
+    for (size_t i = 0; i < path.size(); ++i) {
+      r = mtype::skip_var(g, r);
+      r = g.at(r).children.at(path[i]);
+      if (i + 1 < path.size()) r = mtype::skip_var(g, r);
+    }
+    return r;
+  }
+
+  /// Whether the child at `path` (without skipping the final Var) is a Var
+  /// — i.e. a pointer member in the C representation.
+  static bool raw_child_is_var(const Graph& g, Ref r, const Path& path) {
+    if (path.empty()) return false;
+    for (size_t i = 0; i < path.size(); ++i) {
+      r = mtype::skip_var(g, r);
+      r = g.at(r).children.at(path[i]);
+    }
+    return g.at(r).kind == MKind::Var;
+  }
+
+  static std::string record_expr(const Path& path) {
+    std::string expr;
+    for (size_t i = 0; i < path.size(); ++i) {
+      expr += (i == 0 ? "->m" : ".m") + std::to_string(path[i]);
+    }
+    return expr;
+  }
+
+  const Graph& ga_;
+  const Graph& gb_;
+  const plan::PlanGraph& plans_;
+  TypeEmitter& src_types_;
+  TypeEmitter& dst_types_;
+  std::string prefix_;
+  CodeWriter& protos_;
+  CodeWriter& bodies_;
+  std::map<std::tuple<Ref, Ref, PlanRef>, std::string> emitted_;
+  std::vector<std::string> pending_;
+};
+
+// ---- wire marshaler -----------------------------------------------------------
+
+class MarshalEmitter {
+ public:
+  MarshalEmitter(const Graph& g, TypeEmitter& types, std::string prefix,
+                 CodeWriter& protos, CodeWriter& bodies)
+      : g_(g), types_(types), prefix_(std::move(prefix)), protos_(protos),
+        bodies_(bodies) {}
+
+  std::string emit_decoder(Ref r) {
+    r = mtype::skip_var(g_, r);
+    auto it = decoders_.find(r);
+    if (it != decoders_.end()) return it->second;
+    std::string fn = prefix_ + "_dec_" + std::to_string(r);
+    decoders_[r] = fn;
+    std::string t = types_.type_of(r);
+    std::string sig = "static size_t " + fn + "(" + t + " *v, const uint8_t *buf)";
+    protos_.line(sig + ";");
+
+    CodeWriter w;
+    w.open(sig + " {");
+    w.line("size_t n = 0;");
+    emit_decode_body(r, w);
+    w.line("return n;");
+    w.close("}");
+    w.blank();
+    pending_.push_back(w.take());
+    return fn;
+  }
+
+  std::string emit_encoder(Ref r) {
+    r = mtype::skip_var(g_, r);
+    auto it = encoders_.find(r);
+    if (it != encoders_.end()) return it->second;
+    std::string fn = prefix_ + "_enc_" + std::to_string(r);
+    encoders_[r] = fn;
+    std::string t = types_.type_of(r);
+    std::string sig =
+        "static size_t " + fn + "(const " + t + " *v, uint8_t *buf)";
+    protos_.line(sig + ";");
+
+    CodeWriter w;
+    w.open(sig + " {");
+    w.line("size_t n = 0;");
+    emit_encode_body(r, w);
+    w.line("return n;");
+    w.close("}");
+    w.blank();
+    pending_.push_back(w.take());
+    return fn;
+  }
+
+  void flush_all() {
+    for (auto& s : pending_) bodies_.raw(s);
+    pending_.clear();
+  }
+
+ private:
+  void put_big(CodeWriter& w, const std::string& value_expr, unsigned bytes) {
+    w.line("{ uint64_t x = (uint64_t)(" + value_expr + "); for (int k = " +
+           std::to_string(bytes - 1) +
+           "; k >= 0; --k) buf[n++] = (uint8_t)(x >> (8 * k)); }");
+  }
+
+  void emit_encode_body(Ref r, CodeWriter& w) {
+    const auto& node = g_.at(r);
+    switch (node.kind) {
+      case MKind::Unit:
+        w.line("(void)v;");
+        return;
+      case MKind::Int: {
+        unsigned width = wire::int_width(node.lo, node.hi);
+        if (width > 8) throw MbError("codegen marshaler: >64-bit range");
+        put_big(w, "*v - (" + c_int_type(node.lo, node.hi) + ")" +
+                       to_string(node.lo) + "LL",
+                width);
+        return;
+      }
+      case MKind::Char: {
+        bool narrow = node.repertoire == stype::Repertoire::Ascii ||
+                      node.repertoire == stype::Repertoire::Latin1;
+        put_big(w, "*v", narrow ? 1 : 4);
+        return;
+      }
+      case MKind::Real:
+        if (node.mantissa_bits <= 24) {
+          w.line("{ uint32_t bits; float f = (float)*v; memcpy(&bits, &f, 4);");
+          w.line("  for (int k = 3; k >= 0; --k) buf[n++] = (uint8_t)(bits >> (8 * k)); }");
+        } else {
+          w.line("{ uint64_t bits; double d = (double)*v; memcpy(&bits, &d, 8);");
+          w.line("  for (int k = 7; k >= 0; --k) buf[n++] = (uint8_t)(bits >> (8 * k)); }");
+        }
+        return;
+      case MKind::Port: put_big(w, "*v", 8); return;
+      case MKind::Record: {
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          std::string fn = emit_encoder(node.children[i]);
+          bool ptr = types_.is_pointer_member(node.children[i]);
+          w.line("n += " + fn + "(" + (ptr ? "" : "&") + "v->m" +
+                 std::to_string(i) + ", buf + n);");
+        }
+        if (node.children.empty()) w.line("(void)v;");
+        return;
+      }
+      case MKind::Choice: {
+        put_big(w, "v->tag", 4);
+        w.open("switch (v->tag) {");
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          Ref child = mtype::skip_var(g_, node.children[i]);
+          w.open("case " + std::to_string(i) + "u: {");
+          if (g_.at(child).kind != MKind::Unit) {
+            std::string fn = emit_encoder(node.children[i]);
+            bool ptr = types_.is_pointer_member(node.children[i]);
+            w.line("n += " + fn + "(" + (ptr ? "" : "&") + "v->u.a" +
+                   std::to_string(i) + ", buf + n);");
+          }
+          w.line("break;");
+          w.close("}");
+        }
+        w.close("}");
+        return;
+      }
+      case MKind::Rec: {
+        auto elems = mtype::match_list_shape(g_, r);
+        if (elems && elems->size() == 1) {
+          put_big(w, "v->len", 4);
+          std::string fn = emit_encoder((*elems)[0]);
+          w.open("for (uint32_t i = 0; i < v->len; ++i) {");
+          w.line("n += " + fn + "(&v->data[i], buf + n);");
+          w.close("}");
+          return;
+        }
+        // General recursion: the struct shares the body's layout.
+        emit_encode_body(g_.at(r).body(), w);
+        return;
+      }
+      case MKind::Var: {
+        emit_encode_body(g_.at(r).var_target, w);
+        return;
+      }
+    }
+  }
+
+  void get_big(CodeWriter& w, const std::string& lvalue, unsigned bytes,
+               const std::string& cast) {
+    w.line("{ uint64_t x = 0; for (int k = 0; k < " + std::to_string(bytes) +
+           "; ++k) x = (x << 8) | buf[n++]; " + lvalue + " = (" + cast +
+           ")x; }");
+  }
+
+  void emit_decode_body(Ref r, CodeWriter& w) {
+    const auto& node = g_.at(r);
+    switch (node.kind) {
+      case MKind::Unit:
+        w.line("*v = 0;");
+        return;
+      case MKind::Int: {
+        unsigned width = wire::int_width(node.lo, node.hi);
+        if (width > 8) throw MbError("codegen marshaler: >64-bit range");
+        std::string t = c_int_type(node.lo, node.hi);
+        w.line("{ uint64_t x = 0; for (int k = 0; k < " + std::to_string(width) +
+               "; ++k) x = (x << 8) | buf[n++]; *v = (" + t + ")(x + (" + t +
+               ")" + to_string(node.lo) + "LL); }");
+        return;
+      }
+      case MKind::Char: {
+        bool narrow = node.repertoire == stype::Repertoire::Ascii ||
+                      node.repertoire == stype::Repertoire::Latin1;
+        get_big(w, "*v", narrow ? 1 : 4, narrow ? "uint8_t" : "uint32_t");
+        return;
+      }
+      case MKind::Real:
+        if (node.mantissa_bits <= 24) {
+          w.line("{ uint32_t bits = 0; for (int k = 0; k < 4; ++k) bits = (bits << 8) | buf[n++];");
+          w.line("  float f; memcpy(&f, &bits, 4); *v = f; }");
+        } else {
+          w.line("{ uint64_t bits = 0; for (int k = 0; k < 8; ++k) bits = (bits << 8) | buf[n++];");
+          w.line("  double d; memcpy(&d, &bits, 8); *v = d; }");
+        }
+        return;
+      case MKind::Port: get_big(w, "*v", 8, "uint64_t"); return;
+      case MKind::Record: {
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          std::string fn = emit_decoder(node.children[i]);
+          bool ptr = types_.is_pointer_member(node.children[i]);
+          if (ptr) {
+            std::string t = types_.type_of(mtype::skip_var(g_, node.children[i]));
+            w.line("v->m" + std::to_string(i) + " = (" + t + " *)malloc(sizeof(" +
+                   t + "));");
+            w.line("n += " + fn + "(v->m" + std::to_string(i) + ", buf + n);");
+          } else {
+            w.line("n += " + fn + "(&v->m" + std::to_string(i) + ", buf + n);");
+          }
+        }
+        if (node.children.empty()) w.line("v->_empty = 0;");
+        return;
+      }
+      case MKind::Choice: {
+        get_big(w, "v->tag", 4, "uint32_t");
+        w.open("switch (v->tag) {");
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          Ref child = mtype::skip_var(g_, node.children[i]);
+          w.open("case " + std::to_string(i) + "u: {");
+          if (g_.at(child).kind != MKind::Unit) {
+            std::string fn = emit_decoder(node.children[i]);
+            bool ptr = types_.is_pointer_member(node.children[i]);
+            if (ptr) {
+              std::string t = types_.type_of(child);
+              w.line("v->u.a" + std::to_string(i) + " = (" + t +
+                     " *)malloc(sizeof(" + t + "));");
+              w.line("n += " + fn + "(v->u.a" + std::to_string(i) + ", buf + n);");
+            } else {
+              w.line("n += " + fn + "(&v->u.a" + std::to_string(i) + ", buf + n);");
+            }
+          }
+          w.line("break;");
+          w.close("}");
+        }
+        w.close("}");
+        return;
+      }
+      case MKind::Rec: {
+        auto elems = mtype::match_list_shape(g_, r);
+        if (elems && elems->size() == 1) {
+          get_big(w, "v->len", 4, "uint32_t");
+          std::string elem_t = types_.type_of((*elems)[0]);
+          std::string fn = emit_decoder((*elems)[0]);
+          w.line("v->data = (" + elem_t + " *)malloc(v->len * sizeof(" + elem_t +
+                 "));");
+          w.open("for (uint32_t i = 0; i < v->len; ++i) {");
+          w.line("n += " + fn + "(&v->data[i], buf + n);");
+          w.close("}");
+          return;
+        }
+        emit_decode_body(g_.at(r).body(), w);
+        return;
+      }
+      case MKind::Var: emit_decode_body(g_.at(r).var_target, w); return;
+    }
+  }
+
+  const Graph& g_;
+  TypeEmitter& types_;
+  std::string prefix_;
+  CodeWriter& protos_;
+  CodeWriter& bodies_;
+  std::map<Ref, std::string> encoders_;
+  std::map<Ref, std::string> decoders_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace
+
+CStub generate_c_stub(const Graph& ga, Ref a, const Graph& gb, Ref b,
+                      const plan::PlanGraph& plans, PlanRef root,
+                      const std::string& stub_name, const Options& options) {
+  CStub out;
+  CodeWriter header;
+  header.line("/* Generated by Mockingbird. Do not edit. */");
+  header.line("#ifndef MBIRD_STUB_" + stub_name + "_H");
+  header.line("#define MBIRD_STUB_" + stub_name + "_H");
+  header.line("#include <stdint.h>");
+  header.line("#include <stddef.h>");
+  header.blank();
+  header.line("/* ---- source-side types ---- */");
+  TypeEmitter src_types(ga, stub_name + "_src", header);
+  std::string src_root_t = src_types.type_of(mtype::skip_var(ga, a));
+  header.blank();
+  header.line("/* ---- target-side types ---- */");
+  TypeEmitter dst_types(gb, stub_name + "_dst", header);
+  std::string dst_root_t = dst_types.type_of(mtype::skip_var(gb, b));
+  header.blank();
+
+  CodeWriter protos;
+  CodeWriter bodies;
+  ConvEmitter conv(ga, gb, plans, src_types, dst_types, stub_name, protos,
+                   bodies);
+  std::string root_fn = conv.emit(a, b, root);
+  conv.flush_all();
+
+  std::string entry = stub_name + "_convert";
+  CodeWriter entry_w;
+  entry_w.open("void " + entry + "(const " + src_root_t + " *in, " +
+               dst_root_t + " *out) {");
+  entry_w.line(root_fn + "(in, out);");
+  entry_w.close("}");
+
+  std::string marshal_entry;
+  CodeWriter marshal_bodies;
+  if (options.emit_marshaler) {
+    MarshalEmitter me(gb, dst_types, stub_name, protos, marshal_bodies);
+    std::string enc = me.emit_encoder(b);
+    std::string dec = me.emit_decoder(b);
+    me.flush_all();
+    marshal_entry = stub_name + "_encode";
+    CodeWriter ew;
+    ew.open("size_t " + marshal_entry + "(const " + dst_root_t +
+            " *v, uint8_t *buf) {");
+    ew.line("return " + enc + "(v, buf);");
+    ew.close("}");
+    ew.open("size_t " + stub_name + "_decode(" + dst_root_t +
+            " *v, const uint8_t *buf) {");
+    ew.line("return " + dec + "(v, buf);");
+    ew.close("}");
+    marshal_bodies.blank();
+    marshal_bodies.raw(ew.take());
+  }
+
+  header.line("void " + entry + "(const " + src_root_t + " *in, " + dst_root_t +
+              " *out);");
+  if (options.emit_marshaler) {
+    header.line("size_t " + stub_name + "_encode(const " + dst_root_t +
+                " *v, uint8_t *buf);");
+    header.line("size_t " + stub_name + "_decode(" + dst_root_t +
+                " *v, const uint8_t *buf);");
+  }
+  header.line("#endif");
+
+  CodeWriter source;
+  source.line("/* Generated by Mockingbird. Do not edit. */");
+  source.line("#include \"" + stub_name + ".h\"");
+  source.line("#include <stdlib.h>");
+  source.line("#include <string.h>");
+  source.blank();
+  source.raw(protos.str());
+  source.blank();
+  source.raw(bodies.str());
+  source.raw(entry_w.str());
+  source.raw(marshal_bodies.str());
+
+  out.header = header.take();
+  out.source = source.take();
+  out.entry_name = entry;
+  out.src_type = src_root_t;
+  out.dst_type = dst_root_t;
+  return out;
+}
+
+}  // namespace mbird::codegen

@@ -1,0 +1,733 @@
+#include "compare/compare.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <tuple>
+
+namespace mbird::compare {
+
+using mtype::FlatChild;
+using mtype::Graph;
+using mtype::MKind;
+using mtype::Path;
+using mtype::Ref;
+using plan::ArmMove;
+using plan::FieldMove;
+using plan::PKind;
+using plan::PlanNode;
+using plan::PlanRef;
+using plan::RecShape;
+
+namespace {
+
+int repertoire_rank(stype::Repertoire r) {
+  switch (r) {
+    case stype::Repertoire::Ascii: return 0;
+    case stype::Repertoire::Latin1: return 1;
+    case stype::Repertoire::Ucs2: return 2;
+    case stype::Repertoire::Unicode: return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
+// Not in the anonymous namespace: Session::Impl (an external-linkage type)
+// holds a Cmp, and -Wsubobject-linkage would flag an internal-linkage
+// member there.
+class Cmp {
+ public:
+  Cmp(const Graph& ga, const Graph& gb, const Options& opts)
+      : ga_(ga), gb_(gb), opts_(opts) {
+    if (opts_.use_hash_prune && opts_.mode == Mode::Equivalence) {
+      if (opts_.left_hashes != nullptr && opts_.left_hashes->size() == ga.size()) {
+        hash_a_ = *opts_.left_hashes;
+      } else {
+        hash_a_ = mtype::structure_hashes(ga_, opts_.unit_elimination);
+      }
+      if (opts_.right_hashes != nullptr &&
+          opts_.right_hashes->size() == gb.size()) {
+        hash_b_ = *opts_.right_hashes;
+      } else {
+        hash_b_ = mtype::structure_hashes(gb_, opts_.unit_elimination);
+      }
+    }
+  }
+
+  Result run(Ref a, Ref b) {
+    Result result;
+    result.root = visit(&ga_, a, &gb_, b, 0);
+    result.ok = result.root != plan::kNullPlan;
+    result.plan = std::move(plan_);
+    result.mismatch = best_;
+    result.steps = steps_;
+    if (!result.ok && !result.mismatch.valid) {
+      result.mismatch.valid = true;
+      result.mismatch.reason = "no match found";
+    }
+    return result;
+  }
+
+  /// Session mode: keep the plan graph and the pair memo across calls.
+  Session::SessionResult run_shared(Ref a, Ref b) {
+    best_ = Mismatch{};
+    size_t steps_before = steps_;
+    Session::SessionResult result;
+    result.root = visit(&ga_, a, &gb_, b, 0);
+    result.ok = result.root != plan::kNullPlan;
+    result.mismatch = best_;
+    result.steps = steps_ - steps_before;
+    if (!result.ok && !result.mismatch.valid) {
+      result.mismatch.valid = true;
+      result.mismatch.reason = "no match found";
+    }
+    return result;
+  }
+
+  [[nodiscard]] const plan::PlanGraph& shared_plans() const { return plan_; }
+
+ private:
+  // A trail/memo key. `left_is_a` distinguishes the two orientations that
+  // arise from port contravariance (the same pair of refs can be compared
+  // in both directions).
+  using Key = std::tuple<bool, Ref, Ref>;
+
+  struct TrailSaver {
+    Cmp& c;
+    size_t trail_mark;
+    size_t plan_mark;
+    explicit TrailSaver(Cmp& cmp)
+        : c(cmp), trail_mark(cmp.trail_stack_.size()),
+          plan_mark(cmp.plan_.checkpoint()) {}
+    void rollback() {
+      while (c.trail_stack_.size() > trail_mark) {
+        c.trail_.erase(c.trail_stack_.back());
+        c.trail_stack_.pop_back();
+      }
+      c.plan_.rollback(plan_mark);
+    }
+  };
+
+  void note_mismatch(const Graph* gx, Ref x, const Graph* gy, Ref y, int depth,
+                     const std::string& reason) {
+    if (best_.valid && best_.depth >= depth) return;
+    best_.valid = true;
+    best_.depth = depth;
+    best_.left = mtype::print(*gx, x);
+    best_.right = mtype::print(*gy, y);
+    best_.reason = reason;
+  }
+
+  uint64_t hash_of(const Graph* g, Ref r) const {
+    return g == &ga_ ? hash_a_[r] : hash_b_[r];
+  }
+
+  bool pruning() const {
+    return opts_.use_hash_prune && opts_.mode == Mode::Equivalence &&
+           !hash_a_.empty();
+  }
+
+  // ---- flattening helpers respecting the rule toggles ----------------------
+
+  std::vector<FlatChild> flat_record(const Graph& g, Ref r) const {
+    if (opts_.associative) {
+      return mtype::flatten_record(g, r, opts_.unit_elimination);
+    }
+    std::vector<FlatChild> out;
+    const auto& n = g.at(r);
+    for (uint32_t i = 0; i < n.children.size(); ++i) {
+      if (opts_.unit_elimination &&
+          g.at(n.children[i]).kind == MKind::Unit) {
+        continue;
+      }
+      out.push_back({n.children[i], Path{i}});
+    }
+    return out;
+  }
+
+  std::vector<FlatChild> flat_choice(const Graph& g, Ref r) const {
+    if (opts_.associative) return mtype::flatten_choice(g, r);
+    std::vector<FlatChild> out;
+    const auto& n = g.at(r);
+    for (uint32_t i = 0; i < n.children.size(); ++i) {
+      out.push_back({n.children[i], Path{i}});
+    }
+    return out;
+  }
+
+  // Builds the target skeleton whose leaf numbering matches flat_record's
+  // traversal order. Nested records expand only under associativity
+  // (otherwise they are opaque leaves handled by child plans).
+  // Skeleton matching direct_children(): each (non-unit) child is a leaf.
+  RecShape build_direct_shape(const Graph& g, Ref r) const {
+    RecShape s;
+    s.kind = RecShape::Kind::Record;
+    uint32_t counter = 0;
+    for (Ref c : g.at(r).children) {
+      if (opts_.unit_elimination && g.at(c).kind == MKind::Unit) {
+        RecShape u;
+        u.kind = RecShape::Kind::Unit;
+        s.kids.push_back(u);
+      } else {
+        RecShape leaf;
+        leaf.kind = RecShape::Kind::Leaf;
+        leaf.leaf_index = counter++;
+        s.kids.push_back(leaf);
+      }
+    }
+    return s;
+  }
+
+  RecShape build_shape(const Graph& g, Ref r, uint32_t& counter) const {
+    RecShape s;
+    const auto& n = g.at(r);
+    if (n.kind == MKind::Record) {
+      s.kind = RecShape::Kind::Record;
+      for (Ref c : n.children) {
+        const auto& cn = g.at(c);
+        if (cn.kind == MKind::Record && opts_.associative) {
+          s.kids.push_back(build_shape(g, c, counter));
+        } else if (cn.kind == MKind::Unit && opts_.unit_elimination) {
+          RecShape u;
+          u.kind = RecShape::Kind::Unit;
+          s.kids.push_back(u);
+        } else {
+          RecShape leaf;
+          leaf.kind = RecShape::Kind::Leaf;
+          leaf.leaf_index = counter++;
+          s.kids.push_back(leaf);
+        }
+      }
+      return s;
+    }
+    s.kind = RecShape::Kind::Leaf;
+    s.leaf_index = counter++;
+    return s;
+  }
+
+  // ---- the core -------------------------------------------------------------
+
+  PlanRef visit(const Graph* gx, Ref x, const Graph* gy, Ref y, int depth) {
+    if (++steps_ > opts_.max_steps) {
+      note_mismatch(gx, x, gy, y, depth, "comparison budget exceeded");
+      return plan::kNullPlan;
+    }
+    x = mtype::skip_var(*gx, x);
+    y = mtype::skip_var(*gy, y);
+
+    Key key{gx == &ga_, x, y};
+    if (auto it = trail_.find(key); it != trail_.end()) return it->second;
+
+    PlanRef result = visit_uncached(gx, x, gy, y, depth, key);
+    if (result != plan::kNullPlan) {
+      // Memoize successful pairs (rollback-aware via the trail stack):
+      // shared sub-structure in DAG-shaped graphs is compared once, not
+      // once per occurrence. Recursive pairs self-register in
+      // visit_recursive before descending.
+      if (trail_.emplace(key, result).second) trail_stack_.push_back(key);
+    }
+    return result;
+  }
+
+  PlanRef visit_uncached(const Graph* gx, Ref x, const Graph* gy, Ref y,
+                         int depth, const Key& key) {
+    const auto& nx = gx->at(x);
+    const auto& ny = gy->at(y);
+
+    if (nx.kind == MKind::Rec || ny.kind == MKind::Rec) {
+      return visit_recursive(gx, x, gy, y, depth, key);
+    }
+
+    // Unit-elimination bridging: a Record that flattens to exactly one
+    // non-unit child matches that child's type.
+    if (opts_.unit_elimination && opts_.associative) {
+      if (nx.kind == MKind::Record && ny.kind != MKind::Record) {
+        return visit_extract(gx, x, gy, y, depth);
+      }
+      if (ny.kind == MKind::Record && nx.kind != MKind::Record) {
+        return visit_wrap(gx, x, gy, y, depth);
+      }
+    }
+
+    if (nx.kind != ny.kind) {
+      note_mismatch(gx, x, gy, y, depth,
+                    std::string("kind mismatch: ") + to_string(nx.kind) +
+                        " vs " + to_string(ny.kind));
+      return plan::kNullPlan;
+    }
+
+    switch (nx.kind) {
+      case MKind::Unit: {
+        PlanNode n;
+        n.kind = PKind::UnitMake;
+        return plan_.add(std::move(n));
+      }
+      case MKind::Int: {
+        bool ok = opts_.mode == Mode::Equivalence
+                      ? (nx.lo == ny.lo && nx.hi == ny.hi)
+                      : (nx.lo >= ny.lo && nx.hi <= ny.hi);
+        if (!ok) {
+          note_mismatch(gx, x, gy, y, depth, "integer range mismatch");
+          return plan::kNullPlan;
+        }
+        PlanNode n;
+        n.kind = PKind::IntCopy;
+        n.lo = ny.lo;
+        n.hi = ny.hi;
+        n.note = nx.name.empty() ? ny.name : nx.name;
+        return plan_.add(std::move(n));
+      }
+      case MKind::Char: {
+        int rx = repertoire_rank(nx.repertoire);
+        int ry = repertoire_rank(ny.repertoire);
+        bool ok = opts_.mode == Mode::Equivalence ? rx == ry : rx <= ry;
+        if (!ok) {
+          note_mismatch(gx, x, gy, y, depth, "character repertoire mismatch");
+          return plan::kNullPlan;
+        }
+        PlanNode n;
+        n.kind = PKind::CharCopy;
+        return plan_.add(std::move(n));
+      }
+      case MKind::Real: {
+        bool ok = opts_.mode == Mode::Equivalence
+                      ? (nx.mantissa_bits == ny.mantissa_bits &&
+                         nx.exponent_bits == ny.exponent_bits)
+                      : (nx.mantissa_bits <= ny.mantissa_bits &&
+                         nx.exponent_bits <= ny.exponent_bits);
+        if (!ok) {
+          note_mismatch(gx, x, gy, y, depth, "real precision mismatch");
+          return plan::kNullPlan;
+        }
+        PlanNode n;
+        n.kind = PKind::RealCopy;
+        return plan_.add(std::move(n));
+      }
+      case MKind::Port: {
+        // Contravariant: messages sent to the converted port must convert
+        // back to the original message shape, so the inner plan runs y->x.
+        TrailSaver saver(*this);
+        PlanRef inner = visit(gy, ny.body(), gx, nx.body(), depth + 1);
+        if (inner == plan::kNullPlan) {
+          saver.rollback();
+          note_mismatch(gx, x, gy, y, depth, "port message mismatch");
+          return plan::kNullPlan;
+        }
+        PlanNode n;
+        n.kind = PKind::PortMap;
+        n.inner = inner;
+        n.note = nx.name.empty() ? ny.name : nx.name;
+        n.port_dst_msg = ny.body();
+        n.port_dst_in_left = gy == &ga_;
+        n.port_src_msg = nx.body();
+        n.port_src_in_left = gx == &ga_;
+        return plan_.add(std::move(n));
+      }
+      case MKind::Record: return visit_record(gx, x, gy, y, depth);
+      case MKind::Choice: return visit_choice(gx, x, gy, y, depth);
+      case MKind::Rec:
+      case MKind::Var: break;  // handled above
+    }
+    note_mismatch(gx, x, gy, y, depth, "unhandled node kind");
+    return plan::kNullPlan;
+  }
+
+  PlanRef visit_recursive(const Graph* gx, Ref x, const Graph* gy, Ref y,
+                          int depth, const Key& key) {
+    const auto& nx = gx->at(x);
+    const auto& ny = gy->at(y);
+
+    // Fast path: both sides are canonical single-element lists.
+    auto lx = mtype::match_list_shape(*gx, x);
+    auto ly = mtype::match_list_shape(*gy, y);
+    if (lx && ly && lx->size() == 1 && ly->size() == 1) {
+      PlanNode placeholder;
+      placeholder.kind = PKind::ListMap;
+      placeholder.note = nx.name.empty() ? ny.name : nx.name;
+      PlanRef self = plan_.add(std::move(placeholder));
+      trail_.emplace(key, self);
+      trail_stack_.push_back(key);
+
+      TrailSaver saver(*this);
+      PlanRef elem = visit(gx, (*lx)[0], gy, (*ly)[0], depth + 1);
+      if (elem == plan::kNullPlan) {
+        saver.rollback();
+        trail_.erase(key);
+        std::erase(trail_stack_, key);
+        note_mismatch(gx, x, gy, y, depth, "list element mismatch");
+        return plan::kNullPlan;
+      }
+      plan_.at_mut(self).inner = elem;
+      return self;
+    }
+
+    // General unfolding with a knot-tying alias.
+    PlanNode alias;
+    alias.kind = PKind::Alias;
+    alias.note = nx.name.empty() ? ny.name : nx.name;
+    PlanRef self = plan_.add(std::move(alias));
+    trail_.emplace(key, self);
+    trail_stack_.push_back(key);
+
+    Ref ux = nx.kind == MKind::Rec && nx.body() != mtype::kNullRef ? nx.body() : x;
+    Ref uy = ny.kind == MKind::Rec && ny.body() != mtype::kNullRef ? ny.body() : y;
+
+    TrailSaver saver(*this);
+    PlanRef body = visit(gx, ux, gy, uy, depth + 1);
+    if (body == plan::kNullPlan) {
+      saver.rollback();
+      trail_.erase(key);
+      std::erase(trail_stack_, key);
+      return plan::kNullPlan;
+    }
+    plan_.at_mut(self).inner = body;
+    return self;
+  }
+
+  PlanRef visit_extract(const Graph* gx, Ref x, const Graph* gy, Ref y,
+                        int depth) {
+    auto flat = flat_record(*gx, x);
+    if (flat.size() != 1) {
+      note_mismatch(gx, x, gy, y, depth,
+                    "record does not reduce to a single component");
+      return plan::kNullPlan;
+    }
+    TrailSaver saver(*this);
+    PlanRef inner = visit(gx, flat[0].ref, gy, y, depth + 1);
+    if (inner == plan::kNullPlan) {
+      saver.rollback();
+      return plan::kNullPlan;
+    }
+    PlanNode n;
+    n.kind = PKind::Extract;
+    n.fields.push_back(FieldMove{flat[0].path, {}, inner});
+    return plan_.add(std::move(n));
+  }
+
+  PlanRef visit_wrap(const Graph* gx, Ref x, const Graph* gy, Ref y, int depth) {
+    auto flat = flat_record(*gy, y);
+    if (flat.size() != 1) {
+      note_mismatch(gx, x, gy, y, depth,
+                    "record does not reduce to a single component");
+      return plan::kNullPlan;
+    }
+    TrailSaver saver(*this);
+    PlanRef inner = visit(gx, x, gy, flat[0].ref, depth + 1);
+    if (inner == plan::kNullPlan) {
+      saver.rollback();
+      return plan::kNullPlan;
+    }
+    PlanNode n;
+    n.kind = PKind::RecordMap;
+    n.fields.push_back(FieldMove{{}, flat[0].path, inner});
+    uint32_t counter = 0;
+    n.dst_shape = build_shape(*gy, y, counter);
+    return plan_.add(std::move(n));
+  }
+
+  PlanRef visit_record(const Graph* gx, Ref x, const Graph* gy, Ref y,
+                       int depth) {
+    // Direct-first strategy: when both sides have the same top-level arity,
+    // try matching direct children before flattening. Any direct match is a
+    // valid plan, and — crucially — it preserves DAG sharing: flattening a
+    // graph with shared sub-records expands it into an exponentially larger
+    // tree (paper §5's "highly inter-related classes"). The associative
+    // rule still applies in full on the fallback path.
+    if (opts_.associative) {
+      const auto& nx = gx->at(x);
+      const auto& ny = gy->at(y);
+      bool x_nested = false, y_nested = false;
+      for (Ref c : nx.children) {
+        x_nested |= gx->at(c).kind == MKind::Record;
+      }
+      for (Ref c : ny.children) {
+        y_nested |= gy->at(c).kind == MKind::Record;
+      }
+      if ((x_nested || y_nested) && nx.children.size() == ny.children.size()) {
+        TrailSaver saver(*this);
+        Mismatch saved_best = best_;
+        PlanRef direct = match_record_lists(gx, x, gy, y, depth,
+                                            direct_children(*gx, x),
+                                            direct_children(*gy, y),
+                                            /*flattened=*/false);
+        if (direct != plan::kNullPlan) return direct;
+        saver.rollback();
+        best_ = saved_best;  // the fallback may still succeed
+      } else if (!x_nested && !y_nested) {
+        // No nesting on either side: flattening is the identity.
+        return match_record_lists(gx, x, gy, y, depth, direct_children(*gx, x),
+                                  direct_children(*gy, y),
+                                  /*flattened=*/false);
+      }
+    }
+    return match_record_lists(gx, x, gy, y, depth, flat_record(*gx, x),
+                              flat_record(*gy, y), /*flattened=*/true);
+  }
+
+  std::vector<FlatChild> direct_children(const Graph& g, Ref r) const {
+    std::vector<FlatChild> out;
+    const auto& n = g.at(r);
+    for (uint32_t i = 0; i < n.children.size(); ++i) {
+      if (opts_.unit_elimination && g.at(n.children[i]).kind == MKind::Unit) {
+        continue;
+      }
+      out.push_back({n.children[i], Path{i}});
+    }
+    return out;
+  }
+
+  PlanRef match_record_lists(const Graph* gx, Ref x, const Graph* gy, Ref y,
+                             int depth, std::vector<FlatChild> fx,
+                             std::vector<FlatChild> fy, bool flattened) {
+    if (fx.size() != fy.size()) {
+      note_mismatch(gx, x, gy, y, depth,
+                    "record arity mismatch: " + std::to_string(fx.size()) +
+                        " vs " + std::to_string(fy.size()));
+      return plan::kNullPlan;
+    }
+    const size_t n = fx.size();
+    std::vector<FieldMove> moves(n);
+    std::vector<bool> used(n, false);
+
+    // Candidate lists per left child, pruned by structure hash.
+    std::vector<std::vector<uint32_t>> cand(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (!opts_.commutative && j != i) continue;
+        if (pruning() &&
+            hash_of(gx, fx[i].ref) != hash_of(gy, fy[j].ref)) {
+          continue;
+        }
+        cand[i].push_back(j);
+      }
+      if (cand[i].empty()) {
+        note_mismatch(gx, fx[i].ref, gy, y, depth,
+                      "no structural counterpart for record component");
+        return plan::kNullPlan;
+      }
+    }
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return cand[a].size() < cand[b].size();
+    });
+
+    if (!assign(gx, fx, gy, fy, cand, order, used, moves, 0, depth)) {
+      note_mismatch(gx, x, gy, y, depth, "no permutation of record components matches");
+      return plan::kNullPlan;
+    }
+
+    PlanNode node;
+    node.kind = PKind::RecordMap;
+    node.note = gx->at(x).name.empty() ? gy->at(y).name : gx->at(x).name;
+    // Reorder moves so fields[k] is the k-th *target* leaf (flat order),
+    // matching the leaf indices assigned by build_shape.
+    std::vector<FieldMove> by_target(n);
+    for (size_t i = 0; i < n; ++i) {
+      // moves[i] holds dst_path fy[j].path; find j by path equality.
+      for (size_t j = 0; j < n; ++j) {
+        if (fy[j].path == moves[i].dst_path) {
+          by_target[j] = moves[i];
+          break;
+        }
+      }
+    }
+    node.fields = std::move(by_target);
+    uint32_t counter = 0;
+    node.dst_shape = flattened ? build_shape(*gy, y, counter)
+                               : build_direct_shape(*gy, y);
+    return plan_.add(std::move(node));
+  }
+
+  bool assign(const Graph* gx, const std::vector<FlatChild>& fx, const Graph* gy,
+              const std::vector<FlatChild>& fy,
+              const std::vector<std::vector<uint32_t>>& cand,
+              const std::vector<uint32_t>& order, std::vector<bool>& used,
+              std::vector<FieldMove>& moves, size_t k, int depth) {
+    if (k == fx.size()) return true;
+    uint32_t i = order[k];
+    for (uint32_t j : cand[i]) {
+      if (used[j]) continue;
+      TrailSaver saver(*this);
+      PlanRef op = visit(gx, fx[i].ref, gy, fy[j].ref, depth + 1);
+      if (op != plan::kNullPlan) {
+        moves[i] = FieldMove{fx[i].path, fy[j].path, op};
+        used[j] = true;
+        if (assign(gx, fx, gy, fy, cand, order, used, moves, k + 1, depth)) {
+          return true;
+        }
+        used[j] = false;
+      }
+      saver.rollback();
+    }
+    return false;
+  }
+
+  PlanRef visit_choice(const Graph* gx, Ref x, const Graph* gy, Ref y,
+                       int depth) {
+    auto fx = flat_choice(*gx, x);
+    auto fy = flat_choice(*gy, y);
+    if (opts_.mode == Mode::Equivalence && fx.size() != fy.size()) {
+      note_mismatch(gx, x, gy, y, depth,
+                    "choice arity mismatch: " + std::to_string(fx.size()) +
+                        " vs " + std::to_string(fy.size()));
+      return plan::kNullPlan;
+    }
+    if (opts_.mode == Mode::Subtype && fx.size() > fy.size()) {
+      note_mismatch(gx, x, gy, y, depth,
+                    "subtype choice has more alternatives than supertype");
+      return plan::kNullPlan;
+    }
+
+    const size_t n = fx.size();
+    std::vector<ArmMove> arms(n);
+    std::vector<bool> used(fy.size(), false);
+    std::vector<std::vector<uint32_t>> cand(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < fy.size(); ++j) {
+        if (!opts_.commutative && j != i) continue;
+        if (pruning() &&
+            hash_of(gx, fx[i].ref) != hash_of(gy, fy[j].ref)) {
+          continue;
+        }
+        cand[i].push_back(j);
+      }
+      if (cand[i].empty()) {
+        note_mismatch(gx, fx[i].ref, gy, y, depth,
+                      "no counterpart for choice alternative");
+        return plan::kNullPlan;
+      }
+    }
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return cand[a].size() < cand[b].size();
+    });
+
+    // For equivalence arms must be a bijection (used[] enforced); for
+    // subtype two source arms may share a target arm.
+    bool injective = opts_.mode == Mode::Equivalence;
+    if (!assign_arms(gx, fx, gy, fy, cand, order, used, arms, 0, depth,
+                     injective)) {
+      note_mismatch(gx, x, gy, y, depth, "no matching of choice alternatives");
+      return plan::kNullPlan;
+    }
+
+    PlanNode node;
+    node.kind = PKind::ChoiceMap;
+    node.note = gx->at(x).name.empty() ? gy->at(y).name : gx->at(x).name;
+    node.arms = std::move(arms);
+    return plan_.add(std::move(node));
+  }
+
+  bool assign_arms(const Graph* gx, const std::vector<FlatChild>& fx,
+                   const Graph* gy, const std::vector<FlatChild>& fy,
+                   const std::vector<std::vector<uint32_t>>& cand,
+                   const std::vector<uint32_t>& order, std::vector<bool>& used,
+                   std::vector<ArmMove>& arms, size_t k, int depth,
+                   bool injective) {
+    if (k == fx.size()) return true;
+    uint32_t i = order[k];
+    for (uint32_t j : cand[i]) {
+      if (injective && used[j]) continue;
+      TrailSaver saver(*this);
+      PlanRef op = visit(gx, fx[i].ref, gy, fy[j].ref, depth + 1);
+      if (op != plan::kNullPlan) {
+        arms[i] = ArmMove{fx[i].path, fy[j].path, op};
+        if (injective) used[j] = true;
+        if (assign_arms(gx, fx, gy, fy, cand, order, used, arms, k + 1, depth,
+                        injective)) {
+          return true;
+        }
+        if (injective) used[j] = false;
+      }
+      saver.rollback();
+    }
+    return false;
+  }
+
+  const Graph& ga_;
+  const Graph& gb_;
+  Options opts_;
+  plan::PlanGraph plan_;
+  std::map<Key, PlanRef> trail_;
+  std::vector<Key> trail_stack_;
+  std::vector<uint64_t> hash_a_, hash_b_;
+  Mismatch best_;
+  size_t steps_ = 0;
+
+  friend struct TrailSaver;
+};
+
+std::string Mismatch::to_string() const {
+  if (!valid) return "(no mismatch recorded)";
+  return reason + "\n  left:  " + left + "\n  right: " + right;
+}
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Equivalent: return "equivalent";
+    case Verdict::LeftSubtype: return "left-subtype-of-right";
+    case Verdict::RightSubtype: return "right-subtype-of-left";
+    case Verdict::Mismatch: return "mismatch";
+  }
+  return "?";
+}
+
+Result compare(const mtype::Graph& ga, mtype::Ref a, const mtype::Graph& gb,
+               mtype::Ref b, const Options& options) {
+  Cmp cmp(ga, gb, options);
+  return cmp.run(a, b);
+}
+
+struct Session::Impl {
+  Cmp cmp;
+  Impl(const mtype::Graph& ga, const mtype::Graph& gb, const Options& opts)
+      : cmp(ga, gb, opts) {}
+};
+
+Session::Session(const mtype::Graph& ga, const mtype::Graph& gb, Options options)
+    : impl_(std::make_unique<Impl>(ga, gb, options)) {}
+
+Session::~Session() = default;
+
+Session::SessionResult Session::compare(mtype::Ref a, mtype::Ref b) {
+  return impl_->cmp.run_shared(a, b);
+}
+
+const plan::PlanGraph& Session::plans() const {
+  return impl_->cmp.shared_plans();
+}
+
+FullResult compare_full(const mtype::Graph& ga, mtype::Ref a,
+                        const mtype::Graph& gb, mtype::Ref b, Options options) {
+  FullResult out;
+  options.mode = Mode::Equivalence;
+  Result eq = compare(ga, a, gb, b, options);
+  if (eq.ok) {
+    out.verdict = Verdict::Equivalent;
+    out.to_right = std::move(eq);
+    // Equivalence is symmetric: build the reverse plan too.
+    out.to_left = compare(gb, b, ga, a, options);
+    return out;
+  }
+  options.mode = Mode::Subtype;
+  Result sub_ab = compare(ga, a, gb, b, options);
+  if (sub_ab.ok) {
+    out.verdict = Verdict::LeftSubtype;
+    out.to_right = std::move(sub_ab);
+    return out;
+  }
+  Result sub_ba = compare(gb, b, ga, a, options);
+  if (sub_ba.ok) {
+    out.verdict = Verdict::RightSubtype;
+    out.to_left = std::move(sub_ba);
+    return out;
+  }
+  out.verdict = Verdict::Mismatch;
+  out.to_right = std::move(eq);  // carries the equivalence mismatch report
+  return out;
+}
+
+}  // namespace mbird::compare

@@ -1,0 +1,147 @@
+// The Comparer (paper §3, §4).
+//
+// Decides whether two Mtypes are equivalent, or one a subtype of the other,
+// using a coinductive algorithm in the style of Amadio–Cardelli (recursive
+// types compare under a trail of assumed-equal pairs) extended with
+// isomorphism rules:
+//   * associativity  — Record(Int, Record(Real, Char)) ~ Record(Int, Real, Char)
+//   * commutativity  — Record(Char, Real, Int) ~ Record(Int, Real, Char)
+//     (likewise for Choice)
+//   * unit elimination (optional) — Record(tau, Unit) ~ tau
+// Each rule can be toggled independently (the isomorphism-ablation bench
+// measures their cost).
+//
+// On success the Comparer emits the coercion plan converting left-shaped
+// values to right-shaped values (see src/plan). On failure it reports the
+// deepest mismatching pair, for the iterative annotate-compare loop of
+// paper Fig. 6.
+//
+// Subtyping (paper §3.1-3.3): integer ranges by inclusion, character
+// repertoires by inclusion, reals by precision, records pointwise, choices
+// by arm inclusion, ports contravariantly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mtype/mtype.hpp"
+#include "plan/plan.hpp"
+
+namespace mbird::compare {
+
+enum class Mode : uint8_t {
+  Equivalence,  // two-way convertible
+  Subtype,      // left <= right: one-way convertible left -> right
+};
+
+struct Options {
+  Mode mode = Mode::Equivalence;
+  bool commutative = true;
+  bool associative = true;
+  bool unit_elimination = false;
+  /// Bucket record/choice children by structure hash before backtracking.
+  /// Only sound for equivalence (hashes encode exact ranges); ignored in
+  /// subtype mode.
+  bool use_hash_prune = true;
+  /// Backtracking budget; exceeding it fails the comparison (reported as a
+  /// budget mismatch, never as a false "equivalent").
+  size_t max_steps = 10'000'000;
+
+  /// Precomputed structure hashes for the two graphs (tool sessions that
+  /// run many comparisons against the same graphs avoid re-hashing; see
+  /// HashCache). Must have been computed with the same unit_elimination
+  /// setting and cover the full graphs; ignored otherwise.
+  const std::vector<uint64_t>* left_hashes = nullptr;
+  const std::vector<uint64_t>* right_hashes = nullptr;
+};
+
+/// Convenience holder for per-graph hash reuse across comparisons. Call
+/// refresh() after the graph grows (e.g. more declarations lowered into it).
+class HashCache {
+ public:
+  explicit HashCache(const mtype::Graph& g, bool unit_elimination = false)
+      : graph_(g), unit_elimination_(unit_elimination) {}
+
+  const std::vector<uint64_t>* get() {
+    if (hashes_.size() != graph_.size()) {
+      hashes_ = mtype::structure_hashes(graph_, unit_elimination_);
+    }
+    return &hashes_;
+  }
+
+ private:
+  const mtype::Graph& graph_;
+  bool unit_elimination_;
+  std::vector<uint64_t> hashes_;
+};
+
+struct Mismatch {
+  bool valid = false;
+  int depth = -1;
+  std::string left;    // printed Mtype fragment on the left side
+  std::string right;   // printed Mtype fragment on the right side
+  std::string reason;  // why they failed to match
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Result {
+  bool ok = false;
+  plan::PlanGraph plan;
+  plan::PlanRef root = plan::kNullPlan;
+  Mismatch mismatch;   // valid when !ok
+  size_t steps = 0;    // visit count (ablation benches report this)
+};
+
+/// Compare `a` (in `ga`) against `b` (in `gb`).
+[[nodiscard]] Result compare(const mtype::Graph& ga, mtype::Ref a,
+                             const mtype::Graph& gb, mtype::Ref b,
+                             const Options& options = {});
+
+/// A comparison session over two (stable) graphs: successful pair proofs
+/// and emitted plan fragments persist across compare() calls, so a batch
+/// of comparisons over highly inter-related declarations (the paper's §5
+/// VisualAge workload) costs each shared pair once, not once per root.
+/// All returned plan refs index the shared plans() graph.
+class Session {
+ public:
+  Session(const mtype::Graph& ga, const mtype::Graph& gb, Options options = {});
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  struct SessionResult {
+    bool ok = false;
+    plan::PlanRef root = plan::kNullPlan;
+    Mismatch mismatch;
+    size_t steps = 0;  // steps spent on THIS call
+  };
+
+  [[nodiscard]] SessionResult compare(mtype::Ref a, mtype::Ref b);
+  [[nodiscard]] const plan::PlanGraph& plans() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The full two-step protocol the tool runs (paper Fig. 6): try
+/// equivalence; failing that, try subtype both ways. `verdict` describes
+/// what held.
+enum class Verdict : uint8_t { Equivalent, LeftSubtype, RightSubtype, Mismatch };
+[[nodiscard]] const char* to_string(Verdict v);
+
+struct FullResult {
+  Verdict verdict = Verdict::Mismatch;
+  /// Plan converting left -> right. Valid for Equivalent and LeftSubtype.
+  Result to_right;
+  /// Plan converting right -> left. Valid for Equivalent and RightSubtype.
+  Result to_left;
+};
+[[nodiscard]] FullResult compare_full(const mtype::Graph& ga, mtype::Ref a,
+                                      const mtype::Graph& gb, mtype::Ref b,
+                                      Options options = {});
+
+}  // namespace mbird::compare

@@ -1,0 +1,463 @@
+#include "idl/idlparser.hpp"
+
+#include <set>
+
+#include "lex/lexer.hpp"
+
+namespace mbird::idl {
+
+using lex::Kind;
+using lex::Token;
+using lex::TokenStream;
+using stype::AggKind;
+using stype::Direction;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+namespace {
+
+const std::set<std::string>& idl_keywords() {
+  static const std::set<std::string> kw = {
+      "module",   "interface", "struct",  "union",    "switch",  "case",
+      "default",  "enum",      "typedef", "sequence", "string",  "wstring",
+      "exception", "attribute", "readonly", "oneway", "raises",  "context",
+      "const",    "in",        "out",     "inout",    "void",    "boolean",
+      "char",     "wchar",     "octet",   "short",    "long",    "unsigned",
+      "float",    "double",    "any",     "Object",   "fixed",   "TRUE",
+      "FALSE",
+  };
+  return kw;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string file, DiagnosticEngine& diags)
+      : module_(stype::Lang::Idl, file),
+        diags_(diags),
+        ts_(lex::Lexer(source, std::move(file), idl_keywords(), diags).tokenize(),
+            diags) {}
+
+  Module take() {
+    while (!ts_.at_end() && !give_up_) parse_definition();
+    return std::move(module_);
+  }
+
+ private:
+  /// Declare under both the qualified and (if new) the simple name.
+  void declare_scoped(const std::string& simple, Stype* node) {
+    std::string qualified = scope_.empty() ? simple : scope_ + "::" + simple;
+    module_.declare(qualified, node);
+    if (qualified != simple && module_.find(simple) == nullptr) {
+      module_.declare(simple, node);
+    }
+  }
+
+  // ---- type specifiers ----------------------------------------------------
+
+  Stype* parse_type_spec() {
+    const Token& t = ts_.peek();
+    if (t.kind == Kind::Keyword) {
+      if (t.text == "sequence") {
+        ts_.advance();
+        ts_.expect_punct("<");
+        Stype* elem = parse_type_spec();
+        if (ts_.accept_punct(",")) {
+          if (ts_.peek().kind == Kind::IntLit) {
+            ts_.advance();  // bound accepted, ignored (structural typing)
+          } else {
+            ts_.error_here("expected sequence bound");
+          }
+        }
+        ts_.expect_close_angle();
+        Stype* s = module_.make(stype::Kind::Sequence);
+        s->elem = elem;
+        s->loc = t.loc;
+        return s;
+      }
+      if (t.text == "string" || t.text == "wstring") {
+        ts_.advance();
+        if (ts_.accept_punct("<")) {
+          if (ts_.peek().kind == Kind::IntLit) ts_.advance();
+          ts_.expect_close_angle();
+        }
+        Stype* s = module_.make(stype::Kind::Sequence);
+        s->elem = module_.make_prim(t.text == "string" ? Prim::Char8 : Prim::Char16);
+        s->loc = t.loc;
+        return s;
+      }
+      if (t.text == "struct" || t.text == "union" || t.text == "enum" ||
+          t.text == "interface" || t.text == "exception") {
+        return parse_constructed();
+      }
+      return parse_base_type();
+    }
+    if (t.is_ident()) {
+      std::string name = ts_.advance().text;
+      while (ts_.accept_punct("::")) {
+        name += "::" + ts_.expect_ident("scoped name component");
+      }
+      Stype* named = module_.make_named(name);
+      named->loc = t.loc;
+      return named;
+    }
+    ts_.error_here("expected a type specifier");
+    give_up_ = true;
+    return module_.make_prim(Prim::Void);
+  }
+
+  Stype* parse_base_type() {
+    const Token& t = ts_.advance();
+    SourceLoc loc = t.loc;
+    Prim p = Prim::Void;
+    if (t.text == "void") p = Prim::Void;
+    else if (t.text == "boolean") p = Prim::Bool;
+    else if (t.text == "char") p = Prim::Char8;
+    else if (t.text == "wchar") p = Prim::Char16;
+    else if (t.text == "octet") p = Prim::U8;
+    else if (t.text == "float") p = Prim::F32;
+    else if (t.text == "double") p = Prim::F64;
+    else if (t.text == "short") p = Prim::I16;
+    else if (t.text == "long") {
+      if (ts_.accept_keyword("long")) p = Prim::I64;
+      else if (ts_.accept_keyword("double")) p = Prim::F64;
+      else p = Prim::I32;
+    } else if (t.text == "unsigned") {
+      if (ts_.accept_keyword("short")) p = Prim::U16;
+      else if (ts_.accept_keyword("long")) {
+        p = ts_.accept_keyword("long") ? Prim::U64 : Prim::U32;
+      } else {
+        ts_.error_here("expected short/long after unsigned");
+        p = Prim::U32;
+      }
+    } else if (t.text == "any" || t.text == "Object") {
+      // CORBA any / Object: modelled as a reference to an unconstrained
+      // object (paper §6 lists full Any support as future work).
+      Stype* ref = module_.make(stype::Kind::Reference);
+      ref->elem = module_.make_prim(Prim::Void);
+      ref->loc = loc;
+      return ref;
+    } else {
+      diags_.error(loc, "unsupported IDL base type '" + t.text + "'");
+      give_up_ = true;
+    }
+    Stype* s = module_.make_prim(p);
+    s->loc = loc;
+    return s;
+  }
+
+  // ---- constructed types ----------------------------------------------------
+
+  Stype* parse_constructed() {
+    const Token& kw = ts_.peek();
+    if (kw.text == "struct" || kw.text == "exception") return parse_struct();
+    if (kw.text == "union") return parse_union();
+    if (kw.text == "enum") return parse_enum();
+    if (kw.text == "interface") return parse_interface();
+    ts_.error_here("expected constructed type");
+    give_up_ = true;
+    return module_.make_prim(Prim::Void);
+  }
+
+  Stype* parse_struct() {
+    const Token& kw = ts_.advance();  // struct | exception
+    std::string name = ts_.expect_ident("struct name");
+    if (!ts_.peek().is_punct("{")) return module_.make_named(name);
+
+    Stype* s = module_.make(stype::Kind::Aggregate);
+    s->agg_kind = AggKind::Struct;
+    s->name = name;
+    s->loc = kw.loc;
+    // IDL structs are value types.
+    s->ann.by_value = true;
+
+    ts_.expect_punct("{");
+    while (!ts_.peek().is_punct("}") && !ts_.at_end() && !give_up_) {
+      Stype* type = parse_type_spec();
+      do {
+        auto [field_name, field_type] = parse_declarator(type);
+        s->fields.push_back({field_name, field_type, ts_.peek().loc, false, false});
+      } while (ts_.accept_punct(","));
+      ts_.expect_punct(";");
+    }
+    ts_.expect_punct("}");
+    declare_scoped(name, s);
+    return module_.make_named(name);
+  }
+
+  Stype* parse_union() {
+    const Token& kw = ts_.advance();  // union
+    std::string name = ts_.expect_ident("union name");
+    ts_.expect_keyword("switch");
+    ts_.expect_punct("(");
+    parse_type_spec();  // discriminator type: structurally implied by arms
+    ts_.expect_punct(")");
+
+    Stype* u = module_.make(stype::Kind::Aggregate);
+    u->agg_kind = AggKind::Union;
+    u->name = name;
+    u->loc = kw.loc;
+    u->ann.by_value = true;
+
+    ts_.expect_punct("{");
+    while (!ts_.peek().is_punct("}") && !ts_.at_end() && !give_up_) {
+      // One or more case labels / default, then one element spec.
+      bool saw_label = false;
+      for (;;) {
+        if (ts_.accept_keyword("case")) {
+          // Label expression: an identifier, integer, char, or boolean.
+          const Token& lbl = ts_.advance();
+          (void)lbl;
+          ts_.expect_punct(":");
+          saw_label = true;
+        } else if (ts_.accept_keyword("default")) {
+          ts_.expect_punct(":");
+          saw_label = true;
+        } else {
+          break;
+        }
+      }
+      if (!saw_label) {
+        ts_.error_here("expected case label in union");
+        give_up_ = true;
+        break;
+      }
+      Stype* type = parse_type_spec();
+      auto [arm_name, arm_type] = parse_declarator(type);
+      u->fields.push_back({arm_name, arm_type, ts_.peek().loc, false, false});
+      ts_.expect_punct(";");
+    }
+    ts_.expect_punct("}");
+    declare_scoped(name, u);
+    return module_.make_named(name);
+  }
+
+  Stype* parse_enum() {
+    const Token& kw = ts_.advance();
+    std::string name = ts_.expect_ident("enum name");
+    Stype* e = module_.make(stype::Kind::Enum);
+    e->name = name;
+    e->loc = kw.loc;
+    ts_.expect_punct("{");
+    Int128 next = 0;
+    while (!ts_.peek().is_punct("}") && !ts_.at_end()) {
+      std::string en = ts_.expect_ident("enumerator");
+      if (en.empty()) break;
+      e->enumerators.push_back({en, next});
+      next = next + 1;
+      if (!ts_.accept_punct(",")) break;
+    }
+    ts_.expect_punct("}");
+    declare_scoped(name, e);
+    return module_.make_named(name);
+  }
+
+  Stype* parse_interface() {
+    const Token& kw = ts_.advance();
+    std::string name = ts_.expect_ident("interface name");
+    if (!ts_.peek().is_punct("{") && !ts_.peek().is_punct(":")) {
+      return module_.make_named(name);  // forward declaration / reference
+    }
+
+    Stype* itf = module_.make(stype::Kind::Aggregate);
+    itf->agg_kind = AggKind::Interface;
+    itf->name = name;
+    itf->loc = kw.loc;
+
+    if (ts_.accept_punct(":")) {
+      do {
+        std::string base = ts_.expect_ident("base interface");
+        while (ts_.accept_punct("::")) {
+          base += "::" + ts_.expect_ident("scoped base name");
+        }
+        itf->bases.push_back(base);
+      } while (ts_.accept_punct(","));
+    }
+
+    ts_.expect_punct("{");
+    std::string saved_scope = scope_;
+    scope_ = scope_.empty() ? name : scope_ + "::" + name;
+    while (!ts_.peek().is_punct("}") && !ts_.at_end() && !give_up_) {
+      parse_interface_member(itf);
+    }
+    scope_ = saved_scope;
+    ts_.expect_punct("}");
+    declare_scoped(name, itf);
+    return module_.make_named(name);
+  }
+
+  void parse_interface_member(Stype* itf) {
+    if (ts_.accept_punct(";")) return;
+    const Token& t = ts_.peek();
+
+    if (t.is_keyword("typedef")) {
+      parse_typedef();
+      return;
+    }
+    if (t.is_keyword("struct") || t.is_keyword("union") || t.is_keyword("enum") ||
+        t.is_keyword("exception")) {
+      parse_constructed();
+      ts_.expect_punct(";");
+      return;
+    }
+    if (t.is_keyword("const")) {
+      skip_to_semicolon();
+      return;
+    }
+    if (t.is_keyword("readonly") || t.is_keyword("attribute")) {
+      ts_.accept_keyword("readonly");
+      ts_.expect_keyword("attribute");
+      Stype* type = parse_type_spec();
+      do {
+        std::string fname = ts_.expect_ident("attribute name");
+        itf->fields.push_back({fname, type, ts_.peek().loc, false, false});
+      } while (ts_.accept_punct(","));
+      ts_.expect_punct(";");
+      return;
+    }
+
+    // Operation: [oneway] type name(params) [raises(...)] [context(...)];
+    ts_.accept_keyword("oneway");
+    Stype* ret = parse_type_spec();
+    std::string opname = ts_.expect_ident("operation name");
+    Stype* fn = module_.make(stype::Kind::Function);
+    fn->name = opname;
+    fn->ret = ret;
+    fn->loc = ts_.peek().loc;
+
+    ts_.expect_punct("(");
+    if (!ts_.accept_punct(")")) {
+      do {
+        Direction dir = Direction::In;
+        if (ts_.accept_keyword("in")) dir = Direction::In;
+        else if (ts_.accept_keyword("out")) dir = Direction::Out;
+        else if (ts_.accept_keyword("inout")) dir = Direction::InOut;
+        else ts_.error_here("expected parameter direction (in/out/inout)");
+        Stype* ptype = parse_type_spec();
+        std::string pname = ts_.expect_ident("parameter name");
+        ptype->ann.direction = dir;
+        fn->params.push_back({pname, ptype, ts_.peek().loc});
+      } while (ts_.accept_punct(","));
+      ts_.expect_punct(")");
+    }
+    if (ts_.accept_keyword("raises")) {
+      ts_.expect_punct("(");
+      do {
+        std::string exc = ts_.expect_ident("exception name");
+        while (ts_.accept_punct("::")) {
+          exc += "::" + ts_.expect_ident("scoped exception name");
+        }
+        if (!exc.empty()) fn->throws_list.push_back(exc);
+      } while (ts_.accept_punct(","));
+      ts_.expect_punct(")");
+    }
+    if (ts_.accept_keyword("context")) skip_parens();
+    ts_.expect_punct(";");
+    itf->methods.push_back(fn);
+  }
+
+  // ---- declarators (IDL allows array declarators on names) -----------------
+
+  std::pair<std::string, Stype*> parse_declarator(Stype* base) {
+    std::string name = ts_.expect_ident("declarator name");
+    Stype* type = base;
+    std::vector<uint64_t> dims;
+    while (ts_.accept_punct("[")) {
+      if (ts_.peek().kind == Kind::IntLit) {
+        dims.push_back(static_cast<uint64_t>(ts_.advance().int_value));
+      } else {
+        ts_.error_here("IDL array dimensions must be fixed integers");
+        give_up_ = true;
+      }
+      ts_.expect_punct("]");
+    }
+    for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+      Stype* a = module_.make(stype::Kind::Array);
+      a->elem = type;
+      a->array_size = *it;
+      type = a;
+    }
+    return {name, type};
+  }
+
+  void parse_typedef() {
+    ts_.expect_keyword("typedef");
+    Stype* base = parse_type_spec();
+    do {
+      auto [name, type] = parse_declarator(base);
+      Stype* td = module_.make(stype::Kind::Typedef);
+      td->name = name;
+      td->elem = type;
+      declare_scoped(name, td);
+    } while (ts_.accept_punct(","));
+    ts_.expect_punct(";");
+  }
+
+  // ---- top level -----------------------------------------------------------
+
+  void parse_definition() {
+    if (ts_.accept_punct(";")) return;
+    const Token& t = ts_.peek();
+    if (t.is_keyword("module")) {
+      ts_.advance();
+      std::string name = ts_.expect_ident("module name");
+      std::string saved = scope_;
+      scope_ = scope_.empty() ? name : scope_ + "::" + name;
+      ts_.expect_punct("{");
+      while (!ts_.peek().is_punct("}") && !ts_.at_end() && !give_up_) {
+        parse_definition();
+      }
+      ts_.expect_punct("}");
+      ts_.accept_punct(";");
+      scope_ = saved;
+      return;
+    }
+    if (t.is_keyword("typedef")) {
+      parse_typedef();
+      return;
+    }
+    if (t.is_keyword("struct") || t.is_keyword("union") || t.is_keyword("enum") ||
+        t.is_keyword("interface") || t.is_keyword("exception")) {
+      parse_constructed();
+      ts_.accept_punct(";");
+      return;
+    }
+    if (t.is_keyword("const")) {
+      skip_to_semicolon();
+      return;
+    }
+    ts_.error_here("expected an IDL definition");
+    give_up_ = true;
+  }
+
+  void skip_to_semicolon() {
+    while (!ts_.at_end() && !ts_.peek().is_punct(";")) ts_.advance();
+    ts_.accept_punct(";");
+  }
+
+  void skip_parens() {
+    ts_.expect_punct("(");
+    int depth = 1;
+    while (!ts_.at_end() && depth > 0) {
+      const Token& t = ts_.advance();
+      if (t.is_punct("(")) ++depth;
+      if (t.is_punct(")")) --depth;
+    }
+  }
+
+  Module module_;
+  DiagnosticEngine& diags_;
+  TokenStream ts_;
+  std::string scope_;
+  bool give_up_ = false;
+};
+
+}  // namespace
+
+stype::Module parse_idl(std::string_view source, std::string file,
+                        DiagnosticEngine& diags) {
+  Parser p(source, std::move(file), diags);
+  return p.take();
+}
+
+}  // namespace mbird::idl

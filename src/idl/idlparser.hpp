@@ -1,0 +1,25 @@
+// CORBA IDL frontend (paper §1, §3: the IDL side of a declaration pair).
+//
+// Supports the CORBA 2.0 subset the paper exercises: modules, interfaces
+// (with inheritance, attributes, operations with in/out/inout parameters),
+// structs, discriminated unions, enums, typedefs (including array
+// declarators), sequences (bounded bounds are accepted and ignored),
+// strings/wstrings, exceptions, and constants.
+//
+// Names declared inside modules/interfaces are registered flat, qualified
+// as "Outer::Name" as well as under their simple name when unambiguous —
+// Mockingbird sessions address types by simple name.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::idl {
+
+[[nodiscard]] stype::Module parse_idl(std::string_view source, std::string file,
+                                      DiagnosticEngine& diags);
+
+}  // namespace mbird::idl

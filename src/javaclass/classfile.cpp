@@ -1,0 +1,434 @@
+#include "javaclass/classfile.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+
+namespace mbird::javaclass {
+
+using stype::AggKind;
+using stype::Kind;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+namespace {
+
+constexpr uint32_t kMagic = 0xCAFEBABE;
+constexpr uint16_t kAccPrivate = 0x0002;
+constexpr uint16_t kAccProtected = 0x0004;
+constexpr uint16_t kAccStatic = 0x0008;
+constexpr uint16_t kAccInterface = 0x0200;
+
+// ---- byte cursor ---------------------------------------------------------------
+
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+  uint8_t u1() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  uint16_t u2() { return static_cast<uint16_t>((u1() << 8) | u1()); }
+  uint32_t u4() {
+    uint32_t hi = u2();
+    return (hi << 16) | u2();
+  }
+  std::string utf8(size_t len) {
+    need(len);
+    std::string s(bytes_.begin() + static_cast<long>(pos_),
+                  bytes_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return s;
+  }
+  void skip(size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
+ private:
+  void need(size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      throw MbError("truncated class file at offset " + std::to_string(pos_));
+    }
+  }
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+struct ConstantPool {
+  // index -> utf8 text (only Utf8 entries), index -> name_index (Class).
+  std::map<uint16_t, std::string> utf8;
+  std::map<uint16_t, uint16_t> classes;
+
+  [[nodiscard]] std::string class_name(uint16_t index) const {
+    auto ci = classes.find(index);
+    if (ci == classes.end()) throw MbError("bad class constant index");
+    auto ui = utf8.find(ci->second);
+    if (ui == utf8.end()) throw MbError("bad class name index");
+    std::string name = ui->second;
+    for (char& c : name) {
+      if (c == '/') c = '.';
+    }
+    return name;
+  }
+  [[nodiscard]] const std::string& text(uint16_t index) const {
+    auto it = utf8.find(index);
+    if (it == utf8.end()) throw MbError("bad utf8 constant index");
+    return it->second;
+  }
+};
+
+ConstantPool read_constant_pool(Cursor& in) {
+  ConstantPool cp;
+  uint16_t count = in.u2();
+  for (uint16_t i = 1; i < count; ++i) {
+    uint8_t tag = in.u1();
+    switch (tag) {
+      case 1: {  // Utf8
+        uint16_t len = in.u2();
+        cp.utf8[i] = in.utf8(len);
+        break;
+      }
+      case 7: cp.classes[i] = in.u2(); break;             // Class
+      case 8: case 16: case 19: case 20: in.skip(2); break;  // String/MethodType/Module/Package
+      case 15: in.skip(3); break;                          // MethodHandle
+      case 3: case 4: in.skip(4); break;                   // Integer/Float
+      case 9: case 10: case 11: case 12: case 17: case 18:
+        in.skip(4);                                        // refs, NameAndType, Dynamic
+        break;
+      case 5: case 6:  // Long/Double take two pool slots
+        in.skip(8);
+        ++i;
+        break;
+      default:
+        throw MbError("unknown constant pool tag " + std::to_string(tag));
+    }
+  }
+  return cp;
+}
+
+// ---- descriptors -----------------------------------------------------------------
+
+/// Parse one type from a descriptor; advances `pos`.
+Stype* parse_descriptor_type(Module& module, const std::string& d, size_t& pos) {
+  if (pos >= d.size()) throw MbError("truncated descriptor: " + d);
+  char c = d[pos++];
+  switch (c) {
+    case 'B': return module.make_prim(Prim::I8);
+    case 'C': return module.make_prim(Prim::Char16);
+    case 'D': return module.make_prim(Prim::F64);
+    case 'F': return module.make_prim(Prim::F32);
+    case 'I': return module.make_prim(Prim::I32);
+    case 'J': return module.make_prim(Prim::I64);
+    case 'S': return module.make_prim(Prim::I16);
+    case 'Z': return module.make_prim(Prim::Bool);
+    case 'V': return module.make_prim(Prim::Void);
+    case '[': {
+      Stype* arr = module.make(Kind::Array);
+      arr->elem = parse_descriptor_type(module, d, pos);
+      return arr;
+    }
+    case 'L': {
+      size_t end = d.find(';', pos);
+      if (end == std::string::npos) throw MbError("unterminated class descriptor");
+      std::string name = d.substr(pos, end - pos);
+      pos = end + 1;
+      for (char& ch : name) {
+        if (ch == '/') ch = '.';
+      }
+      Stype* ref = module.make(Kind::Reference);
+      ref->elem = module.make_named(name);
+      return ref;
+    }
+    default: throw MbError(std::string("bad descriptor char '") + c + "'");
+  }
+}
+
+void skip_attributes(Cursor& in) {
+  uint16_t count = in.u2();
+  for (uint16_t i = 0; i < count; ++i) {
+    in.u2();  // name index
+    uint32_t len = in.u4();
+    in.skip(len);
+  }
+}
+
+}  // namespace
+
+std::string descriptor_of(const Module& module, Stype* type) {
+  if (type == nullptr) return "V";
+  switch (type->kind) {
+    case Kind::Prim:
+      switch (type->prim) {
+        case Prim::Void: return "V";
+        case Prim::Bool: return "Z";
+        case Prim::I8: return "B";
+        case Prim::Char16:
+        case Prim::Char8: return "C";
+        case Prim::I16: return "S";
+        case Prim::I32: return "I";
+        case Prim::I64: return "J";
+        case Prim::F32: return "F";
+        case Prim::F64: return "D";
+        default: throw MbError("primitive has no Java descriptor");
+      }
+    case Kind::Array:
+    case Kind::Sequence: return "[" + descriptor_of(module, type->elem);
+    case Kind::Reference: return descriptor_of(module, type->elem);
+    case Kind::Named: {
+      std::string name = type->name;
+      for (char& c : name) {
+        if (c == '.') c = '/';
+      }
+      return "L" + name + ";";
+    }
+    case Kind::Aggregate: {
+      std::string name = type->name;
+      for (char& c : name) {
+        if (c == '.') c = '/';
+      }
+      return "L" + name + ";";
+    }
+    default: throw MbError("type has no Java descriptor: " + stype::print_type(type));
+  }
+}
+
+std::string parse_class_into(Module& module, const std::vector<uint8_t>& bytes,
+                             DiagnosticEngine& diags) {
+  try {
+    Cursor in(bytes);
+    if (in.u4() != kMagic) {
+      diags.error({}, "bad class file magic");
+      return "";
+    }
+    in.u2();  // minor
+    in.u2();  // major
+    ConstantPool cp = read_constant_pool(in);
+
+    uint16_t access = in.u2();
+    uint16_t this_class = in.u2();
+    uint16_t super_class = in.u2();
+
+    Stype* cls = module.make(Kind::Aggregate);
+    cls->agg_kind =
+        (access & kAccInterface) != 0 ? AggKind::Interface : AggKind::Class;
+    std::string full = cp.class_name(this_class);
+    cls->name = full;
+
+    if (super_class != 0) {
+      std::string super = cp.class_name(super_class);
+      if (super != "java.lang.Object") cls->bases.push_back(super);
+    }
+    uint16_t itf_count = in.u2();
+    for (uint16_t i = 0; i < itf_count; ++i) {
+      cls->bases.push_back(cp.class_name(in.u2()));
+    }
+
+    uint16_t field_count = in.u2();
+    for (uint16_t i = 0; i < field_count; ++i) {
+      uint16_t facc = in.u2();
+      std::string name = cp.text(in.u2());
+      std::string desc = cp.text(in.u2());
+      skip_attributes(in);
+      size_t pos = 0;
+      stype::Field f;
+      f.name = name;
+      f.type = parse_descriptor_type(module, desc, pos);
+      f.is_static = (facc & kAccStatic) != 0;
+      f.is_private = (facc & (kAccPrivate | kAccProtected)) != 0;
+      cls->fields.push_back(std::move(f));
+    }
+
+    uint16_t method_count = in.u2();
+    for (uint16_t i = 0; i < method_count; ++i) {
+      uint16_t macc = in.u2();
+      std::string name = cp.text(in.u2());
+      std::string desc = cp.text(in.u2());
+      skip_attributes(in);
+      if (name == "<init>" || name == "<clinit>" || (macc & kAccStatic) != 0) {
+        continue;
+      }
+      if (desc.empty() || desc[0] != '(') {
+        diags.error({}, "bad method descriptor " + desc);
+        continue;
+      }
+      Stype* fn = module.make(Kind::Function);
+      fn->name = name;
+      size_t pos = 1;
+      int argn = 0;
+      while (pos < desc.size() && desc[pos] != ')') {
+        stype::Param p;
+        p.name = "arg" + std::to_string(argn++);
+        p.type = parse_descriptor_type(module, desc, pos);
+        fn->params.push_back(std::move(p));
+      }
+      if (pos >= desc.size()) {
+        diags.error({}, "unterminated method descriptor " + desc);
+        continue;
+      }
+      ++pos;  // ')'
+      fn->ret = parse_descriptor_type(module, desc, pos);
+      cls->methods.push_back(fn);
+    }
+    skip_attributes(in);
+
+    module.declare(full, cls);
+    // Also register the simple name for convenient addressing, when free.
+    auto last_dot = full.rfind('.');
+    if (last_dot != std::string::npos) {
+      std::string simple = full.substr(last_dot + 1);
+      if (module.find(simple) == nullptr) module.declare(simple, cls);
+    }
+    return full;
+  } catch (const MbError& e) {
+    diags.error({}, std::string("class file parse failed: ") + e.what());
+    return "";
+  }
+}
+
+Module parse_class_files(const std::vector<std::vector<uint8_t>>& files,
+                         std::string module_name, DiagnosticEngine& diags) {
+  Module m(stype::Lang::Java, std::move(module_name));
+  for (const auto& f : files) parse_class_into(m, f, diags);
+  return m;
+}
+
+// ---- writer ------------------------------------------------------------------------
+
+namespace {
+
+class Builder {
+ public:
+  void u1(uint8_t v) { out_.push_back(v); }
+  void u2(uint16_t v) {
+    u1(static_cast<uint8_t>(v >> 8));
+    u1(static_cast<uint8_t>(v));
+  }
+  void u4(uint32_t v) {
+    u2(static_cast<uint16_t>(v >> 16));
+    u2(static_cast<uint16_t>(v));
+  }
+  void bytes(const std::string& s) { out_.insert(out_.end(), s.begin(), s.end()); }
+  std::vector<uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+class PoolBuilder {
+ public:
+  uint16_t utf8(const std::string& s) {
+    auto it = utf8_ids_.find(s);
+    if (it != utf8_ids_.end()) return it->second;
+    entries_.push_back({1, s, 0});
+    uint16_t id = next_++;
+    utf8_ids_[s] = id;
+    return id;
+  }
+  uint16_t cls(const std::string& dotted) {
+    std::string internal = dotted;
+    for (char& c : internal) {
+      if (c == '.') c = '/';
+    }
+    auto it = class_ids_.find(internal);
+    if (it != class_ids_.end()) return it->second;
+    uint16_t name_id = utf8(internal);
+    entries_.push_back({7, "", name_id});
+    uint16_t id = next_++;
+    class_ids_[internal] = id;
+    return id;
+  }
+  void emit(Builder& b) const {
+    b.u2(next_);
+    for (const auto& e : entries_) {
+      b.u1(e.tag);
+      if (e.tag == 1) {
+        b.u2(static_cast<uint16_t>(e.text.size()));
+        b.bytes(e.text);
+      } else {
+        b.u2(e.ref);
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    uint8_t tag;
+    std::string text;
+    uint16_t ref;
+  };
+  std::vector<Entry> entries_;
+  std::map<std::string, uint16_t> utf8_ids_;
+  std::map<std::string, uint16_t> class_ids_;
+  uint16_t next_ = 1;
+};
+
+}  // namespace
+
+std::vector<uint8_t> emit_class_file(const Module& module, const Stype* decl,
+                                     DiagnosticEngine& diags) {
+  if (decl == nullptr || decl->kind != Kind::Aggregate) {
+    diags.error({}, "emit_class_file: not an aggregate declaration");
+    return {};
+  }
+  PoolBuilder pool;
+  uint16_t this_class = pool.cls(decl->name);
+  uint16_t super_class = pool.cls(
+      decl->bases.empty() ? "java.lang.Object" : decl->bases.front());
+  std::vector<uint16_t> interfaces;
+  for (size_t i = 1; i < decl->bases.size(); ++i) {
+    interfaces.push_back(pool.cls(decl->bases[i]));
+  }
+
+  struct Member {
+    uint16_t access, name, desc;
+  };
+  std::vector<Member> fields, methods;
+  for (const auto& f : decl->fields) {
+    uint16_t access = (f.is_private ? kAccPrivate : 0) |
+                      (f.is_static ? kAccStatic : 0);
+    fields.push_back({access, pool.utf8(f.name),
+                      pool.utf8(descriptor_of(module, f.type))});
+  }
+  for (const auto* m : decl->methods) {
+    std::string desc = "(";
+    for (const auto& p : m->params) {
+      desc += descriptor_of(module, p.type);
+    }
+    desc += ")" + descriptor_of(module, m->ret);
+    methods.push_back({0x0400 /*abstract: no code attr*/, pool.utf8(m->name),
+                       pool.utf8(desc)});
+  }
+
+  Builder b;
+  b.u4(kMagic);
+  b.u2(0);   // minor
+  b.u2(49);  // major (Java 5)
+  pool.emit(b);
+  uint16_t access = 0x0001 /*public*/;
+  if (decl->agg_kind == AggKind::Interface) access |= kAccInterface | 0x0400;
+  b.u2(access);
+  b.u2(this_class);
+  b.u2(super_class);
+  b.u2(static_cast<uint16_t>(interfaces.size()));
+  for (uint16_t i : interfaces) b.u2(i);
+  b.u2(static_cast<uint16_t>(fields.size()));
+  for (const auto& f : fields) {
+    b.u2(f.access);
+    b.u2(f.name);
+    b.u2(f.desc);
+    b.u2(0);  // no attributes
+  }
+  b.u2(static_cast<uint16_t>(methods.size()));
+  for (const auto& m : methods) {
+    b.u2(m.access);
+    b.u2(m.name);
+    b.u2(m.desc);
+    b.u2(0);
+  }
+  b.u2(0);  // no class attributes
+  return b.take();
+}
+
+}  // namespace mbird::javaclass

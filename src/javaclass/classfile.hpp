@@ -1,0 +1,46 @@
+// Java .class file frontend.
+//
+// The 1999 prototype's Java parser was "a simple extractor of type
+// declarations from Java .class files" (paper §4). This module reproduces
+// that path against the real class-file format (JVM spec subset):
+// constant pool (all tag kinds skipped correctly, Utf8/Class consumed),
+// access flags, fields and methods with their descriptors, interfaces and
+// superclasses. Method bodies (Code attributes) are skipped — declarations
+// are all Mockingbird needs.
+//
+// A writer is provided so tests and benchmarks can synthesize valid class
+// files without a Java compiler; reader(writer(decl)) == decl is the
+// round-trip property the tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::javaclass {
+
+/// Parse one binary class file, adding its declaration to `module`.
+/// Returns the declared class name ("" on failure, reported via diags).
+std::string parse_class_into(stype::Module& module,
+                             const std::vector<uint8_t>& bytes,
+                             DiagnosticEngine& diags);
+
+/// Parse a set of class files into a fresh module.
+[[nodiscard]] stype::Module parse_class_files(
+    const std::vector<std::vector<uint8_t>>& files, std::string module_name,
+    DiagnosticEngine& diags);
+
+/// Emit a class file for an Aggregate declaration (fields + method
+/// signatures, no code). Type references use their declared names.
+[[nodiscard]] std::vector<uint8_t> emit_class_file(const stype::Module& module,
+                                                   const stype::Stype* decl,
+                                                   DiagnosticEngine& diags);
+
+/// Field/method descriptor helpers (exposed for tests).
+[[nodiscard]] std::string descriptor_of(const stype::Module& module,
+                                        stype::Stype* type);
+
+}  // namespace mbird::javaclass

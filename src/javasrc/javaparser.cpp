@@ -1,0 +1,359 @@
+#include "javasrc/javaparser.hpp"
+
+#include <set>
+
+#include "lex/lexer.hpp"
+
+namespace mbird::javasrc {
+
+using lex::Kind;
+using lex::Token;
+using lex::TokenStream;
+using stype::AggKind;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+namespace {
+
+const std::set<std::string>& java_keywords() {
+  static const std::set<std::string> kw = {
+      "package", "import",  "public",    "private",   "protected", "static",
+      "final",   "abstract", "native",   "transient", "volatile",  "synchronized",
+      "class",   "interface", "enum",    "extends",   "implements", "throws",
+      "void",    "boolean", "byte",      "short",     "char",      "int",
+      "long",    "float",   "double",    "new",       "this",      "super",
+      "strictfp",
+  };
+  return kw;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string file, DiagnosticEngine& diags)
+      : module_(stype::Lang::Java, file),
+        diags_(diags),
+        ts_(lex::Lexer(source, std::move(file), java_keywords(), diags).tokenize(),
+            diags) {}
+
+  Module take() {
+    while (!ts_.at_end() && !give_up_) parse_top_level();
+    return std::move(module_);
+  }
+
+ private:
+  void skip_modifiers(bool* is_static = nullptr, bool* is_private = nullptr) {
+    for (;;) {
+      const Token& t = ts_.peek();
+      if (t.kind != Kind::Keyword) break;
+      if (t.text == "public") {
+        if (is_private) *is_private = false;
+      } else if (t.text == "private" || t.text == "protected") {
+        if (is_private) *is_private = true;
+      } else if (t.text == "static") {
+        if (is_static) *is_static = true;
+      } else if (t.text == "final" || t.text == "abstract" || t.text == "native" ||
+                 t.text == "transient" || t.text == "volatile" ||
+                 t.text == "synchronized" || t.text == "strictfp") {
+        // ignored
+      } else {
+        break;
+      }
+      ts_.advance();
+    }
+  }
+
+  /// Dotted name: java.util.Vector -> "java.util.Vector".
+  std::string parse_qualified_name() {
+    std::string name = ts_.expect_ident("name");
+    while (ts_.peek().is_punct(".") && ts_.peek(1).is_ident()) {
+      ts_.advance();
+      name += "." + ts_.advance().text;
+    }
+    return name;
+  }
+
+  /// A type use: primitive or class reference, with optional generics and
+  /// array suffixes. Java class types are reference types (nullable unless
+  /// annotated not-null), so they produce Reference nodes.
+  Stype* parse_type() {
+    const Token& t = ts_.peek();
+    SourceLoc loc = t.loc;
+    Stype* base = nullptr;
+    if (t.kind == Kind::Keyword) {
+      Prim p;
+      if (t.text == "void") p = Prim::Void;
+      else if (t.text == "boolean") p = Prim::Bool;
+      else if (t.text == "byte") p = Prim::I8;
+      else if (t.text == "short") p = Prim::I16;
+      else if (t.text == "char") p = Prim::Char16;
+      else if (t.text == "int") p = Prim::I32;
+      else if (t.text == "long") p = Prim::I64;
+      else if (t.text == "float") p = Prim::F32;
+      else if (t.text == "double") p = Prim::F64;
+      else {
+        ts_.error_here("expected a type");
+        give_up_ = true;
+        return module_.make_prim(Prim::Void);
+      }
+      ts_.advance();
+      base = module_.make_prim(p);
+      base->loc = loc;
+    } else if (t.is_ident()) {
+      std::string name = parse_qualified_name();
+      Stype* named = module_.make_named(name);
+      named->loc = loc;
+      Stype* ref = module_.make(stype::Kind::Reference);
+      ref->elem = named;
+      ref->loc = loc;
+      if (ts_.accept_punct("<")) {
+        // Container<Elem>: recorded as an element-type annotation.
+        if (ts_.peek().is_ident()) {
+          ref->ann.element_type = parse_qualified_name();
+          // nested generics / extra args are skipped
+          int depth = 1;
+          while (!ts_.at_end() && depth > 0) {
+            if (ts_.peek().is_punct("<")) ++depth;
+            if (ts_.peek().is_punct(">")) --depth;
+            if (ts_.peek().is_punct(">>")) depth -= 2;
+            ts_.advance();
+          }
+        } else {
+          ts_.error_here("expected type argument");
+          give_up_ = true;
+        }
+      }
+      base = ref;
+    } else {
+      ts_.error_here("expected a type");
+      give_up_ = true;
+      return module_.make_prim(Prim::Void);
+    }
+
+    while (ts_.peek().is_punct("[")) {
+      ts_.advance();
+      ts_.expect_punct("]");
+      Stype* a = module_.make(stype::Kind::Array);
+      a->elem = base;
+      a->loc = loc;
+      base = a;  // Java arrays carry their length at runtime
+    }
+    return base;
+  }
+
+  void parse_top_level() {
+    if (ts_.accept_punct(";")) return;
+    const Token& t = ts_.peek();
+    if (t.is_keyword("package") || t.is_keyword("import")) {
+      while (!ts_.at_end() && !ts_.peek().is_punct(";")) ts_.advance();
+      ts_.accept_punct(";");
+      return;
+    }
+    skip_modifiers();
+    if (ts_.peek().is_keyword("class") || ts_.peek().is_keyword("interface")) {
+      parse_class();
+      return;
+    }
+    if (ts_.peek().is_keyword("enum")) {
+      parse_enum();
+      return;
+    }
+    ts_.error_here("expected a class, interface, or enum declaration");
+    give_up_ = true;
+  }
+
+  void parse_class() {
+    bool is_interface = ts_.advance().text == "interface";
+    std::string name = ts_.expect_ident("class name");
+    Stype* cls = module_.make(stype::Kind::Aggregate);
+    cls->agg_kind = is_interface ? AggKind::Interface : AggKind::Class;
+    cls->name = name;
+
+    if (ts_.accept_punct("<")) {  // generic parameters: skipped
+      int depth = 1;
+      while (!ts_.at_end() && depth > 0) {
+        if (ts_.peek().is_punct("<")) ++depth;
+        if (ts_.peek().is_punct(">")) --depth;
+        ts_.advance();
+      }
+    }
+    if (ts_.accept_keyword("extends")) {
+      do {
+        cls->bases.push_back(parse_qualified_name());
+      } while (ts_.accept_punct(","));
+    }
+    if (ts_.accept_keyword("implements")) {
+      do {
+        cls->bases.push_back(parse_qualified_name());
+      } while (ts_.accept_punct(","));
+    }
+
+    // "class PointVector extends java.util.Vector;" — a body-less
+    // declaration (paper Fig. 1 writes exactly this shorthand).
+    if (ts_.accept_punct(";")) {
+      module_.declare(name, cls);
+      return;
+    }
+
+    ts_.expect_punct("{");
+    while (!ts_.peek().is_punct("}") && !ts_.at_end() && !give_up_) {
+      parse_member(cls);
+    }
+    ts_.expect_punct("}");
+    module_.declare(name, cls);
+  }
+
+  void parse_member(Stype* cls) {
+    if (ts_.accept_punct(";")) return;
+    bool is_static = false, is_private = false;
+    skip_modifiers(&is_static, &is_private);
+
+    // Constructor: Name( ...
+    if (ts_.peek().is_ident() && ts_.peek().text == cls->name &&
+        ts_.peek(1).is_punct("(")) {
+      skip_member_tail();
+      return;
+    }
+    // Static/instance initializer block.
+    if (ts_.peek().is_punct("{")) {
+      skip_braces();
+      return;
+    }
+
+    Stype* type = parse_type();
+    if (give_up_) return;
+    std::string name = ts_.expect_ident("member name");
+
+    if (ts_.peek().is_punct("(")) {
+      Stype* fn = module_.make(stype::Kind::Function);
+      fn->name = name;
+      fn->ret = type;
+      ts_.expect_punct("(");
+      if (!ts_.accept_punct(")")) {
+        do {
+          skip_modifiers();  // final params
+          Stype* ptype = parse_type();
+          if (ts_.peek().is_punct("...")) {
+            ts_.advance();
+            Stype* a = module_.make(stype::Kind::Array);
+            a->elem = ptype;
+            ptype = a;
+          }
+          std::string pname = ts_.expect_ident("parameter name");
+          fn->params.push_back({pname, ptype, ts_.peek().loc});
+        } while (ts_.accept_punct(","));
+        ts_.expect_punct(")");
+      }
+      if (ts_.accept_keyword("throws")) {
+        do {
+          fn->throws_list.push_back(parse_qualified_name());
+        } while (ts_.accept_punct(","));
+      }
+      if (ts_.peek().is_punct("{")) skip_braces();
+      else ts_.expect_punct(";");
+      cls->methods.push_back(fn);
+      return;
+    }
+
+    // Field(s).
+    for (;;) {
+      stype::Field f;
+      f.name = name;
+      f.type = type;
+      f.is_static = is_static;
+      f.is_private = is_private;
+      if (ts_.accept_punct("=")) skip_initializer();
+      cls->fields.push_back(std::move(f));
+      if (!ts_.accept_punct(",")) break;
+      name = ts_.expect_ident("field name");
+      // Shared base type for comma-chained fields; array suffixes on the
+      // name ("int a, b[];") are rare and unsupported.
+    }
+    ts_.expect_punct(";");
+  }
+
+  void parse_enum() {
+    ts_.expect_keyword("enum");
+    std::string name = ts_.expect_ident("enum name");
+    Stype* e = module_.make(stype::Kind::Enum);
+    e->name = name;
+    ts_.expect_punct("{");
+    Int128 next = 0;
+    while (ts_.peek().is_ident()) {
+      e->enumerators.push_back({ts_.advance().text, next});
+      next = next + 1;
+      if (ts_.peek().is_punct("(")) skip_parens();
+      if (!ts_.accept_punct(",")) break;
+    }
+    // Enum bodies with members are skipped.
+    while (!ts_.at_end() && !ts_.peek().is_punct("}")) {
+      if (ts_.peek().is_punct("{")) skip_braces();
+      else ts_.advance();
+    }
+    ts_.expect_punct("}");
+    module_.declare(name, e);
+  }
+
+  // ---- recovery -------------------------------------------------------------
+
+  void skip_braces() {
+    int depth = 0;
+    do {
+      const Token& t = ts_.advance();
+      if (t.is_punct("{")) ++depth;
+      else if (t.is_punct("}")) --depth;
+      if (ts_.at_end()) return;
+    } while (depth > 0);
+  }
+
+  void skip_parens() {
+    ts_.expect_punct("(");
+    int depth = 1;
+    while (!ts_.at_end() && depth > 0) {
+      const Token& t = ts_.advance();
+      if (t.is_punct("(")) ++depth;
+      if (t.is_punct(")")) --depth;
+    }
+  }
+
+  void skip_initializer() {
+    int depth = 0;
+    while (!ts_.at_end()) {
+      const Token& t = ts_.peek();
+      if (depth == 0 && (t.is_punct(",") || t.is_punct(";"))) return;
+      if (t.is_punct("{") || t.is_punct("(") || t.is_punct("[")) ++depth;
+      if (t.is_punct("}") || t.is_punct(")") || t.is_punct("]")) --depth;
+      ts_.advance();
+    }
+  }
+
+  void skip_member_tail() {
+    while (!ts_.at_end()) {
+      const Token& t = ts_.peek();
+      if (t.is_punct(";")) {
+        ts_.advance();
+        return;
+      }
+      if (t.is_punct("{")) {
+        skip_braces();
+        return;
+      }
+      ts_.advance();
+    }
+  }
+
+  Module module_;
+  DiagnosticEngine& diags_;
+  TokenStream ts_;
+  bool give_up_ = false;
+};
+
+}  // namespace
+
+stype::Module parse_java(std::string_view source, std::string file,
+                         DiagnosticEngine& diags) {
+  Parser p(source, std::move(file), diags);
+  return p.take();
+}
+
+}  // namespace mbird::javasrc

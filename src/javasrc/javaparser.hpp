@@ -1,0 +1,27 @@
+// Java declaration frontend (source form).
+//
+// The 1999 prototype extracted declarations from .class files; this repo
+// provides both that binary reader (src/javaclass/) and this source-subset
+// parser, which is the convenient way to state declaration pairs in tests,
+// examples, and project files.
+//
+// Subset: package/import (ignored), classes, interfaces, enums; fields and
+// method signatures with modifiers; extends/implements; arrays `T[]`;
+// generics of the form `Container<Elem>` (recorded as an element-type
+// annotation on the container reference, matching Mockingbird's predefined
+// collection annotations for java.util.Vector et al. — paper §3.4).
+// Method bodies and initializers are skipped.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::javasrc {
+
+[[nodiscard]] stype::Module parse_java(std::string_view source, std::string file,
+                                       DiagnosticEngine& diags);
+
+}  // namespace mbird::javasrc

@@ -1,0 +1,346 @@
+#include "lex/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace mbird::lex {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::End: return "end of input";
+    case Kind::Ident: return "identifier";
+    case Kind::Keyword: return "keyword";
+    case Kind::IntLit: return "integer literal";
+    case Kind::FloatLit: return "float literal";
+    case Kind::StrLit: return "string literal";
+    case Kind::CharLit: return "char literal";
+    case Kind::Punct: return "punctuator";
+  }
+  return "?";
+}
+
+std::string Token::to_string() const {
+  switch (kind) {
+    case Kind::End: return "<eof>";
+    case Kind::StrLit: return "\"" + text + "\"";
+    default: return text;
+  }
+}
+
+Lexer::Lexer(std::string_view src, std::string file,
+             std::set<std::string> keywords, DiagnosticEngine& diags)
+    : src_(src), file_(std::move(file)), keywords_(std::move(keywords)), diags_(diags) {}
+
+SourceLoc Lexer::here() const { return SourceLoc{file_, line_, col_}; }
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '#') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (!at_end()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) diags_.error(start, "unterminated block comment");
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::lex_ident() {
+  Token t;
+  t.loc = here();
+  std::string s;
+  while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_' || peek() == '$')) {
+    s += advance();
+  }
+  t.text = std::move(s);
+  t.kind = keywords_.count(t.text) ? Kind::Keyword : Kind::Ident;
+  return t;
+}
+
+Token Lexer::lex_number() {
+  Token t;
+  t.loc = here();
+  std::string s;
+  bool is_float = false;
+  bool hex = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    hex = true;
+    s += advance();
+    s += advance();
+    while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) s += advance();
+  } else {
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) s += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      s += advance();
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) s += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char sign = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(sign)) ||
+          ((sign == '+' || sign == '-') &&
+           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+        is_float = true;
+        s += advance();
+        if (peek() == '+' || peek() == '-') s += advance();
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) s += advance();
+      }
+    }
+  }
+  // Swallow C/Java numeric suffixes (u, l, f, d in any case/combination).
+  while (!at_end() && std::strchr("uUlLfFdD", peek()) != nullptr) {
+    char c = advance();
+    if (c == 'f' || c == 'F' || c == 'd' || c == 'D') is_float = true;
+  }
+
+  t.text = s;
+  if (is_float) {
+    t.kind = Kind::FloatLit;
+    t.float_value = std::strtod(s.c_str(), nullptr);
+  } else {
+    t.kind = Kind::IntLit;
+    if (hex) {
+      Int128 v = 0;
+      for (size_t i = 2; i < s.size(); ++i) {
+        char c = s[i];
+        int d = std::isdigit(static_cast<unsigned char>(c))
+                    ? c - '0'
+                    : std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+        v = v * 16 + d;
+      }
+      t.int_value = v;
+    } else {
+      try {
+        t.int_value = parse_int128(s);
+      } catch (const std::exception& e) {
+        diags_.error(t.loc, e.what());
+      }
+    }
+  }
+  return t;
+}
+
+namespace {
+int decode_escape(const std::string& body) {
+  // body excludes the leading backslash; returns the code point.
+  if (body.empty()) return '\\';
+  switch (body[0]) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case '0': return '\0';
+    case '\'': return '\'';
+    case '"': return '"';
+    case '\\': return '\\';
+    default: return body[0];
+  }
+}
+}  // namespace
+
+Token Lexer::lex_string() {
+  Token t;
+  t.loc = here();
+  t.kind = Kind::StrLit;
+  advance();  // opening quote
+  std::string s;
+  while (!at_end() && peek() != '"') {
+    char c = advance();
+    if (c == '\\' && !at_end()) {
+      std::string esc(1, advance());
+      s += static_cast<char>(decode_escape(esc));
+    } else if (c == '\n') {
+      diags_.error(t.loc, "unterminated string literal");
+      t.text = std::move(s);
+      return t;
+    } else {
+      s += c;
+    }
+  }
+  if (at_end()) {
+    diags_.error(t.loc, "unterminated string literal");
+  } else {
+    advance();  // closing quote
+  }
+  t.text = std::move(s);
+  return t;
+}
+
+Token Lexer::lex_char() {
+  Token t;
+  t.loc = here();
+  t.kind = Kind::CharLit;
+  advance();  // opening quote
+  int value = 0;
+  if (!at_end()) {
+    char c = advance();
+    if (c == '\\' && !at_end()) {
+      std::string esc(1, advance());
+      value = decode_escape(esc);
+    } else {
+      value = static_cast<unsigned char>(c);
+    }
+  }
+  if (!at_end() && peek() == '\'') {
+    advance();
+  } else {
+    diags_.error(t.loc, "unterminated character literal");
+  }
+  t.int_value = value;
+  t.text = std::string(1, static_cast<char>(value));
+  return t;
+}
+
+Token Lexer::lex_punct() {
+  static constexpr std::string_view kThree[] = {"...", "<<=", ">>=", "->*"};
+  static constexpr std::string_view kTwo[] = {
+      "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+      "+=", "-=", "*=", "/=", "++", "--", "|=", "&="};
+
+  Token t;
+  t.loc = here();
+  t.kind = Kind::Punct;
+
+  std::string_view rest = src_.substr(pos_);
+  for (auto p : kThree) {
+    if (rest.substr(0, p.size()) == p) {
+      t.text = std::string(p);
+      for (size_t i = 0; i < p.size(); ++i) advance();
+      return t;
+    }
+  }
+  for (auto p : kTwo) {
+    if (rest.substr(0, 2) == p) {
+      t.text = std::string(p);
+      advance();
+      advance();
+      return t;
+    }
+  }
+  t.text = std::string(1, advance());
+  return t;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    skip_trivia();
+    if (at_end()) break;
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      out.push_back(lex_ident());
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lex_number());
+    } else if (c == '"') {
+      out.push_back(lex_string());
+    } else if (c == '\'') {
+      out.push_back(lex_char());
+    } else {
+      out.push_back(lex_punct());
+    }
+  }
+  Token end;
+  end.kind = Kind::End;
+  end.loc = here();
+  out.push_back(std::move(end));
+  return out;
+}
+
+const Token& TokenStream::peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;
+  return tokens_[i];
+}
+
+const Token& TokenStream::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenStream::accept_punct(std::string_view p) {
+  if (peek().is_punct(p)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::accept_keyword(std::string_view k) {
+  if (peek().is_keyword(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+const Token& TokenStream::expect_punct(std::string_view p) {
+  if (!peek().is_punct(p)) {
+    diags_.error(peek().loc, "expected '" + std::string(p) + "' but found '" +
+                                 peek().to_string() + "'");
+  }
+  return advance();
+}
+
+const Token& TokenStream::expect_keyword(std::string_view k) {
+  if (!peek().is_keyword(k)) {
+    diags_.error(peek().loc, "expected '" + std::string(k) + "' but found '" +
+                                 peek().to_string() + "'");
+  }
+  return advance();
+}
+
+void TokenStream::expect_close_angle() {
+  if (peek().is_punct(">>")) {
+    tokens_[pos_].text = ">";  // split: consume one of the two
+    return;
+  }
+  expect_punct(">");
+}
+
+std::string TokenStream::expect_ident(std::string_view what) {
+  if (!peek().is_ident()) {
+    diags_.error(peek().loc, "expected " + std::string(what) + " but found '" +
+                                 peek().to_string() + "'");
+    if (!at_end()) advance();
+    return "";
+  }
+  return advance().text;
+}
+
+void TokenStream::error_here(const std::string& message) {
+  diags_.error(peek().loc, message);
+}
+
+}  // namespace mbird::lex

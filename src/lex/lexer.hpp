@@ -1,0 +1,122 @@
+// Shared lexer for the C-family surface syntax used by all three frontends
+// (C/C++ declarations, CORBA IDL, the Java declaration subset) and by the
+// annotation script language and project-file format.
+//
+// The lexer is keyword-agnostic: frontends supply their own keyword tables
+// and receive keywords as Kind::Keyword tokens; all other identifiers are
+// Kind::Ident. Multi-character punctuators cover the superset needed by all
+// grammars ("::", "<<", ">>", "->", "...", etc.).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diag.hpp"
+#include "support/wide_int.hpp"
+
+namespace mbird::lex {
+
+enum class Kind : uint8_t {
+  End,
+  Ident,
+  Keyword,
+  IntLit,
+  FloatLit,
+  StrLit,   // text holds the unescaped contents
+  CharLit,  // int_value holds the code point
+  Punct,
+};
+
+[[nodiscard]] const char* to_string(Kind k);
+
+struct Token {
+  Kind kind = Kind::End;
+  std::string text;
+  Int128 int_value = 0;
+  double float_value = 0.0;
+  SourceLoc loc;
+
+  [[nodiscard]] bool is_punct(std::string_view p) const {
+    return kind == Kind::Punct && text == p;
+  }
+  [[nodiscard]] bool is_keyword(std::string_view k) const {
+    return kind == Kind::Keyword && text == k;
+  }
+  [[nodiscard]] bool is_ident() const { return kind == Kind::Ident; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Tokenizes an entire buffer. Comments: //, /* */, and # line comments
+/// (# is used by project files and annotation scripts; harmless elsewhere
+/// because none of our grammars use '#').
+class Lexer {
+ public:
+  Lexer(std::string_view src, std::string file, std::set<std::string> keywords,
+        DiagnosticEngine& diags);
+
+  /// Tokenize everything up to end of input. The final token is Kind::End.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance();
+  void skip_trivia();
+  [[nodiscard]] SourceLoc here() const;
+
+  Token lex_ident();
+  Token lex_number();
+  Token lex_string();
+  Token lex_char();
+  Token lex_punct();
+
+  std::string_view src_;
+  std::string file_;
+  std::set<std::string> keywords_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+};
+
+/// A peekable cursor over a token vector, with the expect/accept helpers all
+/// recursive-descent parsers in this project share.
+class TokenStream {
+ public:
+  TokenStream(std::vector<Token> tokens, DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  [[nodiscard]] const Token& peek(size_t ahead = 0) const;
+  [[nodiscard]] bool at_end() const { return peek().kind == Kind::End; }
+  const Token& advance();
+
+  /// If the next token is the given punctuator/keyword, consume it.
+  bool accept_punct(std::string_view p);
+  bool accept_keyword(std::string_view k);
+
+  /// Consume the next token, reporting an error if it is not as expected.
+  /// On error the token is still consumed (unless at end) so parsing can
+  /// limp forward.
+  const Token& expect_punct(std::string_view p);
+  const Token& expect_keyword(std::string_view k);
+  /// Consume a single '>' even when the lexer glued two into ">>"
+  /// (IDL `sequence<sequence<T>>`, Java generics).
+  void expect_close_angle();
+  /// Expect an identifier and return its text ("" on error).
+  std::string expect_ident(std::string_view what);
+
+  void error_here(const std::string& message);
+  [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
+
+ private:
+  std::vector<Token> tokens_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mbird::lex

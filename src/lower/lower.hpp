@@ -1,0 +1,96 @@
+// Lowering: annotated Stype declarations -> Mtypes (paper §3).
+//
+// The rules, in brief (each is exercised by tests/lower/):
+//   * booleans -> Integer[0..1]; enums with n elements -> Integer[0..n-1]
+//   * integral types -> Integer Mtypes with their natural ranges, unless a
+//     range annotation overrides either bound (§3.1)
+//   * char types -> Character Mtypes with default repertoires, flippable to
+//     Integer via the scalar-intent annotation (and vice versa)
+//   * floats -> Real Mtypes keyed by precision/exponent
+//   * void -> Unit
+//   * fixed-size arrays -> Record with n identical children (§3.2)
+//   * indefinite arrays, IDL sequences, annotated collections -> the
+//     canonical list  rec X. Choice(Unit, Record(elem, X))
+//   * pointers/references -> Choice(Unit, referent) unless annotated
+//     not-null; the recursion knot for recursive data is tied here, which
+//     makes a Java linked list lower to exactly the same Mtype as an
+//     indefinite array (paper Fig. 8)
+//   * structs/value classes -> Record of instance fields; unions -> Choice
+//   * interfaces / by-reference objects -> port(Choice(m1..mn)) (§3.3)
+//   * functions -> port(Record(Inputs, port(Outputs))) with in/out/inout
+//     from annotations; a parameter named by another parameter's
+//     length-annotation is absorbed into the list it measures (§3.4)
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mtype/mtype.hpp"
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::lower {
+
+class LowerEngine {
+ public:
+  /// `module` must outlive the engine. Lowered Mtypes are created in `graph`.
+  LowerEngine(const stype::Module& module, mtype::Graph& graph,
+              DiagnosticEngine& diags)
+      : module_(module), graph_(graph), diags_(diags) {}
+
+  /// Lower a top-level declaration by name. Functions lower to their
+  /// reference Mtype port(Record(I, port(O))). Returns mtype::kNullRef and
+  /// reports a diagnostic if the name is unknown or lowering fails.
+  [[nodiscard]] mtype::Ref lower_decl(const std::string& name);
+
+  /// Lower a type-use node (e.g. a parameter type from another declaration).
+  [[nodiscard]] mtype::Ref lower_use(stype::Stype* node);
+
+ private:
+  mtype::Ref lower_type(stype::Stype* node, stype::Annotations inherited);
+  mtype::Ref lower_prim(stype::Prim prim, const stype::Annotations& ann,
+                        const std::string& name);
+  mtype::Ref lower_pointer_like(stype::Stype* node, stype::Annotations eff);
+  mtype::Ref lower_array(stype::Stype* node, stype::Annotations eff);
+  mtype::Ref lower_aggregate_value(stype::Stype* decl,
+                                   const stype::Annotations& eff);
+  mtype::Ref lower_object_port(stype::Stype* decl);
+  mtype::Ref lower_collection(stype::Stype* decl, const stype::Annotations& eff);
+  mtype::Ref lower_function(stype::Stype* fn);
+  mtype::Ref lower_method_invocation(stype::Stype* fn);
+  /// I/O records of a function: {inputs, outputs}.
+  std::pair<mtype::Ref, mtype::Ref> lower_signature(stype::Stype* fn);
+
+  /// True if `decl` (an Aggregate) is an indefinite ordered collection:
+  /// annotated as such, or derived from java.util.Vector (the paper's
+  /// predefined annotation on standard classes, §3.4).
+  [[nodiscard]] bool is_collection(const stype::Stype* decl,
+                                   const stype::Annotations& eff) const;
+
+  /// Collect instance fields including inherited ones (base-class fields
+  /// first), following the bases lists through the module.
+  void collect_fields(stype::Stype* decl, std::vector<stype::Field*>& out,
+                      int depth = 0);
+  void collect_methods(stype::Stype* decl, std::vector<stype::Stype*>& out,
+                       int depth = 0);
+
+  const stype::Module& module_;
+  mtype::Graph& graph_;
+  DiagnosticEngine& diags_;
+
+  // Re-entrancy bookkeeping for recursive data: keyed by the referent
+  // declaration plus nullability of the reference being lowered.
+  struct InProgress {
+    mtype::Ref rec = mtype::kNullRef;  // allocated lazily on re-entry
+  };
+  std::map<std::pair<const stype::Stype*, bool>, InProgress> active_;
+  // Finished reference-lowerings are shared.
+  std::map<std::pair<const stype::Stype*, bool>, mtype::Ref> ref_cache_;
+};
+
+/// One-shot convenience used throughout tests and the CLI.
+[[nodiscard]] mtype::Ref lower_decl(const stype::Module& module,
+                                    mtype::Graph& graph, const std::string& name,
+                                    DiagnosticEngine& diags);
+
+}  // namespace mbird::lower

@@ -1,0 +1,199 @@
+#include "plan/plan.hpp"
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace mbird::plan {
+
+const char* to_string(PKind k) {
+  switch (k) {
+    case PKind::UnitMake: return "unit";
+    case PKind::IntCopy: return "int";
+    case PKind::RealCopy: return "real";
+    case PKind::CharCopy: return "char";
+    case PKind::RecordMap: return "record";
+    case PKind::ChoiceMap: return "choice";
+    case PKind::ListMap: return "list";
+    case PKind::PortMap: return "port";
+    case PKind::Alias: return "alias";
+    case PKind::Extract: return "extract";
+    case PKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+namespace {
+
+void print_node(const PlanGraph& g, PlanRef r, int depth,
+                std::unordered_set<PlanRef>& seen, std::ostringstream& os) {
+  std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  if (r == kNullPlan) {
+    os << pad << "<null>\n";
+    return;
+  }
+  const PlanNode& n = g.at(r);
+  os << pad << '#' << r << ' ' << to_string(n.kind);
+  if (!n.note.empty()) os << " (" << n.note << ')';
+  if (seen.count(r)) {
+    os << " ^cycle\n";
+    return;
+  }
+  seen.insert(r);
+  switch (n.kind) {
+    case PKind::IntCopy:
+      os << " [" << mbird::to_string(n.lo) << ".." << mbird::to_string(n.hi)
+         << "]\n";
+      break;
+    case PKind::RecordMap: {
+      os << '\n';
+      for (const auto& f : n.fields) {
+        os << pad << "  " << mtype::path_to_string(f.src_path) << " -> "
+           << mtype::path_to_string(f.dst_path) << ":\n";
+        print_node(g, f.op, depth + 2, seen, os);
+      }
+      break;
+    }
+    case PKind::ChoiceMap: {
+      os << '\n';
+      for (const auto& a : n.arms) {
+        os << pad << "  arm " << mtype::path_to_string(a.src_path) << " -> "
+           << mtype::path_to_string(a.dst_path) << ":\n";
+        print_node(g, a.op, depth + 2, seen, os);
+      }
+      break;
+    }
+    case PKind::ListMap:
+    case PKind::PortMap:
+    case PKind::Alias:
+      os << '\n';
+      print_node(g, n.inner, depth + 1, seen, os);
+      break;
+    case PKind::Extract:
+      os << ' ' << mtype::path_to_string(n.fields[0].src_path) << '\n';
+      print_node(g, n.fields[0].op, depth + 1, seen, os);
+      break;
+    default: os << '\n'; break;
+  }
+  seen.erase(r);
+}
+
+void count_shape_leaves(const RecShape& s, std::set<uint32_t>& leaves) {
+  if (s.kind == RecShape::Kind::Leaf) {
+    leaves.insert(s.leaf_index);
+    return;
+  }
+  for (const auto& k : s.kids) count_shape_leaves(k, leaves);
+}
+
+}  // namespace
+
+PlanRef make_custom(PlanGraph& g, const std::string& converter_name) {
+  PlanNode n;
+  n.kind = PKind::Custom;
+  n.note = converter_name;
+  return g.add(std::move(n));
+}
+
+bool replace_field_op(PlanGraph& g, PlanRef record_node, const mtype::Path& dst,
+                      PlanRef replacement) {
+  if (record_node >= g.size()) return false;
+  PlanNode& n = g.at_mut(record_node);
+  if (n.kind != PKind::RecordMap) return false;
+  for (auto& f : n.fields) {
+    if (f.dst_path == dst) {
+      f.op = replacement;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string print(const PlanGraph& g, PlanRef root) {
+  std::ostringstream os;
+  std::unordered_set<PlanRef> seen;
+  print_node(g, root, 0, seen, os);
+  return os.str();
+}
+
+std::vector<std::string> validate(const PlanGraph& g, PlanRef root) {
+  std::vector<std::string> problems;
+  if (root == kNullPlan) {
+    problems.push_back("null root plan");
+    return problems;
+  }
+  std::unordered_set<PlanRef> visited;
+  std::vector<PlanRef> work{root};
+  auto check_ref = [&](PlanRef r, const std::string& what) {
+    if (r == kNullPlan || r >= g.size()) {
+      problems.push_back(what + ": bad plan ref");
+      return false;
+    }
+    if (!visited.count(r)) work.push_back(r);
+    return true;
+  };
+
+  while (!work.empty()) {
+    PlanRef r = work.back();
+    work.pop_back();
+    if (r >= g.size()) continue;
+    if (visited.count(r)) continue;
+    visited.insert(r);
+    const PlanNode& n = g.at(r);
+    std::string where = "#" + std::to_string(r);
+    switch (n.kind) {
+      case PKind::RecordMap: {
+        std::set<uint32_t> leaves;
+        count_shape_leaves(n.dst_shape, leaves);
+        for (uint32_t i = 0; i < n.fields.size(); ++i) {
+          if (!leaves.count(i)) {
+            problems.push_back(where + ": field " + std::to_string(i) +
+                               " not reachable from dst shape");
+          }
+          check_ref(n.fields[i].op, where + " field op");
+        }
+        for (uint32_t leaf : leaves) {
+          if (leaf >= n.fields.size()) {
+            problems.push_back(where + ": shape leaf " + std::to_string(leaf) +
+                               " out of range");
+          }
+        }
+        break;
+      }
+      case PKind::ChoiceMap: {
+        std::set<mtype::Path> srcs;
+        for (const auto& a : n.arms) {
+          if (!srcs.insert(a.src_path).second) {
+            problems.push_back(where + ": duplicate source arm " +
+                               mtype::path_to_string(a.src_path));
+          }
+          check_ref(a.op, where + " arm op");
+        }
+        if (n.arms.empty()) problems.push_back(where + ": choice with no arms");
+        break;
+      }
+      case PKind::ListMap:
+      case PKind::PortMap:
+      case PKind::Alias: check_ref(n.inner, where + " inner"); break;
+      case PKind::Extract:
+        if (n.fields.size() != 1) {
+          problems.push_back(where + ": extract needs exactly one field");
+        } else {
+          check_ref(n.fields[0].op, where + " extract op");
+        }
+        break;
+      case PKind::IntCopy:
+        if (n.lo > n.hi) problems.push_back(where + ": empty int range");
+        break;
+      case PKind::Custom:
+        if (n.note.empty()) {
+          problems.push_back(where + ": custom conversion without a name");
+        }
+        break;
+      default: break;
+    }
+  }
+  return problems;
+}
+
+}  // namespace mbird::plan

@@ -1,0 +1,146 @@
+// Coercion plans (paper §4): "an internal data structure that incorporates
+// discovered structural correspondences between the two Mtypes".
+//
+// A plan is a graph of conversion ops; cycles mirror cycles in the Mtypes
+// (recursive types). A plan node converts a value shaped like the source
+// Mtype node into a value shaped like the target Mtype node:
+//
+//   IntCopy / RealCopy / CharCopy / UnitMake — primitive moves
+//   RecordMap — reshapes records: each target leaf is fetched from a source
+//               path (associativity may map one source child to a nested
+//               target position and vice versa; commutativity permutes)
+//   ChoiceMap — maps each (flattened) source arm to a target arm
+//   ListMap   — converts canonical lists elementwise
+//   PortMap   — wraps a port; the inner plan converts messages *sent to*
+//               the converted port back to the original message shape
+//               (contravariance)
+//   Alias     — indirection used to tie recursive plan knots
+//
+// Plans are built by the Comparer and consumed by both the interpreter
+// (src/runtime) and the stub code generator (src/codegen).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mtype/mtype.hpp"
+#include "support/wide_int.hpp"
+
+namespace mbird::plan {
+
+using PlanRef = uint32_t;
+inline constexpr PlanRef kNullPlan = 0xffffffffu;
+
+enum class PKind : uint8_t {
+  UnitMake,
+  IntCopy,
+  RealCopy,
+  CharCopy,
+  RecordMap,
+  ChoiceMap,
+  ListMap,
+  PortMap,
+  Alias,
+  Extract,  // unit-elimination: take the single component out of a record
+  Custom,   // a named hand-written conversion (paper §6: semantic
+            // conversions composed with the structural ones); `note`
+            // holds the converter name resolved at runtime/codegen
+};
+[[nodiscard]] const char* to_string(PKind k);
+
+/// How one target leaf of a RecordMap is produced.
+struct FieldMove {
+  mtype::Path src_path;  // child indices into the (nested) source record
+  mtype::Path dst_path;  // child indices into the (nested) target record
+  PlanRef op = kNullPlan;
+};
+
+/// How one (flattened) source arm of a ChoiceMap converts.
+struct ArmMove {
+  mtype::Path src_path;  // arm indices into the nested source choice
+  mtype::Path dst_path;  // arm indices into the nested target choice
+  PlanRef op = kNullPlan;
+};
+
+/// Skeleton of the target record: tells the interpreter how to rebuild the
+/// nested structure (including Unit positions elided by unit-elimination).
+struct RecShape {
+  enum class Kind : uint8_t { Leaf, Record, Unit };
+  Kind kind = Kind::Leaf;
+  uint32_t leaf_index = 0;  // into PlanNode::fields when kind == Leaf
+  std::vector<RecShape> kids;
+};
+
+struct PlanNode {
+  PKind kind = PKind::UnitMake;
+
+  // IntCopy: target range (useful to code generators emitting checks for
+  // data arriving from unannotated native representations).
+  Int128 lo = 0;
+  Int128 hi = 0;
+
+  // RecordMap
+  std::vector<FieldMove> fields;
+  RecShape dst_shape;
+
+  // ChoiceMap
+  std::vector<ArmMove> arms;
+
+  // ListMap (element plan) / PortMap (message plan) / Alias (target)
+  PlanRef inner = kNullPlan;
+
+  // PortMap only: the Mtypes involved, so the rpc layer can type proxy
+  // ports. `dst_msg` is what the converted port accepts (the plan's inner
+  // converts dst-shaped messages back to src-shaped ones, contravariantly);
+  // `src_msg` is what the original port accepts. The *_in_left flags say
+  // which of the two compared graphs each ref points into (left = the
+  // comparison's first graph).
+  mtype::Ref port_dst_msg = mtype::kNullRef;
+  bool port_dst_in_left = false;
+  mtype::Ref port_src_msg = mtype::kNullRef;
+  bool port_src_in_left = false;
+
+  // Diagnostic note: source/target Mtype names.
+  std::string note;
+};
+
+class PlanGraph {
+ public:
+  [[nodiscard]] const PlanNode& at(PlanRef r) const { return nodes_[r]; }
+  [[nodiscard]] PlanNode& at_mut(PlanRef r) { return nodes_[r]; }
+  [[nodiscard]] size_t size() const { return nodes_.size(); }
+
+  PlanRef add(PlanNode n) {
+    nodes_.push_back(std::move(n));
+    return static_cast<PlanRef>(nodes_.size() - 1);
+  }
+
+  /// Backtracking support for the Comparer: truncate to a checkpoint taken
+  /// before a speculative match.
+  [[nodiscard]] size_t checkpoint() const { return nodes_.size(); }
+  void rollback(size_t checkpoint) { nodes_.resize(checkpoint); }
+
+ private:
+  std::vector<PlanNode> nodes_;
+};
+
+/// Create a Custom node invoking the named hand-written converter.
+[[nodiscard]] PlanRef make_custom(PlanGraph& g, const std::string& converter_name);
+
+/// Splice `replacement` in place of the existing op for the RecordMap
+/// field of `record_node` whose destination path is `dst` (composing
+/// hand-written conversions with structural plans, paper §6). Returns
+/// false if no such field exists.
+bool replace_field_op(PlanGraph& g, PlanRef record_node, const mtype::Path& dst,
+                      PlanRef replacement);
+
+/// Human-readable plan dump (tests, `mbird plan` CLI output).
+[[nodiscard]] std::string print(const PlanGraph& g, PlanRef root);
+
+/// Structural validation: every referenced PlanRef is in range, every
+/// RecordMap leaf index is covered by its shape, every ChoiceMap has
+/// distinct source paths. Returns problems as strings (empty = valid).
+[[nodiscard]] std::vector<std::string> validate(const PlanGraph& g, PlanRef root);
+
+}  // namespace mbird::plan

@@ -1,0 +1,300 @@
+#include "project/project.hpp"
+
+#include <sstream>
+
+#include "annotate/script.hpp"
+#include "cfront/cparser.hpp"
+#include "idl/idlparser.hpp"
+#include "javasrc/javaparser.hpp"
+#include "support/strings.hpp"
+
+namespace mbird::project {
+
+using stype::Annotations;
+using stype::Lang;
+using stype::LengthSpec;
+using stype::Module;
+using stype::Stype;
+
+namespace {
+
+const char* lang_tag(Lang l) {
+  switch (l) {
+    case Lang::C: return "c";
+    case Lang::Cpp: return "cpp";
+    case Lang::Java: return "java";
+    case Lang::Idl: return "idl";
+  }
+  return "c";
+}
+
+bool parse_lang(const std::string& tag, Lang* out) {
+  if (tag == "c") *out = Lang::C;
+  else if (tag == "cpp") *out = Lang::Cpp;
+  else if (tag == "java") *out = Lang::Java;
+  else if (tag == "idl") *out = Lang::Idl;
+  else return false;
+  return true;
+}
+
+void emit_block(std::ostringstream& os, const std::string& s) {
+  os << s.size() << '\n' << s << '\n';
+}
+
+}  // namespace
+
+std::string serialize(const Project& p) {
+  std::ostringstream os;
+  os << "mbproject 1\n";
+  for (const auto& s : p.sources) {
+    os << "source " << lang_tag(s.lang) << ' ';
+    emit_block(os, s.name);
+    emit_block(os, s.text);
+  }
+  for (const auto& s : p.scripts) {
+    os << "script ";
+    emit_block(os, s.target);
+    emit_block(os, s.text);
+  }
+  return os.str();
+}
+
+namespace {
+
+class ProjectReader {
+ public:
+  ProjectReader(std::string_view text, DiagnosticEngine& diags)
+      : text_(text), diags_(diags) {}
+
+  Project read() {
+    Project p;
+    std::string header = read_line();
+    if (trim(header) != "mbproject 1") {
+      diags_.error({}, "not a Mockingbird project file (bad header)");
+      return p;
+    }
+    while (!at_end() && !failed_) {
+      std::string line = read_line();
+      std::string_view t = trim(line);
+      if (t.empty() || t[0] == '#') continue;
+      auto words = split(std::string(t), ' ');
+      if (words[0] == "source" && words.size() >= 2) {
+        SourceEntry e;
+        if (!parse_lang(words[1], &e.lang)) {
+          diags_.error({}, "unknown language tag '" + words[1] + "'");
+          failed_ = true;
+          break;
+        }
+        // The length of the name is the remainder of the line.
+        e.name = read_block(words.size() >= 3 ? words[2] : "");
+        e.text = read_sized_block();
+        p.sources.push_back(std::move(e));
+      } else if (words[0] == "script") {
+        ScriptEntry e;
+        e.target = read_block(words.size() >= 2 ? words[1] : "");
+        e.text = read_sized_block();
+        p.scripts.push_back(std::move(e));
+      } else {
+        diags_.error({}, "unknown project entry '" + std::string(t) + "'");
+        failed_ = true;
+      }
+    }
+    return p;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+
+  std::string read_line() {
+    size_t nl = text_.find('\n', pos_);
+    if (nl == std::string_view::npos) nl = text_.size();
+    std::string line(text_.substr(pos_, nl - pos_));
+    pos_ = nl + 1;
+    return line;
+  }
+
+  /// A block whose length was already read (as `len_word`), or is on its
+  /// own line when len_word is empty.
+  std::string read_block(const std::string& len_word) {
+    std::string lw = len_word.empty() ? read_line() : len_word;
+    return take(lw);
+  }
+
+  std::string read_sized_block() { return take(read_line()); }
+
+  std::string take(const std::string& len_word) {
+    size_t len = 0;
+    try {
+      len = static_cast<size_t>(std::stoull(std::string(trim(len_word))));
+    } catch (...) {
+      diags_.error({}, "bad block length '" + len_word + "'");
+      failed_ = true;
+      return "";
+    }
+    if (pos_ + len > text_.size()) {
+      diags_.error({}, "truncated project block");
+      failed_ = true;
+      return "";
+    }
+    std::string s(text_.substr(pos_, len));
+    pos_ += len;
+    if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+    return s;
+  }
+
+  std::string_view text_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Project parse_project(std::string_view text, DiagnosticEngine& diags) {
+  return ProjectReader(text, diags).read();
+}
+
+std::vector<Module> load_modules(const Project& p, DiagnosticEngine& diags) {
+  std::vector<Module> modules;
+  modules.reserve(p.sources.size());
+  for (const auto& s : p.sources) {
+    switch (s.lang) {
+      case Lang::C: {
+        cfront::Options opts;
+        opts.cplusplus = false;
+        modules.push_back(cfront::parse_c(s.text, s.name, diags, opts));
+        break;
+      }
+      case Lang::Cpp: modules.push_back(cfront::parse_c(s.text, s.name, diags)); break;
+      case Lang::Java: modules.push_back(javasrc::parse_java(s.text, s.name, diags)); break;
+      case Lang::Idl: modules.push_back(idl::parse_idl(s.text, s.name, diags)); break;
+    }
+  }
+  for (const auto& sc : p.scripts) {
+    bool applied = false;
+    for (auto& m : modules) {
+      if (m.name() == sc.target) {
+        annotate::run_script(sc.text, sc.target + ".mba", m, diags);
+        applied = true;
+        break;
+      }
+    }
+    if (!applied) {
+      diags.error({}, "script targets unknown source '" + sc.target + "'");
+    }
+  }
+  return modules;
+}
+
+// ---- annotation export -----------------------------------------------------------
+
+namespace {
+
+std::string render_attrs(const Annotations& a) {
+  std::vector<std::string> parts;
+  if (a.not_null) parts.push_back(*a.not_null ? "notnull" : "nullable");
+  if (a.no_alias) parts.push_back(*a.no_alias ? "noalias" : "mayalias");
+  if (a.range_lo && a.range_hi) {
+    parts.push_back("range " + to_string(*a.range_lo) + " " + to_string(*a.range_hi));
+  } else if (a.range_lo) {
+    // One-sided overrides round-trip via an explicit pair using the widest
+    // partner bound the script syntax allows; emit as-is with a comment is
+    // not possible in-script, so serialize one-sided as range with itself.
+    parts.push_back("range " + to_string(*a.range_lo) + " " + to_string(*a.range_lo));
+  } else if (a.range_hi) {
+    parts.push_back("range " + to_string(*a.range_hi) + " " + to_string(*a.range_hi));
+  }
+  if (a.repertoire) parts.push_back(std::string("repertoire ") + stype::to_string(*a.repertoire));
+  if (a.intent) {
+    parts.push_back(*a.intent == stype::ScalarIntent::Integer ? "intent integer"
+                                                              : "intent character");
+  }
+  if (a.real) {
+    parts.push_back("real " + std::to_string(a.real->mantissa_bits) + " " +
+                    std::to_string(a.real->exponent_bits));
+  }
+  if (a.direction) {
+    switch (*a.direction) {
+      case stype::Direction::In: parts.push_back("in"); break;
+      case stype::Direction::Out: parts.push_back("out"); break;
+      case stype::Direction::InOut: parts.push_back("inout"); break;
+    }
+  }
+  if (a.length) {
+    switch (a.length->kind) {
+      case LengthSpec::Kind::Static:
+        parts.push_back("length static " + std::to_string(a.length->static_size));
+        break;
+      case LengthSpec::Kind::Runtime: parts.push_back("length runtime"); break;
+      case LengthSpec::Kind::ParamName:
+        parts.push_back("length param " + a.length->name);
+        break;
+      case LengthSpec::Kind::FieldName:
+        parts.push_back("length field " + a.length->name);
+        break;
+      case LengthSpec::Kind::NulTerminated: parts.push_back("length nul"); break;
+    }
+  }
+  if (a.by_value) parts.push_back(*a.by_value ? "byvalue" : "byref");
+  if (a.ordered_collection && *a.ordered_collection) parts.push_back("collection");
+  if (a.element_type) parts.push_back("element " + *a.element_type);
+  if (a.element_not_null) {
+    parts.push_back(*a.element_not_null ? "notnull-elements" : "nullable-elements");
+  }
+  return join(parts, " ");
+}
+
+void export_node(const std::string& path, const Annotations& a,
+                 std::ostringstream& os) {
+  if (a.empty()) return;
+  os << "annotate " << path << " " << render_attrs(a) << ";\n";
+}
+
+}  // namespace
+
+std::string export_annotations(const Module& module) {
+  std::ostringstream os;
+  os << "# annotations exported from module '" << module.name() << "'\n";
+  for (const auto& name : module.decl_order()) {
+    Stype* d = module.find(name);
+    if (d == nullptr) continue;
+    // Skip paths that the script grammar cannot re-address (scoped names).
+    if (name.find("::") != std::string::npos) continue;
+    export_node(name, d->ann, os);
+    if (d->kind == stype::Kind::Aggregate) {
+      for (const auto& f : d->fields) {
+        export_node(name + "." + f.name, f.type->ann, os);
+      }
+      for (const auto* m : d->methods) {
+        if (m->ret != nullptr) {
+          export_node(name + "." + m->name + ".return", m->ret->ann, os);
+        }
+        for (const auto& p : m->params) {
+          export_node(name + "." + m->name + "." + p.name, p.type->ann, os);
+        }
+      }
+    } else if (d->kind == stype::Kind::Function) {
+      if (d->ret != nullptr) export_node(name + ".return", d->ret->ann, os);
+      for (const auto& p : d->params) {
+        export_node(name + "." + p.name, p.type->ann, os);
+      }
+    } else if (d->kind == stype::Kind::Typedef && d->elem != nullptr) {
+      bool elem_bearing = (d->elem->kind == stype::Kind::Pointer ||
+                           d->elem->kind == stype::Kind::Array ||
+                           d->elem->kind == stype::Kind::Sequence ||
+                           d->elem->kind == stype::Kind::Reference) &&
+                          d->elem->elem != nullptr;
+      if (elem_bearing) {
+        export_node(name + ".element", d->elem->elem->ann, os);
+      }
+      // Annotations addressed as "name" land on the typedef node itself;
+      // merge in any set directly on the aliased type node.
+      Annotations merged = d->elem->ann;
+      merged.merge(d->ann);
+      export_node(name, merged, os);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mbird::project

@@ -1,0 +1,54 @@
+// Project files (paper Fig. 6): "the programmer can save the current state
+// of the parsed and annotated declarations in a project file for later use."
+//
+// A project persists each loaded source (language + original text) together
+// with annotation scripts. Loading re-parses the sources with the regular
+// frontends and re-applies the scripts — the same state-restoration path the
+// interactive tool uses, with no second serialization of the AST to drift
+// out of sync. Annotations applied interactively are captured by
+// export_annotations(), which renders a module's current annotations as a
+// script.
+//
+// Format (length-prefixed blocks; '#' comment lines between entries):
+//   mbproject 1
+//   source <lang> <name-len> <name> <text-len>\n<text bytes>\n
+//   script <for-len> <for> <text-len>\n<text bytes>\n
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::project {
+
+struct SourceEntry {
+  stype::Lang lang = stype::Lang::C;
+  std::string name;  // module name (usually the original file name)
+  std::string text;
+};
+
+struct ScriptEntry {
+  std::string target;  // name of the source module the script applies to
+  std::string text;
+};
+
+struct Project {
+  std::vector<SourceEntry> sources;
+  std::vector<ScriptEntry> scripts;
+};
+
+[[nodiscard]] std::string serialize(const Project& p);
+[[nodiscard]] Project parse_project(std::string_view text,
+                                    DiagnosticEngine& diags);
+
+/// Re-parse every source and apply its scripts. Order follows the project.
+[[nodiscard]] std::vector<stype::Module> load_modules(const Project& p,
+                                                      DiagnosticEngine& diags);
+
+/// Render a module's current annotations as an annotation script that,
+/// applied to a freshly parsed copy of the same source, reproduces them.
+[[nodiscard]] std::string export_annotations(const stype::Module& module);
+
+}  // namespace mbird::project

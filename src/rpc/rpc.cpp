@@ -1,0 +1,267 @@
+#include "rpc/rpc.hpp"
+
+#include <optional>
+
+#include "support/error.hpp"
+
+namespace mbird::rpc {
+
+using mtype::Graph;
+using mtype::MKind;
+using mtype::Ref;
+
+uint64_t Node::open_port(const Graph* g, Ref msg_type,
+                         std::function<void(const Value&)> handler, bool once) {
+  uint64_t id = (static_cast<uint64_t>(id_) << 48) | next_port_++;
+  ports_.emplace(id, Port{g, msg_type, std::move(handler), once});
+  return id;
+}
+
+void Node::close_port(uint64_t port) { ports_.erase(port); }
+
+void Node::connect(uint16_t peer, std::shared_ptr<transport::Link> link) {
+  links_[peer] = std::move(link);
+}
+
+void Node::send(uint64_t dest_port, const Graph& g, Ref msg_type, const Value& v) {
+  uint16_t dest_node = node_of(dest_port);
+  if (dest_node == id_) {
+    local_queue_.emplace_back(dest_port, v);
+    return;
+  }
+  auto it = links_.find(dest_node);
+  if (it == links_.end()) {
+    throw TransportError("node " + std::to_string(id_) + " has no link to node " +
+                         std::to_string(dest_node));
+  }
+  wire::Frame f;
+  f.origin_node = id_;
+  f.seq = next_seq_++;
+  f.dest_port = dest_port;
+  f.payload = wire::encode(g, msg_type, v);
+  auto bytes = wire::pack_frame(f);
+  stats_.frames_sent++;
+  stats_.bytes_sent += bytes.size();
+  it->second->send(std::move(bytes));
+}
+
+void Node::dispatch(uint64_t port_id, const Value& v) {
+  auto it = ports_.find(port_id);
+  if (it == ports_.end()) {
+    stats_.unknown_port_drops++;
+    return;
+  }
+  // Copy the handler out first: once-ports close before running (the
+  // handler itself may open/close ports).
+  auto handler = it->second.handler;
+  if (it->second.once) ports_.erase(it);
+  handler(v);
+}
+
+size_t Node::poll() {
+  size_t processed = 0;
+
+  // Local deliveries queued before this poll (messages enqueued by the
+  // handlers run here are processed on the next poll, keeping rounds fair).
+  std::vector<std::pair<uint64_t, Value>> batch;
+  batch.swap(local_queue_);
+  for (auto& [port_id, v] : batch) {
+    stats_.local_deliveries++;
+    dispatch(port_id, v);
+    ++processed;
+  }
+
+  for (auto& [peer, link] : links_) {
+    (void)peer;
+    while (auto bytes = link->poll()) {
+      wire::Frame f = wire::unpack_frame(*bytes);
+      if (!seen_.insert({f.origin_node, f.seq}).second) {
+        stats_.duplicates_dropped++;
+        continue;
+      }
+      auto it = ports_.find(f.dest_port);
+      if (it == ports_.end()) {
+        stats_.unknown_port_drops++;
+        continue;
+      }
+      Value v = wire::decode(*it->second.graph, it->second.msg_type, f.payload);
+      stats_.frames_received++;
+      dispatch(f.dest_port, v);
+      ++processed;
+    }
+  }
+  return processed;
+}
+
+size_t pump(const std::vector<Node*>& nodes, size_t max_rounds) {
+  size_t total = 0;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    size_t processed = 0;
+    for (Node* n : nodes) processed += n->poll();
+    total += processed;
+    if (processed == 0) return total;
+  }
+  return total;
+}
+
+namespace {
+
+/// For an invocation type Record(I, port(O)), fetch O.
+Ref reply_msg_type(const Graph& g, Ref invocation_type) {
+  Ref r = mtype::skip_var(g, invocation_type);
+  const auto& inv = g.at(r);
+  if (inv.kind != MKind::Record || inv.children.size() != 2) {
+    throw MbError("invocation type is not Record(I, port(O)): " +
+                  mtype::print(g, invocation_type));
+  }
+  const auto& port = g.at(inv.children[1]);
+  if (port.kind != MKind::Port) {
+    throw MbError("invocation type's second child is not a port");
+  }
+  return port.body();
+}
+
+}  // namespace
+
+uint64_t serve_function(Node& node, const Graph& g, Ref invocation_type,
+                        std::function<Value(const Value&)> impl) {
+  Ref out_type = reply_msg_type(g, invocation_type);
+  return node.open_port(
+      &g, invocation_type,
+      [&node, &g, out_type, impl = std::move(impl)](const Value& inv) {
+        const Value& args = inv.at(0);
+        uint64_t reply_port = inv.at(1).as_port();
+        Value out = impl(args);
+        node.send(reply_port, g, out_type, out);
+      });
+}
+
+uint64_t serve_object(Node& node, const Graph& g, Ref choice_type,
+                      std::vector<std::function<Value(const Value&)>> methods) {
+  Ref r = mtype::skip_var(g, choice_type);
+  const auto& n = g.at(r);
+
+  // One-method objects lower to port(Record(I, port(O))) directly.
+  if (n.kind == MKind::Record) {
+    if (methods.size() != 1) {
+      throw MbError("object type has one method; got " +
+                    std::to_string(methods.size()) + " implementations");
+    }
+    return serve_function(node, g, r, std::move(methods[0]));
+  }
+  if (n.kind != MKind::Choice) {
+    throw MbError("object type is not a choice of methods");
+  }
+  if (methods.size() != n.children.size()) {
+    throw MbError("method count mismatch: type has " +
+                  std::to_string(n.children.size()) + ", got " +
+                  std::to_string(methods.size()));
+  }
+  std::vector<Ref> out_types;
+  out_types.reserve(n.children.size());
+  for (Ref c : n.children) out_types.push_back(reply_msg_type(g, c));
+
+  return node.open_port(
+      &g, r,
+      [&node, &g, out_types, methods = std::move(methods)](const Value& msg) {
+        uint32_t arm = msg.arm();
+        const Value& inv = msg.inner();
+        const Value& args = inv.at(0);
+        uint64_t reply_port = inv.at(1).as_port();
+        Value out = methods.at(arm)(args);
+        node.send(reply_port, g, out_types.at(arm), out);
+      });
+}
+
+Value call_function(Node& client, uint64_t fn_port, const Graph& g,
+                    Ref invocation_type, const Value& args,
+                    const std::vector<Node*>& nodes, const CallOptions& options) {
+  Ref out_type = reply_msg_type(g, invocation_type);
+  std::optional<Value> reply;
+  uint64_t reply_port = client.open_port(
+      &g, out_type, [&reply](const Value& v) { reply = v; }, /*once=*/true);
+
+  Value invocation = Value::record({args, Value::port(reply_port)});
+  client.send(fn_port, g, invocation_type, invocation);
+
+  size_t quiet = 0;
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    size_t processed = 0;
+    for (Node* n : nodes) processed += n->poll();
+    if (reply) return *reply;
+    quiet = processed == 0 ? quiet + 1 : 0;
+    if (options.resend_every != 0 && quiet >= options.resend_every) {
+      client.send(fn_port, g, invocation_type, invocation);
+      quiet = 0;
+    } else if (options.resend_every == 0 && quiet > 2) {
+      break;  // nothing in flight and no retries requested
+    }
+  }
+  client.close_port(reply_port);
+  throw TransportError("call timed out waiting for reply");
+}
+
+Value call_method(Node& client, uint64_t obj_port, const Graph& g,
+                  Ref choice_type, uint32_t arm, const Value& args,
+                  const std::vector<Node*>& nodes, const CallOptions& options) {
+  Ref r = mtype::skip_var(g, choice_type);
+  const auto& n = g.at(r);
+  if (n.kind == MKind::Record) {
+    return call_function(client, obj_port, g, r, args, nodes, options);
+  }
+  if (n.kind != MKind::Choice || arm >= n.children.size()) {
+    throw MbError("bad method arm");
+  }
+  Ref inv_type = n.children[arm];
+  Ref out_type = reply_msg_type(g, inv_type);
+
+  std::optional<Value> reply;
+  uint64_t reply_port = client.open_port(
+      &g, out_type, [&reply](const Value& v) { reply = v; }, /*once=*/true);
+  Value invocation =
+      Value::choice(arm, Value::record({args, Value::port(reply_port)}));
+  client.send(obj_port, g, r, invocation);
+
+  size_t quiet = 0;
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    size_t processed = 0;
+    for (Node* nd : nodes) processed += nd->poll();
+    if (reply) return *reply;
+    quiet = processed == 0 ? quiet + 1 : 0;
+    if (options.resend_every != 0 && quiet >= options.resend_every) {
+      client.send(obj_port, g, r, invocation);
+      quiet = 0;
+    } else if (options.resend_every == 0 && quiet > 2) {
+      break;
+    }
+  }
+  client.close_port(reply_port);
+  throw TransportError("method call timed out waiting for reply");
+}
+
+runtime::PortAdapter make_port_adapter(Node& node, const plan::PlanGraph& plans,
+                                       const Graph& left, const Graph& right) {
+  return [&node, &plans, &left, &right](uint64_t src_port,
+                                        plan::PlanRef portmap_ref) -> uint64_t {
+    const plan::PlanNode& pm = plans.at(portmap_ref);
+    const Graph& dst_graph = pm.port_dst_in_left ? left : right;
+    const Graph& src_graph = pm.port_src_in_left ? left : right;
+    Ref dst_msg = pm.port_dst_msg;
+    Ref src_msg = pm.port_src_msg;
+    plan::PlanRef msg_plan = pm.inner;
+
+    // The proxy accepts dst-shaped messages, converts them back to the
+    // src shape (contravariance), and forwards to the original port.
+    // Conversions of those messages may themselves contain ports, so the
+    // proxy's converter carries this same adapter recursively.
+    return node.open_port(&dst_graph, dst_msg, [&node, &plans, &left, &right,
+                                                src_port, src_msg, &src_graph,
+                                                msg_plan](const Value& v) {
+      runtime::Converter conv(plans, make_port_adapter(node, plans, left, right));
+      Value converted = conv.apply(msg_plan, v);
+      node.send(src_port, src_graph, src_msg, converted);
+    });
+  };
+}
+
+}  // namespace mbird::rpc

@@ -1,0 +1,145 @@
+// The port model made executable (paper §3.3).
+//
+// A Node is one simulated process. Ports are typed message endpoints:
+// port(tau) values in the Mtype model become 64-bit endpoint ids here
+// ((node id << 48) | local id). Messages to local ports are queued and
+// delivered on poll(); messages to remote ports are marshaled with the
+// wire format and carried by a transport Link.
+//
+// On top of raw ports, helpers implement the paper's function model —
+// a function reference is port(Record(Inputs, port(Outputs))) — and the
+// object model port(Choice(m1..mn)). make_port_adapter() lets the plan
+// interpreter wrap ports contravariantly when conversions cross the
+// network (the PortMap op).
+//
+// Everything is single-threaded and pump-driven for determinism; pump()
+// cycles a set of nodes until quiescence.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mtype/mtype.hpp"
+#include "plan/plan.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/value.hpp"
+#include "transport/link.hpp"
+#include "wire/wire.hpp"
+
+namespace mbird::rpc {
+
+using runtime::Value;
+
+struct NodeStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t local_deliveries = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t unknown_port_drops = 0;
+};
+
+class Node {
+ public:
+  explicit Node(uint16_t id) : id_(id) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] uint16_t id() const { return id_; }
+  [[nodiscard]] static uint16_t node_of(uint64_t port) {
+    return static_cast<uint16_t>(port >> 48);
+  }
+
+  /// Open a port accepting messages of Mtype `msg_type` (in `*g`, which
+  /// must outlive the port). `once` ports close after one delivery (reply
+  /// ports).
+  uint64_t open_port(const mtype::Graph* g, mtype::Ref msg_type,
+                     std::function<void(const Value&)> handler,
+                     bool once = false);
+  void close_port(uint64_t port);
+  [[nodiscard]] size_t open_port_count() const { return ports_.size(); }
+
+  /// Connect a link toward a peer node.
+  void connect(uint16_t peer, std::shared_ptr<transport::Link> link);
+
+  /// Send `v` (shaped like msg_type in g) to a port, local or remote.
+  void send(uint64_t dest_port, const mtype::Graph& g, mtype::Ref msg_type,
+            const Value& v);
+
+  /// Deliver pending local messages and drain link frames. Returns the
+  /// number of messages processed.
+  size_t poll();
+
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+
+ private:
+  struct Port {
+    const mtype::Graph* graph;
+    mtype::Ref msg_type;
+    std::function<void(const Value&)> handler;
+    bool once;
+  };
+
+  void dispatch(uint64_t port_id, const Value& v);
+
+  uint16_t id_;
+  uint64_t next_port_ = 1;
+  uint64_t next_seq_ = 1;
+  std::map<uint64_t, Port> ports_;
+  std::map<uint16_t, std::shared_ptr<transport::Link>> links_;
+  std::vector<std::pair<uint64_t, Value>> local_queue_;
+  std::set<std::pair<uint16_t, uint64_t>> seen_;  // duplicate suppression
+  NodeStats stats_;
+};
+
+/// Poll all nodes round-robin until a full round processes nothing.
+/// Returns total messages processed; stops after max_rounds regardless.
+size_t pump(const std::vector<Node*>& nodes, size_t max_rounds = 100000);
+
+/// Serve a function: `invocation_type` is Record(I, port(O)) — the child
+/// of the function's port Mtype. Returns the function's port id.
+uint64_t serve_function(Node& node, const mtype::Graph& g,
+                        mtype::Ref invocation_type,
+                        std::function<Value(const Value&)> impl);
+
+/// Serve an object: `choice_type` is Choice(m1..mn) (or a single method
+/// Record for one-method objects). `methods[i]` implements arm i.
+uint64_t serve_object(Node& node, const mtype::Graph& g, mtype::Ref choice_type,
+                      std::vector<std::function<Value(const Value&)>> methods);
+
+struct CallOptions {
+  size_t max_rounds = 100000;
+  /// When nonzero, re-send the request every `resend_every` quiet rounds
+  /// (lossy transports; servers are deduplicated by frame seq only when
+  /// the duplicate arrives twice — idempotent impls recommended).
+  size_t resend_every = 0;
+};
+
+/// Synchronous call: build Record(args, port(reply)), send to `fn_port`,
+/// pump `nodes` until the reply lands. Throws TransportError on timeout.
+[[nodiscard]] Value call_function(Node& client, uint64_t fn_port,
+                                  const mtype::Graph& g,
+                                  mtype::Ref invocation_type, const Value& args,
+                                  const std::vector<Node*>& nodes,
+                                  const CallOptions& options = {});
+
+/// Invoke method `arm` on an object port typed Choice(m1..mn).
+[[nodiscard]] Value call_method(Node& client, uint64_t obj_port,
+                                const mtype::Graph& g, mtype::Ref choice_type,
+                                uint32_t arm, const Value& args,
+                                const std::vector<Node*>& nodes,
+                                const CallOptions& options = {});
+
+/// A PortAdapter for runtime::Converter that realizes PortMap ops as
+/// converting proxy ports on `node`. `left`/`right` are the two graphs the
+/// plan's port_*_in_left flags refer to (the comparison's first and second
+/// graphs). The adapter owns nothing; all referenced objects must outlive
+/// the converted values.
+[[nodiscard]] runtime::PortAdapter make_port_adapter(
+    Node& node, const plan::PlanGraph& plans, const mtype::Graph& left,
+    const mtype::Graph& right);
+
+}  // namespace mbird::rpc

@@ -1,0 +1,32 @@
+// Conformance checking: does a Value have the shape of an Mtype?
+//
+// This is the invariant that ties the whole pipeline together: readers must
+// produce values conforming to the lowered Mtype of the declaration they
+// read, converters map conforming values to conforming values, and writers
+// accept anything conforming. Property tests lean on it heavily.
+#pragma once
+
+#include <string>
+
+#include "mtype/mtype.hpp"
+#include "runtime/value.hpp"
+
+namespace mbird::runtime {
+
+/// Returns an empty string when `v` conforms to `ref` in `g`; otherwise a
+/// description of the first non-conformance. Both the List encoding and
+/// nil/cons chains are accepted for canonical list types.
+[[nodiscard]] std::string conform_error(const mtype::Graph& g, mtype::Ref ref,
+                                        const Value& v);
+
+[[nodiscard]] inline bool conforms(const mtype::Graph& g, mtype::Ref ref,
+                                   const Value& v) {
+  return conform_error(g, ref, v).empty();
+}
+
+/// Generate a deterministic pseudo-random value conforming to `ref`
+/// (property tests). `fuel` bounds recursion through cyclic types.
+[[nodiscard]] Value random_value(const mtype::Graph& g, mtype::Ref ref,
+                                 uint64_t seed, int fuel = 6);
+
+}  // namespace mbird::runtime

@@ -1,0 +1,184 @@
+#include "runtime/layout.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace mbird::runtime {
+
+using stype::AggKind;
+using stype::Kind;
+using stype::Prim;
+using stype::Stype;
+
+unsigned prim_size(Prim p) {
+  switch (p) {
+    case Prim::Void: return 0;
+    case Prim::Bool:
+    case Prim::Char8:
+    case Prim::I8:
+    case Prim::U8: return 1;
+    case Prim::Char16:
+    case Prim::I16:
+    case Prim::U16: return 2;
+    case Prim::I32:
+    case Prim::U32:
+    case Prim::F32: return 4;
+    case Prim::I64:
+    case Prim::U64:
+    case Prim::F64: return 8;
+  }
+  return 0;
+}
+
+namespace {
+uint64_t align_up(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+}  // namespace
+
+std::vector<stype::Field*> LayoutEngine::instance_fields(Stype* agg) const {
+  std::vector<stype::Field*> out;
+  // Inherited fields first (mirrors lower::collect_fields).
+  std::vector<Stype*> stack;
+  std::function<void(Stype*, int)> walk = [&](Stype* d, int depth) {
+    if (depth > 16) return;
+    for (const auto& base_name : d->bases) {
+      Stype* base = module_.find(base_name);
+      if (base != nullptr && base->kind == Kind::Aggregate) walk(base, depth + 1);
+    }
+    for (auto& f : d->fields) {
+      if (!f.is_static) out.push_back(&f);
+    }
+  };
+  walk(agg, 0);
+  return out;
+}
+
+Layout LayoutEngine::layout_of(Stype* type) const {
+  if (type == nullptr) return {0, 1};
+  switch (type->kind) {
+    case Kind::Prim: {
+      unsigned s = prim_size(type->prim);
+      return {s, s == 0 ? 1 : s};
+    }
+    case Kind::Named:
+    case Kind::Typedef: {
+      Stype* decl = module_.resolve(const_cast<Stype*>(type));
+      if (decl == nullptr) throw MbError("layout: unknown type '" + type->name + "'");
+      return layout_of(decl);
+    }
+    case Kind::Pointer:
+    case Kind::Reference: return {8, 8};
+    case Kind::Array: {
+      if (!type->array_size) {
+        throw MbError("layout: indefinite array has no intrinsic layout");
+      }
+      Layout e = layout_of(type->elem);
+      return {e.size * *type->array_size, e.align};
+    }
+    case Kind::Sequence:
+      throw MbError("layout: sequences have no native layout (use pointers)");
+    case Kind::Enum: return {4, 4};
+    case Kind::Aggregate: {
+      auto fields = instance_fields(const_cast<Stype*>(type));
+      if (type->agg_kind == AggKind::Union) {
+        Layout l{0, 1};
+        for (auto* f : fields) {
+          Layout fl = layout_of(f->type);
+          l.size = std::max(l.size, fl.size);
+          l.align = std::max(l.align, fl.align);
+        }
+        l.size = align_up(std::max<uint64_t>(l.size, 1), l.align);
+        return l;
+      }
+      uint64_t offset = 0, align = 1;
+      for (auto* f : fields) {
+        Layout fl = layout_of(f->type);
+        offset = align_up(offset, fl.align) + fl.size;
+        align = std::max(align, fl.align);
+      }
+      return {align_up(std::max<uint64_t>(offset, 1), align), align};
+    }
+    case Kind::Function:
+      throw MbError("layout: functions have no data layout");
+  }
+  return {0, 1};
+}
+
+uint64_t LayoutEngine::field_offset(Stype* agg, size_t index) const {
+  auto fields = instance_fields(agg);
+  if (index >= fields.size()) {
+    throw MbError("layout: field index out of range in " + agg->name);
+  }
+  if (agg->agg_kind == AggKind::Union) return 0;
+  uint64_t offset = 0;
+  for (size_t i = 0; i <= index; ++i) {
+    Layout fl = layout_of(fields[i]->type);
+    offset = align_up(offset, fl.align);
+    if (i == index) return offset;
+    offset += fl.size;
+  }
+  return offset;
+}
+
+uint64_t NativeHeap::alloc(uint64_t size, uint64_t align) {
+  if (align == 0) align = 1;
+  uint64_t addr = align_up(mem_.size(), align);
+  mem_.resize(addr + std::max<uint64_t>(size, 1), 0);
+  return addr;
+}
+
+const uint8_t* NativeHeap::at(uint64_t addr, uint64_t len) const {
+  if (addr == 0 || addr + len > mem_.size()) {
+    throw MbError("native heap: bad access at " + std::to_string(addr));
+  }
+  return mem_.data() + addr;
+}
+
+uint8_t* NativeHeap::at_mut(uint64_t addr, uint64_t len) {
+  if (addr == 0 || addr + len > mem_.size()) {
+    throw MbError("native heap: bad access at " + std::to_string(addr));
+  }
+  return mem_.data() + addr;
+}
+
+uint64_t NativeHeap::read_uint(uint64_t addr, unsigned bytes) const {
+  uint64_t v = 0;
+  std::memcpy(&v, at(addr, bytes), bytes);
+  return v;
+}
+
+int64_t NativeHeap::read_int(uint64_t addr, unsigned bytes) const {
+  uint64_t u = read_uint(addr, bytes);
+  // Sign-extend.
+  if (bytes < 8) {
+    uint64_t sign = 1ULL << (bytes * 8 - 1);
+    if (u & sign) u |= ~((sign << 1) - 1);
+  }
+  return static_cast<int64_t>(u);
+}
+
+void NativeHeap::write_uint(uint64_t addr, unsigned bytes, uint64_t value) {
+  std::memcpy(at_mut(addr, bytes), &value, bytes);
+}
+
+float NativeHeap::read_f32(uint64_t addr) const {
+  float f;
+  std::memcpy(&f, at(addr, 4), 4);
+  return f;
+}
+
+double NativeHeap::read_f64(uint64_t addr) const {
+  double d;
+  std::memcpy(&d, at(addr, 8), 8);
+  return d;
+}
+
+void NativeHeap::write_f32(uint64_t addr, float v) {
+  std::memcpy(at_mut(addr, 4), &v, 4);
+}
+
+void NativeHeap::write_f64(uint64_t addr, double v) {
+  std::memcpy(at_mut(addr, 8), &v, 8);
+}
+
+}  // namespace mbird::runtime

@@ -1,0 +1,80 @@
+// C memory layout engine + simulated native heap.
+//
+// Local stubs read and write real memory images (the paper's generated C
+// stubs do JNI-side memory access). This engine models a conventional
+// System V-style ABI: natural alignment for scalars, structs padded to the
+// max member alignment, unions sized by their largest arm, 8-byte pointers.
+// The NativeHeap is a flat byte arena; addresses are offsets into it, with
+// 0 reserved as the null pointer. Examples implement their "native" C
+// functions directly against the heap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+#include "support/error.hpp"
+
+namespace mbird::runtime {
+
+struct Layout {
+  uint64_t size = 0;
+  uint64_t align = 1;
+};
+
+class LayoutEngine {
+ public:
+  explicit LayoutEngine(const stype::Module& module) : module_(module) {}
+
+  /// Size/alignment of a type as laid out in native memory. Pointers and
+  /// references are 8 bytes. Indefinite arrays have no intrinsic layout and
+  /// throw MbError (they exist behind pointers).
+  [[nodiscard]] Layout layout_of(stype::Stype* type) const;
+
+  /// Byte offset of field `index` (into the full flattened field list,
+  /// including inherited fields — matching stype field collection order).
+  [[nodiscard]] uint64_t field_offset(stype::Stype* agg, size_t index) const;
+
+  /// All instance fields (inherited first), as the reader/writer see them.
+  [[nodiscard]] std::vector<stype::Field*> instance_fields(stype::Stype* agg) const;
+
+  [[nodiscard]] const stype::Module& module() const { return module_; }
+
+ private:
+  const stype::Module& module_;
+};
+
+class NativeHeap {
+ public:
+  NativeHeap() : mem_(16, 0) {}  // address 0..15 reserved; 0 is NULL
+
+  /// Allocate `size` bytes at `align`; returns the address. Memory is
+  /// zero-initialized.
+  uint64_t alloc(uint64_t size, uint64_t align);
+
+  [[nodiscard]] const uint8_t* at(uint64_t addr, uint64_t len) const;
+  [[nodiscard]] uint8_t* at_mut(uint64_t addr, uint64_t len);
+
+  // Scalar accessors (little-endian host assumed; the wire format has its
+  // own explicit byte order).
+  [[nodiscard]] uint64_t read_uint(uint64_t addr, unsigned bytes) const;
+  [[nodiscard]] int64_t read_int(uint64_t addr, unsigned bytes) const;
+  void write_uint(uint64_t addr, unsigned bytes, uint64_t value);
+  [[nodiscard]] float read_f32(uint64_t addr) const;
+  [[nodiscard]] double read_f64(uint64_t addr) const;
+  void write_f32(uint64_t addr, float v);
+  void write_f64(uint64_t addr, double v);
+  [[nodiscard]] uint64_t read_ptr(uint64_t addr) const { return read_uint(addr, 8); }
+  void write_ptr(uint64_t addr, uint64_t value) { write_uint(addr, 8, value); }
+
+  [[nodiscard]] uint64_t size() const { return mem_.size(); }
+
+ private:
+  std::vector<uint8_t> mem_;
+};
+
+/// Scalar width in bytes for a primitive (pointers handled separately).
+[[nodiscard]] unsigned prim_size(stype::Prim p);
+
+}  // namespace mbird::runtime

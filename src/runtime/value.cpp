@@ -1,0 +1,144 @@
+#include "runtime/value.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace mbird::runtime {
+
+Value Value::string(std::string_view s) {
+  std::vector<Value> chars;
+  chars.reserve(s.size());
+  for (char c : s) chars.push_back(character(static_cast<unsigned char>(c)));
+  return list(std::move(chars));
+}
+
+Int128 Value::as_int() const {
+  if (kind_ != Kind::Int) throw ConversionError("value is not an integer: " + to_string());
+  return int_;
+}
+
+double Value::as_real() const {
+  if (kind_ != Kind::Real) throw ConversionError("value is not a real: " + to_string());
+  return real_;
+}
+
+uint32_t Value::as_char() const {
+  if (kind_ != Kind::Char) throw ConversionError("value is not a character: " + to_string());
+  return static_cast<uint32_t>(int_);
+}
+
+uint64_t Value::as_port() const {
+  if (kind_ != Kind::Port) throw ConversionError("value is not a port: " + to_string());
+  return static_cast<uint64_t>(int_);
+}
+
+uint32_t Value::arm() const {
+  if (kind_ != Kind::Choice) throw ConversionError("value is not a choice: " + to_string());
+  return arm_;
+}
+
+const Value& Value::inner() const {
+  if (kind_ != Kind::Choice || kids_.empty()) {
+    throw ConversionError("value is not a choice: " + to_string());
+  }
+  return kids_[0];
+}
+
+const Value& Value::at(size_t i) const {
+  if (i >= kids_.size()) {
+    throw ConversionError("child index " + std::to_string(i) +
+                          " out of range in " + to_string());
+  }
+  return kids_[i];
+}
+
+std::optional<std::vector<Value>> Value::as_list() const {
+  if (kind_ == Kind::List) return kids_;
+  // Accept a nil/cons chain.
+  std::vector<Value> out;
+  const Value* cur = this;
+  for (;;) {
+    if (cur->kind_ != Kind::Choice || cur->kids_.empty()) return std::nullopt;
+    const Value& in = cur->kids_[0];
+    if (in.kind_ == Kind::Unit) return out;  // nil
+    if (in.kind_ != Kind::Record || in.kids_.size() < 2) return std::nullopt;
+    // cons: all but the last child are the element (usually one).
+    if (in.kids_.size() == 2) {
+      out.push_back(in.kids_[0]);
+    } else {
+      out.push_back(Value::record(std::vector<Value>(in.kids_.begin(),
+                                                     in.kids_.end() - 1)));
+    }
+    cur = &in.kids_.back();
+  }
+}
+
+Value Value::chain_from_list(const std::vector<Value>& elems, uint32_t nil_arm,
+                             uint32_t cons_arm) {
+  Value chain = choice(nil_arm, unit());
+  for (auto it = elems.rbegin(); it != elems.rend(); ++it) {
+    chain = choice(cons_arm, record({*it, std::move(chain)}));
+  }
+  return chain;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::Unit: os << "unit"; break;
+    case Kind::Int: os << mbird::to_string(int_); break;
+    case Kind::Real: os << real_; break;
+    case Kind::Char: {
+      uint32_t cp = static_cast<uint32_t>(int_);
+      if (cp >= 0x20 && cp < 0x7f) {
+        os << '\'' << static_cast<char>(cp) << '\'';
+      } else {
+        os << "'\\u" << cp << '\'';
+      }
+      break;
+    }
+    case Kind::Record: {
+      os << '(';
+      for (size_t i = 0; i < kids_.size(); ++i) {
+        if (i) os << ", ";
+        os << kids_[i].to_string();
+      }
+      os << ')';
+      break;
+    }
+    case Kind::Choice:
+      os << '#' << arm_ << ':' << (kids_.empty() ? "?" : kids_[0].to_string());
+      break;
+    case Kind::List: {
+      os << '[';
+      for (size_t i = 0; i < kids_.size(); ++i) {
+        if (i) os << ", ";
+        os << kids_[i].to_string();
+      }
+      os << ']';
+      break;
+    }
+    case Kind::Port: os << "port@" << static_cast<uint64_t>(int_); break;
+  }
+  return os.str();
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::Unit: return true;
+    case Value::Kind::Int:
+    case Value::Kind::Char:
+    case Value::Kind::Port: return a.int_ == b.int_;
+    case Value::Kind::Real: return a.real_ == b.real_;
+    case Value::Kind::Choice:
+      if (a.arm_ != b.arm_) return false;
+      [[fallthrough]];
+    case Value::Kind::Record:
+    case Value::Kind::List: return a.kids_ == b.kids_;
+  }
+  return false;
+}
+
+}  // namespace mbird::runtime

@@ -1,0 +1,117 @@
+// Generic runtime values, shaped like Mtypes.
+//
+// Stubs convert between concrete representations (native C memory images,
+// Java-like object heaps, wire bytes) through this common value form. A
+// Value mirrors the structural shape of its Mtype:
+//   Int / Real / Char / Unit  — scalars
+//   Record                    — ordered children
+//   Choice                    — active arm index + inner value
+//   List                      — canonical encoding of recursive list data
+//   Port                      — an endpoint id in the rpc layer
+//
+// Recursive non-list data (e.g. a linked-list object graph read field by
+// field) may also appear as a nested Choice/Record chain; as_list() accepts
+// both encodings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/wide_int.hpp"
+
+namespace mbird::runtime {
+
+class Value {
+ public:
+  enum class Kind : uint8_t { Unit, Int, Real, Char, Record, Choice, List, Port };
+
+  Value() = default;
+
+  static Value unit() { return Value(); }
+  static Value integer(Int128 v) {
+    Value x;
+    x.kind_ = Kind::Int;
+    x.int_ = v;
+    return x;
+  }
+  static Value boolean(bool b) { return integer(b ? 1 : 0); }
+  static Value real(double v) {
+    Value x;
+    x.kind_ = Kind::Real;
+    x.real_ = v;
+    return x;
+  }
+  static Value character(uint32_t codepoint) {
+    Value x;
+    x.kind_ = Kind::Char;
+    x.int_ = codepoint;
+    return x;
+  }
+  static Value record(std::vector<Value> children) {
+    Value x;
+    x.kind_ = Kind::Record;
+    x.kids_ = std::move(children);
+    return x;
+  }
+  static Value choice(uint32_t arm, Value inner) {
+    Value x;
+    x.kind_ = Kind::Choice;
+    x.arm_ = arm;
+    x.kids_.push_back(std::move(inner));
+    return x;
+  }
+  static Value list(std::vector<Value> elements) {
+    Value x;
+    x.kind_ = Kind::List;
+    x.kids_ = std::move(elements);
+    return x;
+  }
+  static Value port(uint64_t endpoint_id) {
+    Value x;
+    x.kind_ = Kind::Port;
+    x.int_ = static_cast<Int128>(endpoint_id);
+    return x;
+  }
+  /// Convenience for strings: a List of Char values.
+  static Value string(std::string_view s);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is(Kind k) const { return kind_ == k; }
+
+  [[nodiscard]] Int128 as_int() const;
+  [[nodiscard]] double as_real() const;
+  [[nodiscard]] uint32_t as_char() const;
+  [[nodiscard]] uint64_t as_port() const;
+  [[nodiscard]] uint32_t arm() const;
+  /// Choice inner value.
+  [[nodiscard]] const Value& inner() const;
+  /// Record children or List elements.
+  [[nodiscard]] const std::vector<Value>& children() const { return kids_; }
+  [[nodiscard]] std::vector<Value>& children_mut() { return kids_; }
+  [[nodiscard]] size_t size() const { return kids_.size(); }
+  [[nodiscard]] const Value& at(size_t i) const;
+
+  /// View this value as a sequence of elements: accepts both the List
+  /// encoding and a nil/cons Choice chain (Choice(nil=unit) terminated,
+  /// cons = Record(elem, tail)). Returns nullopt for other shapes.
+  [[nodiscard]] std::optional<std::vector<Value>> as_list() const;
+
+  /// Inverse of the chain acceptance: encode a List as a nil/cons chain
+  /// with the given arm indices.
+  [[nodiscard]] static Value chain_from_list(const std::vector<Value>& elems,
+                                             uint32_t nil_arm, uint32_t cons_arm);
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_ = Kind::Unit;
+  Int128 int_ = 0;
+  double real_ = 0.0;
+  uint32_t arm_ = 0;
+  std::vector<Value> kids_;
+};
+
+}  // namespace mbird::runtime

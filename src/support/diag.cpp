@@ -1,0 +1,52 @@
+#include "support/diag.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace mbird {
+
+std::string SourceLoc::to_string() const {
+  if (!known()) return file.empty() ? "<unknown>" : file;
+  std::ostringstream os;
+  os << (file.empty() ? "<input>" : file) << ':' << line << ':' << col;
+  return os.str();
+}
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << loc.to_string() << ": " << mbird::to_string(severity) << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  Diagnostic d{sev, std::move(loc), std::move(message)};
+  if (sev == Severity::Error) ++error_count_;
+  if (sink_) sink_(d);
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+std::string DiagnosticEngine::summary() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.to_string() << '\n';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d) {
+  return os << d.to_string();
+}
+
+}  // namespace mbird

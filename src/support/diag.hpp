@@ -1,0 +1,76 @@
+// Diagnostics: source locations, severities, and a collecting engine.
+//
+// Every frontend (C/C++, IDL, Java source, class files) and the comparer
+// report problems through a DiagnosticEngine so that callers (the `mbird`
+// CLI, tests) can decide whether to print, collect, or assert on them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbird {
+
+/// A position in some named input (file or pseudo-buffer). Lines and columns
+/// are 1-based; 0 means "unknown".
+struct SourceLoc {
+  std::string file;
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  [[nodiscard]] bool known() const { return line != 0; }
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+enum class Severity : uint8_t { Note, Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+/// One reported problem.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Collects diagnostics; optionally forwards them to a sink as they arrive.
+class DiagnosticEngine {
+ public:
+  using Sink = std::function<void(const Diagnostic&)>;
+
+  DiagnosticEngine() = default;
+  explicit DiagnosticEngine(Sink sink) : sink_(std::move(sink)) {}
+
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, std::move(loc), std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, std::move(loc), std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::Note, std::move(loc), std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  void clear();
+
+  /// All messages joined with newlines; handy in test failure output.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t error_count_ = 0;
+  Sink sink_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d);
+
+}  // namespace mbird

@@ -1,0 +1,46 @@
+// Exception types used across the library. Parsing and comparison prefer
+// DiagnosticEngine reporting; exceptions are for API misuse and for runtime
+// conversion failures (range errors, null violations) that stubs must
+// surface to callers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "support/diag.hpp"
+
+namespace mbird {
+
+/// Base class for all Mockingbird errors.
+class MbError : public std::runtime_error {
+ public:
+  explicit MbError(const std::string& what) : std::runtime_error(what) {}
+  MbError(const SourceLoc& loc, const std::string& what)
+      : std::runtime_error(loc.to_string() + ": " + what), loc_(loc) {}
+
+  [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// A conversion executed by a stub failed at runtime (e.g. value out of the
+/// annotated range, unexpected null, unmappable choice arm).
+class ConversionError : public MbError {
+ public:
+  using MbError::MbError;
+};
+
+/// A wire message could not be decoded (truncation, bad magic, bad version).
+class WireError : public MbError {
+ public:
+  using MbError::MbError;
+};
+
+/// A transport endpoint failed (closed, unreachable, send on dead peer).
+class TransportError : public MbError {
+ public:
+  using MbError::MbError;
+};
+
+}  // namespace mbird

@@ -1,0 +1,42 @@
+// Deterministic PRNG (SplitMix64) for property tests, workload generators,
+// and fault-injecting transports. std::mt19937 is avoided so that seeds
+// reproduce identically across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace mbird {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t below(uint64_t n) { return next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (0..1).
+  bool chance(double p) {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mbird

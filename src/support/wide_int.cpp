@@ -1,0 +1,59 @@
+#include "support/wide_int.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mbird {
+
+std::string to_string(Int128 v) {
+  if (v == 0) return "0";
+  bool neg = v < 0;
+  // Accumulate digits of |v| without overflowing on INT128_MIN: peel the
+  // lowest digit while still signed.
+  unsigned __int128 u;
+  if (neg) {
+    u = static_cast<unsigned __int128>(-(v + 1)) + 1;
+  } else {
+    u = static_cast<unsigned __int128>(v);
+  }
+  std::string digits;
+  while (u != 0) {
+    digits += static_cast<char>('0' + static_cast<int>(u % 10));
+    u /= 10;
+  }
+  if (neg) digits += '-';
+  return {digits.rbegin(), digits.rend()};
+}
+
+Int128 parse_int128(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("empty integer literal");
+  size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  if (i == s.size()) throw std::invalid_argument("sign with no digits: " + s);
+  unsigned __int128 u = 0;
+  constexpr unsigned __int128 kMax =
+      ~static_cast<unsigned __int128>(0);  // bound check below is tighter
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') throw std::invalid_argument("bad digit in integer: " + s);
+    unsigned digit = static_cast<unsigned>(c - '0');
+    if (u > (kMax - digit) / 10) throw std::invalid_argument("integer overflow: " + s);
+    u = u * 10 + digit;
+  }
+  // Clamp to signed 128-bit range.
+  const unsigned __int128 kSignedMax =
+      (static_cast<unsigned __int128>(1) << 127) - 1;
+  if (neg) {
+    if (u > kSignedMax + 1) throw std::invalid_argument("integer overflow: " + s);
+    if (u == kSignedMax + 1) return -static_cast<Int128>(kSignedMax) - 1;
+    return -static_cast<Int128>(u);
+  }
+  if (u > kSignedMax) throw std::invalid_argument("integer overflow: " + s);
+  return static_cast<Int128>(u);
+}
+
+}  // namespace mbird

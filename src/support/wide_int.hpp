@@ -1,0 +1,26 @@
+// 128-bit integers for Mtype integer ranges.
+//
+// The Integer Mtype family is parameterized by range (paper §3.1). Ranges
+// must cover the full span of 64-bit unsigned types (0 .. 2^64-1) as well as
+// signed 64-bit types, so bounds are held in a signed 128-bit integer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mbird {
+
+using Int128 = __int128;
+
+[[nodiscard]] std::string to_string(Int128 v);
+
+/// Parse a decimal (optionally negative) 128-bit integer. Throws
+/// std::invalid_argument on malformed input or overflow.
+[[nodiscard]] Int128 parse_int128(const std::string& s);
+
+/// 2^n as Int128 (n <= 126).
+[[nodiscard]] constexpr Int128 pow2(int n) {
+  return static_cast<Int128>(1) << n;
+}
+
+}  // namespace mbird

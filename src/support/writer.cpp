@@ -1,0 +1,51 @@
+#include "support/writer.hpp"
+
+namespace mbird {
+
+void CodeWriter::pad_if_line_start() {
+  if (at_line_start_) {
+    out_.append(static_cast<size_t>(level_ * indent_width_), ' ');
+    at_line_start_ = false;
+  }
+}
+
+void CodeWriter::line(std::string_view text) {
+  if (!text.empty()) {
+    pad_if_line_start();
+    out_ += text;
+  }
+  out_ += '\n';
+  at_line_start_ = true;
+}
+
+void CodeWriter::raw(std::string_view text) {
+  for (char c : text) {
+    if (c == '\n') {
+      out_ += '\n';
+      at_line_start_ = true;
+    } else {
+      pad_if_line_start();
+      out_ += c;
+    }
+  }
+}
+
+void CodeWriter::open(std::string_view text) {
+  line(text);
+  indent();
+}
+
+void CodeWriter::close(std::string_view text) {
+  dedent();
+  line(text);
+}
+
+void CodeWriter::blank() {
+  if (!out_.empty() && !(out_.size() >= 2 && out_[out_.size() - 1] == '\n' &&
+                         out_[out_.size() - 2] == '\n')) {
+    out_ += '\n';
+  }
+  at_line_start_ = true;
+}
+
+}  // namespace mbird

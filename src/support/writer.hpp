@@ -1,0 +1,41 @@
+// Indentation-aware text writer used by every printer and code generator.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mbird {
+
+class CodeWriter {
+ public:
+  explicit CodeWriter(int indent_width = 2) : indent_width_(indent_width) {}
+
+  /// Write one line at the current indentation (a '\n' is appended).
+  void line(std::string_view text = {});
+  /// Write text without a newline; indentation is applied only at the start
+  /// of a physical line.
+  void raw(std::string_view text);
+  /// `line(text)` then `indent()`.
+  void open(std::string_view text);
+  /// `dedent()` then `line(text)`.
+  void close(std::string_view text);
+
+  void indent() { ++level_; }
+  void dedent() {
+    if (level_ > 0) --level_;
+  }
+  void blank();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void pad_if_line_start();
+
+  std::string out_;
+  int indent_width_;
+  int level_ = 0;
+  bool at_line_start_ = true;
+};
+
+}  // namespace mbird

@@ -1,0 +1,319 @@
+#include "tool/mbird.hpp"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "annotate/script.hpp"
+#include "cfront/cparser.hpp"
+#include "codegen/cgen.hpp"
+#include "compare/compare.hpp"
+#include "idl/idlparser.hpp"
+#include "javaclass/classfile.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+#include "project/project.hpp"
+#include "support/strings.hpp"
+
+namespace mbird::tool {
+
+namespace {
+
+using stype::Lang;
+using stype::Module;
+using stype::Stype;
+
+struct Session {
+  std::vector<Module> modules;
+  // Original sources, for project save.
+  project::Project record;
+  DiagnosticEngine diags;
+  std::ostream* err = nullptr;
+
+  explicit Session(std::ostream& e)
+      : diags([&e](const Diagnostic& d) { e << d.to_string() << '\n'; }),
+        err(&e) {}
+
+  Module* module_of(const std::string& name) {
+    for (auto& m : modules) {
+      if (m.name() == name) return &m;
+    }
+    return nullptr;
+  }
+
+  /// Find a declaration across modules: "module:decl" or bare "decl".
+  /// Returns the owning module and fills `decl_name`.
+  Module* find_decl(const std::string& spec, std::string* decl_name) {
+    auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+      *decl_name = spec.substr(colon + 1);
+      return module_of(spec.substr(0, colon));
+    }
+    *decl_name = spec;
+    // Bare names may be "Class.method": search by the class component.
+    std::string head = spec.substr(0, spec.find('.'));
+    for (auto& m : modules) {
+      if (m.find(head) != nullptr) return &m;
+    }
+    return nullptr;
+  }
+};
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << text;
+  return f.good();
+}
+
+bool load_source(Session& s, Lang lang, const std::string& path,
+                 const std::string& text) {
+  switch (lang) {
+    case Lang::C: {
+      cfront::Options opts;
+      opts.cplusplus = false;
+      s.modules.push_back(cfront::parse_c(text, path, s.diags, opts));
+      break;
+    }
+    case Lang::Cpp: s.modules.push_back(cfront::parse_c(text, path, s.diags)); break;
+    case Lang::Java: s.modules.push_back(javasrc::parse_java(text, path, s.diags)); break;
+    case Lang::Idl: s.modules.push_back(idl::parse_idl(text, path, s.diags)); break;
+  }
+  s.record.sources.push_back({lang, path, text});
+  return !s.diags.has_errors();
+}
+
+int usage(std::ostream& err) {
+  err << "usage: mbird [--c|--java|--idl|--classfile|--project <file>]...\n"
+         "             [--script <file>] [--annotate '<stmts>']\n"
+         "             <list|show|mtype|diagram|compare|plan|gen|save> ...\n";
+  return 2;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  Session s(err);
+
+  size_t i = 0;
+  auto next_arg = [&](const std::string& flag) -> std::optional<std::string> {
+    if (i + 1 >= args.size()) {
+      err << "mbird: " << flag << " requires an argument\n";
+      return std::nullopt;
+    }
+    return args[++i];
+  };
+
+  // ---- input phase ----------------------------------------------------------
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (!starts_with(a, "--")) break;  // command reached
+
+    auto want_file = [&]() -> std::optional<std::string> {
+      auto p = next_arg(a);
+      if (!p) return std::nullopt;
+      return p;
+    };
+
+    if (a == "--c" || a == "--java" || a == "--idl") {
+      auto path = want_file();
+      if (!path) return 2;
+      auto text = read_file(*path);
+      if (!text) {
+        err << "mbird: cannot read " << *path << '\n';
+        return 1;
+      }
+      Lang lang = a == "--c" ? Lang::Cpp : a == "--java" ? Lang::Java : Lang::Idl;
+      load_source(s, lang, *path, *text);
+    } else if (a == "--classfile") {
+      auto path = want_file();
+      if (!path) return 2;
+      auto text = read_file(*path);
+      if (!text) {
+        err << "mbird: cannot read " << *path << '\n';
+        return 1;
+      }
+      Module m(Lang::Java, *path);
+      std::vector<uint8_t> bytes(text->begin(), text->end());
+      javaclass::parse_class_into(m, bytes, s.diags);
+      s.modules.push_back(std::move(m));
+      // class files are binary; they are not recorded into projects.
+    } else if (a == "--project") {
+      auto path = want_file();
+      if (!path) return 2;
+      auto text = read_file(*path);
+      if (!text) {
+        err << "mbird: cannot read " << *path << '\n';
+        return 1;
+      }
+      project::Project p = project::parse_project(*text, s.diags);
+      auto mods = project::load_modules(p, s.diags);
+      for (auto& m : mods) s.modules.push_back(std::move(m));
+      for (auto& src : p.sources) s.record.sources.push_back(src);
+      for (auto& sc : p.scripts) s.record.scripts.push_back(sc);
+    } else if (a == "--script" || a == "--annotate") {
+      std::string text;
+      std::string name;
+      if (a == "--script") {
+        auto path = want_file();
+        if (!path) return 2;
+        auto t = read_file(*path);
+        if (!t) {
+          err << "mbird: cannot read " << *path << '\n';
+          return 1;
+        }
+        text = *t;
+        name = *path;
+      } else {
+        auto t = next_arg(a);
+        if (!t) return 2;
+        text = *t;
+        name = "<inline>";
+      }
+      if (s.modules.empty()) {
+        err << "mbird: " << a << " must follow an input\n";
+        return 2;
+      }
+      annotate::run_script(text, name, s.modules.back(), s.diags);
+      s.record.scripts.push_back({s.modules.back().name(), text});
+    } else {
+      err << "mbird: unknown option " << a << '\n';
+      return usage(err);
+    }
+  }
+
+  if (s.diags.has_errors()) return 1;
+  if (i >= args.size()) return usage(err);
+  std::string cmd = args[i++];
+
+  // ---- command phase -----------------------------------------------------------
+  if (cmd == "list") {
+    for (const auto& m : s.modules) {
+      out << m.name() << " (" << stype::to_string(m.lang()) << ")\n";
+      for (const auto& name : m.decl_order()) {
+        out << "  " << name << '\n';
+      }
+    }
+    return 0;
+  }
+
+  if (cmd == "show" || cmd == "mtype" || cmd == "diagram") {
+    if (i >= args.size()) return usage(err);
+    std::string decl_name;
+    Module* m = s.find_decl(args[i], &decl_name);
+    if (m == nullptr) {
+      err << "mbird: unknown declaration '" << args[i] << "'\n";
+      return 1;
+    }
+    if (cmd == "show") {
+      std::string head = decl_name.substr(0, decl_name.find('.'));
+      Stype* d = m->find(head);
+      out << stype::print_decl(d) << '\n';
+      return 0;
+    }
+    mtype::Graph g;
+    mtype::Ref r = lower::lower_decl(*m, g, decl_name, s.diags);
+    if (r == mtype::kNullRef || s.diags.has_errors()) return 1;
+    out << (cmd == "mtype" ? mtype::print(g, r) + "\n" : mtype::diagram(g, r));
+    return 0;
+  }
+
+  if (cmd == "compare" || cmd == "plan" || cmd == "gen") {
+    if (i + 1 >= args.size()) return usage(err);
+    std::string name_a, name_b;
+    Module* ma = s.find_decl(args[i], &name_a);
+    Module* mb = s.find_decl(args[i + 1], &name_b);
+    if (ma == nullptr || mb == nullptr) {
+      err << "mbird: unknown declaration '" << args[ma ? i + 1 : i] << "'\n";
+      return 1;
+    }
+    i += 2;
+
+    mtype::Graph ga, gb;
+    mtype::Ref ra = lower::lower_decl(*ma, ga, name_a, s.diags);
+    mtype::Ref rb = lower::lower_decl(*mb, gb, name_b, s.diags);
+    if (ra == mtype::kNullRef || rb == mtype::kNullRef || s.diags.has_errors()) {
+      return 1;
+    }
+
+    auto full = compare::compare_full(ga, ra, gb, rb);
+    if (cmd == "compare") {
+      out << compare::to_string(full.verdict) << '\n';
+      if (full.verdict == compare::Verdict::Mismatch) {
+        out << full.to_right.mismatch.to_string() << '\n';
+        return 1;
+      }
+      return 0;
+    }
+    if (full.verdict != compare::Verdict::Equivalent &&
+        full.verdict != compare::Verdict::LeftSubtype) {
+      err << "mbird: no left-to-right conversion exists ("
+          << compare::to_string(full.verdict) << ")\n";
+      if (full.to_right.mismatch.valid) {
+        err << full.to_right.mismatch.to_string() << '\n';
+      }
+      return 1;
+    }
+    if (cmd == "plan") {
+      out << plan::print(full.to_right.plan, full.to_right.root);
+      return 0;
+    }
+
+    // gen
+    std::string stub_name = "stub";
+    std::string out_dir;
+    for (; i < args.size(); ++i) {
+      if (args[i] == "--name" && i + 1 < args.size()) stub_name = args[++i];
+      else if (args[i] == "-o" && i + 1 < args.size()) out_dir = args[++i];
+    }
+    codegen::Options copts;
+    copts.emit_marshaler = true;
+    auto stub = codegen::generate_c_stub(ga, ra, gb, rb, full.to_right.plan,
+                                         full.to_right.root, stub_name, copts);
+    if (out_dir.empty()) {
+      out << stub.header << '\n' << stub.source;
+    } else {
+      std::string h = out_dir + "/" + stub_name + ".h";
+      std::string c = out_dir + "/" + stub_name + ".c";
+      if (!write_file(h, stub.header) || !write_file(c, stub.source)) {
+        err << "mbird: cannot write stub files to " << out_dir << '\n';
+        return 1;
+      }
+      out << "wrote " << h << " and " << c << '\n';
+    }
+    return 0;
+  }
+
+  if (cmd == "save") {
+    if (i >= args.size()) return usage(err);
+    // Sources plus the *exported* current annotations: the export already
+    // reflects everything earlier scripts applied, so recorded scripts are
+    // not duplicated into the project.
+    project::Project p;
+    p.sources = s.record.sources;
+    for (const auto& m : s.modules) {
+      p.scripts.push_back({m.name(), project::export_annotations(m)});
+    }
+    if (!write_file(args[i], project::serialize(p))) {
+      err << "mbird: cannot write " << args[i] << '\n';
+      return 1;
+    }
+    out << "saved " << args[i] << '\n';
+    return 0;
+  }
+
+  err << "mbird: unknown command '" << cmd << "'\n";
+  return usage(err);
+}
+
+}  // namespace mbird::tool

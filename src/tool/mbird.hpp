@@ -1,0 +1,40 @@
+// The `mbird` command-line tool: the Fig. 6 pipeline end to end.
+//
+//   mbird [inputs] <command> [args]
+//
+// Inputs (repeatable; language by extension or explicit flag):
+//   --c <file>         C/C++ declarations        (.h .c .hpp .cc .cpp)
+//   --java <file>      Java source declarations  (.java)
+//   --classfile <file> Java class file           (.class)
+//   --idl <file>       CORBA IDL                 (.idl)
+//   --project <file>   a saved project           (.mbp)
+//   --script <file>    annotation script applied to the preceding input
+//   --annotate <stmts> inline annotation statements, ditto
+//
+// Commands:
+//   list                       list loaded declarations
+//   show <decl>                print a declaration with annotations
+//   mtype <decl>               print the lowered Mtype (µ-notation)
+//   diagram <decl>             ASCII Mtype diagram (the Fig. 7 panel)
+//   compare <declA> <declB>    run the Comparer; prints the verdict or the
+//                              mismatch diagnosis
+//   plan <declA> <declB>       print the coercion plan
+//   gen <declA> <declB> --name <stub> [-o <dir>]
+//                              emit the C stub (header + source)
+//   save <file.mbp>            save sources + annotations as a project
+//
+// The core entry point is run() so tests can drive the CLI in-process.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbird::tool {
+
+/// Runs the CLI. Returns the process exit code. Output and errors go to
+/// the given streams (main() passes std::cout/std::cerr).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace mbird::tool

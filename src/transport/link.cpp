@@ -1,0 +1,134 @@
+#include "transport/link.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+
+#include "support/error.hpp"
+
+namespace mbird::transport {
+
+namespace {
+
+// ---- in-process ---------------------------------------------------------------
+
+struct SharedQueues {
+  std::deque<std::vector<uint8_t>> a_to_b;
+  std::deque<std::vector<uint8_t>> b_to_a;
+  FaultOptions faults;
+  Rng rng{1};
+};
+
+class InProcLink : public Link {
+ public:
+  InProcLink(std::shared_ptr<SharedQueues> q, bool is_a) : q_(std::move(q)), is_a_(is_a) {}
+
+  void send(std::vector<uint8_t> frame) override {
+    auto& queue = is_a_ ? q_->a_to_b : q_->b_to_a;
+    const auto& f = q_->faults;
+    if (f.drop_probability > 0 && q_->rng.chance(f.drop_probability)) return;
+    queue.push_back(frame);
+    if (f.duplicate_probability > 0 && q_->rng.chance(f.duplicate_probability)) {
+      queue.push_back(frame);
+    }
+    if (f.reorder_probability > 0 && queue.size() >= 2 &&
+        q_->rng.chance(f.reorder_probability)) {
+      std::swap(queue[queue.size() - 1], queue[queue.size() - 2]);
+    }
+  }
+
+  std::optional<std::vector<uint8_t>> poll() override {
+    auto& queue = is_a_ ? q_->b_to_a : q_->a_to_b;
+    if (queue.empty()) return std::nullopt;
+    auto frame = std::move(queue.front());
+    queue.pop_front();
+    return frame;
+  }
+
+ private:
+  std::shared_ptr<SharedQueues> q_;
+  bool is_a_;
+};
+
+// ---- socketpair ------------------------------------------------------------------
+
+class SocketLink : public Link {
+ public:
+  explicit SocketLink(int fd) : fd_(fd) {}
+  ~SocketLink() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(std::vector<uint8_t> frame) override {
+    uint32_t len = static_cast<uint32_t>(frame.size());
+    uint8_t hdr[4] = {static_cast<uint8_t>(len >> 24), static_cast<uint8_t>(len >> 16),
+                      static_cast<uint8_t>(len >> 8), static_cast<uint8_t>(len)};
+    write_all(hdr, 4);
+    write_all(frame.data(), frame.size());
+  }
+
+  std::optional<std::vector<uint8_t>> poll() override {
+    // Pull whatever is available into the reassembly buffer, then try to
+    // extract one frame.
+    for (;;) {
+      uint8_t chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, MSG_DONTWAIT);
+      if (n > 0) {
+        buffer_.insert(buffer_.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) break;  // peer closed; return what we have framed
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      throw TransportError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (buffer_.size() < 4) return std::nullopt;
+    uint32_t len = (static_cast<uint32_t>(buffer_[0]) << 24) |
+                   (static_cast<uint32_t>(buffer_[1]) << 16) |
+                   (static_cast<uint32_t>(buffer_[2]) << 8) |
+                   static_cast<uint32_t>(buffer_[3]);
+    if (buffer_.size() < 4 + static_cast<size_t>(len)) return std::nullopt;
+    std::vector<uint8_t> frame(buffer_.begin() + 4, buffer_.begin() + 4 + len);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
+    return frame;
+  }
+
+ private:
+  void write_all(const uint8_t* data, size_t len) {
+    size_t off = 0;
+    while (off < len) {
+      ssize_t n = ::send(fd_, data + off, len - off, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError(std::string("send failed: ") + std::strerror(errno));
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  int fd_;
+  std::vector<uint8_t> buffer_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Link>, std::unique_ptr<Link>> make_inproc_pair(
+    const FaultOptions& faults) {
+  auto q = std::make_shared<SharedQueues>();
+  q->faults = faults;
+  q->rng = Rng(faults.seed);
+  return {std::make_unique<InProcLink>(q, true),
+          std::make_unique<InProcLink>(q, false)};
+}
+
+std::pair<std::unique_ptr<Link>, std::unique_ptr<Link>> make_socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw TransportError(std::string("socketpair failed: ") + std::strerror(errno));
+  }
+  return {std::make_unique<SocketLink>(fds[0]), std::make_unique<SocketLink>(fds[1])};
+}
+
+}  // namespace mbird::transport

@@ -1,0 +1,47 @@
+// Transports: bidirectional message links between simulated processes.
+//
+// Two implementations:
+//  * In-process queue pairs with injectable faults (drop / duplicate /
+//    reorder) for deterministic failure testing.
+//  * A real Unix socketpair carrying length-prefixed frames — the
+//    "different processes" path of the paper's network-enabled stubs
+//    exercised over an actual kernel byte stream.
+//
+// Links are polled (single-threaded, deterministic): send() enqueues toward
+// the peer; the peer's poll() dequeues.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace mbird::transport {
+
+class Link {
+ public:
+  virtual ~Link() = default;
+  /// Queue one message frame toward the peer.
+  virtual void send(std::vector<uint8_t> frame) = 0;
+  /// Dequeue the next frame from the peer, if any.
+  virtual std::optional<std::vector<uint8_t>> poll() = 0;
+};
+
+struct FaultOptions {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;  // swap with the previous queued frame
+  uint64_t seed = 1;
+};
+
+/// Two connected in-process link endpoints. Faults are applied on send.
+std::pair<std::unique_ptr<Link>, std::unique_ptr<Link>> make_inproc_pair(
+    const FaultOptions& faults = {});
+
+/// Two connected endpoints over a real AF_UNIX socketpair (non-blocking).
+/// Throws TransportError if the socketpair cannot be created.
+std::pair<std::unique_ptr<Link>, std::unique_ptr<Link>> make_socket_pair();
+
+}  // namespace mbird::transport

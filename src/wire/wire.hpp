@@ -1,0 +1,74 @@
+// Mtype-driven wire format (CDR-style) and frame headers.
+//
+// Network-enabled stubs marshal Values guided by the Mtype of the port the
+// message is sent to. The encoding is range-aware, as the Mtype model
+// invites: an Integer Mtype's range picks its wire width (Int[0..255] costs
+// one byte), characters cost 1 or 4 bytes by repertoire, reals 4 or 8 bytes
+// by precision, and canonical lists are length-prefixed sequences.
+// Multi-byte quantities are big-endian ("network order").
+//
+// Frames (one per transported message):
+//   magic "MBIR" | version u16 | origin node u16 | seq u64 | dest port u64 |
+//   payload len u32 | payload bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mtype/mtype.hpp"
+#include "runtime/value.hpp"
+#include "support/error.hpp"
+
+namespace mbird::wire {
+
+inline constexpr uint16_t kVersion = 1;
+
+/// Encode `v` (shaped like `type` in `g`) to bytes.
+[[nodiscard]] std::vector<uint8_t> encode(const mtype::Graph& g, mtype::Ref type,
+                                          const runtime::Value& v);
+
+/// Decode bytes back into a Value shaped like `type`. Throws WireError on
+/// truncated or malformed input (every byte must be consumed).
+[[nodiscard]] runtime::Value decode(const mtype::Graph& g, mtype::Ref type,
+                                    const std::vector<uint8_t>& bytes);
+
+/// Wire width (bytes) of an Integer Mtype with the given range.
+[[nodiscard]] unsigned int_width(Int128 lo, Int128 hi);
+
+struct Frame {
+  uint16_t origin_node = 0;
+  uint64_t seq = 0;
+  uint64_t dest_port = 0;
+  std::vector<uint8_t> payload;
+};
+
+[[nodiscard]] std::vector<uint8_t> pack_frame(const Frame& f);
+[[nodiscard]] Frame unpack_frame(const std::vector<uint8_t>& bytes);
+
+// ---- the dynamic type (paper §6: "a dynamic type construct of our own
+// which is similar to [CORBA] Any") ------------------------------------------
+//
+// A self-describing value carries its own Mtype: the structure reachable
+// from the type node is serialized ahead of the payload, so a receiver
+// that has never seen the declaration can decode — and then Compare — it.
+
+/// Serialize the Mtype structure reachable from `type`.
+[[nodiscard]] std::vector<uint8_t> encode_type(const mtype::Graph& g,
+                                               mtype::Ref type);
+/// Reconstruct a serialized Mtype into `g`; returns the root.
+[[nodiscard]] mtype::Ref decode_type(mtype::Graph& g,
+                                     const std::vector<uint8_t>& bytes);
+
+struct AnyValue {
+  mtype::Graph graph;
+  mtype::Ref type = mtype::kNullRef;
+  runtime::Value value;
+};
+
+[[nodiscard]] std::vector<uint8_t> encode_any(const mtype::Graph& g,
+                                              mtype::Ref type,
+                                              const runtime::Value& v);
+[[nodiscard]] AnyValue decode_any(const std::vector<uint8_t>& bytes);
+
+}  // namespace mbird::wire

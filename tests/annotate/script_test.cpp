@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "annotate/script.hpp"
+#include "cfront/cparser.hpp"
+#include "compare/compare.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+
+namespace mbird::annotate {
+namespace {
+
+using stype::Direction;
+using stype::LengthSpec;
+using stype::Module;
+using stype::Stype;
+
+Module parse_c(std::string_view src) {
+  DiagnosticEngine diags;
+  Module m = cfront::parse_c(src, "t.h", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return m;
+}
+
+Module parse_java(std::string_view src) {
+  DiagnosticEngine diags;
+  Module m = javasrc::parse_java(src, "T.java", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return m;
+}
+
+TEST(Glob, Matching) {
+  EXPECT_TRUE(glob_match("Msg*", "MsgHello"));
+  EXPECT_TRUE(glob_match("Msg*", "Msg"));
+  EXPECT_TRUE(glob_match("Msg*", "MsgUpdate2"));
+  EXPECT_FALSE(glob_match("Msg*", "Message2"));  // "Me..." != "Msg..."
+  EXPECT_FALSE(glob_match("Msg*", "MyMsg"));
+}
+
+TEST(Glob, MoreCases) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_TRUE(glob_match("*Vector", "PointVector"));
+  EXPECT_FALSE(glob_match("Point", "PointVector"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(Script, FitterAnnotations) {
+  Module m = parse_c(
+      "typedef float point[2];\n"
+      "void fitter(point pts[], int count, point *start, point *end);\n");
+  DiagnosticEngine diags;
+  auto stats = run_script(
+      "# the fitter example\n"
+      "annotate fitter.pts   length param count;\n"
+      "annotate fitter.start out;\n"
+      "annotate fitter.end   out;\n",
+      "fitter.mba", m, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  EXPECT_EQ(stats.statements, 3u);
+  EXPECT_EQ(stats.applications, 3u);
+
+  Stype* fitter = m.find("fitter");
+  ASSERT_TRUE(fitter->params[0].type->ann.length.has_value());
+  EXPECT_EQ(fitter->params[0].type->ann.length->kind, LengthSpec::Kind::ParamName);
+  EXPECT_EQ(fitter->params[0].type->ann.length->name, "count");
+  EXPECT_EQ(fitter->params[2].type->ann.direction, Direction::Out);
+}
+
+TEST(Script, AllAttributeKinds) {
+  Module m = parse_java(
+      "class T { int a; char c; float f; int r; Object p; }\n");
+  DiagnosticEngine diags;
+  run_script(
+      "annotate T.a range -5 100;\n"
+      "annotate T.c intent integer;\n"
+      "annotate T.f real 53 11;\n"
+      "annotate T.r repertoire latin1 intent character;\n"
+      "annotate T.p notnull noalias;\n"
+      "annotate T byvalue;\n",
+      "t.mba", m, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  Stype* t = m.find("T");
+  EXPECT_EQ(*t->fields[0].type->ann.range_lo, -5);
+  EXPECT_EQ(*t->fields[0].type->ann.range_hi, 100);
+  EXPECT_EQ(*t->fields[1].type->ann.intent, stype::ScalarIntent::Integer);
+  EXPECT_EQ(t->fields[2].type->ann.real->mantissa_bits, 53);
+  EXPECT_EQ(*t->fields[3].type->ann.repertoire, stype::Repertoire::Latin1);
+  EXPECT_TRUE(*t->fields[4].type->ann.not_null);
+  EXPECT_TRUE(*t->fields[4].type->ann.no_alias);
+  EXPECT_TRUE(*t->ann.by_value);
+}
+
+TEST(Script, CollectionAndElements) {
+  Module m = parse_java(
+      "class Point { float x; float y; }\n"
+      "class PointVector extends java.util.Vector;\n");
+  DiagnosticEngine diags;
+  run_script("annotate PointVector collection element Point notnull-elements;\n",
+             "pv.mba", m, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  Stype* pv = m.find("PointVector");
+  EXPECT_TRUE(*pv->ann.ordered_collection);
+  EXPECT_EQ(*pv->ann.element_type, "Point");
+  EXPECT_TRUE(*pv->ann.element_not_null);
+  EXPECT_FALSE(pv->ann.not_null.has_value());  // notnull-elements != notnull
+}
+
+TEST(Script, BatchGlobApplication) {
+  Module m = parse_java(
+      "class MsgJoin { int site; }\n"
+      "class MsgLeave { int site; }\n"
+      "class Other { int x; }\n");
+  DiagnosticEngine diags;
+  auto stats = run_script("annotate \"Msg*\" byvalue;\n", "b.mba", m, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  EXPECT_EQ(stats.applications, 2u);
+  EXPECT_TRUE(*m.find("MsgJoin")->ann.by_value);
+  EXPECT_TRUE(*m.find("MsgLeave")->ann.by_value);
+  EXPECT_FALSE(m.find("Other")->ann.by_value.has_value());
+}
+
+TEST(Script, BatchGlobOnMembers) {
+  Module m = parse_java(
+      "class MsgA { Object payload; }\n"
+      "class MsgB { Object payload; }\n");
+  DiagnosticEngine diags;
+  auto stats =
+      run_script("annotate \"Msg*.payload\" notnull;\n", "b.mba", m, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  EXPECT_EQ(stats.applications, 2u);
+  EXPECT_TRUE(*m.find("MsgA")->fields[0].type->ann.not_null);
+}
+
+TEST(Script, PatternMatchingNothingIsAnError) {
+  Module m = parse_java("class A { int x; }");
+  DiagnosticEngine diags;
+  run_script("annotate \"Zzz*\" byvalue;\n", "b.mba", m, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Script, UnresolvedPathReported) {
+  Module m = parse_java("class A { int x; }");
+  DiagnosticEngine diags;
+  run_script("annotate A.nothere notnull;\n", "b.mba", m, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Script, SyntaxErrorsRecovered) {
+  Module m = parse_java("class A { int x; }");
+  DiagnosticEngine diags;
+  auto stats = run_script(
+      "annotate A.x bogus-attr;\n"
+      "annotate A.x range 0 10;\n",
+      "b.mba", m, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_GE(stats.applications, 1u);  // the second statement still applied
+  EXPECT_EQ(*m.find("A")->fields[0].type->ann.range_hi, 10);
+}
+
+TEST(Script, NoAttributesWarns) {
+  Module m = parse_java("class A { int x; }");
+  DiagnosticEngine diags;
+  run_script("annotate A.x;\n", "b.mba", m, diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.all().size(), 1u);  // a warning
+}
+
+TEST(Script, ReturnPathAndLengthForms) {
+  Module m = parse_c(
+      "float* make(int n); void gets(char *s); int fixed(float *two);");
+  DiagnosticEngine diags;
+  run_script(
+      "annotate make.return length param n;\n"
+      "annotate gets.s length nul;\n"
+      "annotate fixed.two length static 2;\n",
+      "l.mba", m, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  EXPECT_EQ(m.find("make")->ret->ann.length->kind, LengthSpec::Kind::ParamName);
+  EXPECT_EQ(m.find("gets")->params[0].type->ann.length->kind,
+            LengthSpec::Kind::NulTerminated);
+  EXPECT_EQ(m.find("fixed")->params[0].type->ann.length->static_size, 2u);
+}
+
+TEST(Script, EndToEndFitterMatchViaScripts) {
+  // The full §3.4 workflow driven purely by annotation scripts.
+  Module c = parse_c(
+      "typedef float point[2];\n"
+      "void fitter(point pts[], int count, point *start, point *end);\n");
+  Module java = parse_java(
+      "public class Point { private float x; private float y; }\n"
+      "public class Line { private Point start; private Point end; }\n"
+      "public class PointVector extends java.util.Vector;\n"
+      "public interface JavaIdeal { Line fitter(PointVector pts); }\n");
+
+  DiagnosticEngine diags;
+  run_script(
+      "annotate fitter.pts length param count;\n"
+      "annotate fitter.start out;\n"
+      "annotate fitter.end out;\n",
+      "c.mba", c, diags);
+  run_script(
+      "annotate Line.start notnull noalias;\n"
+      "annotate Line.end notnull noalias;\n"
+      "annotate PointVector element Point notnull-elements;\n"
+      "annotate JavaIdeal.fitter.pts notnull;\n"
+      "annotate JavaIdeal.fitter.return notnull;\n",
+      "j.mba", java, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+
+  mtype::Graph gc, gj;
+  mtype::Ref rc = lower::lower_decl(c, gc, "fitter", diags);
+  mtype::Ref rj = lower::lower_decl(java, gj, "JavaIdeal.fitter", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+
+  auto res = compare::compare(gj, rj, gc, rc, {});
+  EXPECT_TRUE(res.ok) << res.mismatch.to_string();
+}
+
+}  // namespace
+}  // namespace mbird::annotate

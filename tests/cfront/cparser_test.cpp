@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "cfront/cparser.hpp"
+
+namespace mbird::cfront {
+namespace {
+
+using stype::AggKind;
+using stype::Kind;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+Module parse_ok(std::string_view src, const Options& opts = {}) {
+  DiagnosticEngine diags;
+  Module m = parse_c(src, "test.h", diags, opts);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return m;
+}
+
+TEST(CParser, FitterDeclaration) {
+  // The paper's Fig. 2, verbatim.
+  Module m = parse_ok(
+      "typedef float point[2];\n"
+      "void fitter(point pts[], int count, point *start, point *end);\n");
+
+  Stype* point = m.find("point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->kind, Kind::Typedef);
+  ASSERT_EQ(point->elem->kind, Kind::Array);
+  EXPECT_EQ(point->elem->array_size, 2u);
+  EXPECT_EQ(point->elem->elem->prim, Prim::F32);
+
+  Stype* fitter = m.find("fitter");
+  ASSERT_NE(fitter, nullptr);
+  ASSERT_EQ(fitter->kind, Kind::Function);
+  EXPECT_EQ(fitter->ret->prim, Prim::Void);
+  ASSERT_EQ(fitter->params.size(), 4u);
+  EXPECT_EQ(fitter->params[0].name, "pts");
+  EXPECT_EQ(fitter->params[0].type->kind, Kind::Array);
+  EXPECT_FALSE(fitter->params[0].type->array_size.has_value());
+  EXPECT_EQ(fitter->params[1].type->prim, Prim::I32);
+  EXPECT_EQ(fitter->params[2].type->kind, Kind::Pointer);
+  EXPECT_EQ(fitter->params[2].type->elem->kind, Kind::Named);
+  EXPECT_EQ(fitter->params[2].type->elem->name, "point");
+}
+
+TEST(CParser, PrimSpellings) {
+  Module m = parse_ok(
+      "typedef unsigned char uc; typedef signed char sc; typedef char c;\n"
+      "typedef unsigned short us; typedef long long ll;\n"
+      "typedef unsigned long long ull; typedef double d; typedef bool b;\n"
+      "typedef wchar_t wc;\n");
+  EXPECT_EQ(m.find("uc")->elem->prim, Prim::U8);
+  EXPECT_EQ(m.find("sc")->elem->prim, Prim::I8);
+  EXPECT_EQ(m.find("c")->elem->prim, Prim::Char8);
+  EXPECT_EQ(m.find("us")->elem->prim, Prim::U16);
+  EXPECT_EQ(m.find("ll")->elem->prim, Prim::I64);
+  EXPECT_EQ(m.find("ull")->elem->prim, Prim::U64);
+  EXPECT_EQ(m.find("d")->elem->prim, Prim::F64);
+  EXPECT_EQ(m.find("b")->elem->prim, Prim::Bool);
+  EXPECT_EQ(m.find("wc")->elem->prim, Prim::Char16);
+}
+
+TEST(CParser, LongWidthOption) {
+  Options lp64;
+  lp64.long_bits = 64;
+  Options ilp32;
+  ilp32.long_bits = 32;
+  EXPECT_EQ(parse_ok("typedef long l;", lp64).find("l")->elem->prim, Prim::I64);
+  EXPECT_EQ(parse_ok("typedef long l;", ilp32).find("l")->elem->prim, Prim::I32);
+  EXPECT_EQ(parse_ok("typedef unsigned long l;", ilp32).find("l")->elem->prim,
+            Prim::U32);
+}
+
+TEST(CParser, StructWithFields) {
+  Module m = parse_ok(
+      "struct Pair { int first; float second; };\n");
+  Stype* s = m.find("Pair");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->agg_kind, AggKind::Struct);
+  ASSERT_EQ(s->fields.size(), 2u);
+  EXPECT_EQ(s->fields[0].name, "first");
+  EXPECT_EQ(s->fields[1].type->prim, Prim::F32);
+}
+
+TEST(CParser, NestedAndCommaFields) {
+  Module m = parse_ok("struct S { int a, b; struct Inner { char c; } in; };");
+  Stype* s = m.find("S");
+  ASSERT_EQ(s->fields.size(), 3u);
+  EXPECT_EQ(s->fields[1].name, "b");
+  EXPECT_EQ(s->fields[2].name, "in");
+  EXPECT_NE(m.find("Inner"), nullptr);
+}
+
+TEST(CParser, UnionDecl) {
+  Module m = parse_ok("union U { int i; float f; };");
+  Stype* u = m.find("U");
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->agg_kind, AggKind::Union);
+  EXPECT_EQ(u->fields.size(), 2u);
+}
+
+TEST(CParser, EnumValues) {
+  Module m = parse_ok("enum Color { RED, GREEN = 5, BLUE };");
+  Stype* e = m.find("Color");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->enumerators.size(), 3u);
+  EXPECT_EQ(e->enumerators[0].value, 0);
+  EXPECT_EQ(e->enumerators[1].value, 5);
+  EXPECT_EQ(e->enumerators[2].value, 6);
+}
+
+TEST(CParser, EnumNegativeValue) {
+  Module m = parse_ok("enum E { NEG = -3, NEXT };");
+  Stype* e = m.find("E");
+  EXPECT_EQ(e->enumerators[0].value, -3);
+  EXPECT_EQ(e->enumerators[1].value, -2);
+}
+
+TEST(CParser, DeclaratorPrecedence) {
+  Module m = parse_ok(
+      "typedef int *arr_of_ptr[3];\n"
+      "typedef int (*ptr_to_arr)[3];\n"
+      "typedef int (*fnptr)(float);\n"
+      "typedef int matrix[2][3];\n");
+
+  Stype* aop = m.find("arr_of_ptr")->elem;
+  ASSERT_EQ(aop->kind, Kind::Array);
+  EXPECT_EQ(aop->array_size, 3u);
+  EXPECT_EQ(aop->elem->kind, Kind::Pointer);
+
+  Stype* pta = m.find("ptr_to_arr")->elem;
+  ASSERT_EQ(pta->kind, Kind::Pointer);
+  EXPECT_EQ(pta->elem->kind, Kind::Array);
+
+  Stype* fp = m.find("fnptr")->elem;
+  ASSERT_EQ(fp->kind, Kind::Pointer);
+  ASSERT_EQ(fp->elem->kind, Kind::Function);
+  EXPECT_EQ(fp->elem->ret->prim, Prim::I32);
+  ASSERT_EQ(fp->elem->params.size(), 1u);
+
+  Stype* mx = m.find("matrix")->elem;
+  ASSERT_EQ(mx->kind, Kind::Array);
+  EXPECT_EQ(mx->array_size, 2u);
+  ASSERT_EQ(mx->elem->kind, Kind::Array);
+  EXPECT_EQ(mx->elem->array_size, 3u);
+}
+
+TEST(CParser, CppClassWithMethods) {
+  Module m = parse_ok(
+      "class Point {\n"
+      "public:\n"
+      "  Point(float x, float y);\n"
+      "  virtual ~Point();\n"
+      "  float getX() const;\n"
+      "  void scale(float f) { x *= f; }\n"
+      "  static int count();\n"
+      "private:\n"
+      "  float x;\n"
+      "  float y;\n"
+      "};\n");
+  Stype* c = m.find("Point");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->agg_kind, AggKind::Class);
+  ASSERT_EQ(c->fields.size(), 2u);
+  EXPECT_TRUE(c->fields[0].is_private);
+  ASSERT_EQ(c->methods.size(), 3u);
+  EXPECT_EQ(c->methods[0]->name, "getX");
+  EXPECT_EQ(c->methods[1]->name, "scale");
+  EXPECT_EQ(c->methods[2]->name, "count");
+}
+
+TEST(CParser, CppInheritance) {
+  Module m = parse_ok("class B {}; class D : public B, private Other {};");
+  Stype* d = m.find("D");
+  ASSERT_EQ(d->bases.size(), 2u);
+  EXPECT_EQ(d->bases[0], "B");
+  EXPECT_EQ(d->bases[1], "Other");
+}
+
+TEST(CParser, PureVirtualAndOverride) {
+  Module m = parse_ok(
+      "class I { public: virtual int f() = 0; };\n"
+      "class C : public I { public: int f() override; };\n");
+  EXPECT_EQ(m.find("I")->methods.size(), 1u);
+  EXPECT_EQ(m.find("C")->methods.size(), 1u);
+}
+
+TEST(CParser, ReferencesInParams) {
+  Module m = parse_ok("void f(const Point& p, int& out);");
+  Stype* f = m.find("f");
+  ASSERT_EQ(f->params.size(), 2u);
+  EXPECT_EQ(f->params[0].type->kind, Kind::Reference);
+  EXPECT_EQ(f->params[1].type->kind, Kind::Reference);
+  EXPECT_EQ(f->params[1].type->elem->prim, Prim::I32);
+}
+
+TEST(CParser, NamespaceFlattened) {
+  Module m = parse_ok("namespace app { struct S { int x; }; }");
+  EXPECT_NE(m.find("S"), nullptr);
+}
+
+TEST(CParser, BitfieldGetsRange) {
+  Module m = parse_ok("struct F { unsigned flags : 3; };");
+  Stype* f = m.find("F");
+  ASSERT_EQ(f->fields.size(), 1u);
+  ASSERT_TRUE(f->fields[0].type->ann.range_hi.has_value());
+  EXPECT_EQ(*f->fields[0].type->ann.range_hi, 7);
+}
+
+TEST(CParser, VoidParamList) {
+  Module m = parse_ok("int f(void);");
+  EXPECT_TRUE(m.find("f")->params.empty());
+}
+
+TEST(CParser, FunctionBodySkipped) {
+  Module m = parse_ok("int f(int a) { if (a) { return a + 1; } return 0; }\nint g();");
+  EXPECT_NE(m.find("f"), nullptr);
+  EXPECT_NE(m.find("g"), nullptr);
+}
+
+TEST(CParser, ForwardDeclAndUse) {
+  Module m = parse_ok("struct Node; struct List { struct Node *head; };");
+  Stype* l = m.find("List");
+  ASSERT_EQ(l->fields.size(), 1u);
+  EXPECT_EQ(l->fields[0].type->kind, Kind::Pointer);
+  EXPECT_EQ(l->fields[0].type->elem->name, "Node");
+}
+
+TEST(CParser, RecursiveStruct) {
+  Module m = parse_ok("struct Node { int value; struct Node *next; };");
+  Stype* n = m.find("Node");
+  ASSERT_EQ(n->fields.size(), 2u);
+  EXPECT_EQ(n->fields[1].type->elem->name, "Node");
+}
+
+TEST(CParser, ErrorRecoveryReportsDiagnostics) {
+  DiagnosticEngine diags;
+  (void)parse_c("typedef ; int ok();", "bad.h", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(CParser, GlobalVariableRecorded) {
+  Module m = parse_ok("int counter = 42;");
+  Stype* g = m.find("counter");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, Kind::Typedef);
+  EXPECT_EQ(g->elem->prim, Prim::I32);
+}
+
+TEST(CParser, QualifiedNameUse) {
+  Module m = parse_ok("void f(std::string s);");
+  EXPECT_EQ(m.find("f")->params[0].type->name, "std::string");
+}
+
+}  // namespace
+}  // namespace mbird::cfront

@@ -1,0 +1,589 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "cfront/cparser.hpp"
+#include "compare/compare.hpp"
+#include "idl/idlparser.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+
+namespace mbird::compare {
+namespace {
+
+using mtype::Graph;
+using mtype::Ref;
+using stype::Annotations;
+using stype::LengthSpec;
+using stype::Module;
+
+// ---- helpers ---------------------------------------------------------------
+
+struct Side {
+  Graph graph;
+  Ref ref = mtype::kNullRef;
+};
+
+Side lower_side(Module& m, const std::string& decl) {
+  DiagnosticEngine diags;
+  Side s;
+  s.ref = lower::lower_decl(m, s.graph, decl, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return s;
+}
+
+Module& parse_keep(std::function<Module()> f) {
+  static std::vector<std::unique_ptr<Module>> keep;
+  keep.push_back(std::make_unique<Module>(f()));
+  return *keep.back();
+}
+
+Module& parse_c_keep(std::string_view src) {
+  return parse_keep([&] {
+    DiagnosticEngine diags;
+    Module m = cfront::parse_c(src, "t.h", diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.summary();
+    return m;
+  });
+}
+
+Module& parse_java_keep(std::string_view src) {
+  return parse_keep([&] {
+    DiagnosticEngine diags;
+    Module m = javasrc::parse_java(src, "T.java", diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.summary();
+    return m;
+  });
+}
+
+Module& parse_idl_keep(std::string_view src) {
+  return parse_keep([&] {
+    DiagnosticEngine diags;
+    Module m = idl::parse_idl(src, "t.idl", diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.summary();
+    return m;
+  });
+}
+
+void annotate(Module& m, const std::string& path,
+              const std::function<void(Annotations&)>& f) {
+  DiagnosticEngine diags;
+  stype::Stype* node = stype::resolve_annotation_path(m, path, diags);
+  ASSERT_NE(node, nullptr) << diags.summary();
+  f(node->ann);
+}
+
+testing::AssertionResult equivalent(const Side& a, const Side& b,
+                                    Options opts = {}) {
+  Result r = compare(a.graph, a.ref, b.graph, b.ref, opts);
+  if (!r.ok) {
+    return testing::AssertionFailure() << r.mismatch.to_string();
+  }
+  auto problems = plan::validate(r.plan, r.root);
+  if (!problems.empty()) {
+    return testing::AssertionFailure() << "plan invalid: " << problems[0];
+  }
+  return testing::AssertionSuccess();
+}
+
+testing::AssertionResult mismatch(const Side& a, const Side& b,
+                                  Options opts = {}) {
+  Result r = compare(a.graph, a.ref, b.graph, b.ref, opts);
+  if (r.ok) return testing::AssertionFailure() << "unexpectedly matched";
+  if (!r.mismatch.valid) {
+    return testing::AssertionFailure() << "no mismatch diagnosis";
+  }
+  return testing::AssertionSuccess();
+}
+
+// ---- primitive rules --------------------------------------------------------
+
+TEST(Compare, IntegerRangesEquivalence) {
+  Graph g;
+  Side a, b, c;
+  a.ref = a.graph.integer(0, 255);
+  b.ref = b.graph.integer(0, 255);
+  c.ref = c.graph.integer(0, 127);
+  EXPECT_TRUE(equivalent(a, b));
+  EXPECT_TRUE(mismatch(a, c));
+}
+
+TEST(Compare, IntegerSubtypeByRangeInclusion) {
+  Side narrow, wide;
+  narrow.ref = narrow.graph.integer(0, 127);
+  wide.ref = wide.graph.integer(-128, 255);
+  Options sub;
+  sub.mode = Mode::Subtype;
+  EXPECT_TRUE(equivalent(narrow, wide, sub));
+  EXPECT_TRUE(mismatch(wide, narrow, sub));
+}
+
+TEST(Compare, AnnotatedIntCrossLanguage) {
+  // §3.1: Java int annotated unsigned == C unsigned int annotated <= 2^31-1.
+  Module& java = parse_java_keep("class T { int x; }");
+  annotate(java, "T.x", [](Annotations& a) { a.range_lo = 0; });
+  Module& c = parse_c_keep("struct T { unsigned int x; };");
+  annotate(c, "T.x", [](Annotations& a) { a.range_hi = pow2(31) - 1; });
+  EXPECT_TRUE(equivalent(lower_side(java, "T"), lower_side(c, "T")));
+}
+
+TEST(Compare, CharacterRepertoires) {
+  Side latin, uni, latin2;
+  latin.ref = latin.graph.character(stype::Repertoire::Latin1);
+  latin2.ref = latin2.graph.character(stype::Repertoire::Latin1);
+  uni.ref = uni.graph.character(stype::Repertoire::Unicode);
+  EXPECT_TRUE(equivalent(latin, latin2));
+  EXPECT_TRUE(mismatch(latin, uni));
+  Options sub;
+  sub.mode = Mode::Subtype;
+  // §3.1: Latin-1 is a subtype of Unicode.
+  EXPECT_TRUE(equivalent(latin, uni, sub));
+  EXPECT_TRUE(mismatch(uni, latin, sub));
+}
+
+TEST(Compare, RealPrecisionSubtype) {
+  Side f32, f64;
+  f32.ref = f32.graph.real(24, 8);
+  f64.ref = f64.graph.real(53, 11);
+  EXPECT_TRUE(mismatch(f32, f64));
+  Options sub;
+  sub.mode = Mode::Subtype;
+  EXPECT_TRUE(equivalent(f32, f64, sub));
+  EXPECT_TRUE(mismatch(f64, f32, sub));
+}
+
+TEST(Compare, UnitMatchesUnit) {
+  Side a, b;
+  a.ref = a.graph.unit();
+  b.ref = b.graph.unit();
+  EXPECT_TRUE(equivalent(a, b));
+}
+
+TEST(Compare, KindMismatchDiagnosed) {
+  Side a, b;
+  a.ref = a.graph.integer(0, 1);
+  b.ref = b.graph.real(24, 8);
+  Result r = compare(a.graph, a.ref, b.graph, b.ref, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.mismatch.reason.find("kind mismatch"), std::string::npos);
+}
+
+// ---- records: commutativity and associativity -------------------------------
+
+TEST(Compare, RecordPermutation) {
+  // §4: Record(Integer, Record(Real, Character)) == Record(Character, Real,
+  // Integer) by associativity + commutativity.
+  Side a, b;
+  {
+    Ref inner = a.graph.record({a.graph.real(24, 8),
+                                a.graph.character(stype::Repertoire::Ascii)});
+    a.ref = a.graph.record({a.graph.integer(0, 9), inner});
+  }
+  b.ref = b.graph.record({b.graph.character(stype::Repertoire::Ascii),
+                          b.graph.real(24, 8), b.graph.integer(0, 9)});
+  EXPECT_TRUE(equivalent(a, b));
+}
+
+TEST(Compare, RecordPermutationPlanMapsPaths) {
+  Side a, b;
+  a.ref = a.graph.record({a.graph.integer(0, 9), a.graph.real(24, 8)});
+  b.ref = b.graph.record({b.graph.real(24, 8), b.graph.integer(0, 9)});
+  Result r = compare(a.graph, a.ref, b.graph, b.ref, {});
+  ASSERT_TRUE(r.ok);
+  const auto& node = r.plan.at(r.root);
+  ASSERT_EQ(node.kind, plan::PKind::RecordMap);
+  ASSERT_EQ(node.fields.size(), 2u);
+  // fields[k] is the k-th target leaf: target 0 (real) <- source 1.
+  EXPECT_EQ(node.fields[0].src_path, (mtype::Path{1}));
+  EXPECT_EQ(node.fields[0].dst_path, (mtype::Path{0}));
+  EXPECT_EQ(node.fields[1].src_path, (mtype::Path{0}));
+  EXPECT_EQ(node.fields[1].dst_path, (mtype::Path{1}));
+}
+
+TEST(Compare, LineMatchesFourFloats) {
+  // §3: "associativity implies that ... a Line might match anything with
+  // four float values."
+  Module& java = parse_java_keep(
+      "class Point { float x; float y; }\n"
+      "class Line { Point start; Point end; }\n");
+  annotate(java, "Line.start", [](Annotations& a) { a.not_null = true; });
+  annotate(java, "Line.end", [](Annotations& a) { a.not_null = true; });
+  Module& c = parse_c_keep("typedef float quad[4];");
+  EXPECT_TRUE(equivalent(lower_side(java, "Line"), lower_side(c, "quad")));
+}
+
+TEST(Compare, AssociativityAblation) {
+  // With the associative rule disabled, nested vs flat records mismatch.
+  Side nested, flat;
+  {
+    Ref inner =
+        nested.graph.record({nested.graph.real(24, 8), nested.graph.real(24, 8)});
+    nested.ref = nested.graph.record({inner, nested.graph.integer(0, 1)});
+  }
+  flat.ref = flat.graph.record(
+      {flat.graph.real(24, 8), flat.graph.real(24, 8), flat.graph.integer(0, 1)});
+  EXPECT_TRUE(equivalent(nested, flat));
+  Options no_assoc;
+  no_assoc.associative = false;
+  EXPECT_TRUE(mismatch(nested, flat, no_assoc));
+}
+
+TEST(Compare, CommutativityAblation) {
+  Side a, b;
+  a.ref = a.graph.record({a.graph.integer(0, 9), a.graph.real(24, 8)});
+  b.ref = b.graph.record({b.graph.real(24, 8), b.graph.integer(0, 9)});
+  EXPECT_TRUE(equivalent(a, b));
+  Options no_comm;
+  no_comm.commutative = false;
+  EXPECT_TRUE(mismatch(a, b, no_comm));
+}
+
+TEST(Compare, UnitEliminationRule) {
+  Side padded, bare;
+  padded.ref =
+      padded.graph.record({padded.graph.integer(0, 9), padded.graph.unit()});
+  bare.ref = bare.graph.integer(0, 9);
+  EXPECT_TRUE(mismatch(padded, bare));  // off by default
+  Options unit_elim;
+  unit_elim.unit_elimination = true;
+  EXPECT_TRUE(equivalent(padded, bare, unit_elim));
+  EXPECT_TRUE(equivalent(bare, padded, unit_elim));
+}
+
+TEST(Compare, RecordArityMismatchDiagnosed) {
+  Side a, b;
+  a.ref = a.graph.record({a.graph.integer(0, 9)});
+  b.ref = b.graph.record({b.graph.integer(0, 9), b.graph.integer(0, 9)});
+  Result r = compare(a.graph, a.ref, b.graph, b.ref, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.mismatch.reason.find("arity"), std::string::npos);
+}
+
+TEST(Compare, HashPruneAblationSameVerdict) {
+  // Pruning is an optimization; verdicts must be identical with it off.
+  Side a, b;
+  std::vector<Ref> ca, cb;
+  for (int i = 0; i < 8; ++i) ca.push_back(a.graph.integer(0, i));
+  for (int i = 7; i >= 0; --i) cb.push_back(b.graph.integer(0, i));
+  a.ref = a.graph.record(std::move(ca));
+  b.ref = b.graph.record(std::move(cb));
+
+  Options pruned, unpruned;
+  unpruned.use_hash_prune = false;
+  Result r1 = compare(a.graph, a.ref, b.graph, b.ref, pruned);
+  Result r2 = compare(a.graph, a.ref, b.graph, b.ref, unpruned);
+  EXPECT_TRUE(r1.ok);
+  EXPECT_TRUE(r2.ok);
+  EXPECT_LE(r1.steps, r2.steps);
+}
+
+// ---- choices ----------------------------------------------------------------
+
+TEST(Compare, UnionPermutation) {
+  Module& c1 = parse_c_keep("union U { int i; float f; };");
+  Module& c2 = parse_c_keep("union V { float g; int j; };");
+  EXPECT_TRUE(equivalent(lower_side(c1, "U"), lower_side(c2, "V")));
+}
+
+TEST(Compare, ChoiceSubtypeArmSubset) {
+  Side small, big;
+  small.ref = small.graph.choice({small.graph.unit(), small.graph.integer(0, 9)});
+  big.ref = big.graph.choice({big.graph.integer(0, 9), big.graph.unit(),
+                              big.graph.real(24, 8)});
+  EXPECT_TRUE(mismatch(small, big));
+  Options sub;
+  sub.mode = Mode::Subtype;
+  EXPECT_TRUE(equivalent(small, big, sub));
+  EXPECT_TRUE(mismatch(big, small, sub));
+}
+
+TEST(Compare, NullablePointerMatchesNullableReference) {
+  Module& c = parse_c_keep(
+      "struct Point { float x; float y; };"
+      "struct Holder { struct Point *p; };");
+  Module& java = parse_java_keep(
+      "class Point { float x; float y; } class Holder { Point p; }");
+  EXPECT_TRUE(equivalent(lower_side(c, "Holder"), lower_side(java, "Holder")));
+}
+
+// ---- recursive types ---------------------------------------------------------
+
+TEST(Compare, ListsOfSameElementMatch) {
+  Side a, b;
+  a.ref = a.graph.list_of(a.graph.real(24, 8));
+  b.ref = b.graph.list_of(b.graph.real(24, 8));
+  Result r = compare(a.graph, a.ref, b.graph, b.ref, {});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.plan.at(r.root).kind, plan::PKind::ListMap);
+}
+
+TEST(Compare, ListElementMismatchDiagnosed) {
+  Side a, b;
+  a.ref = a.graph.list_of(a.graph.real(24, 8));
+  b.ref = b.graph.list_of(b.graph.real(53, 11));
+  EXPECT_TRUE(mismatch(a, b));
+}
+
+TEST(Compare, JavaLinkedListMatchesCArray) {
+  // §3.2 / Fig. 8: C float[] (indefinite) == Java linked list of float.
+  (void)parse_java_keep("class List { float datum; List next; }");
+  Module& c = parse_c_keep("struct S { float *data; };");
+  annotate(c, "S.data", [](Annotations& a) {
+    a.length = LengthSpec{LengthSpec::Kind::Runtime, 0, ""};
+  });
+  // Left: Choice(unit, Record(float, rec)) knotted at the reference — the
+  // *reference to* List. We compare the S.data list against a nullable
+  // reference to List.
+  Module& java_holder = parse_java_keep(
+      "class List2 { float datum; List2 next; } class H { List2 head; }");
+  Side c_side = lower_side(c, "S");
+  Side j_side = lower_side(java_holder, "H");
+  EXPECT_TRUE(equivalent(j_side, c_side));
+}
+
+TEST(Compare, VectorMatchesCArrayWithCount) {
+  Module& java = parse_java_keep(
+      "class Point { float x; float y; }\n"
+      "class PointVector extends java.util.Vector;\n");
+  java.find("PointVector")->ann.element_type = "Point";
+  java.find("PointVector")->ann.element_not_null = true;
+
+  Module& c = parse_c_keep("typedef float point[2]; typedef point *points;");
+  annotate(c, "points", [](Annotations& a) {
+    a.length = LengthSpec{LengthSpec::Kind::Runtime, 0, ""};
+  });
+  EXPECT_TRUE(
+      equivalent(lower_side(java, "PointVector"), lower_side(c, "points")));
+}
+
+TEST(Compare, RecursiveTreeTypesMatch) {
+  Module& j1 = parse_java_keep(
+      "class Tree { int v; Tree left; Tree right; }");
+  Module& j2 = parse_java_keep(
+      "class Arbre { Arbre gauche; Arbre droite; int valeur; }");
+  EXPECT_TRUE(equivalent(lower_side(j1, "Tree"), lower_side(j2, "Arbre")));
+}
+
+TEST(Compare, RecursiveDepthMismatch) {
+  Module& j1 = parse_java_keep("class A { int v; A next; }");
+  Module& j2 = parse_java_keep("class B { float v; B next; }");
+  EXPECT_TRUE(mismatch(lower_side(j1, "A"), lower_side(j2, "B")));
+}
+
+// ---- ports and functions ------------------------------------------------------
+
+TEST(Compare, FunctionShapesMatch) {
+  Module& c1 = parse_c_keep("float f(int x);");
+  Module& c2 = parse_c_keep("float g(int y);");
+  EXPECT_TRUE(equivalent(lower_side(c1, "f"), lower_side(c2, "g")));
+}
+
+TEST(Compare, FunctionParamOrderPermutes) {
+  Module& c1 = parse_c_keep("void f(int a, float b);");
+  Module& c2 = parse_c_keep("void g(float b, int a);");
+  EXPECT_TRUE(equivalent(lower_side(c1, "f"), lower_side(c2, "g")));
+}
+
+TEST(Compare, PortContravarianceInSubtype) {
+  // port(tau) <= port(sigma) iff sigma <= tau.
+  Side pa, pb;
+  pa.ref = pa.graph.port(pa.graph.integer(-128, 255));  // accepts wide
+  pb.ref = pb.graph.port(pb.graph.integer(0, 127));     // accepts narrow
+  Options sub;
+  sub.mode = Mode::Subtype;
+  EXPECT_TRUE(equivalent(pa, pb, sub));  // wide-accepting <= narrow-accepting
+  EXPECT_TRUE(mismatch(pb, pa, sub));
+}
+
+TEST(Compare, FitterEquivalence) {
+  // THE paper example (§2-§3.4): C fitter == JavaIdeal.fitter after
+  // annotation. Both reduce to
+  //   port(Record(L, port(Record(Record(R,R), Record(R,R)))))
+  Module& c = parse_c_keep(
+      "typedef float point[2];\n"
+      "void fitter(point pts[], int count, point *start, point *end);\n");
+  annotate(c, "fitter.pts", [](Annotations& a) {
+    a.length = LengthSpec{LengthSpec::Kind::ParamName, 0, "count"};
+  });
+  annotate(c, "fitter.start",
+           [](Annotations& a) { a.direction = stype::Direction::Out; });
+  annotate(c, "fitter.end",
+           [](Annotations& a) { a.direction = stype::Direction::Out; });
+
+  Module& java = parse_java_keep(
+      "public class Point { private float x; private float y; }\n"
+      "public class Line { private Point start; private Point end; }\n"
+      "public class PointVector extends java.util.Vector;\n"
+      "public interface JavaIdeal { Line fitter(PointVector pts); }\n");
+  annotate(java, "Line.start", [](Annotations& a) {
+    a.not_null = true;
+    a.no_alias = true;
+  });
+  annotate(java, "Line.end", [](Annotations& a) {
+    a.not_null = true;
+    a.no_alias = true;
+  });
+  java.find("PointVector")->ann.element_type = "Point";
+  java.find("PointVector")->ann.element_not_null = true;
+  annotate(java, "JavaIdeal.fitter.pts",
+           [](Annotations& a) { a.not_null = true; });
+  annotate(java, "JavaIdeal.fitter.return",
+           [](Annotations& a) { a.not_null = true; });
+
+  Side c_side = lower_side(c, "fitter");
+  Side j_side = lower_side(java, "JavaIdeal.fitter");
+
+  FullResult full =
+      compare_full(j_side.graph, j_side.ref, c_side.graph, c_side.ref);
+  EXPECT_EQ(full.verdict, Verdict::Equivalent)
+      << full.to_right.mismatch.to_string();
+  EXPECT_TRUE(plan::validate(full.to_right.plan, full.to_right.root).empty());
+  EXPECT_TRUE(plan::validate(full.to_left.plan, full.to_left.root).empty());
+}
+
+TEST(Compare, FitterMatchesCFriendlyIdl) {
+  // Fig. 3(b): the C-friendly IDL matches the annotated C function.
+  Module& c = parse_c_keep(
+      "typedef float point[2];\n"
+      "void fitter(point pts[], int count, point *start, point *end);\n");
+  annotate(c, "fitter.pts", [](Annotations& a) {
+    a.length = LengthSpec{LengthSpec::Kind::ParamName, 0, "count"};
+  });
+  annotate(c, "fitter.start",
+           [](Annotations& a) { a.direction = stype::Direction::Out; });
+  annotate(c, "fitter.end",
+           [](Annotations& a) { a.direction = stype::Direction::Out; });
+
+  Module& idl = parse_idl_keep(
+      "interface CFriendly {\n"
+      "  typedef float Point[2];\n"
+      "  typedef sequence<Point> pointseq;\n"
+      "  void fitter(in pointseq pts, in long count,\n"
+      "              out Point start, out Point end);\n"
+      "};\n");
+  // The IDL carries an explicit count; annotate it as the sequence length
+  // so it is absorbed, exactly as on the C side.
+  annotate(idl, "CFriendly.fitter.pts", [](Annotations& a) {
+    a.length = LengthSpec{LengthSpec::Kind::ParamName, 0, "count"};
+  });
+
+  EXPECT_TRUE(
+      equivalent(lower_side(c, "fitter"), lower_side(idl, "CFriendly.fitter")));
+}
+
+TEST(Compare, MismatchBeforeAnnotation) {
+  // Without annotations the two fitters do NOT match — the iterative
+  // annotate/compare loop of Fig. 6 exists precisely for this.
+  Module& c = parse_c_keep(
+      "typedef float point[2];\n"
+      "void fitter(point pts[], int count, point *start, point *end);\n");
+  Module& java = parse_java_keep(
+      "public class Point { private float x; private float y; }\n"
+      "public class Line { private Point start; private Point end; }\n"
+      "public class PointVector extends java.util.Vector;\n"
+      "public interface JavaIdeal { Line fitter(PointVector pts); }\n");
+  java.find("PointVector")->ann.element_type = "Point";
+
+  Side c_side = lower_side(c, "fitter");
+  Side j_side = lower_side(java, "JavaIdeal.fitter");
+  Result r = compare(j_side.graph, j_side.ref, c_side.graph, c_side.ref, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.mismatch.valid);
+}
+
+TEST(Compare, BudgetExceededFailsSafely) {
+  // Two large records of identical children force heavy backtracking when
+  // pruning is off; with a tiny budget the comparison must fail with a
+  // budget report, never crash or return a bogus plan.
+  Side a, b;
+  std::vector<Ref> ca, cb;
+  for (int i = 0; i < 10; ++i) {
+    ca.push_back(a.graph.record({a.graph.integer(0, 9), a.graph.integer(0, 9)}));
+    cb.push_back(b.graph.record({b.graph.integer(0, 9), b.graph.integer(0, 9)}));
+  }
+  a.ref = a.graph.record(std::move(ca));
+  b.ref = b.graph.record(std::move(cb));
+  Options opts;
+  opts.use_hash_prune = false;
+  opts.max_steps = 20;
+  Result r = compare(a.graph, a.ref, b.graph, b.ref, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.mismatch.reason.find("budget"), std::string::npos);
+}
+
+TEST(Compare, CompareFullSubtypeVerdicts) {
+  Side narrow, wide;
+  narrow.ref = narrow.graph.integer(0, 10);
+  wide.ref = wide.graph.integer(0, 100);
+  FullResult lr = compare_full(narrow.graph, narrow.ref, wide.graph, wide.ref);
+  EXPECT_EQ(lr.verdict, Verdict::LeftSubtype);
+  FullResult rl = compare_full(wide.graph, wide.ref, narrow.graph, narrow.ref);
+  EXPECT_EQ(rl.verdict, Verdict::RightSubtype);
+  FullResult mm = compare_full(narrow.graph, narrow.ref, narrow.graph, narrow.ref);
+  EXPECT_EQ(mm.verdict, Verdict::Equivalent);
+}
+
+TEST(Compare, SessionMemoizesAcrossCalls) {
+  // Two roots sharing a sub-record: the second compare through a session
+  // costs almost nothing because the shared pair is already proven.
+  Graph ga, gb;
+  Ref shared_a = ga.record({ga.integer(0, 9), ga.real(24, 8)});
+  Ref root1_a = ga.record({shared_a, ga.unit()});
+  Ref root2_a = ga.record({shared_a, ga.character(stype::Repertoire::Ascii)});
+  Ref shared_b = gb.record({gb.integer(0, 9), gb.real(24, 8)});
+  Ref root1_b = gb.record({shared_b, gb.unit()});
+  Ref root2_b = gb.record({shared_b, gb.character(stype::Repertoire::Ascii)});
+
+  Session session(ga, gb);
+  auto r1 = session.compare(root1_a, root1_b);
+  ASSERT_TRUE(r1.ok);
+  auto r2 = session.compare(root2_a, root2_b);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_LT(r2.steps, r1.steps);  // the shared pair was free
+
+  // Plans from both calls remain valid in the shared plan graph.
+  EXPECT_TRUE(plan::validate(session.plans(), r1.root).empty());
+  EXPECT_TRUE(plan::validate(session.plans(), r2.root).empty());
+}
+
+TEST(Compare, SessionReportsMismatches) {
+  Graph ga, gb;
+  Ref a = ga.integer(0, 9);
+  Ref b = gb.real(24, 8);
+  Session session(ga, gb);
+  auto r = session.compare(a, b);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.mismatch.valid);
+  // A failure must not poison later successes.
+  Ref a2 = ga.integer(0, 9);
+  Ref b2 = gb.integer(0, 9);
+  EXPECT_TRUE(session.compare(a2, b2).ok);
+}
+
+TEST(Compare, PrecomputedHashesGiveSameVerdicts) {
+  Graph ga, gb;
+  Ref a = ga.record({ga.integer(0, 9), ga.list_of(ga.real(24, 8))});
+  Ref b = gb.record({gb.list_of(gb.real(24, 8)), gb.integer(0, 9)});
+  HashCache ha(ga), hb(gb);
+  Options opts;
+  opts.left_hashes = ha.get();
+  opts.right_hashes = hb.get();
+  Result with = compare(ga, a, gb, b, opts);
+  Result without = compare(ga, a, gb, b, {});
+  EXPECT_EQ(with.ok, without.ok);
+  EXPECT_TRUE(with.ok);
+}
+
+TEST(Compare, EquivalenceIsSymmetricAndReflexive) {
+  Module& java = parse_java_keep(
+      "class P { float x; float y; } class Q { float a; float b; }");
+  Side p = lower_side(java, "P");
+  Side q = lower_side(java, "Q");
+  EXPECT_TRUE(equivalent(p, p));
+  EXPECT_TRUE(equivalent(p, q));
+  EXPECT_TRUE(equivalent(q, p));
+}
+
+}  // namespace
+}  // namespace mbird::compare

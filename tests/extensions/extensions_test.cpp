@@ -1,0 +1,379 @@
+// Tests for the paper's §6 "future work" items, implemented here:
+//   * exceptions (IDL raises / Java throws -> Choice replies)
+//   * hand-written conversions composed with structural plans
+//   * the dynamic type (self-describing values, cf. CORBA Any)
+#include <gtest/gtest.h>
+
+#include "annotate/script.hpp"
+#include "codegen/cgen.hpp"
+#include "compare/compare.hpp"
+#include "idl/idlparser.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+#include "rpc/rpc.hpp"
+#include "runtime/conform.hpp"
+#include "runtime/convert.hpp"
+#include "support/rng.hpp"
+#include "wire/wire.hpp"
+
+namespace mbird {
+namespace {
+
+using runtime::Value;
+using stype::Module;
+
+// ---- exceptions ---------------------------------------------------------------
+
+TEST(Exceptions, IdlRaisesCaptured) {
+  DiagnosticEngine diags;
+  Module idl = idl::parse_idl(
+      "exception NotFound { long code; };\n"
+      "interface Store { long get(in long key) raises(NotFound); };\n",
+      "t.idl", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  auto* itf = idl.find("Store");
+  ASSERT_EQ(itf->methods.size(), 1u);
+  ASSERT_EQ(itf->methods[0]->throws_list.size(), 1u);
+  EXPECT_EQ(itf->methods[0]->throws_list[0], "NotFound");
+}
+
+TEST(Exceptions, JavaThrowsCaptured) {
+  DiagnosticEngine diags;
+  Module java = javasrc::parse_java(
+      "class NotFound { int code; }\n"
+      "interface Store { int get(int key) throws NotFound; }\n",
+      "T.java", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  auto* itf = java.find("Store");
+  ASSERT_EQ(itf->methods[0]->throws_list.size(), 1u);
+  EXPECT_EQ(itf->methods[0]->throws_list[0], "NotFound");
+}
+
+TEST(Exceptions, ReplyBecomesChoice) {
+  DiagnosticEngine diags;
+  Module idl = idl::parse_idl(
+      "exception NotFound { long code; };\n"
+      "interface Store { long get(in long key) raises(NotFound); };\n",
+      "t.idl", diags);
+  mtype::Graph g;
+  mtype::Ref r = lower::lower_decl(idl, g, "Store.get", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  std::string s = mtype::print(g, r);
+  EXPECT_NE(s.find("Choice(normal:Record(return:"), std::string::npos);
+  EXPECT_NE(s.find("NotFound:Record("), std::string::npos);
+}
+
+TEST(Exceptions, CrossLanguageEquivalence) {
+  DiagnosticEngine diags;
+  Module idl = idl::parse_idl(
+      "exception NotFound { long code; };\n"
+      "interface Store { long get(in long key) raises(NotFound); };\n",
+      "t.idl", diags);
+  Module java = javasrc::parse_java(
+      "class NotFound { int code; }\n"
+      "interface Store { int get(int key) throws NotFound; }\n",
+      "T.java", diags);
+
+  mtype::Graph gi, gj;
+  mtype::Ref ri = lower::lower_decl(idl, gi, "Store.get", diags);
+  mtype::Ref rj = lower::lower_decl(java, gj, "Store.get", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  auto res = compare::compare(gj, rj, gi, ri, {});
+  EXPECT_TRUE(res.ok) << res.mismatch.to_string();
+}
+
+TEST(Exceptions, ExceptionCountMismatchDetected) {
+  DiagnosticEngine diags;
+  Module a = javasrc::parse_java(
+      "class E1 { int x; }\ninterface I { int f(int k) throws E1; }\n",
+      "A.java", diags);
+  Module b = javasrc::parse_java("interface I { int f(int k); }\n", "B.java",
+                                 diags);
+  mtype::Graph ga, gb;
+  mtype::Ref ra = lower::lower_decl(a, ga, "I.f", diags);
+  mtype::Ref rb = lower::lower_decl(b, gb, "I.f", diags);
+  auto res = compare::compare(ga, ra, gb, rb, {});
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Exceptions, RpcCallReturnsExceptionArm) {
+  DiagnosticEngine diags;
+  Module java = javasrc::parse_java(
+      "class NotFound { int code; }\n"
+      "interface Store { int get(int key) throws NotFound; }\n",
+      "T.java", diags);
+  mtype::Graph g;
+  mtype::Ref r = lower::lower_decl(java, g, "Store.get", diags);
+  ASSERT_FALSE(diags.has_errors());
+  mtype::Ref inv = g.at(r).body();
+
+  rpc::Node node(1);
+  uint64_t fn = rpc::serve_function(node, g, inv, [](const Value& args) {
+    Int128 key = args.at(0).as_int();
+    if (key == 42) {
+      return Value::choice(0, Value::record({Value::integer(1000)}));  // normal
+    }
+    return Value::choice(1, Value::record({Value::integer(404)}));  // NotFound
+  });
+
+  Value hit = rpc::call_function(node, fn, g, inv,
+                                 Value::record({Value::integer(42)}), {&node});
+  EXPECT_EQ(hit.arm(), 0u);
+  EXPECT_EQ(hit.inner().at(0), Value::integer(1000));
+
+  Value miss = rpc::call_function(node, fn, g, inv,
+                                  Value::record({Value::integer(7)}), {&node});
+  EXPECT_EQ(miss.arm(), 1u);
+  EXPECT_EQ(miss.inner().at(0), Value::integer(404));
+}
+
+TEST(Exceptions, UnknownLibraryExceptionIsOpaqueRecord) {
+  // `throws java.io.IOException` without the class loaded: the arm is an
+  // empty record named after the exception — both sides agree if both
+  // declare it.
+  DiagnosticEngine diags;
+  Module a = javasrc::parse_java(
+      "interface F { int read() throws java.io.IOException; }\n", "A.java",
+      diags);
+  Module b = javasrc::parse_java(
+      "interface F { int read() throws java.io.IOException; }\n", "B.java",
+      diags);
+  mtype::Graph ga, gb;
+  mtype::Ref ra = lower::lower_decl(a, ga, "F.read", diags);
+  mtype::Ref rb = lower::lower_decl(b, gb, "F.read", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  auto res = compare::compare(ga, ra, gb, rb, {});
+  EXPECT_TRUE(res.ok) << res.mismatch.to_string();
+}
+
+TEST(Exceptions, MultipleExceptionsKeepDistinctArms) {
+  DiagnosticEngine diags;
+  Module m = javasrc::parse_java(
+      "class E1 { int a; }\nclass E2 { float b; }\n"
+      "interface I { int f() throws E1, E2; }\n",
+      "T.java", diags);
+  mtype::Graph g;
+  mtype::Ref r = lower::lower_decl(m, g, "I.f", diags);
+  ASSERT_FALSE(diags.has_errors());
+  std::string s = mtype::print(g, r);
+  EXPECT_NE(s.find("E1:Record("), std::string::npos);
+  EXPECT_NE(s.find("E2:Record("), std::string::npos);
+}
+
+// ---- hand-written conversions (the paper's slope/intercept example) -----------
+
+TEST(CustomConversion, SlopeInterceptLine) {
+  // §6: "perhaps one line is represented as a slope/intercept pair, and
+  // another line as two points, and the programmer wishes to convert
+  // between the two representations."
+  DiagnosticEngine diags;
+  Module a = javasrc::parse_java(
+      "class Point { float x; float y; }\n"
+      "class Line2P { Point start; Point end; }\n"
+      "class Sketch { int id; Line2P line; }\n",
+      "A.java", diags);
+  Module b = javasrc::parse_java(
+      "class LineSI { float slope; float intercept; }\n"
+      "class Sketch { int id; LineSI line; }\n",
+      "B.java", diags);
+  annotate::run_script(
+      "annotate \"Line2P.*\" notnull;\nannotate Sketch.line notnull;\n", "a.mba",
+      a, diags);
+  annotate::run_script("annotate Sketch.line notnull;\n", "b.mba", b, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+
+  mtype::Graph ga, gb;
+  mtype::Ref ra = lower::lower_decl(a, ga, "Sketch", diags);
+  mtype::Ref rb = lower::lower_decl(b, gb, "Sketch", diags);
+
+  // Structurally these MISMATCH: Line2P has four floats, LineSI two.
+  auto structural = compare::compare(ga, ra, gb, rb, {});
+  EXPECT_FALSE(structural.ok);
+
+  // The programmer supplies the semantic piece and composes it with the
+  // structural plan for the rest of the record.
+  plan::PlanGraph plans;
+  plan::PlanNode id_copy;
+  id_copy.kind = plan::PKind::IntCopy;
+  id_copy.lo = -pow2(31);
+  id_copy.hi = pow2(31) - 1;
+  plan::PlanRef id_op = plans.add(id_copy);
+  plan::PlanRef line_op = plan::make_custom(plans, "two_points_to_slope");
+
+  plan::PlanNode root;
+  root.kind = plan::PKind::RecordMap;
+  root.fields.push_back({{0}, {0}, id_op});
+  root.fields.push_back({{1}, {1}, line_op});
+  plan::RecShape shape;
+  shape.kind = plan::RecShape::Kind::Record;
+  for (uint32_t i = 0; i < 2; ++i) {
+    plan::RecShape leaf;
+    leaf.kind = plan::RecShape::Kind::Leaf;
+    leaf.leaf_index = i;
+    shape.kids.push_back(leaf);
+  }
+  root.dst_shape = shape;
+  plan::PlanRef root_ref = plans.add(root);
+  EXPECT_TRUE(plan::validate(plans, root_ref).empty());
+
+  runtime::CustomRegistry registry;
+  registry["two_points_to_slope"] = [](const Value& line) {
+    double x0 = line.at(0).at(0).as_real(), y0 = line.at(0).at(1).as_real();
+    double x1 = line.at(1).at(0).as_real(), y1 = line.at(1).at(1).as_real();
+    double slope = (y1 - y0) / (x1 - x0);
+    double intercept = y0 - slope * x0;
+    return Value::record({Value::real(slope), Value::real(intercept)});
+  };
+
+  runtime::Converter conv(plans, {}, std::move(registry));
+  Value in = Value::record(
+      {Value::integer(9),
+       Value::record({Value::record({Value::real(0), Value::real(1)}),
+                      Value::record({Value::real(2), Value::real(5)})})});
+  Value out = conv.apply(root_ref, in);
+  EXPECT_EQ(out.at(0), Value::integer(9));
+  EXPECT_EQ(out.at(1), Value::record({Value::real(2), Value::real(1)}));
+  EXPECT_TRUE(runtime::conforms(gb, rb, out))
+      << runtime::conform_error(gb, rb, out);
+}
+
+TEST(CustomConversion, MissingConverterThrows) {
+  plan::PlanGraph plans;
+  plan::PlanRef op = plan::make_custom(plans, "nope");
+  runtime::Converter conv(plans);
+  EXPECT_THROW(conv.apply(op, Value::integer(1)), ConversionError);
+}
+
+TEST(CustomConversion, SpliceIntoStructuralPlan) {
+  // Take a fully structural plan and replace one field's op.
+  mtype::Graph ga, gb;
+  mtype::Ref a = ga.record({ga.integer(0, 9), ga.real(24, 8)});
+  mtype::Ref b = gb.record({gb.integer(0, 9), gb.real(24, 8)});
+  auto res = compare::compare(ga, a, gb, b, {});
+  ASSERT_TRUE(res.ok);
+
+  plan::PlanRef doubler = plan::make_custom(res.plan, "double_it");
+  ASSERT_TRUE(plan::replace_field_op(res.plan, res.root, {1}, doubler));
+  EXPECT_FALSE(plan::replace_field_op(res.plan, res.root, {9}, doubler));
+
+  runtime::CustomRegistry reg;
+  reg["double_it"] = [](const Value& v) { return Value::real(v.as_real() * 2); };
+  runtime::Converter conv(res.plan, {}, std::move(reg));
+  Value out =
+      conv.apply(res.root, Value::record({Value::integer(3), Value::real(2.5)}));
+  EXPECT_EQ(out, Value::record({Value::integer(3), Value::real(5.0)}));
+}
+
+TEST(CustomConversion, CodegenEmitsExternCall) {
+  mtype::Graph ga, gb;
+  mtype::Ref a = ga.record({ga.real(24, 8)});
+  mtype::Ref b = gb.record({gb.real(24, 8)});
+  auto res = compare::compare(ga, a, gb, b, {});
+  ASSERT_TRUE(res.ok);
+  plan::PlanRef custom = plan::make_custom(res.plan, "my_converter");
+  ASSERT_TRUE(plan::replace_field_op(res.plan, res.root, {0}, custom));
+
+  auto stub = codegen::generate_c_stub(ga, a, gb, b, res.plan, res.root, "cust");
+  EXPECT_NE(stub.source.find("extern void my_converter"), std::string::npos);
+  EXPECT_NE(stub.source.find("my_converter(in, out);"), std::string::npos);
+}
+
+// ---- the dynamic type -----------------------------------------------------------
+
+TEST(DynamicType, TypeRoundtrip) {
+  mtype::Graph g;
+  mtype::Ref point = g.record({g.real(24, 8), g.real(24, 8)}, {"x", "y"}, "Point");
+  mtype::Ref type = g.record(
+      {g.integer(-100, 100), g.list_of(point, "pts"),
+       g.choice({g.unit(), g.character(stype::Repertoire::Latin1)}),
+       g.port(g.unit())},
+      {"n", "pts", "tag", "reply"});
+
+  auto bytes = wire::encode_type(g, type);
+  mtype::Graph g2;
+  mtype::Ref back = wire::decode_type(g2, bytes);
+  // Names/labels survive...
+  EXPECT_EQ(mtype::print(g, type), mtype::print(g2, back));
+  // ...and the reconstructed type is structurally equivalent.
+  auto res = compare::compare(g, type, g2, back, {});
+  EXPECT_TRUE(res.ok) << res.mismatch.to_string();
+}
+
+TEST(DynamicType, AnyRoundtrip) {
+  mtype::Graph g;
+  mtype::Ref type = g.record({g.integer(0, 65535), g.list_of(g.real(24, 8))});
+  Value v = Value::record(
+      {Value::integer(777), Value::list({Value::real(1.5), Value::real(-2)})});
+
+  auto bytes = wire::encode_any(g, type, v);
+  wire::AnyValue any = wire::decode_any(bytes);
+  EXPECT_EQ(any.value, v);
+  EXPECT_TRUE(runtime::conforms(any.graph, any.type, any.value));
+
+  // A receiver can compare the carried type against its own declaration
+  // and convert — nothing about the sender's declaration was shared ahead
+  // of time.
+  mtype::Graph mine;
+  mtype::Ref my_type =
+      mine.record({mine.list_of(mine.real(24, 8)), mine.integer(0, 65535)});
+  auto res = compare::compare(any.graph, any.type, mine, my_type, {});
+  ASSERT_TRUE(res.ok);
+  runtime::Converter conv(res.plan);
+  Value converted = conv.apply(res.root, any.value);
+  EXPECT_EQ(converted.at(1), Value::integer(777));
+}
+
+TEST(DynamicType, RecursiveTypeTravels) {
+  mtype::Graph g;
+  mtype::Ref tree = g.rec_placeholder("tree");
+  mtype::Ref node = g.record({g.integer(0, 9), g.var(tree), g.var(tree)});
+  g.seal_rec(tree, g.choice({g.unit(), node}));
+
+  auto bytes = wire::encode_type(g, tree);
+  mtype::Graph g2;
+  mtype::Ref back = wire::decode_type(g2, bytes);
+  auto res = compare::compare(g, tree, g2, back, {});
+  EXPECT_TRUE(res.ok) << res.mismatch.to_string();
+}
+
+TEST(DynamicType, MalformedInputRejected) {
+  EXPECT_THROW(wire::decode_any({1, 2, 3}), WireError);
+  mtype::Graph g;
+  EXPECT_THROW(wire::decode_type(g, {0, 0, 0, 0, 0, 0, 0, 0}), WireError);
+  // Truncated type bytes.
+  mtype::Graph src;
+  auto bytes = wire::encode_type(src, src.integer(0, 5));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(wire::decode_type(g, bytes), WireError);
+}
+
+class WireFuzz : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzz, RandomBytesNeverCrash) {
+  // Robustness: arbitrary bytes must produce WireError (or decode cleanly),
+  // never crash or hang.
+  Rng rng(GetParam());
+  std::vector<uint8_t> junk(rng.below(200));
+  for (auto& b : junk) b = static_cast<uint8_t>(rng.below(256));
+
+  mtype::Graph g;
+  mtype::Ref type = g.record({g.integer(0, 255), g.list_of(g.real(24, 8))});
+  try {
+    (void)wire::decode(g, type, junk);
+  } catch (const WireError&) {
+  }
+  try {
+    (void)wire::decode_any(junk);
+  } catch (const WireError&) {
+  }
+  try {
+    (void)wire::unpack_frame(junk);
+  } catch (const WireError&) {
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, testing::Range<uint64_t>(0, 100));
+
+}  // namespace
+}  // namespace mbird

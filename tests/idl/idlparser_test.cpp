@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "idl/idlparser.hpp"
+
+namespace mbird::idl {
+namespace {
+
+using stype::AggKind;
+using stype::Direction;
+using stype::Kind;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+Module parse_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  Module m = parse_idl(src, "test.idl", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return m;
+}
+
+// The paper's Fig. 3(b): the C-friendly IDL.
+constexpr const char* kCFriendly = R"(
+interface CFriendly {
+  typedef float Point[2];
+  typedef sequence<Point> pointseq;
+  void fitter(in pointseq pts,
+              in long count,
+              out Point start,
+              out Point end);
+};
+)";
+
+// The paper's Fig. 3(a): the Java-friendly IDL.
+constexpr const char* kJavaFriendly = R"(
+interface JavaFriendly {
+  struct Point {
+    float x;
+    float y;
+  };
+  struct Line {
+    Point start;
+    Point end;
+  };
+  typedef sequence<Point> PointVector;
+  Line fitter(in PointVector pts);
+};
+)";
+
+TEST(IdlParser, CFriendlyInterface) {
+  Module m = parse_ok(kCFriendly);
+  Stype* itf = m.find("CFriendly");
+  ASSERT_NE(itf, nullptr);
+  EXPECT_EQ(itf->agg_kind, AggKind::Interface);
+  ASSERT_EQ(itf->methods.size(), 1u);
+
+  Stype* point = m.find("Point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->kind, Kind::Typedef);
+  EXPECT_EQ(point->elem->kind, Kind::Array);
+  EXPECT_EQ(point->elem->array_size, 2u);
+
+  EXPECT_NE(m.find("CFriendly::Point"), nullptr);
+  EXPECT_NE(m.find("pointseq"), nullptr);
+
+  Stype* fitter = itf->methods[0];
+  ASSERT_EQ(fitter->params.size(), 4u);
+  EXPECT_EQ(fitter->params[0].type->ann.direction, Direction::In);
+  EXPECT_EQ(fitter->params[2].type->ann.direction, Direction::Out);
+  EXPECT_EQ(fitter->params[3].name, "end");
+}
+
+TEST(IdlParser, JavaFriendlyInterface) {
+  Module m = parse_ok(kJavaFriendly);
+  Stype* point = m.find("Point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->agg_kind, AggKind::Struct);
+  EXPECT_TRUE(point->ann.by_value.value_or(false));
+  ASSERT_EQ(point->fields.size(), 2u);
+
+  Stype* itf = m.find("JavaFriendly");
+  ASSERT_EQ(itf->methods.size(), 1u);
+  Stype* fitter = itf->methods[0];
+  EXPECT_EQ(fitter->ret->name, "Line");
+  ASSERT_EQ(fitter->params.size(), 1u);
+  EXPECT_EQ(fitter->params[0].type->name, "PointVector");
+}
+
+TEST(IdlParser, BaseTypes) {
+  Module m = parse_ok(
+      "struct T { boolean b; char c; wchar w; octet o; short s;\n"
+      "unsigned short us; long l; unsigned long ul; long long ll;\n"
+      "unsigned long long ull; float f; double d; };");
+  Stype* t = m.find("T");
+  ASSERT_EQ(t->fields.size(), 12u);
+  EXPECT_EQ(t->fields[0].type->prim, Prim::Bool);
+  EXPECT_EQ(t->fields[1].type->prim, Prim::Char8);
+  EXPECT_EQ(t->fields[2].type->prim, Prim::Char16);
+  EXPECT_EQ(t->fields[3].type->prim, Prim::U8);
+  EXPECT_EQ(t->fields[4].type->prim, Prim::I16);
+  EXPECT_EQ(t->fields[5].type->prim, Prim::U16);
+  EXPECT_EQ(t->fields[6].type->prim, Prim::I32);
+  EXPECT_EQ(t->fields[7].type->prim, Prim::U32);
+  EXPECT_EQ(t->fields[8].type->prim, Prim::I64);
+  EXPECT_EQ(t->fields[9].type->prim, Prim::U64);
+  EXPECT_EQ(t->fields[10].type->prim, Prim::F32);
+  EXPECT_EQ(t->fields[11].type->prim, Prim::F64);
+}
+
+TEST(IdlParser, StringsBecomeCharSequences) {
+  Module m = parse_ok("struct S { string name; wstring wname; string<32> bounded; };");
+  Stype* s = m.find("S");
+  ASSERT_EQ(s->fields.size(), 3u);
+  EXPECT_EQ(s->fields[0].type->kind, Kind::Sequence);
+  EXPECT_EQ(s->fields[0].type->elem->prim, Prim::Char8);
+  EXPECT_EQ(s->fields[1].type->elem->prim, Prim::Char16);
+  EXPECT_EQ(s->fields[2].type->kind, Kind::Sequence);
+}
+
+TEST(IdlParser, BoundedSequenceAccepted) {
+  Module m = parse_ok("typedef sequence<long, 10> ten;");
+  Stype* t = m.find("ten");
+  EXPECT_EQ(t->elem->kind, Kind::Sequence);
+}
+
+TEST(IdlParser, NestedSequences) {
+  Module m = parse_ok("typedef sequence<sequence<float>> matrix;");
+  Stype* t = m.find("matrix")->elem;
+  ASSERT_EQ(t->kind, Kind::Sequence);
+  EXPECT_EQ(t->elem->kind, Kind::Sequence);
+  EXPECT_EQ(t->elem->elem->prim, Prim::F32);
+}
+
+TEST(IdlParser, UnionArms) {
+  Module m = parse_ok(
+      "union Value switch(short) {\n"
+      "  case 1: long i;\n"
+      "  case 2: case 3: float f;\n"
+      "  default: string s;\n"
+      "};");
+  Stype* u = m.find("Value");
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->agg_kind, AggKind::Union);
+  ASSERT_EQ(u->fields.size(), 3u);
+  EXPECT_EQ(u->fields[0].name, "i");
+  EXPECT_EQ(u->fields[2].name, "s");
+}
+
+TEST(IdlParser, EnumDecl) {
+  Module m = parse_ok("enum Color { red, green, blue };");
+  Stype* e = m.find("Color");
+  ASSERT_EQ(e->enumerators.size(), 3u);
+  EXPECT_EQ(e->enumerators[2].value, 2);
+}
+
+TEST(IdlParser, ModuleScoping) {
+  Module m = parse_ok("module App { struct S { long x; }; module Inner { struct T { float y; }; }; };");
+  EXPECT_NE(m.find("App::S"), nullptr);
+  EXPECT_NE(m.find("S"), nullptr);
+  EXPECT_NE(m.find("App::Inner::T"), nullptr);
+  EXPECT_NE(m.find("T"), nullptr);
+}
+
+TEST(IdlParser, AttributesBecomeFields) {
+  Module m = parse_ok(
+      "interface Account { readonly attribute long balance; attribute string owner; };");
+  Stype* itf = m.find("Account");
+  ASSERT_EQ(itf->fields.size(), 2u);
+  EXPECT_EQ(itf->fields[0].name, "balance");
+  EXPECT_EQ(itf->fields[1].name, "owner");
+}
+
+TEST(IdlParser, InterfaceInheritance) {
+  Module m = parse_ok("interface A {}; interface B : A { void f(); };");
+  Stype* b = m.find("B");
+  ASSERT_EQ(b->bases.size(), 1u);
+  EXPECT_EQ(b->bases[0], "A");
+}
+
+TEST(IdlParser, OnewayAndRaises) {
+  Module m = parse_ok(
+      "exception Bad { string why; };\n"
+      "interface I { oneway void ping(); long f(in long x) raises(Bad); };");
+  Stype* i = m.find("I");
+  ASSERT_EQ(i->methods.size(), 2u);
+  EXPECT_NE(m.find("Bad"), nullptr);
+}
+
+TEST(IdlParser, ArrayDeclarators) {
+  Module m = parse_ok("struct S { float grid[2][3]; };");
+  Stype* f = m.find("S")->fields[0].type;
+  ASSERT_EQ(f->kind, Kind::Array);
+  EXPECT_EQ(f->array_size, 2u);
+  ASSERT_EQ(f->elem->kind, Kind::Array);
+  EXPECT_EQ(f->elem->array_size, 3u);
+}
+
+TEST(IdlParser, ConstSkipped) {
+  Module m = parse_ok("const long MAX = 10; struct S { long x; };");
+  EXPECT_NE(m.find("S"), nullptr);
+}
+
+TEST(IdlParser, AnyAndObject) {
+  Module m = parse_ok("struct S { any a; Object o; };");
+  Stype* s = m.find("S");
+  EXPECT_EQ(s->fields[0].type->kind, Kind::Reference);
+  EXPECT_EQ(s->fields[1].type->kind, Kind::Reference);
+}
+
+TEST(IdlParser, ErrorReported) {
+  DiagnosticEngine diags;
+  (void)parse_idl("interface I { void f(in long); };", "bad.idl", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace mbird::idl

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "compare/compare.hpp"
+#include "javaclass/classfile.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+
+namespace mbird::javaclass {
+namespace {
+
+using stype::AggKind;
+using stype::Kind;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+/// Build a module from Java source, emit class files for every aggregate,
+/// and re-read them into a fresh module.
+Module roundtrip(std::string_view java_src) {
+  DiagnosticEngine diags;
+  Module src = javasrc::parse_java(java_src, "T.java", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+
+  std::vector<std::vector<uint8_t>> files;
+  for (const auto& name : src.decl_order()) {
+    Stype* d = src.find(name);
+    if (d->kind == Kind::Aggregate) {
+      files.push_back(emit_class_file(src, d, diags));
+    }
+  }
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  Module out = parse_class_files(files, "classes", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return out;
+}
+
+TEST(ClassFile, PointRoundtrip) {
+  Module m = roundtrip("public class Point { private float x; private float y; }");
+  Stype* p = m.find("Point");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->agg_kind, AggKind::Class);
+  ASSERT_EQ(p->fields.size(), 2u);
+  EXPECT_EQ(p->fields[0].name, "x");
+  EXPECT_EQ(p->fields[0].type->prim, Prim::F32);
+  EXPECT_TRUE(p->fields[0].is_private);
+}
+
+TEST(ClassFile, AllPrimitiveDescriptors) {
+  Module m = roundtrip(
+      "class P { boolean z; byte b; char c; short s; int i; long j; float f; "
+      "double d; }");
+  Stype* p = m.find("P");
+  ASSERT_EQ(p->fields.size(), 8u);
+  EXPECT_EQ(p->fields[0].type->prim, Prim::Bool);
+  EXPECT_EQ(p->fields[1].type->prim, Prim::I8);
+  EXPECT_EQ(p->fields[2].type->prim, Prim::Char16);
+  EXPECT_EQ(p->fields[3].type->prim, Prim::I16);
+  EXPECT_EQ(p->fields[4].type->prim, Prim::I32);
+  EXPECT_EQ(p->fields[5].type->prim, Prim::I64);
+  EXPECT_EQ(p->fields[6].type->prim, Prim::F32);
+  EXPECT_EQ(p->fields[7].type->prim, Prim::F64);
+}
+
+TEST(ClassFile, ReferencesAndArrays) {
+  Module m = roundtrip(
+      "class Point { float x; float y; }\n"
+      "class Holder { Point p; int[] nums; float[][] grid; }\n");
+  Stype* h = m.find("Holder");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->fields.size(), 3u);
+  EXPECT_EQ(h->fields[0].type->kind, Kind::Reference);
+  EXPECT_EQ(h->fields[0].type->elem->name, "Point");
+  EXPECT_EQ(h->fields[1].type->kind, Kind::Array);
+  EXPECT_EQ(h->fields[2].type->elem->kind, Kind::Array);
+}
+
+TEST(ClassFile, MethodsWithSignatures) {
+  Module m = roundtrip(
+      "interface Calc { int add(int a, int b); float half(float x); }");
+  Stype* c = m.find("Calc");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->agg_kind, AggKind::Interface);
+  ASSERT_EQ(c->methods.size(), 2u);
+  EXPECT_EQ(c->methods[0]->name, "add");
+  EXPECT_EQ(c->methods[0]->params.size(), 2u);
+  EXPECT_EQ(c->methods[0]->ret->prim, Prim::I32);
+  EXPECT_EQ(c->methods[1]->params[0].type->prim, Prim::F32);
+}
+
+TEST(ClassFile, InheritanceRecorded) {
+  Module m = roundtrip(
+      "class Base { int a; }\n"
+      "class Derived extends Base { float b; }\n");
+  Stype* d = m.find("Derived");
+  ASSERT_EQ(d->bases.size(), 1u);
+  EXPECT_EQ(d->bases[0], "Base");
+}
+
+TEST(ClassFile, VectorSubclassKeepsBase) {
+  Module m = roundtrip("class PointVector extends java.util.Vector;");
+  Stype* pv = m.find("PointVector");
+  ASSERT_NE(pv, nullptr);
+  ASSERT_EQ(pv->bases.size(), 1u);
+  EXPECT_EQ(pv->bases[0], "java.util.Vector");
+}
+
+TEST(ClassFile, StaticMembersHandled) {
+  Module m = roundtrip("class C { static int shared; int own; }");
+  Stype* c = m.find("C");
+  ASSERT_EQ(c->fields.size(), 2u);
+  EXPECT_TRUE(c->fields[0].is_static);
+  EXPECT_FALSE(c->fields[1].is_static);
+}
+
+TEST(ClassFile, DescriptorsOfTypes) {
+  DiagnosticEngine diags;
+  Module m = javasrc::parse_java("class A { int x; }", "T.java", diags);
+  EXPECT_EQ(descriptor_of(m, m.make_prim(Prim::I32)), "I");
+  EXPECT_EQ(descriptor_of(m, m.make_prim(Prim::F64)), "D");
+  auto* arr = m.make(Kind::Array);
+  arr->elem = m.make_prim(Prim::I64);
+  EXPECT_EQ(descriptor_of(m, arr), "[J");
+  auto* named = m.make_named("java.lang.String");
+  EXPECT_EQ(descriptor_of(m, named), "Ljava/lang/String;");
+}
+
+TEST(ClassFile, BadMagicReported) {
+  DiagnosticEngine diags;
+  Module m(stype::Lang::Java, "t");
+  std::vector<uint8_t> junk = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(parse_class_into(m, junk, diags), "");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ClassFile, TruncatedFileReported) {
+  DiagnosticEngine diags;
+  Module src = javasrc::parse_java("class A { int x; }", "T.java", diags);
+  auto bytes = emit_class_file(src, src.find("A"), diags);
+  bytes.resize(bytes.size() / 2);
+  Module m(stype::Lang::Java, "t");
+  EXPECT_EQ(parse_class_into(m, bytes, diags), "");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ClassFile, RoundtripPreservesLoweredMtype) {
+  // The property that matters: declarations read from class files lower to
+  // Mtypes equivalent to those from the source parser.
+  const char* src =
+      "class Point { float x; float y; }\n"
+      "class Line { Point start; Point end; }\n";
+  DiagnosticEngine diags;
+  Module from_src = javasrc::parse_java(src, "T.java", diags);
+  Module from_cls = roundtrip(src);
+
+  mtype::Graph g1, g2;
+  mtype::Ref r1 = lower::lower_decl(from_src, g1, "Line", diags);
+  mtype::Ref r2 = lower::lower_decl(from_cls, g2, "Line", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  auto res = compare::compare(g1, r1, g2, r2, {});
+  EXPECT_TRUE(res.ok) << res.mismatch.to_string();
+}
+
+TEST(ClassFile, PackagedClassGetsSimpleAlias) {
+  DiagnosticEngine diags;
+  Module src(stype::Lang::Java, "t");
+  auto* cls = src.make(Kind::Aggregate);
+  cls->agg_kind = AggKind::Class;
+  cls->name = "com.example.Widget";
+  cls->fields.push_back({"n", src.make_prim(Prim::I32), {}, false, false});
+  src.declare("com.example.Widget", cls);
+
+  auto bytes = emit_class_file(src, cls, diags);
+  Module m(stype::Lang::Java, "t2");
+  EXPECT_EQ(parse_class_into(m, bytes, diags), "com.example.Widget");
+  EXPECT_NE(m.find("com.example.Widget"), nullptr);
+  EXPECT_NE(m.find("Widget"), nullptr);
+}
+
+}  // namespace
+}  // namespace mbird::javaclass

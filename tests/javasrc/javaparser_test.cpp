@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "javasrc/javaparser.hpp"
+
+namespace mbird::javasrc {
+namespace {
+
+using stype::AggKind;
+using stype::Kind;
+using stype::Module;
+using stype::Prim;
+using stype::Stype;
+
+Module parse_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  Module m = parse_java(src, "Test.java", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return m;
+}
+
+// The paper's Fig. 1, verbatim shape.
+constexpr const char* kFig1 = R"(
+public class Point {
+    public Point(float x, float y) { this.x = x; this.y = y; }
+    public float getX() { return x; }
+    public float getY() { return y; }
+    private float x;
+    private float y;
+}
+
+public class Line {
+    public Line(Point s, Point e) { start = s; end = e; }
+    public Point getStart() { return start; }
+    private Point start;
+    private Point end;
+}
+
+public class PointVector extends java.util.Vector;
+)";
+
+TEST(JavaParser, Fig1Types) {
+  Module m = parse_ok(kFig1);
+
+  Stype* point = m.find("Point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->agg_kind, AggKind::Class);
+  ASSERT_EQ(point->fields.size(), 2u);
+  EXPECT_TRUE(point->fields[0].is_private);
+  EXPECT_EQ(point->fields[0].type->prim, Prim::F32);
+  EXPECT_EQ(point->methods.size(), 2u);  // ctor skipped
+
+  Stype* line = m.find("Line");
+  ASSERT_NE(line, nullptr);
+  ASSERT_EQ(line->fields.size(), 2u);
+  ASSERT_EQ(line->fields[0].type->kind, Kind::Reference);
+  EXPECT_EQ(line->fields[0].type->elem->name, "Point");
+
+  Stype* pv = m.find("PointVector");
+  ASSERT_NE(pv, nullptr);
+  ASSERT_EQ(pv->bases.size(), 1u);
+  EXPECT_EQ(pv->bases[0], "java.util.Vector");
+  EXPECT_TRUE(pv->fields.empty());
+}
+
+TEST(JavaParser, JavaIdealInterface) {
+  // The paper's Fig. 5.
+  Module m = parse_ok(
+      "public interface JavaIdeal {\n"
+      "    Line fitter(PointVector pts);\n"
+      "}\n");
+  Stype* itf = m.find("JavaIdeal");
+  ASSERT_NE(itf, nullptr);
+  EXPECT_EQ(itf->agg_kind, AggKind::Interface);
+  ASSERT_EQ(itf->methods.size(), 1u);
+  Stype* f = itf->methods[0];
+  EXPECT_EQ(f->ret->kind, Kind::Reference);
+  EXPECT_EQ(f->ret->elem->name, "Line");
+  ASSERT_EQ(f->params.size(), 1u);
+  EXPECT_EQ(f->params[0].type->elem->name, "PointVector");
+}
+
+TEST(JavaParser, PrimitiveTypes) {
+  Module m = parse_ok(
+      "class P { boolean b; byte y; short s; char c; int i; long l; float f; double d; }");
+  Stype* p = m.find("P");
+  ASSERT_EQ(p->fields.size(), 8u);
+  EXPECT_EQ(p->fields[0].type->prim, Prim::Bool);
+  EXPECT_EQ(p->fields[1].type->prim, Prim::I8);
+  EXPECT_EQ(p->fields[2].type->prim, Prim::I16);
+  EXPECT_EQ(p->fields[3].type->prim, Prim::Char16);
+  EXPECT_EQ(p->fields[4].type->prim, Prim::I32);
+  EXPECT_EQ(p->fields[5].type->prim, Prim::I64);
+  EXPECT_EQ(p->fields[6].type->prim, Prim::F32);
+  EXPECT_EQ(p->fields[7].type->prim, Prim::F64);
+}
+
+TEST(JavaParser, Arrays) {
+  Module m = parse_ok("class A { int[] v; float[][] grid; }");
+  Stype* a = m.find("A");
+  ASSERT_EQ(a->fields[0].type->kind, Kind::Array);
+  EXPECT_FALSE(a->fields[0].type->array_size.has_value());
+  ASSERT_EQ(a->fields[1].type->kind, Kind::Array);
+  EXPECT_EQ(a->fields[1].type->elem->kind, Kind::Array);
+}
+
+TEST(JavaParser, GenericsRecordElementType) {
+  Module m = parse_ok("class A { java.util.Vector<Point> pts; }");
+  Stype* f = m.find("A")->fields[0].type;
+  ASSERT_EQ(f->kind, Kind::Reference);
+  EXPECT_EQ(f->elem->name, "java.util.Vector");
+  ASSERT_TRUE(f->ann.element_type.has_value());
+  EXPECT_EQ(*f->ann.element_type, "Point");
+}
+
+TEST(JavaParser, MethodsWithBodiesAndThrows) {
+  Module m = parse_ok(
+      "class C {\n"
+      "  public int f(int a, int b) throws Exception { return a + b; }\n"
+      "  void g() {}\n"
+      "  static double h();\n"
+      "}");
+  Stype* c = m.find("C");
+  ASSERT_EQ(c->methods.size(), 3u);
+  EXPECT_EQ(c->methods[0]->params.size(), 2u);
+  EXPECT_EQ(c->methods[1]->ret->prim, Prim::Void);
+}
+
+TEST(JavaParser, FieldInitializersSkipped) {
+  Module m = parse_ok("class C { int x = compute(1, \"str{}\"); int y = 2, z; }");
+  Stype* c = m.find("C");
+  ASSERT_EQ(c->fields.size(), 3u);
+  EXPECT_EQ(c->fields[2].name, "z");
+}
+
+TEST(JavaParser, StaticFieldsFlagged) {
+  Module m = parse_ok("class C { static int shared; int own; }");
+  Stype* c = m.find("C");
+  EXPECT_TRUE(c->fields[0].is_static);
+  EXPECT_FALSE(c->fields[1].is_static);
+}
+
+TEST(JavaParser, EnumDecl) {
+  Module m = parse_ok("enum Color { RED, GREEN, BLUE }");
+  Stype* e = m.find("Color");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->enumerators.size(), 3u);
+  EXPECT_EQ(e->enumerators[1].value, 1);
+}
+
+TEST(JavaParser, PackageAndImportsIgnored) {
+  Module m = parse_ok(
+      "package com.example.app;\n"
+      "import java.util.*;\n"
+      "import java.io.File;\n"
+      "class C { int x; }\n");
+  EXPECT_NE(m.find("C"), nullptr);
+  EXPECT_EQ(m.decl_count(), 1u);
+}
+
+TEST(JavaParser, RecursiveListClass) {
+  // The paper's Fig. 8(a).
+  Module m = parse_ok(
+      "public class List {\n"
+      "  float datum;\n"
+      "  List next;\n"
+      "}\n");
+  Stype* l = m.find("List");
+  ASSERT_EQ(l->fields.size(), 2u);
+  EXPECT_EQ(l->fields[1].type->kind, Kind::Reference);
+  EXPECT_EQ(l->fields[1].type->elem->name, "List");
+}
+
+TEST(JavaParser, ImplementsAndExtends) {
+  Module m = parse_ok("class C extends Base implements I1, I2 { }");
+  Stype* c = m.find("C");
+  ASSERT_EQ(c->bases.size(), 3u);
+  EXPECT_EQ(c->bases[0], "Base");
+  EXPECT_EQ(c->bases[2], "I2");
+}
+
+TEST(JavaParser, InitializerBlocksSkipped) {
+  Module m = parse_ok("class C { static { init(); } { other(); } int x; }");
+  EXPECT_EQ(m.find("C")->fields.size(), 1u);
+}
+
+TEST(JavaParser, VarargsBecomeArrays) {
+  Module m = parse_ok("class C { void log(String fmt, Object... args); }");
+  Stype* f = m.find("C")->methods[0];
+  ASSERT_EQ(f->params.size(), 2u);
+  EXPECT_EQ(f->params[1].type->kind, Kind::Array);
+}
+
+TEST(JavaParser, ErrorReported) {
+  DiagnosticEngine diags;
+  (void)parse_java("class { }", "Bad.java", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace mbird::javasrc

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "lex/lexer.hpp"
+
+namespace mbird::lex {
+namespace {
+
+std::vector<Token> lex(std::string_view src,
+                       std::set<std::string> keywords = {"int", "struct"}) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, "test", std::move(keywords), diags);
+  auto tokens = lexer.tokenize();
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return tokens;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto t = lex("");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].kind, Kind::End);
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto t = lex("int foo _bar$ struct");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].kind, Kind::Keyword);
+  EXPECT_EQ(t[1].kind, Kind::Ident);
+  EXPECT_EQ(t[1].text, "foo");
+  EXPECT_EQ(t[2].text, "_bar$");
+  EXPECT_EQ(t[3].kind, Kind::Keyword);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto t = lex("0 42 0xFF 123456789012345678");
+  EXPECT_EQ(t[0].int_value, 0);
+  EXPECT_EQ(t[1].int_value, 42);
+  EXPECT_EQ(t[2].int_value, 255);
+  EXPECT_EQ(t[3].int_value, 123456789012345678LL);
+}
+
+TEST(Lexer, IntegerSuffixes) {
+  auto t = lex("42u 7L 100UL");
+  EXPECT_EQ(t[0].kind, Kind::IntLit);
+  EXPECT_EQ(t[0].int_value, 42);
+  EXPECT_EQ(t[1].int_value, 7);
+  EXPECT_EQ(t[2].int_value, 100);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto t = lex("3.14 1e10 2.5e-3 6f");
+  EXPECT_EQ(t[0].kind, Kind::FloatLit);
+  EXPECT_DOUBLE_EQ(t[0].float_value, 3.14);
+  EXPECT_DOUBLE_EQ(t[1].float_value, 1e10);
+  EXPECT_DOUBLE_EQ(t[2].float_value, 2.5e-3);
+  EXPECT_EQ(t[3].kind, Kind::FloatLit);  // f suffix forces float
+}
+
+TEST(Lexer, StringLiteralEscapes) {
+  auto t = lex(R"("hello\n\"world\"")");
+  ASSERT_EQ(t[0].kind, Kind::StrLit);
+  EXPECT_EQ(t[0].text, "hello\n\"world\"");
+}
+
+TEST(Lexer, CharLiteral) {
+  auto t = lex("'a' '\\n'");
+  EXPECT_EQ(t[0].kind, Kind::CharLit);
+  EXPECT_EQ(t[0].int_value, 'a');
+  EXPECT_EQ(t[1].int_value, '\n');
+}
+
+TEST(Lexer, Punctuators) {
+  auto t = lex(":: -> ... << >> == *&[](){};,<>");
+  std::vector<std::string> expected = {"::", "->", "...", "<<", ">>", "==",
+                                       "*",  "&",  "[",   "]",  "(",  ")",
+                                       "{",  "}",  ";",   ",",  "<",  ">"};
+  ASSERT_EQ(t.size(), expected.size() + 1);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(t[i].text, expected[i]) << i;
+    EXPECT_EQ(t[i].kind, Kind::Punct);
+  }
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto t = lex("a // line\nb /* block\nmore */ c # hash\nd");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].text, "c");
+  EXPECT_EQ(t[3].text, "d");
+}
+
+TEST(Lexer, LocationsTracked) {
+  auto t = lex("a\n  b");
+  EXPECT_EQ(t[0].loc.line, 1u);
+  EXPECT_EQ(t[0].loc.col, 1u);
+  EXPECT_EQ(t[1].loc.line, 2u);
+  EXPECT_EQ(t[1].loc.col, 3u);
+}
+
+TEST(Lexer, UnterminatedStringReported) {
+  DiagnosticEngine diags;
+  Lexer lexer("\"abc", "t", {}, diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnterminatedBlockCommentReported) {
+  DiagnosticEngine diags;
+  Lexer lexer("/* never closed", "t", {}, diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(TokenStream, PeekAdvanceExpect) {
+  DiagnosticEngine diags;
+  Lexer lexer("foo ( 1 )", "t", {}, diags);
+  TokenStream ts(lexer.tokenize(), diags);
+  EXPECT_EQ(ts.peek().text, "foo");
+  EXPECT_EQ(ts.peek(1).text, "(");
+  EXPECT_EQ(ts.expect_ident("name"), "foo");
+  EXPECT_TRUE(ts.accept_punct("("));
+  EXPECT_EQ(ts.advance().int_value, 1);
+  ts.expect_punct(")");
+  EXPECT_TRUE(ts.at_end());
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(TokenStream, ExpectFailureReports) {
+  DiagnosticEngine diags;
+  Lexer lexer("x", "t", {}, diags);
+  TokenStream ts(lexer.tokenize(), diags);
+  ts.expect_punct(";");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(TokenStream, PeekPastEndIsSafe) {
+  DiagnosticEngine diags;
+  Lexer lexer("", "t", {}, diags);
+  TokenStream ts(lexer.tokenize(), diags);
+  EXPECT_EQ(ts.peek(10).kind, Kind::End);
+  ts.advance();
+  ts.advance();
+  EXPECT_TRUE(ts.at_end());
+}
+
+}  // namespace
+}  // namespace mbird::lex

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "cfront/cparser.hpp"
+#include "javasrc/javaparser.hpp"
+#include "idl/idlparser.hpp"
+#include "lower/lower.hpp"
+#include "mtype/mtype.hpp"
+
+namespace mbird::lower {
+namespace {
+
+using mtype::Graph;
+using mtype::MKind;
+using mtype::Ref;
+using stype::Annotations;
+using stype::LengthSpec;
+using stype::Module;
+
+struct Lowered {
+  Graph graph;
+  Ref ref = mtype::kNullRef;
+};
+
+MKind root_kind(const Lowered& l) { return l.graph.at(l.ref).kind; }
+
+Lowered lower_c(std::string_view src, const std::string& decl,
+                const std::function<void(Module&)>& annotate = {}) {
+  DiagnosticEngine diags;
+  static std::vector<std::unique_ptr<Module>> keep_alive;
+  keep_alive.push_back(
+      std::make_unique<Module>(cfront::parse_c(src, "t.h", diags)));
+  Module& m = *keep_alive.back();
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  if (annotate) annotate(m);
+  Lowered out;
+  out.ref = lower_decl(m, out.graph, decl, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return out;
+}
+
+Lowered lower_java(std::string_view src, const std::string& decl,
+                   const std::function<void(Module&)>& annotate = {}) {
+  DiagnosticEngine diags;
+  static std::vector<std::unique_ptr<Module>> keep_alive;
+  keep_alive.push_back(
+      std::make_unique<Module>(javasrc::parse_java(src, "T.java", diags)));
+  Module& m = *keep_alive.back();
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  if (annotate) annotate(m);
+  Lowered out;
+  out.ref = lower_decl(m, out.graph, decl, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return out;
+}
+
+void annotate(Module& m, const std::string& path,
+              const std::function<void(Annotations&)>& f) {
+  DiagnosticEngine diags;
+  stype::Stype* node = stype::resolve_annotation_path(m, path, diags);
+  ASSERT_NE(node, nullptr) << diags.summary();
+  f(node->ann);
+}
+
+TEST(Lower, PrimitiveRanges) {
+  auto r = lower_c("typedef short s;", "s");
+  const auto& n = r.graph.at(r.ref);
+  EXPECT_EQ(n.kind, MKind::Int);
+  EXPECT_EQ(n.lo, -32768);
+  EXPECT_EQ(n.hi, 32767);
+}
+
+TEST(Lower, BooleanConvention) {
+  auto r = lower_c("typedef bool b;", "b");
+  EXPECT_EQ(mtype::print(r.graph, r.ref), "Int[0..1]");
+}
+
+TEST(Lower, EnumConvention) {
+  // enum with n elements -> Integer[0..n-1] (§3.1).
+  auto r = lower_c("enum Color { RED, GREEN, BLUE };", "Color");
+  EXPECT_EQ(mtype::print(r.graph, r.ref), "Int[0..2]");
+}
+
+TEST(Lower, CharDefaultsAndIntent) {
+  auto c = lower_c("typedef char c;", "c");
+  EXPECT_EQ(mtype::print(c.graph, c.ref), "Char[latin1]");
+
+  auto w = lower_c("typedef wchar_t w;", "w");
+  EXPECT_EQ(mtype::print(w.graph, w.ref), "Char[unicode]");
+
+  // Annotated as integer, char flips family (§3.1).
+  auto i = lower_c("typedef char c;", "c", [](Module& m) {
+    m.find("c")->ann.intent = stype::ScalarIntent::Integer;
+  });
+  EXPECT_EQ(root_kind(i), MKind::Int);
+}
+
+TEST(Lower, IntAnnotatedAsCharacter) {
+  auto r = lower_c("typedef short jc;", "jc", [](Module& m) {
+    m.find("jc")->ann.intent = stype::ScalarIntent::Character;
+  });
+  EXPECT_EQ(mtype::print(r.graph, r.ref), "Char[unicode]");
+}
+
+TEST(Lower, RangeAnnotationOverride) {
+  // §3.1: a Java int annotated unsigned matches a C unsigned int annotated
+  // <= 2^31-1.
+  auto java = lower_java("class T { int x; }", "T", [](Module& m) {
+    annotate(m, "T.x", [](Annotations& a) { a.range_lo = 0; });
+  });
+  auto c = lower_c("struct T { unsigned int x; };", "T", [](Module& m) {
+    annotate(m, "T.x", [](Annotations& a) { a.range_hi = pow2(31) - 1; });
+  });
+  EXPECT_EQ(mtype::print(java.graph, java.ref), "Record(x:Int[0..2147483647])");
+  EXPECT_EQ(mtype::print(c.graph, c.ref), "Record(x:Int[0..2147483647])");
+}
+
+TEST(Lower, RealPrecision) {
+  auto f = lower_c("typedef float f;", "f");
+  EXPECT_EQ(mtype::print(f.graph, f.ref), "Real[24m8e]");
+  auto d = lower_c("typedef double d;", "d");
+  EXPECT_EQ(mtype::print(d.graph, d.ref), "Real[53m11e]");
+}
+
+TEST(Lower, FixedArrayBecomesRecord) {
+  // §3.2: float[2] has the same Mtype as a value Point with two floats.
+  auto r = lower_c("typedef float point[2];", "point");
+  EXPECT_EQ(mtype::print(r.graph, r.ref), "Record(Real[24m8e], Real[24m8e])");
+}
+
+TEST(Lower, IndefiniteArrayBecomesList) {
+  auto r = lower_java("class A { float[] v; }", "A");
+  std::string s = mtype::print(r.graph, r.ref);
+  EXPECT_EQ(s,
+            "Record(v:rec X0. Choice(nil:unit, cons:Record(head:Real[24m8e], "
+            "tail:X0)))");
+}
+
+TEST(Lower, PointerDefaultsToNullableChoice) {
+  auto r = lower_c("struct S { float *p; };", "S");
+  EXPECT_EQ(mtype::print(r.graph, r.ref),
+            "Record(p:Choice(null:unit, ref:Real[24m8e]))");
+}
+
+TEST(Lower, NotNullPointerUnwraps) {
+  auto r = lower_c("struct S { float *p; };", "S", [](Module& m) {
+    annotate(m, "S.p", [](Annotations& a) { a.not_null = true; });
+  });
+  EXPECT_EQ(mtype::print(r.graph, r.ref), "Record(p:Real[24m8e])");
+}
+
+TEST(Lower, ValueClassBecomesRecord) {
+  auto r = lower_java("class Point { float x; float y; }", "Point");
+  EXPECT_EQ(mtype::print(r.graph, r.ref),
+            "Record(x:Real[24m8e], y:Real[24m8e])");
+}
+
+TEST(Lower, JavaLineWithNotNullPoints) {
+  // Fig. 1 Line: with not-null annotations, every Line contains exactly two
+  // Points (paper §3).
+  const char* src =
+      "class Point { float x; float y; }\n"
+      "class Line { Point start; Point end; }\n";
+  auto nullable = lower_java(src, "Line");
+  EXPECT_EQ(mtype::print(nullable.graph, nullable.ref),
+            "Record(start:Choice(null:unit, ref:Record(x:Real[24m8e], "
+            "y:Real[24m8e])), end:Choice(null:unit, ref:Record(x:Real[24m8e], "
+            "y:Real[24m8e])))");
+
+  auto notnull = lower_java(src, "Line", [](Module& m) {
+    annotate(m, "Line.start", [](Annotations& a) {
+      a.not_null = true;
+      a.no_alias = true;
+    });
+    annotate(m, "Line.end", [](Annotations& a) {
+      a.not_null = true;
+      a.no_alias = true;
+    });
+  });
+  EXPECT_EQ(mtype::print(notnull.graph, notnull.ref),
+            "Record(start:Record(x:Real[24m8e], y:Real[24m8e]), "
+            "end:Record(x:Real[24m8e], y:Real[24m8e]))");
+}
+
+TEST(Lower, RecursiveJavaList) {
+  // Fig. 8: a recursive Java list lowers to the same Mtype as float[].
+  auto r = lower_java("class List { float datum; List next; }", "List");
+  // The knot is tied at the (nullable) reference: lowering the class itself
+  // yields Record(datum, Choice(unit, <cycle>)).
+  std::string s = mtype::print(r.graph, r.ref);
+  EXPECT_EQ(
+      s, "Record(datum:Real[24m8e], next:rec X0. Choice(null:unit, "
+         "ref:Record(datum:Real[24m8e], next:X0)))");
+}
+
+TEST(Lower, UnionBecomesChoice) {
+  auto r = lower_c("union U { int i; float f; };", "U");
+  EXPECT_EQ(mtype::print(r.graph, r.ref),
+            "Choice(i:Int[-2147483648..2147483647], f:Real[24m8e])");
+}
+
+TEST(Lower, VectorCollectionWithAnnotations) {
+  const char* src =
+      "class Point { float x; float y; }\n"
+      "class PointVector extends java.util.Vector;\n";
+  auto r = lower_java(src, "PointVector", [](Module& m) {
+    m.find("PointVector")->ann.element_type = "Point";
+    m.find("PointVector")->ann.element_not_null = true;
+  });
+  EXPECT_EQ(mtype::print(r.graph, r.ref),
+            "rec X0. Choice(nil:unit, cons:Record(head:Record(x:Real[24m8e], "
+            "y:Real[24m8e]), tail:X0))");
+}
+
+TEST(Lower, FunctionBecomesPortShape) {
+  // §3.3: F(int) -> float has Mtype port(Record(Integer, port(Real))).
+  auto r = lower_c("float F(int x);", "F");
+  EXPECT_EQ(mtype::print(r.graph, r.ref),
+            "port(Record(args:Record(x:Int[-2147483648..2147483647]), "
+            "reply:port(Record(return:Real[24m8e]))))");
+}
+
+TEST(Lower, FitterFullExample) {
+  // §3.4: the C fitter with annotations lowers to
+  // port(Record(L, port(Record(Record(R,R), Record(R,R))))).
+  const char* src =
+      "typedef float point[2];\n"
+      "void fitter(point pts[], int count, point *start, point *end);\n";
+  auto r = lower_c(src, "fitter", [](Module& m) {
+    annotate(m, "fitter.pts", [](Annotations& a) {
+      a.length = LengthSpec{LengthSpec::Kind::ParamName, 0, "count"};
+    });
+    annotate(m, "fitter.start",
+             [](Annotations& a) { a.direction = stype::Direction::Out; });
+    annotate(m, "fitter.end",
+             [](Annotations& a) { a.direction = stype::Direction::Out; });
+  });
+  EXPECT_EQ(
+      mtype::print(r.graph, r.ref),
+      "port(Record(args:Record(pts:rec X0. Choice(nil:unit, "
+      "cons:Record(head:Record(Real[24m8e], Real[24m8e]), tail:X0))), "
+      "reply:port(Record(start:Record(Real[24m8e], Real[24m8e]), "
+      "end:Record(Real[24m8e], Real[24m8e])))))");
+}
+
+TEST(Lower, JavaIdealFullExample) {
+  // Fig. 5 JavaIdeal.fitter with the Fig. 1 types and §3.4 annotations.
+  const char* src =
+      "public class Point { private float x; private float y; }\n"
+      "public class Line { private Point start; private Point end; }\n"
+      "public class PointVector extends java.util.Vector;\n"
+      "public interface JavaIdeal { Line fitter(PointVector pts); }\n";
+  auto r = lower_java(src, "JavaIdeal.fitter", [](Module& m) {
+    annotate(m, "Line.start", [](Annotations& a) {
+      a.not_null = true;
+      a.no_alias = true;
+    });
+    annotate(m, "Line.end", [](Annotations& a) {
+      a.not_null = true;
+      a.no_alias = true;
+    });
+    m.find("PointVector")->ann.element_type = "Point";
+    m.find("PointVector")->ann.element_not_null = true;
+    annotate(m, "JavaIdeal.fitter.pts",
+             [](Annotations& a) { a.not_null = true; });
+    annotate(m, "JavaIdeal.fitter.return",
+             [](Annotations& a) { a.not_null = true; });
+  });
+  EXPECT_EQ(
+      mtype::print(r.graph, r.ref),
+      "port(Record(args:Record(pts:rec X0. Choice(nil:unit, "
+      "cons:Record(head:Record(x:Real[24m8e], y:Real[24m8e]), tail:X0))), "
+      "reply:port(Record(return:Record(start:Record(x:Real[24m8e], "
+      "y:Real[24m8e]), end:Record(x:Real[24m8e], y:Real[24m8e]))))))");
+}
+
+TEST(Lower, InterfaceBecomesObjectPort) {
+  auto r = lower_java(
+      "interface Calc { int add(int a, int b); int neg(int a); }", "Calc");
+  const auto& port = r.graph.at(r.ref);
+  ASSERT_EQ(port.kind, MKind::Port);
+  const auto& choice = r.graph.at(port.body());
+  ASSERT_EQ(choice.kind, MKind::Choice);
+  EXPECT_EQ(choice.children.size(), 2u);
+  EXPECT_EQ(choice.labels[0], "add");
+}
+
+TEST(Lower, OutParamViaPointer) {
+  auto r = lower_c("void get(int *result);", "get", [](Module& m) {
+    annotate(m, "get.result",
+             [](Annotations& a) { a.direction = stype::Direction::Out; });
+  });
+  EXPECT_EQ(mtype::print(r.graph, r.ref),
+            "port(Record(args:Record(), "
+            "reply:port(Record(result:Int[-2147483648..2147483647]))))");
+}
+
+TEST(Lower, InOutParamAppearsBothSides) {
+  auto r = lower_c("void bump(int *x);", "bump", [](Module& m) {
+    annotate(m, "bump.x",
+             [](Annotations& a) { a.direction = stype::Direction::InOut; });
+  });
+  std::string s = mtype::print(r.graph, r.ref);
+  // Input side: the nullable pointer; output side: the pointee.
+  EXPECT_NE(s.find("args:Record(x:"), std::string::npos);
+  EXPECT_NE(s.find("reply:port(Record(x:Int"), std::string::npos);
+}
+
+TEST(Lower, IdlOperationDirections) {
+  DiagnosticEngine diags;
+  Module m = idl::parse_idl(
+      "interface I { void f(in long a, out float b, inout short c); };",
+      "t.idl", diags);
+  ASSERT_FALSE(diags.has_errors());
+  Graph g;
+  Ref ref = lower_decl(m, g, "I", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  std::string s = mtype::print(g, ref);
+  EXPECT_NE(s.find("args:Record(a:Int[-2147483648..2147483647], "
+                   "c:Int[-32768..32767])"),
+            std::string::npos);
+  EXPECT_NE(s.find("reply:port(Record(b:Real[24m8e], c:Int[-32768..32767]))"),
+            std::string::npos);
+}
+
+TEST(Lower, IdlStructMatchesJavaValueClass) {
+  DiagnosticEngine diags;
+  Module m =
+      idl::parse_idl("struct Point { float x; float y; };", "t.idl", diags);
+  Graph g;
+  Ref ref = lower_decl(m, g, "Point", diags);
+  EXPECT_EQ(mtype::print(g, ref), "Record(x:Real[24m8e], y:Real[24m8e])");
+}
+
+TEST(Lower, IdlSequenceBecomesList) {
+  DiagnosticEngine diags;
+  Module m = idl::parse_idl("typedef sequence<float> floats;", "t.idl", diags);
+  Graph g;
+  Ref ref = lower_decl(m, g, "floats", diags);
+  EXPECT_EQ(mtype::print(g, ref),
+            "rec X0. Choice(nil:unit, cons:Record(head:Real[24m8e], tail:X0))");
+}
+
+TEST(Lower, StaticLengthAnnotationOnPointer) {
+  auto r = lower_c("struct S { float *fixed2; };", "S", [](Module& m) {
+    annotate(m, "S.fixed2", [](Annotations& a) {
+      a.length = LengthSpec{LengthSpec::Kind::Static, 2, ""};
+    });
+  });
+  EXPECT_EQ(mtype::print(r.graph, r.ref),
+            "Record(fixed2:Record(Real[24m8e], Real[24m8e]))");
+}
+
+TEST(Lower, InheritedFieldsCollected) {
+  auto r = lower_java("class B { int a; } class D extends B { float b; }", "D");
+  EXPECT_EQ(mtype::print(r.graph, r.ref),
+            "Record(a:Int[-2147483648..2147483647], b:Real[24m8e])");
+}
+
+TEST(Lower, StaticFieldsSkipped) {
+  auto r = lower_java("class C { static int shared; float x; }", "C");
+  EXPECT_EQ(mtype::print(r.graph, r.ref), "Record(x:Real[24m8e])");
+}
+
+TEST(Lower, UnknownDeclReported) {
+  DiagnosticEngine diags;
+  Module m(stype::Lang::C, "t");
+  Graph g;
+  Ref ref = lower_decl(m, g, "ghost", diags);
+  EXPECT_EQ(ref, mtype::kNullRef);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lower, CollectionWithoutElementAnnotationReported) {
+  DiagnosticEngine diags;
+  Module m = javasrc::parse_java("class V extends java.util.Vector;", "T.java",
+                                 diags);
+  Graph g;
+  LowerEngine eng(m, g, diags);
+  (void)eng.lower_decl("V");
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace mbird::lower

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "mtype/mtype.hpp"
+
+namespace mbird::mtype {
+namespace {
+
+TEST(Graph, PrimitiveBuilders) {
+  Graph g;
+  Ref i = g.integer(-128, 127, "i8");
+  Ref c = g.character(Repertoire::Latin1);
+  Ref r = g.real(24, 8);
+  Ref u = g.unit();
+  EXPECT_EQ(g.at(i).kind, MKind::Int);
+  EXPECT_EQ(g.at(i).lo, -128);
+  EXPECT_EQ(g.at(i).hi, 127);
+  EXPECT_EQ(g.at(c).repertoire, Repertoire::Latin1);
+  EXPECT_EQ(g.at(r).mantissa_bits, 24);
+  EXPECT_EQ(g.at(u).kind, MKind::Unit);
+}
+
+TEST(Graph, IntBits) {
+  Graph g;
+  Ref s8 = g.int_bits(8, true);
+  EXPECT_EQ(g.at(s8).lo, -128);
+  EXPECT_EQ(g.at(s8).hi, 127);
+  Ref u64 = g.int_bits(64, false);
+  EXPECT_EQ(g.at(u64).lo, 0);
+  EXPECT_EQ(mbird::to_string(g.at(u64).hi), "18446744073709551615");
+}
+
+TEST(Graph, RecordAndPrint) {
+  Graph g;
+  Ref pt = g.record({g.real(24, 8), g.real(24, 8)}, {"x", "y"}, "Point");
+  EXPECT_EQ(print(g, pt), "Record(x:Real[24m8e], y:Real[24m8e])");
+}
+
+TEST(Graph, ChoicePrint) {
+  Graph g;
+  Ref c = g.choice({g.unit(), g.integer(0, 255)});
+  EXPECT_EQ(print(g, c), "Choice(unit, Int[0..255])");
+}
+
+TEST(Graph, ListShape) {
+  Graph g;
+  Ref list = g.list_of(g.real(24, 8), "L");
+  // The canonical list is rec X. Choice(unit, Record(elem, X)).
+  EXPECT_EQ(print(g, list), "rec X0. Choice(nil:unit, cons:Record(head:Real[24m8e], tail:X0))");
+  auto elems = match_list_shape(g, list);
+  ASSERT_TRUE(elems.has_value());
+  ASSERT_EQ(elems->size(), 1u);
+  EXPECT_EQ(g.at((*elems)[0]).kind, MKind::Real);
+}
+
+TEST(Graph, ListShapeNilSecondArm) {
+  // Choice(cons, nil) with arms swapped must still match.
+  Graph g;
+  Ref rec = g.rec_placeholder();
+  Ref cons = g.record({g.integer(0, 9), g.var(rec)});
+  g.seal_rec(rec, g.choice({cons, g.unit()}));
+  auto elems = match_list_shape(g, rec);
+  ASSERT_TRUE(elems.has_value());
+  EXPECT_EQ(g.at((*elems)[0]).kind, MKind::Int);
+}
+
+TEST(Graph, ListShapeRejectsNonLists) {
+  Graph g;
+  EXPECT_FALSE(match_list_shape(g, g.unit()).has_value());
+  EXPECT_FALSE(match_list_shape(g, g.record({g.unit()})).has_value());
+  // Tree shape: two self-references — not a list.
+  Ref rec = g.rec_placeholder();
+  Ref node = g.record({g.integer(0, 9), g.var(rec), g.var(rec)});
+  g.seal_rec(rec, g.choice({g.unit(), node}));
+  // Var is last child, but the middle child is also a Var to self;
+  // match_list_shape only checks the last — elements include the middle Var.
+  auto elems = match_list_shape(g, rec);
+  ASSERT_TRUE(elems.has_value());
+  EXPECT_EQ(elems->size(), 2u);  // caller sees the inner Var as an "element"
+}
+
+TEST(Flatten, NestedRecords) {
+  Graph g;
+  Ref inner = g.record({g.real(24, 8), g.real(24, 8)});
+  Ref outer = g.record({inner, g.integer(0, 1)});
+  auto flat = flatten_record(g, outer, false);
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(g.at(flat[0].ref).kind, MKind::Real);
+  EXPECT_EQ(flat[0].path, (Path{0, 0}));
+  EXPECT_EQ(flat[1].path, (Path{0, 1}));
+  EXPECT_EQ(flat[2].path, (Path{1}));
+}
+
+TEST(Flatten, UnitElimination) {
+  Graph g;
+  Ref r = g.record({g.unit(), g.integer(0, 5), g.unit()});
+  EXPECT_EQ(flatten_record(g, r, false).size(), 3u);
+  auto flat = flatten_record(g, r, true);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(g.at(flat[0].ref).kind, MKind::Int);
+}
+
+TEST(Flatten, ChoiceNests) {
+  Graph g;
+  Ref inner = g.choice({g.unit(), g.integer(0, 1)});
+  Ref outer = g.choice({inner, g.real(24, 8)});
+  auto flat = flatten_choice(g, outer);
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0].path, (Path{0, 0}));
+  EXPECT_EQ(flat[2].path, (Path{1}));
+}
+
+TEST(Flatten, RecBoundaryStopsDescent) {
+  Graph g;
+  Ref list = g.list_of(g.integer(0, 1));
+  Ref r = g.record({list, g.unit()});
+  auto flat = flatten_record(g, r, false);
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_EQ(g.at(flat[0].ref).kind, MKind::Rec);
+}
+
+TEST(Hash, PermutationInvariant) {
+  Graph g;
+  Ref a = g.record({g.integer(0, 9), g.real(24, 8), g.character(Repertoire::Ascii)});
+  Ref b = g.record({g.character(Repertoire::Ascii), g.integer(0, 9), g.real(24, 8)});
+  auto h = structure_hashes(g, false);
+  EXPECT_EQ(h[a], h[b]);
+}
+
+TEST(Hash, FlatteningInvariant) {
+  Graph g;
+  Ref flat3 = g.record({g.integer(0, 9), g.real(24, 8), g.character(Repertoire::Ascii)});
+  Ref nested = g.record({g.record({g.integer(0, 9), g.real(24, 8)}),
+                         g.character(Repertoire::Ascii)});
+  auto h = structure_hashes(g, false);
+  EXPECT_EQ(h[flat3], h[nested]);
+}
+
+TEST(Hash, DistinguishesRanges) {
+  Graph g;
+  Ref a = g.integer(0, 255);
+  Ref b = g.integer(0, 127);
+  auto h = structure_hashes(g, false);
+  EXPECT_NE(h[a], h[b]);
+}
+
+TEST(Hash, DistinguishesRecordFromChoice) {
+  Graph g;
+  Ref a = g.record({g.unit(), g.integer(0, 1)});
+  Ref b = g.choice({g.unit(), g.integer(0, 1)});
+  auto h = structure_hashes(g, false);
+  EXPECT_NE(h[a], h[b]);
+}
+
+TEST(Hash, RecursiveTypesStable) {
+  Graph g;
+  Ref l1 = g.list_of(g.real(24, 8));
+  Ref l2 = g.list_of(g.real(24, 8));
+  Ref l3 = g.list_of(g.real(53, 11));
+  auto h = structure_hashes(g, false);
+  EXPECT_EQ(h[l1], h[l2]);
+  EXPECT_NE(h[l1], h[l3]);
+}
+
+TEST(Print, PortAndFunctionShape) {
+  // port(Record(L, port(Record(Record(R,R), Record(R,R))))) — the paper's
+  // §3.4 fitter Mtype.
+  Graph g;
+  Ref point = g.record({g.real(24, 8), g.real(24, 8)}, {}, "Point");
+  Ref point2 = g.record({g.real(24, 8), g.real(24, 8)}, {}, "Point");
+  Ref list = g.list_of(point, "L");
+  Ref out = g.record({point2, g.record({g.real(24, 8), g.real(24, 8)})});
+  Ref fn = g.port(g.record({list, g.port(out)}), "fitter");
+  std::string s = print(g, fn);
+  EXPECT_EQ(s.substr(0, 5), "port(");
+  EXPECT_NE(s.find("rec X0."), std::string::npos);
+}
+
+TEST(Diagram, ShowsTreeWithBackEdges) {
+  Graph g;
+  Ref list = g.list_of(g.integer(0, 255), "bytes");
+  std::string d = diagram(g, list);
+  EXPECT_NE(d.find("Rec X0"), std::string::npos);
+  EXPECT_NE(d.find("^X0"), std::string::npos);
+  EXPECT_NE(d.find("Choice"), std::string::npos);
+}
+
+TEST(Resolve, SkipVar) {
+  Graph g;
+  Ref rec = g.rec_placeholder();
+  Ref v = g.var(rec);
+  g.seal_rec(rec, g.unit());
+  EXPECT_EQ(skip_var(g, v), rec);
+  EXPECT_EQ(skip_var(g, rec), rec);
+}
+
+}  // namespace
+}  // namespace mbird::mtype

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "plan/plan.hpp"
+
+namespace mbird::plan {
+namespace {
+
+TEST(Plan, AddAndCheckpointRollback) {
+  PlanGraph g;
+  PlanNode a;
+  a.kind = PKind::UnitMake;
+  PlanRef r0 = g.add(a);
+  size_t cp = g.checkpoint();
+  PlanNode b;
+  b.kind = PKind::IntCopy;
+  g.add(b);
+  g.add(b);
+  EXPECT_EQ(g.size(), 3u);
+  g.rollback(cp);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.at(r0).kind, PKind::UnitMake);
+}
+
+TEST(Plan, PrintShowsStructure) {
+  PlanGraph g;
+  PlanNode leaf;
+  leaf.kind = PKind::RealCopy;
+  PlanRef lr = g.add(leaf);
+
+  PlanNode rec;
+  rec.kind = PKind::RecordMap;
+  rec.fields.push_back({{0}, {1}, lr});
+  rec.fields.push_back({{1}, {0}, lr});
+  rec.dst_shape.kind = RecShape::Kind::Record;
+  RecShape l0;
+  l0.kind = RecShape::Kind::Leaf;
+  l0.leaf_index = 0;
+  RecShape l1;
+  l1.kind = RecShape::Kind::Leaf;
+  l1.leaf_index = 1;
+  rec.dst_shape.kids = {l0, l1};
+  PlanRef rr = g.add(rec);
+
+  std::string s = print(g, rr);
+  EXPECT_NE(s.find("record"), std::string::npos);
+  EXPECT_NE(s.find("[0] -> [1]"), std::string::npos);
+  EXPECT_NE(s.find("real"), std::string::npos);
+}
+
+TEST(Plan, PrintHandlesCycles) {
+  PlanGraph g;
+  PlanNode list;
+  list.kind = PKind::ListMap;
+  PlanRef lr = g.add(list);
+  g.at_mut(lr).inner = lr;  // degenerate self-cycle
+  std::string s = print(g, lr);
+  EXPECT_NE(s.find("^cycle"), std::string::npos);
+}
+
+TEST(Plan, ValidateAcceptsGoodPlan) {
+  PlanGraph g;
+  PlanNode leaf;
+  leaf.kind = PKind::IntCopy;
+  leaf.lo = 0;
+  leaf.hi = 10;
+  PlanRef lr = g.add(leaf);
+
+  PlanNode rec;
+  rec.kind = PKind::RecordMap;
+  rec.fields.push_back({{0}, {0}, lr});
+  rec.dst_shape.kind = RecShape::Kind::Record;
+  RecShape l0;
+  l0.kind = RecShape::Kind::Leaf;
+  l0.leaf_index = 0;
+  rec.dst_shape.kids = {l0};
+  PlanRef rr = g.add(rec);
+
+  EXPECT_TRUE(validate(g, rr).empty());
+}
+
+TEST(Plan, ValidateFlagsEmptyIntRange) {
+  PlanGraph g;
+  PlanNode n;
+  n.kind = PKind::IntCopy;
+  n.lo = 5;
+  n.hi = 1;
+  PlanRef r = g.add(n);
+  auto problems = validate(g, r);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("empty int range"), std::string::npos);
+}
+
+TEST(Plan, ValidateFlagsUncoveredField) {
+  PlanGraph g;
+  PlanNode leaf;
+  leaf.kind = PKind::UnitMake;
+  PlanRef lr = g.add(leaf);
+  PlanNode rec;
+  rec.kind = PKind::RecordMap;
+  rec.fields.push_back({{0}, {0}, lr});
+  rec.dst_shape.kind = RecShape::Kind::Record;  // no leaf kids at all
+  PlanRef rr = g.add(rec);
+  auto problems = validate(g, rr);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Plan, ValidateFlagsDuplicateArms) {
+  PlanGraph g;
+  PlanNode leaf;
+  leaf.kind = PKind::UnitMake;
+  PlanRef lr = g.add(leaf);
+  PlanNode ch;
+  ch.kind = PKind::ChoiceMap;
+  ch.arms.push_back({{0}, {0}, lr});
+  ch.arms.push_back({{0}, {1}, lr});
+  PlanRef cr = g.add(ch);
+  auto problems = validate(g, cr);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("duplicate source arm"), std::string::npos);
+}
+
+TEST(Plan, ValidateFlagsNullRefs) {
+  PlanGraph g;
+  PlanNode n;
+  n.kind = PKind::ListMap;
+  n.inner = kNullPlan;
+  PlanRef r = g.add(n);
+  EXPECT_FALSE(validate(g, r).empty());
+  EXPECT_FALSE(validate(g, kNullPlan).empty());
+}
+
+TEST(Plan, ValidateHandlesCyclicPlans) {
+  PlanGraph g;
+  PlanNode list;
+  list.kind = PKind::ListMap;
+  PlanRef lr = g.add(list);
+  g.at_mut(lr).inner = lr;
+  EXPECT_TRUE(validate(g, lr).empty());  // cycles are legal (recursive types)
+}
+
+}  // namespace
+}  // namespace mbird::plan

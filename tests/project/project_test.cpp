@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "annotate/script.hpp"
+#include "cfront/cparser.hpp"
+#include "compare/compare.hpp"
+#include "javasrc/javaparser.hpp"
+#include "lower/lower.hpp"
+#include "project/project.hpp"
+
+namespace mbird::project {
+namespace {
+
+using stype::Module;
+
+constexpr const char* kJavaSrc =
+    "public class Point { private float x; private float y; }\n"
+    "public class Line { private Point start; private Point end; }\n";
+
+constexpr const char* kCSrc =
+    "typedef float point[2];\n"
+    "void fitter(point pts[], int count, point *start, point *end);\n";
+
+TEST(Project, SerializeParseRoundtrip) {
+  Project p;
+  p.sources.push_back({stype::Lang::Java, "App.java", kJavaSrc});
+  p.sources.push_back({stype::Lang::C, "fitter.h", kCSrc});
+  p.scripts.push_back({"fitter.h", "annotate fitter.start out;\n"});
+
+  std::string text = serialize(p);
+  DiagnosticEngine diags;
+  Project q = parse_project(text, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  ASSERT_EQ(q.sources.size(), 2u);
+  EXPECT_EQ(q.sources[0].lang, stype::Lang::Java);
+  EXPECT_EQ(q.sources[0].name, "App.java");
+  EXPECT_EQ(q.sources[0].text, kJavaSrc);
+  ASSERT_EQ(q.scripts.size(), 1u);
+  EXPECT_EQ(q.scripts[0].target, "fitter.h");
+}
+
+TEST(Project, TextWithTrickyContent) {
+  // Sources containing the block keywords, newlines, and digits must
+  // survive (lengths are explicit, no sentinel scanning).
+  Project p;
+  std::string tricky = "source script 42\nmbproject 1\n\"quotes\" # hash\n";
+  p.sources.push_back({stype::Lang::C, "weird name with spaces.h", tricky});
+  DiagnosticEngine diags;
+  Project q = parse_project(serialize(p), diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  ASSERT_EQ(q.sources.size(), 1u);
+  EXPECT_EQ(q.sources[0].name, "weird name with spaces.h");
+  EXPECT_EQ(q.sources[0].text, tricky);
+}
+
+TEST(Project, LoadModulesParsesAndAppliesScripts) {
+  Project p;
+  p.sources.push_back({stype::Lang::C, "fitter.h", kCSrc});
+  p.scripts.push_back(
+      {"fitter.h",
+       "annotate fitter.pts length param count;\n"
+       "annotate fitter.start out;\nannotate fitter.end out;\n"});
+  DiagnosticEngine diags;
+  auto modules = load_modules(p, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  ASSERT_EQ(modules.size(), 1u);
+  auto* fitter = modules[0].find("fitter");
+  ASSERT_NE(fitter, nullptr);
+  EXPECT_EQ(fitter->params[2].type->ann.direction, stype::Direction::Out);
+}
+
+TEST(Project, BadHeaderReported) {
+  DiagnosticEngine diags;
+  (void)parse_project("not a project\n", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Project, TruncatedBlockReported) {
+  Project p;
+  p.sources.push_back({stype::Lang::C, "a.h", "int x;"});
+  std::string text = serialize(p);
+  text.resize(text.size() - 4);
+  DiagnosticEngine diags;
+  (void)parse_project(text, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Project, ScriptForUnknownSourceReported) {
+  Project p;
+  p.sources.push_back({stype::Lang::C, "a.h", "typedef int t;"});
+  p.scripts.push_back({"nope.h", "annotate t notnull;"});
+  DiagnosticEngine diags;
+  (void)load_modules(p, diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Project, ExportAnnotationsReproducesState) {
+  // Annotate programmatically, export, re-apply to a fresh parse: lowered
+  // Mtypes must be equivalent.
+  DiagnosticEngine diags;
+  Module original = javasrc::parse_java(kJavaSrc, "App.java", diags);
+  annotate::run_script(
+      "annotate Line.start notnull noalias;\n"
+      "annotate Line.end notnull noalias;\n"
+      "annotate Point.x range -1000 1000;\n",
+      "s.mba", original, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+
+  std::string exported = export_annotations(original);
+  EXPECT_NE(exported.find("annotate Line.start notnull noalias;"),
+            std::string::npos);
+
+  Module fresh = javasrc::parse_java(kJavaSrc, "App.java", diags);
+  annotate::run_script(exported, "exported.mba", fresh, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+
+  mtype::Graph g1, g2;
+  mtype::Ref r1 = lower::lower_decl(original, g1, "Line", diags);
+  mtype::Ref r2 = lower::lower_decl(fresh, g2, "Line", diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  auto res = compare::compare(g1, r1, g2, r2, {});
+  EXPECT_TRUE(res.ok) << res.mismatch.to_string();
+  // And the range annotation survived exactly.
+  EXPECT_EQ(mtype::print(g1, lower::lower_decl(original, g1, "Point", diags)),
+            mtype::print(g2, lower::lower_decl(fresh, g2, "Point", diags)));
+}
+
+TEST(Project, FullSaveLoadCycle) {
+  // Build a project, serialize, reload, and verify the fitter annotations
+  // survive the cycle via exported scripts.
+  DiagnosticEngine diags;
+  Module c = cfront::parse_c(kCSrc, "fitter.h", diags);
+  annotate::run_script(
+      "annotate fitter.pts length param count;\n"
+      "annotate fitter.start out;\nannotate fitter.end out;\n",
+      "s.mba", c, diags);
+  ASSERT_FALSE(diags.has_errors());
+
+  Project p;
+  p.sources.push_back({stype::Lang::C, "fitter.h", kCSrc});
+  p.scripts.push_back({"fitter.h", export_annotations(c)});
+
+  Project q = parse_project(serialize(p), diags);
+  auto modules = load_modules(q, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.summary();
+  auto* fitter = modules[0].find("fitter");
+  ASSERT_TRUE(fitter->params[0].type->ann.length.has_value());
+  EXPECT_EQ(fitter->params[0].type->ann.length->name, "count");
+}
+
+}  // namespace
+}  // namespace mbird::project

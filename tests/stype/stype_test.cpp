@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "stype/stype.hpp"
+
+namespace mbird::stype {
+namespace {
+
+// Builds the paper's Fig. 1/2 types by hand: Java Point/Line/PointVector
+// and the C fitter function.
+Module make_java_module() {
+  Module m(Lang::Java, "app");
+
+  auto* point = m.make(Kind::Aggregate);
+  point->agg_kind = AggKind::Class;
+  point->name = "Point";
+  point->fields.push_back({"x", m.make_prim(Prim::F32), {}, false, true});
+  point->fields.push_back({"y", m.make_prim(Prim::F32), {}, false, true});
+  m.declare("Point", point);
+
+  auto* line = m.make(Kind::Aggregate);
+  line->agg_kind = AggKind::Class;
+  line->name = "Line";
+  auto* start_ref = m.make(Kind::Reference);
+  start_ref->elem = m.make_named("Point");
+  auto* end_ref = m.make(Kind::Reference);
+  end_ref->elem = m.make_named("Point");
+  line->fields.push_back({"start", start_ref, {}, false, true});
+  line->fields.push_back({"end", end_ref, {}, false, true});
+  m.declare("Line", line);
+
+  auto* pv = m.make(Kind::Aggregate);
+  pv->agg_kind = AggKind::Class;
+  pv->name = "PointVector";
+  pv->bases.push_back("java.util.Vector");
+  m.declare("PointVector", pv);
+  return m;
+}
+
+TEST(Module, DeclareAndFind) {
+  Module m = make_java_module();
+  EXPECT_NE(m.find("Point"), nullptr);
+  EXPECT_NE(m.find("Line"), nullptr);
+  EXPECT_EQ(m.find("Nope"), nullptr);
+  EXPECT_EQ(m.decl_count(), 3u);
+}
+
+TEST(Module, RedeclarationWins) {
+  Module m(Lang::C, "t");
+  auto* a = m.make_prim(Prim::I32);
+  auto* b = m.make_prim(Prim::F32);
+  m.declare("x", a);
+  m.declare("x", b);
+  EXPECT_EQ(m.find("x"), b);
+  EXPECT_EQ(m.decl_count(), 1u);
+}
+
+TEST(Module, ResolveThroughNamedAndTypedef) {
+  Module m(Lang::C, "t");
+  auto* base = m.make_prim(Prim::I32);
+  m.declare("int32", base);
+  auto* td = m.make(Kind::Typedef);
+  td->name = "myint";
+  td->elem = m.make_named("int32");
+  m.declare("myint", td);
+
+  Stype* named = m.make_named("myint");
+  EXPECT_EQ(m.resolve(named), base);
+}
+
+TEST(Module, ResolveAccumulatesAnnotations) {
+  Module m(Lang::C, "t");
+  auto* base = m.make_prim(Prim::I32);
+  base->ann.range_lo = 0;
+  m.declare("int32", base);
+  Stype* named = m.make_named("int32");
+  named->ann.range_hi = 100;
+
+  Annotations acc;
+  Stype* r = m.resolve(named, &acc);
+  EXPECT_EQ(r, base);
+  ASSERT_TRUE(acc.range_hi.has_value());
+  EXPECT_EQ(*acc.range_hi, 100);
+}
+
+TEST(Module, ResolveCyclicTypedefReturnsNull) {
+  Module m(Lang::C, "t");
+  auto* a = m.make(Kind::Typedef);
+  a->name = "a";
+  a->elem = m.make_named("b");
+  m.declare("a", a);
+  auto* b = m.make(Kind::Typedef);
+  b->name = "b";
+  b->elem = m.make_named("a");
+  m.declare("b", b);
+  EXPECT_EQ(m.resolve(m.make_named("a")), nullptr);
+}
+
+TEST(Module, ResolveUnknownNameReturnsNull) {
+  Module m(Lang::C, "t");
+  EXPECT_EQ(m.resolve(m.make_named("ghost")), nullptr);
+}
+
+TEST(Annotations, MergeOverlays) {
+  Annotations base;
+  base.not_null = false;
+  base.range_lo = 0;
+  Annotations over;
+  over.not_null = true;
+  base.merge(over);
+  EXPECT_TRUE(*base.not_null);
+  EXPECT_EQ(*base.range_lo, 0);
+}
+
+TEST(Annotations, EmptyAndToString) {
+  Annotations a;
+  EXPECT_TRUE(a.empty());
+  a.not_null = true;
+  a.length = LengthSpec{LengthSpec::Kind::ParamName, 0, "count"};
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.to_string(), "notnull, length param count");
+}
+
+TEST(Print, TypeFormatting) {
+  Module m(Lang::C, "t");
+  auto* arr = m.make(Kind::Array);
+  arr->elem = m.make_prim(Prim::F32);
+  arr->array_size = 2;
+  EXPECT_EQ(print_type(arr), "f32[2]");
+
+  auto* ptr = m.make(Kind::Pointer);
+  ptr->elem = arr;
+  EXPECT_EQ(print_type(ptr), "f32[2]*");
+
+  auto* seq = m.make(Kind::Sequence);
+  seq->elem = m.make_named("Point");
+  EXPECT_EQ(print_type(seq), "sequence<Point>");
+}
+
+TEST(Print, FunctionDecl) {
+  Module m(Lang::C, "t");
+  auto* fn = m.make(Kind::Function);
+  fn->name = "fitter";
+  fn->ret = m.make_prim(Prim::Void);
+  fn->params.push_back({"pts", m.make_named("point"), {}});
+  fn->params.push_back({"count", m.make_prim(Prim::I32), {}});
+  EXPECT_EQ(print_type(fn), "void fitter(point pts, i32 count)");
+}
+
+TEST(Print, AggregateDecl) {
+  Module m = make_java_module();
+  std::string s = print_decl(m.find("Line"));
+  EXPECT_NE(s.find("class Line"), std::string::npos);
+  EXPECT_NE(s.find("Point& start"), std::string::npos);
+}
+
+TEST(AnnotationPath, TopLevel) {
+  Module m = make_java_module();
+  DiagnosticEngine diags;
+  Stype* t = resolve_annotation_path(m, "Point", diags);
+  EXPECT_EQ(t, m.find("Point"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(AnnotationPath, FieldAccess) {
+  Module m = make_java_module();
+  DiagnosticEngine diags;
+  Stype* t = resolve_annotation_path(m, "Line.start", diags);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->kind, Kind::Reference);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(AnnotationPath, FunctionParamAndReturn) {
+  Module m(Lang::C, "t");
+  auto* fn = m.make(Kind::Function);
+  fn->name = "f";
+  fn->ret = m.make_prim(Prim::F32);
+  fn->params.push_back({"x", m.make_prim(Prim::I32), {}});
+  m.declare("f", fn);
+
+  DiagnosticEngine diags;
+  Stype* p = resolve_annotation_path(m, "f.x", diags);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->prim, Prim::I32);
+  Stype* r = resolve_annotation_path(m, "f.return", diags);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->prim, Prim::F32);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(AnnotationPath, ElementDescent) {
+  Module m(Lang::C, "t");
+  auto* ptr = m.make(Kind::Pointer);
+  ptr->elem = m.make_prim(Prim::F32);
+  auto* td = m.make(Kind::Typedef);
+  td->name = "parr";
+  td->elem = ptr;
+  m.declare("parr", td);
+
+  DiagnosticEngine diags;
+  Stype* e = resolve_annotation_path(m, "parr.element", diags);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->prim, Prim::F32);
+}
+
+TEST(AnnotationPath, ErrorsReported) {
+  Module m = make_java_module();
+  DiagnosticEngine diags;
+  EXPECT_EQ(resolve_annotation_path(m, "Nope", diags), nullptr);
+  EXPECT_EQ(resolve_annotation_path(m, "Line.nothere", diags), nullptr);
+  EXPECT_EQ(resolve_annotation_path(m, "Point.x.deeper", diags), nullptr);
+  EXPECT_EQ(diags.error_count(), 3u);
+}
+
+TEST(Stype, FindHelpers) {
+  Module m = make_java_module();
+  Stype* line = m.find("Line");
+  EXPECT_NE(line->find_field("start"), nullptr);
+  EXPECT_EQ(line->find_field("zzz"), nullptr);
+  EXPECT_EQ(line->find_method("zzz"), nullptr);
+}
+
+}  // namespace
+}  // namespace mbird::stype

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tool/mbird.hpp"
+
+namespace mbird::tool {
+namespace {
+
+struct RunResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+RunResult run_cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class ToolTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "mbird_tool";
+    std::system(("mkdir -p " + dir_).c_str());
+    write(dir_ + "/fitter.h",
+          "typedef float point[2];\n"
+          "void fitter(point pts[], int count, point *start, point *end);\n");
+    write(dir_ + "/App.java",
+          "public class Point { private float x; private float y; }\n"
+          "public class Line { private Point start; private Point end; }\n"
+          "public class PointVector extends java.util.Vector;\n"
+          "public interface JavaIdeal { Line fitter(PointVector pts); }\n");
+    write(dir_ + "/fitter.mba",
+          "annotate fitter.pts length param count;\n"
+          "annotate fitter.start out;\nannotate fitter.end out;\n");
+    write(dir_ + "/app.mba",
+          "annotate Line.start notnull noalias;\n"
+          "annotate Line.end notnull noalias;\n"
+          "annotate PointVector element Point notnull-elements;\n"
+          "annotate JavaIdeal.fitter.pts notnull;\n"
+          "annotate JavaIdeal.fitter.return notnull;\n");
+  }
+
+  void write(const std::string& path, const std::string& text) {
+    std::ofstream f(path);
+    f << text;
+  }
+
+  std::vector<std::string> fitter_inputs() {
+    return {"--c",      dir_ + "/fitter.h",   "--script", dir_ + "/fitter.mba",
+            "--java",   dir_ + "/App.java",   "--script", dir_ + "/app.mba"};
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ToolTest, UsageOnNoArgs) {
+  auto r = run_cli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST_F(ToolTest, ListShowsDeclarations) {
+  auto args = fitter_inputs();
+  args.push_back("list");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fitter"), std::string::npos);
+  EXPECT_NE(r.out.find("JavaIdeal"), std::string::npos);
+}
+
+TEST_F(ToolTest, ShowPrintsDeclaration) {
+  auto args = fitter_inputs();
+  args.push_back("show");
+  args.push_back("Line");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("class Line"), std::string::npos);
+  EXPECT_NE(r.out.find("notnull"), std::string::npos);
+}
+
+TEST_F(ToolTest, MtypePrintsLoweredForm) {
+  auto args = fitter_inputs();
+  args.push_back("mtype");
+  args.push_back("fitter");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("port(Record("), std::string::npos);
+  EXPECT_NE(r.out.find("rec X0."), std::string::npos);
+}
+
+TEST_F(ToolTest, DiagramDrawsTree) {
+  auto args = fitter_inputs();
+  args.push_back("diagram");
+  args.push_back("PointVector");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Rec X0"), std::string::npos);
+  EXPECT_NE(r.out.find("^X0"), std::string::npos);
+}
+
+TEST_F(ToolTest, CompareEquivalent) {
+  auto args = fitter_inputs();
+  args.push_back("compare");
+  args.push_back("JavaIdeal.fitter");
+  args.push_back("fitter");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("equivalent"), std::string::npos);
+}
+
+TEST_F(ToolTest, CompareMismatchWithoutAnnotations) {
+  // Only the collection element is annotated (needed to lower at all);
+  // without the §3.4 annotations the declarations do NOT match.
+  auto r = run_cli({"--c", dir_ + "/fitter.h", "--java", dir_ + "/App.java",
+                    "--annotate", "annotate PointVector element Point;",
+                    "compare", "JavaIdeal.fitter", "fitter"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("mismatch"), std::string::npos) << r.out << r.err;
+}
+
+TEST_F(ToolTest, CompareFailsCleanlyWhenLoweringImpossible) {
+  // PointVector without an element annotation cannot lower; the CLI must
+  // report the diagnostic and exit nonzero, not crash.
+  auto r = run_cli({"--c", dir_ + "/fitter.h", "--java", dir_ + "/App.java",
+                    "compare", "JavaIdeal.fitter", "fitter"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("element-type"), std::string::npos);
+}
+
+TEST_F(ToolTest, PlanPrints) {
+  auto args = fitter_inputs();
+  args.push_back("plan");
+  args.push_back("JavaIdeal.fitter");
+  args.push_back("fitter");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("port"), std::string::npos);
+  EXPECT_NE(r.out.find("record"), std::string::npos);
+}
+
+TEST_F(ToolTest, GenWritesStubFiles) {
+  auto args = fitter_inputs();
+  args.insert(args.end(), {"gen", "JavaIdeal.fitter", "fitter", "--name",
+                           "fitstub", "-o", dir_});
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream h(dir_ + "/fitstub.h");
+  EXPECT_TRUE(h.good());
+  std::string text((std::istreambuf_iterator<char>(h)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("fitstub_convert"), std::string::npos);
+}
+
+TEST_F(ToolTest, InlineAnnotateWorks) {
+  auto r = run_cli({"--c", dir_ + "/fitter.h", "--annotate",
+                    "annotate fitter.start out;", "mtype", "fitter"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("start:"), std::string::npos);
+}
+
+TEST_F(ToolTest, SaveAndReloadProject) {
+  auto args = fitter_inputs();
+  args.push_back("save");
+  args.push_back(dir_ + "/session.mbp");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  auto r2 = run_cli({"--project", dir_ + "/session.mbp", "compare",
+                     "JavaIdeal.fitter", "fitter"});
+  EXPECT_EQ(r2.code, 0) << r2.err;
+  EXPECT_NE(r2.out.find("equivalent"), std::string::npos);
+}
+
+TEST_F(ToolTest, MissingFileReported) {
+  auto r = run_cli({"--c", dir_ + "/nope.h", "list"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot read"), std::string::npos);
+}
+
+TEST_F(ToolTest, UnknownDeclReported) {
+  auto r = run_cli({"--c", dir_ + "/fitter.h", "mtype", "ghost"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown declaration"), std::string::npos);
+}
+
+TEST_F(ToolTest, ModuleQualifiedAddressing) {
+  auto args = fitter_inputs();
+  args.push_back("mtype");
+  args.push_back(dir_ + "/fitter.h:fitter");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+}  // namespace
+}  // namespace mbird::tool

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "runtime/conform.hpp"
+#include "wire/wire.hpp"
+
+namespace mbird::wire {
+namespace {
+
+using mtype::Graph;
+using mtype::Ref;
+using runtime::Value;
+
+TEST(Wire, IntWidthByRange) {
+  EXPECT_EQ(int_width(0, 1), 1u);
+  EXPECT_EQ(int_width(0, 255), 1u);
+  EXPECT_EQ(int_width(0, 256), 2u);
+  EXPECT_EQ(int_width(-128, 127), 1u);
+  EXPECT_EQ(int_width(-pow2(31), pow2(31) - 1), 4u);
+  EXPECT_EQ(int_width(0, pow2(64) - 1), 8u);
+  EXPECT_EQ(int_width(-pow2(63), pow2(63) - 1), 8u);
+}
+
+TEST(Wire, RangeAwareIntegerEncoding) {
+  Graph g;
+  Ref byte = g.integer(0, 255);
+  auto bytes = encode(g, byte, Value::integer(200));
+  EXPECT_EQ(bytes.size(), 1u);  // one byte on the wire: the paper's ranges pay off
+  EXPECT_EQ(decode(g, byte, bytes), Value::integer(200));
+
+  // Offset encoding: range [-10..10] fits one byte.
+  Ref small = g.integer(-10, 10);
+  auto b2 = encode(g, small, Value::integer(-10));
+  EXPECT_EQ(b2.size(), 1u);
+  EXPECT_EQ(b2[0], 0u);
+  EXPECT_EQ(decode(g, small, b2), Value::integer(-10));
+}
+
+TEST(Wire, IntegerOutsideRangeRejected) {
+  Graph g;
+  Ref byte = g.integer(0, 100);
+  EXPECT_THROW(encode(g, byte, Value::integer(200)), WireError);
+}
+
+TEST(Wire, CharsByRepertoire) {
+  Graph g;
+  Ref latin = g.character(stype::Repertoire::Latin1);
+  Ref uni = g.character(stype::Repertoire::Unicode);
+  EXPECT_EQ(encode(g, latin, Value::character('a')).size(), 1u);
+  EXPECT_EQ(encode(g, uni, Value::character(0x1F600)).size(), 4u);
+  EXPECT_EQ(decode(g, uni, encode(g, uni, Value::character(0x1F600))),
+            Value::character(0x1F600));
+  EXPECT_THROW(encode(g, latin, Value::character(0x100)), WireError);
+}
+
+TEST(Wire, RealsByPrecision) {
+  Graph g;
+  Ref f32 = g.real(24, 8);
+  Ref f64 = g.real(53, 11);
+  EXPECT_EQ(encode(g, f32, Value::real(1.5)).size(), 4u);
+  EXPECT_EQ(encode(g, f64, Value::real(1.5)).size(), 8u);
+  EXPECT_EQ(decode(g, f64, encode(g, f64, Value::real(0.1))), Value::real(0.1));
+  EXPECT_EQ(decode(g, f32, encode(g, f32, Value::real(1.5))), Value::real(1.5));
+}
+
+TEST(Wire, RecordConcatenation) {
+  Graph g;
+  Ref rec = g.record({g.integer(0, 255), g.real(24, 8)});
+  Value v = Value::record({Value::integer(7), Value::real(2.5)});
+  auto bytes = encode(g, rec, v);
+  EXPECT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(decode(g, rec, bytes), v);
+}
+
+TEST(Wire, ChoiceDiscriminant) {
+  Graph g;
+  Ref ch = g.choice({g.unit(), g.integer(0, 255)});
+  Value nil = Value::choice(0, Value::unit());
+  Value some = Value::choice(1, Value::integer(42));
+  EXPECT_EQ(decode(g, ch, encode(g, ch, nil)), nil);
+  EXPECT_EQ(decode(g, ch, encode(g, ch, some)), some);
+  EXPECT_EQ(encode(g, ch, nil).size(), 4u);
+}
+
+TEST(Wire, ListLengthPrefixed) {
+  Graph g;
+  Ref list = g.list_of(g.real(24, 8));
+  Value v = Value::list({Value::real(1), Value::real(2), Value::real(3)});
+  auto bytes = encode(g, list, v);
+  EXPECT_EQ(bytes.size(), 4u + 3 * 4u);
+  EXPECT_EQ(decode(g, list, bytes), v);
+  EXPECT_EQ(decode(g, list, encode(g, list, Value::list({}))), Value::list({}));
+}
+
+TEST(Wire, ChainEncodesAsList) {
+  Graph g;
+  Ref list = g.list_of(g.integer(0, 9));
+  Value chain = Value::chain_from_list({Value::integer(1), Value::integer(2)}, 0, 1);
+  auto bytes = encode(g, list, chain);
+  EXPECT_EQ(decode(g, list, bytes),
+            Value::list({Value::integer(1), Value::integer(2)}));
+}
+
+TEST(Wire, PortsAreU64) {
+  Graph g;
+  Ref p = g.port(g.unit());
+  auto bytes = encode(g, p, Value::port(0x1234567890abcdefULL));
+  EXPECT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(decode(g, p, bytes), Value::port(0x1234567890abcdefULL));
+}
+
+TEST(Wire, TruncationDetected) {
+  Graph g;
+  Ref rec = g.record({g.integer(0, 65535), g.integer(0, 65535)});
+  auto bytes = encode(g, rec, Value::record({Value::integer(1), Value::integer(2)}));
+  bytes.pop_back();
+  EXPECT_THROW(decode(g, rec, bytes), WireError);
+}
+
+TEST(Wire, TrailingBytesDetected) {
+  Graph g;
+  Ref i = g.integer(0, 255);
+  auto bytes = encode(g, i, Value::integer(1));
+  bytes.push_back(0);
+  EXPECT_THROW(decode(g, i, bytes), WireError);
+}
+
+TEST(Wire, BadDiscriminantDetected) {
+  Graph g;
+  Ref ch = g.choice({g.unit(), g.unit()});
+  std::vector<uint8_t> bytes = {0, 0, 0, 9};  // arm 9 of 2
+  EXPECT_THROW(decode(g, ch, bytes), WireError);
+}
+
+TEST(Wire, FrameRoundtrip) {
+  Frame f;
+  f.origin_node = 3;
+  f.seq = 99;
+  f.dest_port = (static_cast<uint64_t>(7) << 48) | 21;
+  f.payload = {1, 2, 3};
+  auto bytes = pack_frame(f);
+  Frame g2 = unpack_frame(bytes);
+  EXPECT_EQ(g2.origin_node, 3);
+  EXPECT_EQ(g2.seq, 99u);
+  EXPECT_EQ(g2.dest_port, f.dest_port);
+  EXPECT_EQ(g2.payload, f.payload);
+}
+
+TEST(Wire, FrameBadMagicAndLength) {
+  Frame f;
+  f.payload = {1};
+  auto bytes = pack_frame(f);
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(unpack_frame(bad_magic), WireError);
+  auto bad_len = bytes;
+  bad_len.push_back(0);
+  EXPECT_THROW(unpack_frame(bad_len), WireError);
+}
+
+class WireRoundtripProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireRoundtripProperty, EncodeDecodeIsIdentity) {
+  Graph g;
+  Ref point = g.record({g.real(24, 8), g.real(24, 8)});
+  Ref type = g.record(
+      {g.integer(-1000, 1000), g.list_of(point),
+       g.choice({g.unit(), g.character(stype::Repertoire::Latin1), point}),
+       g.port(g.unit())});
+  Value v = runtime::random_value(g, type, GetParam());
+  ASSERT_TRUE(runtime::conforms(g, type, v));
+  Value back = decode(g, type, encode(g, type, v));
+  // Reals traverse as f32; random_value produces f32-representable values.
+  EXPECT_EQ(back, v) << v.to_string() << " vs " << back.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundtripProperty,
+                         testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace mbird::wire
