@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_classfile"
+  "../bench/bench_classfile.pdb"
+  "CMakeFiles/bench_classfile.dir/bench_classfile.cpp.o"
+  "CMakeFiles/bench_classfile.dir/bench_classfile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fitter_conversion.cpp" "bench-build/CMakeFiles/bench_fitter_conversion.dir/bench_fitter_conversion.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fitter_conversion.dir/bench_fitter_conversion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbird_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_compare.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_javasrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_mtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_stype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fitter_conversion"
+  "../bench/bench_fitter_conversion.pdb"
+  "CMakeFiles/bench_fitter_conversion.dir/bench_fitter_conversion.cpp.o"
+  "CMakeFiles/bench_fitter_conversion.dir/bench_fitter_conversion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fitter_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_isomorphism"
+  "../bench/bench_isomorphism.pdb"
+  "CMakeFiles/bench_isomorphism.dir/bench_isomorphism.cpp.o"
+  "CMakeFiles/bench_isomorphism.dir/bench_isomorphism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isomorphism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_marshal_wire"
+  "../bench/bench_marshal_wire.pdb"
+  "CMakeFiles/bench_marshal_wire.dir/bench_marshal_wire.cpp.o"
+  "CMakeFiles/bench_marshal_wire.dir/bench_marshal_wire.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_marshal_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rpc_roundtrip"
+  "../bench/bench_rpc_roundtrip.pdb"
+  "CMakeFiles/bench_rpc_roundtrip.dir/bench_rpc_roundtrip.cpp.o"
+  "CMakeFiles/bench_rpc_roundtrip.dir/bench_rpc_roundtrip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/collab_messaging"
+  "../examples/collab_messaging.pdb"
+  "CMakeFiles/collab_messaging.dir/collab_messaging.cpp.o"
+  "CMakeFiles/collab_messaging.dir/collab_messaging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

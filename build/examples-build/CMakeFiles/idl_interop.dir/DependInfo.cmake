@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/idl_interop.cpp" "examples-build/CMakeFiles/idl_interop.dir/idl_interop.cpp.o" "gcc" "examples-build/CMakeFiles/idl_interop.dir/idl_interop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbird_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_compare.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_javasrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_mtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_stype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/idl_interop"
+  "../examples/idl_interop.pdb"
+  "CMakeFiles/idl_interop.dir/idl_interop.cpp.o"
+  "CMakeFiles/idl_interop.dir/idl_interop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

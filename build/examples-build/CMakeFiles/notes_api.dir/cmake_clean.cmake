@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/notes_api"
+  "../examples/notes_api.pdb"
+  "CMakeFiles/notes_api.dir/notes_api.cpp.o"
+  "CMakeFiles/notes_api.dir/notes_api.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notes_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

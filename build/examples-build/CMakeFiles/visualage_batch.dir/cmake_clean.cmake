@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/visualage_batch"
+  "../examples/visualage_batch.pdb"
+  "CMakeFiles/visualage_batch.dir/visualage_batch.cpp.o"
+  "CMakeFiles/visualage_batch.dir/visualage_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualage_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird.dir/tool/main.cpp.o"
+  "CMakeFiles/mbird.dir/tool/main.cpp.o.d"
+  "mbird"
+  "mbird.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_annotate.dir/annotate/script.cpp.o"
+  "CMakeFiles/mbird_annotate.dir/annotate/script.cpp.o.d"
+  "libmbird_annotate.a"
+  "libmbird_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

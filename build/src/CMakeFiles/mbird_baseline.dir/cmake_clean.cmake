@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_baseline.dir/baseline/baseline.cpp.o"
+  "CMakeFiles/mbird_baseline.dir/baseline/baseline.cpp.o.d"
+  "libmbird_baseline.a"
+  "libmbird_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

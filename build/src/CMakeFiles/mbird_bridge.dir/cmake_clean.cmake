@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_bridge.dir/bridge/cbridge.cpp.o"
+  "CMakeFiles/mbird_bridge.dir/bridge/cbridge.cpp.o.d"
+  "libmbird_bridge.a"
+  "libmbird_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_cfront.dir/cfront/cparser.cpp.o"
+  "CMakeFiles/mbird_cfront.dir/cfront/cparser.cpp.o.d"
+  "libmbird_cfront.a"
+  "libmbird_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

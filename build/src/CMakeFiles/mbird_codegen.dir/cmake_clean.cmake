@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_codegen.dir/codegen/cgen.cpp.o"
+  "CMakeFiles/mbird_codegen.dir/codegen/cgen.cpp.o.d"
+  "libmbird_codegen.a"
+  "libmbird_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

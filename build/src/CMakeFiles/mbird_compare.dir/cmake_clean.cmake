@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_compare.dir/compare/compare.cpp.o"
+  "CMakeFiles/mbird_compare.dir/compare/compare.cpp.o.d"
+  "libmbird_compare.a"
+  "libmbird_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

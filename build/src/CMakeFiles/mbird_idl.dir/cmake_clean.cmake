@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_idl.dir/idl/idlparser.cpp.o"
+  "CMakeFiles/mbird_idl.dir/idl/idlparser.cpp.o.d"
+  "libmbird_idl.a"
+  "libmbird_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_javaclass.dir/javaclass/classfile.cpp.o"
+  "CMakeFiles/mbird_javaclass.dir/javaclass/classfile.cpp.o.d"
+  "libmbird_javaclass.a"
+  "libmbird_javaclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_javaclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_javasrc.dir/javasrc/javaparser.cpp.o"
+  "CMakeFiles/mbird_javasrc.dir/javasrc/javaparser.cpp.o.d"
+  "libmbird_javasrc.a"
+  "libmbird_javasrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_javasrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_lex.dir/lex/lexer.cpp.o"
+  "CMakeFiles/mbird_lex.dir/lex/lexer.cpp.o.d"
+  "libmbird_lex.a"
+  "libmbird_lex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_lex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

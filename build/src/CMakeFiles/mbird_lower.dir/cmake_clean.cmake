@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_lower.dir/lower/lower.cpp.o"
+  "CMakeFiles/mbird_lower.dir/lower/lower.cpp.o.d"
+  "libmbird_lower.a"
+  "libmbird_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

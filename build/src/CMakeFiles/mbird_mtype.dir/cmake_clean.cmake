@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_mtype.dir/mtype/mtype.cpp.o"
+  "CMakeFiles/mbird_mtype.dir/mtype/mtype.cpp.o.d"
+  "libmbird_mtype.a"
+  "libmbird_mtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_mtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_plan.dir/plan/plan.cpp.o"
+  "CMakeFiles/mbird_plan.dir/plan/plan.cpp.o.d"
+  "libmbird_plan.a"
+  "libmbird_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

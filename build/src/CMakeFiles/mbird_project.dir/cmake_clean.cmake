@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_project.dir/project/project.cpp.o"
+  "CMakeFiles/mbird_project.dir/project/project.cpp.o.d"
+  "libmbird_project.a"
+  "libmbird_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

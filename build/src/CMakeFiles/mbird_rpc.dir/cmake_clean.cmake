@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_rpc.dir/rpc/rpc.cpp.o"
+  "CMakeFiles/mbird_rpc.dir/rpc/rpc.cpp.o.d"
+  "libmbird_rpc.a"
+  "libmbird_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/conform.cpp" "src/CMakeFiles/mbird_runtime.dir/runtime/conform.cpp.o" "gcc" "src/CMakeFiles/mbird_runtime.dir/runtime/conform.cpp.o.d"
+  "/root/repo/src/runtime/convert.cpp" "src/CMakeFiles/mbird_runtime.dir/runtime/convert.cpp.o" "gcc" "src/CMakeFiles/mbird_runtime.dir/runtime/convert.cpp.o.d"
+  "/root/repo/src/runtime/cside.cpp" "src/CMakeFiles/mbird_runtime.dir/runtime/cside.cpp.o" "gcc" "src/CMakeFiles/mbird_runtime.dir/runtime/cside.cpp.o.d"
+  "/root/repo/src/runtime/jside.cpp" "src/CMakeFiles/mbird_runtime.dir/runtime/jside.cpp.o" "gcc" "src/CMakeFiles/mbird_runtime.dir/runtime/jside.cpp.o.d"
+  "/root/repo/src/runtime/layout.cpp" "src/CMakeFiles/mbird_runtime.dir/runtime/layout.cpp.o" "gcc" "src/CMakeFiles/mbird_runtime.dir/runtime/layout.cpp.o.d"
+  "/root/repo/src/runtime/value.cpp" "src/CMakeFiles/mbird_runtime.dir/runtime/value.cpp.o" "gcc" "src/CMakeFiles/mbird_runtime.dir/runtime/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbird_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_stype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_mtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_plan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_runtime.dir/runtime/conform.cpp.o"
+  "CMakeFiles/mbird_runtime.dir/runtime/conform.cpp.o.d"
+  "CMakeFiles/mbird_runtime.dir/runtime/convert.cpp.o"
+  "CMakeFiles/mbird_runtime.dir/runtime/convert.cpp.o.d"
+  "CMakeFiles/mbird_runtime.dir/runtime/cside.cpp.o"
+  "CMakeFiles/mbird_runtime.dir/runtime/cside.cpp.o.d"
+  "CMakeFiles/mbird_runtime.dir/runtime/jside.cpp.o"
+  "CMakeFiles/mbird_runtime.dir/runtime/jside.cpp.o.d"
+  "CMakeFiles/mbird_runtime.dir/runtime/layout.cpp.o"
+  "CMakeFiles/mbird_runtime.dir/runtime/layout.cpp.o.d"
+  "CMakeFiles/mbird_runtime.dir/runtime/value.cpp.o"
+  "CMakeFiles/mbird_runtime.dir/runtime/value.cpp.o.d"
+  "libmbird_runtime.a"
+  "libmbird_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_stype.dir/stype/stype.cpp.o"
+  "CMakeFiles/mbird_stype.dir/stype/stype.cpp.o.d"
+  "libmbird_stype.a"
+  "libmbird_stype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_stype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/diag.cpp" "src/CMakeFiles/mbird_support.dir/support/diag.cpp.o" "gcc" "src/CMakeFiles/mbird_support.dir/support/diag.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/CMakeFiles/mbird_support.dir/support/strings.cpp.o" "gcc" "src/CMakeFiles/mbird_support.dir/support/strings.cpp.o.d"
+  "/root/repo/src/support/wide_int.cpp" "src/CMakeFiles/mbird_support.dir/support/wide_int.cpp.o" "gcc" "src/CMakeFiles/mbird_support.dir/support/wide_int.cpp.o.d"
+  "/root/repo/src/support/writer.cpp" "src/CMakeFiles/mbird_support.dir/support/writer.cpp.o" "gcc" "src/CMakeFiles/mbird_support.dir/support/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_support.dir/support/diag.cpp.o"
+  "CMakeFiles/mbird_support.dir/support/diag.cpp.o.d"
+  "CMakeFiles/mbird_support.dir/support/strings.cpp.o"
+  "CMakeFiles/mbird_support.dir/support/strings.cpp.o.d"
+  "CMakeFiles/mbird_support.dir/support/wide_int.cpp.o"
+  "CMakeFiles/mbird_support.dir/support/wide_int.cpp.o.d"
+  "CMakeFiles/mbird_support.dir/support/writer.cpp.o"
+  "CMakeFiles/mbird_support.dir/support/writer.cpp.o.d"
+  "libmbird_support.a"
+  "libmbird_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

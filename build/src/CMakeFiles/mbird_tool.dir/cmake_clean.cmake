@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_tool.dir/tool/mbird.cpp.o"
+  "CMakeFiles/mbird_tool.dir/tool/mbird.cpp.o.d"
+  "libmbird_tool.a"
+  "libmbird_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

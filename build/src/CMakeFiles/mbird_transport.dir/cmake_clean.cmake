@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_transport.dir/transport/link.cpp.o"
+  "CMakeFiles/mbird_transport.dir/transport/link.cpp.o.d"
+  "libmbird_transport.a"
+  "libmbird_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

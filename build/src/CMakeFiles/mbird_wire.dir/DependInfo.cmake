@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/wire.cpp" "src/CMakeFiles/mbird_wire.dir/wire/wire.cpp.o" "gcc" "src/CMakeFiles/mbird_wire.dir/wire/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbird_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_mtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_stype.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

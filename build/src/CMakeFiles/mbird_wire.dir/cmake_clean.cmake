@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbird_wire.dir/wire/wire.cpp.o"
+  "CMakeFiles/mbird_wire.dir/wire/wire.cpp.o.d"
+  "libmbird_wire.a"
+  "libmbird_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbird_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfront/cparser_test.cpp" "tests/CMakeFiles/cfront_test.dir/cfront/cparser_test.cpp.o" "gcc" "tests/CMakeFiles/cfront_test.dir/cfront/cparser_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mbird_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_lex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_stype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mbird_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfront_test.dir/cfront/cparser_test.cpp.o"
+  "CMakeFiles/cfront_test.dir/cfront/cparser_test.cpp.o.d"
+  "cfront_test"
+  "cfront_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfront_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javaclass_test.dir/javaclass/classfile_test.cpp.o"
+  "CMakeFiles/javaclass_test.dir/javaclass/classfile_test.cpp.o.d"
+  "javaclass_test"
+  "javaclass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javaclass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javasrc_test.dir/javasrc/javaparser_test.cpp.o"
+  "CMakeFiles/javasrc_test.dir/javasrc/javaparser_test.cpp.o.d"
+  "javasrc_test"
+  "javasrc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javasrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

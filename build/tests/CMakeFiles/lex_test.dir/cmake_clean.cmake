@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lex_test.dir/lex/lexer_test.cpp.o"
+  "CMakeFiles/lex_test.dir/lex/lexer_test.cpp.o.d"
+  "lex_test"
+  "lex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtype_test.dir/mtype/mtype_test.cpp.o"
+  "CMakeFiles/mtype_test.dir/mtype/mtype_test.cpp.o.d"
+  "mtype_test"
+  "mtype_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

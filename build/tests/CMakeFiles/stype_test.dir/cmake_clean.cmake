@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stype_test.dir/stype/stype_test.cpp.o"
+  "CMakeFiles/stype_test.dir/stype/stype_test.cpp.o.d"
+  "stype_test"
+  "stype_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

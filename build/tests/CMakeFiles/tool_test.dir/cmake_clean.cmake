@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_test.dir/tool/tool_test.cpp.o"
+  "CMakeFiles/tool_test.dir/tool/tool_test.cpp.o.d"
+  "tool_test"
+  "tool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
