@@ -2,10 +2,13 @@
 //   convert-only   — the local stub: plan conversion, no transport
 //   inproc         — network stub over the in-process transport
 //   socketpair     — network stub over a real kernel byte stream
+// plus the reliability sublayer under injected loss (0/1/10% drop): the
+// lossy variant shows what ack/retransmit costs when frames vanish.
 //
 // Workload: the fitter invocation with n points. Expected shape: the
 // conversion cost grows with n on all three; transport adds a per-message
-// constant (syscalls dominate socketpair at small n).
+// constant (syscalls dominate socketpair at small n); loss adds backoff
+// stalls proportional to the drop rate.
 #include <benchmark/benchmark.h>
 
 #include "annotate/script.hpp"
@@ -110,12 +113,13 @@ void BM_ConvertOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvertOnly)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
 
-void roundtrip(benchmark::State& state, bool socket) {
+void roundtrip(benchmark::State& state, bool socket,
+               const transport::FaultOptions& faults = {}) {
   World& w = world();
   int n = static_cast<int>(state.range(0));
   rpc::Node client(1), server(2);
   auto links = socket ? transport::make_socket_pair()
-                      : transport::make_inproc_pair();
+                      : transport::make_inproc_pair(faults);
   client.connect(2, std::move(links.first));
   server.connect(1, std::move(links.second));
 
@@ -143,6 +147,8 @@ void roundtrip(benchmark::State& state, bool socket) {
   state.counters["bytes_per_call"] =
       static_cast<double>(client.stats().bytes_sent + server.stats().bytes_sent) /
       static_cast<double>(state.iterations());
+  state.counters["retransmits"] = static_cast<double>(
+      client.stats().retransmits + server.stats().retransmits);
   state.SetItemsProcessed(state.iterations() * n);
 }
 
@@ -151,5 +157,22 @@ BENCHMARK(BM_RoundtripInproc)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_RoundtripSocketpair(benchmark::State& state) { roundtrip(state, true); }
 BENCHMARK(BM_RoundtripSocketpair)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Throughput under loss: args are {n points, drop% }. 0% is the control;
+// 1% and 10% exercise retransmission without hanging the harness (the
+// reliability sublayer, not the benchmark loop, handles recovery).
+void BM_RoundtripLossy(benchmark::State& state) {
+  transport::FaultOptions f;
+  f.drop_probability = static_cast<double>(state.range(1)) / 100.0;
+  f.seed = 20260805;
+  roundtrip(state, false, f);
+}
+BENCHMARK(BM_RoundtripLossy)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 10})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({1024, 10});
 
 }  // namespace

@@ -270,12 +270,15 @@ int main() {
   }
   std::cout << (converged ? "replicas CONVERGED" : "replicas DIVERGED!") << '\n';
 
-  uint64_t frames = 0, bytes = 0;
+  uint64_t frames = 0, bytes = 0, acks = 0, retransmits = 0;
   for (auto* s : sites) {
     frames += s->stats().frames_sent;
     bytes += s->stats().bytes_sent;
+    acks += s->stats().acks_sent;
+    retransmits += s->stats().retransmits;
   }
   std::cout << "traffic: " << frames << " frames, " << bytes
-            << " wire bytes (range-aware encoding)\n";
+            << " wire bytes (range-aware encoding), " << acks << " acks, "
+            << retransmits << " retransmits\n";
   return converged ? 0 : 1;
 }

@@ -195,7 +195,11 @@ int main() {
   std::cout << "frames over the socketpair: "
             << client.stats().frames_sent + server.stats().frames_sent
             << ", bytes: "
-            << client.stats().bytes_sent + server.stats().bytes_sent << "\n";
+            << client.stats().bytes_sent + server.stats().bytes_sent
+            << ", acks: "
+            << client.stats().acks_sent + server.stats().acks_sent
+            << ", retransmits: "
+            << client.stats().retransmits + server.stats().retransmits << "\n";
   std::cout << "\nquickstart complete.\n";
   return 0;
 }

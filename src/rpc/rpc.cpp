@@ -1,5 +1,6 @@
 #include "rpc/rpc.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "support/error.hpp"
@@ -20,7 +21,14 @@ uint64_t Node::open_port(const Graph* g, Ref msg_type,
 void Node::close_port(uint64_t port) { ports_.erase(port); }
 
 void Node::connect(uint16_t peer, std::shared_ptr<transport::Link> link) {
-  links_[peer] = std::move(link);
+  peers_[peer].link = std::move(link);
+}
+
+void Node::transmit(PeerState& ps, PeerState::Pending& p) {
+  stats_.bytes_sent += p.bytes.size();
+  p.backoff = relopts_.initial_backoff;
+  p.next_resend_tick = tick_ + p.backoff;
+  ps.link->send(p.bytes);
 }
 
 void Node::send(uint64_t dest_port, const Graph& g, Ref msg_type, const Value& v) {
@@ -29,20 +37,97 @@ void Node::send(uint64_t dest_port, const Graph& g, Ref msg_type, const Value& v
     local_queue_.emplace_back(dest_port, v);
     return;
   }
-  auto it = links_.find(dest_node);
-  if (it == links_.end()) {
+  auto it = peers_.find(dest_node);
+  if (it == peers_.end()) {
     throw TransportError("node " + std::to_string(id_) + " has no link to node " +
                          std::to_string(dest_node));
   }
+  PeerState& ps = it->second;
   wire::Frame f;
+  f.kind = wire::FrameKind::Data;
   f.origin_node = id_;
-  f.seq = next_seq_++;
+  f.seq = ps.next_seq++;
+  f.cum_ack = ps.cum_recv;  // piggybacked ack for the reverse direction
   f.dest_port = dest_port;
   f.payload = wire::encode(g, msg_type, v);
-  auto bytes = wire::pack_frame(f);
   stats_.frames_sent++;
-  stats_.bytes_sent += bytes.size();
-  it->second->send(std::move(bytes));
+
+  PeerState::Pending p;
+  p.seq = f.seq;
+  p.bytes = wire::pack_frame(f);
+  if (ps.unacked.size() >= relopts_.send_window) {
+    ps.backlog.push_back(std::move(p));
+    return;
+  }
+  transmit(ps, p);
+  ps.unacked.push_back(std::move(p));
+  if (ps.unacked.size() > stats_.max_inflight) {
+    stats_.max_inflight = ps.unacked.size();
+  }
+}
+
+void Node::apply_cum_ack(PeerState& ps, uint64_t cum_ack) {
+  while (!ps.unacked.empty() && ps.unacked.front().seq <= cum_ack) {
+    ps.unacked.pop_front();
+  }
+  // Freed window space admits backlogged frames.
+  while (!ps.backlog.empty() && ps.unacked.size() < relopts_.send_window) {
+    PeerState::Pending p = std::move(ps.backlog.front());
+    ps.backlog.pop_front();
+    transmit(ps, p);
+    ps.unacked.push_back(std::move(p));
+    if (ps.unacked.size() > stats_.max_inflight) {
+      stats_.max_inflight = ps.unacked.size();
+    }
+  }
+}
+
+bool Node::accept_seq(PeerState& ps, uint64_t seq) {
+  if (seq <= ps.cum_recv || ps.ooo.count(seq) != 0) return false;
+  ps.ooo.insert(seq);
+  while (ps.ooo.count(ps.cum_recv + 1) != 0) {
+    ps.ooo.erase(ps.cum_recv + 1);
+    ps.cum_recv++;
+  }
+  // Bound the window even if the sender abandoned a sequence and left a
+  // permanent gap: fold the oldest entries into cum_recv. A late frame
+  // below the forced cum is then mistaken for a duplicate — at-most-once
+  // delivery is preserved, memory stays O(dedup_window).
+  while (ps.ooo.size() > relopts_.dedup_window) {
+    ps.cum_recv = *ps.ooo.begin();
+    ps.ooo.erase(ps.ooo.begin());
+    while (ps.ooo.count(ps.cum_recv + 1) != 0) {
+      ps.ooo.erase(ps.cum_recv + 1);
+      ps.cum_recv++;
+    }
+  }
+  if (ps.ooo.size() > stats_.max_dedup_window) {
+    stats_.max_dedup_window = ps.ooo.size();
+  }
+  return true;
+}
+
+void Node::retransmit_due(PeerState& ps) {
+  // A frame that spends its retries declares the channel dead for whatever
+  // is queued: keeping the rest pending could never complete (cumulative
+  // acks cannot pass the gap), so drop it all and let callers time out.
+  for (const auto& p : ps.unacked) {
+    if (p.retries_used >= relopts_.max_retries && p.next_resend_tick <= tick_) {
+      stats_.frames_expired += ps.unacked.size() + ps.backlog.size();
+      ps.unacked.clear();
+      ps.backlog.clear();
+      return;
+    }
+  }
+  for (auto& p : ps.unacked) {
+    if (p.next_resend_tick > tick_) continue;
+    p.retries_used++;
+    p.backoff = std::min(p.backoff * 2, relopts_.max_backoff);
+    p.next_resend_tick = tick_ + p.backoff;
+    stats_.retransmits++;
+    stats_.bytes_sent += p.bytes.size();
+    ps.link->send(p.bytes);
+  }
 }
 
 void Node::dispatch(uint64_t port_id, const Value& v) {
@@ -60,6 +145,7 @@ void Node::dispatch(uint64_t port_id, const Value& v) {
 
 size_t Node::poll() {
   size_t processed = 0;
+  tick_++;
 
   // Local deliveries queued before this poll (messages enqueued by the
   // handlers run here are processed on the next poll, keeping rounds fair).
@@ -71,14 +157,23 @@ size_t Node::poll() {
     ++processed;
   }
 
-  for (auto& [peer, link] : links_) {
+  for (auto& [peer, ps] : peers_) {
     (void)peer;
-    while (auto bytes = link->poll()) {
+    while (auto bytes = ps.link->poll()) {
       wire::Frame f = wire::unpack_frame(*bytes);
-      if (!seen_.insert({f.origin_node, f.seq}).second) {
-        stats_.duplicates_dropped++;
+      // Every frame carries the peer's cumulative ack; retire covered
+      // retransmit entries whether it is DATA or an explicit ACK.
+      apply_cum_ack(ps, f.cum_ack);
+      if (f.kind == wire::FrameKind::Ack) {
+        stats_.acks_received++;
         continue;
       }
+      if (!accept_seq(ps, f.seq)) {
+        stats_.duplicates_dropped++;
+        ps.ack_due = true;  // re-ack: the ack for this frame was likely lost
+        continue;
+      }
+      ps.ack_due = true;
       auto it = ports_.find(f.dest_port);
       if (it == ports_.end()) {
         stats_.unknown_port_drops++;
@@ -89,19 +184,54 @@ size_t Node::poll() {
       dispatch(f.dest_port, v);
       ++processed;
     }
+    retransmit_due(ps);
+    if (ps.ack_due) {
+      wire::Frame ack;
+      ack.kind = wire::FrameKind::Ack;
+      ack.origin_node = id_;
+      ack.cum_ack = ps.cum_recv;
+      auto ack_bytes = wire::pack_frame(ack);
+      stats_.acks_sent++;
+      stats_.bytes_sent += ack_bytes.size();
+      ps.link->send(std::move(ack_bytes));
+      ps.ack_due = false;
+    }
   }
   return processed;
 }
 
-size_t pump(const std::vector<Node*>& nodes, size_t max_rounds) {
+bool Node::has_pending() const {
+  for (const auto& [peer, ps] : peers_) {
+    (void)peer;
+    if (!ps.unacked.empty() || !ps.backlog.empty()) return true;
+  }
+  return false;
+}
+
+size_t Node::dedup_entries() const {
   size_t total = 0;
-  for (size_t round = 0; round < max_rounds; ++round) {
-    size_t processed = 0;
-    for (Node* n : nodes) processed += n->poll();
-    total += processed;
-    if (processed == 0) return total;
+  for (const auto& [peer, ps] : peers_) {
+    (void)peer;
+    total += ps.ooo.size();
   }
   return total;
+}
+
+PumpResult pump(const std::vector<Node*>& nodes, size_t max_rounds) {
+  PumpResult result;
+  for (; result.rounds < max_rounds; ++result.rounds) {
+    size_t processed = 0;
+    for (Node* n : nodes) processed += n->poll();
+    result.processed += processed;
+    if (processed != 0) continue;
+    // A quiet round is only quiescence when no node still owes the wire a
+    // retransmission or has frames waiting for window space.
+    bool pending = false;
+    for (Node* n : nodes) pending = pending || n->has_pending();
+    if (!pending) return result;
+  }
+  result.hit_round_budget = true;
+  return result;
 }
 
 namespace {
@@ -189,16 +319,22 @@ Value call_function(Node& client, uint64_t fn_port, const Graph& g,
     size_t processed = 0;
     for (Node* n : nodes) processed += n->poll();
     if (reply) return *reply;
-    quiet = processed == 0 ? quiet + 1 : 0;
+    bool pending = false;
+    for (Node* n : nodes) pending = pending || n->has_pending();
+    quiet = (processed == 0 && !pending) ? quiet + 1 : 0;
     if (options.resend_every != 0 && quiet >= options.resend_every) {
       client.send(fn_port, g, invocation_type, invocation);
       quiet = 0;
     } else if (options.resend_every == 0 && quiet > 2) {
-      break;  // nothing in flight and no retries requested
+      // Retransmissions exhausted (or never started) with no reply in
+      // flight anywhere: waiting out the full deadline cannot help.
+      break;
     }
   }
   client.close_port(reply_port);
-  throw TransportError("call timed out waiting for reply");
+  client.note_timed_out_call();
+  throw CallTimeoutError("call timed out waiting for reply (deadline " +
+                         std::to_string(options.max_rounds) + " rounds)");
 }
 
 Value call_method(Node& client, uint64_t obj_port, const Graph& g,
@@ -227,7 +363,9 @@ Value call_method(Node& client, uint64_t obj_port, const Graph& g,
     size_t processed = 0;
     for (Node* nd : nodes) processed += nd->poll();
     if (reply) return *reply;
-    quiet = processed == 0 ? quiet + 1 : 0;
+    bool pending = false;
+    for (Node* nd : nodes) pending = pending || nd->has_pending();
+    quiet = (processed == 0 && !pending) ? quiet + 1 : 0;
     if (options.resend_every != 0 && quiet >= options.resend_every) {
       client.send(obj_port, g, r, invocation);
       quiet = 0;
@@ -236,7 +374,9 @@ Value call_method(Node& client, uint64_t obj_port, const Graph& g,
     }
   }
   client.close_port(reply_port);
-  throw TransportError("method call timed out waiting for reply");
+  client.note_timed_out_call();
+  throw CallTimeoutError("method call timed out waiting for reply (deadline " +
+                         std::to_string(options.max_rounds) + " rounds)");
 }
 
 runtime::PortAdapter make_port_adapter(Node& node, const plan::PlanGraph& plans,

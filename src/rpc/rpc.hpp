@@ -14,8 +14,17 @@
 //
 // Everything is single-threaded and pump-driven for determinism; pump()
 // cycles a set of nodes until quiescence.
+//
+// Remote sends ride a reliability sublayer (per-peer channels): every DATA
+// frame is held in a retransmit queue until the peer's cumulative ack covers
+// its sequence, retransmissions back off exponentially on the node's logical
+// clock (one tick per poll), and a frame whose bounded retries run out tears
+// down the channel's queue so pump() can still reach quiescence. Receivers
+// dedup with per-peer highest-contiguous-sequence plus a bounded
+// out-of-order window, so dedup state is O(window) regardless of traffic.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -34,17 +43,36 @@ namespace mbird::rpc {
 using runtime::Value;
 
 struct NodeStats {
-  uint64_t frames_sent = 0;
-  uint64_t frames_received = 0;
-  uint64_t bytes_sent = 0;
+  uint64_t frames_sent = 0;        // DATA frames submitted by the application
+  uint64_t frames_received = 0;    // fresh DATA frames delivered to a port
+  uint64_t bytes_sent = 0;         // on-wire bytes incl. retransmits and acks
   uint64_t local_deliveries = 0;
   uint64_t duplicates_dropped = 0;
   uint64_t unknown_port_drops = 0;
+  uint64_t retransmits = 0;        // DATA frames re-sent after a backoff tick
+  uint64_t acks_sent = 0;          // explicit ACK frames emitted
+  uint64_t acks_received = 0;      // explicit ACK frames consumed
+  uint64_t frames_expired = 0;     // unacked frames abandoned (retries spent)
+  uint64_t timed_out_calls = 0;    // call_* helpers that threw CallTimeoutError
+  uint64_t max_inflight = 0;       // high-water unacked DATA frames (per peer)
+  uint64_t max_dedup_window = 0;   // high-water out-of-order dedup set size
+};
+
+/// Tuning for the per-peer ack/retransmit machinery. Backoff is measured on
+/// the node's logical clock: one tick per poll(), so "2" means "retransmit
+/// if no ack after two polls".
+struct ReliabilityOptions {
+  size_t max_retries = 8;        // retransmissions per frame beyond the first send
+  uint64_t initial_backoff = 2;  // ticks before the first retransmission
+  uint64_t max_backoff = 64;     // backoff doubles up to this many ticks
+  size_t send_window = 64;       // max unacked frames per peer; excess is queued
+  size_t dedup_window = 128;     // max out-of-order seqs remembered per peer
 };
 
 class Node {
  public:
-  explicit Node(uint16_t id) : id_(id) {}
+  explicit Node(uint16_t id, ReliabilityOptions reliability = {})
+      : id_(id), relopts_(reliability) {}
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -69,11 +97,24 @@ class Node {
   void send(uint64_t dest_port, const mtype::Graph& g, mtype::Ref msg_type,
             const Value& v);
 
-  /// Deliver pending local messages and drain link frames. Returns the
-  /// number of messages processed.
+  /// Deliver pending local messages, drain link frames, retransmit unacked
+  /// frames whose backoff expired, and emit acks. Advances the logical
+  /// clock by one tick. Returns the number of messages delivered to ports
+  /// (reliability traffic — acks, retransmits — is not counted).
   size_t poll();
 
+  /// True while any peer channel holds unacked or window-queued frames:
+  /// the node is not quiescent even if a poll delivers nothing.
+  [[nodiscard]] bool has_pending() const;
+
+  /// Total out-of-order dedup entries across peers (bounded by
+  /// dedup_window per peer; exposed for the memory regression tests).
+  [[nodiscard]] size_t dedup_entries() const;
+
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
+
+  /// Bookkeeping hook for the call_* helpers (they are free functions).
+  void note_timed_out_call() { stats_.timed_out_calls++; }
 
  private:
   struct Port {
@@ -83,21 +124,61 @@ class Node {
     bool once;
   };
 
+  /// One reliability channel toward a peer (both directions of bookkeeping).
+  struct PeerState {
+    std::shared_ptr<transport::Link> link;
+    // Outbound: sequence assignment, the unacked retransmit queue (ordered
+    // by seq), and frames waiting for send-window space.
+    uint64_t next_seq = 1;
+    struct Pending {
+      uint64_t seq = 0;
+      std::vector<uint8_t> bytes;
+      size_t retries_used = 0;
+      uint64_t backoff = 0;
+      uint64_t next_resend_tick = 0;
+    };
+    std::deque<Pending> unacked;
+    std::deque<Pending> backlog;
+    // Inbound: highest contiguous seq delivered plus the bounded
+    // out-of-order window of delivered seqs above it.
+    uint64_t cum_recv = 0;
+    std::set<uint64_t> ooo;
+    bool ack_due = false;
+  };
+
   void dispatch(uint64_t port_id, const Value& v);
+  void transmit(PeerState& ps, PeerState::Pending& p);
+  void apply_cum_ack(PeerState& ps, uint64_t cum_ack);
+  /// Dedup + window bookkeeping for an arriving DATA seq. Returns false if
+  /// the frame is a duplicate.
+  bool accept_seq(PeerState& ps, uint64_t seq);
+  void retransmit_due(PeerState& ps);
 
   uint16_t id_;
+  ReliabilityOptions relopts_;
   uint64_t next_port_ = 1;
-  uint64_t next_seq_ = 1;
+  uint64_t tick_ = 0;  // logical clock: one tick per poll()
   std::map<uint64_t, Port> ports_;
-  std::map<uint16_t, std::shared_ptr<transport::Link>> links_;
+  std::map<uint16_t, PeerState> peers_;
   std::vector<std::pair<uint64_t, Value>> local_queue_;
-  std::set<std::pair<uint16_t, uint64_t>> seen_;  // duplicate suppression
   NodeStats stats_;
 };
 
-/// Poll all nodes round-robin until a full round processes nothing.
-/// Returns total messages processed; stops after max_rounds regardless.
-size_t pump(const std::vector<Node*>& nodes, size_t max_rounds = 100000);
+/// What pump() did: total deliveries, rounds executed, and whether it gave
+/// up because the round budget ran out (livelocked handlers, retransmit
+/// storms) rather than reaching quiescence. Converts to the delivery count
+/// so existing `pump(...) == 0` call sites keep reading naturally.
+struct PumpResult {
+  size_t processed = 0;
+  size_t rounds = 0;
+  bool hit_round_budget = false;
+  operator size_t() const { return processed; }  // NOLINT(google-explicit-constructor)
+};
+
+/// Poll all nodes round-robin until quiescent: a full round processes
+/// nothing AND no node holds unacked frames awaiting retransmission.
+/// Stops after max_rounds regardless and reports that in the result.
+PumpResult pump(const std::vector<Node*>& nodes, size_t max_rounds = 100000);
 
 /// Serve a function: `invocation_type` is Record(I, port(O)) — the child
 /// of the function's port Mtype. Returns the function's port id.
@@ -111,15 +192,19 @@ uint64_t serve_object(Node& node, const mtype::Graph& g, mtype::Ref choice_type,
                       std::vector<std::function<Value(const Value&)>> methods);
 
 struct CallOptions {
+  /// Deadline: pump rounds to wait for the reply before giving up.
   size_t max_rounds = 100000;
-  /// When nonzero, re-send the request every `resend_every` quiet rounds
-  /// (lossy transports; servers are deduplicated by frame seq only when
-  /// the duplicate arrives twice — idempotent impls recommended).
+  /// When nonzero, re-send the whole request every `resend_every` quiet
+  /// rounds. This is an application-level resend (a NEW sequence number, so
+  /// the server may execute twice); the transport-level ack/retransmit
+  /// machinery normally makes it unnecessary — idempotent impls only.
   size_t resend_every = 0;
 };
 
 /// Synchronous call: build Record(args, port(reply)), send to `fn_port`,
-/// pump `nodes` until the reply lands. Throws TransportError on timeout.
+/// pump `nodes` until the reply lands. Throws CallTimeoutError when the
+/// deadline passes or every bounded retransmission is exhausted with no
+/// reply (the latter is detected early: no reply, nothing in flight).
 [[nodiscard]] Value call_function(Node& client, uint64_t fn_port,
                                   const mtype::Graph& g,
                                   mtype::Ref invocation_type, const Value& args,

@@ -43,4 +43,13 @@ class TransportError : public MbError {
   using MbError::MbError;
 };
 
+/// An RPC call exceeded its deadline: either the pump-round budget ran out
+/// or every bounded retransmission was exhausted without a reply. Subtypes
+/// TransportError so callers that only distinguish "network trouble" keep
+/// working; catch this type to tell timeouts from link failures.
+class CallTimeoutError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
 }  // namespace mbird

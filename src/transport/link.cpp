@@ -66,11 +66,15 @@ class SocketLink : public Link {
     uint32_t len = static_cast<uint32_t>(frame.size());
     uint8_t hdr[4] = {static_cast<uint8_t>(len >> 24), static_cast<uint8_t>(len >> 16),
                       static_cast<uint8_t>(len >> 8), static_cast<uint8_t>(len)};
-    write_all(hdr, 4);
-    write_all(frame.data(), frame.size());
+    out_.insert(out_.end(), hdr, hdr + 4);
+    out_.insert(out_.end(), frame.begin(), frame.end());
+    flush();
   }
 
   std::optional<std::vector<uint8_t>> poll() override {
+    // A full kernel buffer earlier may have left bytes unflushed; the
+    // poll loop is our next chance to move them.
+    flush();
     // Pull whatever is available into the reassembly buffer, then try to
     // extract one frame.
     for (;;) {
@@ -81,6 +85,7 @@ class SocketLink : public Link {
         continue;
       }
       if (n == 0) break;  // peer closed; return what we have framed
+      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       throw TransportError(std::string("recv failed: ") + std::strerror(errno));
     }
@@ -96,20 +101,27 @@ class SocketLink : public Link {
   }
 
  private:
-  void write_all(const uint8_t* data, size_t len) {
+  /// Write as much of out_ as the kernel will take. A full socket buffer
+  /// (EAGAIN) is not an error for a polled link — the unsent tail stays
+  /// buffered and the next send()/poll() retries, so two peers flooding
+  /// each other cannot deadlock or spuriously throw.
+  void flush() {
     size_t off = 0;
-    while (off < len) {
-      ssize_t n = ::send(fd_, data + off, len - off, 0);
+    while (off < out_.size()) {
+      ssize_t n = ::send(fd_, out_.data() + off, out_.size() - off, MSG_DONTWAIT);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         throw TransportError(std::string("send failed: ") + std::strerror(errno));
       }
       off += static_cast<size_t>(n);
     }
+    out_.erase(out_.begin(), out_.begin() + static_cast<long>(off));
   }
 
   int fd_;
-  std::vector<uint8_t> buffer_;
+  std::vector<uint8_t> buffer_;   // inbound reassembly
+  std::vector<uint8_t> out_;      // outbound bytes the kernel would not take yet
 };
 
 }  // namespace

@@ -40,8 +40,10 @@ struct FaultOptions {
 std::pair<std::unique_ptr<Link>, std::unique_ptr<Link>> make_inproc_pair(
     const FaultOptions& faults = {});
 
-/// Two connected endpoints over a real AF_UNIX socketpair (non-blocking).
-/// Throws TransportError if the socketpair cannot be created.
+/// Two connected endpoints over a real AF_UNIX socketpair (non-blocking:
+/// bytes the kernel will not take yet are buffered in the link and flushed
+/// on later send()/poll() calls, so a full socket buffer never throws or
+/// deadlocks). Throws TransportError if the socketpair cannot be created.
 std::pair<std::unique_ptr<Link>, std::unique_ptr<Link>> make_socket_pair();
 
 }  // namespace mbird::transport

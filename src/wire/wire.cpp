@@ -240,8 +240,10 @@ std::vector<uint8_t> pack_frame(const Frame& f) {
   sink.u8('I');
   sink.u8('R');
   sink.big(kVersion, 2);
+  sink.u8(static_cast<uint8_t>(f.kind));
   sink.big(f.origin_node, 2);
   sink.big(f.seq, 8);
+  sink.big(f.cum_ack, 8);
   sink.big(f.dest_port, 8);
   sink.big(f.payload.size(), 4);
   auto out = sink.take();
@@ -426,9 +428,15 @@ Frame unpack_frame(const std::vector<uint8_t>& bytes) {
   if (version != kVersion) {
     throw WireError("unsupported frame version " + std::to_string(version));
   }
+  uint8_t kind = src.u8();
+  if (kind > static_cast<uint8_t>(FrameKind::Ack)) {
+    throw WireError("unknown frame kind " + std::to_string(kind));
+  }
   Frame f;
+  f.kind = static_cast<FrameKind>(kind);
   f.origin_node = static_cast<uint16_t>(src.big(2));
   f.seq = static_cast<uint64_t>(src.big(8));
+  f.cum_ack = static_cast<uint64_t>(src.big(8));
   f.dest_port = static_cast<uint64_t>(src.big(8));
   uint32_t len = static_cast<uint32_t>(src.big(4));
   if (len != bytes.size() - src.pos()) {

@@ -8,8 +8,13 @@
 // Multi-byte quantities are big-endian ("network order").
 //
 // Frames (one per transported message):
-//   magic "MBIR" | version u16 | origin node u16 | seq u64 | dest port u64 |
-//   payload len u32 | payload bytes
+//   magic "MBIR" | version u16 | kind u8 | origin node u16 | seq u64 |
+//   cum_ack u64 | dest port u64 | payload len u32 | payload bytes
+//
+// Version 2 added the frame kind (DATA / ACK) and the cumulative-ack field
+// that the rpc reliability sublayer uses for retransmission: every frame
+// carries the highest contiguous sequence its sender has received on that
+// channel, and ACK frames carry nothing else (seq 0, no payload).
 #pragma once
 
 #include <cstdint>
@@ -22,7 +27,7 @@
 
 namespace mbird::wire {
 
-inline constexpr uint16_t kVersion = 1;
+inline constexpr uint16_t kVersion = 2;
 
 /// Encode `v` (shaped like `type` in `g`) to bytes.
 [[nodiscard]] std::vector<uint8_t> encode(const mtype::Graph& g, mtype::Ref type,
@@ -36,9 +41,18 @@ inline constexpr uint16_t kVersion = 1;
 /// Wire width (bytes) of an Integer Mtype with the given range.
 [[nodiscard]] unsigned int_width(Int128 lo, Int128 hi);
 
+enum class FrameKind : uint8_t {
+  Data = 0,  // carries a marshaled message for dest_port
+  Ack = 1,   // carries only cum_ack (seq 0, empty payload)
+};
+
 struct Frame {
+  FrameKind kind = FrameKind::Data;
   uint16_t origin_node = 0;
   uint64_t seq = 0;
+  /// Highest contiguous sequence the sender has received on this channel
+  /// (0 when nothing has been received yet). Piggybacked on every frame.
+  uint64_t cum_ack = 0;
   uint64_t dest_port = 0;
   std::vector<uint8_t> payload;
 };

@@ -135,14 +135,31 @@ TEST(Wire, FrameRoundtrip) {
   Frame f;
   f.origin_node = 3;
   f.seq = 99;
+  f.cum_ack = 42;
   f.dest_port = (static_cast<uint64_t>(7) << 48) | 21;
   f.payload = {1, 2, 3};
   auto bytes = pack_frame(f);
   Frame g2 = unpack_frame(bytes);
+  EXPECT_EQ(g2.kind, FrameKind::Data);
   EXPECT_EQ(g2.origin_node, 3);
   EXPECT_EQ(g2.seq, 99u);
+  EXPECT_EQ(g2.cum_ack, 42u);
   EXPECT_EQ(g2.dest_port, f.dest_port);
   EXPECT_EQ(g2.payload, f.payload);
+}
+
+TEST(Wire, AckFrameRoundtrip) {
+  Frame f;
+  f.kind = FrameKind::Ack;
+  f.origin_node = 9;
+  f.cum_ack = 1234567;
+  auto bytes = pack_frame(f);
+  Frame g2 = unpack_frame(bytes);
+  EXPECT_EQ(g2.kind, FrameKind::Ack);
+  EXPECT_EQ(g2.origin_node, 9);
+  EXPECT_EQ(g2.seq, 0u);
+  EXPECT_EQ(g2.cum_ack, 1234567u);
+  EXPECT_TRUE(g2.payload.empty());
 }
 
 TEST(Wire, FrameBadMagicAndLength) {
@@ -155,6 +172,56 @@ TEST(Wire, FrameBadMagicAndLength) {
   auto bad_len = bytes;
   bad_len.push_back(0);
   EXPECT_THROW(unpack_frame(bad_len), WireError);
+}
+
+TEST(Wire, FrameTruncatedHeaderDetected) {
+  Frame f;
+  f.payload = {1, 2, 3};
+  auto bytes = pack_frame(f);
+  // Every strict prefix of the header must be rejected, not read OOB.
+  for (size_t keep = 0; keep < 33; ++keep) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<long>(keep));
+    EXPECT_THROW(unpack_frame(cut), WireError) << "prefix of " << keep;
+  }
+}
+
+TEST(Wire, FrameVersionMismatchDetected) {
+  Frame f;
+  auto bytes = pack_frame(f);
+  auto old = bytes;
+  old[5] = static_cast<uint8_t>(kVersion - 1);  // version u16 at offset 4..5
+  EXPECT_THROW(unpack_frame(old), WireError);
+  auto future = bytes;
+  future[4] = 0x7f;
+  EXPECT_THROW(unpack_frame(future), WireError);
+}
+
+TEST(Wire, FrameUnknownKindDetected) {
+  Frame f;
+  auto bytes = pack_frame(f);
+  bytes[6] = 0x17;  // kind u8 sits right after the version
+  EXPECT_THROW(unpack_frame(bytes), WireError);
+}
+
+TEST(Wire, FramePayloadLengthOverrunDetected) {
+  Frame f;
+  f.payload = {1, 2, 3, 4};
+  auto bytes = pack_frame(f);
+  // The payload-length field is the 4 bytes just before the payload.
+  size_t len_at = bytes.size() - f.payload.size() - 4;
+  // Claim more bytes than the buffer holds.
+  auto over = bytes;
+  over[len_at + 3] = 200;
+  EXPECT_THROW(unpack_frame(over), WireError);
+  // Claim fewer: trailing garbage must also be rejected.
+  auto under = bytes;
+  under[len_at + 3] = 1;
+  EXPECT_THROW(unpack_frame(under), WireError);
+  // Truncated payload with an honest length field.
+  auto cut = bytes;
+  cut.pop_back();
+  EXPECT_THROW(unpack_frame(cut), WireError);
 }
 
 class WireRoundtripProperty : public testing::TestWithParam<uint64_t> {};
