@@ -24,9 +24,12 @@
 #include "idl/idlparser.hpp"
 #include "javasrc/javaparser.hpp"
 #include "lower/lower.hpp"
+#include "planir/planir.hpp"
 #include "runtime/convert.hpp"
 #include "runtime/cside.hpp"
 #include "runtime/jside.hpp"
+#include "runtime/vm.hpp"
+#include "wire/wire.hpp"
 
 namespace {
 
@@ -210,5 +213,164 @@ void BM_IdlImposedTwoHop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_IdlImposedTwoHop)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+// ---- PlanIR: flat bytecode vs the tree interpreter --------------------------
+//
+// The same PointVector workload through the compiled PlanIR program
+// (BM_PlanIRStub), plus a record/choice-heavy workload where dispatch cost
+// dominates: each list element carries a two-level choice (4 x 6 = 24
+// flattened arms). The tree interpreter re-scans the arm list per layer;
+// the VM walks the precompiled trie. The fused pair measures marshaling
+// straight to wire bytes against convert-then-encode.
+
+void BM_PlanIRStub(benchmark::State& state) {
+  World& w = world();
+  static const planir::Program prog = [] {
+    planir::Program p = planir::compile(world().app_to_c.plan,
+                                        world().app_to_c.root);
+    planir::require_valid(p);
+    return p;
+  }();
+  int n = static_cast<int>(state.range(0));
+  JHeap jheap;
+  JRef pv = make_point_vector(jheap, n);
+
+  runtime::JReader reader(w.java, jheap);
+  runtime::PlanVm vm(prog);
+  runtime::LayoutEngine layout(w.c);
+
+  for (auto _ : state) {
+    NativeHeap cheap;
+    runtime::CWriter writer(layout, cheap);
+    Value app = Value::record(
+        {reader.read(w.java.find("PointVector"), {}, JSlot::reference(pv))});
+    Value c_shaped = vm.apply(app);
+    writer.materialize(w.c.find("points"), {}, c_shaped);
+    benchmark::DoNotOptimize(cheap);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlanIRStub)->Arg(4)->Arg(64)->Arg(1024)->Arg(16384);
+
+struct ChoiceWorld {
+  mtype::Graph ga, gb;
+  mtype::Ref a = mtype::kNullRef, b = mtype::kNullRef;
+  compare::Result res;
+  planir::Program convert_prog;
+  planir::Program marshal_prog;
+
+  ChoiceWorld() {
+    a = build(ga);
+    b = build(gb);
+    res = compare::compare(ga, a, gb, b, {});
+    if (!res.ok) {
+      fprintf(stderr, "choice plan failed: %s\n",
+              res.mismatch.to_string().c_str());
+      abort();
+    }
+    convert_prog = planir::compile(res.plan, res.root);
+    planir::require_valid(convert_prog);
+    marshal_prog = planir::compile_marshal(res.plan, res.root, gb, b);
+    planir::require_valid(marshal_prog);
+  }
+
+  // Record(header int, list of Record(Choice(6 x 6 x 6 records), char)):
+  // 216 flattened arms behind three choice layers. Arm ranges differ so the
+  // comparer maps arms one-to-one.
+  static mtype::Ref build(mtype::Graph& g) {
+    std::vector<mtype::Ref> outer;
+    for (int i = 0; i < 6; ++i) {
+      std::vector<mtype::Ref> mid;
+      for (int j = 0; j < 6; ++j) {
+        std::vector<mtype::Ref> inner;
+        for (int k = 0; k < 6; ++k) {
+          inner.push_back(g.record(
+              {g.integer(0, 1000 + (i * 6 + j) * 6 + k), g.integer(-50, 50)}));
+        }
+        mid.push_back(g.choice(std::move(inner)));
+      }
+      outer.push_back(g.choice(std::move(mid)));
+    }
+    mtype::Ref ch = g.choice(std::move(outer));
+    mtype::Ref elem =
+        g.record({ch, g.character(stype::Repertoire::Latin1)});
+    return g.record({g.integer(0, 1 << 20), g.list_of(elem)});
+  }
+
+  static Value make_value(int n) {
+    std::vector<Value> elems;
+    elems.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Value rec = Value::record(
+          {Value::integer(i % 900), Value::integer(i % 101 - 50)});
+      Value ch = Value::choice(
+          static_cast<uint32_t>(i % 6),
+          Value::choice(static_cast<uint32_t>((i * 5 + 1) % 6),
+                        Value::choice(static_cast<uint32_t>((i * 11 + 2) % 6),
+                                      std::move(rec))));
+      elems.push_back(Value::record(
+          {std::move(ch), Value::character('a' + i % 26)}));
+    }
+    return Value::record({Value::integer(n), Value::list(std::move(elems))});
+  }
+};
+
+ChoiceWorld& choice_world() {
+  static ChoiceWorld w;
+  return w;
+}
+
+void BM_TreeChoiceHeavy(benchmark::State& state) {
+  ChoiceWorld& w = choice_world();
+  int n = static_cast<int>(state.range(0));
+  Value v = ChoiceWorld::make_value(n);
+  runtime::Converter conv(w.res.plan);
+  for (auto _ : state) {
+    Value out = conv.apply(w.res.root, v);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TreeChoiceHeavy)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_PlanIRChoiceHeavy(benchmark::State& state) {
+  ChoiceWorld& w = choice_world();
+  int n = static_cast<int>(state.range(0));
+  Value v = ChoiceWorld::make_value(n);
+  runtime::PlanVm vm(w.convert_prog);
+  for (auto _ : state) {
+    Value out = vm.apply(v);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlanIRChoiceHeavy)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_ConvertThenMarshal(benchmark::State& state) {
+  ChoiceWorld& w = choice_world();
+  int n = static_cast<int>(state.range(0));
+  Value v = ChoiceWorld::make_value(n);
+  runtime::Converter conv(w.res.plan);
+  for (auto _ : state) {
+    std::vector<uint8_t> bytes =
+        wire::encode(w.gb, w.b, conv.apply(w.res.root, v));
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConvertThenMarshal)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_FusedConvertMarshal(benchmark::State& state) {
+  ChoiceWorld& w = choice_world();
+  int n = static_cast<int>(state.range(0));
+  Value v = ChoiceWorld::make_value(n);
+  runtime::PlanVm vm(w.marshal_prog);
+  for (auto _ : state) {
+    std::vector<uint8_t> bytes = vm.marshal(v);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FusedConvertMarshal)->Arg(64)->Arg(1024)->Arg(8192);
 
 }  // namespace

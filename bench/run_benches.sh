@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Regenerates the committed PlanIR benchmark baseline.
+#
+#   bench/run_benches.sh [build-dir]
+#
+# Builds bench_fitter_conversion (Release unless the build dir already
+# exists with another config) and runs the PlanIR-relevant benchmarks with
+# google-benchmark's JSON reporter, writing bench/BENCH_planir.json.
+# The baseline documents the two acceptance ratios:
+#   * BM_PlanIRChoiceHeavy >= 2x BM_TreeChoiceHeavy (record/choice-heavy
+#     conversion, bytecode VM vs. tree interpreter), and
+#   * BM_FusedConvertMarshal beating BM_ConvertThenMarshal (fused
+#     convert-to-wire vs. two-phase convert + encode).
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+  cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$build" -j --target bench_fitter_conversion
+
+"$build/bench/bench_fitter_conversion" \
+  --benchmark_filter='MockingbirdStub|PlanIRStub|ChoiceHeavy|ConvertThenMarshal|FusedConvertMarshal' \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=1 \
+  --benchmark_format=json \
+  --benchmark_out="$repo/bench/BENCH_planir.json" \
+  --benchmark_out_format=json
+
+echo "wrote $repo/bench/BENCH_planir.json"

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "planir/planir.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/writer.hpp"
@@ -14,9 +15,6 @@ using mtype::Graph;
 using mtype::MKind;
 using mtype::Path;
 using mtype::Ref;
-using plan::PKind;
-using plan::PlanNode;
-using plan::PlanRef;
 
 std::string c_int_type(Int128 lo, Int128 hi) {
   if (lo >= 0) {
@@ -222,24 +220,27 @@ class TypeEmitter {
   std::map<Ref, std::string> names_;
 };
 
-/// Emits converter functions, one per (plan node, src ref, dst ref) triple.
+/// Emits converter functions, one per (PlanIR instruction, src ref, dst ref)
+/// triple. Consuming the verified flat program (rather than the plan tree)
+/// means Alias indirections are already resolved and record/choice layouts
+/// come from the IR's side tables — the same arrays the VM executes.
 class ConvEmitter {
  public:
-  ConvEmitter(const Graph& ga, const Graph& gb, const plan::PlanGraph& plans,
+  ConvEmitter(const Graph& ga, const Graph& gb, const planir::Program& prog,
               TypeEmitter& src_types, TypeEmitter& dst_types,
               const std::string& prefix, CodeWriter& protos, CodeWriter& bodies)
-      : ga_(ga), gb_(gb), plans_(plans), src_types_(src_types),
+      : ga_(ga), gb_(gb), prog_(prog), src_types_(src_types),
         dst_types_(dst_types), prefix_(prefix), protos_(protos), bodies_(bodies) {}
 
-  /// Returns the function name converting (a -> b) per plan node p.
-  std::string emit(Ref a, Ref b, PlanRef p) {
+  /// Returns the function name converting (a -> b) per instruction `idx`.
+  std::string emit(Ref a, Ref b, uint32_t idx) {
     a = mtype::skip_var(ga_, a);
     b = mtype::skip_var(gb_, b);
-    auto key = std::make_tuple(a, b, p);
+    auto key = std::make_tuple(a, b, idx);
     auto it = emitted_.find(key);
     if (it != emitted_.end()) return it->second;
 
-    std::string fn = prefix_ + "_p" + std::to_string(p) + "_" +
+    std::string fn = prefix_ + "_i" + std::to_string(idx) + "_" +
                      std::to_string(a) + "_" + std::to_string(b);
     emitted_[key] = fn;
 
@@ -251,11 +252,10 @@ class ConvEmitter {
 
     CodeWriter body;
     body.open(sig + " {");
-    emit_body(a, b, p, body);
+    emit_body(a, b, idx, body);
     body.close("}");
     body.blank();
     pending_.push_back(body.take());
-    flush_if_root(p);
     return fn;
   }
 
@@ -265,39 +265,43 @@ class ConvEmitter {
   }
 
  private:
-  void flush_if_root(PlanRef) { /* bodies flushed at the end for ordering */ }
+  [[nodiscard]] Path path_of(uint32_t off, uint32_t len) const {
+    return Path(prog_.path_pool.begin() + off, prog_.path_pool.begin() + off + len);
+  }
 
-  void emit_body(Ref a, Ref b, PlanRef p, CodeWriter& w) {
-    const PlanNode& node = plans_.at(p);
-    switch (node.kind) {
-      case PKind::UnitMake:
+  void emit_body(Ref a, Ref b, uint32_t idx, CodeWriter& w) {
+    const planir::Instr& ins = prog_.code.at(idx);
+    // The IR has no Alias ops (resolved at compile time), but recursive
+    // types still reach here wrapped in their Rec node: unfold both sides
+    // and forward. The casts are sound — a Rec's typedef IS its body's
+    // struct. Memoization on the Rec refs breaks the recursion. MapList is
+    // exempt: it consumes the (list-shaped) Rec itself, like the VM.
+    if ((is_rec(ga_, a) || is_rec(gb_, b)) &&
+        ins.op != planir::OpCode::MapList) {
+      std::string inner = emit(unfold(ga_, a), unfold(gb_, b), idx);
+      w.line(inner + "((const void *)in, (void *)out);");
+      return;
+    }
+    switch (ins.op) {
+      case planir::OpCode::MakeUnit:
         w.line("(void)in;");
         w.line("*out = 0;");
         return;
-      case PKind::IntCopy:
-      case PKind::RealCopy:
-      case PKind::CharCopy: {
+      case planir::OpCode::CopyInt:
+      case planir::OpCode::CopyReal:
+      case planir::OpCode::CopyChar: {
         std::string dst_t = dst_types_.type_of(b);
         w.line("*out = (" + dst_t + ")(*in);");
         return;
       }
-      case PKind::PortMap:
+      case planir::OpCode::CopyPort:
         w.line("*out = *in; /* endpoint ids convert at the rpc layer */");
         return;
-      case PKind::Alias: {
-        // Unfold the recursive pair and forward (same struct layout).
-        Ref ua = unfold(ga_, a);
-        Ref ub = unfold(gb_, b);
-        std::string inner = emit(ua, ub, node.inner);
-        w.line(inner + "((const void *)in, (void *)out);");
-        // The cast is sound: a Rec's typedef IS its body's struct.
-        return;
-      }
-      case PKind::ListMap: {
+      case planir::OpCode::MapList: {
         auto ea = mtype::match_list_shape(ga_, a);
         auto eb = mtype::match_list_shape(gb_, b);
         if (!ea || !eb) throw MbError("codegen: ListMap on non-list types");
-        std::string elem_fn = emit((*ea)[0], (*eb)[0], node.inner);
+        std::string elem_fn = emit((*ea)[0], (*eb)[0], ins.a);
         std::string dst_elem = dst_types_.type_of((*eb)[0]);
         w.line("out->len = in->len;");
         w.line("out->data = (" + dst_elem + " *)malloc(in->len * sizeof(" +
@@ -307,25 +311,28 @@ class ConvEmitter {
         w.close("}");
         return;
       }
-      case PKind::Extract: {
-        const auto& move = node.fields.at(0);
-        Ref src_child = follow_record_path(ga_, a, move.src_path);
-        std::string inner = emit(src_child, b, move.op);
-        w.line(inner + "(&in" + record_expr(move.src_path) + ", out);");
+      case planir::OpCode::ExtractField: {
+        const auto& f = prog_.fields.at(ins.a);
+        Path src_path = path_of(f.src_off, f.src_len);
+        Ref src_child = follow_record_path(ga_, a, src_path);
+        std::string inner = emit(src_child, b, f.op);
+        w.line(inner + "(&in" + record_expr(src_path) + ", out);");
         return;
       }
-      case PKind::RecordMap: {
-        for (size_t i = 0; i < node.fields.size(); ++i) {
-          const auto& move = node.fields[i];
-          Ref src_child = follow_record_path(ga_, a, move.src_path);
-          Ref dst_child = follow_record_path(gb_, b, move.dst_path);
-          bool src_ptr = raw_child_is_var(ga_, a, move.src_path);
-          bool dst_ptr = raw_child_is_var(gb_, b, move.dst_path);
-          std::string fn = emit(src_child, dst_child, move.op);
-          std::string src_expr = src_ptr
-                                     ? "in" + record_expr(move.src_path)
-                                     : "&in" + record_expr(move.src_path);
-          std::string dst_lv = "out" + record_expr(move.dst_path);
+      case planir::OpCode::BuildRecord: {
+        const auto& rt = prog_.records.at(ins.a);
+        for (uint32_t i = 0; i < rt.fields_len; ++i) {
+          const auto& f = prog_.fields.at(rt.fields_off + i);
+          Path src_path = path_of(f.src_off, f.src_len);
+          Path dst_path = path_of(f.dst_off, f.dst_len);
+          Ref src_child = follow_record_path(ga_, a, src_path);
+          Ref dst_child = follow_record_path(gb_, b, dst_path);
+          bool src_ptr = raw_child_is_var(ga_, a, src_path);
+          bool dst_ptr = raw_child_is_var(gb_, b, dst_path);
+          std::string fn = emit(src_child, dst_child, f.op);
+          std::string src_expr = src_ptr ? "in" + record_expr(src_path)
+                                         : "&in" + record_expr(src_path);
+          std::string dst_lv = "out" + record_expr(dst_path);
           if (dst_ptr) {
             std::string dst_t = dst_types_.type_of(dst_child);
             w.line(dst_lv + " = (" + dst_t + " *)malloc(sizeof(" + dst_t + "));");
@@ -334,20 +341,20 @@ class ConvEmitter {
             w.line(fn + "(" + src_expr + ", &" + dst_lv + ");");
           }
         }
-        if (node.fields.empty()) {
+        if (rt.fields_len == 0) {
           w.line("(void)in;");
           w.line("(void)out;");
         }
         return;
       }
-      case PKind::ChoiceMap: {
-        emit_choice(a, b, node, w);
+      case planir::OpCode::MatchChoice: {
+        emit_choice(a, b, prog_.choices.at(ins.a), w);
         return;
       }
-      case PKind::Custom: {
+      case planir::OpCode::CallCustom: {
         // Hand-written conversions are linked in by the user: emit an
         // extern prototype and the call (paper §6 composition).
-        std::string fn = sanitize_identifier(node.note);
+        std::string fn = sanitize_identifier(prog_.custom_names.at(ins.a));
         std::string src_t = src_types_.type_of(a);
         std::string dst_t = dst_types_.type_of(b);
         protos_.line("extern void " + fn + "(const " + src_t + " *in, " +
@@ -355,8 +362,9 @@ class ConvEmitter {
         w.line(fn + "(in, out);");
         return;
       }
+      default:
+        throw MbError("codegen: marshal opcode in convert program");
     }
-    throw MbError("codegen: unhandled plan node");
   }
 
   /// A member-access expression descending a choice-arm path, tracking
@@ -380,16 +388,22 @@ class ConvEmitter {
     return next;
   }
 
-  void emit_choice(Ref a, Ref b, const PlanNode& node, CodeWriter& w) {
+  void emit_choice(Ref a, Ref b, const planir::Program::ChoiceTab& ct,
+                   CodeWriter& w) {
     // Each flattened source arm becomes one branch of an if-else chain
-    // testing the (possibly nested) tag path.
+    // testing the (possibly nested) tag path. Arm order in the IR is the
+    // plan's arm order, so the chain tries arms in the same order the
+    // interpreter's linear scan would.
     bool first = true;
-    for (const auto& arm : node.arms) {
+    for (uint32_t ai = 0; ai < ct.arms_len; ++ai) {
+      const auto& arm = prog_.arms.at(ct.arms_off + ai);
+      Path src_path = path_of(arm.src_off, arm.src_len);
+      Path dst_path = path_of(arm.dst_off, arm.dst_len);
       std::string cond;
       Access in{"in", true};
       Ref cur = a;
-      for (size_t d = 0; d < arm.src_path.size(); ++d) {
-        uint32_t idx = arm.src_path[d];
+      for (size_t d = 0; d < src_path.size(); ++d) {
+        uint32_t idx = src_path[d];
         if (!cond.empty()) cond += " && ";
         cond += in.expr + in.sep() + "tag == " + std::to_string(idx) + "u";
         in = descend_arm(ga_, in, cur, idx, &cur);
@@ -402,11 +416,11 @@ class ConvEmitter {
       // Set target tags along the destination path.
       Access out{"out", true};
       Ref dst_cur = b;
-      for (size_t d = 0; d < arm.dst_path.size(); ++d) {
-        uint32_t idx = arm.dst_path[d];
+      for (size_t d = 0; d < dst_path.size(); ++d) {
+        uint32_t idx = dst_path[d];
         w.line(out.expr + out.sep() + "tag = " + std::to_string(idx) + "u;");
         Access next = descend_arm(gb_, out, dst_cur, idx, &dst_cur);
-        if (next.is_ptr && d + 1 < arm.dst_path.size()) {
+        if (next.is_ptr && d + 1 < dst_path.size()) {
           // A Var payload on the way down: allocate the next cell.
           std::string t = dst_types_.type_of(dst_cur);
           w.line(next.expr + " = (" + t + " *)malloc(sizeof(" + t + "));");
@@ -431,6 +445,11 @@ class ConvEmitter {
     w.open("else {");
     w.line("/* no matching arm: leave target zeroed */");
     w.close("}");
+  }
+
+  static bool is_rec(const Graph& g, Ref r) {
+    const auto& n = g.at(r);
+    return n.kind == MKind::Rec && n.body() != mtype::kNullRef;
   }
 
   static Ref unfold(const Graph& g, Ref r) {
@@ -477,13 +496,13 @@ class ConvEmitter {
 
   const Graph& ga_;
   const Graph& gb_;
-  const plan::PlanGraph& plans_;
+  const planir::Program& prog_;
   TypeEmitter& src_types_;
   TypeEmitter& dst_types_;
   std::string prefix_;
   CodeWriter& protos_;
   CodeWriter& bodies_;
-  std::map<std::tuple<Ref, Ref, PlanRef>, std::string> emitted_;
+  std::map<std::tuple<Ref, Ref, uint32_t>, std::string> emitted_;
   std::vector<std::string> pending_;
 };
 
@@ -741,8 +760,14 @@ class MarshalEmitter {
 }  // namespace
 
 CStub generate_c_stub(const Graph& ga, Ref a, const Graph& gb, Ref b,
-                      const plan::PlanGraph& plans, PlanRef root,
+                      const plan::PlanGraph& plans, plan::PlanRef root,
                       const std::string& stub_name, const Options& options) {
+  // Lower to the flat IR first: the generator consumes the same verified
+  // program the VM executes, so malformed plans are rejected here (typed
+  // IrError) instead of surfacing as broken C.
+  planir::Program prog = planir::compile(plans, root);
+  planir::require_valid(prog);
+
   CStub out;
   CodeWriter header;
   header.line("/* Generated by Mockingbird. Do not edit. */");
@@ -762,9 +787,9 @@ CStub generate_c_stub(const Graph& ga, Ref a, const Graph& gb, Ref b,
 
   CodeWriter protos;
   CodeWriter bodies;
-  ConvEmitter conv(ga, gb, plans, src_types, dst_types, stub_name, protos,
+  ConvEmitter conv(ga, gb, prog, src_types, dst_types, stub_name, protos,
                    bodies);
-  std::string root_fn = conv.emit(a, b, root);
+  std::string root_fn = conv.emit(a, b, prog.entry);
   conv.flush_all();
 
   std::string entry = stub_name + "_convert";

@@ -1,0 +1,131 @@
+#include <sstream>
+
+#include "planir/planir.hpp"
+
+namespace mbird::planir {
+
+namespace {
+
+void put_path(std::ostream& os, const Program& p, uint32_t off, uint32_t len) {
+  os << '[';
+  for (uint32_t k = 0; k < len; ++k) {
+    if (k) os << '.';
+    os << p.path_pool[off + k];
+  }
+  os << ']';
+}
+
+void put_field(std::ostream& os, const Program& p, uint32_t fidx) {
+  const Program::Field& f = p.fields[fidx];
+  os << "src";
+  put_path(os, p, f.src_off, f.src_len);
+  if (f.dst_len) {
+    os << " dst";
+    put_path(os, p, f.dst_off, f.dst_len);
+  }
+  os << " -> i" << f.op;
+}
+
+}  // namespace
+
+std::string disassemble(const Program& p) {
+  std::ostringstream os;
+  os << "planir "
+     << (p.mode == Program::Mode::Marshal ? "marshal" : "convert")
+     << " program: entry=i" << p.entry << " instrs=" << p.code.size()
+     << " fields=" << p.fields.size() << " arms=" << p.arms.size()
+     << " trie-nodes=" << p.trie.size() << "\n";
+  for (uint32_t i = 0; i < p.code.size(); ++i) {
+    const Instr& ins = p.code[i];
+    os << "  i" << i << ": " << to_string(ins.op);
+    switch (ins.op) {
+      case OpCode::CopyInt:
+        os << " [" << mbird::to_string(ins.lo) << ".." << mbird::to_string(ins.hi)
+           << "]";
+        break;
+      case OpCode::EmitInt:
+        os << " [" << mbird::to_string(ins.lo) << ".." << mbird::to_string(ins.hi)
+           << "] width=" << ins.a << " dst=t" << ins.b;
+        break;
+      case OpCode::CopyPort:
+      case OpCode::EmitPort:
+        os << " plan#" << ins.a;
+        break;
+      case OpCode::BuildRecord:
+      case OpCode::EmitRecord: {
+        const Program::RecordTab& rt = p.records[ins.a];
+        os << " r" << ins.a << " {";
+        for (uint32_t k = 0; k < rt.fields_len; ++k) {
+          if (k) os << "; ";
+          put_field(os, p, rt.fields_off + k);
+        }
+        os << "} shape=";
+        for (uint32_t k = 0; k < rt.shape_len; ++k) {
+          const Program::ShapeTok& tok = p.shape_pool[rt.shape_off + k];
+          if (k) os << ' ';
+          switch (tok.kind) {
+            case Program::ShapeTok::K::Leaf: os << 'L' << tok.arg; break;
+            case Program::ShapeTok::K::Unit: os << 'U'; break;
+            case Program::ShapeTok::K::Rec: os << 'R' << tok.arg; break;
+          }
+        }
+        break;
+      }
+      case OpCode::MatchChoice:
+      case OpCode::EmitChoice: {
+        const Program::ChoiceTab& ct = p.choices[ins.a];
+        os << " c" << ins.a << " (trie@" << ct.trie_root << ") {";
+        for (uint32_t k = 0; k < ct.arms_len; ++k) {
+          const Program::Arm& arm = p.arms[ct.arms_off + k];
+          if (k) os << "; ";
+          os << "arm";
+          put_path(os, p, arm.src_off, arm.src_len);
+          os << "->";
+          put_path(os, p, arm.dst_off, arm.dst_len);
+          os << " i" << arm.op;
+        }
+        os << "}";
+        break;
+      }
+      case OpCode::MapList:
+      case OpCode::EmitList:
+        os << " elem=i" << ins.a;
+        break;
+      case OpCode::ExtractField:
+      case OpCode::EmitExtract:
+        os << ' ';
+        put_field(os, p, ins.a);
+        break;
+      case OpCode::CallCustom:
+        os << " '" << p.custom_names[ins.a] << "'";
+        break;
+      case OpCode::EmitCustom:
+        os << " '" << p.custom_names[ins.a] << "' dst=t" << ins.b;
+        break;
+      case OpCode::EmitOpaque:
+        os << " fallback=i" << ins.a << " dst=t" << ins.b;
+        break;
+      default: break;
+    }
+    if (i < p.origin.size()) os << "  ; plan#" << p.origin[i];
+    os << "\n";
+  }
+  if (!p.custom_names.empty()) {
+    os << "  customs:";
+    for (const auto& name : p.custom_names) os << " '" << name << "'";
+    os << "\n";
+  }
+  if (p.mode == Program::Mode::Marshal) {
+    os << "  dst-types:";
+    for (uint32_t k = 0; k < p.dst_types.size(); ++k) {
+      os << " t" << k << "=@" << p.dst_types[k];
+    }
+    os << "\n";
+    if (p.fallback) {
+      os << "  fallback: " << p.fallback->code.size() << " instrs\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mbird::planir

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "planir/planir.hpp"
+#include "runtime/vm.hpp"
 #include "support/error.hpp"
 
 namespace mbird::rpc {
@@ -32,11 +34,31 @@ void Node::transmit(PeerState& ps, PeerState::Pending& p) {
 }
 
 void Node::send(uint64_t dest_port, const Graph& g, Ref msg_type, const Value& v) {
-  uint16_t dest_node = node_of(dest_port);
-  if (dest_node == id_) {
+  if (is_local(dest_port)) {
     local_queue_.emplace_back(dest_port, v);
     return;
   }
+  send_frame(dest_port, wire::encode(g, msg_type, v));
+}
+
+void Node::send_marshaled(uint64_t dest_port, std::vector<uint8_t> payload) {
+  if (is_local(dest_port)) {
+    // Local delivery needs the Value back; the port's registered type is
+    // authoritative (exactly what poll() does for arriving frames).
+    auto it = ports_.find(dest_port);
+    if (it == ports_.end()) {
+      stats_.unknown_port_drops++;
+      return;
+    }
+    local_queue_.emplace_back(
+        dest_port, wire::decode(*it->second.graph, it->second.msg_type, payload));
+    return;
+  }
+  send_frame(dest_port, std::move(payload));
+}
+
+void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
+  uint16_t dest_node = node_of(dest_port);
   auto it = peers_.find(dest_node);
   if (it == peers_.end()) {
     throw TransportError("node " + std::to_string(id_) + " has no link to node " +
@@ -49,7 +71,7 @@ void Node::send(uint64_t dest_port, const Graph& g, Ref msg_type, const Value& v
   f.seq = ps.next_seq++;
   f.cum_ack = ps.cum_recv;  // piggybacked ack for the reverse direction
   f.dest_port = dest_port;
-  f.payload = wire::encode(g, msg_type, v);
+  f.payload = std::move(payload);
   stats_.frames_sent++;
 
   PeerState::Pending p;
@@ -379,10 +401,27 @@ Value call_method(Node& client, uint64_t obj_port, const Graph& g,
                          std::to_string(options.max_rounds) + " rounds)");
 }
 
-runtime::PortAdapter make_port_adapter(Node& node, const plan::PlanGraph& plans,
-                                       const Graph& left, const Graph& right) {
-  return [&node, &plans, &left, &right](uint64_t src_port,
-                                        plan::PlanRef portmap_ref) -> uint64_t {
+namespace {
+
+/// Compiled programs for one PortMap node's message plan, filled lazily the
+/// first time a proxy for that node is created. `convert` serves proxies
+/// whose original port is local; `marshal` is the fused convert+encode
+/// program for remote originals. Shared (by shared_ptr) across every proxy
+/// an adapter spawns, including nested ones.
+struct ProxyPrograms {
+  struct Entry {
+    std::shared_ptr<const planir::Program> convert;
+    std::shared_ptr<const planir::Program> marshal;
+  };
+  std::map<plan::PlanRef, Entry> by_portmap;
+};
+
+runtime::PortAdapter adapter_with_cache(Node& node, const plan::PlanGraph& plans,
+                                        const Graph& left, const Graph& right,
+                                        std::shared_ptr<ProxyPrograms> cache) {
+  return [&node, &plans, &left, &right,
+          cache = std::move(cache)](uint64_t src_port,
+                                    plan::PlanRef portmap_ref) -> uint64_t {
     const plan::PlanNode& pm = plans.at(portmap_ref);
     const Graph& dst_graph = pm.port_dst_in_left ? left : right;
     const Graph& src_graph = pm.port_src_in_left ? left : right;
@@ -391,17 +430,48 @@ runtime::PortAdapter make_port_adapter(Node& node, const plan::PlanGraph& plans,
     plan::PlanRef msg_plan = pm.inner;
 
     // The proxy accepts dst-shaped messages, converts them back to the
-    // src shape (contravariance), and forwards to the original port.
+    // src shape (contravariance), and forwards to the original port. When
+    // the original port is remote, the forwarded message would be encoded
+    // for the wire anyway, so run the fused convert+marshal program and
+    // hand the bytes straight to the reliability layer — the src-shaped
+    // Value is never materialized.
+    bool remote = !node.is_local(src_port);
+    ProxyPrograms::Entry& entry = cache->by_portmap[portmap_ref];
+    if (remote && !entry.marshal) {
+      entry.marshal = std::make_shared<const planir::Program>(
+          planir::compile_marshal(plans, msg_plan, src_graph, src_msg));
+    }
+    if (!remote && !entry.convert) {
+      entry.convert = std::make_shared<const planir::Program>(
+          planir::compile(plans, msg_plan));
+    }
+    std::shared_ptr<const planir::Program> prog =
+        remote ? entry.marshal : entry.convert;
+
     // Conversions of those messages may themselves contain ports, so the
-    // proxy's converter carries this same adapter recursively.
-    return node.open_port(&dst_graph, dst_msg, [&node, &plans, &left, &right,
-                                                src_port, src_msg, &src_graph,
-                                                msg_plan](const Value& v) {
-      runtime::Converter conv(plans, make_port_adapter(node, plans, left, right));
-      Value converted = conv.apply(msg_plan, v);
-      node.send(src_port, src_graph, src_msg, converted);
-    });
+    // proxy's VM carries this same adapter recursively (sharing the
+    // program cache).
+    return node.open_port(
+        &dst_graph, dst_msg,
+        [&node, &plans, &left, &right, cache, src_port, src_msg, &src_graph,
+         prog = std::move(prog), remote](const Value& v) {
+          runtime::PlanVm vm(*prog,
+                             adapter_with_cache(node, plans, left, right, cache));
+          if (remote) {
+            node.send_marshaled(src_port, vm.marshal(v));
+          } else {
+            node.send(src_port, src_graph, src_msg, vm.apply(v));
+          }
+        });
   };
+}
+
+}  // namespace
+
+runtime::PortAdapter make_port_adapter(Node& node, const plan::PlanGraph& plans,
+                                       const Graph& left, const Graph& right) {
+  return adapter_with_cache(node, plans, left, right,
+                            std::make_shared<ProxyPrograms>());
 }
 
 }  // namespace mbird::rpc

@@ -93,9 +93,22 @@ class Node {
   /// Connect a link toward a peer node.
   void connect(uint16_t peer, std::shared_ptr<transport::Link> link);
 
+  /// True when `port` lives on this node (messages to it short-circuit the
+  /// wire; the fused marshal path is only worth taking when this is false).
+  [[nodiscard]] bool is_local(uint64_t port) const {
+    return node_of(port) == id_;
+  }
+
   /// Send `v` (shaped like msg_type in g) to a port, local or remote.
   void send(uint64_t dest_port, const mtype::Graph& g, mtype::Ref msg_type,
             const Value& v);
+
+  /// Send pre-encoded wire bytes (e.g. from PlanVm::marshal) to a port.
+  /// Remote destinations frame the payload directly — no intermediate Value
+  /// is ever built. Local destinations decode against the port's registered
+  /// type and queue the Value (an unknown local port counts an
+  /// unknown_port_drop immediately).
+  void send_marshaled(uint64_t dest_port, std::vector<uint8_t> payload);
 
   /// Deliver pending local messages, drain link frames, retransmit unacked
   /// frames whose backoff expired, and emit acks. Advances the logical
@@ -147,6 +160,9 @@ class Node {
   };
 
   void dispatch(uint64_t port_id, const Value& v);
+  /// Frame `payload` as DATA toward a remote port and hand it to the
+  /// reliability machinery (shared tail of send / send_marshaled).
+  void send_frame(uint64_t dest_port, std::vector<uint8_t> payload);
   void transmit(PeerState& ps, PeerState::Pending& p);
   void apply_cum_ack(PeerState& ps, uint64_t cum_ack);
   /// Dedup + window bookkeeping for an arriving DATA seq. Returns false if
@@ -218,10 +234,14 @@ struct CallOptions {
                                 const std::vector<Node*>& nodes,
                                 const CallOptions& options = {});
 
-/// A PortAdapter for runtime::Converter that realizes PortMap ops as
+/// A PortAdapter for runtime::Converter/PlanVm that realizes PortMap ops as
 /// converting proxy ports on `node`. `left`/`right` are the two graphs the
 /// plan's port_*_in_left flags refer to (the comparison's first and second
-/// graphs). The adapter owns nothing; all referenced objects must outlive
+/// graphs). Message plans are lowered to PlanIR once per PortMap node and
+/// cached for the adapter's lifetime; proxies forwarding to a remote port
+/// use the fused convert+marshal program, so dst-shaped messages become
+/// src-shaped wire bytes without materializing the converted Value. The
+/// adapter owns only its program cache; all referenced objects must outlive
 /// the converted values.
 [[nodiscard]] runtime::PortAdapter make_port_adapter(
     Node& node, const plan::PlanGraph& plans, const mtype::Graph& left,

@@ -33,24 +33,28 @@ Value Converter::eval_record(const PlanNode& node, const Value& in,
                              int depth) const {
   // Build the target record by walking the destination skeleton; each leaf
   // fetches its source sub-value by path and converts it.
-  std::function<Value(const RecShape&)> build = [&](const RecShape& s) -> Value {
-    switch (s.kind) {
-      case RecShape::Kind::Unit: return Value::unit();
-      case RecShape::Kind::Leaf: {
-        const auto& move = node.fields.at(s.leaf_index);
-        const Value& src = follow(in, move.src_path);
-        return eval(move.op, src, depth + 1);
-      }
-      case RecShape::Kind::Record: {
-        std::vector<Value> kids;
-        kids.reserve(s.kids.size());
-        for (const auto& k : s.kids) kids.push_back(build(k));
-        return Value::record(std::move(kids));
-      }
+  return build_shape(node.dst_shape, node, in, depth);
+}
+
+Value Converter::build_shape(const RecShape& s, const PlanNode& node,
+                             const Value& in, int depth) const {
+  switch (s.kind) {
+    case RecShape::Kind::Unit: return Value::unit();
+    case RecShape::Kind::Leaf: {
+      const auto& move = node.fields.at(s.leaf_index);
+      const Value& src = follow(in, move.src_path);
+      return eval(move.op, src, depth + 1);
     }
-    return Value::unit();
-  };
-  return build(node.dst_shape);
+    case RecShape::Kind::Record: {
+      std::vector<Value> kids;
+      kids.reserve(s.kids.size());
+      for (const auto& k : s.kids) {
+        kids.push_back(build_shape(k, node, in, depth));
+      }
+      return Value::record(std::move(kids));
+    }
+  }
+  return Value::unit();
 }
 
 Value Converter::eval_choice(const PlanNode& node, const Value& in,

@@ -7,8 +7,9 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 #include "plan/plan.hpp"
 #include "runtime/value.hpp"
@@ -25,11 +26,21 @@ namespace mbird::runtime {
 using PortAdapter =
     std::function<uint64_t(uint64_t src_port, plan::PlanRef portmap_node)>;
 
+/// Transparent string hashing so Custom dispatch can look converters up by
+/// string_view / const char* without materializing a std::string key.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Hand-written conversions, by name, invoked by Custom plan ops
 /// (paper §6: composing programmer-supplied semantic conversions with the
 /// automated structural ones).
 using CustomRegistry =
-    std::map<std::string, std::function<Value(const Value&)>>;
+    std::unordered_map<std::string, std::function<Value(const Value&)>,
+                       StringHash, std::equal_to<>>;
 
 class Converter {
  public:
@@ -45,6 +56,8 @@ class Converter {
  private:
   Value eval(plan::PlanRef ref, const Value& in, int depth) const;
   Value eval_record(const plan::PlanNode& node, const Value& in, int depth) const;
+  Value build_shape(const plan::RecShape& s, const plan::PlanNode& node,
+                    const Value& in, int depth) const;
   Value eval_choice(const plan::PlanNode& node, const Value& in, int depth) const;
 
   const plan::PlanGraph& plan_;

@@ -1,0 +1,410 @@
+#include "runtime/vm.hpp"
+
+#include <cstring>
+#include <deque>
+#include <iterator>
+
+#include "support/error.hpp"
+#include "wire/wire.hpp"
+
+namespace mbird::runtime {
+
+using planir::IrError;
+using planir::IrFault;
+using planir::OpCode;
+using planir::Program;
+
+namespace {
+
+/// Identical to the tree interpreter's path walk (same error text — the
+/// differential suite compares messages verbatim).
+const Value& follow(const Value& v, const uint32_t* path, uint32_t len) {
+  const Value* cur = &v;
+  for (uint32_t k = 0; k < len; ++k) {
+    if (cur->kind() != Value::Kind::Record) {
+      throw ConversionError("plan path descends into a non-record value: " +
+                            cur->to_string());
+    }
+    cur = &cur->at(path[k]);
+  }
+  return *cur;
+}
+
+/// Trie walk over the source arm labels. Mirrors Converter::eval_choice:
+/// match the shortest arm prefix, re-encode List values as nil/cons chains
+/// on the way, and on a dead end keep unwrapping the value (no arm can
+/// match anymore) until a non-choice proves the mismatch — so the error
+/// fires on exactly the same inputs with exactly the same message.
+/// Returns the global arm index; `*payload` is where the arm's op reads.
+uint32_t dispatch_choice(const Program& prog, const Program::ChoiceTab& ct,
+                         const Value& in, const Value** payload,
+                         std::deque<Value>& chains) {
+  const Value* cur = &in;
+  const Program::TrieNode* node = &prog.trie[ct.trie_root];
+  for (;;) {
+    if (node && node->terminal >= 0) {
+      *payload = cur;
+      return ct.arms_off + static_cast<uint32_t>(node->terminal);
+    }
+    if (cur->kind() == Value::Kind::List) {
+      // nil = arm 0, cons = arm 1 in the canonical list encoding.
+      chains.push_back(Value::chain_from_list(cur->children(), 0, 1));
+      cur = &chains.back();
+      continue;
+    }
+    if (cur->kind() != Value::Kind::Choice) {
+      throw ConversionError("no plan arm for value " + in.to_string());
+    }
+    if (node) {
+      uint32_t label = cur->arm();
+      const Program::TrieNode& tn = *node;
+      node = nullptr;
+      if (label < tn.kids_len) {
+        int32_t kid = prog.trie_kids[tn.kids_off + label];
+        if (kid >= 0) node = &prog.trie[static_cast<uint32_t>(kid)];
+      }
+    }
+    cur = &cur->inner();
+  }
+}
+
+/// Resolve a MapList/EmitList input to its element vector without copying
+/// when it's already a List; chains are materialized into `lists` (a deque,
+/// so earlier element pointers stay valid).
+const std::vector<Value>& list_elems(const Value& v,
+                                     std::deque<std::vector<Value>>& lists) {
+  if (v.kind() == Value::Kind::List) return v.children();
+  auto lst = v.as_list();
+  if (!lst) {
+    throw ConversionError("expected a list-shaped value, got " + v.to_string());
+  }
+  lists.push_back(std::move(*lst));
+  return lists.back();
+}
+
+const std::function<Value(const Value&)>& find_custom(
+    const CustomRegistry& customs, const std::string& name) {
+  auto it = customs.find(name);
+  if (it == customs.end()) {
+    throw ConversionError("no hand-written converter registered for '" + name +
+                          "'");
+  }
+  return it->second;
+}
+
+// All input pointers reference the caller's value tree or the scratch
+// deques — never the result stack — so growing `vals` cannot invalidate
+// pending work.
+Value run_convert(const Program& prog, uint32_t entry, const Value& in,
+                  const PortAdapter& adapter, const CustomRegistry& customs) {
+  struct Work {
+    enum class K : uint8_t { Eval, EvalField, FinishRecord, WrapChoice, FinishList };
+    K k;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    const Value* in = nullptr;
+  };
+  std::vector<Work> work;
+  std::vector<Value> vals;
+  std::vector<Value> rpn;
+  std::deque<Value> chains;
+  std::deque<std::vector<Value>> lists;
+  work.push_back({Work::K::Eval, entry, 0, &in});
+  while (!work.empty()) {
+    Work w = work.back();
+    work.pop_back();
+    switch (w.k) {
+      case Work::K::Eval: {
+        const planir::Instr& ins = prog.code[w.a];
+        const Value& v = *w.in;
+        switch (ins.op) {
+          case OpCode::MakeUnit: vals.push_back(Value::unit()); break;
+          case OpCode::CopyInt: {
+            Int128 x = v.as_int();
+            if (x < ins.lo || x > ins.hi) {
+              throw ConversionError("integer " + to_string(x) +
+                                    " outside target range [" +
+                                    to_string(ins.lo) + ".." +
+                                    to_string(ins.hi) + "]");
+            }
+            vals.push_back(v);
+            break;
+          }
+          case OpCode::CopyReal: vals.push_back(Value::real(v.as_real())); break;
+          case OpCode::CopyChar:
+            vals.push_back(Value::character(v.as_char()));
+            break;
+          case OpCode::CopyPort: {
+            uint64_t id = v.as_port();
+            if (adapter) id = adapter(id, ins.a);
+            vals.push_back(Value::port(id));
+            break;
+          }
+          case OpCode::BuildRecord: {
+            const Program::RecordTab& rt = prog.records[ins.a];
+            work.push_back(
+                {Work::K::FinishRecord, ins.a,
+                 static_cast<uint32_t>(vals.size()), nullptr});
+            for (uint32_t k = rt.fields_len; k-- > 0;) {
+              work.push_back({Work::K::EvalField, rt.fields_off + k, 0, w.in});
+            }
+            break;
+          }
+          case OpCode::MatchChoice: {
+            const Value* payload = nullptr;
+            uint32_t arm =
+                dispatch_choice(prog, prog.choices[ins.a], v, &payload, chains);
+            work.push_back({Work::K::WrapChoice, arm, 0, nullptr});
+            work.push_back({Work::K::Eval, prog.arms[arm].op, 0, payload});
+            break;
+          }
+          case OpCode::MapList: {
+            const std::vector<Value>& elems = list_elems(v, lists);
+            work.push_back({Work::K::FinishList,
+                            static_cast<uint32_t>(elems.size()),
+                            static_cast<uint32_t>(vals.size()), nullptr});
+            for (size_t k = elems.size(); k-- > 0;) {
+              work.push_back({Work::K::Eval, ins.a, 0, &elems[k]});
+            }
+            break;
+          }
+          case OpCode::ExtractField:
+            work.push_back({Work::K::EvalField, ins.a, 0, w.in});
+            break;
+          case OpCode::CallCustom:
+            vals.push_back(find_custom(customs, prog.custom_names[ins.a])(v));
+            break;
+          default:
+            throw IrError(IrFault::BadOpcode,
+                          std::string("convert VM hit ") + to_string(ins.op));
+        }
+        break;
+      }
+      case Work::K::EvalField: {
+        const Program::Field& f = prog.fields[w.a];
+        const Value& src =
+            follow(*w.in, prog.path_pool.data() + f.src_off, f.src_len);
+        work.push_back({Work::K::Eval, f.op, 0, &src});
+        break;
+      }
+      case Work::K::FinishRecord: {
+        // Reassemble the skeleton from the field results at vals[b..]:
+        // leaf k is field k (verified invariant), so postfix evaluation
+        // moves each result exactly once.
+        const Program::RecordTab& rt = prog.records[w.a];
+        if (rt.shape_len == rt.fields_len + 1 &&
+            prog.shape_pool[rt.shape_off + rt.fields_len].kind ==
+                Program::ShapeTok::K::Rec) {
+          // Flat skeleton (every leaf in order under one record): build the
+          // result straight from the field results, no postfix stack.
+          std::vector<Value> kids;
+          kids.reserve(rt.fields_len);
+          kids.insert(kids.end(),
+                      std::make_move_iterator(vals.begin() +
+                                              static_cast<long>(w.b)),
+                      std::make_move_iterator(vals.end()));
+          vals.resize(w.b);
+          vals.push_back(Value::record(std::move(kids)));
+          break;
+        }
+        for (uint32_t k = 0; k < rt.shape_len; ++k) {
+          const Program::ShapeTok& tok = prog.shape_pool[rt.shape_off + k];
+          switch (tok.kind) {
+            case Program::ShapeTok::K::Leaf:
+              rpn.push_back(std::move(vals[w.b + tok.arg]));
+              break;
+            case Program::ShapeTok::K::Unit:
+              rpn.push_back(Value::unit());
+              break;
+            case Program::ShapeTok::K::Rec: {
+              std::vector<Value> kids;
+              kids.reserve(tok.arg);
+              kids.insert(kids.end(),
+                          std::make_move_iterator(rpn.end() - tok.arg),
+                          std::make_move_iterator(rpn.end()));
+              rpn.resize(rpn.size() - tok.arg);
+              rpn.push_back(Value::record(std::move(kids)));
+              break;
+            }
+          }
+        }
+        vals.resize(w.b);
+        vals.push_back(std::move(rpn.back()));
+        rpn.clear();
+        break;
+      }
+      case Work::K::WrapChoice: {
+        // Wrap in the nested target choice structure, innermost-out.
+        const Program::Arm& arm = prog.arms[w.a];
+        Value v = std::move(vals.back());
+        for (uint32_t k = arm.dst_len; k-- > 0;) {
+          v = Value::choice(prog.path_pool[arm.dst_off + k], std::move(v));
+        }
+        vals.back() = std::move(v);
+        break;
+      }
+      case Work::K::FinishList: {
+        std::vector<Value> out;
+        out.reserve(w.a);
+        out.insert(out.end(), std::make_move_iterator(vals.begin() + w.b),
+                   std::make_move_iterator(vals.end()));
+        vals.resize(w.b);
+        vals.push_back(Value::list(std::move(out)));
+        break;
+      }
+    }
+  }
+  return std::move(vals.back());
+}
+
+void big(std::vector<uint8_t>& out, unsigned __int128 v, unsigned bytes) {
+  for (unsigned i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> ((bytes - 1 - i) * 8)));
+  }
+}
+
+void run_marshal(const Program& prog, const Value& in,
+                 const PortAdapter& adapter, const CustomRegistry& customs,
+                 std::vector<uint8_t>& out) {
+  struct Work {
+    enum class K : uint8_t { Emit, EmitField };
+    K k;
+    uint32_t a = 0;
+    const Value* in = nullptr;
+  };
+  std::vector<Work> work{{Work::K::Emit, prog.entry, &in}};
+  std::deque<Value> chains;
+  std::deque<std::vector<Value>> lists;
+  while (!work.empty()) {
+    Work w = work.back();
+    work.pop_back();
+    if (w.k == Work::K::EmitField) {
+      const Program::Field& f = prog.fields[w.a];
+      const Value& src =
+          follow(*w.in, prog.path_pool.data() + f.src_off, f.src_len);
+      work.push_back({Work::K::Emit, f.op, &src});
+      continue;
+    }
+    const planir::Instr& ins = prog.code[w.a];
+    const Value& v = *w.in;
+    switch (ins.op) {
+      case OpCode::EmitNothing: break;
+      case OpCode::EmitInt: {
+        // Plan range first (the conversion's check), then the wire range of
+        // the destination Mtype — same order, same errors as the unfused
+        // convert-then-encode pipeline.
+        Int128 x = v.as_int();
+        if (x < ins.lo || x > ins.hi) {
+          throw ConversionError("integer " + to_string(x) +
+                                " outside target range [" + to_string(ins.lo) +
+                                ".." + to_string(ins.hi) + "]");
+        }
+        const mtype::Node& dn = prog.dst_graph->at(prog.dst_types[ins.b]);
+        if (x < dn.lo || x > dn.hi) {
+          throw WireError("integer outside wire range: " + to_string(x));
+        }
+        big(out, static_cast<unsigned __int128>(x - dn.lo), ins.a);
+        break;
+      }
+      case OpCode::EmitReal32: {
+        float f = static_cast<float>(v.as_real());
+        uint32_t bits;
+        std::memcpy(&bits, &f, 4);
+        big(out, bits, 4);
+        break;
+      }
+      case OpCode::EmitReal64: {
+        double d = v.as_real();
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        big(out, bits, 8);
+        break;
+      }
+      case OpCode::EmitChar1: {
+        uint32_t cp = v.as_char();
+        if (cp > 0xff) throw WireError("code point exceeds repertoire");
+        out.push_back(static_cast<uint8_t>(cp));
+        break;
+      }
+      case OpCode::EmitChar4: big(out, v.as_char(), 4); break;
+      case OpCode::EmitPort: {
+        uint64_t id = v.as_port();
+        if (adapter) id = adapter(id, ins.a);
+        big(out, id, 8);
+        break;
+      }
+      case OpCode::EmitRecord: {
+        const Program::RecordTab& rt = prog.records[ins.a];
+        for (uint32_t k = rt.fields_len; k-- > 0;) {
+          work.push_back({Work::K::EmitField, rt.fields_off + k, w.in});
+        }
+        break;
+      }
+      case OpCode::EmitChoice: {
+        const Value* payload = nullptr;
+        uint32_t arm_idx =
+            dispatch_choice(prog, prog.choices[ins.a], v, &payload, chains);
+        const Program::Arm& arm = prog.arms[arm_idx];
+        out.insert(out.end(), prog.byte_pool.begin() + arm.prefix_off,
+                   prog.byte_pool.begin() + arm.prefix_off + arm.prefix_len);
+        work.push_back({Work::K::Emit, arm.op, payload});
+        break;
+      }
+      case OpCode::EmitList: {
+        const std::vector<Value>& elems = list_elems(v, lists);
+        big(out, elems.size(), 4);
+        for (size_t k = elems.size(); k-- > 0;) {
+          work.push_back({Work::K::Emit, ins.a, &elems[k]});
+        }
+        break;
+      }
+      case OpCode::EmitExtract:
+        work.push_back({Work::K::EmitField, ins.a, w.in});
+        break;
+      case OpCode::EmitCustom: {
+        Value conv = find_custom(customs, prog.custom_names[ins.a])(v);
+        auto bytes = wire::encode(*prog.dst_graph, prog.dst_types[ins.b], conv);
+        out.insert(out.end(), bytes.begin(), bytes.end());
+        break;
+      }
+      case OpCode::EmitOpaque: {
+        // The oracle fallback: convert this subtree with the embedded
+        // convert program, then let wire::encode produce the bytes.
+        Value conv = run_convert(*prog.fallback, ins.a, v, adapter, customs);
+        auto bytes = wire::encode(*prog.dst_graph, prog.dst_types[ins.b], conv);
+        out.insert(out.end(), bytes.begin(), bytes.end());
+        break;
+      }
+      default:
+        throw IrError(IrFault::BadOpcode,
+                      std::string("marshal VM hit ") + to_string(ins.op));
+    }
+  }
+}
+
+}  // namespace
+
+PlanVm::PlanVm(const planir::Program& prog, PortAdapter port_adapter,
+               CustomRegistry custom)
+    : prog_(prog), port_adapter_(std::move(port_adapter)),
+      custom_(std::move(custom)) {
+  planir::require_valid(prog_);
+}
+
+Value PlanVm::apply(const Value& in) const {
+  if (prog_.mode != Program::Mode::Convert) {
+    throw IrError(IrFault::ModeMismatch, "apply() needs a convert program");
+  }
+  return run_convert(prog_, prog_.entry, in, port_adapter_, custom_);
+}
+
+std::vector<uint8_t> PlanVm::marshal(const Value& in) const {
+  if (prog_.mode != Program::Mode::Marshal) {
+    throw IrError(IrFault::ModeMismatch, "marshal() needs a marshal program");
+  }
+  std::vector<uint8_t> out;
+  run_marshal(prog_, in, port_adapter_, custom_, out);
+  return out;
+}
+
+}  // namespace mbird::runtime

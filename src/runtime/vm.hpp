@@ -1,0 +1,48 @@
+// The PlanIR virtual machine: the non-recursive replacement for the
+// tree-walking Converter on the hot path.
+//
+// A PlanVm executes a verified planir::Program with an explicit work stack
+// (no native recursion, so conversion depth is bounded by memory, not the
+// C++ stack). Convert-mode programs reproduce runtime::Converter exactly —
+// same values, same typed errors — which the differential property suite
+// (tests/property/differential_test.cpp) holds it to. Marshal-mode programs
+// fuse conversion with wire encoding: marshal(v) returns the bytes
+// wire::encode would produce for the converted value, without
+// materializing that value.
+//
+// Construction verifies the program (planir::require_valid) and throws
+// planir::IrError on malformed IR; execution never interprets unverified
+// bytecode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "planir/planir.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/value.hpp"
+
+namespace mbird::runtime {
+
+class PlanVm {
+ public:
+  explicit PlanVm(const planir::Program& prog, PortAdapter port_adapter = {},
+                  CustomRegistry custom = {});
+
+  /// Convert-mode execution. Throws ConversionError exactly like
+  /// Converter::apply; throws planir::IrError if the program is
+  /// marshal-mode.
+  [[nodiscard]] Value apply(const Value& in) const;
+
+  /// Marshal-mode execution: wire bytes for the converted value. Throws
+  /// ConversionError/WireError as the unfused convert-then-encode pipeline
+  /// would; throws planir::IrError if the program is convert-mode.
+  [[nodiscard]] std::vector<uint8_t> marshal(const Value& in) const;
+
+ private:
+  const planir::Program& prog_;
+  PortAdapter port_adapter_;
+  CustomRegistry custom_;
+};
+
+}  // namespace mbird::runtime

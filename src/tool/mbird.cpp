@@ -13,6 +13,7 @@
 #include "javaclass/classfile.hpp"
 #include "javasrc/javaparser.hpp"
 #include "lower/lower.hpp"
+#include "planir/planir.hpp"
 #include "project/project.hpp"
 #include "support/strings.hpp"
 
@@ -95,7 +96,9 @@ bool load_source(Session& s, Lang lang, const std::string& path,
 int usage(std::ostream& err) {
   err << "usage: mbird [--c|--java|--idl|--classfile|--project <file>]...\n"
          "             [--script <file>] [--annotate '<stmts>']\n"
-         "             <list|show|mtype|diagram|compare|plan|gen|save> ...\n";
+         "             <list|show|mtype|diagram|compare|plan|gen|save> ...\n"
+         "  plan <a> <b> [--emit-ir]   print the coercion plan (or its\n"
+         "                             compiled PlanIR bytecode listing)\n";
   return 2;
 }
 
@@ -265,7 +268,20 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return 1;
     }
     if (cmd == "plan") {
-      out << plan::print(full.to_right.plan, full.to_right.root);
+      // `plan A B --emit-ir` dumps the flat PlanIR the runtime VM and the
+      // stub generator actually execute, instead of the plan tree.
+      bool emit_ir = false;
+      for (; i < args.size(); ++i) {
+        if (args[i] == "--emit-ir") emit_ir = true;
+      }
+      if (emit_ir) {
+        planir::Program prog =
+            planir::compile(full.to_right.plan, full.to_right.root);
+        planir::require_valid(prog);
+        out << planir::disassemble(prog);
+      } else {
+        out << plan::print(full.to_right.plan, full.to_right.root);
+      }
       return 0;
     }
 
