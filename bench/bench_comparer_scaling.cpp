@@ -6,15 +6,27 @@
 // memoization; the ablation column (commutativity off) stays close because
 // the mirrored declarations match in order, while pruning off explodes the
 // candidate sets (see bench_isomorphism for that axis).
+// The cross-pair cache rows (CrossCold/CrossWarm) quantify the CrossCache:
+// cold pays full comparison cost while filling the cache, warm resolves
+// every pair from the top-level memo. BatchDriver rows run the actual
+// `mbird batch` per-pair step (tool::compile_pair: two-way verdict +
+// PlanIR compile) through the ThreadPool at 1/2/4/8 workers sharing one
+// cache — cold rebuilds the cache per iteration, Warm keeps it, so Warm
+// rows measure the driver's memo fast path.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <optional>
 #include <sstream>
 
 #include "annotate/script.hpp"
 #include "cfront/cparser.hpp"
 #include "compare/compare.hpp"
+#include "compare/crosscache.hpp"
 #include "javasrc/javaparser.hpp"
 #include "lower/lower.hpp"
+#include "support/threadpool.hpp"
+#include "tool/batch.hpp"
 
 namespace {
 
@@ -87,6 +99,185 @@ void run_trial(benchmark::State& state, const compare::Options& opts) {
   state.counters["steps"] = static_cast<double>(steps);
   state.SetItemsProcessed(state.iterations() * n);
 }
+
+// Lowered pair set prepared once, so the cache rows time only comparisons.
+struct Workload {
+  mtype::Graph gc, gj;
+  std::vector<mtype::Ref> rcs, rjs;
+  bool ok = false;
+
+  explicit Workload(int n) {
+    DiagnosticEngine diags;
+    stype::Module cm = cfront::parse_c(synthesize(n, false), "e.hpp", diags);
+    stype::Module jm = javasrc::parse_java(synthesize(n, true), "E.java", diags);
+    const char* script =
+        "annotate \"Node*.prev\" notnull;\nannotate \"Node*.owner\" notnull;\n";
+    annotate::run_script(script, "b.mba", cm, diags);
+    annotate::run_script(script, "b.mba", jm, diags);
+    if (diags.has_errors()) return;
+    lower::LowerEngine ce(cm, gc, diags), je(jm, gj, diags);
+    for (int k = 0; k < n; ++k) {
+      std::string name = "Node" + std::to_string(k);
+      rcs.push_back(ce.lower_decl(name));
+      rjs.push_back(je.lower_decl(name));
+    }
+    ok = !diags.has_errors();
+  }
+};
+
+// One independent Session per pair — the per-Session memo never helps a
+// later pair, so any sharing comes from the CrossCache alone. `warm`
+// pre-fills the cache outside the timing loop.
+void run_cross_trial(benchmark::State& state, bool warm) {
+  int n = static_cast<int>(state.range(0));
+  Workload w(n);
+  if (!w.ok) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  compare::HashCache hc(w.gc), hj(w.gj);
+  std::optional<compare::CrossCache> cross;
+  cross.emplace();
+  compare::Options o;
+  o.left_hashes = hc.get();
+  o.right_hashes = hj.get();
+  auto run_all = [&] {
+    o.cross = &*cross;
+    size_t steps = 0;
+    for (size_t k = 0; k < w.rcs.size(); ++k) {
+      auto res = compare::compare(w.gc, w.rcs[k], w.gj, w.rjs[k], o);
+      steps += res.steps;
+      if (!res.ok) return size_t(0);
+    }
+    return steps;
+  };
+  if (warm && run_all() == 0) {
+    state.SkipWithError("unexpected mismatch during warmup");
+    return;
+  }
+  size_t steps = 0;
+  for (auto _ : state) {
+    if (!warm) cross.emplace();  // cold: refill every time
+    steps = run_all();
+    if (steps == 0 && n > 0) {
+      state.SkipWithError("unexpected mismatch");
+      return;
+    }
+  }
+  state.counters["classes"] = n;
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+// Baseline for the cache rows: the same independent-session workload with
+// no cache at all. Each pair re-proves (and re-emits the plan for) its
+// whole transitive closure.
+void BM_CompareClassesSoloPairs(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Workload w(n);
+  if (!w.ok) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  compare::HashCache hc(w.gc), hj(w.gj);
+  compare::Options o;
+  o.left_hashes = hc.get();
+  o.right_hashes = hj.get();
+  size_t steps = 0;
+  for (auto _ : state) {
+    steps = 0;
+    for (size_t k = 0; k < w.rcs.size(); ++k) {
+      auto res = compare::compare(w.gc, w.rcs[k], w.gj, w.rjs[k], o);
+      steps += res.steps;
+      if (!res.ok) {
+        state.SkipWithError("unexpected mismatch");
+        return;
+      }
+    }
+  }
+  state.counters["classes"] = n;
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CompareClassesSoloPairs)->Arg(12)->Arg(100);
+
+void BM_CompareClassesCrossCold(benchmark::State& state) {
+  run_cross_trial(state, false);
+}
+BENCHMARK(BM_CompareClassesCrossCold)->Arg(12)->Arg(100)->Arg(500);
+
+void BM_CompareClassesCrossWarm(benchmark::State& state) {
+  run_cross_trial(state, true);
+}
+BENCHMARK(BM_CompareClassesCrossWarm)->Arg(12)->Arg(100)->Arg(500);
+
+// The batch driver's parallel phase, running the exact per-pair step the
+// `mbird batch` workers run (tool::compile_pair: verdict + PlanIR compile
+// against the shared CrossCache). `warm` keeps one cache across
+// iterations, pre-filled outside the timing loop, so every pair resolves
+// through the memo fast path; cold rebuilds the cache each iteration.
+// Arg is the worker count; the host's core count bounds real speedup.
+void run_batch_driver_trial(benchmark::State& state, bool warm) {
+  const int n = 100;
+  size_t jobs = static_cast<size_t>(state.range(0));
+  Workload w(n);
+  if (!w.ok) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  compare::HashCache hc(w.gc), hj(w.gj);
+  std::optional<compare::CrossCache> cross;
+  cross.emplace();
+  auto run_all = [&](size_t pool_jobs) {
+    compare::Options o;
+    o.left_hashes = hc.get();
+    o.right_hashes = hj.get();
+    o.cross = &*cross;
+    auto sid_c = cross->strict_ids(w.gc);
+    auto sid_j = cross->strict_ids(w.gj);
+    std::atomic<size_t> failures{0};
+    {
+      ThreadPool pool(pool_jobs);
+      for (size_t k = 0; k < w.rcs.size(); ++k) {
+        pool.submit([&, k] {
+          auto out = tool::compile_pair(w.gc, w.rcs[k], w.gj, w.rjs[k], o,
+                                        (*sid_c)[w.rcs[k]], (*sid_j)[w.rjs[k]]);
+          if (out.verdict != compare::Verdict::Equivalent) {
+            failures.fetch_add(1);
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    return failures.load() == 0;
+  };
+  if (warm && !run_all(1)) {
+    state.SkipWithError("unexpected mismatch during warmup");
+    return;
+  }
+  for (auto _ : state) {
+    if (!warm) cross.emplace();  // cold: refill every time
+    if (!run_all(jobs)) {
+      state.SkipWithError("unexpected mismatch");
+      return;
+    }
+  }
+  state.counters["classes"] = n;
+  state.counters["jobs"] = static_cast<double>(jobs);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_BatchDriverThreads(benchmark::State& state) {
+  run_batch_driver_trial(state, false);
+}
+BENCHMARK(BM_BatchDriverThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BatchDriverWarm(benchmark::State& state) {
+  run_batch_driver_trial(state, true);
+}
+BENCHMARK(BM_BatchDriverWarm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_CompareClasses(benchmark::State& state) {
   run_trial(state, compare::Options{});

@@ -1,16 +1,30 @@
 #!/usr/bin/env sh
-# Regenerates the committed PlanIR benchmark baseline.
+# Regenerates the committed benchmark baselines.
 #
 #   bench/run_benches.sh [build-dir]
 #
-# Builds bench_fitter_conversion (Release unless the build dir already
-# exists with another config) and runs the PlanIR-relevant benchmarks with
-# google-benchmark's JSON reporter, writing bench/BENCH_planir.json.
-# The baseline documents the two acceptance ratios:
+# Builds the benchmark binaries (Release unless the build dir already
+# exists with another config) and runs them with google-benchmark's JSON
+# reporter.
+#
+# bench/BENCH_planir.json documents the two PlanIR acceptance ratios:
 #   * BM_PlanIRChoiceHeavy >= 2x BM_TreeChoiceHeavy (record/choice-heavy
 #     conversion, bytecode VM vs. tree interpreter), and
 #   * BM_FusedConvertMarshal beating BM_ConvertThenMarshal (fused
 #     convert-to-wire vs. two-phase convert + encode).
+#
+# bench/BENCH_compare.json documents the cross-pair cache:
+#   * BM_CompareClassesSoloPairs is the no-cache baseline;
+#   * BM_CompareClassesCrossWarm beats both SoloPairs and CrossCold (a
+#     warm CrossCache resolves every pair from the top-level memo, but
+#     still pays plan materialization, so the gap is ~2x, not 10x);
+#   * BM_BatchDriverWarm >= 3x BM_BatchDriverThreads — the acceptance
+#     ratio. The driver's memo fast path (tool::compile_pair) answers
+#     verdict + compiled program from the cache without running the
+#     comparer at all, so warm batch runs are orders of magnitude faster
+#     than cold;
+#   * BM_BatchDriverThreads/Warm at 1/2/4/8 workers (speedup is bounded by
+#     the host's core count — single-core CI runners show none).
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,7 +33,7 @@ build="${1:-$repo/build}"
 if [ ! -f "$build/CMakeCache.txt" ]; then
   cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$build" -j --target bench_fitter_conversion
+cmake --build "$build" -j --target bench_fitter_conversion bench_comparer_scaling
 
 "$build/bench/bench_fitter_conversion" \
   --benchmark_filter='MockingbirdStub|PlanIRStub|ChoiceHeavy|ConvertThenMarshal|FusedConvertMarshal' \
@@ -30,3 +44,13 @@ cmake --build "$build" -j --target bench_fitter_conversion
   --benchmark_out_format=json
 
 echo "wrote $repo/bench/BENCH_planir.json"
+
+"$build/bench/bench_comparer_scaling" \
+  --benchmark_filter='SoloPairs/100|CrossCold/100|CrossWarm/100|BatchDriver' \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=1 \
+  --benchmark_format=json \
+  --benchmark_out="$repo/bench/BENCH_compare.json" \
+  --benchmark_out_format=json
+
+echo "wrote $repo/bench/BENCH_compare.json"

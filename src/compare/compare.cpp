@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <tuple>
+
+#include "compare/crosscache.hpp"
 
 namespace mbird::compare {
 
+using mtype::CanonId;
 using mtype::FlatChild;
 using mtype::Graph;
 using mtype::MKind;
@@ -41,17 +45,32 @@ class Cmp {
   Cmp(const Graph& ga, const Graph& gb, const Options& opts)
       : ga_(ga), gb_(gb), opts_(opts) {
     if (opts_.use_hash_prune && opts_.mode == Mode::Equivalence) {
-      if (opts_.left_hashes != nullptr && opts_.left_hashes->size() == ga.size()) {
-        hash_a_ = *opts_.left_hashes;
+      // Borrow caller-provided hashes when they plausibly belong to these
+      // graphs (full coverage); undersized / oversized vectors are ignored
+      // and recomputed locally rather than read out of bounds.
+      if (opts_.left_hashes != nullptr &&
+          opts_.left_hashes->size() == ga.size()) {
+        hash_a_ = opts_.left_hashes;
       } else {
-        hash_a_ = mtype::structure_hashes(ga_, opts_.unit_elimination);
+        owned_hash_a_ = mtype::structure_hashes(ga_, opts_.unit_elimination);
+        hash_a_ = &owned_hash_a_;
       }
       if (opts_.right_hashes != nullptr &&
           opts_.right_hashes->size() == gb.size()) {
-        hash_b_ = *opts_.right_hashes;
+        hash_b_ = opts_.right_hashes;
       } else {
-        hash_b_ = mtype::structure_hashes(gb_, opts_.unit_elimination);
+        owned_hash_b_ = mtype::structure_hashes(gb_, opts_.unit_elimination);
+        hash_b_ = &owned_hash_b_;
       }
+    }
+    if (opts_.cross != nullptr) {
+      sid_a_ = opts_.cross->strict_ids(ga_);
+      sid_b_ = opts_.cross->strict_ids(gb_);
+      iso_a_ = opts_.cross->iso_ids(ga_, opts_);
+      iso_b_ = opts_.cross->iso_ids(gb_, opts_);
+      fp_ = CrossCache::fingerprint(opts_);
+      ver_a_ = ga_.version();
+      ver_b_ = gb_.version();
     }
   }
 
@@ -97,15 +116,28 @@ class Cmp {
     Cmp& c;
     size_t trail_mark;
     size_t plan_mark;
+    size_t key_mark;
     explicit TrailSaver(Cmp& cmp)
         : c(cmp), trail_mark(cmp.trail_stack_.size()),
-          plan_mark(cmp.plan_.checkpoint()) {}
+          plan_mark(cmp.plan_.checkpoint()),
+          key_mark(cmp.key_stack_.size()) {}
     void rollback() {
       while (c.trail_stack_.size() > trail_mark) {
         c.trail_.erase(c.trail_stack_.back());
         c.trail_stack_.pop_back();
       }
       c.plan_.rollback(plan_mark);
+      // Key→ref records point into the plan graph; anything above the plan
+      // mark is about to be truncated (and the indices reused), so the
+      // records must go with it.
+      while (c.key_stack_.size() > key_mark) {
+        auto it = c.ref_by_key_.find(c.key_stack_.back());
+        if (it != c.ref_by_key_.end()) {
+          c.key_by_ref_.erase(it->second);
+          c.ref_by_key_.erase(it);
+        }
+        c.key_stack_.pop_back();
+      }
     }
   };
 
@@ -120,12 +152,45 @@ class Cmp {
   }
 
   uint64_t hash_of(const Graph* g, Ref r) const {
-    return g == &ga_ ? hash_a_[r] : hash_b_[r];
+    return g == &ga_ ? (*hash_a_)[r] : (*hash_b_)[r];
   }
 
-  bool pruning() const {
-    return opts_.use_hash_prune && opts_.mode == Mode::Equivalence &&
-           !hash_a_.empty();
+  // hash_a_/hash_b_ are set iff pruning applies (see ctor).
+  bool pruning() const { return hash_a_ != nullptr; }
+
+  // ---- cross-pair cache plumbing -------------------------------------------
+
+  CanonId sid_of(const Graph* g, Ref r) const {
+    return g == &ga_ ? (*sid_a_)[r] : (*sid_b_)[r];
+  }
+  CanonId iso_of(const Graph* g, Ref r) const {
+    return g == &ga_ ? (*iso_a_)[r] : (*iso_b_)[r];
+  }
+
+  /// Strict-id memo key for the (gx:x, gy:y) pair, or nullopt when the
+  /// cache is off or either side is degenerate (kNoCanon identifies
+  /// nothing). The key is oriented — port contravariance flips gx/gy, and
+  /// subtype verdicts are direction-sensitive.
+  std::optional<CrossCache::Key> cross_key(const Graph* gx, Ref x,
+                                           const Graph* gy, Ref y) const {
+    if (opts_.cross == nullptr) return std::nullopt;
+    CanonId cx = sid_of(gx, x);
+    CanonId cy = sid_of(gy, y);
+    if (cx == mtype::kNoCanon || cy == mtype::kNoCanon) return std::nullopt;
+    return CrossCache::Key{cx, cy, fp_};
+  }
+
+  /// Remember that `r` is a complete, self-contained proof of strict pair
+  /// `k` in plan_. Only record proofs extract() accepted (or that came out
+  /// of a cached fragment, which passed extract() when it was built):
+  /// assumption-dependent successes can be rolled back, and their nodes
+  /// must never be wired into later splices. Rollback removes records via
+  /// key_stack_ (see TrailSaver).
+  void record_keyed(const CrossCache::Key& k, PlanRef r) {
+    if (ref_by_key_.emplace(k, r).second) {
+      key_by_ref_.emplace(r, k);
+      key_stack_.push_back(k);
+    }
   }
 
   // ---- flattening helpers respecting the rule toggles ----------------------
@@ -210,6 +275,7 @@ class Cmp {
 
   PlanRef visit(const Graph* gx, Ref x, const Graph* gy, Ref y, int depth) {
     if (++steps_ > opts_.max_steps) {
+      budget_hit_ = true;
       note_mismatch(gx, x, gy, y, depth, "comparison budget exceeded");
       return plan::kNullPlan;
     }
@@ -219,6 +285,35 @@ class Cmp {
     Key key{gx == &ga_, x, y};
     if (auto it = trail_.find(key); it != trail_.end()) return it->second;
 
+    // Cross-pair cache: verdicts persisted by earlier Cmp instances (this
+    // batch, other sessions) keyed on strict canonical ids. Port-bearing
+    // fragments embed mtype refs, so their binding is the session's
+    // (ga_, gb_) pair — the refs' in_left flags are interpreted relative
+    // to the graph pair at consumption time.
+    auto ck = cross_key(gx, x, gy, y);
+    if (ck) {
+      // A different (x, y) pair with the same strict key may already have
+      // a proof in this very plan graph — reuse the ref outright (the
+      // trail can't see it: trail keys are refs, not canonical ids).
+      if (auto kit = ref_by_key_.find(*ck); kit != ref_by_key_.end()) {
+        if (trail_.emplace(key, kit->second).second) trail_stack_.push_back(key);
+        return kit->second;
+      }
+      if (auto hit = opts_.cross->find(*ck, &ga_, ver_a_, &gb_, ver_b_)) {
+        if (!hit->ok) {
+          note_mismatch(gx, x, gy, y, depth, "mismatch (cached verdict)");
+          return plan::kNullPlan;
+        }
+        std::vector<std::pair<CrossCache::Key, PlanRef>> learned;
+        PlanRef spliced =
+            CrossCache::splice(plan_, hit->frag, &ref_by_key_, &learned);
+        for (const auto& [lk, lr] : learned) record_keyed(lk, lr);
+        record_keyed(*ck, spliced);
+        if (trail_.emplace(key, spliced).second) trail_stack_.push_back(key);
+        return spliced;
+      }
+    }
+
     PlanRef result = visit_uncached(gx, x, gy, y, depth, key);
     if (result != plan::kNullPlan) {
       // Memoize successful pairs (rollback-aware via the trail stack):
@@ -226,6 +321,30 @@ class Cmp {
       // once per occurrence. Recursive pairs self-register in
       // visit_recursive before descending.
       if (trail_.emplace(key, result).second) trail_stack_.push_back(key);
+      if (ck && !opts_.cross->has(*ck, &ga_, ver_a_, &gb_, ver_b_)) {
+        // extract() refuses fragments referencing a mid-descent knot-tying
+        // placeholder: those successes lean on an undischarged coinductive
+        // assumption and are not self-contained proofs.
+        if (auto frag = CrossCache::extract(plan_, result, &key_by_ref_)) {
+          auto v = std::make_shared<CrossCache::Variant>();
+          v->ok = true;
+          v->frag = std::move(*frag);
+          if (v->frag.has_port) {
+            v->bind_left = &ga_;
+            v->bind_right = &gb_;
+            v->ver_left = ver_a_;
+            v->ver_right = ver_b_;
+          }
+          opts_.cross->insert(*ck, std::move(v));
+          record_keyed(*ck, result);
+        }
+      }
+    } else if (ck && !budget_hit_) {
+      // Definitive structural failure. Trail assumptions only ever enable
+      // successes, so failure under any trail is failure outright — but a
+      // budget trip anywhere this run poisons failures (they may reflect
+      // exhaustion, not structure), hence the budget_hit_ gate.
+      opts_.cross->insert(*ck, std::make_shared<CrossCache::Variant>());
     }
     return result;
   }
@@ -506,6 +625,7 @@ class Cmp {
                       "no structural counterpart for record component");
         return plan::kNullPlan;
       }
+      order_by_iso_id(gx, fx[i].ref, gy, fy, cand[i]);
     }
     std::vector<uint32_t> order(n);
     std::iota(order.begin(), order.end(), 0);
@@ -538,6 +658,23 @@ class Cmp {
     node.dst_shape = flattened ? build_shape(*gy, y, counter)
                                : build_direct_shape(*gy, y);
     return plan_.add(std::move(node));
+  }
+
+  /// Candidate-order heuristic: iso-id equality guarantees comparer
+  /// equivalence under the active rule toggles, so equal-id targets are
+  /// tried first — the backtracking search then usually commits to a
+  /// correct assignment immediately. Pure reordering: never drops a
+  /// candidate (iso inequality does NOT imply comparer mismatch; see
+  /// canon.hpp on the direct-first µ-folding caveat).
+  void order_by_iso_id(const Graph* gx, Ref xi, const Graph* gy,
+                       const std::vector<FlatChild>& fy,
+                       std::vector<uint32_t>& cand) const {
+    if (!iso_a_ || cand.size() < 2) return;
+    CanonId want = iso_of(gx, xi);
+    if (want == mtype::kNoCanon) return;
+    std::stable_partition(cand.begin(), cand.end(), [&](uint32_t j) {
+      return iso_of(gy, fy[j].ref) == want;
+    });
   }
 
   bool assign(const Graph* gx, const std::vector<FlatChild>& fx, const Graph* gy,
@@ -598,6 +735,7 @@ class Cmp {
                       "no counterpart for choice alternative");
         return plan::kNullPlan;
       }
+      order_by_iso_id(gx, fx[i].ref, gy, fy, cand[i]);
     }
     std::vector<uint32_t> order(n);
     std::iota(order.begin(), order.end(), 0);
@@ -653,7 +791,23 @@ class Cmp {
   plan::PlanGraph plan_;
   std::map<Key, PlanRef> trail_;
   std::vector<Key> trail_stack_;
-  std::vector<uint64_t> hash_a_, hash_b_;
+  // Structure hashes: borrowed from Options when valid, else owned.
+  const std::vector<uint64_t>* hash_a_ = nullptr;
+  const std::vector<uint64_t>* hash_b_ = nullptr;
+  std::vector<uint64_t> owned_hash_a_, owned_hash_b_;
+  // Canonical-id snapshots (set iff opts_.cross != nullptr).
+  std::shared_ptr<const std::vector<CanonId>> sid_a_, sid_b_;
+  std::shared_ptr<const std::vector<CanonId>> iso_a_, iso_b_;
+  uint8_t fp_ = 0;
+  uint64_t ver_a_ = 0, ver_b_ = 0;
+  bool budget_hit_ = false;
+  // Strict-key → self-contained proof in plan_ (and its inverse), kept in
+  // lockstep with plan rollback via key_stack_. Drives sub-proof reuse in
+  // CrossCache::splice and interior provenance in CrossCache::extract.
+  std::unordered_map<CrossCache::Key, PlanRef, CrossCache::KeyHash>
+      ref_by_key_;
+  std::unordered_map<PlanRef, CrossCache::Key> key_by_ref_;
+  std::vector<CrossCache::Key> key_stack_;
   Mismatch best_;
   size_t steps_ = 0;
 
@@ -703,13 +857,22 @@ const plan::PlanGraph& Session::plans() const {
 FullResult compare_full(const mtype::Graph& ga, mtype::Ref a,
                         const mtype::Graph& gb, mtype::Ref b, Options options) {
   FullResult out;
+  // Reversed-direction compares swap the graphs, so the borrowed hash
+  // vectors must swap with them — otherwise, whenever ga and gb happen to
+  // have the same node count, the size guard cannot catch the mix-up and
+  // the prune would filter on the wrong graph's hashes (a false-mismatch
+  // risk, since pruning assumes hash-inequality implies type-inequality).
+  Options reversed = options;
+  std::swap(reversed.left_hashes, reversed.right_hashes);
+
   options.mode = Mode::Equivalence;
   Result eq = compare(ga, a, gb, b, options);
   if (eq.ok) {
     out.verdict = Verdict::Equivalent;
     out.to_right = std::move(eq);
     // Equivalence is symmetric: build the reverse plan too.
-    out.to_left = compare(gb, b, ga, a, options);
+    reversed.mode = Mode::Equivalence;
+    out.to_left = compare(gb, b, ga, a, reversed);
     return out;
   }
   options.mode = Mode::Subtype;
@@ -719,7 +882,8 @@ FullResult compare_full(const mtype::Graph& ga, mtype::Ref a,
     out.to_right = std::move(sub_ab);
     return out;
   }
-  Result sub_ba = compare(gb, b, ga, a, options);
+  reversed.mode = Mode::Subtype;
+  Result sub_ba = compare(gb, b, ga, a, reversed);
   if (sub_ba.ok) {
     out.verdict = Verdict::RightSubtype;
     out.to_left = std::move(sub_ba);

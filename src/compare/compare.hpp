@@ -36,6 +36,8 @@ enum class Mode : uint8_t {
   Subtype,      // left <= right: one-way convertible left -> right
 };
 
+class CrossCache;  // crosscache.hpp — cross-pair compare/plan cache
+
 struct Options {
   Mode mode = Mode::Equivalence;
   bool commutative = true;
@@ -52,28 +54,52 @@ struct Options {
   /// Precomputed structure hashes for the two graphs (tool sessions that
   /// run many comparisons against the same graphs avoid re-hashing; see
   /// HashCache). Must have been computed with the same unit_elimination
-  /// setting and cover the full graphs; ignored otherwise.
+  /// setting and cover the full graphs: a vector whose size differs from
+  /// the graph's node count (stale, partial, or for another graph) is
+  /// IGNORED — hashes are recomputed rather than read out of bounds or
+  /// used to mis-prune.
   const std::vector<uint64_t>* left_hashes = nullptr;
   const std::vector<uint64_t>* right_hashes = nullptr;
+
+  /// Shared cross-pair cache (thread-safe; see crosscache.hpp). When set,
+  /// pair verdicts and plan fragments persist across compare()/Session
+  /// instances keyed on strict canonical ids, so a batch of related pairs
+  /// pays for each shared subproof once globally. Because strict ids are
+  /// layout-exact and the comparer is a deterministic function of layout,
+  /// cached runs reproduce bare-comparer verdicts exactly — the cache
+  /// changes step counts, never outcomes.
+  CrossCache* cross = nullptr;
 };
 
-/// Convenience holder for per-graph hash reuse across comparisons. Call
-/// refresh() after the graph grows (e.g. more declarations lowered into it).
+/// Convenience holder for per-graph hash reuse across comparisons.
+/// Recomputes automatically when the graph changes — both growth (more
+/// declarations lowered into it) and in-place node rewrites are tracked
+/// via Graph::version(). refresh() forces recomputation immediately.
 class HashCache {
  public:
   explicit HashCache(const mtype::Graph& g, bool unit_elimination = false)
       : graph_(g), unit_elimination_(unit_elimination) {}
 
   const std::vector<uint64_t>* get() {
-    if (hashes_.size() != graph_.size()) {
-      hashes_ = mtype::structure_hashes(graph_, unit_elimination_);
+    if (seen_version_ != graph_.version() || hashes_.size() != graph_.size()) {
+      refresh();
     }
     return &hashes_;
+  }
+
+  void refresh() {
+    // Note the version BEFORE hashing: structure_hashes takes only const
+    // access, but a concurrent-free caller could interleave at_mut between
+    // reads; capturing first means we recompute again rather than serve a
+    // hash newer than the version we claim.
+    seen_version_ = graph_.version();
+    hashes_ = mtype::structure_hashes(graph_, unit_elimination_);
   }
 
  private:
   const mtype::Graph& graph_;
   bool unit_elimination_;
+  uint64_t seen_version_ = ~uint64_t{0};
   std::vector<uint64_t> hashes_;
 };
 

@@ -1,0 +1,295 @@
+#include "compare/crosscache.hpp"
+
+#include <algorithm>
+
+namespace mbird::compare {
+
+using mtype::CanonId;
+using mtype::CanonOptions;
+using plan::PKind;
+using plan::PlanNode;
+using plan::PlanRef;
+
+CrossCache::CrossCache() : strict_(CanonOptions::strict()) {}
+
+CrossCache::~CrossCache() = default;
+
+std::shared_ptr<const std::vector<CanonId>> CrossCache::strict_ids(
+    const mtype::Graph& g) {
+  return strict_.ids_for(g);
+}
+
+std::shared_ptr<const std::vector<CanonId>> CrossCache::iso_ids(
+    const mtype::Graph& g, const Options& options) {
+  CanonOptions co;
+  co.commutative = options.commutative;
+  co.associative = options.associative;
+  co.unit_elimination = options.unit_elimination;
+  co.mu_transparent = true;
+  mtype::CanonIndex* index = nullptr;
+  {
+    std::lock_guard lock(iso_mu_);
+    for (auto& [opts, idx] : iso_) {
+      if (opts == co) {
+        index = idx.get();
+        break;
+      }
+    }
+    if (index == nullptr) {
+      iso_.emplace_back(co, std::make_unique<mtype::CanonIndex>(co));
+      index = iso_.back().second.get();
+    }
+  }
+  return index->ids_for(g);
+}
+
+uint8_t CrossCache::fingerprint(const Options& options) {
+  return static_cast<uint8_t>(static_cast<uint8_t>(options.mode) |
+                              (options.commutative ? 2 : 0) |
+                              (options.associative ? 4 : 0) |
+                              (options.unit_elimination ? 8 : 0));
+}
+
+bool CrossCache::compatible(const Variant& v, const void* lg, uint64_t lv,
+                            const void* rg, uint64_t rv) {
+  if (v.ok && v.frag.has_port) {
+    return v.bind_left == lg && v.ver_left == lv && v.bind_right == rg &&
+           v.ver_right == rv;
+  }
+  return true;
+}
+
+std::shared_ptr<const CrossCache::Variant> CrossCache::find(
+    const Key& key, const void* lg, uint64_t lv, const void* rg, uint64_t rv) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    for (const auto& v : it->second) {
+      if (compatible(*v, lg, lv, rg, rv)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+bool CrossCache::has(const Key& key, const void* lg, uint64_t lv,
+                     const void* rg, uint64_t rv) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return false;
+  for (const auto& v : it->second) {
+    if (compatible(*v, lg, lv, rg, rv)) return true;
+  }
+  return false;
+}
+
+void CrossCache::insert(const Key& key, std::shared_ptr<const Variant> v) {
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  auto& list = s.map[key];
+  for (const auto& existing : list) {
+    // A compatible entry (same ok + same effective binding) already serves
+    // this key; racing inserters lose quietly.
+    if (existing->ok == v->ok &&
+        compatible(*existing, v->bind_left, v->ver_left, v->bind_right,
+                   v->ver_right)) {
+      return;
+    }
+  }
+  list.push_back(std::move(v));
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unique_ptr<CrossCache::Fragment> CrossCache::extract(
+    const plan::PlanGraph& g, PlanRef root,
+    const std::unordered_map<PlanRef, Key>* provenance) {
+  auto frag = std::make_unique<Fragment>();
+  // Discovery-order BFS assigning fragment-local indices.
+  std::unordered_map<PlanRef, uint32_t> local;
+  std::vector<PlanRef> order;
+  auto visit = [&](PlanRef r) -> bool {
+    if (r == plan::kNullPlan) return false;
+    if (local.emplace(r, static_cast<uint32_t>(order.size())).second) {
+      order.push_back(r);
+    }
+    return true;
+  };
+  if (!visit(root)) return nullptr;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const PlanNode& n = g.at(order[i]);
+    switch (n.kind) {
+      case PKind::ListMap:
+      case PKind::PortMap:
+      case PKind::Alias:
+        // inner == kNullPlan means the knot is still being tied (we are
+        // inside the recursive descent that will attach it): not a
+        // self-contained proof, so refuse to cache.
+        if (!visit(n.inner)) return nullptr;
+        if (n.kind == PKind::PortMap) frag->has_port = true;
+        break;
+      case PKind::RecordMap:
+      case PKind::Extract:
+        for (const auto& f : n.fields) {
+          if (!visit(f.op)) return nullptr;
+        }
+        break;
+      case PKind::ChoiceMap:
+        for (const auto& a : n.arms) {
+          if (!visit(a.op)) return nullptr;
+        }
+        break;
+      default: break;
+    }
+  }
+  frag->nodes.reserve(order.size());
+  for (PlanRef r : order) {
+    PlanNode n = g.at(r);  // copy, then rewrite refs to local indices
+    switch (n.kind) {
+      case PKind::ListMap:
+      case PKind::PortMap:
+      case PKind::Alias: n.inner = local.at(n.inner); break;
+      case PKind::RecordMap:
+      case PKind::Extract:
+        for (auto& f : n.fields) f.op = local.at(f.op);
+        break;
+      case PKind::ChoiceMap:
+        for (auto& a : n.arms) a.op = local.at(a.op);
+        break;
+      default: break;
+    }
+    frag->nodes.push_back(std::move(n));
+  }
+  frag->root = 0;  // root discovered first
+  if (provenance != nullptr) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (auto it = provenance->find(order[i]); it != provenance->end()) {
+        frag->keyed.emplace_back(static_cast<uint32_t>(i), it->second);
+      }
+    }
+  }
+  return frag;
+}
+
+PlanRef CrossCache::splice(
+    plan::PlanGraph& g, const Fragment& f,
+    const std::unordered_map<Key, PlanRef, KeyHash>* known,
+    std::vector<std::pair<Key, PlanRef>>* learned) {
+  const auto n = static_cast<uint32_t>(f.nodes.size());
+  // Fragment-local nodes whose strict-key proof already lives in g: wire
+  // the existing ref in rather than copying the region again.
+  std::unordered_map<uint32_t, PlanRef> present;
+  std::unordered_map<uint32_t, const Key*> key_at;
+  if (!f.keyed.empty()) {
+    for (const auto& [idx, key] : f.keyed) {
+      key_at.emplace(idx, &key);
+      if (known != nullptr) {
+        if (auto it = known->find(key); it != known->end()) {
+          present.emplace(idx, it->second);
+        }
+      }
+    }
+  }
+  if (auto it = present.find(f.root); it != present.end()) return it->second;
+
+  // Copy only what the root still needs: reachability that stops at
+  // already-present nodes (their subtrees stay shared, not re-copied).
+  std::vector<char> need(n, 0);
+  std::vector<uint32_t> stack{f.root};
+  need[f.root] = 1;
+  auto push = [&](uint32_t c) {
+    if (need[c] != 0 || present.count(c) != 0) return;
+    need[c] = 1;
+    stack.push_back(c);
+  };
+  while (!stack.empty()) {
+    const PlanNode& nd = f.nodes[stack.back()];
+    stack.pop_back();
+    switch (nd.kind) {
+      case PKind::ListMap:
+      case PKind::PortMap:
+      case PKind::Alias: push(nd.inner); break;
+      case PKind::RecordMap:
+      case PKind::Extract:
+        for (const auto& fm : nd.fields) push(fm.op);
+        break;
+      case PKind::ChoiceMap:
+        for (const auto& a : nd.arms) push(a.op);
+        break;
+      default: break;
+    }
+  }
+
+  // Two passes: refs are assigned up front because fragments may contain
+  // back-edges (cyclic plans).
+  std::vector<PlanRef> map(n, plan::kNullPlan);
+  for (const auto& [idx, ref] : present) map[idx] = ref;
+  auto next = static_cast<PlanRef>(g.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    if (need[i] != 0) map[i] = next++;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (need[i] == 0) continue;
+    PlanNode nd = f.nodes[i];
+    switch (nd.kind) {
+      case PKind::ListMap:
+      case PKind::PortMap:
+      case PKind::Alias: nd.inner = map[nd.inner]; break;
+      case PKind::RecordMap:
+      case PKind::Extract:
+        for (auto& fm : nd.fields) fm.op = map[fm.op];
+        break;
+      case PKind::ChoiceMap:
+        for (auto& a : nd.arms) a.op = map[a.op];
+        break;
+      default: break;
+    }
+    g.add(std::move(nd));
+    if (learned != nullptr) {
+      if (auto it = key_at.find(i); it != key_at.end()) {
+        learned->emplace_back(*it->second, map[i]);
+      }
+    }
+  }
+  return map[f.root];
+}
+
+std::shared_ptr<const planir::Program> CrossCache::find_program(
+    const Key& key) {
+  std::lock_guard lock(prog_mu_);
+  auto it = programs_.find(key);
+  return it == programs_.end() ? nullptr : it->second;
+}
+
+void CrossCache::insert_program(const Key& key,
+                                std::shared_ptr<const planir::Program> prog) {
+  std::lock_guard lock(prog_mu_);
+  programs_.emplace(key, std::move(prog));
+}
+
+CrossCache::Stats CrossCache::stats() const {
+  Stats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.inserts = inserts_.load(std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    std::lock_guard lock(s.mu);
+    st.entries += s.map.size();
+    for (const auto& [key, variants] : s.map) {
+      for (const auto& v : variants) st.fragment_nodes += v->frag.nodes.size();
+    }
+  }
+  {
+    std::lock_guard lock(prog_mu_);
+    st.programs = programs_.size();
+  }
+  st.strict_classes = strict_.classes();
+  st.interned_nodes = strict_.interned_nodes();
+  return st;
+}
+
+}  // namespace mbird::compare

@@ -1,0 +1,207 @@
+// Cross-pair compare/plan cache (compile-side speedup layer 2).
+//
+// A CrossCache is a sharded, thread-safe memo shared by independent
+// compare()/Session instances. It persists, across a whole batch of
+// comparisons:
+//
+//   * canonical-id indexes (mtype::CanonIndex) — one strict index keying
+//     the memo, plus per-option iso indexes the Comparer uses to order
+//     record/choice candidates;
+//   * pair verdicts and emitted plan fragments, keyed on
+//     (strict canonical id left, strict canonical id right, Options
+//     fingerprint). Strict ids identify types up to concrete layout, so a
+//     fragment built for one pair converts values of every other pair in
+//     the same key — a batch of N related pairs pays for each shared
+//     subproof once globally, not once per session;
+//   * compiled convert-mode PlanIR programs for top-level pairs (the
+//     batch driver's per-pair compile step).
+//
+// Soundness notes (the sharp edges live here, not in the data structure):
+//   * Fragments containing PortMap nodes embed mtype::Refs into the two
+//     compared graphs, so such entries carry a (graph pointer, version)
+//     binding and only hit for comparisons over the same graph pair in
+//     the same orientation. Port-free fragments are portable.
+//   * Negative entries are recorded only for runs that never tripped the
+//     step budget (a budget failure is not a structural verdict).
+//   * The fingerprint covers mode + the three isomorphism toggles;
+//     use_hash_prune and max_steps never change verdicts (budget aside)
+//     and are deliberately excluded so differently-tuned sessions share
+//     entries.
+//
+// Synchronization design: the pair memo is split over kShards shards,
+// each guarded by its own mutex (keys hash to a shard); canonical-id
+// interning is serialized inside CanonIndex and memoized per graph
+// version, so steady-state operation is short shard-local critical
+// sections — no global lock. Counters are relaxed atomics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "compare/compare.hpp"
+#include "mtype/canon.hpp"
+#include "plan/plan.hpp"
+#include "planir/planir.hpp"
+
+namespace mbird::compare {
+
+class CrossCache {
+ public:
+  CrossCache();
+  ~CrossCache();
+  CrossCache(const CrossCache&) = delete;
+  CrossCache& operator=(const CrossCache&) = delete;
+
+  // ---- canonical-id access -------------------------------------------------
+
+  /// Strict (layout-exact) ids for `g`, memoized per graph version.
+  [[nodiscard]] std::shared_ptr<const std::vector<mtype::CanonId>> strict_ids(
+      const mtype::Graph& g);
+  /// Iso ids for `g` under the comparison's rule toggles.
+  [[nodiscard]] std::shared_ptr<const std::vector<mtype::CanonId>> iso_ids(
+      const mtype::Graph& g, const Options& options);
+
+  /// Options fingerprint used in memo keys.
+  [[nodiscard]] static uint8_t fingerprint(const Options& options);
+
+  // ---- pair memo -----------------------------------------------------------
+
+  struct Key {
+    mtype::CanonId left = mtype::kNoCanon;
+    mtype::CanonId right = mtype::kNoCanon;
+    uint8_t fp = 0;
+    [[nodiscard]] bool operator==(const Key&) const = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = (static_cast<uint64_t>(k.left) << 32) ^
+                   (static_cast<uint64_t>(k.right) << 8) ^ k.fp;
+      h *= 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 32;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// A reusable coercion-plan subgraph. Node refs are fragment-local
+  /// (index into `nodes`); splice() rebases them into a target PlanGraph.
+  ///
+  /// `keyed` records interior provenance: fragment-local nodes that are
+  /// themselves complete proofs of a strict-key pair. splice() uses it to
+  /// reuse sub-proofs the consumer plan already contains instead of
+  /// copying them again — without this, sibling splices of overlapping
+  /// fragments lose all DAG sharing and fragment sizes grow
+  /// superpolynomially on densely inter-linked declaration sets (the
+  /// chain-of-classes workload makes s(k) = s(k-1) + s(k/2) + O(1)).
+  struct Fragment {
+    std::vector<plan::PlanNode> nodes;
+    uint32_t root = 0;
+    bool has_port = false;
+    std::vector<std::pair<uint32_t, Key>> keyed;
+  };
+
+  struct Variant {
+    bool ok = false;
+    Fragment frag;  // valid when ok
+    // Graph binding for port-bearing fragments; null/0 when portable.
+    const void* bind_left = nullptr;
+    const void* bind_right = nullptr;
+    uint64_t ver_left = 0;
+    uint64_t ver_right = 0;
+  };
+
+  /// Look up a pair verdict compatible with the given graph binding.
+  /// Returns nullptr on miss. Counts a hit or miss.
+  [[nodiscard]] std::shared_ptr<const Variant> find(const Key& key,
+                                                    const void* left_graph,
+                                                    uint64_t left_version,
+                                                    const void* right_graph,
+                                                    uint64_t right_version);
+
+  /// True if a compatible entry already exists (no counter updates).
+  [[nodiscard]] bool has(const Key& key, const void* left_graph,
+                         uint64_t left_version, const void* right_graph,
+                         uint64_t right_version);
+
+  /// Record a verdict. Duplicate-compatible inserts are dropped.
+  void insert(const Key& key, std::shared_ptr<const Variant> v);
+
+  /// Extract the plan subgraph rooted at `root` as a portable fragment.
+  /// Returns nullptr if the subgraph is mid-construction (a knot-tying
+  /// Alias/ListMap whose body is not yet attached) and must not be cached.
+  /// `provenance`, when given, maps plan refs to the strict-key pair they
+  /// prove (the extracting Comparer's bookkeeping); matching interior
+  /// nodes are recorded in the fragment's `keyed` list.
+  [[nodiscard]] static std::unique_ptr<Fragment> extract(
+      const plan::PlanGraph& g, plan::PlanRef root,
+      const std::unordered_map<plan::PlanRef, Key>* provenance = nullptr);
+
+  /// Splice a fragment into `g`, rebasing fragment-local refs. Returns the
+  /// new root. Appended nodes participate in g's checkpoint/rollback.
+  /// `known`, when given, maps strict keys to sub-proofs already present
+  /// in `g`: fragment regions rooted at a known key are not copied — the
+  /// existing ref is wired in instead (this is what preserves DAG sharing
+  /// across sibling splices). Newly appended keyed nodes are reported via
+  /// `learned` so the caller can extend its maps (rollback-aware).
+  static plan::PlanRef splice(
+      plan::PlanGraph& g, const Fragment& f,
+      const std::unordered_map<Key, plan::PlanRef, KeyHash>* known = nullptr,
+      std::vector<std::pair<Key, plan::PlanRef>>* learned = nullptr);
+
+  // ---- compiled-program memo ----------------------------------------------
+
+  [[nodiscard]] std::shared_ptr<const planir::Program> find_program(
+      const Key& key);
+  void insert_program(const Key& key,
+                      std::shared_ptr<const planir::Program> prog);
+
+  // ---- stats ---------------------------------------------------------------
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t inserts = 0;
+    size_t entries = 0;
+    size_t fragment_nodes = 0;  // summed stored-fragment sizes
+    size_t programs = 0;
+    size_t strict_classes = 0;
+    size_t interned_nodes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, std::vector<std::shared_ptr<const Variant>>,
+                       KeyHash>
+        map;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key) {
+    return shards_[KeyHash{}(key) % kShards];
+  }
+  [[nodiscard]] static bool compatible(const Variant& v, const void* lg,
+                                       uint64_t lv, const void* rg,
+                                       uint64_t rv);
+
+  mtype::CanonIndex strict_;
+  std::mutex iso_mu_;
+  std::vector<std::pair<mtype::CanonOptions, std::unique_ptr<mtype::CanonIndex>>>
+      iso_;
+  mutable std::array<Shard, kShards> shards_;
+  mutable std::mutex prog_mu_;
+  std::unordered_map<Key, std::shared_ptr<const planir::Program>, KeyHash>
+      programs_;
+  mutable std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> misses_{0};
+  mutable std::atomic<size_t> inserts_{0};
+};
+
+}  // namespace mbird::compare

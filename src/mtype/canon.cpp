@@ -1,0 +1,454 @@
+#include "mtype/canon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <unordered_map>
+
+namespace mbird::mtype {
+
+namespace {
+
+struct VecU64Hash {
+  size_t operator()(const std::vector<uint64_t>& v) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t x : v) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+void push_int128(std::vector<uint64_t>& key, Int128 v) {
+  auto u = static_cast<unsigned __int128>(v);
+  key.push_back(static_cast<uint64_t>(u >> 64));
+  key.push_back(static_cast<uint64_t>(u));
+}
+
+// Budget (in child slots examined) for associative flattening of one
+// aggregate. Flattening expands DAG-shared subrecords once per occurrence,
+// so densely inter-linked declaration sets make the fully flattened form
+// superpolynomially large even though the graph itself is small. Past the
+// budget the node falls back to its direct children: the iso indexes only
+// lose candidate-ordering strength (their ids are advisory — the Comparer
+// proves every match), and the strict index never flattens.
+constexpr size_t kFlattenBudget = 256;
+
+bool flatten_bounded(const Graph& g, Ref node, MKind agg, bool drop_units,
+                     size_t& budget, uint32_t base,
+                     std::vector<uint32_t>& out) {
+  for (Ref child : g.at(node).children) {
+    if (budget == 0) return false;
+    --budget;
+    const Node& c = g.at(child);
+    if (c.kind == agg) {
+      if (!flatten_bounded(g, child, agg, drop_units, budget, base, out)) {
+        return false;
+      }
+    } else if (drop_units && agg == MKind::Record && c.kind == MKind::Unit) {
+      // unit-elimination: Record(tau, Unit) ~ Record(tau)
+    } else {
+      out.push_back(base + child);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+struct CanonIndex::Impl {
+  struct ANode {
+    MKind kind = MKind::Unit;
+    Int128 lo = 0, hi = 0;
+    Repertoire rep = Repertoire::Unicode;
+    uint16_t mant = 0, expo = 0;
+    // Structural child list (flattened / unit-stripped per options), as
+    // arena indices. For Rec/Var the single entry is the body / target.
+    std::vector<uint32_t> kids;
+    // Arena index of the structural representative after transparency
+    // resolution (self for structural nodes).
+    uint32_t rep_node = 0;
+    bool degenerate = false;
+    CanonId canon = kNoCanon;
+  };
+
+  std::mutex mu;
+  std::vector<ANode> arena;
+  CanonId next_canon = 0;
+  std::map<std::tuple<const Graph*, size_t, uint64_t>,
+           std::shared_ptr<const std::vector<CanonId>>>
+      memo;
+};
+
+CanonIndex::CanonIndex(CanonOptions opts)
+    : opts_(opts), impl_(std::make_unique<Impl>()) {}
+
+CanonIndex::~CanonIndex() = default;
+
+size_t CanonIndex::classes() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->next_canon;
+}
+
+size_t CanonIndex::interned_nodes() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->arena.size();
+}
+
+std::shared_ptr<const std::vector<CanonId>> CanonIndex::ids_for(const Graph& g) {
+  {
+    std::lock_guard lock(impl_->mu);
+    auto it = impl_->memo.find({&g, g.size(), g.version()});
+    if (it != impl_->memo.end()) return it->second;
+  }
+  // Intern outside the memo lookup (intern takes the same lock internally).
+  auto ids = std::make_shared<const std::vector<CanonId>>(intern(g));
+  std::lock_guard lock(impl_->mu);
+  auto [it, inserted] = impl_->memo.emplace(
+      std::make_tuple(&g, g.size(), g.version()), ids);
+  return it->second;
+}
+
+std::vector<CanonId> CanonIndex::intern(const Graph& g) {
+  std::lock_guard lock(impl_->mu);
+  auto& arena = impl_->arena;
+  const uint32_t base = static_cast<uint32_t>(arena.size());
+  const uint32_t n_new = static_cast<uint32_t>(g.size());
+  const uint32_t total = base + n_new;
+
+  // ---- 1. copy nodes, computing structural child lists ----------------------
+  arena.resize(total);
+  for (uint32_t r = 0; r < n_new; ++r) {
+    const Node& src = g.at(r);
+    Impl::ANode& a = arena[base + r];
+    a.kind = src.kind;
+    a.rep_node = base + r;
+    switch (src.kind) {
+      case MKind::Int:
+        a.lo = src.lo;
+        a.hi = src.hi;
+        break;
+      case MKind::Char: a.rep = src.repertoire; break;
+      case MKind::Real:
+        a.mant = src.mantissa_bits;
+        a.expo = src.exponent_bits;
+        break;
+      case MKind::Record: {
+        size_t budget = kFlattenBudget;
+        if (!opts_.associative ||
+            !flatten_bounded(g, r, MKind::Record, opts_.unit_elimination,
+                             budget, base, a.kids)) {
+          a.kids.clear();
+          for (Ref c : src.children) {
+            if (opts_.unit_elimination && g.at(c).kind == MKind::Unit) continue;
+            a.kids.push_back(base + c);
+          }
+        }
+        break;
+      }
+      case MKind::Choice: {
+        size_t budget = kFlattenBudget;
+        if (!opts_.associative ||
+            !flatten_bounded(g, r, MKind::Choice, false, budget, base,
+                             a.kids)) {
+          a.kids.clear();
+          for (Ref c : src.children) a.kids.push_back(base + c);
+        }
+        break;
+      }
+      case MKind::Port:
+        if (src.body() == kNullRef) {
+          a.degenerate = true;
+        } else {
+          a.kids.push_back(base + src.body());
+        }
+        break;
+      case MKind::Rec:
+        if (src.body() == kNullRef) {
+          a.degenerate = true;  // unsealed
+        } else {
+          a.kids.push_back(base + src.body());
+        }
+        break;
+      case MKind::Var:
+        if (src.var_target == kNullRef) {
+          a.degenerate = true;
+        } else {
+          a.kids.push_back(base + src.var_target);
+        }
+        break;
+      case MKind::Unit: break;
+    }
+  }
+
+  // ---- 2. transparency resolution ------------------------------------------
+  // A node is transparent when the Comparer treats it as its (single)
+  // successor in every context: Var -> target, sealed Rec -> body, and a
+  // Record flattening to exactly one child whose resolution is non-Record
+  // (the unit-elimination bridging rule, which requires associativity).
+  // Cycles made only of transparent nodes are unproductive (µX.X); members
+  // are degenerate. Resolution is iterative with an explicit stack so deep
+  // graphs don't overflow.
+  const bool bridge =
+      opts_.unit_elimination && opts_.associative && opts_.mu_transparent;
+  auto successor = [&](uint32_t i) -> int64_t {
+    const Impl::ANode& a = arena[i];
+    if (a.degenerate) return -1;
+    if (opts_.mu_transparent &&
+        (a.kind == MKind::Var || a.kind == MKind::Rec)) {
+      return a.kids[0];
+    }
+    if (bridge && a.kind == MKind::Record && a.kids.size() == 1) {
+      return a.kids[0];  // provisionally; confirmed non-Record below
+    }
+    return -1;
+  };
+
+  std::vector<uint8_t> color(total, 0);  // 0 white, 1 grey, 2 done (new range)
+  for (uint32_t i = 0; i < base; ++i) color[i] = 2;
+  for (uint32_t start = base; start < total; ++start) {
+    if (color[start] == 2) continue;
+    std::vector<uint32_t> chain;
+    uint32_t cur = start;
+    while (true) {
+      if (color[cur] == 2) break;  // resolved tail: splice onto it
+      if (color[cur] == 1) {
+        // Transparent cycle: everything from `cur` onward is degenerate.
+        bool in_cycle = false;
+        for (uint32_t c : chain) {
+          if (c == cur) in_cycle = true;
+          if (in_cycle) arena[c].degenerate = true;
+        }
+        break;
+      }
+      color[cur] = 1;
+      chain.push_back(cur);
+      int64_t next = successor(cur);
+      if (next < 0) break;  // structural (or already degenerate)
+      cur = static_cast<uint32_t>(next);
+    }
+    // Walk the chain backwards assigning representatives.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      uint32_t i = *it;
+      color[i] = 2;
+      Impl::ANode& a = arena[i];
+      if (a.degenerate) continue;
+      int64_t next = successor(i);
+      if (next < 0) {
+        a.rep_node = i;
+        continue;
+      }
+      const Impl::ANode& tgt = arena[static_cast<uint32_t>(next)];
+      if (tgt.degenerate) {
+        a.degenerate = true;
+        continue;
+      }
+      uint32_t rep = tgt.rep_node;
+      if (a.kind == MKind::Record && arena[rep].kind == MKind::Record) {
+        // Bridging does not apply record-to-record: Record([µ-wrapped
+        // Record]) is NOT comparer-equivalent to the inner record (flat
+        // lists differ), so the node stays structural.
+        a.rep_node = i;
+      } else if (arena[rep].degenerate) {
+        a.degenerate = true;
+      } else {
+        a.rep_node = rep;
+      }
+    }
+  }
+
+  // ---- 3. degeneracy contagion ---------------------------------------------
+  // A structural node with a degenerate (resolved) child cannot be classed
+  // reliably; propagate upward to a fixpoint (bounded by the new node
+  // count; in practice one or two rounds).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t i = base; i < total; ++i) {
+      Impl::ANode& a = arena[i];
+      if (a.degenerate) continue;
+      if (a.rep_node != i) {
+        if (arena[a.rep_node].degenerate) {
+          a.degenerate = true;
+          changed = true;
+        }
+        continue;
+      }
+      for (uint32_t k : a.kids) {
+        const Impl::ANode& kn = arena[arena[k].rep_node];
+        if (kn.degenerate || arena[k].degenerate) {
+          a.degenerate = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- 4. partition refinement over the whole arena ------------------------
+  // Structural, non-degenerate nodes only; transparent nodes inherit their
+  // representative's class afterwards. The fixpoint is bisimilarity under
+  // the index's congruence.
+  //
+  // Refinement is predecessor-driven (Moore-style worklist) rather than
+  // rounds of whole-arena re-hashing: a node's signature is its resolved
+  // kid class list, a signature only changes when some kid is reassigned
+  // to a fresh block, and only the blocks holding such nodes are
+  // regrouped. The naive fixpoint rebuild costs O(depth x arena) and the
+  // chained declaration sets the batch driver sees have separation depth
+  // proportional to the class count, which made interning the dominant
+  // cost of a cold batch; the worklist does total work proportional to
+  // the splits that actually happen.
+  std::vector<uint32_t> active;
+  for (uint32_t i = 0; i < total; ++i) {
+    const Impl::ANode& a = arena[i];
+    if (!a.degenerate && a.rep_node == i) active.push_back(i);
+  }
+  const auto n_active = static_cast<uint32_t>(active.size());
+  std::vector<int32_t> apos(total, -1);
+  for (uint32_t ai = 0; ai < n_active; ++ai) {
+    apos[active[ai]] = static_cast<int32_t>(ai);
+  }
+  // Resolved kid lists, computed once, and their inverse (predecessors).
+  std::vector<std::vector<uint32_t>> rkids(n_active);
+  std::vector<std::vector<uint32_t>> preds(n_active);
+  for (uint32_t ai = 0; ai < n_active; ++ai) {
+    const Impl::ANode& a = arena[active[ai]];
+    rkids[ai].reserve(a.kids.size());
+    for (uint32_t k : a.kids) {
+      uint32_t rk = arena[k].rep_node;
+      rkids[ai].push_back(rk);
+      preds[static_cast<uint32_t>(apos[rk])].push_back(ai);
+    }
+  }
+  std::vector<uint32_t> cls(total, 0);
+  uint32_t next_id = 0;
+  // Round 0: local keys (kind + exact parameters + arity).
+  {
+    std::unordered_map<std::vector<uint64_t>, uint32_t, VecU64Hash> table;
+    for (uint32_t ai = 0; ai < n_active; ++ai) {
+      const Impl::ANode& a = arena[active[ai]];
+      std::vector<uint64_t> key{static_cast<uint64_t>(a.kind),
+                                static_cast<uint64_t>(a.kids.size())};
+      switch (a.kind) {
+        case MKind::Int:
+          push_int128(key, a.lo);
+          push_int128(key, a.hi);
+          break;
+        case MKind::Char: key.push_back(static_cast<uint64_t>(a.rep)); break;
+        case MKind::Real:
+          key.push_back(a.mant);
+          key.push_back(a.expo);
+          break;
+        default: break;
+      }
+      auto [it, inserted] =
+          table.emplace(std::move(key), static_cast<uint32_t>(table.size()));
+      cls[active[ai]] = it->second;
+    }
+    next_id = static_cast<uint32_t>(table.size());
+  }
+  // Block membership and per-node cached signatures. A signature omits the
+  // node's own class: grouping happens within one block, where it is a
+  // shared constant.
+  std::vector<std::vector<uint32_t>> members(next_id);
+  for (uint32_t ai = 0; ai < n_active; ++ai) {
+    members[cls[active[ai]]].push_back(ai);
+  }
+  std::vector<std::vector<uint64_t>> sig(n_active);
+  auto build_sig = [&](uint32_t ai) {
+    const Impl::ANode& a = arena[active[ai]];
+    std::vector<uint64_t>& s = sig[ai];
+    s.clear();
+    for (uint32_t k : rkids[ai]) s.push_back(cls[k]);
+    if (opts_.commutative &&
+        (a.kind == MKind::Record || a.kind == MKind::Choice)) {
+      std::sort(s.begin(), s.end());
+    }
+  };
+  std::vector<uint32_t> dirty(n_active);
+  for (uint32_t ai = 0; ai < n_active; ++ai) dirty[ai] = ai;
+  std::vector<char> in_dirty(n_active, 1);
+  while (!dirty.empty()) {
+    for (uint32_t ai : dirty) build_sig(ai);
+    // Blocks holding a re-keyed node, in deterministic order.
+    std::vector<uint32_t> blocks;
+    blocks.reserve(dirty.size());
+    for (uint32_t ai : dirty) blocks.push_back(cls[active[ai]]);
+    std::sort(blocks.begin(), blocks.end());
+    blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+
+    std::vector<uint32_t> next_dirty;
+    std::fill(in_dirty.begin(), in_dirty.end(), 0);
+    for (uint32_t b : blocks) {
+      if (members[b].size() <= 1) continue;
+      // Group members by signature, preserving first-seen order so block
+      // numbering (and thus canonical-id assignment) is deterministic.
+      std::unordered_map<std::vector<uint64_t>, uint32_t, VecU64Hash> index;
+      std::vector<std::vector<uint32_t>> groups;
+      for (uint32_t ai : members[b]) {
+        auto [it, inserted] =
+            index.emplace(sig[ai], static_cast<uint32_t>(groups.size()));
+        if (inserted) groups.emplace_back();
+        groups[it->second].push_back(ai);
+      }
+      if (groups.size() == 1) continue;
+      // The first group keeps the block id; the rest get fresh ids, and
+      // their predecessors' signatures go stale.
+      members[b] = std::move(groups[0]);
+      for (size_t gi = 1; gi < groups.size(); ++gi) {
+        uint32_t id = next_id++;
+        for (uint32_t ai : groups[gi]) {
+          cls[active[ai]] = id;
+          for (uint32_t p : preds[ai]) {
+            if (in_dirty[p] == 0) {
+              in_dirty[p] = 1;
+              next_dirty.push_back(p);
+            }
+          }
+        }
+        members.push_back(std::move(groups[gi]));
+      }
+    }
+    dirty.swap(next_dirty);
+  }
+
+  // ---- 5. stable canonical ids ---------------------------------------------
+  // Map each final block to a CanonId, reusing the id of any previously
+  // interned member (the partition restricted to old nodes never changes:
+  // bisimilarity depends only on the subgraph reachable from a node).
+  {
+    std::unordered_map<uint32_t, CanonId> block_id;
+    for (uint32_t i : active) {
+      if (arena[i].canon == kNoCanon) continue;
+      block_id.emplace(cls[i], arena[i].canon);
+    }
+    for (uint32_t i : active) {
+      auto it = block_id.find(cls[i]);
+      CanonId id;
+      if (it != block_id.end()) {
+        id = it->second;
+      } else {
+        id = impl_->next_canon++;
+        block_id.emplace(cls[i], id);
+      }
+      assert(arena[i].canon == kNoCanon || arena[i].canon == id);
+      arena[i].canon = id;
+    }
+  }
+
+  // ---- 6. project ids for the interned graph -------------------------------
+  std::vector<CanonId> out(n_new, kNoCanon);
+  for (uint32_t r = 0; r < n_new; ++r) {
+    const Impl::ANode& a = arena[base + r];
+    if (a.degenerate) continue;
+    out[r] = arena[a.rep_node].canon;
+  }
+  return out;
+}
+
+}  // namespace mbird::mtype

@@ -1,0 +1,116 @@
+// Hash-consed canonical Mtype index (compile-side speedup layer 1).
+//
+// A CanonIndex interns Mtype graph nodes into a global arena and assigns
+// every node a canonical id such that two nodes — possibly from different
+// Graphs — receive the SAME id iff they are coinductively equivalent under
+// the index's isomorphism options (commutativity / associativity /
+// unit-elimination, mirroring compare::Options). Equal subtrees then
+// compare by id equality instead of coinductive traversal, the same
+// canonicalize-before-compare move session-type-isomorphism checkers make.
+//
+// The algorithm is naive partition refinement (bisimulation):
+//   1. copy the graph's nodes into the arena, precomputing each node's
+//      structural child list (flattened under associativity, units dropped
+//      under unit-elimination — exactly what the Comparer matches on);
+//   2. resolve "transparent" nodes (Var -> target, Rec -> body, and — when
+//      unit-elimination + associativity are both on — a Record whose
+//      flattened form is a single child whose resolution is a non-Record);
+//      fully-transparent cycles (unsealed or unproductive µX.X recs) get
+//      kNoCanon and never participate in fast paths;
+//   3. iterate: class(n) = intern(kind, exact params, child classes) with
+//      the child list sorted when the options are commutative, until the
+//      partition stops refining. The limit is bisimilarity, i.e. exactly
+//      the Comparer's equivalence relation for the same options.
+//
+// Canonical ids are STABLE: interning more graphs later never changes an
+// id already handed out (bisimilarity of a node depends only on the
+// subgraph reachable from it). That makes ids usable as persistent cache
+// keys (see compare::CrossCache).
+//
+// Two standard configurations:
+//   * iso ids    — CanonOptions matching the comparison's rule toggles;
+//     id equality GUARANTEES comparer equivalence (sound positive
+//     evidence), so the Comparer orders equal-id candidates first and
+//     skips backtracking churn. Inequality does NOT always imply a
+//     comparer mismatch (the direct-first record strategy can match
+//     across µ-foldings the flatten congruence distinguishes), so iso ids
+//     are never used to reject candidates — the structure-hash prune
+//     keeps that role.
+//   * strict ids — CanonOptions::strict(): ordered children, no
+//     flattening, no unit dropping, µ-binders structural. Strict-equal
+//     nodes have identical concrete layout, so coercion-plan fragments
+//     built for one node are valid verbatim for the other, and the
+//     Comparer's verdict (success AND failure) transfers between them.
+//     CrossCache keys its memo on strict id pairs for this reason — iso
+//     ids would be unsound there (Record(Int,Real) and Record(Real,Int)
+//     share an iso class but need different field moves).
+//
+// Thread safety: intern/ids_for are serialized by an internal mutex
+// (interning is per-graph and rare — read-mostly); the returned id
+// vectors are immutable snapshots safe to share across threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mtype/mtype.hpp"
+
+namespace mbird::mtype {
+
+using CanonId = uint32_t;
+/// Assigned to degenerate nodes (unsealed Recs, unproductive µX.X-style
+/// cycles): such nodes never equal anything by id, and callers must fall
+/// back to full comparison for pairs involving them.
+inline constexpr CanonId kNoCanon = 0xffffffffu;
+
+struct CanonOptions {
+  bool commutative = true;
+  bool associative = true;
+  bool unit_elimination = false;
+  /// When set, Var resolves to its Rec and a sealed Rec to its body, so a
+  /// µ-type and its unfolding share a class (the Comparer's coinductive
+  /// view). Strict ids keep µ-binders structural instead: the Comparer's
+  /// direct-first record strategy makes its relation sensitive to µ-knot
+  /// placement (it is not even transitive across folding variants), so a
+  /// cache that must reproduce comparer *failures* exactly needs ids that
+  /// distinguish foldings.
+  bool mu_transparent = true;
+
+  /// Layout-exact configuration (see header comment).
+  [[nodiscard]] static CanonOptions strict() {
+    return {false, false, false, false};
+  }
+
+  [[nodiscard]] bool operator==(const CanonOptions&) const = default;
+};
+
+class CanonIndex {
+ public:
+  explicit CanonIndex(CanonOptions opts = {});
+  ~CanonIndex();
+  CanonIndex(const CanonIndex&) = delete;
+  CanonIndex& operator=(const CanonIndex&) = delete;
+
+  /// Intern every node of `g`; returns the per-Ref canonical ids
+  /// (result.size() == g.size()). Thread-safe.
+  [[nodiscard]] std::vector<CanonId> intern(const Graph& g);
+
+  /// Memoized intern keyed on (&g, g.size(), g.version()): repeated calls
+  /// for an unchanged graph return the same shared snapshot without
+  /// re-running refinement. Thread-safe.
+  [[nodiscard]] std::shared_ptr<const std::vector<CanonId>> ids_for(const Graph& g);
+
+  [[nodiscard]] const CanonOptions& options() const { return opts_; }
+  /// Number of distinct canonical classes assigned so far.
+  [[nodiscard]] size_t classes() const;
+  /// Total nodes copied into the arena (across all interned graphs).
+  [[nodiscard]] size_t interned_nodes() const;
+
+ private:
+  struct Impl;
+  CanonOptions opts_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mbird::mtype

@@ -34,6 +34,7 @@ std::string path_to_string(const Path& p) {
 }
 
 Ref Graph::add(Node n) {
+  ++version_;
   nodes_.push_back(std::move(n));
   return static_cast<Ref>(nodes_.size() - 1);
 }
@@ -106,6 +107,7 @@ Ref Graph::rec_placeholder(std::string name) {
 }
 
 void Graph::seal_rec(Ref rec, Ref body) {
+  ++version_;
   Node& n = nodes_[rec];
   n.children.assign(1, body);
 }

@@ -77,8 +77,18 @@ class Graph {
   Graph& operator=(Graph&&) = default;
 
   [[nodiscard]] const Node& at(Ref r) const { return nodes_[r]; }
-  [[nodiscard]] Node& at_mut(Ref r) { return nodes_[r]; }
+  /// Mutable access counts as a structural edit: it bumps version() so
+  /// hash/canonical caches keyed on it recompute (see compare::HashCache).
+  [[nodiscard]] Node& at_mut(Ref r) {
+    ++version_;
+    return nodes_[r];
+  }
   [[nodiscard]] size_t size() const { return nodes_.size(); }
+
+  /// Monotone generation counter: incremented by every node addition,
+  /// seal_rec, and at_mut access. Caches that derive data from the graph
+  /// (structure hashes, canonical ids) key on (this, size(), version()).
+  [[nodiscard]] uint64_t version() const { return version_; }
 
   Ref integer(Int128 lo, Int128 hi, std::string name = {});
   Ref character(Repertoire rep, std::string name = {});
@@ -110,6 +120,7 @@ class Graph {
  private:
   Ref add(Node n);
   std::vector<Node> nodes_;
+  uint64_t version_ = 0;
 };
 
 /// If `r` is a Var, return the Rec it refers to; otherwise `r` itself.

@@ -1,0 +1,100 @@
+#include "support/threadpool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mbird {
+
+ThreadPool::ThreadPool(size_t threads) {
+  threads = std::max<size_t>(1, threads);
+  queues_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  {
+    std::lock_guard lock(mu_);
+    ++pending_;
+  }
+  {
+    std::lock_guard lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop(size_t me, std::function<void()>& out) {
+  // Own queue: back (LIFO).
+  {
+    Queue& q = *queues_[me];
+    std::lock_guard lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal: front (FIFO) of each victim in ring order after us.
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(me + k) % queues_.size()];
+    std::lock_guard lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(size_t me) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(me, task)) {
+      task();
+      bool idle;
+      {
+        std::lock_guard lock(mu_);
+        idle = --pending_ == 0;
+      }
+      if (idle) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock lock(mu_);
+    if (stop_) return;
+    if (pending_ == 0) {
+      // Nothing anywhere; sleep until new work or shutdown.
+      work_cv_.wait(lock);
+      continue;
+    }
+    // pending_ > 0 but our scan saw empty queues: either tasks are all
+    // running on other workers, or a submit raced our scan. A timed wait
+    // covers the race without busy-spinning.
+    work_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace mbird

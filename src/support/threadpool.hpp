@@ -1,0 +1,78 @@
+// A small work-stealing thread pool (used by `mbird batch --jobs N`).
+//
+// Design: one task deque per worker, each guarded by its own mutex. A
+// worker pops from the BACK of its own deque (LIFO — recently submitted
+// tasks are cache-warm) and, when empty, steals from the FRONT of a
+// victim's deque (FIFO — thieves take the oldest, largest-granularity
+// work). External submit() calls distribute round-robin across deques.
+//
+// Mutex-per-deque rather than a lock-free Chase–Lev deque: batch tasks
+// are whole pair-compilations (milliseconds), so queue operations are
+// nowhere near the contention point, and plain mutexes keep the pool
+// trivially ThreadSanitizer-clean (the CI TSan lane runs the batch
+// driver under load).
+//
+// wait_idle() blocks until every queue is empty AND no task is running —
+// the quiescent point where the submitting thread may read results
+// produced by tasks. Synchronization: task completion decrements
+// pending_ under the pool mutex and notifies; wait_idle() waiting on
+// that mutex/condvar gives the caller a happens-after edge on
+// everything each task wrote.
+//
+// Tasks may submit() further tasks (they count toward pending_ before
+// the parent finishes, so wait_idle() cannot wake between a parent
+// finishing and its children starting).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbird {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1).
+  explicit ThreadPool(size_t threads);
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Callable from any thread, including from inside a
+  /// running task.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks (including recursively submitted
+  /// ones) have finished.
+  void wait_idle();
+
+  [[nodiscard]] size_t size() const { return workers_.size(); }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(size_t me);
+  bool try_pop(size_t me, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                 // guards pending_/stop_ and pairs the cvs
+  std::condition_variable work_cv_;  // workers sleep here when starved
+  std::condition_variable idle_cv_;  // wait_idle() sleeps here
+  size_t pending_ = 0;            // queued + running tasks
+  bool stop_ = false;
+  std::atomic<size_t> next_queue_{0};  // round-robin submit cursor
+};
+
+}  // namespace mbird

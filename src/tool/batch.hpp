@@ -1,0 +1,85 @@
+// `mbird batch`: parallel pair-compilation driver.
+//
+// Reads a manifest of declaration pairs (one `<declA> <declB>` per line,
+// `#` comments and blank lines ignored; decl specs as elsewhere in the
+// CLI — "module:decl" or a bare name searched across modules), lowers
+// every referenced declaration into two shared Mtype graphs, then fans
+// the pairs out over a work-stealing thread pool. All workers share one
+// compare::CrossCache — canonical-id indexes, pair verdicts, plan
+// fragments, and compiled convert-mode PlanIR programs persist across
+// pairs, so inter-related manifests (the paper's §5 workload shape) pay
+// for each shared subproof once globally.
+//
+// Threading model (see DESIGN.md §4f): lowering is single-threaded (the
+// two graphs are mutated), then frozen; the parallel phase only ever
+// reads the graphs, and all cross-thread mutable state lives behind the
+// CrossCache's shard mutexes. Per-pair results land in distinct
+// preallocated slots; ThreadPool::wait_idle() provides the
+// happens-before edge that lets the driver read them.
+//
+// Emits a JSON report (stdout, or --out <file>): per-pair verdict /
+// steps / wall-micros / whether the compiled program came from the
+// cache, plus a summary with aggregate cache statistics.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "compare/compare.hpp"
+#include "mtype/canon.hpp"
+#include "mtype/mtype.hpp"
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::tool {
+
+struct BatchOptions {
+  size_t jobs = 1;
+  std::string out_path;  // empty: JSON to `out`
+};
+
+/// Result of one batch pair: verdict plus compile-side bookkeeping.
+struct PairOutcome {
+  compare::Verdict verdict = compare::Verdict::Mismatch;
+  size_t steps = 0;           // comparer steps (0 when memo-resolved)
+  bool memo_hit = false;      // resolved without running the comparer
+  bool program_cached = false;
+  size_t program_ops = 0;     // instruction count of the compiled plan
+};
+
+/// One pair of the batch's parallel phase: determine the verdict and
+/// compile (or fetch) the left->right convert-mode PlanIR program.
+///
+/// When `base.cross` is set and both strict canonical ids are known, a
+/// memo fast path first replays compare_full()'s decision procedure
+/// against cached verdict entries alone (Equivalence forward, then
+/// Subtype in both orientations — each mode has its own fingerprint): if
+/// every entry the procedure would consult is already present, and the
+/// compiled program too where the verdict requires one, the pair
+/// completes without running the comparer. Any missing entry falls back
+/// to the full compare + compile, which feeds the cache for later pairs.
+///
+/// Thread-safe under the batch driver's model: `ga`/`gb` frozen, all
+/// shared mutable state inside the CrossCache. Exposed (rather than kept
+/// static in batch.cpp) so the benchmarks drive the exact same per-pair
+/// step the `mbird batch` workers run.
+[[nodiscard]] PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
+                                       const mtype::Graph& gb, mtype::Ref rb,
+                                       const compare::Options& base,
+                                       mtype::CanonId left_strict_id,
+                                       mtype::CanonId right_strict_id);
+
+/// Runs the batch command over already-loaded modules. `manifest_text` is
+/// the manifest file's contents (`manifest_name` only labels errors).
+/// Returns a process exit code: 0 when every pair was resolved, lowered,
+/// and compared (mismatch verdicts are data, not failures); nonzero on
+/// setup errors (unknown declaration, unreadable manifest, bad flag).
+int run_batch(std::vector<stype::Module>& modules,
+              const std::string& manifest_text,
+              const std::string& manifest_name, DiagnosticEngine& diags,
+              const BatchOptions& options, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace mbird::tool

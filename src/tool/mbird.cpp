@@ -16,6 +16,7 @@
 #include "planir/planir.hpp"
 #include "project/project.hpp"
 #include "support/strings.hpp"
+#include "tool/batch.hpp"
 
 namespace mbird::tool {
 
@@ -96,9 +97,13 @@ bool load_source(Session& s, Lang lang, const std::string& path,
 int usage(std::ostream& err) {
   err << "usage: mbird [--c|--java|--idl|--classfile|--project <file>]...\n"
          "             [--script <file>] [--annotate '<stmts>']\n"
-         "             <list|show|mtype|diagram|compare|plan|gen|save> ...\n"
+         "             <list|show|mtype|diagram|compare|plan|gen|batch|save> ...\n"
          "  plan <a> <b> [--emit-ir]   print the coercion plan (or its\n"
-         "                             compiled PlanIR bytecode listing)\n";
+         "                             compiled PlanIR bytecode listing)\n"
+         "  batch <manifest> [--jobs N] [--out <file>]\n"
+         "                             compare/compile every '<a> <b>' pair in\n"
+         "                             the manifest over N worker threads,\n"
+         "                             sharing one cross-pair cache; JSON report\n";
   return 2;
 }
 
@@ -308,6 +313,34 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       out << "wrote " << h << " and " << c << '\n';
     }
     return 0;
+  }
+
+  if (cmd == "batch") {
+    if (i >= args.size()) return usage(err);
+    std::string manifest_path = args[i++];
+    BatchOptions bopts;
+    for (; i < args.size(); ++i) {
+      if (args[i] == "--jobs" && i + 1 < args.size()) {
+        try {
+          bopts.jobs = std::stoul(args[++i]);
+        } catch (const std::exception&) {
+          err << "mbird: --jobs expects a number, got '" << args[i] << "'\n";
+          return 2;
+        }
+        if (bopts.jobs == 0) bopts.jobs = 1;
+      } else if (args[i] == "--out" && i + 1 < args.size()) {
+        bopts.out_path = args[++i];
+      } else {
+        err << "mbird: unknown batch option '" << args[i] << "'\n";
+        return 2;
+      }
+    }
+    auto text = read_file(manifest_path);
+    if (!text) {
+      err << "mbird: cannot read " << manifest_path << '\n';
+      return 1;
+    }
+    return run_batch(s.modules, *text, manifest_path, s.diags, bopts, out, err);
   }
 
   if (cmd == "save") {

@@ -21,6 +21,11 @@
 //   plan <declA> <declB>       print the coercion plan
 //   gen <declA> <declB> --name <stub> [-o <dir>]
 //                              emit the C stub (header + source)
+//   batch <manifest> [--jobs N] [--out <file>]
+//                              compare + compile every '<declA> <declB>'
+//                              pair listed in the manifest, fanned out over
+//                              N worker threads sharing one cross-pair
+//                              cache (see tool/batch.hpp); JSON report
 //   save <file.mbp>            save sources + annotations as a project
 //
 // The core entry point is run() so tests can drive the CLI in-process.

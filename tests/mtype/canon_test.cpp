@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "mtype/canon.hpp"
+#include "mtype/mtype.hpp"
+
+namespace mbird::mtype {
+namespace {
+
+// ---- structure_hashes sanity (the prune the Comparer leans on) -------------
+
+TEST(StructureHashes, Deterministic) {
+  auto build = [] {
+    Graph g;
+    Ref inner = g.record({g.integer(0, 255), g.character(Repertoire::Ascii)});
+    (void)g.record({inner, g.real(24, 8), g.list_of(g.integer(-10, 10))});
+    return g;
+  };
+  Graph g1 = build();
+  Graph g2 = build();
+  auto h1 = structure_hashes(g1, false);
+  auto h1_again = structure_hashes(g1, false);
+  auto h2 = structure_hashes(g2, false);
+  EXPECT_EQ(h1, h1_again);
+  // Same construction order => same refs => identical vectors.
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(StructureHashes, CollisionSanityAcrossDistinctShapes) {
+  Graph g;
+  std::vector<Ref> roots = {
+      g.integer(0, 255),
+      g.integer(0, 127),
+      g.character(Repertoire::Ascii),
+      g.character(Repertoire::Unicode),
+      g.real(24, 8),
+      g.unit(),
+      g.record({g.integer(0, 255)}),
+      g.record({g.integer(0, 255), g.integer(0, 255)}),
+      g.choice({g.integer(0, 255), g.character(Repertoire::Ascii)}),
+      g.list_of(g.integer(0, 255)),
+  };
+  auto h = structure_hashes(g, false);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    for (size_t j = i + 1; j < roots.size(); ++j) {
+      EXPECT_NE(h[roots[i]], h[roots[j]])
+          << "hash collision between distinct shapes " << i << " and " << j;
+    }
+  }
+}
+
+// ---- canonical index -------------------------------------------------------
+
+TEST(CanonIndex, InternIsIdempotent) {
+  Graph g;
+  Ref pt = g.record({g.integer(0, 255), g.character(Repertoire::Ascii)});
+  (void)g.record({pt, pt});
+
+  CanonIndex idx;
+  auto ids1 = idx.intern(g);
+  size_t classes_after_first = idx.classes();
+  auto ids2 = idx.intern(g);
+  EXPECT_EQ(ids1, ids2);
+  EXPECT_EQ(idx.classes(), classes_after_first)
+      << "re-interning the same graph must not mint new classes";
+
+  // ids_for memoizes: same snapshot object for an unchanged graph.
+  auto s1 = idx.ids_for(g);
+  auto s2 = idx.ids_for(g);
+  EXPECT_EQ(s1.get(), s2.get());
+  EXPECT_EQ(*s1, ids1);
+}
+
+TEST(CanonIndex, IsomorphicRecordsAcrossGraphsShareIsoId) {
+  Graph ga, gb;
+  Ref a = ga.record({ga.integer(0, 10), ga.character(Repertoire::Ascii)});
+  Ref b = gb.record({gb.character(Repertoire::Ascii), gb.integer(0, 10)});
+
+  CanonIndex iso;  // commutative + associative defaults
+  auto ia = iso.intern(ga);
+  auto ib = iso.intern(gb);
+  EXPECT_EQ(ia[a], ib[b]) << "permuted fields must share an iso class";
+
+  CanonIndex strict(CanonOptions::strict());
+  auto sa = strict.intern(ga);
+  auto sb = strict.intern(gb);
+  EXPECT_NE(sa[a], sb[b]) << "strict ids must distinguish field order";
+
+  // Identical layout across graphs shares a strict id.
+  Graph gc;
+  Ref c = gc.record({gc.integer(0, 10), gc.character(Repertoire::Ascii)});
+  auto sc = strict.intern(gc);
+  EXPECT_EQ(sa[a], sc[c]);
+}
+
+TEST(CanonIndex, AssociativeFlatteningSharesClass) {
+  Graph ga, gb;
+  Ref nested = ga.record(
+      {ga.integer(0, 1),
+       ga.record({ga.character(Repertoire::Ascii), ga.real(24, 8)})});
+  Ref flat = gb.record({gb.integer(0, 1), gb.character(Repertoire::Ascii),
+                        gb.real(24, 8)});
+
+  CanonIndex iso;
+  auto ia = iso.intern(ga);
+  auto ib = iso.intern(gb);
+  EXPECT_EQ(ia[nested], ib[flat]);
+
+  CanonIndex strict(CanonOptions::strict());
+  auto sa = strict.intern(ga);
+  auto sb = strict.intern(gb);
+  EXPECT_NE(sa[nested], sb[flat]);
+}
+
+TEST(CanonIndex, UnitEliminationBridgesToSingleComponent) {
+  CanonOptions uopts;
+  uopts.unit_elimination = true;
+  CanonIndex idx(uopts);
+
+  Graph g;
+  Ref bare = g.integer(0, 99);
+  Ref wrapped = g.record({g.integer(0, 99), g.unit()});
+  auto ids = idx.intern(g);
+  EXPECT_EQ(ids[bare], ids[wrapped])
+      << "Record(tau, Unit) ~ tau under unit elimination";
+
+  // Without unit elimination the record stays distinct.
+  CanonIndex plain;
+  auto pids = plain.intern(g);
+  EXPECT_NE(pids[bare], pids[wrapped]);
+
+  // The bridge must NOT collapse a record onto a record: a single-component
+  // record of a record has a different flattened form than its component
+  // only when the component is reached through a µ-binder; the plain nested
+  // case flattens away entirely.
+  Graph g2;
+  Ref inner2 = g2.record({g2.integer(0, 5), g2.character(Repertoire::Ascii)});
+  Ref outer2 = g2.record({inner2, g2.unit()});
+  auto ids2 = idx.intern(g2);
+  EXPECT_EQ(ids2[outer2], ids2[inner2])
+      << "flattening alone collapses Record(Record(..), Unit)";
+}
+
+TEST(CanonIndex, MuUnfoldingSharesClassUnderIsoOptions) {
+  Graph ga, gb;
+  Ref la = ga.list_of(ga.integer(0, 255));
+  Ref lb = gb.list_of(gb.integer(0, 255));
+
+  CanonIndex iso;  // mu_transparent defaults on
+  auto ia = iso.intern(ga);
+  auto ib = iso.intern(gb);
+  EXPECT_NE(ia[la], kNoCanon);
+  EXPECT_EQ(ia[la], ib[lb]) << "same list type from two graphs, one class";
+
+  // A Var aliasing the Rec resolves to the same class.
+  Graph gc;
+  Ref lc = gc.list_of(gc.integer(0, 255));
+  Ref vc = gc.var(lc);
+  auto ic = iso.intern(gc);
+  EXPECT_EQ(ic[vc], ic[lc]);
+
+  // Lists of different element types stay apart.
+  Graph gd;
+  Ref ld = gd.list_of(gd.character(Repertoire::Ascii));
+  auto id = iso.intern(gd);
+  EXPECT_NE(ia[la], id[ld]);
+}
+
+TEST(CanonIndex, MuWrappedRecordStaysDistinctFromUnfolding) {
+  // Record(µR.Record(Int, Char)) vs Record(Int, Char): the Comparer's
+  // direct-first strategy can still relate these two, but their flattened
+  // congruence differs (arity 1 vs 2), so the iso index keeps them apart.
+  // This is exactly why iso ids are only ever positive evidence.
+  Graph g;
+  Ref r2 = g.record({g.integer(0, 7), g.character(Repertoire::Ascii)});
+  Ref rec = g.rec_placeholder();
+  g.seal_rec(rec, r2);
+  Ref wrapped = g.record({rec});
+
+  CanonIndex iso;
+  auto ids = iso.intern(g);
+  EXPECT_NE(ids[wrapped], kNoCanon);
+  EXPECT_NE(ids[wrapped], ids[r2]);
+  // The µ-binder itself is transparent: same class as its body.
+  EXPECT_EQ(ids[rec], ids[r2]);
+}
+
+TEST(CanonIndex, StrictIdsKeepMuBindersStructural) {
+  Graph g;
+  Ref r2 = g.record({g.integer(0, 7), g.character(Repertoire::Ascii)});
+  Ref rec = g.rec_placeholder();
+  g.seal_rec(rec, r2);
+
+  CanonIndex strict(CanonOptions::strict());
+  auto ids = strict.intern(g);
+  EXPECT_NE(ids[rec], kNoCanon);
+  EXPECT_NE(ids[rec], ids[r2])
+      << "strict ids must distinguish a µ-binder from its body";
+}
+
+TEST(CanonIndex, DegenerateNodesGetNoCanon) {
+  Graph g;
+  Ref ok = g.integer(0, 1);
+  Ref unsealed = g.rec_placeholder();
+  Ref holder = g.record({unsealed, g.integer(0, 1)});
+
+  CanonIndex idx;
+  auto ids = idx.intern(g);
+  EXPECT_NE(ids[ok], kNoCanon);
+  EXPECT_EQ(ids[unsealed], kNoCanon) << "unsealed rec is degenerate";
+  EXPECT_EQ(ids[holder], kNoCanon) << "degeneracy is contagious upward";
+}
+
+TEST(CanonIndex, IdsAreStableAcrossLaterInterns) {
+  CanonIndex idx;
+  Graph ga;
+  Ref a = ga.record({ga.integer(0, 10), ga.real(24, 8)});
+  auto ia = idx.intern(ga);
+  CanonId a_id = ia[a];
+
+  // Interning more graphs — equivalent or novel — never changes a's id.
+  Graph gb;
+  Ref b = gb.record({gb.real(24, 8), gb.integer(0, 10)});  // iso-equal
+  Graph gc;
+  Ref c = gc.choice({gc.integer(0, 10), gc.unit()});  // novel
+  auto ib = idx.intern(gb);
+  auto ic = idx.intern(gc);
+  EXPECT_EQ(ib[b], a_id);
+  EXPECT_NE(ic[c], a_id);
+
+  auto ia_again = idx.intern(ga);
+  EXPECT_EQ(ia_again[a], a_id);
+  EXPECT_EQ(ia_again, ia);
+}
+
+}  // namespace
+}  // namespace mbird::mtype

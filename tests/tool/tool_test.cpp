@@ -196,5 +196,82 @@ TEST_F(ToolTest, ModuleQualifiedAddressing) {
   EXPECT_EQ(r.code, 0) << r.err;
 }
 
+// ---- batch ------------------------------------------------------------------
+
+TEST_F(ToolTest, BatchComparesManifestPairs) {
+  // The duplicate pair exercises the shared program memo: whichever task
+  // runs second fetches the compiled program instead of recompiling.
+  write(dir_ + "/pairs.txt",
+        "# equivalence pairs\n"
+        "fitter JavaIdeal.fitter\n"
+        "fitter JavaIdeal.fitter  # duplicate, should hit the cache\n"
+        "\n"
+        "Point Line\n");
+  auto args = fitter_inputs();
+  args.insert(args.end(), {"batch", dir_ + "/pairs.txt", "--jobs", "2"});
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"pairs\": 3"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"equivalent\": 2"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"mismatch\": 1"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"program_cached\": true"), std::string::npos)
+      << "duplicate pair should reuse the compiled program: " << r.out;
+  EXPECT_NE(r.out.find("\"cache\""), std::string::npos);
+}
+
+TEST_F(ToolTest, BatchWritesReportFile) {
+  write(dir_ + "/pairs.txt", "fitter JavaIdeal.fitter\n");
+  auto args = fitter_inputs();
+  args.push_back("batch");
+  args.push_back(dir_ + "/pairs.txt");
+  args.push_back("--out");
+  args.push_back(dir_ + "/report.json");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote"), std::string::npos);
+  std::ifstream f(dir_ + "/report.json");
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("\"verdict\": \"equivalent\""), std::string::npos)
+      << ss.str();
+}
+
+TEST_F(ToolTest, BatchRejectsBadInputs) {
+  // Unknown declaration in the manifest.
+  write(dir_ + "/bad.txt", "fitter NoSuchDecl\n");
+  auto args = fitter_inputs();
+  args.push_back("batch");
+  args.push_back(dir_ + "/bad.txt");
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown declaration"), std::string::npos);
+
+  // Malformed manifest line.
+  write(dir_ + "/malformed.txt", "just-one-token\n");
+  args = fitter_inputs();
+  args.push_back("batch");
+  args.push_back(dir_ + "/malformed.txt");
+  r = run_cli(args);
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("expected"), std::string::npos);
+
+  // Missing manifest file.
+  args = fitter_inputs();
+  args.push_back("batch");
+  args.push_back(dir_ + "/nope.txt");
+  r = run_cli(args);
+  EXPECT_EQ(r.code, 1);
+
+  // Non-numeric --jobs.
+  write(dir_ + "/pairs.txt", "fitter JavaIdeal.fitter\n");
+  args = fitter_inputs();
+  args.push_back("batch");
+  args.push_back(dir_ + "/pairs.txt");
+  args.push_back("--jobs");
+  args.push_back("lots");
+  r = run_cli(args);
+  EXPECT_EQ(r.code, 2);
+}
+
 }  // namespace
 }  // namespace mbird::tool
