@@ -6,11 +6,36 @@
 // visible (a tag that fits a byte costs a byte).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "annotate/script.hpp"
+#include "compare/compare.hpp"
 #include "javasrc/javaparser.hpp"
 #include "lower/lower.hpp"
+#include "planir/planir.hpp"
 #include "runtime/conform.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/layout.hpp"
+#include "runtime/vm.hpp"
 #include "wire/wire.hpp"
+
+// Heap-allocation counter for the marshaling benchmarks: the zero-copy
+// native path's whole point is not materializing Values, so allocs/op is
+// the second axis next to wall time.
+std::atomic<uint64_t> g_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -118,5 +143,154 @@ void BM_RoundtripCursor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RoundtripCursor);
+
+// ---- zero-copy native marshaling -------------------------------------------
+//
+// The E4 workload: a record-heavy telemetry struct of byte-wide fields (the
+// shape BlockCopy specializes on a little-endian host) plus one ranged
+// 16-bit sequence number that forces a genuine converted field. Three ways
+// to put it on the wire:
+//   * TwoPhase — read_image -> Converter -> wire::encode (tree paths);
+//   * FusedValue — PlanVm::marshal on a pre-read Value (PR2 fused path);
+//   * NativeZeroCopy — PlanVm::marshal_native straight from heap bytes.
+
+struct NativeWorld {
+  std::shared_ptr<const runtime::ImageLayout> layout;
+  mtype::Graph g;
+  mtype::Ref msg = mtype::kNullRef;
+  plan::PlanGraph plan;
+  plan::PlanRef root = plan::kNullPlan;
+  planir::Program native;
+  planir::Program fused;
+  runtime::NativeHeap heap;
+  uint64_t base = 0;
+
+  // struct Telemetry { struct Block { uint8_t b[16]; } blk[4]; uint16_t seq; }
+  // flattened: 4 records x 16 byte fields, then the ranged seq.
+  NativeWorld() {
+    using LK = runtime::ImageLayout::K;
+    runtime::ImageLayout il;
+    il.names = {""};
+    il.nodes.emplace_back();  // root record, filled below
+    std::vector<uint32_t> root_kids;
+    std::vector<mtype::Ref> groups;
+    uint32_t off = 0;
+    for (int grp = 0; grp < 4; ++grp) {
+      uint32_t rec = static_cast<uint32_t>(il.nodes.size());
+      root_kids.push_back(rec);
+      il.nodes.emplace_back();
+      il.nodes[rec].kind = LK::Record;
+      std::vector<uint32_t> kids;
+      std::vector<mtype::Ref> fields;
+      for (int i = 0; i < 16; ++i) {
+        uint32_t leaf = static_cast<uint32_t>(il.nodes.size());
+        kids.push_back(leaf);
+        il.nodes.emplace_back();
+        il.nodes[leaf].kind = LK::UInt;
+        il.nodes[leaf].offset = off++;
+        il.nodes[leaf].width = 1;
+        fields.push_back(g.integer(0, 255));
+      }
+      il.nodes[rec].kids_off = static_cast<uint32_t>(il.kids.size());
+      il.nodes[rec].kids_len = static_cast<uint32_t>(kids.size());
+      il.kids.insert(il.kids.end(), kids.begin(), kids.end());
+      groups.push_back(g.record(std::move(fields)));
+    }
+    uint32_t seq = static_cast<uint32_t>(il.nodes.size());
+    root_kids.push_back(seq);
+    il.nodes.emplace_back();
+    il.nodes[seq].kind = LK::UInt;
+    il.nodes[seq].offset = off;
+    il.nodes[seq].width = 2;
+    il.nodes[seq].has_lo = il.nodes[seq].has_hi = true;
+    il.nodes[seq].lo = 0;
+    il.nodes[seq].hi = 9999;
+    groups.push_back(g.integer(0, 9999));
+    off += 2;
+    il.nodes[0].kind = LK::Record;
+    il.nodes[0].kids_off = static_cast<uint32_t>(il.kids.size());
+    il.nodes[0].kids_len = static_cast<uint32_t>(root_kids.size());
+    il.kids.insert(il.kids.end(), root_kids.begin(), root_kids.end());
+    il.size = off;
+    msg = g.record(std::move(groups));
+    layout = std::make_shared<const runtime::ImageLayout>(std::move(il));
+
+    auto full = compare::compare_full(g, msg, g, msg);
+    if (full.verdict != compare::Verdict::Equivalent) abort();
+    plan = std::move(full.to_right.plan);
+    root = full.to_right.root;
+    native = planir::compile_native_marshal(plan, root, g, msg, layout);
+    fused = planir::compile_marshal(plan, root, g, msg);
+    if (!planir::verify(native).empty() || !planir::verify(fused).empty()) {
+      abort();
+    }
+
+    base = heap.alloc(layout->size, 2);
+    for (uint32_t i = 0; i < 64; ++i) {
+      heap.write_uint(base + i, 1, 0x40u + (i % 26));
+    }
+    heap.write_uint(base + 64, 2, 1234);
+  }
+
+  [[nodiscard]] size_t block_copies() const {
+    size_t n = 0;
+    for (const auto& ins : native.code) {
+      n += ins.op == planir::OpCode::BlockCopy ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+NativeWorld& native_world() {
+  static NativeWorld w;
+  return w;
+}
+
+void BM_MarshalTwoPhaseFromHeap(benchmark::State& state) {
+  NativeWorld& w = native_world();
+  runtime::Converter conv(w.plan);
+  uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    Value v = runtime::read_image(*w.layout, 0, w.heap, w.base);
+    auto buf = wire::encode(w.g, w.msg, conv.apply(w.root, v));
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["allocs_per_op"] =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) - allocs0) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MarshalTwoPhaseFromHeap);
+
+void BM_MarshalFusedFromValue(benchmark::State& state) {
+  NativeWorld& w = native_world();
+  runtime::PlanVm vm(w.fused);
+  Value v = runtime::read_image(*w.layout, 0, w.heap, w.base);
+  uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    auto buf = vm.marshal(v);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["allocs_per_op"] =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) - allocs0) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MarshalFusedFromValue);
+
+void BM_MarshalNativeZeroCopy(benchmark::State& state) {
+  NativeWorld& w = native_world();
+  runtime::PlanVm vm(w.native);
+  std::vector<uint8_t> buf;
+  buf.reserve(256);
+  uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    vm.marshal_native_into(w.heap, w.base, buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["allocs_per_op"] =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) - allocs0) /
+      static_cast<double>(state.iterations());
+  state.counters["block_copies"] = static_cast<double>(w.block_copies());
+}
+BENCHMARK(BM_MarshalNativeZeroCopy);
 
 }  // namespace

@@ -13,6 +13,13 @@
 #   * BM_FusedConvertMarshal beating BM_ConvertThenMarshal (fused
 #     convert-to-wire vs. two-phase convert + encode).
 #
+# bench/BENCH_native.json documents the zero-copy native marshaler:
+#   * BM_MarshalNativeZeroCopy >= 3x BM_MarshalTwoPhaseFromHeap (the
+#     acceptance ratio) with block_copies >= 1 (the byte-wide spans
+#     collapse into BlockCopy) and allocs_per_op near zero;
+#   * BM_MarshalFusedFromValue sits between the two: fused encode but
+#     still fed from a materialized Value.
+#
 # bench/BENCH_compare.json documents the cross-pair cache:
 #   * BM_CompareClassesSoloPairs is the no-cache baseline;
 #   * BM_CompareClassesCrossWarm beats both SoloPairs and CrossCold (a
@@ -33,7 +40,7 @@ build="${1:-$repo/build}"
 if [ ! -f "$build/CMakeCache.txt" ]; then
   cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$build" -j --target bench_fitter_conversion bench_comparer_scaling
+cmake --build "$build" -j --target bench_fitter_conversion bench_comparer_scaling bench_marshal_wire
 
 "$build/bench/bench_fitter_conversion" \
   --benchmark_filter='MockingbirdStub|PlanIRStub|ChoiceHeavy|ConvertThenMarshal|FusedConvertMarshal' \
@@ -54,3 +61,13 @@ echo "wrote $repo/bench/BENCH_planir.json"
   --benchmark_out_format=json
 
 echo "wrote $repo/bench/BENCH_compare.json"
+
+"$build/bench/bench_marshal_wire" \
+  --benchmark_filter='BM_Marshal' \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=1 \
+  --benchmark_format=json \
+  --benchmark_out="$repo/bench/BENCH_native.json" \
+  --benchmark_out_format=json
+
+echo "wrote $repo/bench/BENCH_native.json"

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "planir/planir.hpp"
+#include "runtime/layout.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/writer.hpp"
@@ -757,6 +758,237 @@ class MarshalEmitter {
   std::vector<std::string> pending_;
 };
 
+// ---- native marshaler ----------------------------------------------------------
+
+/// Straight-line C from a native-marshal program: the instruction tree is
+/// small by construction (NativeSeq fields inline, no loops or recursion),
+/// so every op becomes a braced block over `img`/`buf`/`n`.
+class NativeMarshalEmitter {
+ public:
+  NativeMarshalEmitter(const planir::Program& prog, CodeWriter& w)
+      : prog_(prog), il_(*prog.src_layout), w_(w) {}
+
+  void emit_prologue() {
+    // Mirror runtime::check_image_ranges: every annotated integer range and
+    // enum membership, in pre-order read order, before any byte is written.
+    for (const auto& n : il_.nodes) {
+      switch (n.kind) {
+        case runtime::ImageLayout::K::UInt:
+        case runtime::ImageLayout::K::SInt: {
+          if (!n.has_lo && !n.has_hi) break;
+          bool sig = n.kind == runtime::ImageLayout::K::SInt;
+          w_.open("{");
+          read_scalar(sig, n.offset, n.width);
+          if (n.has_lo) fail_if("x < " + lit(sig, n.lo));
+          if (n.has_hi) fail_if("x > " + lit(sig, n.hi));
+          w_.close("}");
+          break;
+        }
+        case runtime::ImageLayout::K::Enum: {
+          w_.open("{");
+          read_scalar(/*is_signed=*/true, n.offset, n.width);
+          w_.open("switch (x) {");
+          std::string cases;
+          for (uint32_t k = 0; k < n.enum_len; ++k) {
+            cases += "case " + lit(true, Int128{il_.enum_pool[n.enum_off + k]}) +
+                     ": ";
+          }
+          w_.line(cases + "break;");
+          w_.line("default: return (size_t)-1;");
+          w_.close("}");
+          w_.close("}");
+          break;
+        }
+        default: break;
+      }
+    }
+  }
+
+  void emit_op(uint32_t idx) {
+    const planir::Instr& ins = prog_.code[idx];
+    switch (ins.op) {
+      case planir::OpCode::EmitNothing: return;
+      case planir::OpCode::LoadInt: {
+        const auto& s = prog_.natives[ins.a];
+        bool sig = (s.flags & planir::Program::NativeSlot::kSigned) != 0;
+        bool b = (s.flags & planir::Program::NativeSlot::kBool) != 0;
+        w_.open("{");
+        read_scalar(sig && !b, s.src_off, s.width);
+        if (b) w_.line("x = x != 0 ? 1 : 0;");
+        Int128 dmin = b ? 0 : domain_min(sig, s.width);
+        Int128 dmax = b ? 1 : domain_max(sig, s.width);
+        check_range(sig && !b, dmin, dmax, ins.lo, ins.hi);
+        const mtype::Node& dn = prog_.dst_graph->at(prog_.dst_types[ins.b]);
+        check_range(sig && !b, dmin, dmax, dn.lo, dn.hi);
+        // Modular subtraction of the wire base; the checked value fits the
+        // wire width, so the low 64 bits are the encoding.
+        w_.line("uint64_t ux = (uint64_t)x - (uint64_t)" + lit(true, dn.lo) +
+                ";");
+        put_big("ux", slot_aux(s));
+        w_.close("}");
+        return;
+      }
+      case planir::OpCode::LoadReal32: {
+        const auto& s = prog_.natives[ins.a];
+        w_.open("{");
+        read_real(s);
+        w_.line("float f = (float)d; uint32_t bits; memcpy(&bits, &f, 4);");
+        put_big("bits", 4);
+        w_.close("}");
+        return;
+      }
+      case planir::OpCode::LoadReal64: {
+        const auto& s = prog_.natives[ins.a];
+        w_.open("{");
+        read_real(s);
+        w_.line("uint64_t bits; memcpy(&bits, &d, 8);");
+        put_big("bits", 8);
+        w_.close("}");
+        return;
+      }
+      case planir::OpCode::LoadChar1: {
+        const auto& s = prog_.natives[ins.a];
+        w_.open("{");
+        read_scalar(/*is_signed=*/false, s.src_off, s.width);
+        fail_if("x > 0xff");
+        w_.line("buf[n++] = (uint8_t)x;");
+        w_.close("}");
+        return;
+      }
+      case planir::OpCode::LoadChar4: {
+        const auto& s = prog_.natives[ins.a];
+        w_.open("{");
+        read_scalar(/*is_signed=*/false, s.src_off, s.width);
+        w_.line("uint64_t ux = x;");
+        put_big("ux", 4);
+        w_.close("}");
+        return;
+      }
+      case planir::OpCode::BlockCopy: {
+        const auto& s = prog_.natives[ins.a];
+        w_.line("memcpy(buf + n, img + " + std::to_string(s.src_off) + ", " +
+                std::to_string(s.width) + "); n += " + std::to_string(s.width) +
+                ";");
+        return;
+      }
+      case planir::OpCode::ConstBytes: {
+        std::string bytes;
+        for (uint32_t k = 0; k < ins.b; ++k) {
+          if (k != 0) bytes += ", ";
+          bytes += std::to_string(prog_.byte_pool[ins.a + k]);
+        }
+        w_.line("{ static const uint8_t c[] = {" + bytes +
+                "}; memcpy(buf + n, c, " + std::to_string(ins.b) + "); n += " +
+                std::to_string(ins.b) + "; }");
+        return;
+      }
+      case planir::OpCode::NativeSeq: {
+        const auto& rt = prog_.records[ins.a];
+        for (uint32_t k = 0; k < rt.fields_len; ++k) {
+          emit_op(prog_.fields[rt.fields_off + k].op);
+        }
+        return;
+      }
+      case planir::OpCode::LoadEnum:
+      case planir::OpCode::LoadOpaque:
+        throw MbError(std::string("codegen native marshaler: ") +
+                      planir::to_string(ins.op) +
+                      " needs the runtime fallback path");
+      default:
+        throw MbError(std::string("codegen native marshaler: unexpected op ") +
+                      planir::to_string(ins.op));
+    }
+  }
+
+ private:
+  static Int128 domain_min(bool is_signed, uint32_t width) {
+    return is_signed ? -pow2(8 * width - 1) : Int128{0};
+  }
+  static Int128 domain_max(bool is_signed, uint32_t width) {
+    return is_signed ? pow2(8 * width - 1) - 1 : pow2(8 * width) - 1;
+  }
+
+  static unsigned slot_aux(const planir::Program::NativeSlot& s) {
+    if (s.aux > 8) throw MbError("codegen native marshaler: >64-bit range");
+    return s.aux;
+  }
+
+  /// A C literal for `v` typed to match the compared variable. INT64_MIN
+  /// has no direct literal spelling; everything else fits a plain suffix.
+  static std::string lit(bool is_signed, Int128 v) {
+    if (!is_signed) {
+      if (v < 0 || v > Int128{static_cast<__int128>(~uint64_t{0})}) {
+        throw MbError("codegen native marshaler: >64-bit range");
+      }
+      return to_string(v) + "ULL";
+    }
+    if (v == -pow2(63)) return "(-9223372036854775807LL - 1)";
+    if (v < -pow2(63) || v > pow2(63) - 1) {
+      throw MbError("codegen native marshaler: >64-bit range");
+    }
+    return to_string(v) + "LL";
+  }
+
+  void fail_if(const std::string& cond) {
+    w_.line("if (" + cond + ") return (size_t)-1;");
+  }
+
+  /// Declare `x` holding the little-endian scalar at img[off..off+width),
+  /// sign-extended when `is_signed` (matching NativeHeap::read_int/read_uint).
+  void read_scalar(bool is_signed, uint32_t off, uint32_t width) {
+    w_.line("uint64_t r = 0; for (int k = " + std::to_string(width - 1) +
+            "; k >= 0; --k) r = (r << 8) | img[" + std::to_string(off) +
+            " + k];");
+    if (is_signed) {
+      unsigned sh = 64 - 8 * width;
+      w_.line("int64_t x = (int64_t)(r << " + std::to_string(sh) + ") >> " +
+              std::to_string(sh) + ";");
+    } else {
+      w_.line("uint64_t x = r;");
+    }
+  }
+
+  /// Declare `d` holding the native real (f32 widened) at the slot.
+  void read_real(const planir::Program::NativeSlot& s) {
+    if (s.width == 4) {
+      w_.line("float sf; memcpy(&sf, img + " + std::to_string(s.src_off) +
+              ", 4); double d = (double)sf;");
+    } else {
+      w_.line("double d; memcpy(&d, img + " + std::to_string(s.src_off) +
+              ", 8);");
+    }
+  }
+
+  /// Bounds on `x` (domain [dmin..dmax]) against [lo..hi]; checks the domain
+  /// already implies are skipped, impossible ranges fail unconditionally.
+  void check_range(bool is_signed, Int128 dmin, Int128 dmax, Int128 lo,
+                   Int128 hi) {
+    if (lo > dmin) {
+      if (lo > dmax) {
+        w_.line("return (size_t)-1;");
+        return;
+      }
+      fail_if("x < " + lit(is_signed, lo));
+    }
+    if (hi < dmax) {
+      if (hi < dmin) {
+        w_.line("return (size_t)-1;");
+        return;
+      }
+      fail_if("x > " + lit(is_signed, hi));
+    }
+  }
+
+  void put_big(const std::string& var, unsigned bytes) {
+    w_.line("for (int k = " + std::to_string(bytes - 1) +
+            "; k >= 0; --k) buf[n++] = (uint8_t)(" + var + " >> (8 * k));");
+  }
+
+  const planir::Program& prog_;
+  const runtime::ImageLayout& il_;
+  CodeWriter& w_;
+};
+
 }  // namespace
 
 CStub generate_c_stub(const Graph& ga, Ref a, const Graph& gb, Ref b,
@@ -848,6 +1080,32 @@ CStub generate_c_stub(const Graph& ga, Ref a, const Graph& gb, Ref b,
   out.src_type = src_root_t;
   out.dst_type = dst_root_t;
   return out;
+}
+
+std::string generate_native_marshaler(const planir::Program& prog,
+                                      const std::string& fn_name) {
+  if (prog.mode != planir::Program::Mode::NativeMarshal) {
+    throw MbError("generate_native_marshaler() needs a native-marshal program");
+  }
+  planir::require_valid(prog);
+
+  CodeWriter w;
+  w.line("/* Generated by Mockingbird. Do not edit. */");
+  w.line("#include <stdint.h>");
+  w.line("#include <stddef.h>");
+  w.line("#include <string.h>");
+  w.blank();
+  w.line("/* Marshal the " + std::to_string(prog.src_layout->size) +
+         "-byte native image at img to wire bytes in buf. Returns the");
+  w.line("   byte count, or (size_t)-1 when a read-time check fails. */");
+  w.open("size_t " + fn_name + "(const uint8_t *img, uint8_t *buf) {");
+  w.line("size_t n = 0;");
+  NativeMarshalEmitter em(prog, w);
+  em.emit_prologue();
+  em.emit_op(prog.entry);
+  w.line("return n;");
+  w.close("}");
+  return w.take();
 }
 
 }  // namespace mbird::codegen

@@ -27,6 +27,10 @@
 #include "mtype/mtype.hpp"
 #include "plan/plan.hpp"
 
+namespace mbird::planir {
+struct Program;
+}  // namespace mbird::planir
+
 namespace mbird::codegen {
 
 struct Options {
@@ -53,5 +57,20 @@ struct CStub {
 
 /// The C spelling of an Mtype integer range (exposed for tests).
 [[nodiscard]] std::string c_int_type(Int128 lo, Int128 hi);
+
+/// Generate a self-contained C translation unit from a native-marshal
+/// PlanIR program (planir::compile_native_marshal):
+///
+///   size_t <fn_name>(const uint8_t *img, uint8_t *buf);
+///
+/// `img` is the base of the source's native memory image; wire bytes are
+/// written to `buf` and the byte count returned, or (size_t)-1 when a
+/// read-time range / repertoire check fails — the C analogue of the VM's
+/// typed throws, raised at the same field in the same order. BlockCopy
+/// lowers to memcpy, scalar loads to bounded big-endian stores, ConstBytes
+/// to static byte arrays. Programs containing LoadOpaque or LoadEnum need
+/// the runtime fallback path and are rejected with MbError.
+[[nodiscard]] std::string generate_native_marshaler(
+    const planir::Program& prog, const std::string& fn_name);
 
 }  // namespace mbird::codegen

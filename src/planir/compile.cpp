@@ -39,6 +39,16 @@ const char* to_string(OpCode op) {
     case OpCode::EmitExtract: return "emit_extract";
     case OpCode::EmitCustom: return "emit_custom";
     case OpCode::EmitOpaque: return "emit_opaque";
+    case OpCode::LoadInt: return "load_int";
+    case OpCode::LoadReal32: return "load_real32";
+    case OpCode::LoadReal64: return "load_real64";
+    case OpCode::LoadChar1: return "load_char1";
+    case OpCode::LoadChar4: return "load_char4";
+    case OpCode::LoadEnum: return "load_enum";
+    case OpCode::NativeSeq: return "native_seq";
+    case OpCode::BlockCopy: return "block_copy";
+    case OpCode::ConstBytes: return "const_bytes";
+    case OpCode::LoadOpaque: return "load_opaque";
   }
   return "?";
 }

@@ -1,6 +1,7 @@
 #include <sstream>
 
 #include "planir/planir.hpp"
+#include "runtime/layout.hpp"
 
 namespace mbird::planir {
 
@@ -30,11 +31,16 @@ void put_field(std::ostream& os, const Program& p, uint32_t fidx) {
 
 std::string disassemble(const Program& p) {
   std::ostringstream os;
-  os << "planir "
-     << (p.mode == Program::Mode::Marshal ? "marshal" : "convert")
-     << " program: entry=i" << p.entry << " instrs=" << p.code.size()
-     << " fields=" << p.fields.size() << " arms=" << p.arms.size()
-     << " trie-nodes=" << p.trie.size() << "\n";
+  const char* mode_name = p.mode == Program::Mode::Convert ? "convert"
+                          : p.mode == Program::Mode::Marshal ? "marshal"
+                                                             : "native-marshal";
+  os << "planir " << mode_name << " program: entry=i" << p.entry
+     << " instrs=" << p.code.size() << " fields=" << p.fields.size()
+     << " arms=" << p.arms.size() << " trie-nodes=" << p.trie.size();
+  if (p.mode == Program::Mode::NativeMarshal && p.src_layout) {
+    os << " image=" << p.src_layout->size << "B";
+  }
+  os << "\n";
   for (uint32_t i = 0; i < p.code.size(); ++i) {
     const Instr& ins = p.code[i];
     os << "  i" << i << ": " << to_string(ins.op);
@@ -105,6 +111,54 @@ std::string disassemble(const Program& p) {
       case OpCode::EmitOpaque:
         os << " fallback=i" << ins.a << " dst=t" << ins.b;
         break;
+      case OpCode::LoadInt: {
+        const Program::NativeSlot& s = p.natives[ins.a];
+        os << " [" << mbird::to_string(ins.lo) << ".." << mbird::to_string(ins.hi)
+           << "] img@" << s.src_off << "+" << s.width;
+        if (s.flags & Program::NativeSlot::kSigned) os << " signed";
+        if (s.flags & Program::NativeSlot::kBool) os << " bool";
+        os << " width=" << s.aux << " dst=t" << ins.b;
+        break;
+      }
+      case OpCode::LoadEnum: {
+        const Program::NativeSlot& s = p.natives[ins.a];
+        os << " [" << mbird::to_string(ins.lo) << ".." << mbird::to_string(ins.hi)
+           << "] img@" << s.src_off << "+" << s.width << " node=" << s.layout_node
+           << " width=" << s.aux << " dst=t" << ins.b;
+        break;
+      }
+      case OpCode::LoadReal32:
+      case OpCode::LoadReal64:
+      case OpCode::LoadChar1:
+      case OpCode::LoadChar4: {
+        const Program::NativeSlot& s = p.natives[ins.a];
+        os << " img@" << s.src_off << "+" << s.width;
+        break;
+      }
+      case OpCode::BlockCopy: {
+        const Program::NativeSlot& s = p.natives[ins.a];
+        os << " img[" << s.src_off << ".." << (s.src_off + s.width) << ")";
+        break;
+      }
+      case OpCode::ConstBytes:
+        os << " pool@" << ins.a << "+" << ins.b;
+        break;
+      case OpCode::NativeSeq: {
+        const Program::RecordTab& rt = p.records[ins.a];
+        os << " r" << ins.a << " {";
+        for (uint32_t k = 0; k < rt.fields_len; ++k) {
+          if (k) os << "; ";
+          os << "i" << p.fields[rt.fields_off + k].op;
+        }
+        os << "}";
+        break;
+      }
+      case OpCode::LoadOpaque: {
+        const Program::NativeSlot& s = p.natives[ins.a];
+        os << " node=" << s.layout_node << " fallback=i" << s.aux << " dst=t"
+           << ins.b;
+        break;
+      }
       default: break;
     }
     if (i < p.origin.size()) os << "  ; plan#" << p.origin[i];
@@ -115,7 +169,7 @@ std::string disassemble(const Program& p) {
     for (const auto& name : p.custom_names) os << " '" << name << "'";
     os << "\n";
   }
-  if (p.mode == Program::Mode::Marshal) {
+  if (p.mode != Program::Mode::Convert) {
     os << "  dst-types:";
     for (uint32_t k = 0; k < p.dst_types.size(); ++k) {
       os << " t" << k << "=@" << p.dst_types[k];

@@ -41,6 +41,10 @@
 #include "support/error.hpp"
 #include "support/wide_int.hpp"
 
+namespace mbird::runtime {
+struct ImageLayout;
+}  // namespace mbird::runtime
+
 namespace mbird::planir {
 
 enum class OpCode : uint8_t {
@@ -70,6 +74,22 @@ enum class OpCode : uint8_t {
   EmitExtract,  // a: fields[] index
   EmitCustom,   // a: custom_names[] index, b: dst_types[] index
   EmitOpaque,   // a: entry into the fallback convert program, b: dst_types[]
+
+  // Native-marshal mode: emit wire bytes straight out of a NativeHeap image
+  // (no Value construction). Every Load*/BlockCopy `a` operand indexes the
+  // natives[] slot table; offsets are absolute from the image base.
+  LoadInt,     // a: natives[] (aux = wire width), b: dst_types[]; lo/hi: plan range
+  LoadReal32,  // a: natives[] (width selects the native f32/f64 read)
+  LoadReal64,  // a: natives[]
+  LoadChar1,   // a: natives[] (cp > 0xff rejected like wire::encode)
+  LoadChar4,   // a: natives[]
+  LoadEnum,    // a: natives[] (layout_node names the Enum; aux = wire width),
+               // b: dst_types[]; lo/hi: plan range over the ordinal
+  NativeSeq,   // a: records[] index (no skeleton: fields are ordered sub-ops)
+  BlockCopy,   // a: natives[] — image bytes [src_off, src_off+width) verbatim
+  ConstBytes,  // a: byte_pool offset, b: length (static choice prefixes)
+  LoadOpaque,  // a: natives[] (layout_node = subtree to materialize, aux =
+               // fallback convert entry), b: dst_types[]
 };
 [[nodiscard]] const char* to_string(OpCode op);
 
@@ -82,7 +102,7 @@ struct Instr {
 };
 
 struct Program {
-  enum class Mode : uint8_t { Convert, Marshal };
+  enum class Mode : uint8_t { Convert, Marshal, NativeMarshal };
 
   Mode mode = Mode::Convert;
   uint32_t entry = 0;
@@ -140,11 +160,26 @@ struct Program {
   // Provenance: per instruction, the plan node it was lowered from.
   std::vector<plan::PlanRef> origin;
 
-  // Marshal mode only: destination type bindings and the convert program
-  // used by EmitOpaque/EmitCustom. dst_graph must outlive the program.
+  // Marshal / native-marshal modes: destination type bindings and the
+  // convert program used by EmitOpaque/EmitCustom/LoadOpaque. dst_graph
+  // must outlive the program.
   const mtype::Graph* dst_graph = nullptr;
   std::vector<mtype::Ref> dst_types;
   std::shared_ptr<const Program> fallback;
+
+  // Native-marshal mode only: per-op image access descriptors plus the
+  // layout they were compiled against. The verifier bounds-checks every
+  // slot against src_layout->size so the VM can read without re-checking.
+  struct NativeSlot {
+    enum Flag : uint32_t { kSigned = 1, kBool = 2 };
+    uint32_t src_off = 0;      // absolute byte offset into the image
+    uint32_t width = 0;        // native bytes read (BlockCopy: span length)
+    uint32_t layout_node = 0;  // ImageLayout node this access came from
+    uint32_t flags = 0;
+    uint32_t aux = 0;  // LoadInt/LoadEnum: wire width; LoadOpaque: fallback entry
+  };
+  std::vector<NativeSlot> natives;
+  std::shared_ptr<const runtime::ImageLayout> src_layout;
 };
 
 // ---- typed verification errors ---------------------------------------------
@@ -162,6 +197,8 @@ enum class IrFault : uint8_t {
   BadIntRange,     // lo > hi
   ModeMismatch,    // convert/marshal structure confusion
   BadEntry,        // entry instruction out of range / empty program
+  NativeBounds,    // native access outside the declared layout / node
+                   // disagreement (span/type mismatch)
 };
 [[nodiscard]] const char* to_string(IrFault f);
 
@@ -200,6 +237,23 @@ class IrError : public MbError {
                                       plan::PlanRef root,
                                       const mtype::Graph& dst_graph,
                                       mtype::Ref dst_type);
+
+/// Lower to a native-marshal program: loads read scalar fields straight out
+/// of the NativeHeap image described by `layout` and emit wire bytes for
+/// `dst_type`. A specializer pass collapses maximal contiguous spans whose
+/// native bytes are provably identical to their wire encoding (matching
+/// width, zero-based unsigned range, byte order, no failable checks) into
+/// single BlockCopy ops. Plan subtrees that cannot be paired with both the
+/// layout and the destination fall back to LoadOpaque (materialize the
+/// subtree Value, run the embedded convert program, wire::encode), so
+/// output is byte-identical to read-native → convert → encode by
+/// construction. The VM additionally replays every read-time check
+/// (annotated ranges, enum membership) up front, so the fused path fails
+/// exactly where the two-phase path fails — even on fields the plan drops.
+[[nodiscard]] Program compile_native_marshal(
+    const plan::PlanGraph& plan, plan::PlanRef root,
+    const mtype::Graph& dst_graph, mtype::Ref dst_type,
+    std::shared_ptr<const runtime::ImageLayout> layout);
 
 // ---- verification -----------------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "planir/planir.hpp"
+#include "runtime/layout.hpp"
 
 namespace mbird::planir {
 
@@ -22,6 +23,7 @@ const char* to_string(IrFault f) {
     case IrFault::BadIntRange: return "bad-int-range";
     case IrFault::ModeMismatch: return "mode-mismatch";
     case IrFault::BadEntry: return "bad-entry";
+    case IrFault::NativeBounds: return "native-bounds";
   }
   return "?";
 }
@@ -47,8 +49,18 @@ class Checker {
     if (p_.origin.size() != p_.code.size()) {
       fail(IrFault::OperandRange, 0, "origin table does not match code size");
     }
-    if (p_.mode == Program::Mode::Marshal && p_.dst_graph == nullptr) {
+    if (p_.mode != Program::Mode::Convert && p_.dst_graph == nullptr) {
       fail(IrFault::ModeMismatch, 0, "marshal program has no destination graph");
+    }
+    if (p_.mode == Program::Mode::NativeMarshal) {
+      if (!p_.src_layout || p_.src_layout->nodes.empty()) {
+        fail(IrFault::ModeMismatch, 0,
+             "native-marshal program has no source layout");
+      }
+      if (!p_.fallback) {
+        fail(IrFault::ModeMismatch, 0,
+             "native-marshal program has no fallback program");
+      }
     }
     for (uint32_t i = 0; i < p_.code.size(); ++i) check_instr(i);
     if (issues_.empty()) check_unguarded_cycles();
@@ -228,7 +240,7 @@ class Checker {
   }
 
   void check_dst(uint32_t i, uint32_t didx) {
-    if (p_.mode != Program::Mode::Marshal || p_.dst_graph == nullptr) return;
+    if (p_.mode == Program::Mode::Convert || p_.dst_graph == nullptr) return;
     if (didx >= p_.dst_types.size()) {
       fail(IrFault::OperandRange, i, "dst type " + std::to_string(didx));
       return;
@@ -239,13 +251,93 @@ class Checker {
     }
   }
 
+  /// Bounds-check a natives[] slot against the declared layout. When
+  /// `need_span` the slot's [src_off, src_off+width) must be a nonempty
+  /// range inside the image (scalar loads and BlockCopy); LoadOpaque slots
+  /// carry no span. Returns nullptr when the slot is unusable.
+  const Program::NativeSlot* check_slot(uint32_t i, uint32_t sidx,
+                                        bool need_span) {
+    if (sidx >= p_.natives.size()) {
+      fail(IrFault::OperandRange, i, "native slot " + std::to_string(sidx));
+      return nullptr;
+    }
+    const Program::NativeSlot& s = p_.natives[sidx];
+    if (!p_.src_layout) return nullptr;  // already a program-level failure
+    if (s.layout_node >= p_.src_layout->nodes.size()) {
+      fail(IrFault::NativeBounds, i,
+           "layout node " + std::to_string(s.layout_node) + " of " +
+               std::to_string(p_.src_layout->nodes.size()));
+      return nullptr;
+    }
+    if (need_span &&
+        (s.width == 0 ||
+         static_cast<uint64_t>(s.src_off) + s.width > p_.src_layout->size)) {
+      fail(IrFault::NativeBounds, i,
+           "image span [" + std::to_string(s.src_off) + ", " +
+               std::to_string(s.src_off) + "+" + std::to_string(s.width) +
+               ") outside layout of " + std::to_string(p_.src_layout->size) +
+               " bytes");
+      return nullptr;
+    }
+    return &s;
+  }
+
+  /// Scalar loads must agree with the layout node they claim to read: same
+  /// offset and width, and a kind the opcode can interpret. This keeps the
+  /// VM's unchecked heap access honest.
+  void check_slot_node(uint32_t i, const Program::NativeSlot& s,
+                       std::initializer_list<runtime::ImageLayout::K> kinds) {
+    const runtime::ImageLayout::Node& n = p_.src_layout->nodes[s.layout_node];
+    bool kind_ok = false;
+    for (auto k : kinds) kind_ok = kind_ok || n.kind == k;
+    if (!kind_ok || n.offset != s.src_off || n.width != s.width) {
+      fail(IrFault::NativeBounds, i,
+           "slot disagrees with layout node " + std::to_string(s.layout_node));
+    }
+  }
+
+  void check_native_seq(uint32_t i, uint32_t ridx) {
+    if (ridx >= p_.records.size()) {
+      fail(IrFault::OperandRange, i, "record " + std::to_string(ridx));
+      return;
+    }
+    const Program::RecordTab& rt = p_.records[ridx];
+    if (rt.shape_len != 0) {
+      fail(IrFault::ModeMismatch, i, "native sequence carries a skeleton");
+    }
+    if (static_cast<size_t>(rt.fields_off) + rt.fields_len > p_.fields.size()) {
+      fail(IrFault::OperandRange, i, "record field slice");
+      return;
+    }
+    for (uint32_t k = 0; k < rt.fields_len; ++k) {
+      if (!check_field(i, rt.fields_off + k)) continue;
+      const Program::Field& f = p_.fields[rt.fields_off + k];
+      if (f.src_len != 0 || f.dst_len != 0) {
+        fail(IrFault::ModeMismatch, i,
+             "native sequence field " + std::to_string(k) + " carries paths");
+      }
+    }
+  }
+
+  static bool op_fits_mode(OpCode op, Program::Mode m) {
+    if (op >= OpCode::LoadInt) return m == Program::Mode::NativeMarshal;
+    if (op >= OpCode::EmitNothing) {
+      // EmitNothing is shared: units emit zero bytes in both fused modes.
+      return m == Program::Mode::Marshal ||
+             (m == Program::Mode::NativeMarshal && op == OpCode::EmitNothing);
+    }
+    return m == Program::Mode::Convert;
+  }
+
   void check_instr(uint32_t i) {
     const Instr& ins = p_.code[i];
-    bool marshal_op = ins.op >= OpCode::EmitNothing;
-    if (marshal_op != (p_.mode == Program::Mode::Marshal)) {
+    if (!op_fits_mode(ins.op, p_.mode)) {
+      const char* mode_name = p_.mode == Program::Mode::Convert ? "convert"
+                              : p_.mode == Program::Mode::Marshal
+                                  ? "marshal"
+                                  : "native-marshal";
       fail(IrFault::BadOpcode, i,
-           std::string(planir::to_string(ins.op)) + " in a " +
-               (p_.mode == Program::Mode::Marshal ? "marshal" : "convert") +
+           std::string(planir::to_string(ins.op)) + " in a " + mode_name +
                " program");
       return;
     }
@@ -309,6 +401,84 @@ class Checker {
         }
         check_dst(i, ins.b);
         break;
+      case OpCode::LoadInt:
+        if (ins.lo > ins.hi) fail(IrFault::BadIntRange, i, "lo > hi");
+        if (const auto* s = check_slot(i, ins.a, /*need_span=*/true)) {
+          if (s->width != 1 && s->width != 2 && s->width != 4 && s->width != 8) {
+            fail(IrFault::NativeBounds, i,
+                 "native int width " + std::to_string(s->width));
+          }
+          if (s->aux != 1 && s->aux != 2 && s->aux != 4 && s->aux != 8 &&
+              s->aux != 16) {
+            fail(IrFault::OperandRange, i, "wire width " + std::to_string(s->aux));
+          }
+          check_slot_node(i, *s,
+                          {runtime::ImageLayout::K::UInt,
+                           runtime::ImageLayout::K::SInt,
+                           runtime::ImageLayout::K::Bool});
+        }
+        check_dst(i, ins.b);
+        break;
+      case OpCode::LoadEnum:
+        if (ins.lo > ins.hi) fail(IrFault::BadIntRange, i, "lo > hi");
+        if (const auto* s = check_slot(i, ins.a, /*need_span=*/true)) {
+          if (s->aux != 1 && s->aux != 2 && s->aux != 4 && s->aux != 8 &&
+              s->aux != 16) {
+            fail(IrFault::OperandRange, i, "wire width " + std::to_string(s->aux));
+          }
+          check_slot_node(i, *s, {runtime::ImageLayout::K::Enum});
+          const auto& n = p_.src_layout->nodes[s->layout_node];
+          if (static_cast<size_t>(n.enum_off) + n.enum_len >
+              p_.src_layout->enum_pool.size()) {
+            fail(IrFault::NativeBounds, i, "enum slice outside pool");
+          }
+        }
+        check_dst(i, ins.b);
+        break;
+      case OpCode::LoadReal32:
+      case OpCode::LoadReal64:
+        if (const auto* s = check_slot(i, ins.a, /*need_span=*/true)) {
+          if (s->width != 4 && s->width != 8) {
+            fail(IrFault::NativeBounds, i,
+                 "native real width " + std::to_string(s->width));
+          }
+          check_slot_node(i, *s,
+                          {runtime::ImageLayout::K::F32,
+                           runtime::ImageLayout::K::F64});
+        }
+        break;
+      case OpCode::LoadChar1:
+      case OpCode::LoadChar4:
+        if (const auto* s = check_slot(i, ins.a, /*need_span=*/true)) {
+          if (s->width != 1 && s->width != 2 && s->width != 4) {
+            fail(IrFault::NativeBounds, i,
+                 "native char width " + std::to_string(s->width));
+          }
+          check_slot_node(i, *s, {runtime::ImageLayout::K::Char});
+        }
+        break;
+      case OpCode::BlockCopy:
+        check_slot(i, ins.a, /*need_span=*/true);
+        break;
+      case OpCode::ConstBytes:
+        if (static_cast<size_t>(ins.a) + ins.b > p_.byte_pool.size()) {
+          fail(IrFault::OperandRange, i, "const byte slice");
+        }
+        break;
+      case OpCode::NativeSeq:
+        check_native_seq(i, ins.a);
+        break;
+      case OpCode::LoadOpaque:
+        if (const auto* s = check_slot(i, ins.a, /*need_span=*/false)) {
+          if (!p_.fallback) {
+            fail(IrFault::ModeMismatch, i, "opaque op without fallback program");
+          } else if (s->aux >= p_.fallback->code.size()) {
+            fail(IrFault::OperandRange, i,
+                 "fallback entry " + std::to_string(s->aux));
+          }
+        }
+        check_dst(i, ins.b);
+        break;
     }
   }
 
@@ -329,7 +499,10 @@ class Checker {
       };
       switch (ins.op) {
         case OpCode::BuildRecord:
-        case OpCode::EmitRecord: {
+        case OpCode::EmitRecord:
+        // Native sequences never consume input (the heap image is not a
+        // descending structure), so all their edges are lazy.
+        case OpCode::NativeSeq: {
           const Program::RecordTab& rt = p_.records[ins.a];
           add_field_edges(rt.fields_off, rt.fields_len);
           break;

@@ -38,7 +38,10 @@ void Node::send(uint64_t dest_port, const Graph& g, Ref msg_type, const Value& v
     local_queue_.emplace_back(dest_port, v);
     return;
   }
-  send_frame(dest_port, wire::encode(g, msg_type, v));
+  // Encode into a pooled buffer; send_frame returns it once framed.
+  std::vector<uint8_t> payload = pool_.acquire();
+  wire::encode_into(g, msg_type, v, payload);
+  send_frame(dest_port, std::move(payload));
 }
 
 void Node::send_marshaled(uint64_t dest_port, std::vector<uint8_t> payload) {
@@ -76,7 +79,12 @@ void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
 
   PeerState::Pending p;
   p.seq = f.seq;
-  p.bytes = wire::pack_frame(f);
+  p.bytes = pool_.acquire();
+  wire::pack_frame_into(f, p.bytes);
+  // The payload's bytes now live in the frame buffer; recycle the payload
+  // buffer (regardless of where the caller got it — the pool adopts any
+  // vector).
+  pool_.release(std::move(f.payload));
   if (ps.unacked.size() >= relopts_.send_window) {
     ps.backlog.push_back(std::move(p));
     return;
@@ -90,6 +98,9 @@ void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
 
 void Node::apply_cum_ack(PeerState& ps, uint64_t cum_ack) {
   while (!ps.unacked.empty() && ps.unacked.front().seq <= cum_ack) {
+    // The delivery layer is done with this frame: its buffer goes back to
+    // the pool for the next send.
+    pool_.release(std::move(ps.unacked.front().bytes));
     ps.unacked.pop_front();
   }
   // Freed window space admits backlogged frames.
@@ -136,6 +147,8 @@ void Node::retransmit_due(PeerState& ps) {
   for (const auto& p : ps.unacked) {
     if (p.retries_used >= relopts_.max_retries && p.next_resend_tick <= tick_) {
       stats_.frames_expired += ps.unacked.size() + ps.backlog.size();
+      for (auto& dead : ps.unacked) pool_.release(std::move(dead.bytes));
+      for (auto& dead : ps.backlog) pool_.release(std::move(dead.bytes));
       ps.unacked.clear();
       ps.backlog.clear();
       return;
@@ -458,7 +471,9 @@ runtime::PortAdapter adapter_with_cache(Node& node, const plan::PlanGraph& plans
           runtime::PlanVm vm(*prog,
                              adapter_with_cache(node, plans, left, right, cache));
           if (remote) {
-            node.send_marshaled(src_port, vm.marshal(v));
+            std::vector<uint8_t> buf = node.buffer_pool().acquire();
+            vm.marshal_into(v, buf);
+            node.send_marshaled(src_port, std::move(buf));
           } else {
             node.send(src_port, src_graph, src_msg, vm.apply(v));
           }
@@ -472,6 +487,29 @@ runtime::PortAdapter make_port_adapter(Node& node, const plan::PlanGraph& plans,
                                        const Graph& left, const Graph& right) {
   return adapter_with_cache(node, plans, left, right,
                             std::make_shared<ProxyPrograms>());
+}
+
+NativeStub::NativeStub(Node& node, const plan::PlanGraph& plans,
+                       plan::PlanRef root, const mtype::Graph& dst_graph,
+                       mtype::Ref dst_msg,
+                       std::shared_ptr<const runtime::ImageLayout> layout,
+                       runtime::PortAdapter port_adapter,
+                       runtime::CustomRegistry custom)
+    : node_(node),
+      prog_(std::make_shared<const planir::Program>(planir::compile_native_marshal(
+          plans, root, dst_graph, dst_msg, std::move(layout)))),
+      vm_(*prog_, std::move(port_adapter), std::move(custom)) {}
+
+void NativeStub::send(uint64_t dest_port, const runtime::NativeHeap& heap,
+                      uint64_t addr) {
+  std::vector<uint8_t> buf = node_.buffer_pool().acquire();
+  vm_.marshal_native_into(heap, addr, buf);
+  node_.send_marshaled(dest_port, std::move(buf));
+}
+
+std::vector<uint8_t> NativeStub::marshal(const runtime::NativeHeap& heap,
+                                         uint64_t addr) const {
+  return vm_.marshal_native(heap, addr);
 }
 
 }  // namespace mbird::rpc

@@ -33,9 +33,12 @@
 
 #include "mtype/mtype.hpp"
 #include "plan/plan.hpp"
+#include "planir/planir.hpp"
 #include "runtime/convert.hpp"
 #include "runtime/value.hpp"
+#include "runtime/vm.hpp"
 #include "transport/link.hpp"
+#include "wire/bufferpool.hpp"
 #include "wire/wire.hpp"
 
 namespace mbird::rpc {
@@ -126,6 +129,14 @@ class Node {
 
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
 
+  /// The node's reusable buffer pool. Payload and frame buffers cycle
+  /// through it: send paths acquire, the delivery layer releases once a
+  /// frame is acked (or expired), so steady-state sends stop allocating.
+  /// Callers producing payloads for send_marshaled may acquire from here
+  /// too — send_frame returns every payload buffer to the pool after
+  /// framing it.
+  [[nodiscard]] wire::BufferPool& buffer_pool() { return pool_; }
+
   /// Bookkeeping hook for the call_* helpers (they are free functions).
   void note_timed_out_call() { stats_.timed_out_calls++; }
 
@@ -172,6 +183,7 @@ class Node {
 
   uint16_t id_;
   ReliabilityOptions relopts_;
+  wire::BufferPool pool_;
   uint64_t next_port_ = 1;
   uint64_t tick_ = 0;  // logical clock: one tick per poll()
   std::map<uint64_t, Port> ports_;
@@ -233,6 +245,43 @@ struct CallOptions {
                                 uint32_t arm, const Value& args,
                                 const std::vector<Node*>& nodes,
                                 const CallOptions& options = {});
+
+/// Sender-side zero-copy stub: pairs a coercion plan with the ImageLayout of
+/// a native message image once (planir::compile_native_marshal — BlockCopy
+/// specialization included), verifies the program a single time, and then
+/// marshals native images straight into pooled wire payload buffers on every
+/// send. The two-phase equivalent — CReader/read_image, convert, encode — is
+/// never run on the hot path, and steady-state sends perform no payload
+/// allocation (buffers cycle through the node's BufferPool as frames are
+/// acked).
+///
+/// All referenced objects (node, dst_graph, layout target) must outlive the
+/// stub.
+class NativeStub {
+ public:
+  NativeStub(Node& node, const plan::PlanGraph& plans, plan::PlanRef root,
+             const mtype::Graph& dst_graph, mtype::Ref dst_msg,
+             std::shared_ptr<const runtime::ImageLayout> layout,
+             runtime::PortAdapter port_adapter = {},
+             runtime::CustomRegistry custom = {});
+
+  /// Marshal the image at `addr` in `heap` and send the bytes to
+  /// `dest_port` (local ports decode against the port's registered type,
+  /// remote ports frame the payload directly).
+  void send(uint64_t dest_port, const runtime::NativeHeap& heap, uint64_t addr);
+
+  /// Marshal without sending (tests, diagnostics).
+  [[nodiscard]] std::vector<uint8_t> marshal(const runtime::NativeHeap& heap,
+                                             uint64_t addr) const;
+
+  /// The compiled native-marshal program (e.g. to count BlockCopy ops).
+  [[nodiscard]] const planir::Program& program() const { return *prog_; }
+
+ private:
+  Node& node_;
+  std::shared_ptr<const planir::Program> prog_;
+  runtime::PlanVm vm_;
+};
 
 /// A PortAdapter for runtime::Converter/PlanVm that realizes PortMap ops as
 /// converting proxy ports on `node`. `left`/`right` are the two graphs the

@@ -112,14 +112,23 @@ Value Converter::eval(PlanRef ref, const Value& in, int depth) const {
     case PKind::RecordMap: return eval_record(node, in, depth);
     case PKind::ChoiceMap: return eval_choice(node, in, depth);
     case PKind::ListMap: {
-      auto elems = in.as_list();
-      if (!elems) {
-        throw ConversionError("expected a list-shaped value, got " +
-                              in.to_string());
+      // List inputs convert straight from their children — as_list() would
+      // deep-copy the whole element vector first. Chains still materialize.
+      const std::vector<Value>* src;
+      std::optional<std::vector<Value>> chain;
+      if (in.kind() == Value::Kind::List) {
+        src = &in.children();
+      } else {
+        chain = in.as_list();
+        if (!chain) {
+          throw ConversionError("expected a list-shaped value, got " +
+                                in.to_string());
+        }
+        src = &*chain;
       }
       std::vector<Value> out;
-      out.reserve(elems->size());
-      for (const auto& e : *elems) out.push_back(eval(node.inner, e, depth + 1));
+      out.reserve(src->size());
+      for (const auto& e : *src) out.push_back(eval(node.inner, e, depth + 1));
       return Value::list(std::move(out));
     }
     case PKind::PortMap: {

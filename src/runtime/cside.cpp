@@ -113,6 +113,7 @@ Value CReader::read_pointer(Stype* node, const Annotations& eff, uint64_t addr,
         if (target == 0) throw ConversionError("null pointer to fixed array");
         Layout el = layout_.layout_of(node->elem);
         std::vector<Value> elems;
+        elems.reserve(eff.length->static_size);
         for (uint64_t i = 0; i < eff.length->static_size; ++i) {
           elems.push_back(read(node->elem, {}, target + i * el.size));
         }

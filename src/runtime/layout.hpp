@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "runtime/value.hpp"
 #include "stype/stype.hpp"
 #include "support/diag.hpp"
 #include "support/error.hpp"
@@ -76,5 +78,61 @@ class NativeHeap {
 
 /// Scalar width in bytes for a primitive (pointers handled separately).
 [[nodiscard]] unsigned prim_size(stype::Prim p);
+
+// ---- static image descriptors ----------------------------------------------
+//
+// An ImageLayout is the compile-time twin of CReader::read for types whose
+// native image is self-contained (no pointers, sequences, unions, or
+// functions): a flat pre-order arena of scalar/record nodes with absolute
+// byte offsets. planir::compile_native_marshal bakes these offsets into
+// fused marshal programs; read_image materializes the same Value the CReader
+// would, so the two paths stay interchangeable.
+struct ImageLayout {
+  enum class K : uint8_t { Unit, UInt, SInt, Bool, Char, F32, F64, Enum, Record };
+
+  struct Node {
+    K kind = K::Unit;
+    uint32_t offset = 0;  // absolute byte offset from the image base
+    uint32_t width = 0;   // scalar width in bytes (0 for Unit/Record)
+    uint32_t kids_off = 0, kids_len = 0;  // Record: children (into kids)
+    uint32_t enum_off = 0, enum_len = 0;  // Enum: values in ordinal order
+    uint32_t name = 0;                    // names[] index (diagnostics)
+    // Annotated range, checked when the field is read (UInt/SInt only).
+    bool has_lo = false, has_hi = false;
+    Int128 lo = 0, hi = 0;
+  };
+
+  std::vector<Node> nodes;  // pre-order; node 0 is the root = read order
+  std::vector<uint32_t> kids;
+  std::vector<int64_t> enum_pool;
+  std::vector<std::string> names;  // names[0] is always ""
+  uint64_t size = 0;               // total image size in bytes
+
+  [[nodiscard]] const std::string& name_of(const Node& n) const {
+    return names[n.name];
+  }
+};
+
+/// Describe the native image of `type` as an ImageLayout. Throws MbError for
+/// types whose image is not self-contained (pointers, references, sequences,
+/// unions, indefinite arrays, functions) — callers fall back to the CReader
+/// path. Absorbed length fields are skipped from record children exactly as
+/// CReader::read_aggregate skips them.
+[[nodiscard]] ImageLayout image_layout_of(const LayoutEngine& layout,
+                                          stype::Stype* type);
+
+/// Materialize the Value for the subtree at `node` from the image at `base`.
+/// Produces exactly what CReader::read produces for the same type — same
+/// Values, same ConversionError messages (annotated ranges, enum membership).
+[[nodiscard]] Value read_image(const ImageLayout& il, uint32_t node,
+                               const NativeHeap& heap, uint64_t base);
+
+/// Run every read-time check the CReader would run over the whole image, in
+/// read (pre-order) order, without building Values: annotated integer ranges
+/// and enum membership. Fused marshal programs run this as a prologue so
+/// they fail on exactly the inputs the read-native→convert→encode path
+/// fails on, even for fields the plan drops.
+void check_image_ranges(const ImageLayout& il, const NativeHeap& heap,
+                        uint64_t base);
 
 }  // namespace mbird::runtime

@@ -76,9 +76,28 @@ std::optional<std::vector<Value>> Value::as_list() const {
 
 Value Value::chain_from_list(const std::vector<Value>& elems, uint32_t nil_arm,
                              uint32_t cons_arm) {
+  // Build each cons cell explicitly: an initializer list would copy the
+  // accumulated chain on every step, turning construction quadratic.
   Value chain = choice(nil_arm, unit());
   for (auto it = elems.rbegin(); it != elems.rend(); ++it) {
-    chain = choice(cons_arm, record({*it, std::move(chain)}));
+    std::vector<Value> cell;
+    cell.reserve(2);
+    cell.push_back(*it);
+    cell.push_back(std::move(chain));
+    chain = choice(cons_arm, record(std::move(cell)));
+  }
+  return chain;
+}
+
+Value Value::chain_from_list(std::vector<Value>&& elems, uint32_t nil_arm,
+                             uint32_t cons_arm) {
+  Value chain = choice(nil_arm, unit());
+  for (auto it = elems.rbegin(); it != elems.rend(); ++it) {
+    std::vector<Value> cell;
+    cell.reserve(2);
+    cell.push_back(std::move(*it));
+    cell.push_back(std::move(chain));
+    chain = choice(cons_arm, record(std::move(cell)));
   }
   return chain;
 }

@@ -102,6 +102,10 @@ class Value {
   /// with the given arm indices.
   [[nodiscard]] static Value chain_from_list(const std::vector<Value>& elems,
                                              uint32_t nil_arm, uint32_t cons_arm);
+  /// Move-append variant: consumes `elems` so the elements are spliced into
+  /// the chain without per-element copies.
+  [[nodiscard]] static Value chain_from_list(std::vector<Value>&& elems,
+                                             uint32_t nil_arm, uint32_t cons_arm);
 
   [[nodiscard]] std::string to_string() const;
   friend bool operator==(const Value& a, const Value& b);

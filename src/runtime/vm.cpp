@@ -4,6 +4,7 @@
 #include <deque>
 #include <iterator>
 
+#include "runtime/layout.hpp"
 #include "support/error.hpp"
 #include "wire/wire.hpp"
 
@@ -382,6 +383,134 @@ void run_marshal(const Program& prog, const Value& in,
   }
 }
 
+/// Native-marshal executor: a work stack of instruction indices (native
+/// programs carry no Values, so there is nothing else to track). The
+/// check_image_ranges prologue replays every read-time check the CReader /
+/// read_image path would run, in read order — after it, scalar loads only
+/// need their own plan/wire checks and enum ordinal lookups cannot fail.
+void run_native(const Program& prog, const NativeHeap& heap, uint64_t base,
+                const PortAdapter& adapter, const CustomRegistry& customs,
+                std::vector<uint8_t>& out) {
+  const ImageLayout& il = *prog.src_layout;
+  check_image_ranges(il, heap, base);
+  std::vector<uint32_t> work{prog.entry};
+  while (!work.empty()) {
+    const planir::Instr& ins = prog.code[work.back()];
+    work.pop_back();
+    switch (ins.op) {
+      case OpCode::EmitNothing: break;
+      case OpCode::LoadInt: {
+        const Program::NativeSlot& s = prog.natives[ins.a];
+        Int128 x;
+        if (s.flags & Program::NativeSlot::kBool) {
+          x = heap.read_uint(base + s.src_off, s.width) != 0 ? 1 : 0;
+        } else if (s.flags & Program::NativeSlot::kSigned) {
+          x = Int128{heap.read_int(base + s.src_off, s.width)};
+        } else {
+          x = Int128{static_cast<__int128>(
+              heap.read_uint(base + s.src_off, s.width))};
+        }
+        if (x < ins.lo || x > ins.hi) {
+          throw ConversionError("integer " + to_string(x) +
+                                " outside target range [" + to_string(ins.lo) +
+                                ".." + to_string(ins.hi) + "]");
+        }
+        const mtype::Node& dn = prog.dst_graph->at(prog.dst_types[ins.b]);
+        if (x < dn.lo || x > dn.hi) {
+          throw WireError("integer outside wire range: " + to_string(x));
+        }
+        big(out, static_cast<unsigned __int128>(x - dn.lo), s.aux);
+        break;
+      }
+      case OpCode::LoadEnum: {
+        const Program::NativeSlot& s = prog.natives[ins.a];
+        const ImageLayout::Node& n = il.nodes[s.layout_node];
+        // Membership was proven by the prologue; rescan for the ordinal.
+        int64_t raw = heap.read_int(base + s.src_off, s.width);
+        Int128 x = 0;
+        for (uint32_t k = 0; k < n.enum_len; ++k) {
+          if (il.enum_pool[n.enum_off + k] == raw) {
+            x = Int128{static_cast<int64_t>(k)};
+            break;
+          }
+        }
+        if (x < ins.lo || x > ins.hi) {
+          throw ConversionError("integer " + to_string(x) +
+                                " outside target range [" + to_string(ins.lo) +
+                                ".." + to_string(ins.hi) + "]");
+        }
+        const mtype::Node& dn = prog.dst_graph->at(prog.dst_types[ins.b]);
+        if (x < dn.lo || x > dn.hi) {
+          throw WireError("integer outside wire range: " + to_string(x));
+        }
+        big(out, static_cast<unsigned __int128>(x - dn.lo), s.aux);
+        break;
+      }
+      case OpCode::LoadReal32: {
+        const Program::NativeSlot& s = prog.natives[ins.a];
+        double d = s.width == 4 ? static_cast<double>(heap.read_f32(base + s.src_off))
+                                : heap.read_f64(base + s.src_off);
+        float f = static_cast<float>(d);
+        uint32_t bits;
+        std::memcpy(&bits, &f, 4);
+        big(out, bits, 4);
+        break;
+      }
+      case OpCode::LoadReal64: {
+        const Program::NativeSlot& s = prog.natives[ins.a];
+        double d = s.width == 4 ? static_cast<double>(heap.read_f32(base + s.src_off))
+                                : heap.read_f64(base + s.src_off);
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        big(out, bits, 8);
+        break;
+      }
+      case OpCode::LoadChar1: {
+        const Program::NativeSlot& s = prog.natives[ins.a];
+        uint64_t cp = heap.read_uint(base + s.src_off, s.width);
+        if (cp > 0xff) throw WireError("code point exceeds repertoire");
+        out.push_back(static_cast<uint8_t>(cp));
+        break;
+      }
+      case OpCode::LoadChar4: {
+        const Program::NativeSlot& s = prog.natives[ins.a];
+        big(out, heap.read_uint(base + s.src_off, s.width), 4);
+        break;
+      }
+      case OpCode::BlockCopy: {
+        const Program::NativeSlot& s = prog.natives[ins.a];
+        const uint8_t* src = heap.at(base + s.src_off, s.width);
+        out.insert(out.end(), src, src + s.width);
+        break;
+      }
+      case OpCode::ConstBytes:
+        out.insert(out.end(), prog.byte_pool.begin() + ins.a,
+                   prog.byte_pool.begin() + ins.a + ins.b);
+        break;
+      case OpCode::NativeSeq: {
+        const Program::RecordTab& rt = prog.records[ins.a];
+        for (uint32_t k = rt.fields_len; k-- > 0;) {
+          work.push_back(prog.fields[rt.fields_off + k].op);
+        }
+        break;
+      }
+      case OpCode::LoadOpaque: {
+        // The oracle fallback: materialize the subtree exactly as the
+        // two-phase path would, convert it, and let wire::encode emit.
+        const Program::NativeSlot& s = prog.natives[ins.a];
+        Value v = read_image(il, s.layout_node, heap, base);
+        Value conv = run_convert(*prog.fallback, s.aux, v, adapter, customs);
+        auto bytes = wire::encode(*prog.dst_graph, prog.dst_types[ins.b], conv);
+        out.insert(out.end(), bytes.begin(), bytes.end());
+        break;
+      }
+      default:
+        throw IrError(IrFault::BadOpcode,
+                      std::string("native VM hit ") + to_string(ins.op));
+    }
+  }
+}
+
 }  // namespace
 
 PlanVm::PlanVm(const planir::Program& prog, PortAdapter port_adapter,
@@ -405,6 +534,41 @@ std::vector<uint8_t> PlanVm::marshal(const Value& in) const {
   std::vector<uint8_t> out;
   run_marshal(prog_, in, port_adapter_, custom_, out);
   return out;
+}
+
+void PlanVm::marshal_into(const Value& in, std::vector<uint8_t>& out) const {
+  if (prog_.mode != Program::Mode::Marshal) {
+    throw IrError(IrFault::ModeMismatch, "marshal() needs a marshal program");
+  }
+  size_t mark = out.size();
+  try {
+    run_marshal(prog_, in, port_adapter_, custom_, out);
+  } catch (...) {
+    out.resize(mark);
+    throw;
+  }
+}
+
+std::vector<uint8_t> PlanVm::marshal_native(const NativeHeap& heap,
+                                            uint64_t addr) const {
+  std::vector<uint8_t> out;
+  marshal_native_into(heap, addr, out);
+  return out;
+}
+
+void PlanVm::marshal_native_into(const NativeHeap& heap, uint64_t addr,
+                                 std::vector<uint8_t>& out) const {
+  if (prog_.mode != Program::Mode::NativeMarshal) {
+    throw IrError(IrFault::ModeMismatch,
+                  "marshal_native() needs a native-marshal program");
+  }
+  size_t mark = out.size();
+  try {
+    run_native(prog_, heap, addr, port_adapter_, custom_, out);
+  } catch (...) {
+    out.resize(mark);
+    throw;
+  }
 }
 
 }  // namespace mbird::runtime

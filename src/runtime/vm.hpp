@@ -24,6 +24,8 @@
 
 namespace mbird::runtime {
 
+class NativeHeap;
+
 class PlanVm {
  public:
   explicit PlanVm(const planir::Program& prog, PortAdapter port_adapter = {},
@@ -38,6 +40,25 @@ class PlanVm {
   /// ConversionError/WireError as the unfused convert-then-encode pipeline
   /// would; throws planir::IrError if the program is convert-mode.
   [[nodiscard]] std::vector<uint8_t> marshal(const Value& in) const;
+
+  /// Buffer-reusing variant: append the marshaled bytes to `out` (which the
+  /// caller typically recycles through a wire::BufferPool). Nothing is
+  /// appended if marshaling throws partway — the partial bytes are trimmed.
+  void marshal_into(const Value& in, std::vector<uint8_t>& out) const;
+
+  /// Native-marshal execution: wire bytes straight from the native image at
+  /// `addr`, no Value construction. Before emitting anything it replays
+  /// every read-time check over the image (annotated integer ranges, enum
+  /// membership, in read order), so it throws on exactly the inputs the
+  /// read-native → convert → encode pipeline throws on. Throws
+  /// planir::IrError unless the program is native-marshal mode.
+  [[nodiscard]] std::vector<uint8_t> marshal_native(const NativeHeap& heap,
+                                                    uint64_t addr) const;
+
+  /// Appending native-marshal variant (same trim-on-throw contract as
+  /// marshal_into).
+  void marshal_native_into(const NativeHeap& heap, uint64_t addr,
+                           std::vector<uint8_t>& out) const;
 
  private:
   const planir::Program& prog_;

@@ -1,6 +1,7 @@
 #include "tool/mbird.hpp"
 
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -15,6 +16,7 @@
 #include "lower/lower.hpp"
 #include "planir/planir.hpp"
 #include "project/project.hpp"
+#include "runtime/layout.hpp"
 #include "support/strings.hpp"
 #include "tool/batch.hpp"
 
@@ -99,7 +101,9 @@ int usage(std::ostream& err) {
          "             [--script <file>] [--annotate '<stmts>']\n"
          "             <list|show|mtype|diagram|compare|plan|gen|batch|save> ...\n"
          "  plan <a> <b> [--emit-ir]   print the coercion plan (or its\n"
-         "                             compiled PlanIR bytecode listing)\n"
+         "                             compiled PlanIR bytecode listing;\n"
+         "                             --emit-ir=native fuses a's memory\n"
+         "                             layout into a zero-copy marshaler)\n"
          "  batch <manifest> [--jobs N] [--out <file>]\n"
          "                             compare/compile every '<a> <b>' pair in\n"
          "                             the manifest over N worker threads,\n"
@@ -275,11 +279,33 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "plan") {
       // `plan A B --emit-ir` dumps the flat PlanIR the runtime VM and the
       // stub generator actually execute, instead of the plan tree.
-      bool emit_ir = false;
+      // `--emit-ir=native` fuses the plan with A's native memory layout and
+      // dumps the zero-copy marshal program (Load*/BlockCopy over the image).
+      bool emit_ir = false, emit_native = false;
       for (; i < args.size(); ++i) {
         if (args[i] == "--emit-ir") emit_ir = true;
+        else if (args[i] == "--emit-ir=native") emit_native = true;
       }
-      if (emit_ir) {
+      if (emit_native) {
+        stype::Stype* src_ty = ma->find(name_a);
+        if (src_ty == nullptr) {
+          err << "mbird: declaration '" << name_a << "' has no source type\n";
+          return 1;
+        }
+        try {
+          runtime::LayoutEngine engine(*ma);
+          auto layout = std::make_shared<const runtime::ImageLayout>(
+              runtime::image_layout_of(engine, src_ty));
+          planir::Program prog = planir::compile_native_marshal(
+              full.to_right.plan, full.to_right.root, gb, rb,
+              std::move(layout));
+          planir::require_valid(prog);
+          out << planir::disassemble(prog);
+        } catch (const MbError& e) {
+          err << "mbird: " << e.what() << '\n';
+          return 1;
+        }
+      } else if (emit_ir) {
         planir::Program prog =
             planir::compile(full.to_right.plan, full.to_right.root);
         planir::require_valid(prog);

@@ -22,8 +22,11 @@ unsigned int_width(Int128 lo, Int128 hi) {
 
 namespace {
 
+/// Appends to a caller-owned vector, so encoders can target pooled /
+/// reused buffers (wire::BufferPool) without a copy on the way out.
 class Sink {
  public:
+  explicit Sink(std::vector<uint8_t>& out) : out_(out) {}
   void u8(uint8_t v) { out_.push_back(v); }
   void big(unsigned __int128 v, unsigned bytes) {
     for (unsigned i = 0; i < bytes; ++i) {
@@ -40,23 +43,24 @@ class Sink {
     std::memcpy(&bits, &d, 8);
     big(bits, 8);
   }
-  std::vector<uint8_t> take() { return std::move(out_); }
 
  private:
-  std::vector<uint8_t> out_;
+  std::vector<uint8_t>& out_;
 };
 
 class Source {
  public:
-  explicit Source(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+  Source(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit Source(const std::vector<uint8_t>& bytes)
+      : Source(bytes.data(), bytes.size()) {}
   uint8_t u8() {
     need(1);
-    return bytes_[pos_++];
+    return data_[pos_++];
   }
   unsigned __int128 big(unsigned bytes) {
     need(bytes);
     unsigned __int128 v = 0;
-    for (unsigned i = 0; i < bytes; ++i) v = (v << 8) | bytes_[pos_++];
+    for (unsigned i = 0; i < bytes; ++i) v = (v << 8) | data_[pos_++];
     return v;
   }
   float f32() {
@@ -71,16 +75,18 @@ class Source {
     std::memcpy(&d, &bits, 8);
     return d;
   }
-  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] bool exhausted() const { return pos_ == len_; }
   [[nodiscard]] size_t pos() const { return pos_; }
+  [[nodiscard]] size_t size() const { return len_; }
 
  private:
   void need(size_t n) {
-    if (pos_ + n > bytes_.size()) {
+    if (pos_ + n > len_) {
       throw WireError("truncated message at byte " + std::to_string(pos_));
     }
   }
-  const std::vector<uint8_t>& bytes_;
+  const uint8_t* data_;
+  size_t len_;
   size_t pos_ = 0;
 };
 
@@ -217,24 +223,49 @@ Value decode_node(const Graph& g, Ref type, Source& src, int depth) {
 }  // namespace
 
 std::vector<uint8_t> encode(const Graph& g, Ref type, const Value& v) {
-  Sink sink;
-  encode_node(g, type, v, sink, 0);
-  return sink.take();
+  std::vector<uint8_t> out;
+  encode_into(g, type, v, out);
+  return out;
 }
 
-Value decode(const Graph& g, Ref type, const std::vector<uint8_t>& bytes) {
-  Source src(bytes);
+void encode_into(const Graph& g, Ref type, const Value& v,
+                 std::vector<uint8_t>& out) {
+  size_t mark = out.size();
+  try {
+    Sink sink(out);
+    encode_node(g, type, v, sink, 0);
+  } catch (...) {
+    out.resize(mark);
+    throw;
+  }
+}
+
+Value decode(const Graph& g, Ref type, const uint8_t* data, size_t len) {
+  Source src(data, len);
   Value v = decode_node(g, type, src, 0);
   if (!src.exhausted()) {
     throw WireError("trailing bytes after message (at " +
                     std::to_string(src.pos()) + " of " +
-                    std::to_string(bytes.size()) + ")");
+                    std::to_string(src.size()) + ")");
   }
   return v;
 }
 
+Value decode(const Graph& g, Ref type, const std::vector<uint8_t>& bytes) {
+  return decode(g, type, bytes.data(), bytes.size());
+}
+
 std::vector<uint8_t> pack_frame(const Frame& f) {
-  Sink sink;
+  std::vector<uint8_t> out;
+  pack_frame_into(f, out);
+  return out;
+}
+
+void pack_frame_into(const Frame& f, std::vector<uint8_t>& out) {
+  // One exact allocation: the header is a fixed 37 bytes, the payload
+  // length is known, and Sink only appends.
+  out.reserve(out.size() + kFrameHeaderSize + f.payload.size());
+  Sink sink(out);
   sink.u8('M');
   sink.u8('B');
   sink.u8('I');
@@ -246,9 +277,7 @@ std::vector<uint8_t> pack_frame(const Frame& f) {
   sink.big(f.cum_ack, 8);
   sink.big(f.dest_port, 8);
   sink.big(f.payload.size(), 4);
-  auto out = sink.take();
   out.insert(out.end(), f.payload.begin(), f.payload.end());
-  return out;
 }
 
 // ---- dynamic type -----------------------------------------------------------
@@ -304,7 +333,8 @@ std::vector<uint8_t> encode_type(const Graph& g, mtype::Ref type) {
   std::map<Ref, uint32_t> remap;
   for (uint32_t i = 0; i < order.size(); ++i) remap[order[i]] = i;
 
-  Sink sink;
+  std::vector<uint8_t> out;
+  Sink sink(out);
   sink.big(order.size(), 4);
   sink.big(remap.at(type), 4);
   for (Ref r : order) {
@@ -329,7 +359,7 @@ std::vector<uint8_t> encode_type(const Graph& g, mtype::Ref type) {
     sink.big(n.labels.size(), 4);
     for (const auto& l : n.labels) put_string(sink, l);
   }
-  return sink.take();
+  return out;
 }
 
 mtype::Ref decode_type(Graph& g, const std::vector<uint8_t>& bytes) {
@@ -393,9 +423,10 @@ std::vector<uint8_t> encode_any(const Graph& g, mtype::Ref type,
                                 const runtime::Value& v) {
   auto type_bytes = encode_type(g, type);
   auto payload = encode(g, type, v);
-  Sink sink;
+  std::vector<uint8_t> out;
+  out.reserve(4 + type_bytes.size() + payload.size());
+  Sink sink(out);
   sink.big(type_bytes.size(), 4);
-  auto out = sink.take();
   out.insert(out.end(), type_bytes.begin(), type_bytes.end());
   out.insert(out.end(), payload.begin(), payload.end());
   return out;

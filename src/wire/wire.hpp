@@ -33,10 +33,21 @@ inline constexpr uint16_t kVersion = 2;
 [[nodiscard]] std::vector<uint8_t> encode(const mtype::Graph& g, mtype::Ref type,
                                           const runtime::Value& v);
 
+/// Append the encoding of `v` to `out` — the zero-allocation variant for
+/// callers recycling buffers (see BufferPool). If encoding throws, `out` is
+/// trimmed back to its original length.
+void encode_into(const mtype::Graph& g, mtype::Ref type,
+                 const runtime::Value& v, std::vector<uint8_t>& out);
+
 /// Decode bytes back into a Value shaped like `type`. Throws WireError on
 /// truncated or malformed input (every byte must be consumed).
 [[nodiscard]] runtime::Value decode(const mtype::Graph& g, mtype::Ref type,
                                     const std::vector<uint8_t>& bytes);
+
+/// Span-based overload: decode `len` bytes at `data` without requiring the
+/// caller to own a vector (frame payload views, pooled buffers).
+[[nodiscard]] runtime::Value decode(const mtype::Graph& g, mtype::Ref type,
+                                    const uint8_t* data, size_t len);
 
 /// Wire width (bytes) of an Integer Mtype with the given range.
 [[nodiscard]] unsigned int_width(Int128 lo, Int128 hi);
@@ -57,7 +68,14 @@ struct Frame {
   std::vector<uint8_t> payload;
 };
 
+/// Fixed frame header size: magic + version + kind + origin + seq + cum_ack
+/// + dest_port + payload length.
+inline constexpr size_t kFrameHeaderSize = 4 + 2 + 1 + 2 + 8 + 8 + 8 + 4;
+
 [[nodiscard]] std::vector<uint8_t> pack_frame(const Frame& f);
+/// Append the packed frame to `out` with a single exact reservation
+/// (header + payload) — no incremental growth.
+void pack_frame_into(const Frame& f, std::vector<uint8_t>& out);
 [[nodiscard]] Frame unpack_frame(const std::vector<uint8_t>& bytes);
 
 // ---- the dynamic type (paper §6: "a dynamic type construct of our own
