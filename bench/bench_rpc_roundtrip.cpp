@@ -17,6 +17,7 @@
 #include "compare/compare.hpp"
 #include "javasrc/javaparser.hpp"
 #include "lower/lower.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "runtime/convert.hpp"
 
@@ -132,6 +133,11 @@ void roundtrip(benchmark::State& state, bool socket,
   runtime::Converter conv(
       w.inv_cmp.plan, rpc::make_port_adapter(client, w.inv_cmp.plan, w.gj, w.gc));
 
+  // Registry deltas across the timed loop: the rpc layer mirrors NodeStats
+  // into process-wide obs counters, so the reliability story (retransmits,
+  // acks both ways, dedup drops under loss) lands in the bench JSON.
+  const auto snap0 = obs::Registry::global().snapshot();
+
   for (auto _ : state) {
     std::optional<Value> reply;
     uint64_t reply_port = client.open_port(
@@ -144,11 +150,19 @@ void roundtrip(benchmark::State& state, bool socket,
     }
     benchmark::DoNotOptimize(*reply);
   }
+
+  const auto delta = obs::Registry::global().snapshot().delta_since(snap0);
+  auto counter = [&](const char* name) -> double {
+    auto it = delta.counters.find(name);
+    return it == delta.counters.end() ? 0.0 : static_cast<double>(it->second);
+  };
   state.counters["bytes_per_call"] =
       static_cast<double>(client.stats().bytes_sent + server.stats().bytes_sent) /
       static_cast<double>(state.iterations());
-  state.counters["retransmits"] = static_cast<double>(
-      client.stats().retransmits + server.stats().retransmits);
+  state.counters["retransmits"] = counter("rpc.retransmits");
+  state.counters["acks_sent"] = counter("rpc.acks_sent");
+  state.counters["acks_received"] = counter("rpc.acks_received");
+  state.counters["dedup_drops"] = counter("rpc.duplicates_dropped");
   state.SetItemsProcessed(state.iterations() * n);
 }
 

@@ -32,6 +32,14 @@
 #     than cold;
 #   * BM_BatchDriverThreads/Warm at 1/2/4/8 workers (speedup is bounded by
 #     the host's core count — single-core CI runners show none).
+#
+# bench/BENCH_obs.json documents the observability overhead budget
+# (DESIGN.md §4h): the same two hot-path bench lanes (bench_marshal_wire's
+# BM_Marshal* and bench_comparer_scaling's compare-heavy set) run in the
+# default build (obs compiled in, tracing disabled) and in a
+# -DMBIRD_OBS_OFF=ON build (spans compiled to no-ops), merged into one
+# file with per-benchmark on/off ratios. The acceptance bar is on/off
+# <= 1.02 (under 2% overhead) for the disabled-tracing configuration.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -71,3 +79,55 @@ echo "wrote $repo/bench/BENCH_compare.json"
   --benchmark_out_format=json
 
 echo "wrote $repo/bench/BENCH_native.json"
+
+# ---- observability overhead lane -------------------------------------------
+# Same sources, two configurations: the default build above (obs compiled
+# in, tracing disabled — the shipping configuration) against an
+# MBIRD_OBS_OFF build (spans are no-op structs). Both runs use fixed
+# filters over the two nanosecond-hot lanes the obs hooks sit on.
+build_off="$repo/build-obs-off"
+if [ ! -f "$build_off/CMakeCache.txt" ]; then
+  cmake -S "$repo" -B "$build_off" -DCMAKE_BUILD_TYPE=Release -DMBIRD_OBS_OFF=ON
+fi
+cmake --build "$build_off" -j --target bench_comparer_scaling bench_marshal_wire
+
+obs_filter_marshal='BM_Marshal'
+obs_filter_compare='SoloPairs/100|CrossWarm/100'
+
+run_obs_lane() {
+  # $1 = build dir, $2 = tag (on|off), $3 = round
+  "$1/bench/bench_marshal_wire" \
+    --benchmark_filter="$obs_filter_marshal" \
+    --benchmark_min_time=0.1 \
+    --benchmark_repetitions=3 \
+    --benchmark_format=json \
+    --benchmark_out="$repo/bench/.obs_m_$2_$3.json" \
+    --benchmark_out_format=json
+  "$1/bench/bench_comparer_scaling" \
+    --benchmark_filter="$obs_filter_compare" \
+    --benchmark_min_time=0.1 \
+    --benchmark_repetitions=2 \
+    --benchmark_format=json \
+    --benchmark_out="$repo/bench/.obs_c_$2_$3.json" \
+    --benchmark_out_format=json
+}
+
+# Interleave whole-process rounds of each configuration; merge_obs.py takes
+# the per-benchmark min. Back-to-back single runs let slow ambient drift
+# (thermal / frequency scaling) masquerade as overhead at the ns scale;
+# alternating rounds expose both builds to the same conditions.
+obs_on_files=""
+obs_off_files=""
+for round in 1 2 3 4; do
+  run_obs_lane "$build" on "$round"
+  run_obs_lane "$build_off" off "$round"
+  obs_on_files="$obs_on_files $repo/bench/.obs_m_on_$round.json $repo/bench/.obs_c_on_$round.json"
+  obs_off_files="$obs_off_files $repo/bench/.obs_m_off_$round.json $repo/bench/.obs_c_off_$round.json"
+done
+
+# shellcheck disable=SC2086  # the file lists are intentionally split
+python3 "$repo/bench/merge_obs.py" $obs_on_files $obs_off_files \
+  > "$repo/bench/BENCH_obs.json"
+rm -f "$repo"/bench/.obs_m_*.json "$repo"/bench/.obs_c_*.json
+
+echo "wrote $repo/bench/BENCH_obs.json"

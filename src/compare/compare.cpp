@@ -7,6 +7,8 @@
 #include <tuple>
 
 #include "compare/crosscache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mbird::compare {
 
@@ -24,6 +26,23 @@ using plan::PlanRef;
 using plan::RecShape;
 
 namespace {
+
+// Comparer instruments (DESIGN.md §4h). Counters are unconditional (one
+// relaxed add per event, and every event already costs orders of
+// magnitude more comparer work); the run-duration histogram is gated by
+// obs::metrics_on() inside ScopedTimer.
+struct CmpMetrics {
+  obs::Counter& runs = obs::counter("compare.runs");
+  obs::Counter& steps = obs::counter("compare.steps");
+  obs::Counter& candidates_ordered = obs::counter("compare.candidates_ordered");
+  obs::Counter& plan_extracts = obs::counter("compare.plan_extracts");
+  obs::Counter& plan_splices = obs::counter("compare.plan_splices");
+  obs::Histogram& run_ns = obs::histogram("compare.run_ns");
+};
+CmpMetrics& cmp_metrics() {
+  static CmpMetrics m;
+  return m;
+}
 
 int repertoire_rank(stype::Repertoire r) {
   switch (r) {
@@ -44,6 +63,8 @@ class Cmp {
  public:
   Cmp(const Graph& ga, const Graph& gb, const Options& opts)
       : ga_(ga), gb_(gb), opts_(opts) {
+    // Phase 1 of a compare: structure hashing + canonical-id interning.
+    obs::Span span("compare.canon");
     if (opts_.use_hash_prune && opts_.mode == Mode::Equivalence) {
       // Borrow caller-provided hashes when they plausibly belong to these
       // graphs (full coverage); undersized / oversized vectors are ignored
@@ -75,12 +96,20 @@ class Cmp {
   }
 
   Result run(Ref a, Ref b) {
+    // Phase 2/3: the pairwise walk (candidate ordering and plan
+    // extraction happen inside and report through cmp_metrics()).
+    obs::Span span("compare.walk");
     Result result;
     result.root = visit(&ga_, a, &gb_, b, 0);
     result.ok = result.root != plan::kNullPlan;
     result.plan = std::move(plan_);
     result.mismatch = best_;
     result.steps = steps_;
+    cmp_metrics().steps.add(result.steps);
+    if (span.recording()) {
+      span.note("steps", static_cast<uint64_t>(result.steps));
+      span.note("ok", result.ok ? "true" : "false");
+    }
     if (!result.ok && !result.mismatch.valid) {
       result.mismatch.valid = true;
       result.mismatch.reason = "no match found";
@@ -90,6 +119,7 @@ class Cmp {
 
   /// Session mode: keep the plan graph and the pair memo across calls.
   Session::SessionResult run_shared(Ref a, Ref b) {
+    obs::Span span("compare.walk");
     best_ = Mismatch{};
     size_t steps_before = steps_;
     Session::SessionResult result;
@@ -97,6 +127,11 @@ class Cmp {
     result.ok = result.root != plan::kNullPlan;
     result.mismatch = best_;
     result.steps = steps_ - steps_before;
+    cmp_metrics().steps.add(result.steps);
+    if (span.recording()) {
+      span.note("steps", static_cast<uint64_t>(result.steps));
+      span.note("ok", result.ok ? "true" : "false");
+    }
     if (!result.ok && !result.mismatch.valid) {
       result.mismatch.valid = true;
       result.mismatch.reason = "no match found";
@@ -305,6 +340,7 @@ class Cmp {
           return plan::kNullPlan;
         }
         std::vector<std::pair<CrossCache::Key, PlanRef>> learned;
+        cmp_metrics().plan_splices.add();
         PlanRef spliced =
             CrossCache::splice(plan_, hit->frag, &ref_by_key_, &learned);
         for (const auto& [lk, lr] : learned) record_keyed(lk, lr);
@@ -326,6 +362,7 @@ class Cmp {
         // placeholder: those successes lean on an undischarged coinductive
         // assumption and are not self-contained proofs.
         if (auto frag = CrossCache::extract(plan_, result, &key_by_ref_)) {
+          cmp_metrics().plan_extracts.add();
           auto v = std::make_shared<CrossCache::Variant>();
           v->ok = true;
           v->frag = std::move(*frag);
@@ -672,6 +709,7 @@ class Cmp {
     if (!iso_a_ || cand.size() < 2) return;
     CanonId want = iso_of(gx, xi);
     if (want == mtype::kNoCanon) return;
+    cmp_metrics().candidates_ordered.add(cand.size());
     std::stable_partition(cand.begin(), cand.end(), [&](uint32_t j) {
       return iso_of(gy, fy[j].ref) == want;
     });
@@ -831,6 +869,9 @@ const char* to_string(Verdict v) {
 
 Result compare(const mtype::Graph& ga, mtype::Ref a, const mtype::Graph& gb,
                mtype::Ref b, const Options& options) {
+  obs::Span span("compare");
+  obs::ScopedTimer timer(cmp_metrics().run_ns);
+  cmp_metrics().runs.add();
   Cmp cmp(ga, gb, options);
   return cmp.run(a, b);
 }

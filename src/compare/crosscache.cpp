@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace mbird::compare {
+
+namespace {
+// Global registry mirrors of the per-instance counters (DESIGN.md §4h).
+// The per-instance atomics stay authoritative for CrossCache::stats() —
+// tests pin exact per-cache numbers — while the registry aggregates all
+// caches in the process for `mbird stats` / batch reports.
+struct CacheMetrics {
+  obs::Counter& hits = obs::counter("crosscache.verdict.hits");
+  obs::Counter& misses = obs::counter("crosscache.verdict.misses");
+  obs::Counter& inserts = obs::counter("crosscache.verdict.inserts");
+  obs::Counter& prog_hits = obs::counter("crosscache.program.hits");
+  obs::Counter& prog_misses = obs::counter("crosscache.program.misses");
+};
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+}  // namespace
 
 using mtype::CanonId;
 using mtype::CanonOptions;
@@ -68,11 +88,13 @@ std::shared_ptr<const CrossCache::Variant> CrossCache::find(
     for (const auto& v : it->second) {
       if (compatible(*v, lg, lv, rg, rv)) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        cache_metrics().hits.add();
         return v;
       }
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  cache_metrics().misses.add();
   return nullptr;
 }
 
@@ -103,6 +125,7 @@ void CrossCache::insert(const Key& key, std::shared_ptr<const Variant> v) {
   }
   list.push_back(std::move(v));
   inserts_.fetch_add(1, std::memory_order_relaxed);
+  cache_metrics().inserts.add();
 }
 
 std::unique_ptr<CrossCache::Fragment> CrossCache::extract(
@@ -262,6 +285,9 @@ std::shared_ptr<const planir::Program> CrossCache::find_program(
     const Key& key) {
   std::lock_guard lock(prog_mu_);
   auto it = programs_.find(key);
+  (it == programs_.end() ? cache_metrics().prog_misses
+                         : cache_metrics().prog_hits)
+      .add();
   return it == programs_.end() ? nullptr : it->second;
 }
 

@@ -1,0 +1,252 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace mbird::obs {
+
+namespace {
+
+// Per-thread cache of (tracer id → ThreadBuf*). A linear scan over at
+// most a handful of entries; tracer ids are never reused, so a stale
+// entry for a destroyed tracer can never be confused with a live one.
+struct TlEntry {
+  uint64_t tracer_id;
+  void* buf;  // Tracer::ThreadBuf*, opaque here (the type is private)
+};
+thread_local std::vector<TlEntry> tl_bufs;
+
+uint64_t next_tracer_id() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string ns_human(uint64_t ns) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (ns < 1000) {
+    os << ns << "ns";
+  } else if (ns < 1000 * 1000) {
+    os << std::setprecision(1) << ns / 1e3 << "us";
+  } else if (ns < 1000ull * 1000 * 1000) {
+    os << std::setprecision(2) << ns / 1e6 << "ms";
+  } else {
+    os << std::setprecision(3) << ns / 1e9 << "s";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // never destroyed (see Registry::global)
+  return *t;
+}
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+
+Tracer::~Tracer() = default;
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : bufs_) {
+    buf->events.clear();
+    buf->stack.clear();
+  }
+  orphans_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ns_ = now_ns();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadBuf* Tracer::buf_for_this_thread() {
+  for (const TlEntry& e : tl_bufs) {
+    if (e.tracer_id == id_) return static_cast<ThreadBuf*>(e.buf);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->tid = static_cast<uint32_t>(bufs_.size()) + 1;
+  ThreadBuf* raw = buf.get();
+  bufs_.push_back(std::move(buf));
+  tl_bufs.push_back(TlEntry{id_, raw});
+  return raw;
+}
+
+void Tracer::finish(ThreadBuf* buf, uint64_t token) {
+  // Find the span on this thread's stack. The common case is the top;
+  // anything else is an out-of-order close and counts as an orphan.
+  auto& stack = buf->stack;
+  for (size_t i = stack.size(); i-- > 0;) {
+    if (stack[i].token != token) continue;
+    Open open = std::move(stack[i]);
+    const bool orphaned = i + 1 != stack.size();
+    stack.erase(stack.begin() + static_cast<ptrdiff_t>(i));
+    if (orphaned) orphans_.fetch_add(1, std::memory_order_relaxed);
+    if (buf->events.size() >= kMaxEventsPerThread) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Event ev;
+    ev.name = open.name;
+    ev.t0_ns = open.t0;
+    const uint64_t now = now_ns() - epoch_ns_;
+    ev.dur_ns = now >= open.t0 ? now - open.t0 : 0;
+    ev.tid = buf->tid;
+    ev.depth = open.depth;
+    ev.orphaned = orphaned;
+    ev.notes = std::move(open.notes);
+    buf->events.push_back(std::move(ev));
+    return;
+  }
+  // Not on the stack at all: its record was already evicted by an
+  // enable() reset or an ancestor's out-of-order close.
+  orphans_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> all;
+  for (const auto& buf : bufs_) {
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+    return a.dur_ns > b.dur_ns;  // parent before child at equal start
+  });
+  return all;
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buf : bufs_) n += buf->events.size();
+  return n;
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  const std::vector<Event> all = events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& ev : all) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\":";
+    write_json_escaped(os, ev.name);
+    os << ",\"cat\":\"mbird\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+       << ",\"ts\":" << std::fixed << std::setprecision(3)
+       << static_cast<double>(ev.t0_ns) / 1e3
+       << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
+    if (!ev.notes.empty() || ev.orphaned) {
+      os << ",\"args\":{";
+      bool afirst = true;
+      for (const Note& n : ev.notes) {
+        if (!afirst) os << ",";
+        afirst = false;
+        write_json_escaped(os, n.key);
+        os << ":";
+        write_json_escaped(os, n.val);
+      }
+      if (ev.orphaned) {
+        if (!afirst) os << ",";
+        os << "\"orphaned\":\"true\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << (first ? "" : "\n") << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string Tracer::chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+std::string Tracer::text_tree() const {
+  const std::vector<Event> all = events();
+  std::ostringstream os;
+  uint32_t tid = 0;
+  for (const Event& ev : all) {
+    if (ev.tid != tid) {
+      tid = ev.tid;
+      os << "thread " << tid << "\n";
+    }
+    for (uint32_t i = 0; i <= ev.depth; ++i) os << "  ";
+    os << ev.name << " " << ns_human(ev.dur_ns);
+    for (const Note& n : ev.notes) os << "  " << n.key << "=" << n.val;
+    if (ev.orphaned) os << "  [orphaned]";
+    os << "\n";
+  }
+  if (all.empty()) os << "(no spans recorded)\n";
+  return os.str();
+}
+
+#ifndef MBIRD_OBS_OFF
+
+Span::Span(Tracer& t, const char* name) {
+  if (!t.enabled()) return;
+  t_ = &t;
+  buf_ = t.buf_for_this_thread();
+  token_ = t.next_token_.fetch_add(1, std::memory_order_relaxed);
+  Tracer::Open open;
+  open.name = name;
+  open.t0 = now_ns() - t.epoch_ns_;
+  open.token = token_;
+  open.depth = static_cast<uint32_t>(buf_->stack.size());
+  buf_->stack.push_back(std::move(open));
+}
+
+Span::~Span() {
+  if (buf_) t_->finish(buf_, token_);
+}
+
+void Span::note(std::string_view key, std::string_view val) {
+  if (!buf_) return;
+  for (size_t i = buf_->stack.size(); i-- > 0;) {
+    if (buf_->stack[i].token == token_) {
+      buf_->stack[i].notes.push_back(
+          Tracer::Note{std::string(key), std::string(val)});
+      return;
+    }
+  }
+}
+
+void Span::note(std::string_view key, uint64_t val) {
+  note(key, std::string_view(std::to_string(val)));
+}
+
+#endif  // MBIRD_OBS_OFF
+
+}  // namespace mbird::obs

@@ -1,0 +1,145 @@
+// Nested trace spans (DESIGN.md §4h).
+//
+// A Span is an RAII guard around one timed region. Spans nest via a
+// thread-local stack per (tracer, thread); closing order is checked, so a
+// span destroyed while a child is still open is counted as an orphan
+// rather than corrupting the tree. Events are appended to per-thread
+// buffers with no synchronization on the hot path; enable() and the
+// exporters are meant to run at quiescent points (before workers start /
+// after they join), which is how the CLI uses them.
+//
+// Export formats:
+//   * write_chrome_json(): Chrome trace-event JSON ("X" complete events,
+//     microsecond timestamps) — load in chrome://tracing or Perfetto.
+//   * text_tree(): compact indented tree for terminals and tests.
+//
+// When the tracer is disabled (the default), constructing a Span costs
+// one relaxed load and branch. Under -DMBIRD_OBS_OFF=ON the Span type
+// compiles to an empty struct and every instrumentation site folds away.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbird::obs {
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Clears previously recorded events and starts recording. Call before
+  // spawning instrumented threads.
+  void enable();
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  struct Note {
+    std::string key;
+    std::string val;
+  };
+  struct Event {
+    const char* name;
+    uint64_t t0_ns;   // relative to the enable() epoch
+    uint64_t dur_ns;
+    uint32_t tid;     // dense per-tracer thread id, 1-based
+    uint32_t depth;   // nesting depth at open (0 = top level)
+    bool orphaned;    // closed out of stack order
+    std::vector<Note> notes;
+  };
+
+  // Snapshot of recorded events, ordered by (tid, t0). Quiescent only.
+  std::vector<Event> events() const;
+  size_t event_count() const;
+  uint64_t orphan_count() const {
+    return orphans_.load(std::memory_order_relaxed);
+  }
+  // Events discarded once a thread hit its buffer cap.
+  uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void write_chrome_json(std::ostream& os) const;
+  std::string chrome_json() const;
+  std::string text_tree() const;
+
+ private:
+  friend class Span;
+
+  struct Open {
+    const char* name;
+    uint64_t t0;
+    uint64_t token;
+    uint32_t depth;
+    std::vector<Note> notes;
+  };
+  struct ThreadBuf {
+    uint32_t tid = 0;
+    std::vector<Open> stack;
+    std::vector<Event> events;
+  };
+  static constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
+
+  ThreadBuf* buf_for_this_thread();
+  void finish(ThreadBuf* buf, uint64_t token);
+
+  const uint64_t id_;  // process-unique; keys the thread-local buf cache
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_token_{1};
+  std::atomic<uint64_t> orphans_{0};
+  std::atomic<uint64_t> dropped_{0};
+  uint64_t epoch_ns_ = 0;
+  mutable std::mutex mu_;  // guards bufs_ (registration + export)
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+#ifndef MBIRD_OBS_OFF
+
+class Span {
+ public:
+  explicit Span(const char* name) : Span(Tracer::global(), name) {}
+  Span(Tracer& t, const char* name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  // Attach a key=value annotation (shown in chrome "args" and the text
+  // tree). No-op when the span is not recording.
+  void note(std::string_view key, std::string_view val);
+  void note(std::string_view key, uint64_t val);
+  // True when this span is live in an enabled tracer — lets call sites
+  // skip building annotation strings that would be thrown away.
+  bool recording() const { return buf_ != nullptr; }
+
+ private:
+  Tracer* t_ = nullptr;
+  Tracer::ThreadBuf* buf_ = nullptr;
+  uint64_t token_ = 0;
+};
+
+#else  // MBIRD_OBS_OFF: spans compile to nothing.
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(Tracer&, const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void note(std::string_view, std::string_view) {}
+  void note(std::string_view, uint64_t) {}
+  bool recording() const { return false; }
+};
+
+#endif
+
+}  // namespace mbird::obs

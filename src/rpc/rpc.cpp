@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "planir/planir.hpp"
 #include "runtime/vm.hpp"
 #include "support/error.hpp"
@@ -12,6 +14,34 @@ namespace mbird::rpc {
 using mtype::Graph;
 using mtype::MKind;
 using mtype::Ref;
+
+namespace {
+// Registry mirrors of NodeStats (DESIGN.md §4h). The per-node struct
+// stays authoritative for Node::stats(); these aggregate every node in
+// the process so `mbird stats`, batch reports and bench counters see
+// delivery-layer behaviour without holding Node pointers.
+struct RpcMetrics {
+  obs::Counter& frames_sent = obs::counter("rpc.frames_sent");
+  obs::Counter& frames_received = obs::counter("rpc.frames_received");
+  obs::Counter& bytes_sent = obs::counter("rpc.bytes_sent");
+  obs::Counter& local_deliveries = obs::counter("rpc.local_deliveries");
+  obs::Counter& duplicates_dropped = obs::counter("rpc.duplicates_dropped");
+  obs::Counter& unknown_port_drops = obs::counter("rpc.unknown_port_drops");
+  obs::Counter& retransmits = obs::counter("rpc.retransmits");
+  obs::Counter& acks_sent = obs::counter("rpc.acks_sent");
+  obs::Counter& acks_received = obs::counter("rpc.acks_received");
+  obs::Counter& frames_expired = obs::counter("rpc.frames_expired");
+  obs::Counter& timed_out_calls = obs::counter("rpc.timed_out_calls");
+  obs::Counter& calls = obs::counter("rpc.calls");
+  obs::Gauge& max_inflight = obs::gauge("rpc.max_inflight");
+  obs::Gauge& max_dedup_window = obs::gauge("rpc.max_dedup_window");
+  obs::Histogram& call_ns = obs::histogram("rpc.call_ns");
+};
+RpcMetrics& rm() {
+  static RpcMetrics m;
+  return m;
+}
+}  // namespace
 
 uint64_t Node::open_port(const Graph* g, Ref msg_type,
                          std::function<void(const Value&)> handler, bool once) {
@@ -28,6 +58,7 @@ void Node::connect(uint16_t peer, std::shared_ptr<transport::Link> link) {
 
 void Node::transmit(PeerState& ps, PeerState::Pending& p) {
   stats_.bytes_sent += p.bytes.size();
+  rm().bytes_sent.add(p.bytes.size());
   p.backoff = relopts_.initial_backoff;
   p.next_resend_tick = tick_ + p.backoff;
   ps.link->send(p.bytes);
@@ -51,6 +82,7 @@ void Node::send_marshaled(uint64_t dest_port, std::vector<uint8_t> payload) {
     auto it = ports_.find(dest_port);
     if (it == ports_.end()) {
       stats_.unknown_port_drops++;
+      rm().unknown_port_drops.add();
       return;
     }
     local_queue_.emplace_back(
@@ -76,6 +108,7 @@ void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
   f.dest_port = dest_port;
   f.payload = std::move(payload);
   stats_.frames_sent++;
+  rm().frames_sent.add();
 
   PeerState::Pending p;
   p.seq = f.seq;
@@ -93,6 +126,7 @@ void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
   ps.unacked.push_back(std::move(p));
   if (ps.unacked.size() > stats_.max_inflight) {
     stats_.max_inflight = ps.unacked.size();
+    rm().max_inflight.set_max(static_cast<int64_t>(stats_.max_inflight));
   }
 }
 
@@ -111,6 +145,7 @@ void Node::apply_cum_ack(PeerState& ps, uint64_t cum_ack) {
     ps.unacked.push_back(std::move(p));
     if (ps.unacked.size() > stats_.max_inflight) {
       stats_.max_inflight = ps.unacked.size();
+      rm().max_inflight.set_max(static_cast<int64_t>(stats_.max_inflight));
     }
   }
 }
@@ -136,6 +171,7 @@ bool Node::accept_seq(PeerState& ps, uint64_t seq) {
   }
   if (ps.ooo.size() > stats_.max_dedup_window) {
     stats_.max_dedup_window = ps.ooo.size();
+    rm().max_dedup_window.set_max(static_cast<int64_t>(stats_.max_dedup_window));
   }
   return true;
 }
@@ -147,6 +183,7 @@ void Node::retransmit_due(PeerState& ps) {
   for (const auto& p : ps.unacked) {
     if (p.retries_used >= relopts_.max_retries && p.next_resend_tick <= tick_) {
       stats_.frames_expired += ps.unacked.size() + ps.backlog.size();
+      rm().frames_expired.add(ps.unacked.size() + ps.backlog.size());
       for (auto& dead : ps.unacked) pool_.release(std::move(dead.bytes));
       for (auto& dead : ps.backlog) pool_.release(std::move(dead.bytes));
       ps.unacked.clear();
@@ -161,6 +198,8 @@ void Node::retransmit_due(PeerState& ps) {
     p.next_resend_tick = tick_ + p.backoff;
     stats_.retransmits++;
     stats_.bytes_sent += p.bytes.size();
+    rm().retransmits.add();
+    rm().bytes_sent.add(p.bytes.size());
     ps.link->send(p.bytes);
   }
 }
@@ -169,6 +208,7 @@ void Node::dispatch(uint64_t port_id, const Value& v) {
   auto it = ports_.find(port_id);
   if (it == ports_.end()) {
     stats_.unknown_port_drops++;
+    rm().unknown_port_drops.add();
     return;
   }
   // Copy the handler out first: once-ports close before running (the
@@ -188,6 +228,7 @@ size_t Node::poll() {
   batch.swap(local_queue_);
   for (auto& [port_id, v] : batch) {
     stats_.local_deliveries++;
+    rm().local_deliveries.add();
     dispatch(port_id, v);
     ++processed;
   }
@@ -201,10 +242,12 @@ size_t Node::poll() {
       apply_cum_ack(ps, f.cum_ack);
       if (f.kind == wire::FrameKind::Ack) {
         stats_.acks_received++;
+        rm().acks_received.add();
         continue;
       }
       if (!accept_seq(ps, f.seq)) {
         stats_.duplicates_dropped++;
+        rm().duplicates_dropped.add();
         ps.ack_due = true;  // re-ack: the ack for this frame was likely lost
         continue;
       }
@@ -212,10 +255,12 @@ size_t Node::poll() {
       auto it = ports_.find(f.dest_port);
       if (it == ports_.end()) {
         stats_.unknown_port_drops++;
+        rm().unknown_port_drops.add();
         continue;
       }
       Value v = wire::decode(*it->second.graph, it->second.msg_type, f.payload);
       stats_.frames_received++;
+      rm().frames_received.add();
       dispatch(f.dest_port, v);
       ++processed;
     }
@@ -228,6 +273,8 @@ size_t Node::poll() {
       auto ack_bytes = wire::pack_frame(ack);
       stats_.acks_sent++;
       stats_.bytes_sent += ack_bytes.size();
+      rm().acks_sent.add();
+      rm().bytes_sent.add(ack_bytes.size());
       ps.link->send(std::move(ack_bytes));
       ps.ack_due = false;
     }
@@ -341,6 +388,12 @@ uint64_t serve_object(Node& node, const Graph& g, Ref choice_type,
 Value call_function(Node& client, uint64_t fn_port, const Graph& g,
                     Ref invocation_type, const Value& args,
                     const std::vector<Node*>& nodes, const CallOptions& options) {
+  // One span per call covering send -> ack -> reply; the retransmit and
+  // backoff behaviour during the window lands in the notes.
+  obs::Span span("rpc.call");
+  obs::ScopedTimer timer(rm().call_ns);
+  rm().calls.add();
+  const uint64_t retrans0 = client.stats().retransmits;
   Ref out_type = reply_msg_type(g, invocation_type);
   std::optional<Value> reply;
   uint64_t reply_port = client.open_port(
@@ -353,7 +406,13 @@ Value call_function(Node& client, uint64_t fn_port, const Graph& g,
   for (size_t round = 0; round < options.max_rounds; ++round) {
     size_t processed = 0;
     for (Node* n : nodes) processed += n->poll();
-    if (reply) return *reply;
+    if (reply) {
+      if (span.recording()) {
+        span.note("rounds", static_cast<uint64_t>(round + 1));
+        span.note("retransmits", client.stats().retransmits - retrans0);
+      }
+      return *reply;
+    }
     bool pending = false;
     for (Node* n : nodes) pending = pending || n->has_pending();
     quiet = (processed == 0 && !pending) ? quiet + 1 : 0;
@@ -368,6 +427,11 @@ Value call_function(Node& client, uint64_t fn_port, const Graph& g,
   }
   client.close_port(reply_port);
   client.note_timed_out_call();
+  rm().timed_out_calls.add();
+  if (span.recording()) {
+    span.note("retransmits", client.stats().retransmits - retrans0);
+    span.note("timeout", "true");
+  }
   throw CallTimeoutError("call timed out waiting for reply (deadline " +
                          std::to_string(options.max_rounds) + " rounds)");
 }
@@ -386,6 +450,10 @@ Value call_method(Node& client, uint64_t obj_port, const Graph& g,
   Ref inv_type = n.children[arm];
   Ref out_type = reply_msg_type(g, inv_type);
 
+  obs::Span span("rpc.call");
+  obs::ScopedTimer timer(rm().call_ns);
+  rm().calls.add();
+  const uint64_t retrans0 = client.stats().retransmits;
   std::optional<Value> reply;
   uint64_t reply_port = client.open_port(
       &g, out_type, [&reply](const Value& v) { reply = v; }, /*once=*/true);
@@ -397,7 +465,14 @@ Value call_method(Node& client, uint64_t obj_port, const Graph& g,
   for (size_t round = 0; round < options.max_rounds; ++round) {
     size_t processed = 0;
     for (Node* nd : nodes) processed += nd->poll();
-    if (reply) return *reply;
+    if (reply) {
+      if (span.recording()) {
+        span.note("arm", static_cast<uint64_t>(arm));
+        span.note("rounds", static_cast<uint64_t>(round + 1));
+        span.note("retransmits", client.stats().retransmits - retrans0);
+      }
+      return *reply;
+    }
     bool pending = false;
     for (Node* nd : nodes) pending = pending || nd->has_pending();
     quiet = (processed == 0 && !pending) ? quiet + 1 : 0;
@@ -410,6 +485,11 @@ Value call_method(Node& client, uint64_t obj_port, const Graph& g,
   }
   client.close_port(reply_port);
   client.note_timed_out_call();
+  rm().timed_out_calls.add();
+  if (span.recording()) {
+    span.note("retransmits", client.stats().retransmits - retrans0);
+    span.note("timeout", "true");
+  }
   throw CallTimeoutError("method call timed out waiting for reply (deadline " +
                          std::to_string(options.max_rounds) + " rounds)");
 }

@@ -4,6 +4,7 @@
 #include <deque>
 #include <iterator>
 
+#include "obs/metrics.hpp"
 #include "runtime/layout.hpp"
 #include "support/error.hpp"
 #include "wire/wire.hpp"
@@ -16,6 +17,41 @@ using planir::OpCode;
 using planir::Program;
 
 namespace {
+
+// Registry instruments for the VM (DESIGN.md §4h). Everything here is
+// gated behind obs::metrics_on(): the zero-copy marshal path runs in
+// ~260ns, so the disabled cost per executor run must stay at one relaxed
+// load + branch (verified by bench/BENCH_obs.json).
+struct VmMetrics {
+  obs::Counter& ops = obs::counter("planvm.ops_executed");
+  obs::Counter& converts = obs::counter("planvm.converts");
+  obs::Counter& marshals = obs::counter("planvm.marshals");
+  obs::Counter& marshals_native = obs::counter("planvm.marshals_native");
+  obs::Counter& block_copy_bytes = obs::counter("planvm.block_copy_bytes");
+  obs::Histogram& ops_per_run = obs::histogram("planvm.ops_per_run");
+  obs::Histogram& convert_ns = obs::histogram("planvm.convert_ns");
+  obs::Histogram& marshal_ns = obs::histogram("planvm.marshal_ns");
+  obs::Histogram& marshal_native_ns = obs::histogram("planvm.marshal_native_ns");
+};
+VmMetrics& vm_metrics() {
+  static VmMetrics m;
+  return m;
+}
+
+// Per-run op/byte counts accumulate in locals (register increments, free)
+// and publish once at scope exit — exception paths included — when the
+// metrics gate is open.
+struct OpTally {
+  uint64_t ops = 0;
+  uint64_t block_bytes = 0;
+  ~OpTally() {
+    if (!obs::metrics_on()) return;
+    VmMetrics& m = vm_metrics();
+    m.ops.add(ops);
+    m.ops_per_run.record(ops);
+    if (block_bytes != 0) m.block_copy_bytes.add(block_bytes);
+  }
+};
 
 /// Identical to the tree interpreter's path walk (same error text — the
 /// differential suite compares messages verbatim).
@@ -110,6 +146,7 @@ Value run_convert(const Program& prog, uint32_t entry, const Value& in,
   std::vector<Value> rpn;
   std::deque<Value> chains;
   std::deque<std::vector<Value>> lists;
+  OpTally tally;
   work.push_back({Work::K::Eval, entry, 0, &in});
   while (!work.empty()) {
     Work w = work.back();
@@ -118,6 +155,7 @@ Value run_convert(const Program& prog, uint32_t entry, const Value& in,
       case Work::K::Eval: {
         const planir::Instr& ins = prog.code[w.a];
         const Value& v = *w.in;
+        ++tally.ops;
         switch (ins.op) {
           case OpCode::MakeUnit: vals.push_back(Value::unit()); break;
           case OpCode::CopyInt: {
@@ -276,6 +314,7 @@ void run_marshal(const Program& prog, const Value& in,
   std::vector<Work> work{{Work::K::Emit, prog.entry, &in}};
   std::deque<Value> chains;
   std::deque<std::vector<Value>> lists;
+  OpTally tally;
   while (!work.empty()) {
     Work w = work.back();
     work.pop_back();
@@ -288,6 +327,7 @@ void run_marshal(const Program& prog, const Value& in,
     }
     const planir::Instr& ins = prog.code[w.a];
     const Value& v = *w.in;
+    ++tally.ops;
     switch (ins.op) {
       case OpCode::EmitNothing: break;
       case OpCode::EmitInt: {
@@ -394,9 +434,11 @@ void run_native(const Program& prog, const NativeHeap& heap, uint64_t base,
   const ImageLayout& il = *prog.src_layout;
   check_image_ranges(il, heap, base);
   std::vector<uint32_t> work{prog.entry};
+  OpTally tally;
   while (!work.empty()) {
     const planir::Instr& ins = prog.code[work.back()];
     work.pop_back();
+    ++tally.ops;
     switch (ins.op) {
       case OpCode::EmitNothing: break;
       case OpCode::LoadInt: {
@@ -481,6 +523,7 @@ void run_native(const Program& prog, const NativeHeap& heap, uint64_t base,
         const Program::NativeSlot& s = prog.natives[ins.a];
         const uint8_t* src = heap.at(base + s.src_off, s.width);
         out.insert(out.end(), src, src + s.width);
+        tally.block_bytes += s.width;
         break;
       }
       case OpCode::ConstBytes:
@@ -524,6 +567,8 @@ Value PlanVm::apply(const Value& in) const {
   if (prog_.mode != Program::Mode::Convert) {
     throw IrError(IrFault::ModeMismatch, "apply() needs a convert program");
   }
+  obs::ScopedTimer timer(vm_metrics().convert_ns);
+  if (obs::metrics_on()) vm_metrics().converts.add();
   return run_convert(prog_, prog_.entry, in, port_adapter_, custom_);
 }
 
@@ -531,6 +576,8 @@ std::vector<uint8_t> PlanVm::marshal(const Value& in) const {
   if (prog_.mode != Program::Mode::Marshal) {
     throw IrError(IrFault::ModeMismatch, "marshal() needs a marshal program");
   }
+  obs::ScopedTimer timer(vm_metrics().marshal_ns);
+  if (obs::metrics_on()) vm_metrics().marshals.add();
   std::vector<uint8_t> out;
   run_marshal(prog_, in, port_adapter_, custom_, out);
   return out;
@@ -540,6 +587,8 @@ void PlanVm::marshal_into(const Value& in, std::vector<uint8_t>& out) const {
   if (prog_.mode != Program::Mode::Marshal) {
     throw IrError(IrFault::ModeMismatch, "marshal() needs a marshal program");
   }
+  obs::ScopedTimer timer(vm_metrics().marshal_ns);
+  if (obs::metrics_on()) vm_metrics().marshals.add();
   size_t mark = out.size();
   try {
     run_marshal(prog_, in, port_adapter_, custom_, out);
@@ -562,6 +611,8 @@ void PlanVm::marshal_native_into(const NativeHeap& heap, uint64_t addr,
     throw IrError(IrFault::ModeMismatch,
                   "marshal_native() needs a native-marshal program");
   }
+  obs::ScopedTimer timer(vm_metrics().marshal_native_ns);
+  if (obs::metrics_on()) vm_metrics().marshals_native.add();
   size_t mark = out.size();
   try {
     run_native(prog_, heap, addr, port_adapter_, custom_, out);

@@ -34,6 +34,11 @@ void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) 
   diags_.push_back(std::move(d));
 }
 
+void DiagnosticEngine::replay_to(const Sink& sink) const {
+  if (!sink) return;
+  for (const auto& d : diags_) sink(d);
+}
+
 void DiagnosticEngine::clear() {
   diags_.clear();
   error_count_ = 0;

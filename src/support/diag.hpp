@@ -57,6 +57,17 @@ class DiagnosticEngine {
     report(Severity::Note, std::move(loc), std::move(message));
   }
 
+  /// Replace the forwarding sink. Diagnostics collected before the swap
+  /// have already been forwarded to the *old* sink (or dropped when there
+  /// was none) — call replay_to() with the new sink first if it needs the
+  /// backlog.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Feed every diagnostic collected so far through `sink`, in arrival
+  /// order. Lets a sink installed after construction (e.g. a CLI output
+  /// format chosen by a flag parsed later) still see the backlog.
+  void replay_to(const Sink& sink) const;
+
   [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
   [[nodiscard]] size_t error_count() const { return error_count_; }
   [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }

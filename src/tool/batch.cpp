@@ -1,5 +1,6 @@
 #include "tool/batch.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -12,6 +13,8 @@
 #include "compare/crosscache.hpp"
 #include "lower/lower.hpp"
 #include "mtype/mtype.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "planir/planir.hpp"
 #include "support/strings.hpp"
 #include "support/threadpool.hpp"
@@ -180,6 +183,11 @@ int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
               const std::string& manifest_name, DiagnosticEngine& diags,
               const BatchOptions& options, std::ostream& out,
               std::ostream& err) {
+  // Batch reports always embed a metrics snapshot, so the timed tier
+  // (histograms, VM op counts) is on for the whole run.
+  obs::set_metrics_on(true);
+  const obs::Registry::Snapshot snap0 = obs::Registry::global().snapshot();
+
   // ---- parse the manifest --------------------------------------------------
   std::vector<Pair> pairs;
   {
@@ -258,6 +266,7 @@ int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
       pool.submit([&, idx] {
         const Pair& p = pairs[idx];
         PairResult& r = results[idx];
+        obs::Span span("batch.pair");
         auto t0 = std::chrono::steady_clock::now();
         try {
           r.outcome = compile_pair(ga, p.ra, gb, p.rb, base, (*sid_a)[p.ra],
@@ -268,6 +277,18 @@ int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
         r.micros = std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+        if (span.recording()) {
+          span.note("left", p.left_spec);
+          span.note("right", p.right_spec);
+          if (r.error.empty()) {
+            span.note("verdict", compare::to_string(r.outcome.verdict));
+            span.note("memo", r.outcome.memo_hit ? "hit" : "miss");
+            span.note("program_cached",
+                      r.outcome.program_cached ? "true" : "false");
+          } else {
+            span.note("error", "true");
+          }
+        }
       });
     }
     pool.wait_idle();
@@ -289,6 +310,21 @@ int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
     if (r.outcome.memo_hit) ++memo_hits;
   }
   auto st = cross.stats();
+
+  // Worker utilization: summed busy time across pairs over the pool's
+  // theoretical capacity (wall time x jobs). 100 means every worker was
+  // busy the whole parallel phase.
+  int64_t busy_micros = 0;
+  for (const PairResult& r : results) busy_micros += r.micros;
+  obs::gauge("batch.jobs").set(static_cast<int64_t>(options.jobs));
+  if (wall_micros > 0 && options.jobs > 0) {
+    int64_t pct =
+        busy_micros * 100 / (wall_micros * static_cast<int64_t>(options.jobs));
+    obs::gauge("batch.worker_utilization_pct").set(std::min<int64_t>(pct, 100));
+  }
+
+  const obs::Registry::Snapshot delta =
+      obs::Registry::global().snapshot().delta_since(snap0);
 
   std::ostringstream js;
   js << "{\n  \"jobs\": " << options.jobs << ",\n  \"pairs\": [\n";
@@ -329,7 +365,7 @@ int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
      << ", \"programs\": " << st.programs
      << ", \"strict_classes\": " << st.strict_classes
      << ", \"interned_nodes\": " << st.interned_nodes << "}\n"
-     << "  }\n}\n";
+     << "  },\n  \"metrics\": " << delta.to_json(2) << "\n}\n";
 
   if (options.out_path.empty()) {
     out << js.str();

@@ -19,7 +19,12 @@
 //
 // Emits a JSON report (stdout, or --out <file>): per-pair verdict /
 // steps / wall-micros / whether the compiled program came from the
-// cache, plus a summary with aggregate cache statistics.
+// cache, plus a summary with aggregate cache statistics and a "metrics"
+// object — the obs::Registry snapshot delta for the run (crosscache /
+// planvm / compare counters, histograms, and the batch.jobs +
+// batch.worker_utilization_pct gauges). Each pair also runs under an
+// obs::Span ("batch.pair", annotated with verdict and cache hits) so
+// `mbird --trace` renders the parallel phase in chrome://tracing.
 #pragma once
 
 #include <cstddef>

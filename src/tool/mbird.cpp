@@ -1,5 +1,6 @@
 #include "tool/mbird.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -14,6 +15,8 @@
 #include "javaclass/classfile.hpp"
 #include "javasrc/javaparser.hpp"
 #include "lower/lower.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "planir/planir.hpp"
 #include "project/project.hpp"
 #include "runtime/layout.hpp"
@@ -28,6 +31,45 @@ using stype::Lang;
 using stype::Module;
 using stype::Stype;
 
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// One diagnostic as a structured JSON line (--diag-format=json): tools
+// consuming mbird's stderr get machine-parseable records instead of the
+// "file:line:col: severity: message" text form.
+void write_diag_json(std::ostream& os, const Diagnostic& d) {
+  os << "{\"severity\": \"" << to_string(d.severity) << "\", \"file\": \"";
+  json_escape(os, d.loc.file);
+  os << "\", \"line\": " << d.loc.line << ", \"col\": " << d.loc.col
+     << ", \"message\": \"";
+  json_escape(os, d.message);
+  os << "\"}\n";
+}
+
+DiagnosticEngine::Sink make_diag_sink(std::ostream& e, bool json) {
+  if (json) {
+    return [&e](const Diagnostic& d) { write_diag_json(e, d); };
+  }
+  return [&e](const Diagnostic& d) { e << d.to_string() << '\n'; };
+}
+
 struct Session {
   std::vector<Module> modules;
   // Original sources, for project save.
@@ -35,9 +77,8 @@ struct Session {
   DiagnosticEngine diags;
   std::ostream* err = nullptr;
 
-  explicit Session(std::ostream& e)
-      : diags([&e](const Diagnostic& d) { e << d.to_string() << '\n'; }),
-        err(&e) {}
+  explicit Session(std::ostream& e, bool json_diags = false)
+      : diags(make_diag_sink(e, json_diags)), err(&e) {}
 
   Module* module_of(const std::string& name) {
     for (auto& m : modules) {
@@ -97,9 +138,11 @@ bool load_source(Session& s, Lang lang, const std::string& path,
 }
 
 int usage(std::ostream& err) {
-  err << "usage: mbird [--c|--java|--idl|--classfile|--project <file>]...\n"
+  err << "usage: mbird [--trace <out.json>] [--metrics <out.json>]\n"
+         "             [--diag-format=text|json]\n"
+         "             [--c|--java|--idl|--classfile|--project <file>]...\n"
          "             [--script <file>] [--annotate '<stmts>']\n"
-         "             <list|show|mtype|diagram|compare|plan|gen|batch|save> ...\n"
+         "             <list|show|mtype|diagram|compare|plan|gen|batch|stats|save> ...\n"
          "  plan <a> <b> [--emit-ir]   print the coercion plan (or its\n"
          "                             compiled PlanIR bytecode listing;\n"
          "                             --emit-ir=native fuses a's memory\n"
@@ -107,15 +150,212 @@ int usage(std::ostream& err) {
          "  batch <manifest> [--jobs N] [--out <file>]\n"
          "                             compare/compile every '<a> <b>' pair in\n"
          "                             the manifest over N worker threads,\n"
-         "                             sharing one cross-pair cache; JSON report\n";
+         "                             sharing one cross-pair cache; JSON report\n"
+         "  stats [metrics.json]       pretty-print a --metrics/batch metrics\n"
+         "                             snapshot (no file: this process's own)\n"
+         "global flags (valid anywhere on the line):\n"
+         "  --trace <out.json>         record nested spans, write Chrome\n"
+         "                             trace-event JSON (chrome://tracing)\n"
+         "  --metrics <out.json>       write the metrics registry snapshot\n"
+         "  --diag-format=text|json    diagnostics as text or JSON lines\n";
   return 2;
 }
 
-}  // namespace
+// ---- `mbird stats`: flat metrics-JSON reader --------------------------------
+// Reads exactly the shape Registry::Snapshot::write_json emits — either a
+// --metrics output file or a batch report (whose snapshot sits under a
+// top-level "metrics" key; other report keys are skipped). Not a general
+// JSON parser.
+struct MetricsReader {
+  explicit MetricsReader(const std::string& text) : s(text) {}
 
-int run(const std::vector<std::string>& args, std::ostream& out,
-        std::ostream& err) {
-  Session s(err);
+  const std::string& s;
+  size_t i = 0;
+  std::string error;
+
+  void fail(const std::string& why) {
+    if (error.empty()) error = why + " at byte " + std::to_string(i);
+  }
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\' && i < s.size()) {
+        char e = s[i++];
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u':
+            // Metric names never need \u escapes; skip the four hex digits
+            // and substitute '?' rather than decoding.
+            i = std::min(i + 4, s.size());
+            out->push_back('?');
+            break;
+          default: out->push_back(e);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (i >= s.size()) {
+      fail("unterminated string");
+      return false;
+    }
+    ++i;  // closing quote
+    return true;
+  }
+
+  bool parse_int(int64_t* out) {
+    skip_ws();
+    size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == start || (i == start + 1 && s[start] == '-')) {
+      fail("expected a number");
+      return false;
+    }
+    *out = std::stoll(s.substr(start, i - start));
+    return true;
+  }
+
+  // Skips any value (object/array/string/number/keyword) — used for batch
+  // report keys that are not part of the metrics snapshot.
+  bool skip_value() {
+    skip_ws();
+    if (i >= s.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char c = s[i];
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++i;
+      while (!peek(close)) {
+        if (c == '{') {
+          std::string key;
+          if (!parse_string(&key) || !expect(':')) return false;
+        }
+        if (!skip_value()) return false;
+        if (!peek(',')) break;
+        ++i;
+      }
+      return expect(close);
+    }
+    while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+           s[i] != '\n') {
+      ++i;  // number / true / false / null
+    }
+    return true;
+  }
+
+  // {"name": int, ...} into `out` via `put`.
+  template <typename Put>
+  bool parse_int_map(const Put& put) {
+    if (!expect('{')) return false;
+    while (!peek('}')) {
+      std::string name;
+      int64_t v = 0;
+      if (!parse_string(&name) || !expect(':') || !parse_int(&v)) return false;
+      put(name, v);
+      if (!peek(',')) break;
+      ++i;
+    }
+    return expect('}');
+  }
+
+  bool parse_histograms(obs::Registry::Snapshot* snap) {
+    if (!expect('{')) return false;
+    while (!peek('}')) {
+      std::string name;
+      if (!parse_string(&name) || !expect(':')) return false;
+      obs::Registry::HistView hv;
+      bool ok = parse_int_map([&](const std::string& field, int64_t v) {
+        auto u = static_cast<uint64_t>(v);
+        if (field == "count") hv.count = u;
+        else if (field == "sum") hv.sum = u;
+        else if (field == "p50") hv.p50 = u;
+        else if (field == "p95") hv.p95 = u;
+        else if (field == "p99") hv.p99 = u;
+        else if (field == "max") hv.max = u;
+      });
+      if (!ok) return false;
+      snap->histograms.emplace(std::move(name), hv);
+      if (!peek(',')) break;
+      ++i;
+    }
+    return expect('}');
+  }
+
+  // `nested`: inside a batch report's "metrics" object (no further
+  // descent — a report does not nest reports).
+  bool parse_snapshot(obs::Registry::Snapshot* snap, bool nested) {
+    if (!expect('{')) return false;
+    while (!peek('}')) {
+      std::string key;
+      if (!parse_string(&key) || !expect(':')) return false;
+      bool ok = true;
+      if (key == "counters") {
+        ok = parse_int_map([&](const std::string& n, int64_t v) {
+          snap->counters.emplace(n, static_cast<uint64_t>(v));
+        });
+      } else if (key == "gauges") {
+        ok = parse_int_map(
+            [&](const std::string& n, int64_t v) { snap->gauges.emplace(n, v); });
+      } else if (key == "histograms") {
+        ok = parse_histograms(snap);
+      } else if (key == "metrics" && !nested) {
+        ok = parse_snapshot(snap, true);
+      } else {
+        ok = skip_value();
+      }
+      if (!ok) return false;
+      if (!peek(',')) break;
+      ++i;
+    }
+    return expect('}');
+  }
+};
+
+std::optional<obs::Registry::Snapshot> parse_metrics_json(
+    const std::string& text, std::string* error) {
+  MetricsReader r{text};
+  obs::Registry::Snapshot snap;
+  if (!r.parse_snapshot(&snap, false)) {
+    *error = r.error.empty() ? "malformed metrics JSON" : r.error;
+    return std::nullopt;
+  }
+  return snap;
+}
+
+int run_command(const std::vector<std::string>& args, bool json_diags,
+                std::ostream& out, std::ostream& err) {
+  Session s(err, json_diags);
 
   size_t i = 0;
   auto next_arg = [&](const std::string& flag) -> std::optional<std::string> {
@@ -369,6 +609,30 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return run_batch(s.modules, *text, manifest_path, s.diags, bopts, out, err);
   }
 
+  if (cmd == "stats") {
+    obs::Registry::Snapshot snap;
+    if (i < args.size()) {
+      auto text = read_file(args[i]);
+      if (!text) {
+        err << "mbird: cannot read " << args[i] << '\n';
+        return 1;
+      }
+      std::string perr;
+      auto parsed = parse_metrics_json(*text, &perr);
+      if (!parsed) {
+        err << "mbird: " << args[i] << ": " << perr << '\n';
+        return 1;
+      }
+      snap = std::move(*parsed);
+    } else {
+      // No file: this process's own registry (counters the input phase of
+      // this very invocation touched, if any).
+      snap = obs::Registry::global().snapshot();
+    }
+    out << snap.to_text();
+    return 0;
+  }
+
   if (cmd == "save") {
     if (i >= args.size()) return usage(err);
     // Sources plus the *exported* current annotations: the export already
@@ -389,6 +653,77 @@ int run(const std::vector<std::string>& args, std::ostream& out,
 
   err << "mbird: unknown command '" << cmd << "'\n";
   return usage(err);
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  // ---- global observability flags ------------------------------------------
+  // Stripped before the normal input/command scan so they are valid anywhere
+  // on the line (`mbird batch m.txt --jobs 4 --trace t.json` included).
+  std::string trace_path, metrics_path, diag_format = "text";
+  std::vector<std::string> rest;
+  rest.reserve(args.size());
+  for (size_t k = 0; k < args.size(); ++k) {
+    const std::string& a = args[k];
+    auto value_of = [&]() -> std::optional<std::string> {
+      if (k + 1 >= args.size()) {
+        err << "mbird: " << a << " requires an argument\n";
+        return std::nullopt;
+      }
+      return args[++k];
+    };
+    if (a == "--trace") {
+      auto v = value_of();
+      if (!v) return 2;
+      trace_path = *v;
+    } else if (starts_with(a, "--trace=")) {
+      trace_path = a.substr(8);
+    } else if (a == "--metrics") {
+      auto v = value_of();
+      if (!v) return 2;
+      metrics_path = *v;
+    } else if (starts_with(a, "--metrics=")) {
+      metrics_path = a.substr(10);
+    } else if (a == "--diag-format") {
+      auto v = value_of();
+      if (!v) return 2;
+      diag_format = *v;
+    } else if (starts_with(a, "--diag-format=")) {
+      diag_format = a.substr(14);
+    } else {
+      rest.push_back(a);
+    }
+  }
+  if (diag_format != "text" && diag_format != "json") {
+    err << "mbird: --diag-format expects 'text' or 'json', got '"
+        << diag_format << "'\n";
+    return 2;
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::global().enable();
+    obs::set_metrics_on(true);  // span duration notes want the timed tier
+  }
+  if (!metrics_path.empty()) obs::set_metrics_on(true);
+
+  int rc = run_command(rest, diag_format == "json", out, err);
+
+  if (!trace_path.empty()) {
+    obs::Tracer::global().disable();
+    if (!write_file(trace_path, obs::Tracer::global().chrome_json())) {
+      err << "mbird: cannot write " << trace_path << '\n';
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (!write_file(metrics_path,
+                    obs::Registry::global().snapshot().to_json() + "\n")) {
+      err << "mbird: cannot write " << metrics_path << '\n';
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace mbird::tool

@@ -26,7 +26,19 @@
 //                              pair listed in the manifest, fanned out over
 //                              N worker threads sharing one cross-pair
 //                              cache (see tool/batch.hpp); JSON report
+//                              (includes a "metrics" registry snapshot)
+//   stats [metrics.json]       pretty-print a metrics snapshot (a --metrics
+//                              output file or a batch report; with no file,
+//                              this process's own registry)
 //   save <file.mbp>            save sources + annotations as a project
+//
+// Global flags (DESIGN.md §4h), valid anywhere on the line:
+//   --trace <out.json>         record nested spans for the whole run and
+//                              write Chrome trace-event JSON (open in
+//                              chrome://tracing or ui.perfetto.dev)
+//   --metrics <out.json>       write the final metrics-registry snapshot
+//   --diag-format=text|json    diagnostics as human text (default) or as
+//                              one JSON object per line on stderr
 //
 // The core entry point is run() so tests can drive the CLI in-process.
 #pragma once

@@ -1,0 +1,308 @@
+// Tests for the observability substrate (src/obs): histogram percentile
+// accuracy against a sorted-vector oracle, counter correctness under an
+// 8-thread hammer (run under TSan in CI), span nesting and orphan
+// detection, and the Chrome trace-event / metrics JSON exports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mbird::obs {
+namespace {
+
+// ---------------------------------------------------------------- buckets
+
+TEST(Histogram, BucketIndexIsMonotonicAndExactForSmallValues) {
+  // Values below 2^kSubBits map to themselves: zero relative error.
+  for (uint64_t v = 0; v < Histogram::kSub; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_upper_bound(static_cast<int>(v)), v);
+  }
+  int prev = -1;
+  for (uint64_t v = 0; v < 4096; ++v) {
+    const int i = Histogram::bucket_index(v);
+    EXPECT_GE(i, prev);
+    EXPECT_LT(i, Histogram::kBuckets);
+    EXPECT_LE(v, Histogram::bucket_upper_bound(i));
+    prev = i;
+  }
+}
+
+TEST(Histogram, BucketUpperBoundTightWithinTwelvePointFivePercent) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const uint64_t v = rng() >> (rng() % 60);
+    const int i = Histogram::bucket_index(v);
+    const uint64_t ub = Histogram::bucket_upper_bound(i);
+    ASSERT_GE(ub, v);
+    // Log-scale guarantee: the bucket's upper bound overshoots the true
+    // value by at most one sub-bucket width = 2^-kSubBits relative.
+    ASSERT_LE(static_cast<double>(ub - v),
+              static_cast<double>(v) / Histogram::kSub + 1.0);
+  }
+  EXPECT_LT(Histogram::bucket_index(~uint64_t{0}), Histogram::kBuckets);
+}
+
+// ------------------------------------------------------------ percentiles
+
+TEST(Histogram, PercentilesMatchSortedVectorOracle) {
+  std::mt19937_64 rng(42);
+  Histogram h;
+  std::vector<uint64_t> oracle;
+  // Log-normal-ish latencies spanning ns to ms.
+  for (int i = 0; i < 20000; ++i) {
+    const double e = std::exp(std::uniform_real_distribution<>(4., 14.)(rng));
+    const uint64_t v = static_cast<uint64_t>(e);
+    h.record(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  for (double q : {0.50, 0.90, 0.95, 0.99}) {
+    const uint64_t truth =
+        oracle[static_cast<size_t>(std::ceil(q * oracle.size())) - 1];
+    const uint64_t got = h.percentile(q);
+    // Reported quantile is an upper bound within one sub-bucket (12.5%).
+    EXPECT_GE(got, truth) << "q=" << q;
+    EXPECT_LE(static_cast<double>(got),
+              static_cast<double>(truth) * (1.0 + 1.0 / Histogram::kSub) + 1.0)
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), oracle.size());
+  EXPECT_GE(h.percentile(1.0), oracle.back());
+  EXPECT_EQ(h.max_value(), oracle.back());
+}
+
+TEST(Histogram, EmptyAndSingleValue) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  h.record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 777u);
+  EXPECT_GE(h.percentile(0.5), 777u);
+  EXPECT_LE(h.percentile(0.99), Histogram::bucket_upper_bound(
+                                    Histogram::bucket_index(777)));
+  EXPECT_EQ(h.max_value(), 777u);
+}
+
+// --------------------------------------------------------------- counters
+
+TEST(Counter, EightThreadHammerLosesNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, AddWithWeights) {
+  Counter c;
+  c.add(5);
+  c.add();
+  c.add(0);
+  EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(Gauge, SetAddMax) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set_max(5);
+  EXPECT_EQ(g.value(), 7);
+  g.set_max(42);
+  EXPECT_EQ(g.value(), 42);
+}
+
+TEST(Registry, SameNameSameInstrumentConcurrently) {
+  Registry r;
+  Counter* seen[8] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&r, &seen, t] {
+      Counter& c = r.counter("race.counter");
+      c.add(1);
+      seen[t] = &c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(r.counter("race.counter").value(), 8u);
+}
+
+TEST(Registry, SnapshotAndDelta) {
+  Registry r;
+  r.counter("a.hits").add(10);
+  r.gauge("a.jobs").set(4);
+  r.histogram("a.ns").record(1000);
+  auto base = r.snapshot();
+  EXPECT_EQ(base.counters.at("a.hits"), 10u);
+  EXPECT_EQ(base.gauges.at("a.jobs"), 4);
+  EXPECT_EQ(base.histograms.at("a.ns").count, 1u);
+
+  r.counter("a.hits").add(5);
+  r.counter("b.misses").add(2);
+  auto delta = r.snapshot().delta_since(base);
+  EXPECT_EQ(delta.counters.at("a.hits"), 5u);
+  EXPECT_EQ(delta.counters.at("b.misses"), 2u);
+  // Untouched instruments drop out of the delta entirely.
+  EXPECT_EQ(delta.histograms.count("a.ns"), 0u);
+
+  const std::string json = delta.to_json();
+  EXPECT_NE(json.find("\"a.hits\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  const std::string text = r.snapshot().to_text();
+  EXPECT_NE(text.find("a.hits"), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+}
+
+TEST(ScopedTimer, GatedByMetricsFlag) {
+  Histogram h;
+  set_metrics_on(false);
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 0u);
+  set_metrics_on(true);
+  { ScopedTimer t(h); }
+  set_metrics_on(false);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// ------------------------------------------------------------------ spans
+// Span bodies compile to no-ops under MBIRD_OBS_OFF; the recording tests
+// only make sense with the instrumentation present.
+#ifndef MBIRD_OBS_OFF
+
+TEST(Span, DisabledTracerRecordsNothing) {
+  Tracer t;
+  {
+    Span s(t, "ignored");
+    s.note("k", "v");
+  }
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_EQ(t.orphan_count(), 0u);
+}
+
+TEST(Span, NestingDepthsAndOrder) {
+  Tracer t;
+  t.enable();
+  {
+    Span outer(t, "outer");
+    {
+      Span mid(t, "mid");
+      Span inner(t, "inner");
+      inner.note("k", uint64_t{7});
+    }
+    outer.note("verdict", "ok");
+  }
+  t.disable();
+  auto evs = t.events();
+  ASSERT_EQ(evs.size(), 3u);
+  // Sorted by start time: outer opened first.
+  EXPECT_STREQ(evs[0].name, "outer");
+  EXPECT_EQ(evs[0].depth, 0u);
+  EXPECT_STREQ(evs[1].name, "mid");
+  EXPECT_EQ(evs[1].depth, 1u);
+  EXPECT_STREQ(evs[2].name, "inner");
+  EXPECT_EQ(evs[2].depth, 2u);
+  EXPECT_EQ(t.orphan_count(), 0u);
+  // Children are contained in the parent interval.
+  EXPECT_LE(evs[0].t0_ns, evs[2].t0_ns);
+  EXPECT_GE(evs[0].t0_ns + evs[0].dur_ns, evs[2].t0_ns + evs[2].dur_ns);
+  ASSERT_EQ(evs[0].notes.size(), 1u);
+  EXPECT_EQ(evs[0].notes[0].key, "verdict");
+  EXPECT_EQ(evs[0].notes[0].val, "ok");
+  ASSERT_EQ(evs[2].notes.size(), 1u);
+  EXPECT_EQ(evs[2].notes[0].val, "7");
+}
+
+TEST(Span, OutOfOrderCloseIsCountedAsOrphan) {
+  Tracer t;
+  t.enable();
+  auto* parent = new Span(t, "parent");
+  Span child(t, "child");
+  delete parent;  // closes while `child` is still open
+  t.disable();
+  EXPECT_EQ(t.orphan_count(), 1u);
+  bool saw_orphan = false;
+  for (const auto& ev : t.events()) {
+    if (std::string(ev.name) == "parent") saw_orphan = ev.orphaned;
+  }
+  EXPECT_TRUE(saw_orphan);
+}
+
+TEST(Span, PerThreadStacksDoNotInterleave) {
+  Tracer t;
+  t.enable();
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&t] {
+      for (int i = 0; i < 50; ++i) {
+        Span a(t, "a");
+        Span b(t, "b");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  t.disable();
+  EXPECT_EQ(t.event_count(), 4u * 50u * 2u);
+  EXPECT_EQ(t.orphan_count(), 0u);
+  for (const auto& ev : t.events()) {
+    EXPECT_EQ(ev.depth, std::string(ev.name) == "a" ? 0u : 1u);
+  }
+}
+
+TEST(Span, ChromeJsonAndTextTree) {
+  Tracer t;
+  t.enable();
+  {
+    Span s(t, "compare");
+    s.note("pair", "Line fitter");
+    Span inner(t, "compare.walk");
+  }
+  t.disable();
+  const std::string json = t.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compare\""), std::string::npos);
+  EXPECT_NE(json.find("\"pair\":\"Line fitter\""), std::string::npos);
+  // Braces and brackets balance (cheap structural validity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  const std::string tree = t.text_tree();
+  EXPECT_NE(tree.find("thread 1"), std::string::npos);
+  EXPECT_NE(tree.find("compare"), std::string::npos);
+  EXPECT_NE(tree.find("pair=Line fitter"), std::string::npos);
+}
+
+TEST(Span, EnableResetsPreviousRun) {
+  Tracer t;
+  t.enable();
+  { Span s(t, "first"); }
+  EXPECT_EQ(t.event_count(), 1u);
+  t.enable();
+  { Span s(t, "second"); }
+  t.disable();
+  auto evs = t.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_STREQ(evs[0].name, "second");
+}
+
+#endif  // MBIRD_OBS_OFF
+
+}  // namespace
+}  // namespace mbird::obs

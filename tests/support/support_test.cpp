@@ -29,6 +29,34 @@ TEST(Diag, SinkForwarding) {
   EXPECT_EQ(seen, 2);
 }
 
+TEST(Diag, ReplayToLateSinkSeesBacklog) {
+  DiagnosticEngine diags;  // no sink at construction
+  diags.warning({"f.c", 1, 2}, "early warning");
+  diags.error({"f.c", 3, 4}, "early error");
+
+  std::vector<std::string> seen;
+  DiagnosticEngine::Sink sink = [&](const Diagnostic& d) {
+    seen.push_back(d.to_string());
+  };
+  diags.replay_to(sink);  // backlog, in arrival order
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "f.c:1:2: warning: early warning");
+  EXPECT_EQ(seen[1], "f.c:3:4: error: early error");
+
+  diags.set_sink(sink);  // and from now on, live forwarding
+  diags.note({"f.c", 5, 6}, "late note");
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[2], "f.c:5:6: note: late note");
+  EXPECT_EQ(diags.all().size(), 3u);
+}
+
+TEST(Diag, ReplayToNullSinkIsNoop) {
+  DiagnosticEngine diags;
+  diags.error({}, "x");
+  diags.replay_to(DiagnosticEngine::Sink{});  // must not crash
+  EXPECT_EQ(diags.error_count(), 1u);
+}
+
 TEST(Diag, ClearResets) {
   DiagnosticEngine diags;
   diags.error({}, "x");
