@@ -15,6 +15,7 @@
 // rows measure the driver's memo fast path.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <sstream>
@@ -211,13 +212,19 @@ void BM_CompareClassesCrossWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_CompareClassesCrossWarm)->Arg(12)->Arg(100)->Arg(500);
 
-// The batch driver's parallel phase, running the exact per-pair step the
-// `mbird batch` workers run (tool::compile_pair: verdict + PlanIR compile
-// against the shared CrossCache). `warm` keeps one cache across
-// iterations, pre-filled outside the timing loop, so every pair resolves
-// through the memo fast path; cold rebuilds the cache each iteration.
-// Arg is the worker count; the host's core count bounds real speedup.
-void run_batch_driver_trial(benchmark::State& state, bool warm) {
+// The batch driver's parallel phase, fanned out exactly like `mbird
+// batch`: one PERSISTENT ThreadPool across iterations (workers block on a
+// condvar when idle, so keeping it alive is free), pairs submitted in
+// chunks of tool::batch_chunk_size, each chunk task routing its cache
+// writes through a per-worker CrossCache::WriteBuffer. `warm` keeps one
+// cache across iterations, pre-filled outside the timing loop, so every
+// pair resolves through the memo fast path; cold rebuilds the cache each
+// iteration. Arg is the worker count; the host's core count bounds real
+// speedup — on a single-core host the interesting property is that the
+// warm curve stays FLAT as jobs grow instead of regressing on per-task
+// overhead (the pre-chunking driver was ~6x slower at 8 jobs than 1).
+void run_batch_driver_trial(benchmark::State& state, bool warm,
+                            size_t pairs_per_pass = 0) {
   const int n = 100;
   size_t jobs = static_cast<size_t>(state.range(0));
   Workload w(n);
@@ -228,7 +235,9 @@ void run_batch_driver_trial(benchmark::State& state, bool warm) {
   compare::HashCache hc(w.gc), hj(w.gj);
   std::optional<compare::CrossCache> cross;
   cross.emplace();
-  auto run_all = [&](size_t pool_jobs) {
+  ThreadPool pool(jobs);
+  const size_t pairs = pairs_per_pass ? pairs_per_pass : w.rcs.size();
+  auto run_all = [&] {
     compare::Options o;
     o.left_hashes = hc.get();
     o.right_hashes = hj.get();
@@ -236,35 +245,39 @@ void run_batch_driver_trial(benchmark::State& state, bool warm) {
     auto sid_c = cross->strict_ids(w.gc);
     auto sid_j = cross->strict_ids(w.gj);
     std::atomic<size_t> failures{0};
-    {
-      ThreadPool pool(pool_jobs);
-      for (size_t k = 0; k < w.rcs.size(); ++k) {
-        pool.submit([&, k] {
-          auto out = tool::compile_pair(w.gc, w.rcs[k], w.gj, w.rjs[k], o,
-                                        (*sid_c)[w.rcs[k]], (*sid_j)[w.rjs[k]]);
+    const size_t chunk = tool::batch_chunk_size(pairs, jobs, 0);
+    for (size_t begin = 0; begin < pairs; begin += chunk) {
+      const size_t end = std::min(begin + chunk, pairs);
+      pool.submit([&, begin, end] {
+        compare::CrossCache::WriteBuffer wb(*cross);
+        for (size_t i = begin; i < end; ++i) {
+          const size_t k = i % w.rcs.size();
+          auto out =
+              tool::compile_pair(w.gc, w.rcs[k], w.gj, w.rjs[k], o,
+                                 (*sid_c)[w.rcs[k]], (*sid_j)[w.rjs[k]], &wb);
           if (out.verdict != compare::Verdict::Equivalent) {
             failures.fetch_add(1);
           }
-        });
-      }
-      pool.wait_idle();
+        }
+      });
     }
+    pool.wait_idle();
     return failures.load() == 0;
   };
-  if (warm && !run_all(1)) {
+  if (warm && !run_all()) {
     state.SkipWithError("unexpected mismatch during warmup");
     return;
   }
   for (auto _ : state) {
     if (!warm) cross.emplace();  // cold: refill every time
-    if (!run_all(jobs)) {
+    if (!run_all()) {
       state.SkipWithError("unexpected mismatch");
       return;
     }
   }
   state.counters["classes"] = n;
   state.counters["jobs"] = static_cast<double>(jobs);
-  state.SetItemsProcessed(state.iterations() * n);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pairs));
 }
 
 void BM_BatchDriverThreads(benchmark::State& state) {
@@ -277,6 +290,68 @@ void BM_BatchDriverWarm(benchmark::State& state) {
   run_batch_driver_trial(state, true);
 }
 BENCHMARK(BM_BatchDriverWarm)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Same warm trial over 2000 pairs per pass (cycling the 100 classes):
+// the per-block shape the streaming driver actually sees, where the
+// fixed chunk fan-out cost is amortized over real work. This is the row
+// bench/check_batch_scaling.sh holds to the 1.2x jobs=4-vs-jobs=1
+// budget — at 100 pairs the fixed handoff cost is a visible fraction of
+// an ~18us pass on a single-core host, at 2000 it is noise.
+void BM_BatchDriverWarmWide(benchmark::State& state) {
+  run_batch_driver_trial(state, true, 2000);
+}
+BENCHMARK(BM_BatchDriverWarmWide)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// End-to-end `mbird batch` over a SYNTHETIC MANIFEST of Arg pairs (10k /
+// 100k lines cycling through 100 distinct Node classes), streamed through
+// tool::run_batch in kStreamBlock-line blocks with the report going to
+// /dev/null. This is the memory-bounded scaling row: past the first block
+// every declaration is already lowered and every pair memo-resolves, so
+// time is dominated by ingestion + report emission — per-pair cost must
+// stay flat from 10k to 100k, and peak RSS must not scale with manifest
+// length (the report's peak_rss_kb gauge pins that in the tests).
+void BM_BatchStreamingManifest(benchmark::State& state) {
+  const int n = 100;
+  const size_t npairs = static_cast<size_t>(state.range(0));
+  DiagnosticEngine diags;
+  std::vector<stype::Module> modules;
+  modules.push_back(cfront::parse_c(synthesize(n, false), "e.hpp", diags));
+  modules.push_back(javasrc::parse_java(synthesize(n, true), "E.java", diags));
+  const char* script =
+      "annotate \"Node*.prev\" notnull;\nannotate \"Node*.owner\" notnull;\n";
+  annotate::run_script(script, "b.mba", modules[0], diags);
+  annotate::run_script(script, "b.mba", modules[1], diags);
+  if (diags.has_errors()) {
+    state.SkipWithError(diags.summary().c_str());
+    return;
+  }
+  std::string manifest_text;
+  manifest_text.reserve(npairs * 32);
+  for (size_t k = 0; k < npairs; ++k) {
+    const std::string node = "Node" + std::to_string(k % n);
+    manifest_text += "e.hpp:" + node + " E.java:" + node + "\n";
+  }
+  tool::BatchOptions bopts;
+  bopts.jobs = 4;
+  std::ostringstream out;
+  bopts.out_path = "/dev/null";
+  for (auto _ : state) {
+    std::istringstream manifest(manifest_text);
+    std::ostringstream err;
+    int code = tool::run_batch(modules, manifest, "synthetic.txt", diags,
+                               bopts, out, err);
+    if (code != 0) {
+      state.SkipWithError(("batch exit " + std::to_string(code)).c_str());
+      return;
+    }
+  }
+  state.counters["pairs"] = static_cast<double>(npairs);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(npairs));
+}
+BENCHMARK(BM_BatchStreamingManifest)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_CompareClasses(benchmark::State& state) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# CI bench smoke: warm-batch parallel scaling must not regress.
+#
+#   bench/check_batch_scaling.sh <bench_comparer_scaling binary>
+#
+# Runs BM_BatchDriverWarmWide (2000 warm pairs per pass — the per-block
+# shape the streaming driver sees) at --jobs 1 and 4, takes the min of 3
+# repetitions per configuration, and fails if jobs=4 is more than 1.2x
+# slower than jobs=1. On a multi-core host jobs=4 should win outright;
+# on a single-core runner the chunked fan-out's fixed cost is a handful
+# of chunk handoffs, which amortizes to noise over 2000 pairs. The
+# pre-chunking driver (one pool task per pair, idle workers polling on a
+# 1ms timed wait, a fresh pool per pass) measured 2.5-6x here and fails
+# this check immediately.
+set -eu
+
+bench="${1:?usage: check_batch_scaling.sh <bench_comparer_scaling>}"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+"$bench" \
+  --benchmark_filter='BM_BatchDriverWarmWide/(1|4)/' \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+python3 - "$out" <<'EOF'
+import json, sys
+
+data = json.load(open(sys.argv[1]))
+best = {}
+unit = "ms"
+for b in data["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    name = b["run_name"]
+    unit = b["time_unit"]
+    t = b["real_time"]
+    best[name] = min(best.get(name, t), t)
+
+t1 = next(v for k, v in best.items() if "/1/" in k)
+t4 = next(v for k, v in best.items() if "/4/" in k)
+ratio = t4 / t1
+print(f"warm batch (2000 pairs): jobs=1 {t1:.4f}{unit} "
+      f"jobs=4 {t4:.4f}{unit} ratio {ratio:.2f}")
+if ratio > 1.2:
+    sys.exit(f"FAIL: warm batch at jobs=4 is {ratio:.2f}x jobs=1 (budget 1.2x)")
+print("OK: warm batch scaling within budget")
+EOF

@@ -31,7 +31,14 @@
 #     comparer at all, so warm batch runs are orders of magnitude faster
 #     than cold;
 #   * BM_BatchDriverThreads/Warm at 1/2/4/8 workers (speedup is bounded by
-#     the host's core count — single-core CI runners show none).
+#     the host's core count — single-core CI runners show none; the
+#     invariant bench/check_batch_scaling.sh enforces is that warm time
+#     does NOT regress as workers are added — the pre-chunking driver
+#     was ~6x slower warm at 8 jobs than at 1);
+#   * BM_BatchStreamingManifest runs end-to-end `mbird batch` over
+#     synthetic 10k / 100k-pair manifests through the streaming
+#     ingestion path: per-pair time must stay flat from 10k to 100k
+#     (memory-bounded blocks, memo-resolved pairs).
 #
 # bench/BENCH_obs.json documents the observability overhead budget
 # (DESIGN.md §4h): the same two hot-path bench lanes (bench_marshal_wire's
@@ -61,7 +68,7 @@ cmake --build "$build" -j --target bench_fitter_conversion bench_comparer_scalin
 echo "wrote $repo/bench/BENCH_planir.json"
 
 "$build/bench/bench_comparer_scaling" \
-  --benchmark_filter='SoloPairs/100|CrossCold/100|CrossWarm/100|BatchDriver' \
+  --benchmark_filter='SoloPairs/100|CrossCold/100|CrossWarm/100|BatchDriver|BatchStreamingManifest' \
   --benchmark_min_time=0.2 \
   --benchmark_repetitions=1 \
   --benchmark_format=json \

@@ -46,10 +46,22 @@ std::shared_ptr<const std::vector<CanonId>> CrossCache::iso_ids(
   co.associative = options.associative;
   co.unit_elimination = options.unit_elimination;
   co.mu_transparent = true;
+  // Read-mostly: after the first few comparisons every option set has its
+  // index, so the scan runs under a shared lock and N workers don't
+  // serialize here. CanonIndex pointers are stable (unique_ptr targets).
   mtype::CanonIndex* index = nullptr;
   {
-    std::lock_guard lock(iso_mu_);
+    std::shared_lock lock(iso_mu_);
     for (auto& [opts, idx] : iso_) {
+      if (opts == co) {
+        index = idx.get();
+        break;
+      }
+    }
+  }
+  if (index == nullptr) {
+    std::unique_lock lock(iso_mu_);
+    for (auto& [opts, idx] : iso_) {  // re-scan: a racer may have added it
       if (opts == co) {
         index = idx.get();
         break;
@@ -82,7 +94,7 @@ bool CrossCache::compatible(const Variant& v, const void* lg, uint64_t lv,
 std::shared_ptr<const CrossCache::Variant> CrossCache::find(
     const Key& key, const void* lg, uint64_t lv, const void* rg, uint64_t rv) {
   Shard& s = shard_for(key);
-  std::lock_guard lock(s.mu);
+  std::shared_lock lock(s.mu);
   auto it = s.map.find(key);
   if (it != s.map.end()) {
     for (const auto& v : it->second) {
@@ -101,7 +113,7 @@ std::shared_ptr<const CrossCache::Variant> CrossCache::find(
 bool CrossCache::has(const Key& key, const void* lg, uint64_t lv,
                      const void* rg, uint64_t rv) {
   Shard& s = shard_for(key);
-  std::lock_guard lock(s.mu);
+  std::shared_lock lock(s.mu);
   auto it = s.map.find(key);
   if (it == s.map.end()) return false;
   for (const auto& v : it->second) {
@@ -110,9 +122,8 @@ bool CrossCache::has(const Key& key, const void* lg, uint64_t lv,
   return false;
 }
 
-void CrossCache::insert(const Key& key, std::shared_ptr<const Variant> v) {
-  Shard& s = shard_for(key);
-  std::lock_guard lock(s.mu);
+bool CrossCache::insert_locked(Shard& s, const Key& key,
+                               std::shared_ptr<const Variant> v) {
   auto& list = s.map[key];
   for (const auto& existing : list) {
     // A compatible entry (same ok + same effective binding) already serves
@@ -120,12 +131,19 @@ void CrossCache::insert(const Key& key, std::shared_ptr<const Variant> v) {
     if (existing->ok == v->ok &&
         compatible(*existing, v->bind_left, v->ver_left, v->bind_right,
                    v->ver_right)) {
-      return;
+      return false;
     }
   }
   list.push_back(std::move(v));
   inserts_.fetch_add(1, std::memory_order_relaxed);
   cache_metrics().inserts.add();
+  return true;
+}
+
+void CrossCache::insert(const Key& key, std::shared_ptr<const Variant> v) {
+  Shard& s = shard_for(key);
+  std::unique_lock lock(s.mu);
+  insert_locked(s, key, std::move(v));
 }
 
 std::unique_ptr<CrossCache::Fragment> CrossCache::extract(
@@ -283,18 +301,82 @@ PlanRef CrossCache::splice(
 
 std::shared_ptr<const planir::Program> CrossCache::find_program(
     const Key& key) {
-  std::lock_guard lock(prog_mu_);
-  auto it = programs_.find(key);
-  (it == programs_.end() ? cache_metrics().prog_misses
-                         : cache_metrics().prog_hits)
+  std::shared_ptr<const planir::Program> prog;
+  {
+    std::shared_lock lock(prog_mu_);
+    auto it = programs_.find(key);
+    if (it != programs_.end()) prog = it->second;
+  }
+  (prog == nullptr ? cache_metrics().prog_misses : cache_metrics().prog_hits)
       .add();
-  return it == programs_.end() ? nullptr : it->second;
+  return prog;
 }
 
 void CrossCache::insert_program(const Key& key,
                                 std::shared_ptr<const planir::Program> prog) {
-  std::lock_guard lock(prog_mu_);
+  std::unique_lock lock(prog_mu_);
   programs_.emplace(key, std::move(prog));
+}
+
+// ---- WriteBuffer ------------------------------------------------------------
+
+std::shared_ptr<const CrossCache::Variant> CrossCache::WriteBuffer::find(
+    const Key& key, const void* lg, uint64_t lv, const void* rg, uint64_t rv) {
+  // Pending entries first: a worker must observe its own unflushed writes
+  // (the memo replay in tool::compile_pair depends on read-your-writes).
+  for (const auto& [k, v] : pending_) {
+    if (k == key && compatible(*v, lg, lv, rg, rv)) {
+      return v;
+    }
+  }
+  return owner_.find(key, lg, lv, rg, rv);
+}
+
+std::shared_ptr<const planir::Program> CrossCache::WriteBuffer::find_program(
+    const Key& key) {
+  for (const auto& [k, p] : pending_progs_) {
+    if (k == key) return p;
+  }
+  return owner_.find_program(key);
+}
+
+void CrossCache::WriteBuffer::insert(const Key& key,
+                                     std::shared_ptr<const Variant> v) {
+  pending_.emplace_back(key, std::move(v));
+  if (pending_.size() + pending_progs_.size() >= kAutoFlush) flush();
+}
+
+void CrossCache::WriteBuffer::insert_program(
+    const Key& key, std::shared_ptr<const planir::Program> prog) {
+  pending_progs_.emplace_back(key, std::move(prog));
+  if (pending_.size() + pending_progs_.size() >= kAutoFlush) flush();
+}
+
+void CrossCache::WriteBuffer::flush() {
+  if (!pending_.empty()) {
+    // Group by shard so each touched shard is locked exactly once.
+    std::array<std::vector<size_t>, kShards> by_shard;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      by_shard[shard_index(pending_[i].first)].push_back(i);
+    }
+    for (size_t si = 0; si < kShards; ++si) {
+      if (by_shard[si].empty()) continue;
+      Shard& s = owner_.shards_[si];
+      std::unique_lock lock(s.mu);
+      for (size_t i : by_shard[si]) {
+        owner_.insert_locked(s, pending_[i].first,
+                             std::move(pending_[i].second));
+      }
+    }
+    pending_.clear();
+  }
+  if (!pending_progs_.empty()) {
+    std::unique_lock lock(owner_.prog_mu_);
+    for (auto& [k, p] : pending_progs_) {
+      owner_.programs_.emplace(k, std::move(p));
+    }
+    pending_progs_.clear();
+  }
 }
 
 CrossCache::Stats CrossCache::stats() const {
@@ -303,14 +385,14 @@ CrossCache::Stats CrossCache::stats() const {
   st.misses = misses_.load(std::memory_order_relaxed);
   st.inserts = inserts_.load(std::memory_order_relaxed);
   for (Shard& s : shards_) {
-    std::lock_guard lock(s.mu);
+    std::shared_lock lock(s.mu);
     st.entries += s.map.size();
     for (const auto& [key, variants] : s.map) {
       for (const auto& v : variants) st.fragment_nodes += v->frag.nodes.size();
     }
   }
   {
-    std::lock_guard lock(prog_mu_);
+    std::shared_lock lock(prog_mu_);
     st.programs = programs_.size();
   }
   st.strict_classes = strict_.classes();

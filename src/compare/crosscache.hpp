@@ -29,10 +29,21 @@
 //     entries.
 //
 // Synchronization design: the pair memo is split over kShards shards,
-// each guarded by its own mutex (keys hash to a shard); canonical-id
-// interning is serialized inside CanonIndex and memoized per graph
-// version, so steady-state operation is short shard-local critical
-// sections — no global lock. Counters are relaxed atomics.
+// each guarded by its own shared_mutex (keys hash to a shard). Lookups —
+// the entirety of a warm batch's traffic — take shared locks, so N
+// workers replaying memo hits never serialize on a shard; only inserts
+// take a shard exclusively. Canonical-id interning is serialized inside
+// CanonIndex behind a sharded read-mostly memo (see canon.hpp), so
+// steady-state operation is short shared-lock critical sections — no
+// global lock anywhere on the warm path. Counters are relaxed atomics.
+//
+// For write-heavy phases (a cold batch filling the cache), WriteBuffer
+// gives each worker a local staging area whose flush() applies entries
+// grouped by shard — one exclusive lock per touched shard per flush
+// instead of one per insert. Deferred visibility is sound by
+// construction: a racing worker that misses simply recomputes and
+// inserts the same deterministic entry, and duplicate inserts are
+// dropped.
 #pragma once
 
 #include <array>
@@ -40,6 +51,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -160,6 +172,42 @@ class CrossCache {
   void insert_program(const Key& key,
                       std::shared_ptr<const planir::Program> prog);
 
+  // ---- per-worker write buffer --------------------------------------------
+
+  /// Local staging area for one worker's inserts. Verdict and program
+  /// entries accumulate here and reach the shared shards only on flush()
+  /// (automatic past kAutoFlush pending entries, and at destruction),
+  /// grouped so each touched shard is locked exactly once per flush.
+  /// find()/find_program() consult the pending entries first, then fall
+  /// through to the owner (a worker always sees its own writes).
+  /// Not thread-safe: one WriteBuffer per worker/chunk.
+  class WriteBuffer {
+   public:
+    static constexpr size_t kAutoFlush = 64;
+
+    explicit WriteBuffer(CrossCache& owner) : owner_(owner) {}
+    ~WriteBuffer() { flush(); }
+    WriteBuffer(const WriteBuffer&) = delete;
+    WriteBuffer& operator=(const WriteBuffer&) = delete;
+
+    [[nodiscard]] std::shared_ptr<const Variant> find(
+        const Key& key, const void* left_graph, uint64_t left_version,
+        const void* right_graph, uint64_t right_version);
+    [[nodiscard]] std::shared_ptr<const planir::Program> find_program(
+        const Key& key);
+    void insert(const Key& key, std::shared_ptr<const Variant> v);
+    void insert_program(const Key& key,
+                        std::shared_ptr<const planir::Program> prog);
+    /// Publish all pending entries to the owner's shards in bulk.
+    void flush();
+
+   private:
+    CrossCache& owner_;
+    std::vector<std::pair<Key, std::shared_ptr<const Variant>>> pending_;
+    std::vector<std::pair<Key, std::shared_ptr<const planir::Program>>>
+        pending_progs_;
+  };
+
   // ---- stats ---------------------------------------------------------------
 
   struct Stats {
@@ -178,25 +226,32 @@ class CrossCache {
   static constexpr size_t kShards = 16;
 
   struct Shard {
-    std::mutex mu;
+    std::shared_mutex mu;
     std::unordered_map<Key, std::vector<std::shared_ptr<const Variant>>,
                        KeyHash>
         map;
   };
 
+  [[nodiscard]] static size_t shard_index(const Key& key) {
+    return KeyHash{}(key) % kShards;
+  }
   [[nodiscard]] Shard& shard_for(const Key& key) {
-    return shards_[KeyHash{}(key) % kShards];
+    return shards_[shard_index(key)];
   }
   [[nodiscard]] static bool compatible(const Variant& v, const void* lg,
                                        uint64_t lv, const void* rg,
                                        uint64_t rv);
+  /// Insert into an already-exclusively-locked shard (shared by insert()
+  /// and WriteBuffer::flush()). Returns true if the entry was kept.
+  bool insert_locked(Shard& s, const Key& key,
+                     std::shared_ptr<const Variant> v);
 
   mtype::CanonIndex strict_;
-  std::mutex iso_mu_;
+  std::shared_mutex iso_mu_;
   std::vector<std::pair<mtype::CanonOptions, std::unique_ptr<mtype::CanonIndex>>>
       iso_;
   mutable std::array<Shard, kShards> shards_;
-  mutable std::mutex prog_mu_;
+  mutable std::shared_mutex prog_mu_;
   std::unordered_map<Key, std::shared_ptr<const planir::Program>, KeyHash>
       programs_;
   mutable std::atomic<size_t> hits_{0};

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <tuple>
 #include <unordered_map>
 
@@ -79,9 +80,25 @@ struct CanonIndex::Impl {
   std::mutex mu;
   std::vector<ANode> arena;
   CanonId next_canon = 0;
-  std::map<std::tuple<const Graph*, size_t, uint64_t>,
-           std::shared_ptr<const std::vector<CanonId>>>
-      memo;
+
+  // ids_for memo, sharded by graph identity. Steady-state batch traffic
+  // (every worker re-fetching ids for the two shared graphs) is a
+  // shared-lock lookup on one shard — workers never serialize on the
+  // arena mutex unless a graph actually needs interning.
+  static constexpr size_t kMemoShards = 8;
+  struct MemoShard {
+    std::shared_mutex mu;
+    std::map<std::tuple<const Graph*, size_t, uint64_t>,
+             std::shared_ptr<const std::vector<CanonId>>>
+        memo;
+  };
+  MemoShard memo_shards[kMemoShards];
+
+  MemoShard& memo_shard_for(const Graph* g) {
+    auto h = reinterpret_cast<uintptr_t>(g);
+    h ^= h >> 9;  // strip allocation-alignment zeros
+    return memo_shards[h % kMemoShards];
+  }
 };
 
 CanonIndex::CanonIndex(CanonOptions opts)
@@ -100,16 +117,19 @@ size_t CanonIndex::interned_nodes() const {
 }
 
 std::shared_ptr<const std::vector<CanonId>> CanonIndex::ids_for(const Graph& g) {
+  const auto key = std::make_tuple(&g, g.size(), g.version());
+  Impl::MemoShard& shard = impl_->memo_shard_for(&g);
   {
-    std::lock_guard lock(impl_->mu);
-    auto it = impl_->memo.find({&g, g.size(), g.version()});
-    if (it != impl_->memo.end()) return it->second;
+    std::shared_lock lock(shard.mu);
+    auto it = shard.memo.find(key);
+    if (it != shard.memo.end()) return it->second;
   }
-  // Intern outside the memo lookup (intern takes the same lock internally).
+  // Intern outside the memo locks (intern takes the arena lock; racing
+  // callers for the same graph both intern — the second is a no-op-shaped
+  // re-intern yielding identical ids, and emplace keeps the first vector).
   auto ids = std::make_shared<const std::vector<CanonId>>(intern(g));
-  std::lock_guard lock(impl_->mu);
-  auto [it, inserted] = impl_->memo.emplace(
-      std::make_tuple(&g, g.size(), g.version()), ids);
+  std::unique_lock lock(shard.mu);
+  auto [it, inserted] = shard.memo.emplace(key, ids);
   return it->second;
 }
 

@@ -45,9 +45,12 @@
 //     ids would be unsound there (Record(Int,Real) and Record(Real,Int)
 //     share an iso class but need different field moves).
 //
-// Thread safety: intern/ids_for are serialized by an internal mutex
-// (interning is per-graph and rare — read-mostly); the returned id
-// vectors are immutable snapshots safe to share across threads.
+// Thread safety: interning is serialized by the arena mutex (per-graph
+// and rare), but ids_for's memo is sharded by graph identity with
+// reader/writer locks — the steady-state path (every batch worker
+// re-fetching ids for an already-interned graph) is a shared-lock map
+// hit that never serializes workers. The returned id vectors are
+// immutable snapshots safe to share across threads.
 #pragma once
 
 #include <cstdint>

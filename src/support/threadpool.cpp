@@ -30,9 +30,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
              queues_.size();
+  // Counters rise BEFORE the push: a decrement (in try_pop / completion)
+  // strictly follows the push, so the counters can never underflow. The
+  // cost is a narrow window where queued_ > 0 but the task is not yet in
+  // its deque; worker_loop covers that window with a short timed wait
+  // (the only timed wait left — it cannot fire in the starved steady
+  // state, where queued_ == 0 and workers block indefinitely).
   {
     std::lock_guard lock(mu_);
     ++pending_;
+    ++queued_;
   }
   {
     std::lock_guard lock(queues_[q]->mu);
@@ -42,32 +49,50 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
+  // Help-drain barrier: the waiting thread runs queued tasks itself
+  // instead of sleeping while workers grind. On hosts with fewer cores
+  // than workers this converts the barrier from a chain of context
+  // switches into plain function calls — the batch driver's warm blocks
+  // (microseconds of work per chunk) would otherwise pay a scheduler
+  // handoff per chunk.
+  for (;;) {
+    std::function<void()> task;
+    if (!try_pop(0, task)) break;
+    task();
+    bool idle;
+    {
+      std::lock_guard lock(mu_);
+      idle = --pending_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
   std::unique_lock lock(mu_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 bool ThreadPool::try_pop(size_t me, std::function<void()>& out) {
-  // Own queue: back (LIFO).
-  {
-    Queue& q = *queues_[me];
+  auto take = [&](Queue& q, bool lifo) {
     std::lock_guard lock(q.mu);
-    if (!q.tasks.empty()) {
+    if (q.tasks.empty()) return false;
+    if (lifo) {
       out = std::move(q.tasks.back());
       q.tasks.pop_back();
-      return true;
-    }
-  }
-  // Steal: front (FIFO) of each victim in ring order after us.
-  for (size_t k = 1; k < queues_.size(); ++k) {
-    Queue& q = *queues_[(me + k) % queues_.size()];
-    std::lock_guard lock(q.mu);
-    if (!q.tasks.empty()) {
+    } else {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
-      return true;
     }
+    return true;
+  };
+  bool got = take(*queues_[me], /*lifo=*/true);  // own queue: back (LIFO)
+  // Steal: front (FIFO) of each victim in ring order after us.
+  for (size_t k = 1; !got && k < queues_.size(); ++k) {
+    got = take(*queues_[(me + k) % queues_.size()], /*lifo=*/false);
   }
-  return false;
+  if (got) {
+    std::lock_guard lock(mu_);
+    --queued_;
+  }
+  return got;
 }
 
 void ThreadPool::worker_loop(size_t me) {
@@ -85,14 +110,23 @@ void ThreadPool::worker_loop(size_t me) {
     }
     std::unique_lock lock(mu_);
     if (stop_) return;
-    if (pending_ == 0) {
-      // Nothing anywhere; sleep until new work or shutdown.
-      work_cv_.wait(lock);
-      continue;
+    if (queued_ == 0) {
+      // No task in any deque. Tasks merely *running* on other workers
+      // are none of our business: block until a submit (possibly
+      // recursive, from one of them) raises queued_, or shutdown. No
+      // polling — an idle worker costs zero CPU while its siblings
+      // grind through long tasks. (The old loop timed-waited whenever
+      // pending_ > 0, waking every idle worker ~1000x/s for the whole
+      // runtime of the in-flight tasks.)
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      if (stop_) return;
+      continue;  // re-scan with the task now (likely) visible
     }
-    // pending_ > 0 but our scan saw empty queues: either tasks are all
-    // running on other workers, or a submit raced our scan. A timed wait
-    // covers the race without busy-spinning.
+    // queued_ > 0 but our scan came up empty: either a submit raced the
+    // scan (counter up, push not yet landed) or a thief's decrement is
+    // still in flight. Both windows are microseconds; a short timed wait
+    // bounds the re-scan without reintroducing steady-state polling.
     work_cv_.wait_for(lock, std::chrono::milliseconds(1));
   }
 }

@@ -7,10 +7,22 @@
 // work). External submit() calls distribute round-robin across deques.
 //
 // Mutex-per-deque rather than a lock-free Chase–Lev deque: batch tasks
-// are whole pair-compilations (milliseconds), so queue operations are
-// nowhere near the contention point, and plain mutexes keep the pool
+// are whole pair-compilation chunks (milliseconds), so queue operations
+// are nowhere near the contention point, and plain mutexes keep the pool
 // trivially ThreadSanitizer-clean (the CI TSan lane runs the batch
 // driver under load).
+//
+// Starvation behavior: the pool tracks how many tasks sit in queues
+// (queued_) separately from how many are queued-or-running (pending_).
+// A worker that finds every queue empty blocks on work_cv_ until a
+// submit makes queued_ nonzero (or shutdown), so idle workers burn no
+// CPU while other workers run long tasks. This matters under recursive
+// submit: the old behavior (timed 1ms re-scans whenever pending_ > 0)
+// had every idle worker waking ~1000x/s for the whole runtime of the
+// in-flight tasks. A timed wait survives only for the microsecond
+// submit/steal race window (queued_ > 0 yet every scanned deque empty);
+// it cannot fire in the starved steady state. wakeups() counts returns
+// from the blocking wait (tests pin the no-spin property with it).
 //
 // wait_idle() blocks until every queue is empty AND no task is running —
 // the quiescent point where the submitting thread may read results
@@ -50,10 +62,21 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Block until all submitted tasks (including recursively submitted
-  /// ones) have finished.
+  /// ones) have finished. The calling thread HELPS: it drains queued
+  /// tasks itself before sleeping, so a barrier over many small chunks
+  /// costs function calls, not scheduler handoffs (decisive on hosts
+  /// with fewer cores than workers).
   void wait_idle();
 
   [[nodiscard]] size_t size() const { return workers_.size(); }
+
+  /// Number of times any worker returned from its starved blocking wait.
+  /// Bounded by submits + shutdown, NOT by wall time: workers waiting for
+  /// work sleep indefinitely rather than polling (tests assert this stays
+  /// small while long tasks run).
+  [[nodiscard]] size_t wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Queue {
@@ -67,12 +90,14 @@ class ThreadPool {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;                 // guards pending_/stop_ and pairs the cvs
+  std::mutex mu_;                 // guards pending_/queued_/stop_, pairs cvs
   std::condition_variable work_cv_;  // workers sleep here when starved
   std::condition_variable idle_cv_;  // wait_idle() sleeps here
   size_t pending_ = 0;            // queued + running tasks
+  size_t queued_ = 0;             // tasks sitting in some deque
   bool stop_ = false;
   std::atomic<size_t> next_queue_{0};  // round-robin submit cursor
+  std::atomic<size_t> wakeups_{0};
 };
 
 }  // namespace mbird

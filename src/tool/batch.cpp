@@ -5,9 +5,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <istream>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "compare/compare.hpp"
 #include "compare/crosscache.hpp"
@@ -27,6 +33,7 @@ using stype::Module;
 
 struct Pair {
   std::string left_spec, right_spec;
+  size_t lineno = 0;
   mtype::Ref ra = mtype::kNullRef;
   mtype::Ref rb = mtype::kNullRef;
 };
@@ -80,13 +87,93 @@ void json_escape(std::ostream& os, const std::string& s) {
   }
 }
 
+// Peak resident set of this process in KB (0 where unsupported). The
+// batch report and the streaming tests use it to pin the memory-bounded
+// claim: a 100k-pair manifest must not scale RSS with manifest length.
+int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<int64_t>(ru.ru_maxrss / 1024);  // bytes on macOS
+#else
+    return static_cast<int64_t>(ru.ru_maxrss);  // KB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+// Incremental manifest-order JSON report writer. Pairs stream out as
+// each block completes (the driver never holds more than one block of
+// results), so report size never feeds back into memory use.
+class ReportWriter {
+ public:
+  explicit ReportWriter(std::ostream& os) : os_(os) {}
+
+  [[nodiscard]] bool started() const { return started_; }
+
+  void begin(size_t jobs) {
+    started_ = true;
+    os_ << "{\n  \"jobs\": " << jobs << ",\n  \"pairs\": [\n";
+  }
+
+  void pair(const Pair& p, const PairResult& r) {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << "    {\"left\": \"";
+    json_escape(os_, p.left_spec);
+    os_ << "\", \"right\": \"";
+    json_escape(os_, p.right_spec);
+    os_ << "\", ";
+    if (!r.error.empty()) {
+      os_ << "\"error\": \"";
+      json_escape(os_, r.error);
+      os_ << "\"";
+    } else {
+      os_ << "\"verdict\": \"" << compare::to_string(r.outcome.verdict)
+          << "\", \"steps\": " << r.outcome.steps
+          << ", \"micros\": " << r.micros
+          << ", \"memo\": " << (r.outcome.memo_hit ? "true" : "false")
+          << ", \"program_cached\": "
+          << (r.outcome.program_cached ? "true" : "false")
+          << ", \"program_ops\": " << r.outcome.program_ops;
+    }
+    os_ << '}';
+  }
+
+  void begin_summary() {
+    if (!first_) os_ << '\n';
+    os_ << "  ],\n  \"summary\": {\n";
+  }
+
+  std::ostream& os() { return os_; }
+
+ private:
+  std::ostream& os_;
+  bool started_ = false;
+  bool first_ = true;
+};
+
 }  // namespace
+
+size_t batch_chunk_size(size_t pairs, size_t jobs, size_t requested) {
+  if (requested > 0) return requested;
+  if (jobs <= 1) return std::max<size_t>(1, pairs);
+  // ~4 steal-able chunks per worker for load balance, but never smaller
+  // than a floor that amortizes the fixed per-chunk cost (submit mutex,
+  // condvar notify, std::function allocation) — warm pairs resolve in
+  // well under a microsecond, so tiny chunks would be all overhead.
+  constexpr size_t kMinChunk = 16;
+  return std::clamp(pairs / (jobs * 4), kMinChunk, std::max(kMinChunk, pairs));
+}
 
 PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
                          const mtype::Graph& gb, mtype::Ref rb,
                          const compare::Options& base,
                          mtype::CanonId left_strict_id,
-                         mtype::CanonId right_strict_id) {
+                         mtype::CanonId right_strict_id,
+                         compare::CrossCache::WriteBuffer* wb) {
   PairOutcome o;
   compare::CrossCache* cross = base.cross;
   const bool keyed = cross != nullptr &&
@@ -98,6 +185,14 @@ PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
   // the strict-id pair, so one key per pair suffices.
   const compare::CrossCache::Key prog_key{
       left_strict_id, right_strict_id, compare::CrossCache::fingerprint(base)};
+  auto cache_find = [&](const compare::CrossCache::Key& k, const void* lg,
+                        uint64_t lv, const void* rg, uint64_t rv) {
+    return wb != nullptr ? wb->find(k, lg, lv, rg, rv)
+                         : cross->find(k, lg, lv, rg, rv);
+  };
+  auto prog_find = [&](const compare::CrossCache::Key& k) {
+    return wb != nullptr ? wb->find_program(k) : cross->find_program(k);
+  };
 
   if (keyed) {
     // Memo fast path: replay compare_full()'s decision procedure against
@@ -114,12 +209,12 @@ PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
     const uint8_t fp_eq = compare::CrossCache::fingerprint(eq_opts);
     const uint8_t fp_sub = compare::CrossCache::fingerprint(sub_opts);
     auto fwd = [&](uint8_t fp) {
-      return cross->find({left_strict_id, right_strict_id, fp}, &ga,
-                         ga.version(), &gb, gb.version());
+      return cache_find({left_strict_id, right_strict_id, fp}, &ga,
+                        ga.version(), &gb, gb.version());
     };
     auto rev = [&](uint8_t fp) {
-      return cross->find({right_strict_id, left_strict_id, fp}, &gb,
-                         gb.version(), &ga, ga.version());
+      return cache_find({right_strict_id, left_strict_id, fp}, &gb,
+                        gb.version(), &ga, ga.version());
     };
     bool resolved = false;
     auto verdict = compare::Verdict::Mismatch;
@@ -146,7 +241,7 @@ PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
         o.memo_hit = true;
         return o;
       }
-      if (auto prog = cross->find_program(prog_key)) {
+      if (auto prog = prog_find(prog_key)) {
         o.verdict = verdict;
         o.memo_hit = true;
         o.program_cached = true;
@@ -164,7 +259,7 @@ PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
   o.steps = full.to_right.steps + full.to_left.steps;
   if (full.to_right.ok) {
     std::shared_ptr<const planir::Program> prog;
-    if (keyed) prog = cross->find_program(prog_key);
+    if (keyed) prog = prog_find(prog_key);
     if (prog) {
       o.program_cached = true;
     } else {
@@ -172,14 +267,20 @@ PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
           planir::compile(full.to_right.plan, full.to_right.root));
       planir::require_valid(*compiled);
       prog = compiled;
-      if (keyed) cross->insert_program(prog_key, prog);
+      if (keyed) {
+        if (wb != nullptr) {
+          wb->insert_program(prog_key, prog);
+        } else {
+          cross->insert_program(prog_key, prog);
+        }
+      }
     }
     o.program_ops = prog->code.size();
   }
   return o;
 }
 
-int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
+int run_batch(std::vector<Module>& modules, std::istream& manifest,
               const std::string& manifest_name, DiagnosticEngine& diags,
               const BatchOptions& options, std::ostream& out,
               std::ostream& err) {
@@ -188,13 +289,91 @@ int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
   obs::set_metrics_on(true);
   const obs::Registry::Snapshot snap0 = obs::Registry::global().snapshot();
 
-  // ---- parse the manifest --------------------------------------------------
-  std::vector<Pair> pairs;
-  {
-    std::istringstream in(manifest_text);
-    std::string line;
-    size_t lineno = 0;
-    while (std::getline(in, line)) {
+  // ---- report destination --------------------------------------------------
+  std::ofstream file;
+  std::ostream* rep = &out;
+  if (!options.out_path.empty()) {
+    file.open(options.out_path, std::ios::binary);
+    if (!file) {
+      err << "mbird: cannot write " << options.out_path << '\n';
+      return 1;
+    }
+    rep = &file;
+  }
+  ReportWriter writer(*rep);
+
+  // ---- shared state persisting across streaming blocks ---------------------
+  // The two graphs grow only during ingestion (single-threaded); each
+  // parallel phase sees them frozen. Each distinct (module, decl) lowers
+  // once per side through a PERSISTENT per-module LowerEngine — engines
+  // memoize the aggregates they have already lowered, so declarations
+  // sharing a transitive closure (Node99 reaching Node0..98) share the
+  // lowered subgraph instead of re-lowering it per decl. The graphs
+  // reach a fixed point after every distinct declaration has appeared —
+  // later blocks skip lowering entirely.
+  mtype::Graph ga, gb;
+  struct Side {
+    std::map<const Module*, std::unique_ptr<lower::LowerEngine>> engines;
+    std::map<std::pair<const Module*, std::string>, mtype::Ref> memo;
+  } side_a, side_b;
+  auto lower_side = [&](const std::string& spec, size_t lineno,
+                        mtype::Graph& g, Side& side) -> mtype::Ref {
+    std::string decl_name;
+    Module* m = find_decl(modules, spec, &decl_name);
+    if (m == nullptr) {
+      err << "mbird: " << manifest_name << ':' << lineno
+          << ": unknown declaration '" << spec << "'\n";
+      return mtype::kNullRef;
+    }
+    auto key = std::make_pair(static_cast<const Module*>(m), decl_name);
+    if (auto it = side.memo.find(key); it != side.memo.end()) {
+      return it->second;
+    }
+    auto& engine = side.engines[m];
+    if (!engine) engine = std::make_unique<lower::LowerEngine>(*m, g, diags);
+    mtype::Ref r = engine->lower_decl(decl_name);
+    if (r == mtype::kNullRef || diags.has_errors()) {
+      err << "mbird: " << manifest_name << ':' << lineno
+          << ": cannot lower '" << spec << "'\n";
+      return mtype::kNullRef;
+    }
+    side.memo.emplace(key, r);
+    return r;
+  };
+
+  compare::CrossCache cross;
+  compare::HashCache hca(ga), hcb(gb);  // auto-refresh when graphs grow
+  ThreadPool pool(options.jobs);
+
+  // ---- streaming loop ------------------------------------------------------
+  size_t lineno = 0, total_pairs = 0, blocks = 0, chunk_used = 0;
+  size_t counts[4] = {0, 0, 0, 0};
+  size_t errors = 0, total_steps = 0, memo_hits = 0;
+  int64_t busy_micros = 0, wall_micros = 0;
+  // Mid-stream manifest failure: remember it, finish reporting what ran.
+  int stream_error_code = 0;
+  size_t stream_error_line = 0;
+  std::string stream_error_msg;
+  auto stream_fail = [&](int code, size_t at_line, std::string msg) {
+    stream_error_code = code;
+    stream_error_line = at_line;
+    stream_error_msg = std::move(msg);
+  };
+
+  std::vector<Pair> block;
+  block.reserve(kStreamBlock);
+  std::vector<PairResult> results;
+  std::string line;
+
+  bool eof = false;
+  while (!eof && stream_error_code == 0) {
+    // ---- ingest + lower one block (graphs mutable only here) ---------------
+    block.clear();
+    while (block.size() < kStreamBlock && stream_error_code == 0) {
+      if (!std::getline(manifest, line)) {
+        eof = true;
+        break;
+      }
       ++lineno;
       if (auto hash = line.find('#'); hash != std::string::npos) {
         line.resize(hash);
@@ -205,153 +384,124 @@ int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
       if (!(ls >> b) || (ls >> extra)) {
         err << "mbird: " << manifest_name << ':' << lineno
             << ": expected '<declA> <declB>'\n";
-        return 2;
+        stream_fail(2, lineno, "expected '<declA> <declB>'");
+        break;
       }
-      pairs.push_back({a, b, mtype::kNullRef, mtype::kNullRef});
+      Pair p{a, b, lineno, mtype::kNullRef, mtype::kNullRef};
+      p.ra = lower_side(p.left_spec, lineno, ga, side_a);
+      if (p.ra == mtype::kNullRef) {
+        stream_fail(1, lineno, "cannot resolve '" + p.left_spec + "'");
+        break;
+      }
+      p.rb = lower_side(p.right_spec, lineno, gb, side_b);
+      if (p.rb == mtype::kNullRef) {
+        stream_fail(1, lineno, "cannot resolve '" + p.right_spec + "'");
+        break;
+      }
+      block.push_back(std::move(p));
     }
-  }
-  if (pairs.empty()) {
-    err << "mbird: " << manifest_name << ": no pairs\n";
-    return 2;
-  }
+    if (block.empty()) continue;  // loop exits via eof / stream_error_code
 
-  // ---- single-threaded lowering into two shared graphs ---------------------
-  // The graphs are frozen once lowering finishes; the parallel phase only
-  // reads them. Each distinct (module, decl) lowers once per side.
-  mtype::Graph ga, gb;
-  std::map<std::pair<const Module*, std::string>, mtype::Ref> memo_a, memo_b;
-  auto lower_side = [&](const std::string& spec, mtype::Graph& g,
-                        decltype(memo_a)& memo) -> mtype::Ref {
-    std::string decl_name;
-    Module* m = find_decl(modules, spec, &decl_name);
-    if (m == nullptr) {
-      err << "mbird: unknown declaration '" << spec << "'\n";
-      return mtype::kNullRef;
-    }
-    auto key = std::make_pair(static_cast<const Module*>(m), decl_name);
-    if (auto it = memo.find(key); it != memo.end()) return it->second;
-    mtype::Ref r = lower::lower_decl(*m, g, decl_name, diags);
-    if (r == mtype::kNullRef || diags.has_errors()) {
-      err << "mbird: cannot lower '" << spec << "'\n";
-      return mtype::kNullRef;
-    }
-    memo.emplace(key, r);
-    return r;
-  };
-  for (Pair& p : pairs) {
-    p.ra = lower_side(p.left_spec, ga, memo_a);
-    if (p.ra == mtype::kNullRef) return 1;
-    p.rb = lower_side(p.right_spec, gb, memo_b);
-    if (p.rb == mtype::kNullRef) return 1;
-  }
+    // ---- refresh shared read-only state if the graphs grew -----------------
+    // HashCache tracks Graph::version(); strict_ids memoizes per version.
+    // Both are single-threaded here (barrier below keeps workers out).
+    compare::Options base;
+    base.cross = &cross;
+    base.left_hashes = hca.get();
+    base.right_hashes = hcb.get();
+    auto sid_a = cross.strict_ids(ga);
+    auto sid_b = cross.strict_ids(gb);
 
-  // ---- shared read-only state for the parallel phase -----------------------
-  compare::CrossCache cross;
-  auto sid_a = cross.strict_ids(ga);
-  auto sid_b = cross.strict_ids(gb);
-  compare::HashCache hca(ga), hcb(gb);
-  const std::vector<uint64_t>* ha = hca.get();  // computed once, up front:
-  const std::vector<uint64_t>* hb = hcb.get();  // HashCache isn't thread-safe
-  compare::Options base;
-  base.cross = &cross;
-  base.left_hashes = ha;
-  base.right_hashes = hb;
-
-  // ---- fan out -------------------------------------------------------------
-  std::vector<PairResult> results(pairs.size());
-  auto wall0 = std::chrono::steady_clock::now();
-  {
-    ThreadPool pool(options.jobs);
-    for (size_t idx = 0; idx < pairs.size(); ++idx) {
-      pool.submit([&, idx] {
-        const Pair& p = pairs[idx];
-        PairResult& r = results[idx];
-        obs::Span span("batch.pair");
-        auto t0 = std::chrono::steady_clock::now();
-        try {
-          r.outcome = compile_pair(ga, p.ra, gb, p.rb, base, (*sid_a)[p.ra],
-                                   (*sid_b)[p.rb]);
-        } catch (const std::exception& e) {
-          r.error = e.what();
-        }
-        r.micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
-        if (span.recording()) {
-          span.note("left", p.left_spec);
-          span.note("right", p.right_spec);
-          if (r.error.empty()) {
-            span.note("verdict", compare::to_string(r.outcome.verdict));
-            span.note("memo", r.outcome.memo_hit ? "hit" : "miss");
-            span.note("program_cached",
-                      r.outcome.program_cached ? "true" : "false");
-          } else {
-            span.note("error", "true");
+    // ---- fan out in chunks -------------------------------------------------
+    results.assign(block.size(), PairResult{});
+    chunk_used = batch_chunk_size(block.size(), options.jobs, options.chunk);
+    auto wall0 = std::chrono::steady_clock::now();
+    for (size_t begin = 0; begin < block.size(); begin += chunk_used) {
+      const size_t end = std::min(begin + chunk_used, block.size());
+      pool.submit([&, begin, end] {
+        compare::CrossCache::WriteBuffer wb(cross);
+        for (size_t idx = begin; idx < end; ++idx) {
+          const Pair& p = block[idx];
+          PairResult& r = results[idx];
+          obs::Span span("batch.pair");
+          auto t0 = std::chrono::steady_clock::now();
+          try {
+            r.outcome = compile_pair(ga, p.ra, gb, p.rb, base, (*sid_a)[p.ra],
+                                     (*sid_b)[p.rb], &wb);
+          } catch (const std::exception& e) {
+            r.error = e.what();
+          }
+          r.micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+          if (span.recording()) {
+            span.note("left", p.left_spec);
+            span.note("right", p.right_spec);
+            if (r.error.empty()) {
+              span.note("verdict", compare::to_string(r.outcome.verdict));
+              span.note("memo", r.outcome.memo_hit ? "hit" : "miss");
+              span.note("program_cached",
+                        r.outcome.program_cached ? "true" : "false");
+            } else {
+              span.note("error", "true");
+            }
           }
         }
       });
     }
     pool.wait_idle();
-  }
-  auto wall_micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                         std::chrono::steady_clock::now() - wall0)
-                         .count();
+    wall_micros += std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - wall0)
+                       .count();
 
-  // ---- report --------------------------------------------------------------
-  size_t counts[4] = {0, 0, 0, 0};
-  size_t errors = 0, total_steps = 0, memo_hits = 0;
-  for (const PairResult& r : results) {
-    if (!r.error.empty()) {
-      ++errors;
-      continue;
+    // ---- emit this block's results, in manifest order ----------------------
+    if (!writer.started()) writer.begin(options.jobs);
+    for (size_t idx = 0; idx < block.size(); ++idx) {
+      const PairResult& r = results[idx];
+      writer.pair(block[idx], r);
+      if (!r.error.empty()) {
+        ++errors;
+        continue;
+      }
+      ++counts[static_cast<size_t>(r.outcome.verdict)];
+      total_steps += r.outcome.steps;
+      if (r.outcome.memo_hit) ++memo_hits;
+      busy_micros += r.micros;
     }
-    ++counts[static_cast<size_t>(r.outcome.verdict)];
-    total_steps += r.outcome.steps;
-    if (r.outcome.memo_hit) ++memo_hits;
+    total_pairs += block.size();
+    ++blocks;
+    obs::gauge("batch.stream.block_pairs")
+        .set_max(static_cast<int64_t>(block.size()));
   }
+
+  if (total_pairs == 0) {
+    if (stream_error_code != 0) return stream_error_code;
+    err << "mbird: " << manifest_name << ": no pairs\n";
+    return 2;
+  }
+
+  // ---- summary -------------------------------------------------------------
   auto st = cross.stats();
 
   // Worker utilization: summed busy time across pairs over the pool's
   // theoretical capacity (wall time x jobs). 100 means every worker was
   // busy the whole parallel phase.
-  int64_t busy_micros = 0;
-  for (const PairResult& r : results) busy_micros += r.micros;
   obs::gauge("batch.jobs").set(static_cast<int64_t>(options.jobs));
   if (wall_micros > 0 && options.jobs > 0) {
     int64_t pct =
         busy_micros * 100 / (wall_micros * static_cast<int64_t>(options.jobs));
     obs::gauge("batch.worker_utilization_pct").set(std::min<int64_t>(pct, 100));
   }
+  obs::gauge("batch.stream.blocks").set(static_cast<int64_t>(blocks));
+  const int64_t rss_kb = peak_rss_kb();
+  if (rss_kb > 0) obs::gauge("batch.peak_rss_kb").set(rss_kb);
 
   const obs::Registry::Snapshot delta =
       obs::Registry::global().snapshot().delta_since(snap0);
 
-  std::ostringstream js;
-  js << "{\n  \"jobs\": " << options.jobs << ",\n  \"pairs\": [\n";
-  for (size_t idx = 0; idx < pairs.size(); ++idx) {
-    const PairResult& r = results[idx];
-    js << "    {\"left\": \"";
-    json_escape(js, pairs[idx].left_spec);
-    js << "\", \"right\": \"";
-    json_escape(js, pairs[idx].right_spec);
-    js << "\", ";
-    if (!r.error.empty()) {
-      js << "\"error\": \"";
-      json_escape(js, r.error);
-      js << "\"";
-    } else {
-      js << "\"verdict\": \"" << compare::to_string(r.outcome.verdict)
-         << "\", \"steps\": " << r.outcome.steps
-         << ", \"micros\": " << r.micros
-         << ", \"memo\": " << (r.outcome.memo_hit ? "true" : "false")
-         << ", \"program_cached\": "
-         << (r.outcome.program_cached ? "true" : "false")
-         << ", \"program_ops\": " << r.outcome.program_ops;
-    }
-    js << '}' << (idx + 1 < pairs.size() ? "," : "") << '\n';
-  }
-  js << "  ],\n  \"summary\": {\n"
-     << "    \"pairs\": " << pairs.size() << ",\n"
+  writer.begin_summary();
+  std::ostream& js = writer.os();
+  js << "    \"pairs\": " << total_pairs << ",\n"
      << "    \"equivalent\": " << counts[0] << ",\n"
      << "    \"left_subtype\": " << counts[1] << ",\n"
      << "    \"right_subtype\": " << counts[2] << ",\n"
@@ -360,24 +510,26 @@ int run_batch(std::vector<Module>& modules, const std::string& manifest_text,
      << "    \"memo_hits\": " << memo_hits << ",\n"
      << "    \"total_steps\": " << total_steps << ",\n"
      << "    \"wall_micros\": " << wall_micros << ",\n"
-     << "    \"cache\": {\"hits\": " << st.hits << ", \"misses\": " << st.misses
+     << "    \"blocks\": " << blocks << ",\n"
+     << "    \"chunk\": " << chunk_used << ",\n"
+     << "    \"peak_rss_kb\": " << rss_kb << ",\n";
+  if (stream_error_code != 0) {
+    js << "    \"manifest_error\": {\"line\": " << stream_error_line
+       << ", \"message\": \"";
+    json_escape(js, stream_error_msg);
+    js << "\"},\n";
+  }
+  js << "    \"cache\": {\"hits\": " << st.hits << ", \"misses\": " << st.misses
      << ", \"inserts\": " << st.inserts << ", \"entries\": " << st.entries
      << ", \"programs\": " << st.programs
      << ", \"strict_classes\": " << st.strict_classes
      << ", \"interned_nodes\": " << st.interned_nodes << "}\n"
      << "  },\n  \"metrics\": " << delta.to_json(2) << "\n}\n";
 
-  if (options.out_path.empty()) {
-    out << js.str();
-  } else {
-    std::ofstream f(options.out_path, std::ios::binary);
-    if (!f) {
-      err << "mbird: cannot write " << options.out_path << '\n';
-      return 1;
-    }
-    f << js.str();
+  if (!options.out_path.empty()) {
     out << "wrote " << options.out_path << '\n';
   }
+  if (stream_error_code != 0) return stream_error_code;
   return errors == 0 ? 0 : 1;
 }
 

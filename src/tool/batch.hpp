@@ -1,30 +1,42 @@
-// `mbird batch`: parallel pair-compilation driver.
+// `mbird batch`: parallel pair-compilation driver, streaming edition.
 //
 // Reads a manifest of declaration pairs (one `<declA> <declB>` per line,
 // `#` comments and blank lines ignored; decl specs as elsewhere in the
-// CLI — "module:decl" or a bare name searched across modules), lowers
-// every referenced declaration into two shared Mtype graphs, then fans
-// the pairs out over a work-stealing thread pool. All workers share one
-// compare::CrossCache — canonical-id indexes, pair verdicts, plan
-// fragments, and compiled convert-mode PlanIR programs persist across
-// pairs, so inter-related manifests (the paper's §5 workload shape) pay
-// for each shared subproof once globally.
+// CLI — "module:decl" or a bare name searched across modules) from a
+// stream, in blocks of kStreamBlock lines, so a 100k-pair manifest runs
+// memory-bounded: only one block of pairs and results is ever resident,
+// and the JSON report is written incrementally in manifest order instead
+// of accumulating an in-memory vector of per-pair records.
 //
-// Threading model (see DESIGN.md §4f): lowering is single-threaded (the
-// two graphs are mutated), then frozen; the parallel phase only ever
-// reads the graphs, and all cross-thread mutable state lives behind the
-// CrossCache's shard mutexes. Per-pair results land in distinct
-// preallocated slots; ThreadPool::wait_idle() provides the
-// happens-before edge that lets the driver read them.
+// Per block: any not-yet-seen declarations lower (single-threaded; the
+// two shared Mtype graphs are mutable only here — they reach a fixed
+// point once every distinct declaration has appeared), hashes and strict
+// canonical ids refresh if the graphs grew, then the block fans out over
+// a persistent work-stealing thread pool in CHUNKS of contiguous pairs
+// (--chunk N, default pairs/(jobs*4)) rather than one task per pair —
+// per-task overhead (queue mutex, condvar notify, std::function
+// allocation) is paid per chunk, which is what makes warm batches scale
+// with --jobs instead of regressing (ROADMAP item 2, the
+// BM_BatchDriverWarm 0.04ms -> 0.23ms @8 bug). Each chunk task owns a
+// CrossCache::WriteBuffer, so cold-path inserts publish to the 16 cache
+// shards in bulk. All workers share one compare::CrossCache — canonical
+// ids, verdicts, plan fragments, and compiled PlanIR programs persist
+// across pairs AND blocks.
 //
-// Emits a JSON report (stdout, or --out <file>): per-pair verdict /
-// steps / wall-micros / whether the compiled program came from the
-// cache, plus a summary with aggregate cache statistics and a "metrics"
-// object — the obs::Registry snapshot delta for the run (crosscache /
-// planvm / compare counters, histograms, and the batch.jobs +
-// batch.worker_utilization_pct gauges). Each pair also runs under an
-// obs::Span ("batch.pair", annotated with verdict and cache hits) so
-// `mbird --trace` renders the parallel phase in chrome://tracing.
+// Threading model (see DESIGN.md §4f): graphs frozen during each
+// parallel phase (block barrier via ThreadPool::wait_idle between
+// lowering and compare), warm-path cache reads are shard shared-locks,
+// per-pair results land in distinct preallocated slots.
+//
+// Report (stdout, or --out <file>): per-pair verdict / steps /
+// wall-micros / cache provenance in MANIFEST ORDER regardless of
+// completion order, then a summary (aggregate cache statistics, block /
+// chunk shape, peak RSS) and a "metrics" object — the obs::Registry
+// snapshot delta for the run. Each pair runs under an obs::Span
+// ("batch.pair") so `mbird --trace` renders the parallel phase in
+// chrome://tracing. A malformed manifest line mid-stream stops ingestion
+// but still reports every prior pair (the error carries its line number,
+// in the report summary and on stderr).
 #pragma once
 
 #include <cstddef>
@@ -33,6 +45,7 @@
 #include <vector>
 
 #include "compare/compare.hpp"
+#include "compare/crosscache.hpp"
 #include "mtype/canon.hpp"
 #include "mtype/mtype.hpp"
 #include "stype/stype.hpp"
@@ -40,8 +53,15 @@
 
 namespace mbird::tool {
 
+/// Manifest lines ingested (and pairs+results resident) per streaming
+/// block. Bounds the driver's memory independent of manifest length.
+inline constexpr size_t kStreamBlock = 4096;
+
 struct BatchOptions {
   size_t jobs = 1;
+  /// Pairs per worker task. 0 = auto: block_pairs / (jobs * 4), so each
+  /// worker sees ~4 steal-able chunks per block.
+  size_t chunk = 0;
   std::string out_path;  // empty: JSON to `out`
 };
 
@@ -66,6 +86,10 @@ struct PairOutcome {
 /// completes without running the comparer. Any missing entry falls back
 /// to the full compare + compile, which feeds the cache for later pairs.
 ///
+/// `wb`, when given, routes this pair's cache lookups and program insert
+/// through a per-worker CrossCache::WriteBuffer (reads see the worker's
+/// own unflushed writes; inserts publish in bulk).
+///
 /// Thread-safe under the batch driver's model: `ga`/`gb` frozen, all
 /// shared mutable state inside the CrossCache. Exposed (rather than kept
 /// static in batch.cpp) so the benchmarks drive the exact same per-pair
@@ -74,15 +98,24 @@ struct PairOutcome {
                                        const mtype::Graph& gb, mtype::Ref rb,
                                        const compare::Options& base,
                                        mtype::CanonId left_strict_id,
-                                       mtype::CanonId right_strict_id);
+                                       mtype::CanonId right_strict_id,
+                                       compare::CrossCache::WriteBuffer* wb =
+                                           nullptr);
 
-/// Runs the batch command over already-loaded modules. `manifest_text` is
-/// the manifest file's contents (`manifest_name` only labels errors).
+/// Chunk size the driver uses for a block of `pairs` over `jobs` workers
+/// when the user didn't pass --chunk (requested == 0). Exposed so the
+/// scaling bench fans out exactly like the driver.
+[[nodiscard]] size_t batch_chunk_size(size_t pairs, size_t jobs,
+                                      size_t requested);
+
+/// Runs the batch command over already-loaded modules, streaming the
+/// manifest from `manifest` (`manifest_name` only labels errors).
 /// Returns a process exit code: 0 when every pair was resolved, lowered,
 /// and compared (mismatch verdicts are data, not failures); nonzero on
-/// setup errors (unknown declaration, unreadable manifest, bad flag).
-int run_batch(std::vector<stype::Module>& modules,
-              const std::string& manifest_text,
+/// setup errors (unknown declaration, malformed manifest line, bad
+/// flag). Mid-stream manifest errors still emit a report covering every
+/// pair before the error.
+int run_batch(std::vector<stype::Module>& modules, std::istream& manifest,
               const std::string& manifest_name, DiagnosticEngine& diags,
               const BatchOptions& options, std::ostream& out,
               std::ostream& err);

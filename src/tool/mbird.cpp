@@ -147,10 +147,13 @@ int usage(std::ostream& err) {
          "                             compiled PlanIR bytecode listing;\n"
          "                             --emit-ir=native fuses a's memory\n"
          "                             layout into a zero-copy marshaler)\n"
-         "  batch <manifest> [--jobs N] [--out <file>]\n"
+         "  batch <manifest> [--jobs N] [--chunk N] [--out <file>]\n"
          "                             compare/compile every '<a> <b>' pair in\n"
-         "                             the manifest over N worker threads,\n"
-         "                             sharing one cross-pair cache; JSON report\n"
+         "                             the manifest over N worker threads (in\n"
+         "                             chunks of --chunk pairs; 0 = auto),\n"
+         "                             sharing one cross-pair cache; streams\n"
+         "                             the manifest with bounded memory and\n"
+         "                             writes the JSON report incrementally\n"
          "  stats [metrics.json]       pretty-print a --metrics/batch metrics\n"
          "                             snapshot (no file: this process's own)\n"
          "global flags (valid anywhere on the line):\n"
@@ -594,6 +597,13 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
           return 2;
         }
         if (bopts.jobs == 0) bopts.jobs = 1;
+      } else if (args[i] == "--chunk" && i + 1 < args.size()) {
+        try {
+          bopts.chunk = std::stoul(args[++i]);
+        } catch (const std::exception&) {
+          err << "mbird: --chunk expects a number, got '" << args[i] << "'\n";
+          return 2;
+        }
       } else if (args[i] == "--out" && i + 1 < args.size()) {
         bopts.out_path = args[++i];
       } else {
@@ -601,12 +611,15 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
         return 2;
       }
     }
-    auto text = read_file(manifest_path);
-    if (!text) {
+    // Streamed, not slurped: a 100k-pair manifest is processed in
+    // kStreamBlock-line blocks with bounded memory (see batch.hpp).
+    std::ifstream manifest(manifest_path, std::ios::binary);
+    if (!manifest) {
       err << "mbird: cannot read " << manifest_path << '\n';
       return 1;
     }
-    return run_batch(s.modules, *text, manifest_path, s.diags, bopts, out, err);
+    return run_batch(s.modules, manifest, manifest_path, s.diags, bopts, out,
+                     err);
   }
 
   if (cmd == "stats") {

@@ -1,0 +1,154 @@
+// ThreadPool behavior the batch driver leans on (DESIGN.md §4f):
+// wait_idle as a correct barrier (including under recursive submit and
+// help-draining), and the no-spin starvation property — idle workers
+// block on a condvar instead of timed-wait polling, pinned via the
+// wakeups() counter. The old loop timed-waited whenever any task was
+// merely *running*, so every idle worker woke ~1000x/s for the whole
+// runtime of a long task; these tests would catch that regressing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/threadpool.hpp"
+
+namespace mbird {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskBeforeWaitIdleReturns) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int k = 0; k < 1000; ++k) {
+    pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, RecursiveSubmitCountsTowardWaitIdle) {
+  // Parents spawn children which spawn grandchildren; wait_idle must not
+  // wake between a parent finishing and its descendants starting. 10
+  // roots x 10 children x 10 grandchildren = 1110 tasks total.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int r = 0; r < 10; ++r) {
+    pool.submit([&] {
+      ran.fetch_add(1);
+      for (int c = 0; c < 10; ++c) {
+        pool.submit([&] {
+          ran.fetch_add(1);
+          for (int g = 0; g < 10; ++g) {
+            pool.submit([&] { ran.fetch_add(1); });
+          }
+        });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 10 + 100 + 1000);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusableAcrossRounds) {
+  // The batch driver's streaming loop runs a barrier per block against
+  // ONE persistent pool. A lost wakeup in either direction (worker never
+  // sees the next round's tasks, or wait_idle never sees quiescence)
+  // would hang here.
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, IdleWorkersDoNotPollWhileLongTaskRuns) {
+  // One long task occupies one thread; the other workers must BLOCK, not
+  // spin on a timed wait. wakeups() counts returns from the starved
+  // blocking wait — bounded by submit count, not by the long task's
+  // duration. The pre-fix pool woke every idle worker ~1000x/s here
+  // (~3 workers x 250 wakeups over 250ms); the bound below fails that
+  // behavior by two orders of magnitude.
+  ThreadPool pool(4);
+  pool.wait_idle();  // settle startup
+  const size_t baseline = pool.wakeups();
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    done.store(true);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(done.load());
+  EXPECT_LE(pool.wakeups() - baseline, 8u)
+      << "idle workers woke repeatedly while a long task ran";
+}
+
+TEST(ThreadPoolTest, WaitIdleHelpsDrainQueuedTasks) {
+  // A pool whose single worker is pinned by a long task still completes
+  // queued work promptly: the wait_idle caller drains it. 100 quick
+  // tasks behind a 200ms blocker must not take 200ms + 100 handoffs.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int k = 0; k < 100; ++k) {
+    pool.submit([&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (ran.load(std::memory_order_relaxed) == 100) {
+        release.store(true, std::memory_order_release);
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int k = 0; k < 200; ++k) {
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // no wait_idle: the destructor must drain before joining
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, ConcurrentExternalSubmitters) {
+  // submit() is callable from any thread; hammer it from 4 while the
+  // pool drains, then barrier.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int k = 0; k < 250; ++k) {
+        pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+}  // namespace
+}  // namespace mbird
