@@ -26,10 +26,16 @@
 #     warm CrossCache resolves every pair from the top-level memo, but
 #     still pays plan materialization, so the gap is ~2x, not 10x);
 #   * BM_BatchDriverWarm >= 3x BM_BatchDriverThreads — the acceptance
-#     ratio. The driver's memo fast path (tool::compile_pair) answers
+#     ratio. The driver's memo fast path (service::compile_pair) answers
 #     verdict + compiled program from the cache without running the
 #     comparer at all, so warm batch runs are orders of magnitude faster
 #     than cold;
+#   * BM_PersistentWarmRestart replays the same memo resolution from a
+#     freshly opened --cache FILE (cold process, populated store). The
+#     small-Arg rows expose the one-time per-entry disk hydration cost;
+#     the Arg(20000) steady-state row carries the acceptance: per-pair
+#     cost within 5x of BM_BatchDriverWarm's in-process hit, and every
+#     pair must memo-resolve;
 #   * BM_BatchDriverThreads/Warm at 1/2/4/8 workers (speedup is bounded by
 #     the host's core count — single-core CI runners show none; the
 #     invariant bench/check_batch_scaling.sh enforces is that warm time
@@ -52,6 +58,31 @@ set -eu
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
+# Stamp the host's core count and CPU model into a baseline's JSON
+# context: committed numbers are meaningless without knowing whether they
+# came from a 1-core CI runner or a 16-core workstation (the parallel
+# scaling rows especially).
+annotate_host() {
+  python3 - "$1" <<'EOF'
+import json, os, sys
+path = sys.argv[1]
+data = json.load(open(path))
+model = ""
+try:
+    for line in open("/proc/cpuinfo"):
+        if line.startswith("model name"):
+            model = line.split(":", 1)[1].strip()
+            break
+except OSError:
+    pass
+data.setdefault("context", {})["host"] = {
+    "cores": os.cpu_count() or 1,
+    "cpu_model": model,
+}
+json.dump(data, open(path, "w"), indent=1)
+EOF
+}
+
 if [ ! -f "$build/CMakeCache.txt" ]; then
   cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
 fi
@@ -65,16 +96,18 @@ cmake --build "$build" -j --target bench_fitter_conversion bench_comparer_scalin
   --benchmark_out="$repo/bench/BENCH_planir.json" \
   --benchmark_out_format=json
 
+annotate_host "$repo/bench/BENCH_planir.json"
 echo "wrote $repo/bench/BENCH_planir.json"
 
 "$build/bench/bench_comparer_scaling" \
-  --benchmark_filter='SoloPairs/100|CrossCold/100|CrossWarm/100|BatchDriver|BatchStreamingManifest' \
+  --benchmark_filter='SoloPairs/100|CrossCold/100|CrossWarm/100|BatchDriver|BatchStreamingManifest|PersistentWarmRestart' \
   --benchmark_min_time=0.2 \
   --benchmark_repetitions=1 \
   --benchmark_format=json \
   --benchmark_out="$repo/bench/BENCH_compare.json" \
   --benchmark_out_format=json
 
+annotate_host "$repo/bench/BENCH_compare.json"
 echo "wrote $repo/bench/BENCH_compare.json"
 
 "$build/bench/bench_marshal_wire" \
@@ -85,6 +118,7 @@ echo "wrote $repo/bench/BENCH_compare.json"
   --benchmark_out="$repo/bench/BENCH_native.json" \
   --benchmark_out_format=json
 
+annotate_host "$repo/bench/BENCH_native.json"
 echo "wrote $repo/bench/BENCH_native.json"
 
 # ---- observability overhead lane -------------------------------------------
@@ -137,4 +171,5 @@ python3 "$repo/bench/merge_obs.py" $obs_on_files $obs_off_files \
   > "$repo/bench/BENCH_obs.json"
 rm -f "$repo"/bench/.obs_m_*.json "$repo"/bench/.obs_c_*.json
 
+annotate_host "$repo/bench/BENCH_obs.json"
 echo "wrote $repo/bench/BENCH_obs.json"

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "store/cachestore.hpp"
+#include "store/serial.hpp"
 
 namespace mbird::compare {
 
@@ -17,10 +19,18 @@ struct CacheMetrics {
   obs::Counter& inserts = obs::counter("crosscache.verdict.inserts");
   obs::Counter& prog_hits = obs::counter("crosscache.program.hits");
   obs::Counter& prog_misses = obs::counter("crosscache.program.misses");
+  obs::Counter& hydrated = obs::counter("crosscache.store.hydrated");
+  obs::Counter& persisted = obs::counter("crosscache.store.persisted");
 };
 CacheMetrics& cache_metrics() {
   static CacheMetrics m;
   return m;
+}
+
+// A variant can go to disk iff it carries no process-local graph binding:
+// negative verdicts (empty fragment) and port-free positive fragments.
+bool persistable(const CrossCache::Variant& v) {
+  return !v.ok || !v.frag.has_port;
 }
 }  // namespace
 
@@ -94,15 +104,27 @@ bool CrossCache::compatible(const Variant& v, const void* lg, uint64_t lv,
 std::shared_ptr<const CrossCache::Variant> CrossCache::find(
     const Key& key, const void* lg, uint64_t lv, const void* rg, uint64_t rv) {
   Shard& s = shard_for(key);
-  std::shared_lock lock(s.mu);
-  auto it = s.map.find(key);
-  if (it != s.map.end()) {
-    for (const auto& v : it->second) {
-      if (compatible(*v, lg, lv, rg, rv)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        cache_metrics().hits.add();
-        return v;
+  {
+    std::shared_lock lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      for (const auto& v : it->second) {
+        if (compatible(*v, lg, lv, rg, rv)) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          cache_metrics().hits.add();
+          return v;
+        }
       }
+    }
+  }
+  // In-memory miss: fall through to the durable store (outside any shard
+  // lock — the store does its own locking and possibly I/O). Hydrated
+  // variants are always portable, so any one of them satisfies the caller.
+  if (store_ != nullptr) {
+    if (auto v = load_variants_from_store(key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_metrics().hits.add();
+      return v;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -123,7 +145,7 @@ bool CrossCache::has(const Key& key, const void* lg, uint64_t lv,
 }
 
 bool CrossCache::insert_locked(Shard& s, const Key& key,
-                               std::shared_ptr<const Variant> v) {
+                               std::shared_ptr<const Variant> v, bool persist) {
   auto& list = s.map[key];
   for (const auto& existing : list) {
     // A compatible entry (same ok + same effective binding) already serves
@@ -134,9 +156,13 @@ bool CrossCache::insert_locked(Shard& s, const Key& key,
       return false;
     }
   }
+  const Variant* kept = v.get();
   list.push_back(std::move(v));
   inserts_.fetch_add(1, std::memory_order_relaxed);
   cache_metrics().inserts.add();
+  if (persist && store_ != nullptr && persistable(*kept)) {
+    persist_variant(key, *kept);
+  }
   return true;
 }
 
@@ -307,6 +333,29 @@ std::shared_ptr<const planir::Program> CrossCache::find_program(
     auto it = programs_.find(key);
     if (it != programs_.end()) prog = it->second;
   }
+  if (prog == nullptr && store_ != nullptr) {
+    // Store fall-through: decode, re-verify (a corrupted-but-crc-valid or
+    // codec-drifted record must degrade to a miss, never to executing an
+    // unchecked program), then publish for later lookups.
+    mtype::StableId sl, sr;
+    if (stable_key(key, &sl, &sr)) {
+      std::vector<std::vector<uint8_t>> payloads;
+      if (store_->get({sl, sr, key.fp}, store::CacheStore::kProgram,
+                      &payloads)) {
+        for (const auto& p : payloads) {
+          store::ByteReader r(p.data(), p.size());
+          auto decoded = std::make_shared<planir::Program>();
+          if (!store::decode_program(r, decoded.get())) continue;
+          if (!planir::verify(*decoded).empty()) continue;
+          prog = std::move(decoded);
+          cache_metrics().hydrated.add();
+          std::unique_lock lock(prog_mu_);
+          programs_.emplace(key, prog);
+          break;
+        }
+      }
+    }
+  }
   (prog == nullptr ? cache_metrics().prog_misses : cache_metrics().prog_hits)
       .add();
   return prog;
@@ -314,8 +363,13 @@ std::shared_ptr<const planir::Program> CrossCache::find_program(
 
 void CrossCache::insert_program(const Key& key,
                                 std::shared_ptr<const planir::Program> prog) {
-  std::unique_lock lock(prog_mu_);
-  programs_.emplace(key, std::move(prog));
+  const planir::Program* kept = prog.get();
+  bool inserted;
+  {
+    std::unique_lock lock(prog_mu_);
+    inserted = programs_.emplace(key, std::move(prog)).second;
+  }
+  if (inserted && store_ != nullptr) persist_program(key, *kept);
 }
 
 // ---- WriteBuffer ------------------------------------------------------------
@@ -371,12 +425,141 @@ void CrossCache::WriteBuffer::flush() {
     pending_.clear();
   }
   if (!pending_progs_.empty()) {
-    std::unique_lock lock(owner_.prog_mu_);
-    for (auto& [k, p] : pending_progs_) {
-      owner_.programs_.emplace(k, std::move(p));
+    // Track which entries actually landed; only those write through to the
+    // store (a losing racer's program is already persisted by the winner).
+    std::vector<const planir::Program*> landed(pending_progs_.size(), nullptr);
+    {
+      std::unique_lock lock(owner_.prog_mu_);
+      for (size_t i = 0; i < pending_progs_.size(); ++i) {
+        auto& [k, p] = pending_progs_[i];
+        const planir::Program* raw = p.get();
+        if (owner_.programs_.emplace(k, std::move(p)).second) landed[i] = raw;
+      }
+    }
+    if (owner_.store_ != nullptr) {
+      for (size_t i = 0; i < pending_progs_.size(); ++i) {
+        if (landed[i] != nullptr) {
+          owner_.persist_program(pending_progs_[i].first, *landed[i]);
+        }
+      }
     }
     pending_progs_.clear();
   }
+}
+
+// ---- durable store plumbing -------------------------------------------------
+//
+// On-disk variant payload:
+//   u8  ok
+//   u32 root
+//   u32 n_keyed, then per entry: u32 local index, 16B+16B stable ids, u8 fp
+//   plan-node vector (store/serial.hpp codec; empty for negative verdicts)
+//
+// Keyed sub-proof entries are translated CanonId<->StableId at the
+// boundary. On hydration, an entry whose stable ids have no CanonId in
+// this process yet is dropped from the keyed list — the fragment stays
+// fully valid, it merely loses DAG-sharing hints for classes this process
+// has not interned.
+
+void CrossCache::attach_store(store::CacheStore* s) { store_ = s; }
+
+uint32_t CrossCache::store_payload_version() {
+  return store::kPayloadCodecVersion;
+}
+
+bool CrossCache::stable_key(const Key& key, mtype::StableId* left,
+                            mtype::StableId* right) {
+  *left = strict_.stable_id(key.left);
+  *right = strict_.stable_id(key.right);
+  return !left->is_null() && !right->is_null();
+}
+
+void CrossCache::persist_variant(const Key& key, const Variant& v) {
+  mtype::StableId sl, sr;
+  if (!stable_key(key, &sl, &sr)) return;
+  store::ByteWriter w;
+  w.u8(v.ok ? 1 : 0);
+  w.u32(v.frag.root);
+  // Count translatable keyed entries first (degenerate-keyed sub-proofs
+  // cannot exist, but belt-and-braces: skip untranslatable ones).
+  std::vector<std::tuple<uint32_t, mtype::StableId, mtype::StableId, uint8_t>>
+      keyed;
+  keyed.reserve(v.frag.keyed.size());
+  for (const auto& [idx, k] : v.frag.keyed) {
+    mtype::StableId kl = strict_.stable_id(k.left);
+    mtype::StableId kr = strict_.stable_id(k.right);
+    if (kl.is_null() || kr.is_null()) continue;
+    keyed.emplace_back(idx, kl, kr, k.fp);
+  }
+  w.u32(static_cast<uint32_t>(keyed.size()));
+  for (const auto& [idx, kl, kr, fp] : keyed) {
+    w.u32(idx);
+    w.u64(kl.hi);
+    w.u64(kl.lo);
+    w.u64(kr.hi);
+    w.u64(kr.lo);
+    w.u8(fp);
+  }
+  store::encode_plan_nodes(w, v.ok ? v.frag.nodes
+                                   : std::vector<plan::PlanNode>{});
+  store_->put({sl, sr, key.fp}, store::CacheStore::kVerdict, w.data().data(),
+              w.data().size());
+  cache_metrics().persisted.add();
+}
+
+void CrossCache::persist_program(const Key& key, const planir::Program& prog) {
+  if (prog.mode != planir::Program::Mode::Convert) return;
+  mtype::StableId sl, sr;
+  if (!stable_key(key, &sl, &sr)) return;
+  store::ByteWriter w;
+  if (!store::encode_program(w, prog)) return;
+  store_->put({sl, sr, key.fp}, store::CacheStore::kProgram, w.data().data(),
+              w.data().size());
+  cache_metrics().persisted.add();
+}
+
+std::shared_ptr<const CrossCache::Variant> CrossCache::load_variants_from_store(
+    const Key& key) {
+  mtype::StableId sl, sr;
+  if (!stable_key(key, &sl, &sr)) return nullptr;
+  std::vector<std::vector<uint8_t>> payloads;
+  if (!store_->get({sl, sr, key.fp}, store::CacheStore::kVerdict, &payloads)) {
+    return nullptr;
+  }
+  std::shared_ptr<const Variant> first;
+  for (const auto& p : payloads) {
+    store::ByteReader r(p.data(), p.size());
+    auto v = std::make_shared<Variant>();
+    v->ok = r.u8() != 0;
+    v->frag.root = r.u32();
+    uint32_t nk = r.len_capped(r.u32(), 37);
+    v->frag.keyed.reserve(nk);
+    for (uint32_t i = 0; i < nk && r.ok(); ++i) {
+      uint32_t idx = r.u32();
+      mtype::StableId kl{r.u64(), r.u64()};
+      mtype::StableId kr{r.u64(), r.u64()};
+      uint8_t fp = r.u8();
+      mtype::CanonId cl = strict_.canon_of(kl);
+      mtype::CanonId cr = strict_.canon_of(kr);
+      if (cl == mtype::kNoCanon || cr == mtype::kNoCanon) continue;
+      v->frag.keyed.emplace_back(idx, Key{cl, cr, fp});
+    }
+    if (!r.ok() || !store::decode_plan_nodes(r, &v->frag.nodes)) continue;
+    if (v->ok && (v->frag.nodes.empty() || v->frag.root >= v->frag.nodes.size())) {
+      continue;
+    }
+    // Keyed indices must address fragment nodes; drop stragglers.
+    std::erase_if(v->frag.keyed, [&](const auto& e) {
+      return e.first >= v->frag.nodes.size();
+    });
+    cache_metrics().hydrated.add();
+    std::shared_ptr<const Variant> cv = std::move(v);
+    if (first == nullptr) first = cv;
+    Shard& s = shard_for(key);
+    std::unique_lock lock(s.mu);
+    insert_locked(s, key, std::move(cv), /*persist=*/false);
+  }
+  return first;
 }
 
 CrossCache::Stats CrossCache::stats() const {

@@ -60,6 +60,10 @@
 #include "plan/plan.hpp"
 #include "planir/planir.hpp"
 
+namespace mbird::store {
+class CacheStore;
+}  // namespace mbird::store
+
 namespace mbird::compare {
 
 class CrossCache {
@@ -172,6 +176,26 @@ class CrossCache {
   void insert_program(const Key& key,
                       std::shared_ptr<const planir::Program> prog);
 
+  // ---- durable backing store ----------------------------------------------
+
+  /// Attach a durable backing store (non-owning; must outlive this cache or
+  /// be detached with nullptr). Once attached:
+  ///   * find()/find_program() fall through to the store on an in-memory
+  ///     miss, hydrating matching records into the shards (records are
+  ///     keyed by cross-process StableIds, translated to this process's
+  ///     CanonId space; untranslatable records stay dormant — sound, just
+  ///     cold);
+  ///   * inserts of PERSISTABLE entries (negative verdicts, port-free
+  ///     fragments, convert-mode programs) write through to the store.
+  /// Port-bearing variants and marshal-mode programs bind process-local
+  /// graph pointers and never touch disk. Hydrated programs are re-verified
+  /// (planir::verify) before use; failures degrade to a miss.
+  void attach_store(store::CacheStore* s);
+  [[nodiscard]] store::CacheStore* attached_store() const { return store_; }
+  /// Payload codec version baked into store files (bump on encoding
+  /// changes; part of the file format version, so old files invalidate).
+  [[nodiscard]] static uint32_t store_payload_version();
+
   // ---- per-worker write buffer --------------------------------------------
 
   /// Local staging area for one worker's inserts. Verdict and program
@@ -186,7 +210,17 @@ class CrossCache {
     static constexpr size_t kAutoFlush = 64;
 
     explicit WriteBuffer(CrossCache& owner) : owner_(owner) {}
-    ~WriteBuffer() { flush(); }
+    /// Flushes pending entries even when destroyed by stack unwinding, so
+    /// an exception mid-chunk in the batch driver cannot silently drop a
+    /// worker's buffered inserts. A flush failure during unwinding (e.g.
+    /// bad_alloc) is swallowed — losing memo entries is benign; a second
+    /// exception mid-unwind would terminate the process.
+    ~WriteBuffer() {
+      try {
+        flush();
+      } catch (...) {
+      }
+    }
     WriteBuffer(const WriteBuffer&) = delete;
     WriteBuffer& operator=(const WriteBuffer&) = delete;
 
@@ -243,8 +277,18 @@ class CrossCache {
                                        uint64_t rv);
   /// Insert into an already-exclusively-locked shard (shared by insert()
   /// and WriteBuffer::flush()). Returns true if the entry was kept.
+  /// `persist` gates store write-through — hydration re-inserts pass false.
   bool insert_locked(Shard& s, const Key& key,
-                     std::shared_ptr<const Variant> v);
+                     std::shared_ptr<const Variant> v, bool persist = true);
+  /// Store fall-through on an in-memory miss: load, decode, and shard-insert
+  /// every record for `key`; returns one hydrated variant or nullptr.
+  [[nodiscard]] std::shared_ptr<const Variant> load_variants_from_store(
+      const Key& key);
+  void persist_variant(const Key& key, const Variant& v);
+  void persist_program(const Key& key, const planir::Program& prog);
+  /// Stable-id pair for a memo key (null components when degenerate).
+  [[nodiscard]] bool stable_key(const Key& key, mtype::StableId* left,
+                                mtype::StableId* right);
 
   mtype::CanonIndex strict_;
   std::shared_mutex iso_mu_;
@@ -257,6 +301,7 @@ class CrossCache {
   mutable std::atomic<size_t> hits_{0};
   mutable std::atomic<size_t> misses_{0};
   mutable std::atomic<size_t> inserts_{0};
+  store::CacheStore* store_ = nullptr;
 };
 
 }  // namespace mbird::compare

@@ -81,6 +81,13 @@ struct CanonIndex::Impl {
   std::vector<ANode> arena;
   CanonId next_canon = 0;
 
+  // Per-class representative arena node (first structural member seen),
+  // indexed by CanonId. Backs stable_id()'s digest DFS.
+  std::vector<uint32_t> class_rep;
+  // stable_id memo + reverse map, guarded by `mu`.
+  std::unordered_map<CanonId, StableId> stable_memo;
+  std::unordered_map<StableId, CanonId, StableIdHash> by_stable;
+
   // ids_for memo, sharded by graph identity. Steady-state batch traffic
   // (every worker re-fetching ids for the two shared graphs) is a
   // shared-lock lookup on one shard — workers never serialize on the
@@ -458,6 +465,10 @@ std::vector<CanonId> CanonIndex::intern(const Graph& g) {
       }
       assert(arena[i].canon == kNoCanon || arena[i].canon == id);
       arena[i].canon = id;
+      if (id >= impl_->class_rep.size()) {
+        impl_->class_rep.resize(id + 1, 0xffffffffu);
+      }
+      if (impl_->class_rep[id] == 0xffffffffu) impl_->class_rep[id] = i;
     }
   }
 
@@ -469,6 +480,146 @@ std::vector<CanonId> CanonIndex::intern(const Graph& g) {
     out[r] = arena[a.rep_node].canon;
   }
   return out;
+}
+
+// ---- stable content digests ------------------------------------------------
+//
+// A class's StableId is a 128-bit hash of a canonical token stream over its
+// quotient subgraph: local tokens (kind, exact parameters, arity) followed
+// by one token per child — either the child's own digest, or, for a
+// back-edge into the current DFS stack, a marker carrying the RELATIVE
+// stack depth (parent depth minus target depth). Relative depths are
+// context-independent, so a digest that contains only fully-resolved
+// children and self-contained cycles is the same no matter where the DFS
+// started; such digests are memoized. A digest whose subtree has a
+// back-edge escaping ABOVE the node is only valid within the enclosing
+// traversal and is NOT memoized (it is still correct as a component of the
+// ancestors' digests). Rooted DFS always memoizes its root.
+namespace {
+
+struct Digest128 {
+  uint64_t a = 0x6a09e667f3bcc909ULL;  // lane seeds (sqrt(2), sqrt(3) frac)
+  uint64_t b = 0xbb67ae8584caa73bULL;
+  void mix(uint64_t x) {
+    a = (a ^ x) * 0x100000001b3ULL;
+    a ^= a >> 29;
+    b = (b ^ x) * 0xc6a4a7935bd1e995ULL;
+    b ^= b >> 31;
+  }
+};
+
+}  // namespace
+
+StableId CanonIndex::stable_id(CanonId id) {
+  if (id == kNoCanon) return {};
+  std::lock_guard lock(impl_->mu);
+  auto& arena = impl_->arena;
+  auto& memo = impl_->stable_memo;
+  if (auto it = memo.find(id); it != memo.end()) return it->second;
+  if (id >= impl_->class_rep.size() ||
+      impl_->class_rep[id] == 0xffffffffu) {
+    return {};
+  }
+
+  constexpr uint32_t kNoBack = 0xffffffffu;
+  struct Frame {
+    CanonId cls;
+    uint32_t depth;
+    uint32_t kid_idx = 0;
+    uint32_t min_back = kNoBack;  // shallowest back-edge target in subtree
+    Digest128 h;
+  };
+  // Class of a representative node's k-th child after transparency
+  // resolution. Degenerate kids are impossible here (contagion would have
+  // made the parent degenerate and classless).
+  auto kid_class = [&](uint32_t rep, uint32_t k) -> CanonId {
+    return arena[arena[arena[rep].kids[k]].rep_node].canon;
+  };
+
+  std::vector<Frame> stack;
+  std::unordered_map<CanonId, uint32_t> on_stack;  // class -> stack depth
+  auto push = [&](CanonId c) {
+    Frame f{c, static_cast<uint32_t>(stack.size()), 0, kNoBack, {}};
+    const Impl::ANode& a = arena[impl_->class_rep[c]];
+    f.h.mix(0x10u + static_cast<uint64_t>(a.kind));
+    f.h.mix(a.kids.size());
+    switch (a.kind) {
+      case MKind::Int: {
+        auto lo = static_cast<unsigned __int128>(a.lo);
+        auto hi = static_cast<unsigned __int128>(a.hi);
+        f.h.mix(static_cast<uint64_t>(lo >> 64));
+        f.h.mix(static_cast<uint64_t>(lo));
+        f.h.mix(static_cast<uint64_t>(hi >> 64));
+        f.h.mix(static_cast<uint64_t>(hi));
+        break;
+      }
+      case MKind::Char: f.h.mix(static_cast<uint64_t>(a.rep)); break;
+      case MKind::Real:
+        f.h.mix(a.mant);
+        f.h.mix(a.expo);
+        break;
+      default: break;
+    }
+    on_stack.emplace(c, f.depth);
+    stack.push_back(std::move(f));
+  };
+
+  push(id);
+  StableId result{};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const Impl::ANode& a = arena[impl_->class_rep[f.cls]];
+    if (f.kid_idx < a.kids.size()) {
+      CanonId kc = kid_class(impl_->class_rep[f.cls], f.kid_idx);
+      ++f.kid_idx;
+      if (auto it = memo.find(kc); it != memo.end()) {
+        f.h.mix(0x01);
+        f.h.mix(it->second.hi);
+        f.h.mix(it->second.lo);
+        continue;
+      }
+      if (auto it = on_stack.find(kc); it != on_stack.end()) {
+        f.h.mix(0x02);
+        f.h.mix(f.depth - it->second);
+        f.min_back = std::min(f.min_back, it->second);
+        continue;
+      }
+      push(kc);
+      continue;
+    }
+    // Frame complete: finalize, maybe memoize, fold into parent.
+    StableId sid{f.h.a, f.h.b};
+    if (sid.is_null()) sid.lo = 1;  // keep {0,0} reserved for "absent"
+    const uint32_t mb = f.min_back;
+    // Context-free iff no back-edge in the subtree targets an ancestor
+    // strictly above this frame (at depth 0 that is always true).
+    const bool context_free = mb == kNoBack || mb >= f.depth;
+    if (context_free) {
+      memo.emplace(f.cls, sid);
+      impl_->by_stable.emplace(sid, f.cls);
+    }
+    on_stack.erase(f.cls);
+    stack.pop_back();
+    if (stack.empty()) {
+      result = sid;
+      break;
+    }
+    Frame& parent = stack.back();
+    parent.h.mix(0x01);
+    parent.h.mix(sid.hi);
+    parent.h.mix(sid.lo);
+    if (!context_free) {
+      parent.min_back = std::min(parent.min_back, mb);
+    }
+  }
+  return result;
+}
+
+CanonId CanonIndex::canon_of(const StableId& sid) const {
+  if (sid.is_null()) return kNoCanon;
+  std::lock_guard lock(impl_->mu);
+  auto it = impl_->by_stable.find(sid);
+  return it == impl_->by_stable.end() ? kNoCanon : it->second;
 }
 
 }  // namespace mbird::mtype

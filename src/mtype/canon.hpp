@@ -67,6 +67,32 @@ using CanonId = uint32_t;
 /// back to full comparison for pairs involving them.
 inline constexpr CanonId kNoCanon = 0xffffffffu;
 
+/// Content digest of a canonical class, stable ACROSS processes.
+///
+/// CanonIds are stable within one process but are assigned by interning
+/// order, so they cannot key an on-disk cache: a restarted process that
+/// interns graphs in a different order hands out different ids for the
+/// same layouts. A StableId is a 128-bit structural digest of the class's
+/// quotient subgraph (kinds, exact parameters, child order, cycles encoded
+/// as relative back-edge depths), so two processes that intern layout-equal
+/// types compute the same StableId. 128 bits make accidental collisions
+/// negligible; a collision could at worst replay a verdict/fragment for a
+/// different layout, which is why the store only ever sees strict ids
+/// (layout-exact classes) where the digest covers every byte of layout.
+struct StableId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  [[nodiscard]] bool operator==(const StableId&) const = default;
+  /// The all-zero id is reserved as "absent" (degenerate / never computed).
+  [[nodiscard]] bool is_null() const { return hi == 0 && lo == 0; }
+};
+
+struct StableIdHash {
+  size_t operator()(const StableId& s) const {
+    return static_cast<size_t>(s.hi ^ (s.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
 struct CanonOptions {
   bool commutative = true;
   bool associative = true;
@@ -103,6 +129,17 @@ class CanonIndex {
   /// for an unchanged graph return the same shared snapshot without
   /// re-running refinement. Thread-safe.
   [[nodiscard]] std::shared_ptr<const std::vector<CanonId>> ids_for(const Graph& g);
+
+  /// Cross-process content digest of class `id` (see StableId). Memoized;
+  /// also registers the reverse mapping for canon_of. Returns the null id
+  /// for kNoCanon. Thread-safe.
+  [[nodiscard]] StableId stable_id(CanonId id);
+
+  /// Reverse lookup: the CanonId whose stable_id() previously returned
+  /// `sid` in THIS process, or kNoCanon if no such digest has been
+  /// computed yet. Used to re-key on-disk cache records back into the
+  /// process-local id space. Thread-safe.
+  [[nodiscard]] CanonId canon_of(const StableId& sid) const;
 
   [[nodiscard]] const CanonOptions& options() const { return opts_; }
   /// Number of distinct canonical classes assigned so far.

@@ -1,0 +1,243 @@
+#include "service/serve.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "idl/idlparser.hpp"
+#include "lower/lower.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rpc/rpc.hpp"
+#include "service/service.hpp"
+#include "store/cachestore.hpp"
+#include "transport/link.hpp"
+
+namespace mbird::service {
+
+namespace {
+
+using runtime::Value;
+
+// The serve protocol, described the way everything else in the system is:
+// as declarations, lowered through the real frontend. Strings are the
+// canonical list-of-char Mtype, so request specs ride the same wire
+// encoding as any user list.
+constexpr const char* kProtocolIdl = R"(
+struct CompileRequest {
+  string left;
+  string right;
+};
+struct CompileReply {
+  long long verdict;
+  long long steps;
+  boolean memo_hit;
+  boolean program_cached;
+  long long program_ops;
+  string error;
+};
+)";
+
+std::string string_of(const Value& v) {
+  std::string s;
+  if (auto lst = v.as_list()) {
+    s.reserve(lst->size());
+    for (const auto& c : *lst) {
+      s.push_back(static_cast<char>(c.as_char()));
+    }
+  }
+  return s;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int run_serve(std::vector<stype::Module>& modules, std::istream& requests,
+              const std::string& requests_name, DiagnosticEngine& diags,
+              const ServeOptions& options, std::ostream& out,
+              std::ostream& err) {
+  // Per-request latency histograms want the timed metrics tier.
+  obs::set_metrics_on(true);
+
+  ServiceCore core(modules, diags);
+  if (!options.cache_path.empty()) {
+    std::string serr;
+    if (!core.open_cache(options.cache_path, &serr)) {
+      err << "mbird: cannot open cache " << options.cache_path << ": " << serr
+          << '\n';
+      return 1;
+    }
+  }
+
+  // ---- protocol bootstrap --------------------------------------------------
+  DiagnosticEngine pdiags;
+  stype::Module proto = idl::parse_idl(kProtocolIdl, "<serve-protocol>",
+                                       pdiags);
+  mtype::Graph gs;
+  mtype::Ref rq = lower::lower_decl(proto, gs, "CompileRequest", pdiags);
+  mtype::Ref rp = lower::lower_decl(proto, gs, "CompileReply", pdiags);
+  if (rq == mtype::kNullRef || rp == mtype::kNullRef || pdiags.has_errors()) {
+    err << "mbird: serve protocol bootstrap failed\n";  // unreachable
+    return 1;
+  }
+  // The paper's function model: invocation = Record(Inputs, port(Outputs)).
+  mtype::Ref invocation = gs.record({rq, gs.port(rp)}, {"args", "reply"});
+
+  // One process, two nodes, a real socketpair between them: every request
+  // round-trips through wire marshaling and the reliability sublayer.
+  rpc::Node client(1), server(2);
+  auto [lc, ls] = transport::make_socket_pair();
+  client.connect(2, std::move(lc));
+  server.connect(1, std::move(ls));
+
+  uint64_t fn = rpc::serve_function(
+      server, gs, invocation, [&](const Value& args) -> Value {
+        obs::Span span("serve.compile");
+        const std::string left = string_of(args.at(0));
+        const std::string right = string_of(args.at(1));
+        PairOutcome o;
+        std::string perr;
+        const bool ok = core.compile_spec(left, right, &o, &perr);
+        if (span.recording()) {
+          span.note("left", left);
+          span.note("right", right);
+          span.note(ok ? "verdict" : "error",
+                    ok ? compare::to_string(o.verdict) : perr);
+        }
+        return Value::record(
+            {Value::integer(static_cast<int64_t>(o.verdict)),
+             Value::integer(static_cast<int64_t>(o.steps)),
+             Value::integer(o.memo_hit ? 1 : 0),
+             Value::integer(o.program_cached ? 1 : 0),
+             Value::integer(static_cast<int64_t>(o.program_ops)),
+             Value::string(ok ? "" : perr)});
+      });
+
+  // ---- request loop --------------------------------------------------------
+  auto& req_counter = obs::counter("serve.requests");
+  auto& bad_counter = obs::counter("serve.bad_requests");
+  auto& latency = obs::histogram("serve.latency_us");
+  size_t served = 0, bad = 0, memo_hits = 0, reply_errors = 0, lineno = 0;
+  std::string line;
+  while (std::getline(requests, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string a, b, extra;
+    if (!(ls >> a)) continue;  // blank / comment-only
+    if (!(ls >> b) || (ls >> extra)) {
+      ++bad;
+      bad_counter.add(1);
+      err << "mbird: " << requests_name << ':' << lineno
+          << ": expected '<declA> <declB>'\n";
+      out << "{\"line\": " << lineno
+          << ", \"error\": \"expected '<declA> <declB>'\"}\n";
+      continue;
+    }
+
+    obs::Span span("serve.request");
+    auto t0 = std::chrono::steady_clock::now();
+    Value args = Value::record({Value::string(a), Value::string(b)});
+    Value reply;
+    try {
+      reply = rpc::call_function(client, fn, gs, invocation, args,
+                                 {&client, &server});
+    } catch (const std::exception& e) {
+      ++bad;
+      bad_counter.add(1);
+      out << "{\"line\": " << lineno << ", \"error\": \"";
+      json_escape(out, e.what());
+      out << "\"}\n";
+      continue;
+    }
+    const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    req_counter.add(1);
+    latency.record(static_cast<uint64_t>(us));
+    if (span.recording()) {
+      span.note("left", a);
+      span.note("right", b);
+    }
+
+    const auto verdict = static_cast<compare::Verdict>(
+        static_cast<int64_t>(reply.at(0).as_int()));
+    const std::string remote_err = string_of(reply.at(5));
+    ++served;
+    out << "{\"left\": \"";
+    json_escape(out, a);
+    out << "\", \"right\": \"";
+    json_escape(out, b);
+    out << "\", ";
+    if (!remote_err.empty()) {
+      ++reply_errors;
+      out << "\"error\": \"";
+      json_escape(out, remote_err);
+      out << "\"}\n";
+      continue;
+    }
+    const bool memo = reply.at(2).as_int() != 0;
+    if (memo) ++memo_hits;
+    out << "\"verdict\": \"" << compare::to_string(verdict)
+        << "\", \"steps\": " << static_cast<int64_t>(reply.at(1).as_int())
+        << ", \"micros\": " << us << ", \"memo\": " << (memo ? "true" : "false")
+        << ", \"program_cached\": "
+        << (reply.at(3).as_int() != 0 ? "true" : "false")
+        << ", \"program_ops\": " << static_cast<int64_t>(reply.at(4).as_int())
+        << "}\n";
+  }
+
+  // ---- graceful shutdown ---------------------------------------------------
+  int rc = 0;
+  std::string ferr;
+  if (!core.flush_cache(&ferr)) {
+    err << "mbird: cache flush failed: " << ferr << '\n';
+    rc = 1;
+  }
+  const auto& cs = client.stats();
+  const auto& ss = server.stats();
+  out << "{\"served\": " << served << ", \"bad_requests\": " << bad
+      << ", \"reply_errors\": " << reply_errors
+      << ", \"memo_hits\": " << memo_hits
+      << ", \"latency_p50_us\": " << latency.percentile(0.50)
+      << ", \"latency_p99_us\": " << latency.percentile(0.99)
+      << ", \"rpc\": {\"frames_sent\": " << (cs.frames_sent + ss.frames_sent)
+      << ", \"frames_received\": "
+      << (cs.frames_received + ss.frames_received)
+      << ", \"bytes_sent\": " << (cs.bytes_sent + ss.bytes_sent)
+      << ", \"retransmits\": " << (cs.retransmits + ss.retransmits) << "}";
+  if (store::CacheStore* st = core.cache_store()) {
+    const auto sst = st->stats();
+    out << ", \"store\": {\"entries\": " << sst.entries
+        << ", \"hits\": " << sst.hits << ", \"misses\": " << sst.misses
+        << ", \"appends\": " << sst.appends << "}";
+  }
+  out << "}\n";
+  return rc;
+}
+
+}  // namespace mbird::service

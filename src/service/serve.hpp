@@ -1,0 +1,49 @@
+// `mbird serve`: a long-lived compile-pair daemon over the repo's own rpc
+// stack (dogfooding — the serve protocol itself is a pair of
+// Mockingbird-described IDL messages).
+//
+// Topology: one process, two rpc Nodes joined by a real AF_UNIX
+// socketpair. The server node exposes the compile function
+// (serve_function over the lowered invocation type Record(CompileRequest,
+// port(CompileReply))); the driver loop reads request lines, builds a
+// CompileRequest Value, and rpc-calls the server — every request round-
+// trips through wire marshaling, framing, and the reliability sublayer,
+// exactly like a cross-process client would.
+//
+// Request stream: one `<left> <right>` declaration-spec pair per line
+// (same grammar as a batch manifest; `#` comments and blanks ignored).
+// Each reply is emitted as one JSON line on stdout, in request order. A
+// malformed request line produces an error JSON line and the daemon keeps
+// serving — a daemon does not die on one bad request.
+//
+// Observability: every request runs under an obs::Span("serve.request"),
+// counts serve.requests, and records end-to-end latency into the
+// serve.latency_us histogram. With --cache, verdicts and programs resolved
+// cold are written through to the durable store; shutdown flushes it
+// crash-safely before the summary line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::service {
+
+struct ServeOptions {
+  std::string cache_path;  // empty: in-memory caches only
+};
+
+/// Run the daemon loop over already-loaded modules, reading request lines
+/// from `requests` (`requests_name` labels errors) until EOF. Returns 0
+/// when the stream was fully served (per-request failures are data — they
+/// produce error reply lines, not a nonzero exit); nonzero on setup
+/// failures (cache open, protocol bootstrap) or a failed shutdown flush.
+int run_serve(std::vector<stype::Module>& modules, std::istream& requests,
+              const std::string& requests_name, DiagnosticEngine& diags,
+              const ServeOptions& options, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace mbird::service

@@ -1,0 +1,175 @@
+// ServiceCore: the one compile-pair engine behind every front door.
+//
+// Before this layer, the per-pair step (two-way verdict resolution + PlanIR
+// compile), the per-module LowerEngine pool, and the CrossCache/session
+// wiring lived inside the batch driver; the CLI one-shot path re-derived a
+// subset of it and a daemon had nowhere to stand. ServiceCore owns that
+// state once:
+//
+//   * the two Mtype graphs (left/right side of every comparison),
+//   * persistent per-module LowerEngines with a (module, decl) -> Ref memo,
+//     so declarations sharing a transitive closure share lowered subgraphs,
+//   * the CrossCache (canonical ids, verdicts, fragments, compiled
+//     programs) and the per-graph HashCaches,
+//   * optionally a durable store::CacheStore (`open_cache`), attached to
+//     the CrossCache so warm verdicts and convert programs survive process
+//     restarts.
+//
+// Concurrency model (identical to the batch driver's, which now rides on
+// it): lowering is single-threaded and mutates the graphs; freeze() then
+// snapshots Options + strict-id tables for a parallel phase during which
+// the graphs must not grow; compile() is thread-safe under that freeze.
+// compile_spec() is the serial one-shot path (CLI `compare`, the serve
+// daemon): lower-on-demand, freeze, compile.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compare/compare.hpp"
+#include "compare/crosscache.hpp"
+#include "mtype/canon.hpp"
+#include "mtype/mtype.hpp"
+#include "stype/stype.hpp"
+#include "support/diag.hpp"
+
+namespace mbird::lower {
+class LowerEngine;
+}  // namespace mbird::lower
+namespace mbird::store {
+class CacheStore;
+}  // namespace mbird::store
+
+namespace mbird::service {
+
+/// Result of one pair compilation: verdict plus compile-side bookkeeping.
+struct PairOutcome {
+  compare::Verdict verdict = compare::Verdict::Mismatch;
+  size_t steps = 0;           // comparer steps (0 when memo-resolved)
+  bool memo_hit = false;      // resolved without running the comparer
+  bool program_cached = false;
+  size_t program_ops = 0;     // instruction count of the compiled plan
+  /// Mismatch explanation (first structural conflict), filled only when the
+  /// comparer actually ran and failed; memo-resolved mismatches carry the
+  /// verdict alone.
+  std::string mismatch;
+};
+
+/// One pair of a parallel phase: determine the verdict and compile (or
+/// fetch) the left->right convert-mode PlanIR program.
+///
+/// When `base.cross` is set and both strict canonical ids are known, a memo
+/// fast path first replays compare_full()'s decision procedure against
+/// cached verdict entries alone (Equivalence forward, then Subtype in both
+/// orientations — each mode has its own fingerprint): if every entry the
+/// procedure would consult is already present, and the compiled program too
+/// where the verdict requires one, the pair completes without running the
+/// comparer. Any missing entry falls back to the full compare + compile,
+/// which feeds the cache for later pairs. With a durable store attached to
+/// the cache, "already present" includes records hydrated from disk — this
+/// is the warm-restart path.
+///
+/// `wb`, when given, routes cache lookups and program inserts through a
+/// per-worker CrossCache::WriteBuffer (reads see the worker's own
+/// unflushed writes; inserts publish in bulk).
+///
+/// Thread-safe under the freeze model: `ga`/`gb` frozen, all shared mutable
+/// state inside the CrossCache.
+[[nodiscard]] PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
+                                       const mtype::Graph& gb, mtype::Ref rb,
+                                       const compare::Options& base,
+                                       mtype::CanonId left_strict_id,
+                                       mtype::CanonId right_strict_id,
+                                       compare::CrossCache::WriteBuffer* wb =
+                                           nullptr);
+
+class ServiceCore {
+ public:
+  /// `modules` and `diags` must outlive the core. Modules may keep being
+  /// appended by the caller between lowers (the CLI input phase does);
+  /// declaration specs resolve against the vector's current contents.
+  ServiceCore(std::vector<stype::Module>& modules, DiagnosticEngine& diags);
+  ~ServiceCore();
+  ServiceCore(const ServiceCore&) = delete;
+  ServiceCore& operator=(const ServiceCore&) = delete;
+
+  // ---- durable cache -------------------------------------------------------
+
+  /// Open (or create) the durable cache file and attach it to the
+  /// CrossCache. A file written by an older payload codec reinitializes
+  /// empty. Returns false on I/O errors that leave no usable store.
+  [[nodiscard]] bool open_cache(const std::string& path, std::string* error);
+  /// Crash-safe commit of everything written through since the last flush.
+  [[nodiscard]] bool flush_cache(std::string* error);
+  /// The attached store, or nullptr when open_cache was never called.
+  [[nodiscard]] store::CacheStore* cache_store();
+
+  // ---- lowering (single-threaded; grows the graphs) ------------------------
+
+  /// Lower a declaration spec ("module:decl" or a bare name searched across
+  /// modules) into the left/right graph. Memoized per (module, decl).
+  /// Returns kNullRef and sets `*error` on unknown/unlowerable specs.
+  [[nodiscard]] mtype::Ref lower_left(const std::string& spec,
+                                      std::string* error);
+  [[nodiscard]] mtype::Ref lower_right(const std::string& spec,
+                                       std::string* error);
+
+  [[nodiscard]] const mtype::Graph& left_graph() const { return ga_; }
+  [[nodiscard]] const mtype::Graph& right_graph() const { return gb_; }
+  [[nodiscard]] compare::CrossCache& cross() { return *cross_; }
+
+  /// Drop every in-memory memo (CrossCache contents, canonical-id
+  /// indexes) while keeping the graphs, lowering memos, and any attached
+  /// store. Benches use this to measure cold passes; with a store attached
+  /// it simulates a restart without reopening the file. Invalidates any
+  /// outstanding Frozen snapshot (its Options point at the old cache).
+  void reset_memory_cache();
+
+  // ---- compilation ---------------------------------------------------------
+
+  /// Snapshot of the shared read-only state for one parallel phase. Valid
+  /// until the next lower_*() call grows a graph.
+  struct Frozen {
+    compare::Options base;
+    std::shared_ptr<const std::vector<mtype::CanonId>> left_ids;
+    std::shared_ptr<const std::vector<mtype::CanonId>> right_ids;
+  };
+  [[nodiscard]] Frozen freeze();
+
+  /// Compile one lowered pair under a freeze() snapshot. Thread-safe.
+  [[nodiscard]] PairOutcome compile(const Frozen& f, mtype::Ref ra,
+                                    mtype::Ref rb,
+                                    compare::CrossCache::WriteBuffer* wb =
+                                        nullptr);
+
+  /// Serial one-shot: lower both specs, freeze, compile. Returns false and
+  /// sets `*error` when either spec fails to resolve or lower (no outcome
+  /// in that case); pair-level exceptions also land in `*error`.
+  [[nodiscard]] bool compile_spec(const std::string& left_spec,
+                                  const std::string& right_spec,
+                                  PairOutcome* out, std::string* error);
+
+ private:
+  struct Side {
+    std::map<const stype::Module*, std::unique_ptr<lower::LowerEngine>>
+        engines;
+    std::map<std::pair<const stype::Module*, std::string>, mtype::Ref> memo;
+  };
+
+  [[nodiscard]] mtype::Ref lower_side(const std::string& spec, mtype::Graph& g,
+                                      Side& side, std::string* error);
+
+  std::vector<stype::Module>& modules_;
+  DiagnosticEngine& diags_;
+  mtype::Graph ga_, gb_;
+  Side side_a_, side_b_;
+  // unique_ptr so reset_memory_cache() can rebuild it (CrossCache is
+  // non-movable); never null.
+  std::unique_ptr<compare::CrossCache> cross_;
+  compare::HashCache hca_, hcb_;
+  std::unique_ptr<store::CacheStore> store_;
+};
+
+}  // namespace mbird::service

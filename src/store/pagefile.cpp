@@ -1,0 +1,507 @@
+#include "store/pagefile.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "store/serial.hpp"
+
+namespace mbird::store {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4647504452494246ull;         // "FBIRDPGF"
+constexpr uint64_t kJournalMagic = 0x4c4e4a5244494246ull;  // "FBIRDJNL"
+
+// Superblock field offsets within the page.
+constexpr size_t kSbMagic = 0;
+constexpr size_t kSbFormat = 8;
+constexpr size_t kSbPageSize = 16;
+constexpr size_t kSbGeneration = 24;
+constexpr size_t kSbDataEnd = 32;
+constexpr size_t kSbUser0 = 40;
+constexpr size_t kSbUser1 = 48;
+constexpr size_t kSbCrc = 56;
+
+void put_u64(uint8_t* p, size_t off, uint64_t v) {
+  std::memcpy(p + off, &v, sizeof v);
+}
+void put_u32(uint8_t* p, size_t off, uint32_t v) {
+  std::memcpy(p + off, &v, sizeof v);
+}
+uint64_t get_u64(const uint8_t* p, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, p + off, sizeof v);
+  return v;
+}
+uint32_t get_u32(const uint8_t* p, size_t off) {
+  uint32_t v;
+  std::memcpy(&v, p + off, sizeof v);
+  return v;
+}
+
+bool pread_full(int fd, void* buf, size_t n, uint64_t off, size_t* got) {
+  auto* p = static_cast<uint8_t*>(buf);
+  size_t total = 0;
+  while (total < n) {
+    ssize_t r = ::pread(fd, p + total, n - total, off + total);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) break;  // EOF
+    total += static_cast<size_t>(r);
+  }
+  *got = total;
+  return true;
+}
+
+bool pwrite_full(int fd, const void* buf, size_t n, uint64_t off) {
+  const auto* p = static_cast<const uint8_t*>(buf);
+  size_t total = 0;
+  while (total < n) {
+    ssize_t r = ::pwrite(fd, p + total, n - total, off + total);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    total += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void set_error(std::string* error, const std::string& what) {
+  if (error) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+PageFile::PageFile(Options opts) : opts_(opts) {
+  if (opts_.frames < 4) opts_.frames = 4;
+}
+
+PageFile::~PageFile() { close(); }
+
+void PageFile::close() {
+  if (journal_fd_ >= 0) {
+    ::close(journal_fd_);
+    journal_fd_ = -1;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  frames_.clear();
+  frame_of_.clear();
+  journaled_.clear();
+}
+
+bool PageFile::open(const std::string& path, uint64_t format_version,
+                    std::string* error) {
+  close();
+  path_ = path;
+  format_version_ = format_version;
+  poisoned_ = false;
+  opened_fresh_ = false;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    set_error(error, "open " + path);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    set_error(error, "fstat " + path);
+    close();
+    return false;
+  }
+  disk_size_ = static_cast<uint64_t>(st.st_size);
+
+  bool valid = false;
+  if (!load_superblocks(error, &valid)) {
+    close();
+    return false;
+  }
+  if (!valid) {
+    opened_fresh_ = true;
+    drop_journal();  // any journal belongs to the discarded incarnation
+    if (!init_empty(error)) {
+      close();
+      return false;
+    }
+  } else {
+    recover_journal();
+  }
+  committed_user_[0] = user_[0];
+  committed_user_[1] = user_[1];
+
+  frames_.clear();
+  frames_.resize(opts_.frames);
+  for (auto& f : frames_) f.data = std::make_unique<uint8_t[]>(kPageSize);
+  frame_of_.clear();
+  journaled_.clear();
+  data_end_ = committed_end_;
+  return true;
+}
+
+bool PageFile::load_superblocks(std::string* error, bool* valid) {
+  *valid = false;
+  uint64_t best_gen = 0;
+  for (int slot = 0; slot < 2; ++slot) {
+    uint8_t page[kPageSize];
+    size_t got = 0;
+    if (!pread_full(fd_, page, kPageSize, slot * uint64_t{kPageSize}, &got)) {
+      set_error(error, "read superblock");
+      return false;
+    }
+    if (got < kPageSize) continue;
+    if (get_u64(page, kSbMagic) != kMagic) continue;
+    if (get_u32(page, kSbPageSize) != kPageSize) continue;
+    if (crc32(page, kSbCrc) != get_u32(page, kSbCrc)) continue;
+    if (get_u64(page, kSbFormat) != format_version_) continue;
+    uint64_t gen = get_u64(page, kSbGeneration);
+    uint64_t end = get_u64(page, kSbDataEnd);
+    if (end < kDataStart) continue;
+    if (gen <= best_gen) continue;
+    best_gen = gen;
+    generation_ = gen;
+    committed_end_ = end;
+    user_[0] = get_u64(page, kSbUser0);
+    user_[1] = get_u64(page, kSbUser1);
+    *valid = true;
+  }
+  return true;
+}
+
+bool PageFile::init_empty(std::string* error) {
+  if (::ftruncate(fd_, 0) != 0) {
+    set_error(error, "truncate " + path_);
+    return false;
+  }
+  generation_ = 1;
+  committed_end_ = kDataStart;
+  data_end_ = kDataStart;
+  user_[0] = user_[1] = 0;
+  disk_size_ = 0;
+  uint8_t page[kPageSize];
+  std::memset(page, 0, sizeof page);
+  put_u64(page, kSbMagic, kMagic);
+  put_u64(page, kSbFormat, format_version_);
+  put_u32(page, kSbPageSize, kPageSize);
+  put_u64(page, kSbGeneration, generation_);
+  put_u64(page, kSbDataEnd, committed_end_);
+  put_u64(page, kSbUser0, user_[0]);
+  put_u64(page, kSbUser1, user_[1]);
+  put_u32(page, kSbCrc, crc32(page, kSbCrc));
+  for (int slot = 0; slot < 2; ++slot) {
+    if (!pwrite_full(fd_, page, kPageSize, slot * uint64_t{kPageSize})) {
+      set_error(error, "write superblock");
+      return false;
+    }
+  }
+  if (::fsync(fd_) != 0) {
+    set_error(error, "fsync " + path_);
+    return false;
+  }
+  disk_size_ = kDataStart;
+  return true;
+}
+
+void PageFile::recover_journal() {
+  int jfd = ::open(journal_path().c_str(), O_RDONLY | O_CLOEXEC);
+  if (jfd < 0) return;
+  uint8_t hdr[16];
+  size_t got = 0;
+  bool replay = pread_full(jfd, hdr, sizeof hdr, 0, &got) &&
+                got == sizeof hdr && get_u64(hdr, 0) == kJournalMagic &&
+                get_u64(hdr, 8) == generation_;
+  if (replay) {
+    // Crash happened between journal write and superblock flip: restore
+    // the committed pages' prior content. Torn tail entries fail their
+    // crc and end the replay; already-replayed prefixes are idempotent.
+    uint64_t off = sizeof hdr;
+    std::vector<uint8_t> page(kPageSize);
+    while (true) {
+      uint8_t ehdr[12];
+      if (!pread_full(jfd, ehdr, sizeof ehdr, off, &got) || got < sizeof ehdr) {
+        break;
+      }
+      uint64_t page_no = get_u64(ehdr, 0);
+      uint32_t crc = get_u32(ehdr, 8);
+      if (!pread_full(jfd, page.data(), kPageSize, off + sizeof ehdr, &got) ||
+          got < kPageSize) {
+        break;
+      }
+      if (crc32(page.data(), kPageSize) != crc) break;
+      if (!pwrite_full(fd_, page.data(), kPageSize, page_no * kPageSize)) break;
+      disk_size_ = std::max(disk_size_, (page_no + 1) * uint64_t{kPageSize});
+      off += sizeof ehdr + kPageSize;
+    }
+    ::fsync(fd_);
+  }
+  ::close(jfd);
+  ::unlink(journal_path().c_str());
+}
+
+void PageFile::drop_journal() {
+  if (journal_fd_ >= 0) {
+    ::close(journal_fd_);
+    journal_fd_ = -1;
+  }
+  ::unlink(journal_path().c_str());
+}
+
+PageFile::Frame* PageFile::pin(uint64_t page, std::string* error) {
+  if (auto it = frame_of_.find(page); it != frame_of_.end()) {
+    Frame& f = frames_[it->second];
+    f.tick = ++tick_;
+    return &f;
+  }
+  // Victim: first invalid frame, else LRU.
+  uint32_t victim = 0;
+  uint64_t best_tick = ~0ull;
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].valid) {
+      victim = i;
+      break;
+    }
+    if (frames_[i].tick < best_tick) {
+      best_tick = frames_[i].tick;
+      victim = i;
+    }
+  }
+  Frame& f = frames_[victim];
+  if (f.valid) {
+    if (f.dirty && !write_back(f, error)) return nullptr;
+    frame_of_.erase(f.page);
+    ++stats_.evictions;
+  }
+  f.page = page;
+  f.valid = true;
+  f.dirty = false;
+  f.tick = ++tick_;
+  uint64_t off = page * kPageSize;
+  if (off < disk_size_) {
+    size_t got = 0;
+    if (!pread_full(fd_, f.data.get(), kPageSize, off, &got)) {
+      set_error(error, "read page");
+      f.valid = false;
+      return nullptr;
+    }
+    if (got < kPageSize) std::memset(f.data.get() + got, 0, kPageSize - got);
+    ++stats_.page_reads;
+  } else {
+    std::memset(f.data.get(), 0, kPageSize);
+  }
+  frame_of_[page] = victim;
+  return &f;
+}
+
+bool PageFile::journal_page(uint64_t page, std::string* error) {
+  if (journaled_.count(page)) return true;
+  if (journal_fd_ < 0) {
+    journal_fd_ = ::open(journal_path().c_str(),
+                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (journal_fd_ < 0) {
+      set_error(error, "open journal");
+      return false;
+    }
+    uint8_t hdr[16];
+    put_u64(hdr, 0, kJournalMagic);
+    put_u64(hdr, 8, generation_);
+    if (!pwrite_full(journal_fd_, hdr, sizeof hdr, 0)) {
+      set_error(error, "write journal header");
+      return false;
+    }
+    journal_end_ = sizeof hdr;
+  }
+  // Journal the page's current ON-DISK content (the frame may already hold
+  // new bytes).
+  std::vector<uint8_t> old(kPageSize, 0);
+  uint64_t off = page * kPageSize;
+  if (off < disk_size_) {
+    size_t got = 0;
+    if (!pread_full(fd_, old.data(), kPageSize, off, &got)) {
+      set_error(error, "read page for journal");
+      return false;
+    }
+    if (got < kPageSize) std::memset(old.data() + got, 0, kPageSize - got);
+  }
+  uint8_t ehdr[12];
+  put_u64(ehdr, 0, page);
+  put_u32(ehdr, 8, crc32(old.data(), kPageSize));
+  if (!pwrite_full(journal_fd_, ehdr, sizeof ehdr, journal_end_) ||
+      !pwrite_full(journal_fd_, old.data(), kPageSize,
+                   journal_end_ + sizeof ehdr)) {
+    set_error(error, "write journal entry");
+    return false;
+  }
+  journal_end_ += sizeof ehdr + kPageSize;
+  journaled_.insert(page);
+  ++stats_.journaled_pages;
+  return true;
+}
+
+bool PageFile::write_back(Frame& f, std::string* error) {
+  uint64_t off = f.page * kPageSize;
+  // Overwriting a page the committed state references requires its old
+  // content in the journal first (fsynced), or a crash tears the commit.
+  if (off < committed_end_ && f.page >= 2) {
+    if (!journal_page(f.page, error)) return false;
+    if (::fsync(journal_fd_) != 0) {
+      set_error(error, "fsync journal");
+      return false;
+    }
+  }
+  if (!pwrite_full(fd_, f.data.get(), kPageSize, off)) {
+    set_error(error, "write page");
+    return false;
+  }
+  disk_size_ = std::max(disk_size_, off + kPageSize);
+  f.dirty = false;
+  ++stats_.page_writes;
+  return true;
+}
+
+bool PageFile::append(const void* data, size_t n, std::string* error) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    uint64_t page = data_end_ / kPageSize;
+    uint32_t in_page = static_cast<uint32_t>(data_end_ % kPageSize);
+    size_t take = std::min<size_t>(kPageSize - in_page, n);
+    Frame* f = pin(page, error);
+    if (!f) return false;
+    std::memcpy(f->data.get() + in_page, p, take);
+    f->dirty = true;
+    data_end_ += take;
+    p += take;
+    n -= take;
+  }
+  return true;
+}
+
+bool PageFile::read(uint64_t off, void* out, size_t n, std::string* error) {
+  if (off < kDataStart || off + n > data_end_) {
+    if (error) *error = "read out of range";
+    return false;
+  }
+  auto* p = static_cast<uint8_t*>(out);
+  while (n > 0) {
+    uint64_t page = off / kPageSize;
+    uint32_t in_page = static_cast<uint32_t>(off % kPageSize);
+    size_t take = std::min<size_t>(kPageSize - in_page, n);
+    Frame* f = pin(page, error);
+    if (!f) return false;
+    std::memcpy(p, f->data.get() + in_page, take);
+    off += take;
+    p += take;
+    n -= take;
+  }
+  return true;
+}
+
+void PageFile::truncate_data(uint64_t new_end) {
+  if (new_end >= kDataStart && new_end <= data_end_) data_end_ = new_end;
+}
+
+bool PageFile::flush(std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not open";
+    return false;
+  }
+  if (poisoned_) {
+    if (error) *error = "simulated crash (failpoint)";
+    return false;
+  }
+  bool any_dirty = false;
+  for (const auto& f : frames_) {
+    if (f.valid && f.dirty) {
+      any_dirty = true;
+      break;
+    }
+  }
+  if (!any_dirty && data_end_ == committed_end_ && user_[0] == committed_user_[0] &&
+      user_[1] == committed_user_[1]) {
+    return true;  // nothing to commit
+  }
+
+  // 1. Journal every dirty page the committed state references.
+  for (auto& f : frames_) {
+    if (!f.valid || !f.dirty) continue;
+    if (f.page * kPageSize < committed_end_ && f.page >= 2) {
+      if (!journal_page(f.page, error)) return false;
+    }
+  }
+  if (journal_fd_ >= 0 && ::fsync(journal_fd_) != 0) {
+    set_error(error, "fsync journal");
+    return false;
+  }
+  if (failpoint_ == FailPoint::AfterJournal) {
+    poisoned_ = true;
+    if (error) *error = "simulated crash after journal";
+    return false;
+  }
+
+  // 2. Write all dirty pages, then make the data durable.
+  for (auto& f : frames_) {
+    if (!f.valid || !f.dirty) continue;
+    if (!pwrite_full(fd_, f.data.get(), kPageSize, f.page * kPageSize)) {
+      set_error(error, "write page");
+      return false;
+    }
+    disk_size_ = std::max(disk_size_, (f.page + 1) * uint64_t{kPageSize});
+    f.dirty = false;
+    ++stats_.page_writes;
+  }
+  if (::fsync(fd_) != 0) {
+    set_error(error, "fsync data");
+    return false;
+  }
+  if (failpoint_ == FailPoint::AfterData) {
+    poisoned_ = true;
+    if (error) *error = "simulated crash after data";
+    return false;
+  }
+
+  // 3. Commit: superblock with generation+1 into the alternate slot.
+  ++generation_;
+  if (!write_superblock(error)) {
+    --generation_;
+    return false;
+  }
+  committed_end_ = data_end_;
+  committed_user_[0] = user_[0];
+  committed_user_[1] = user_[1];
+  drop_journal();
+  journaled_.clear();
+  ++stats_.flushes;
+  return true;
+}
+
+bool PageFile::write_superblock(std::string* error) {
+  uint8_t page[kPageSize];
+  std::memset(page, 0, sizeof page);
+  put_u64(page, kSbMagic, kMagic);
+  put_u64(page, kSbFormat, format_version_);
+  put_u32(page, kSbPageSize, kPageSize);
+  put_u64(page, kSbGeneration, generation_);
+  put_u64(page, kSbDataEnd, data_end_);
+  put_u64(page, kSbUser0, user_[0]);
+  put_u64(page, kSbUser1, user_[1]);
+  put_u32(page, kSbCrc, crc32(page, kSbCrc));
+  uint64_t slot = generation_ % 2;
+  if (!pwrite_full(fd_, page, kPageSize, slot * kPageSize)) {
+    set_error(error, "write superblock");
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    set_error(error, "fsync superblock");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mbird::store

@@ -1,0 +1,151 @@
+// Durable page file with a small LRU buffer manager and crash-safe flush
+// (ROADMAP item 1; page/buffer architecture after the classic database
+// storage-manager split: fixed-size pages, a bounded frame pool, and a
+// write-ahead undo journal guarding in-place updates).
+//
+// Layout:
+//   page 0, page 1 — alternating superblocks {magic, format version,
+//     page size, generation, data_end, user words, crc}. The slot written
+//     is generation % 2, so a torn superblock write can only damage the
+//     NEW copy; the highest-generation valid superblock is the committed
+//     state. Opening a file whose format version differs (or with no
+//     valid superblock) reinitializes it empty — version invalidation is
+//     wholesale by design.
+//   page 2.. — caller data, byte-addressed through append()/read().
+//
+// Buffer manager: a fixed pool of frames (default 64 x 4 KiB) with LRU
+// eviction. Reads and appends go through frames; dirty frames reach disk
+// only on eviction or flush().
+//
+// Crash safety: the commit point is the superblock write. Data pages at or
+// past the committed data_end need no protection (a crash simply leaves
+// them unreferenced). The one dirty page class that can damage committed
+// state — the partially-filled tail page of the committed region being
+// appended to, or any in-place rewrite — is copied (old content) into
+// `<path>.journal` and fsynced BEFORE being overwritten. Recovery replays
+// the journal only when its recorded generation matches the committed
+// superblock (i.e. the crash happened before the superblock flip); a
+// journal left over from after the flip is stale and is discarded. flush()
+// order: journal dirty committed pages -> fsync journal -> write dirty
+// pages -> fsync data -> write superblock generation+1 -> fsync -> drop
+// journal.
+//
+// Not thread-safe; callers (CacheStore) serialize externally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mbird::store {
+
+class PageFile {
+ public:
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr uint64_t kDataStart = 2ull * kPageSize;
+
+  struct Options {
+    uint32_t frames = 64;
+  };
+
+  /// Test-only simulated crash points inside flush(). Once a failpoint
+  /// fires the file is poisoned: every later flush (including the
+  /// destructor's) is a no-op, as if the process had died there.
+  enum class FailPoint : uint8_t { None, AfterJournal, AfterData };
+
+  PageFile() : PageFile(Options{64}) {}
+  explicit PageFile(Options opts);
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Open or create `path`. A missing file, an unreadable/invalid
+  /// superblock pair, or a format-version mismatch initializes an empty
+  /// file (opened_fresh() reports which happened). Returns false only on
+  /// I/O errors that prevent any usable state.
+  [[nodiscard]] bool open(const std::string& path, uint64_t format_version,
+                          std::string* error);
+  void close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  /// True when open() (re)initialized the file instead of loading
+  /// committed state.
+  [[nodiscard]] bool opened_fresh() const { return opened_fresh_; }
+
+  /// Current (uncommitted) append cursor; kDataStart when empty.
+  [[nodiscard]] uint64_t data_end() const { return data_end_; }
+  [[nodiscard]] uint64_t committed_data_end() const { return committed_end_; }
+  [[nodiscard]] uint64_t generation() const { return generation_; }
+  /// Two uninterpreted u64 slots committed with the superblock.
+  [[nodiscard]] uint64_t user(int i) const { return user_[i & 1]; }
+  void set_user(int i, uint64_t v) { user_[i & 1] = v; }
+
+  /// Append `n` bytes at data_end(). Buffered; durable only after flush().
+  [[nodiscard]] bool append(const void* data, size_t n, std::string* error);
+  /// Read `n` bytes at absolute offset `off` (must lie in [kDataStart,
+  /// data_end())). Sees unflushed appends.
+  [[nodiscard]] bool read(uint64_t off, void* out, size_t n,
+                          std::string* error);
+  /// Rewind the append cursor (used when a log scan finds a corrupt tail;
+  /// only toward the start, never past committed pages already journaled).
+  void truncate_data(uint64_t new_end);
+
+  /// Crash-safe commit of all appended/modified data (see header comment).
+  [[nodiscard]] bool flush(std::string* error);
+
+  void set_flush_failpoint(FailPoint fp) { failpoint_ = fp; }
+
+  struct Stats {
+    uint64_t page_reads = 0;   // frame misses served from disk
+    uint64_t page_writes = 0;  // frame writebacks
+    uint64_t evictions = 0;
+    uint64_t journaled_pages = 0;
+    uint64_t flushes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Frame {
+    uint64_t page = ~0ull;
+    uint64_t tick = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  [[nodiscard]] Frame* pin(uint64_t page, std::string* error);
+  [[nodiscard]] bool write_back(Frame& f, std::string* error);
+  [[nodiscard]] bool journal_page(uint64_t page, std::string* error);
+  [[nodiscard]] bool write_superblock(std::string* error);
+  [[nodiscard]] bool init_empty(std::string* error);
+  [[nodiscard]] bool load_superblocks(std::string* error, bool* valid);
+  void recover_journal();
+  void drop_journal();
+  [[nodiscard]] std::string journal_path() const { return path_ + ".journal"; }
+
+  Options opts_;
+  std::string path_;
+  int fd_ = -1;
+  int journal_fd_ = -1;
+  uint64_t format_version_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t data_end_ = kDataStart;
+  uint64_t committed_end_ = kDataStart;
+  uint64_t user_[2] = {0, 0};
+  uint64_t committed_user_[2] = {0, 0};
+  uint64_t journal_end_ = 0;  // append cursor within the journal file
+  uint64_t disk_size_ = 0;    // file size on disk, for short-read handling
+  bool opened_fresh_ = false;
+  bool poisoned_ = false;
+  FailPoint failpoint_ = FailPoint::None;
+
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, uint32_t> frame_of_;
+  std::unordered_set<uint64_t> journaled_;
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mbird::store

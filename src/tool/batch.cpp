@@ -6,7 +6,6 @@
 #include <cstdio>
 #include <fstream>
 #include <istream>
-#include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -15,21 +14,15 @@
 #include <sys/resource.h>
 #endif
 
-#include "compare/compare.hpp"
 #include "compare/crosscache.hpp"
-#include "lower/lower.hpp"
-#include "mtype/mtype.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "planir/planir.hpp"
-#include "support/strings.hpp"
+#include "store/cachestore.hpp"
 #include "support/threadpool.hpp"
 
 namespace mbird::tool {
 
 namespace {
-
-using stype::Module;
 
 struct Pair {
   std::string left_spec, right_spec;
@@ -43,30 +36,6 @@ struct PairResult {
   int64_t micros = 0;
   std::string error;  // non-empty: the pair failed with an exception
 };
-
-Module* module_of(std::vector<Module>& modules, const std::string& name) {
-  for (auto& m : modules) {
-    if (m.name() == name) return &m;
-  }
-  return nullptr;
-}
-
-// Same resolution the CLI commands use: "module:decl" or a bare name
-// (possibly "Class.method") searched across modules by class component.
-Module* find_decl(std::vector<Module>& modules, const std::string& spec,
-                  std::string* decl_name) {
-  auto colon = spec.find(':');
-  if (colon != std::string::npos) {
-    *decl_name = spec.substr(colon + 1);
-    return module_of(modules, spec.substr(0, colon));
-  }
-  *decl_name = spec;
-  std::string head = spec.substr(0, spec.find('.'));
-  for (auto& m : modules) {
-    if (m.find(head) != nullptr) return &m;
-  }
-  return nullptr;
-}
 
 void json_escape(std::ostream& os, const std::string& s) {
   for (char c : s) {
@@ -168,119 +137,7 @@ size_t batch_chunk_size(size_t pairs, size_t jobs, size_t requested) {
   return std::clamp(pairs / (jobs * 4), kMinChunk, std::max(kMinChunk, pairs));
 }
 
-PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
-                         const mtype::Graph& gb, mtype::Ref rb,
-                         const compare::Options& base,
-                         mtype::CanonId left_strict_id,
-                         mtype::CanonId right_strict_id,
-                         compare::CrossCache::WriteBuffer* wb) {
-  PairOutcome o;
-  compare::CrossCache* cross = base.cross;
-  const bool keyed = cross != nullptr &&
-                     left_strict_id != mtype::kNoCanon &&
-                     right_strict_id != mtype::kNoCanon;
-  // The program memo keys on the driver's base fingerprint (mode as
-  // configured, Equivalence by default) regardless of which mode's plan
-  // produced the program — the comparer is a deterministic function of
-  // the strict-id pair, so one key per pair suffices.
-  const compare::CrossCache::Key prog_key{
-      left_strict_id, right_strict_id, compare::CrossCache::fingerprint(base)};
-  auto cache_find = [&](const compare::CrossCache::Key& k, const void* lg,
-                        uint64_t lv, const void* rg, uint64_t rv) {
-    return wb != nullptr ? wb->find(k, lg, lv, rg, rv)
-                         : cross->find(k, lg, lv, rg, rv);
-  };
-  auto prog_find = [&](const compare::CrossCache::Key& k) {
-    return wb != nullptr ? wb->find_program(k) : cross->find_program(k);
-  };
-
-  if (keyed) {
-    // Memo fast path: replay compare_full()'s decision procedure against
-    // cached verdict entries. Each mode carries its own fingerprint, so
-    // the Equivalence-mode entry cannot answer the Subtype questions (or
-    // vice versa); the chain below consults exactly the entries the real
-    // procedure would have written on a previous run. find() enforces
-    // graph/version binding for port-bearing entries, so a hit is sound
-    // to reuse as-is.
-    compare::Options eq_opts = base;
-    eq_opts.mode = compare::Mode::Equivalence;
-    compare::Options sub_opts = base;
-    sub_opts.mode = compare::Mode::Subtype;
-    const uint8_t fp_eq = compare::CrossCache::fingerprint(eq_opts);
-    const uint8_t fp_sub = compare::CrossCache::fingerprint(sub_opts);
-    auto fwd = [&](uint8_t fp) {
-      return cache_find({left_strict_id, right_strict_id, fp}, &ga,
-                        ga.version(), &gb, gb.version());
-    };
-    auto rev = [&](uint8_t fp) {
-      return cache_find({right_strict_id, left_strict_id, fp}, &gb,
-                        gb.version(), &ga, ga.version());
-    };
-    bool resolved = false;
-    auto verdict = compare::Verdict::Mismatch;
-    if (auto eq = fwd(fp_eq)) {
-      if (eq->ok) {
-        verdict = compare::Verdict::Equivalent;
-        resolved = true;
-      } else if (auto sab = fwd(fp_sub)) {
-        if (sab->ok) {
-          verdict = compare::Verdict::LeftSubtype;
-          resolved = true;
-        } else if (auto sba = rev(fp_sub)) {
-          verdict = sba->ok ? compare::Verdict::RightSubtype
-                            : compare::Verdict::Mismatch;
-          resolved = true;
-        }
-      }
-    }
-    if (resolved) {
-      const bool needs_program = verdict == compare::Verdict::Equivalent ||
-                                 verdict == compare::Verdict::LeftSubtype;
-      if (!needs_program) {
-        o.verdict = verdict;
-        o.memo_hit = true;
-        return o;
-      }
-      if (auto prog = prog_find(prog_key)) {
-        o.verdict = verdict;
-        o.memo_hit = true;
-        o.program_cached = true;
-        o.program_ops = prog->code.size();
-        return o;
-      }
-      // Verdict known but the program was never compiled (the pair only
-      // ever appeared as a sub-proof): fall through — the full path's
-      // plan build is itself a cheap cache splice at this point.
-    }
-  }
-
-  auto full = compare::compare_full(ga, ra, gb, rb, base);
-  o.verdict = full.verdict;
-  o.steps = full.to_right.steps + full.to_left.steps;
-  if (full.to_right.ok) {
-    std::shared_ptr<const planir::Program> prog;
-    if (keyed) prog = prog_find(prog_key);
-    if (prog) {
-      o.program_cached = true;
-    } else {
-      auto compiled = std::make_shared<planir::Program>(
-          planir::compile(full.to_right.plan, full.to_right.root));
-      planir::require_valid(*compiled);
-      prog = compiled;
-      if (keyed) {
-        if (wb != nullptr) {
-          wb->insert_program(prog_key, prog);
-        } else {
-          cross->insert_program(prog_key, prog);
-        }
-      }
-    }
-    o.program_ops = prog->code.size();
-  }
-  return o;
-}
-
-int run_batch(std::vector<Module>& modules, std::istream& manifest,
+int run_batch(std::vector<stype::Module>& modules, std::istream& manifest,
               const std::string& manifest_name, DiagnosticEngine& diags,
               const BatchOptions& options, std::ostream& out,
               std::ostream& err) {
@@ -302,47 +159,33 @@ int run_batch(std::vector<Module>& modules, std::istream& manifest,
   }
   ReportWriter writer(*rep);
 
-  // ---- shared state persisting across streaming blocks ---------------------
-  // The two graphs grow only during ingestion (single-threaded); each
-  // parallel phase sees them frozen. Each distinct (module, decl) lowers
-  // once per side through a PERSISTENT per-module LowerEngine — engines
-  // memoize the aggregates they have already lowered, so declarations
-  // sharing a transitive closure (Node99 reaching Node0..98) share the
-  // lowered subgraph instead of re-lowering it per decl. The graphs
-  // reach a fixed point after every distinct declaration has appeared —
-  // later blocks skip lowering entirely.
-  mtype::Graph ga, gb;
-  struct Side {
-    std::map<const Module*, std::unique_ptr<lower::LowerEngine>> engines;
-    std::map<std::pair<const Module*, std::string>, mtype::Ref> memo;
-  } side_a, side_b;
+  // ---- the compile engine --------------------------------------------------
+  // ServiceCore owns what used to live inline here: the two graphs,
+  // persistent per-module LowerEngines with the (module, decl) memo, the
+  // CrossCache + HashCaches, and (with --cache) the durable store. The
+  // graphs grow only during ingestion (single-threaded); each parallel
+  // phase sees them frozen.
+  service::ServiceCore core(modules, diags);
+  if (!options.cache_path.empty()) {
+    std::string serr;
+    if (!core.open_cache(options.cache_path, &serr)) {
+      err << "mbird: cannot open cache " << options.cache_path << ": " << serr
+          << '\n';
+      return 1;
+    }
+  }
   auto lower_side = [&](const std::string& spec, size_t lineno,
-                        mtype::Graph& g, Side& side) -> mtype::Ref {
-    std::string decl_name;
-    Module* m = find_decl(modules, spec, &decl_name);
-    if (m == nullptr) {
-      err << "mbird: " << manifest_name << ':' << lineno
-          << ": unknown declaration '" << spec << "'\n";
-      return mtype::kNullRef;
+                        bool left) -> mtype::Ref {
+    std::string lerr;
+    mtype::Ref r = left ? core.lower_left(spec, &lerr)
+                        : core.lower_right(spec, &lerr);
+    if (r == mtype::kNullRef) {
+      err << "mbird: " << manifest_name << ':' << lineno << ": " << lerr
+          << '\n';
     }
-    auto key = std::make_pair(static_cast<const Module*>(m), decl_name);
-    if (auto it = side.memo.find(key); it != side.memo.end()) {
-      return it->second;
-    }
-    auto& engine = side.engines[m];
-    if (!engine) engine = std::make_unique<lower::LowerEngine>(*m, g, diags);
-    mtype::Ref r = engine->lower_decl(decl_name);
-    if (r == mtype::kNullRef || diags.has_errors()) {
-      err << "mbird: " << manifest_name << ':' << lineno
-          << ": cannot lower '" << spec << "'\n";
-      return mtype::kNullRef;
-    }
-    side.memo.emplace(key, r);
     return r;
   };
 
-  compare::CrossCache cross;
-  compare::HashCache hca(ga), hcb(gb);  // auto-refresh when graphs grow
   ThreadPool pool(options.jobs);
 
   // ---- streaming loop ------------------------------------------------------
@@ -388,12 +231,12 @@ int run_batch(std::vector<Module>& modules, std::istream& manifest,
         break;
       }
       Pair p{a, b, lineno, mtype::kNullRef, mtype::kNullRef};
-      p.ra = lower_side(p.left_spec, lineno, ga, side_a);
+      p.ra = lower_side(p.left_spec, lineno, true);
       if (p.ra == mtype::kNullRef) {
         stream_fail(1, lineno, "cannot resolve '" + p.left_spec + "'");
         break;
       }
-      p.rb = lower_side(p.right_spec, lineno, gb, side_b);
+      p.rb = lower_side(p.right_spec, lineno, false);
       if (p.rb == mtype::kNullRef) {
         stream_fail(1, lineno, "cannot resolve '" + p.right_spec + "'");
         break;
@@ -403,14 +246,10 @@ int run_batch(std::vector<Module>& modules, std::istream& manifest,
     if (block.empty()) continue;  // loop exits via eof / stream_error_code
 
     // ---- refresh shared read-only state if the graphs grew -----------------
-    // HashCache tracks Graph::version(); strict_ids memoizes per version.
-    // Both are single-threaded here (barrier below keeps workers out).
-    compare::Options base;
-    base.cross = &cross;
-    base.left_hashes = hca.get();
-    base.right_hashes = hcb.get();
-    auto sid_a = cross.strict_ids(ga);
-    auto sid_b = cross.strict_ids(gb);
+    // freeze() re-snapshots HashCaches (keyed on Graph::version()) and the
+    // strict-id tables; both are single-threaded here (barrier below keeps
+    // workers out).
+    const service::ServiceCore::Frozen frozen = core.freeze();
 
     // ---- fan out in chunks -------------------------------------------------
     results.assign(block.size(), PairResult{});
@@ -419,15 +258,14 @@ int run_batch(std::vector<Module>& modules, std::istream& manifest,
     for (size_t begin = 0; begin < block.size(); begin += chunk_used) {
       const size_t end = std::min(begin + chunk_used, block.size());
       pool.submit([&, begin, end] {
-        compare::CrossCache::WriteBuffer wb(cross);
+        compare::CrossCache::WriteBuffer wb(core.cross());
         for (size_t idx = begin; idx < end; ++idx) {
           const Pair& p = block[idx];
           PairResult& r = results[idx];
           obs::Span span("batch.pair");
           auto t0 = std::chrono::steady_clock::now();
           try {
-            r.outcome = compile_pair(ga, p.ra, gb, p.rb, base, (*sid_a)[p.ra],
-                                     (*sid_b)[p.rb], &wb);
+            r.outcome = core.compile(frozen, p.ra, p.rb, &wb);
           } catch (const std::exception& e) {
             r.error = e.what();
           }
@@ -480,8 +318,20 @@ int run_batch(std::vector<Module>& modules, std::istream& manifest,
     return 2;
   }
 
+  // ---- durable-store commit ------------------------------------------------
+  // Before the summary so its stats include the final flush, and so a
+  // flush failure is reported while the report is still open.
+  bool store_flush_failed = false;
+  if (core.cache_store() != nullptr) {
+    std::string ferr;
+    if (!core.flush_cache(&ferr)) {
+      err << "mbird: cache flush failed: " << ferr << '\n';
+      store_flush_failed = true;
+    }
+  }
+
   // ---- summary -------------------------------------------------------------
-  auto st = cross.stats();
+  auto st = core.cross().stats();
 
   // Worker utilization: summed busy time across pairs over the pool's
   // theoretical capacity (wall time x jobs). 100 means every worker was
@@ -523,13 +373,23 @@ int run_batch(std::vector<Module>& modules, std::istream& manifest,
      << ", \"inserts\": " << st.inserts << ", \"entries\": " << st.entries
      << ", \"programs\": " << st.programs
      << ", \"strict_classes\": " << st.strict_classes
-     << ", \"interned_nodes\": " << st.interned_nodes << "}\n"
-     << "  },\n  \"metrics\": " << delta.to_json(2) << "\n}\n";
+     << ", \"interned_nodes\": " << st.interned_nodes << "}";
+  if (store::CacheStore* cs = core.cache_store()) {
+    const auto ss = cs->stats();
+    js << ",\n    \"store\": {\"entries\": " << ss.entries
+       << ", \"hits\": " << ss.hits << ", \"misses\": " << ss.misses
+       << ", \"appends\": " << ss.appends
+       << ", \"bytes_appended\": " << ss.bytes_appended
+       << ", \"flushes\": " << ss.pages.flushes
+       << ", \"journaled_pages\": " << ss.pages.journaled_pages << "}";
+  }
+  js << "\n  },\n  \"metrics\": " << delta.to_json(2) << "\n}\n";
 
   if (!options.out_path.empty()) {
     out << "wrote " << options.out_path << '\n';
   }
   if (stream_error_code != 0) return stream_error_code;
+  if (store_flush_failed) return 1;
   return errors == 0 ? 0 : 1;
 }
 

@@ -8,20 +8,22 @@
 // and the JSON report is written incrementally in manifest order instead
 // of accumulating an in-memory vector of per-pair records.
 //
-// Per block: any not-yet-seen declarations lower (single-threaded; the
-// two shared Mtype graphs are mutable only here — they reach a fixed
-// point once every distinct declaration has appeared), hashes and strict
-// canonical ids refresh if the graphs grew, then the block fans out over
-// a persistent work-stealing thread pool in CHUNKS of contiguous pairs
-// (--chunk N, default pairs/(jobs*4)) rather than one task per pair —
-// per-task overhead (queue mutex, condvar notify, std::function
-// allocation) is paid per chunk, which is what makes warm batches scale
-// with --jobs instead of regressing (ROADMAP item 2, the
-// BM_BatchDriverWarm 0.04ms -> 0.23ms @8 bug). Each chunk task owns a
-// CrossCache::WriteBuffer, so cold-path inserts publish to the 16 cache
-// shards in bulk. All workers share one compare::CrossCache — canonical
-// ids, verdicts, plan fragments, and compiled PlanIR programs persist
-// across pairs AND blocks.
+// The compile engine lives in service::ServiceCore (per-module
+// LowerEngines, CrossCache, HashCaches, optional durable CacheStore);
+// this layer owns only the driver shape: streaming ingestion, chunked
+// fan-out over a persistent work-stealing thread pool, and the
+// incremental JSON report. Per block: not-yet-seen declarations lower
+// (single-threaded), the core freezes, then the block fans out in CHUNKS
+// of contiguous pairs (--chunk N, default pairs/(jobs*4)) — per-task
+// overhead (queue mutex, condvar notify, std::function allocation) is
+// paid per chunk, which is what makes warm batches scale with --jobs
+// (ROADMAP item 2). Each chunk task owns a CrossCache::WriteBuffer, so
+// cold-path inserts publish to the 16 cache shards in bulk.
+//
+// With --cache FILE the core opens a durable store: verdicts and convert
+// programs survive process restarts, so a re-run of the same manifest
+// memo-resolves every pair cold (the warm-restart workflow; see
+// DESIGN.md §4i). The store is flushed crash-safely before the summary.
 //
 // Threading model (see DESIGN.md §4f): graphs frozen during each
 // parallel phase (block barrier via ThreadPool::wait_idle between
@@ -30,13 +32,13 @@
 //
 // Report (stdout, or --out <file>): per-pair verdict / steps /
 // wall-micros / cache provenance in MANIFEST ORDER regardless of
-// completion order, then a summary (aggregate cache statistics, block /
-// chunk shape, peak RSS) and a "metrics" object — the obs::Registry
-// snapshot delta for the run. Each pair runs under an obs::Span
-// ("batch.pair") so `mbird --trace` renders the parallel phase in
-// chrome://tracing. A malformed manifest line mid-stream stops ingestion
-// but still reports every prior pair (the error carries its line number,
-// in the report summary and on stderr).
+// completion order, then a summary (aggregate cache + store statistics,
+// block / chunk shape, peak RSS) and a "metrics" object — the
+// obs::Registry snapshot delta for the run. Each pair runs under an
+// obs::Span ("batch.pair") so `mbird --trace` renders the parallel phase
+// in chrome://tracing. A malformed manifest line mid-stream stops
+// ingestion but still reports every prior pair (the error carries its
+// line number, in the report summary and on stderr).
 #pragma once
 
 #include <cstddef>
@@ -44,10 +46,7 @@
 #include <string>
 #include <vector>
 
-#include "compare/compare.hpp"
-#include "compare/crosscache.hpp"
-#include "mtype/canon.hpp"
-#include "mtype/mtype.hpp"
+#include "service/service.hpp"
 #include "stype/stype.hpp"
 #include "support/diag.hpp"
 
@@ -57,50 +56,18 @@ namespace mbird::tool {
 /// block. Bounds the driver's memory independent of manifest length.
 inline constexpr size_t kStreamBlock = 4096;
 
+/// The per-pair result shape is the service layer's; re-exported because
+/// the report writer and the batch tests speak in terms of it.
+using PairOutcome = service::PairOutcome;
+
 struct BatchOptions {
   size_t jobs = 1;
   /// Pairs per worker task. 0 = auto: block_pairs / (jobs * 4), so each
   /// worker sees ~4 steal-able chunks per block.
   size_t chunk = 0;
-  std::string out_path;  // empty: JSON to `out`
+  std::string out_path;    // empty: JSON to `out`
+  std::string cache_path;  // empty: in-memory caches only (--cache FILE)
 };
-
-/// Result of one batch pair: verdict plus compile-side bookkeeping.
-struct PairOutcome {
-  compare::Verdict verdict = compare::Verdict::Mismatch;
-  size_t steps = 0;           // comparer steps (0 when memo-resolved)
-  bool memo_hit = false;      // resolved without running the comparer
-  bool program_cached = false;
-  size_t program_ops = 0;     // instruction count of the compiled plan
-};
-
-/// One pair of the batch's parallel phase: determine the verdict and
-/// compile (or fetch) the left->right convert-mode PlanIR program.
-///
-/// When `base.cross` is set and both strict canonical ids are known, a
-/// memo fast path first replays compare_full()'s decision procedure
-/// against cached verdict entries alone (Equivalence forward, then
-/// Subtype in both orientations — each mode has its own fingerprint): if
-/// every entry the procedure would consult is already present, and the
-/// compiled program too where the verdict requires one, the pair
-/// completes without running the comparer. Any missing entry falls back
-/// to the full compare + compile, which feeds the cache for later pairs.
-///
-/// `wb`, when given, routes this pair's cache lookups and program insert
-/// through a per-worker CrossCache::WriteBuffer (reads see the worker's
-/// own unflushed writes; inserts publish in bulk).
-///
-/// Thread-safe under the batch driver's model: `ga`/`gb` frozen, all
-/// shared mutable state inside the CrossCache. Exposed (rather than kept
-/// static in batch.cpp) so the benchmarks drive the exact same per-pair
-/// step the `mbird batch` workers run.
-[[nodiscard]] PairOutcome compile_pair(const mtype::Graph& ga, mtype::Ref ra,
-                                       const mtype::Graph& gb, mtype::Ref rb,
-                                       const compare::Options& base,
-                                       mtype::CanonId left_strict_id,
-                                       mtype::CanonId right_strict_id,
-                                       compare::CrossCache::WriteBuffer* wb =
-                                           nullptr);
 
 /// Chunk size the driver uses for a block of `pairs` over `jobs` workers
 /// when the user didn't pass --chunk (requested == 0). Exposed so the

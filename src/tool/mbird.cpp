@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -20,6 +21,8 @@
 #include "planir/planir.hpp"
 #include "project/project.hpp"
 #include "runtime/layout.hpp"
+#include "service/serve.hpp"
+#include "service/service.hpp"
 #include "support/strings.hpp"
 #include "tool/batch.hpp"
 
@@ -120,6 +123,25 @@ bool write_file(const std::string& path, const std::string& text) {
   return f.good();
 }
 
+// Strict non-negative integer flag parsing. std::stoul alone accepts
+// "-1" (wrapping to SIZE_MAX) and "3x" (stopping at the 'x'); both are
+// usage errors here, not silently-coerced values.
+std::optional<size_t> parse_count(const std::string& flag,
+                                  const std::string& text, std::ostream& err) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    err << "mbird: " << flag << " expects a non-negative integer, got '"
+        << text << "'\n";
+    return std::nullopt;
+  }
+  try {
+    return static_cast<size_t>(std::stoull(text));
+  } catch (const std::exception&) {
+    err << "mbird: " << flag << " value '" << text << "' is out of range\n";
+    return std::nullopt;
+  }
+}
+
 bool load_source(Session& s, Lang lang, const std::string& path,
                  const std::string& text) {
   switch (lang) {
@@ -142,18 +164,28 @@ int usage(std::ostream& err) {
          "             [--diag-format=text|json]\n"
          "             [--c|--java|--idl|--classfile|--project <file>]...\n"
          "             [--script <file>] [--annotate '<stmts>']\n"
-         "             <list|show|mtype|diagram|compare|plan|gen|batch|stats|save> ...\n"
+         "             <list|show|mtype|diagram|compare|plan|gen|batch|serve|stats|save> ...\n"
+         "  compare <a> <b> [--cache <file>]\n"
+         "                             verdict for one pair (--cache reuses\n"
+         "                             and extends a durable verdict store)\n"
          "  plan <a> <b> [--emit-ir]   print the coercion plan (or its\n"
          "                             compiled PlanIR bytecode listing;\n"
          "                             --emit-ir=native fuses a's memory\n"
          "                             layout into a zero-copy marshaler)\n"
          "  batch <manifest> [--jobs N] [--chunk N] [--out <file>]\n"
-         "                             compare/compile every '<a> <b>' pair in\n"
+         "        [--cache <file>]     compare/compile every '<a> <b>' pair in\n"
          "                             the manifest over N worker threads (in\n"
          "                             chunks of --chunk pairs; 0 = auto),\n"
          "                             sharing one cross-pair cache; streams\n"
          "                             the manifest with bounded memory and\n"
-         "                             writes the JSON report incrementally\n"
+         "                             writes the JSON report incrementally;\n"
+         "                             --cache persists verdicts and compiled\n"
+         "                             programs across runs (warm restart)\n"
+         "  serve [--requests <file>] [--cache <file>]\n"
+         "                             long-lived daemon: answer compile-pair\n"
+         "                             request lines (stdin or --requests)\n"
+         "                             over the in-process rpc stack, one\n"
+         "                             JSON reply line each\n"
          "  stats [metrics.json]       pretty-print a --metrics/batch metrics\n"
          "                             snapshot (no file: this process's own)\n"
          "global flags (valid anywhere on the line):\n"
@@ -483,7 +515,54 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
     return 0;
   }
 
-  if (cmd == "compare" || cmd == "plan" || cmd == "gen") {
+  if (cmd == "compare") {
+    // The one-shot path rides the same ServiceCore as the batch driver and
+    // the serve daemon: with --cache, a verdict resolved by an earlier run
+    // (or a batch) replays from the durable store without re-comparing.
+    if (i + 1 >= args.size()) return usage(err);
+    const std::string spec_a = args[i];
+    const std::string spec_b = args[i + 1];
+    i += 2;
+    std::string cache_path;
+    for (; i < args.size(); ++i) {
+      if (args[i] == "--cache" && i + 1 < args.size()) {
+        cache_path = args[++i];
+      } else {
+        err << "mbird: unknown compare option '" << args[i] << "'\n";
+        return 2;
+      }
+    }
+    service::ServiceCore core(s.modules, s.diags);
+    if (!cache_path.empty()) {
+      std::string serr;
+      if (!core.open_cache(cache_path, &serr)) {
+        err << "mbird: cannot open cache " << cache_path << ": " << serr
+            << '\n';
+        return 1;
+      }
+    }
+    service::PairOutcome o;
+    std::string cerr_msg;
+    if (!core.compile_spec(spec_a, spec_b, &o, &cerr_msg)) {
+      err << "mbird: " << cerr_msg << '\n';
+      return 1;
+    }
+    if (!cache_path.empty()) {
+      std::string ferr;
+      if (!core.flush_cache(&ferr)) {
+        err << "mbird: cache flush failed: " << ferr << '\n';
+        return 1;
+      }
+    }
+    out << compare::to_string(o.verdict) << '\n';
+    if (o.verdict == compare::Verdict::Mismatch) {
+      if (!o.mismatch.empty()) out << o.mismatch << '\n';
+      return 1;
+    }
+    return 0;
+  }
+
+  if (cmd == "plan" || cmd == "gen") {
     if (i + 1 >= args.size()) return usage(err);
     std::string name_a, name_b;
     Module* ma = s.find_decl(args[i], &name_a);
@@ -502,14 +581,6 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
     }
 
     auto full = compare::compare_full(ga, ra, gb, rb);
-    if (cmd == "compare") {
-      out << compare::to_string(full.verdict) << '\n';
-      if (full.verdict == compare::Verdict::Mismatch) {
-        out << full.to_right.mismatch.to_string() << '\n';
-        return 1;
-      }
-      return 0;
-    }
     if (full.verdict != compare::Verdict::Equivalent &&
         full.verdict != compare::Verdict::LeftSubtype) {
       err << "mbird: no left-to-right conversion exists ("
@@ -590,22 +661,21 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
     BatchOptions bopts;
     for (; i < args.size(); ++i) {
       if (args[i] == "--jobs" && i + 1 < args.size()) {
-        try {
-          bopts.jobs = std::stoul(args[++i]);
-        } catch (const std::exception&) {
-          err << "mbird: --jobs expects a number, got '" << args[i] << "'\n";
-          return 2;
+        auto v = parse_count("--jobs", args[++i], err);
+        if (!v) return usage(err);
+        if (*v == 0) {
+          err << "mbird: --jobs must be at least 1\n";
+          return usage(err);
         }
-        if (bopts.jobs == 0) bopts.jobs = 1;
+        bopts.jobs = *v;
       } else if (args[i] == "--chunk" && i + 1 < args.size()) {
-        try {
-          bopts.chunk = std::stoul(args[++i]);
-        } catch (const std::exception&) {
-          err << "mbird: --chunk expects a number, got '" << args[i] << "'\n";
-          return 2;
-        }
+        auto v = parse_count("--chunk", args[++i], err);
+        if (!v) return usage(err);
+        bopts.chunk = *v;  // 0 = auto
       } else if (args[i] == "--out" && i + 1 < args.size()) {
         bopts.out_path = args[++i];
+      } else if (args[i] == "--cache" && i + 1 < args.size()) {
+        bopts.cache_path = args[++i];
       } else {
         err << "mbird: unknown batch option '" << args[i] << "'\n";
         return 2;
@@ -620,6 +690,32 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
     }
     return run_batch(s.modules, manifest, manifest_path, s.diags, bopts, out,
                      err);
+  }
+
+  if (cmd == "serve") {
+    service::ServeOptions sopts;
+    std::string requests_path;
+    for (; i < args.size(); ++i) {
+      if (args[i] == "--cache" && i + 1 < args.size()) {
+        sopts.cache_path = args[++i];
+      } else if (args[i] == "--requests" && i + 1 < args.size()) {
+        requests_path = args[++i];
+      } else {
+        err << "mbird: unknown serve option '" << args[i] << "'\n";
+        return 2;
+      }
+    }
+    if (requests_path.empty()) {
+      return service::run_serve(s.modules, std::cin, "<stdin>", s.diags, sopts,
+                                out, err);
+    }
+    std::ifstream requests(requests_path, std::ios::binary);
+    if (!requests) {
+      err << "mbird: cannot read " << requests_path << '\n';
+      return 1;
+    }
+    return service::run_serve(s.modules, requests, requests_path, s.diags,
+                              sopts, out, err);
   }
 
   if (cmd == "stats") {
@@ -712,7 +808,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   if (diag_format != "text" && diag_format != "json") {
     err << "mbird: --diag-format expects 'text' or 'json', got '"
         << diag_format << "'\n";
-    return 2;
+    return usage(err);
   }
   if (!trace_path.empty()) {
     obs::Tracer::global().enable();

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "compare/compare.hpp"
@@ -276,6 +277,37 @@ TEST(CrossCache, SharedAcrossThreadsUnderLoad) {
   EXPECT_EQ(bad_count.load(), 0);
   auto st = cross.stats();
   EXPECT_GT(st.hits, 0u);
+}
+
+TEST(CrossCache, WriteBufferFlushesOnUnwind) {
+  // An exception thrown through a scope holding a WriteBuffer with pending
+  // inserts must not drop them: the destructor flushes during unwinding,
+  // so a crashing chunk in the batch driver still publishes what it
+  // learned before the throw.
+  PairFixture f;
+  CrossCache cross;
+  Options opts;
+  opts.cross = &cross;
+  auto sa = cross.strict_ids(f.ga);
+  auto sb = cross.strict_ids(f.gb);
+  const CrossCache::Key key{(*sa)[f.a], (*sb)[f.b],
+                            CrossCache::fingerprint(opts)};
+  auto negative = std::make_shared<CrossCache::Variant>();
+  negative->ok = false;  // portable: no fragment, no graph binding
+  EXPECT_THROW(
+      {
+        CrossCache::WriteBuffer wb(cross);
+        wb.insert(key, negative);
+        // Pending only: under kAutoFlush, the owner must not see it yet.
+        EXPECT_EQ(cross.find(key, &f.ga, f.ga.version(), &f.gb,
+                             f.gb.version()),
+                  nullptr);
+        throw std::runtime_error("chunk died");
+      },
+      std::runtime_error);
+  auto hit = cross.find(key, &f.ga, f.ga.version(), &f.gb, f.gb.version());
+  ASSERT_NE(hit, nullptr) << "unwind must flush pending inserts";
+  EXPECT_FALSE(hit->ok);
 }
 
 TEST(ThreadPool, RecursiveSubmitAndWaitIdle) {

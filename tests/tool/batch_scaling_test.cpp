@@ -90,8 +90,8 @@ TEST(BatchScalingTest, WarmJobs4NotSlowerThanJobs1) {
         compare::CrossCache::WriteBuffer wb(cross);
         for (size_t i = begin; i < end; ++i) {
           const size_t k = i % static_cast<size_t>(n);
-          (void)compile_pair(gc, rcs[k], gj, rjs[k], base, (*sid_c)[rcs[k]],
-                             (*sid_j)[rjs[k]], &wb);
+          (void)service::compile_pair(gc, rcs[k], gj, rjs[k], base,
+                                      (*sid_c)[rcs[k]], (*sid_j)[rjs[k]], &wb);
         }
       });
     }

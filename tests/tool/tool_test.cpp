@@ -347,6 +347,8 @@ TEST_F(ToolTest, DiagFormatJsonEmitsStructuredLines) {
 
   auto bad = run_cli({"--diag-format=yaml", "list"});
   EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("expects 'text' or 'json'"), std::string::npos);
+  EXPECT_NE(bad.err.find("usage:"), std::string::npos) << bad.err;
 }
 
 TEST_F(ToolTest, BatchRejectsBadInputs) {
@@ -391,6 +393,22 @@ TEST_F(ToolTest, BatchRejectsBadInputs) {
               {"batch", dir_ + "/pairs.txt", "--chunk", "several"});
   r = run_cli(args);
   EXPECT_EQ(r.code, 2);
+
+  // --jobs 0 is a usage error, not a silent coercion to 1.
+  args = fitter_inputs();
+  args.insert(args.end(), {"batch", dir_ + "/pairs.txt", "--jobs", "0"});
+  r = run_cli(args);
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--jobs must be at least 1"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("usage:"), std::string::npos) << r.err;
+
+  // Negative counts read as non-numeric (the values are sizes).
+  args = fitter_inputs();
+  args.insert(args.end(), {"batch", dir_ + "/pairs.txt", "--chunk", "-3"});
+  r = run_cli(args);
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("non-negative integer"), std::string::npos) << r.err;
 }
 
 // ---- streaming batch ---------------------------------------------------------
@@ -509,6 +527,79 @@ TEST_F(ToolTest, BatchStreamsLargeManifestWithBoundedMemory) {
   // point is O(block), not O(manifest) — a driver that materialized 10k
   // pair records + results would show up here long before 512MB.
   EXPECT_LT(rss_kb, 512 * 1024) << report;
+}
+
+// ---- durable cache + serve ---------------------------------------------------
+
+TEST_F(ToolTest, BatchCacheFileWarmRestartMemoResolvesEverything) {
+  // Record (port-free) pairs only: function pairs embed ports, whose
+  // cache entries bind process-local graph refs and never persist — the
+  // durable warm-restart contract covers portable entries.
+  write(dir_ + "/pairs.txt",
+        "Point Line\n"
+        "Point Point\n"
+        "Line Line\n");
+  const std::string cache = dir_ + "/warm.mbc";
+  std::remove(cache.c_str());  // TempDir persists across test runs
+  auto args = fitter_inputs();
+  args.insert(args.end(), {"batch", dir_ + "/pairs.txt", "--cache", cache});
+  auto r1 = run_cli(args);
+  EXPECT_EQ(r1.code, 0) << r1.err;
+  EXPECT_NE(r1.out.find("\"store\": {"), std::string::npos) << r1.out;
+  EXPECT_GT(json_int_value(r1.out, "appends"), 0) << r1.out;
+
+  // Second PROCESS (fresh run_cli = fresh ServiceCore): every pair must
+  // memo-resolve from the file, without the comparer.
+  auto r2 = run_cli(args);
+  EXPECT_EQ(r2.code, 0) << r2.err;
+  EXPECT_EQ(json_int_value(r2.out, "memo_hits"), 3) << r2.out;
+  // The comparer never ran: its counter is 0 or absent (-1) in the delta.
+  EXPECT_LE(json_int_value(r2.out, "compare.runs"), 0) << r2.out;
+}
+
+TEST_F(ToolTest, CompareCacheFlagPersistsVerdicts) {
+  const std::string cache = dir_ + "/cmp.mbc";
+  auto args = fitter_inputs();
+  args.insert(args.end(), {"compare", "Point", "Line", "--cache", cache});
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 1) << r.err;  // mismatch is exit 1, with explanation
+  EXPECT_NE(r.out.find("mismatch"), std::string::npos);
+
+  args = fitter_inputs();
+  args.insert(args.end(),
+              {"compare", "fitter", "JavaIdeal.fitter", "--cache", cache});
+  r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("equivalent"), std::string::npos);
+}
+
+TEST_F(ToolTest, ServeAnswersRequestFileAndRejectsUnknownOption) {
+  write(dir_ + "/reqs.txt",
+        "fitter JavaIdeal.fitter\n"
+        "# comment\n"
+        "fitter JavaIdeal.fitter\n");
+  auto args = fitter_inputs();
+  args.insert(args.end(), {"serve", "--requests", dir_ + "/reqs.txt",
+                           "--cache", dir_ + "/serve.mbc"});
+  auto r = run_cli(args);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"verdict\": \"equivalent\""), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"served\": 2"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"memo\": true"), std::string::npos)
+      << "second request hits the memo: " << r.out;
+
+  args = fitter_inputs();
+  args.insert(args.end(), {"serve", "--wat"});
+  r = run_cli(args);
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown serve option"), std::string::npos);
+
+  args = fitter_inputs();
+  args.insert(args.end(), {"serve", "--requests", dir_ + "/nope.txt"});
+  r = run_cli(args);
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot read"), std::string::npos);
 }
 
 }  // namespace
