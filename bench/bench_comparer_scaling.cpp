@@ -20,6 +20,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <optional>
 #include <sstream>
 
@@ -32,6 +34,23 @@
 #include "service/service.hpp"
 #include "support/threadpool.hpp"
 #include "tool/batch.hpp"
+
+// Heap-allocation counter for the warm-restart row: hydration decode was
+// malloc-bound (~one allocation burst per record) before payload staging
+// moved into the per-thread BumpArena, so allocs/pair is the second axis
+// next to wall time for BM_PersistentWarmRestart.
+std::atomic<uint64_t> g_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -426,6 +445,7 @@ void BM_PersistentWarmRestart(benchmark::State& state) {
     }
   }
   size_t memo_hits = 0;
+  uint64_t loop_allocs = 0;
   for (auto _ : state) {
     state.PauseTiming();
     service::ServiceCore core(modules, diags);
@@ -438,12 +458,14 @@ void BM_PersistentWarmRestart(benchmark::State& state) {
     const auto frozen = core.freeze();
     state.ResumeTiming();
     memo_hits = 0;
+    uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
     compare::CrossCache::WriteBuffer wb(core.cross());
     for (size_t k = 0; k < pairs; ++k) {
       const size_t i = k % static_cast<size_t>(n);
       auto o = core.compile(frozen, ra[i], rb[i], &wb);
       if (o.memo_hit) ++memo_hits;
     }
+    loop_allocs += g_allocs.load(std::memory_order_relaxed) - allocs0;
   }
   if (memo_hits != pairs) {
     state.SkipWithError("cold replay fell back to the comparer");
@@ -452,6 +474,9 @@ void BM_PersistentWarmRestart(benchmark::State& state) {
   std::remove(cache_path);
   state.counters["classes"] = n;
   state.counters["memo_hits"] = static_cast<double>(memo_hits);
+  state.counters["allocs_per_pair"] =
+      static_cast<double>(loop_allocs) /
+      static_cast<double>(state.iterations() * static_cast<int64_t>(pairs));
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pairs));
 }
 BENCHMARK(BM_PersistentWarmRestart)->Arg(100)->Arg(2000)->Arg(20000)

@@ -11,6 +11,7 @@
 #include <new>
 
 #include "annotate/script.hpp"
+#include "codegen/stubcache.hpp"
 #include "compare/compare.hpp"
 #include "javasrc/javaparser.hpp"
 #include "lower/lower.hpp"
@@ -18,6 +19,7 @@
 #include "runtime/conform.hpp"
 #include "runtime/convert.hpp"
 #include "runtime/layout.hpp"
+#include "runtime/threaded.hpp"
 #include "runtime/vm.hpp"
 #include "wire/wire.hpp"
 
@@ -292,5 +294,76 @@ void BM_MarshalNativeZeroCopy(benchmark::State& state) {
   state.counters["block_copies"] = static_cast<double>(w.block_copies());
 }
 BENCHMARK(BM_MarshalNativeZeroCopy);
+
+// ---- engine tiers on the same workload --------------------------------------
+//
+// The vm -> threaded -> compiled progression over the E4 telemetry shape.
+// FusedThreaded vs FusedFromValue is the pair bench/check_engine_tiers.sh
+// gates on (threaded must hold >= 1.3x on fused marshal); the Native rows
+// show the remaining headroom down to a dlopen'd C stub.
+
+void BM_MarshalFusedThreaded(benchmark::State& state) {
+  NativeWorld& w = native_world();
+  runtime::ThreadedEngine te(w.fused);
+  Value v = runtime::read_image(*w.layout, 0, w.heap, w.base);
+  std::vector<uint8_t> buf;
+  buf.reserve(256);
+  uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    buf.clear();
+    te.marshal_into(v, buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["allocs_per_op"] =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) - allocs0) /
+      static_cast<double>(state.iterations());
+  state.counters["computed_goto"] =
+      runtime::ThreadedEngine::computed_goto() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_MarshalFusedThreaded);
+
+void BM_MarshalNativeThreaded(benchmark::State& state) {
+  NativeWorld& w = native_world();
+  runtime::ThreadedEngine te(w.native);
+  std::vector<uint8_t> buf;
+  buf.reserve(256);
+  uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    buf.clear();
+    te.marshal_native_into(w.heap, w.base, buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["allocs_per_op"] =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) - allocs0) /
+      static_cast<double>(state.iterations());
+  state.counters["simd_blocks_per_op"] =
+      static_cast<double>(te.stats().simd_blocks) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MarshalNativeThreaded);
+
+void BM_MarshalNativeCompiled(benchmark::State& state) {
+  NativeWorld& w = native_world();
+  auto stub = codegen::StubCache::process().get(w.native);
+  if (stub == nullptr) {
+    state.SkipWithError("no compiled stub (missing cc or ineligible program)");
+    return;
+  }
+  std::vector<uint8_t> buf(stub->wire_size());
+  const uint8_t* img = w.heap.at(w.base, w.layout->size);
+  uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    size_t n = stub->fn()(img, buf.data());
+    if (n == static_cast<size_t>(-1)) {
+      state.SkipWithError("stub signalled a marshal fault");
+      return;
+    }
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["allocs_per_op"] =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) - allocs0) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MarshalNativeCompiled);
 
 }  // namespace

@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# CI bench gate: the direct-threaded engine must beat the switch-loop VM.
+#
+#   bench/check_engine_tiers.sh <bench_marshal_wire binary>
+#
+# Runs the fused-marshal pair on the E4 telemetry workload —
+# BM_MarshalFusedFromValue (PlanVm's switch loop) against
+# BM_MarshalFusedThreaded (pre-decoded computed-goto stream) — with
+# min-of-3 repetitions, and fails unless threaded holds >= 1.3x. The
+# pre-decoded operand layout (paths, ranges, and labels resolved at load
+# time) is the whole point of the tier; a dispatch-table or operand-decode
+# regression shows up here before it shows up in BENCH_native.json.
+#
+# Also prints the native rows (threaded SIMD prologue, compiled stub) when
+# present, as context — they are reported, not gated, because the compiled
+# row needs a host cc and the native gap is already gated at 3x by the
+# BM_MarshalNativeZeroCopy acceptance in bench/run_benches.sh.
+set -eu
+
+bench="${1:?usage: check_engine_tiers.sh <bench_marshal_wire>}"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+"$bench" \
+  --benchmark_filter='BM_MarshalFusedFromValue|BM_MarshalFusedThreaded|BM_MarshalNativeThreaded|BM_MarshalNativeCompiled' \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+python3 - "$out" <<'EOF'
+import json, sys
+
+data = json.load(open(sys.argv[1]))
+best = {}
+unit = "ns"
+for b in data["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    name = b["run_name"]
+    unit = b["time_unit"]
+    t = b["real_time"]
+    best[name] = min(best.get(name, t), t)
+
+vm = best.get("BM_MarshalFusedFromValue")
+te = best.get("BM_MarshalFusedThreaded")
+if vm is None or te is None:
+    sys.exit("FAIL: fused-marshal rows missing from benchmark output")
+
+for name in ("BM_MarshalNativeThreaded", "BM_MarshalNativeCompiled"):
+    if name in best:
+        print(f"context: {name} {best[name]:.1f}{unit}")
+
+ratio = vm / te
+print(f"fused marshal: vm {vm:.1f}{unit} threaded {te:.1f}{unit} "
+      f"speedup {ratio:.2f}x")
+if ratio < 1.3:
+    sys.exit(f"FAIL: threaded engine is only {ratio:.2f}x the switch VM "
+             "on fused marshal (floor 1.3x)")
+print("OK: threaded engine holds the 1.3x floor over the switch VM")
+EOF

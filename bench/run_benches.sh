@@ -13,12 +13,19 @@
 #   * BM_FusedConvertMarshal beating BM_ConvertThenMarshal (fused
 #     convert-to-wire vs. two-phase convert + encode).
 #
-# bench/BENCH_native.json documents the zero-copy native marshaler:
+# bench/BENCH_native.json documents the zero-copy native marshaler and
+# the engine tiers above it:
 #   * BM_MarshalNativeZeroCopy >= 3x BM_MarshalTwoPhaseFromHeap (the
 #     acceptance ratio) with block_copies >= 1 (the byte-wide spans
 #     collapse into BlockCopy) and allocs_per_op near zero;
 #   * BM_MarshalFusedFromValue sits between the two: fused encode but
-#     still fed from a materialized Value.
+#     still fed from a materialized Value;
+#   * BM_MarshalFusedThreaded >= 1.3x BM_MarshalFusedFromValue (the
+#     bench/check_engine_tiers.sh gate): same fused program, pre-decoded
+#     computed-goto stream instead of the switch loop;
+#   * BM_MarshalNativeThreaded / BM_MarshalNativeCompiled show the rest
+#     of the ladder down to a dlopen'd C stub (the compiled row needs a
+#     host cc and is skipped without one).
 #
 # bench/BENCH_compare.json documents the cross-pair cache:
 #   * BM_CompareClassesSoloPairs is the no-cache baseline;

@@ -32,6 +32,21 @@ CacheMetrics& cache_metrics() {
 bool persistable(const CrossCache::Variant& v) {
   return !v.ok || !v.frag.has_port;
 }
+
+// Hydration staging: record payloads read from the store land in a
+// per-thread bump arena instead of one heap vector each. The arena and the
+// view list warm up to their peak once and then every later hydration on
+// the thread is allocation-free on this path. Views die at the next
+// hydration (reset), which is fine — both call sites fully decode before
+// returning.
+struct HydrationScratch {
+  store::BumpArena arena;
+  std::vector<store::PayloadView> payloads;
+};
+HydrationScratch& hydration_scratch() {
+  thread_local HydrationScratch s;
+  return s;
+}
 }  // namespace
 
 using mtype::CanonId;
@@ -339,11 +354,12 @@ std::shared_ptr<const planir::Program> CrossCache::find_program(
     // unchecked program), then publish for later lookups.
     mtype::StableId sl, sr;
     if (stable_key(key, &sl, &sr)) {
-      std::vector<std::vector<uint8_t>> payloads;
+      HydrationScratch& hs = hydration_scratch();
+      hs.arena.reset();
       if (store_->get({sl, sr, key.fp}, store::CacheStore::kProgram,
-                      &payloads)) {
-        for (const auto& p : payloads) {
-          store::ByteReader r(p.data(), p.size());
+                      &hs.arena, &hs.payloads)) {
+        for (const auto& p : hs.payloads) {
+          store::ByteReader r(p.data, p.len);
           auto decoded = std::make_shared<planir::Program>();
           if (!store::decode_program(r, decoded.get())) continue;
           if (!planir::verify(*decoded).empty()) continue;
@@ -522,13 +538,15 @@ std::shared_ptr<const CrossCache::Variant> CrossCache::load_variants_from_store(
     const Key& key) {
   mtype::StableId sl, sr;
   if (!stable_key(key, &sl, &sr)) return nullptr;
-  std::vector<std::vector<uint8_t>> payloads;
-  if (!store_->get({sl, sr, key.fp}, store::CacheStore::kVerdict, &payloads)) {
+  HydrationScratch& hs = hydration_scratch();
+  hs.arena.reset();
+  if (!store_->get({sl, sr, key.fp}, store::CacheStore::kVerdict, &hs.arena,
+                   &hs.payloads)) {
     return nullptr;
   }
   std::shared_ptr<const Variant> first;
-  for (const auto& p : payloads) {
-    store::ByteReader r(p.data(), p.size());
+  for (const auto& p : hs.payloads) {
+    store::ByteReader r(p.data, p.len);
     auto v = std::make_shared<Variant>();
     v->ok = r.u8() != 0;
     v->frag.root = r.u32();

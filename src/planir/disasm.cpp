@@ -27,6 +27,70 @@ void put_field(std::ostream& os, const Program& p, uint32_t fidx) {
   os << " -> i" << f.op;
 }
 
+// The block_copy span table: every BlockCopy in execution order with its
+// image range and the wire offset it lands at. Wire offsets are exact while
+// the emitted prefix is static; the first LoadOpaque makes everything after
+// it run-length dependent, shown as "dyn". This is the view the fused-copy
+// optimizer (and anyone auditing a native marshaler's memcpy plan) wants:
+// which image bytes move as raw spans, and where they end up.
+void put_span_table(std::ostream& os, const Program& p) {
+  struct Row {
+    uint32_t instr;
+    uint32_t src_off, width;
+    uint64_t wire_off;
+    bool wire_static;
+  };
+  std::vector<Row> rows;
+  uint64_t wire = 0;
+  bool wire_static = true;
+  size_t steps = 0;
+  std::vector<uint32_t> work{p.entry};
+  while (!work.empty()) {
+    if (++steps > (size_t{1} << 20) || work.back() >= p.code.size()) return;
+    const uint32_t idx = work.back();
+    const Instr& ins = p.code[idx];
+    work.pop_back();
+    switch (ins.op) {
+      case OpCode::EmitNothing: break;
+      case OpCode::LoadInt:
+      case OpCode::LoadEnum: wire += p.natives[ins.a].aux; break;
+      case OpCode::LoadReal32:
+      case OpCode::LoadChar4: wire += 4; break;
+      case OpCode::LoadReal64: wire += 8; break;
+      case OpCode::LoadChar1: wire += 1; break;
+      case OpCode::ConstBytes: wire += ins.b; break;
+      case OpCode::BlockCopy: {
+        const Program::NativeSlot& s = p.natives[ins.a];
+        rows.push_back({idx, s.src_off, s.width, wire, wire_static});
+        wire += s.width;
+        break;
+      }
+      case OpCode::NativeSeq: {
+        const Program::RecordTab& rt = p.records[ins.a];
+        for (uint32_t k = rt.fields_len; k-- > 0;) {
+          work.push_back(p.fields[rt.fields_off + k].op);
+        }
+        break;
+      }
+      case OpCode::LoadOpaque: wire_static = false; break;
+      default: return;  // not a native-marshal opcode; leave the table off
+    }
+  }
+  if (rows.empty()) return;
+  os << "  block-copy spans (" << rows.size() << "):\n";
+  for (const Row& r : rows) {
+    os << "    i" << r.instr << ": img[" << r.src_off << ".."
+       << (r.src_off + r.width) << ") -> wire@";
+    if (r.wire_static) {
+      os << r.wire_off;
+    } else {
+      os << "dyn";
+    }
+    os << " +" << r.width << "B\n";
+  }
+  if (wire_static) os << "  static wire size: " << wire << "B\n";
+}
+
 }  // namespace
 
 std::string disassemble(const Program& p) {
@@ -179,6 +243,7 @@ std::string disassemble(const Program& p) {
       os << "  fallback: " << p.fallback->code.size() << " instrs\n";
     }
   }
+  if (p.mode == Program::Mode::NativeMarshal) put_span_table(os, p);
   return os.str();
 }
 

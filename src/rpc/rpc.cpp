@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "planir/planir.hpp"
+#include "runtime/layout.hpp"
 #include "runtime/vm.hpp"
 #include "support/error.hpp"
 
@@ -505,6 +506,12 @@ struct ProxyPrograms {
   struct Entry {
     std::shared_ptr<const planir::Program> convert;
     std::shared_ptr<const planir::Program> marshal;
+    // Specialized executor over `marshal`, built once per portmap when the
+    // engine tier is above Vm (a PlanVm per delivered message re-verifies
+    // the program every time; the engine verifies and pre-decodes once).
+    // Node handlers deliver on one thread, matching the engine's
+    // single-thread contract.
+    std::shared_ptr<const runtime::ThreadedEngine> threaded;
   };
   std::map<plan::PlanRef, Entry> by_portmap;
 };
@@ -538,6 +545,15 @@ runtime::PortAdapter adapter_with_cache(Node& node, const plan::PlanGraph& plans
       entry.convert = std::make_shared<const planir::Program>(
           planir::compile(plans, msg_plan));
     }
+    if (remote && !entry.threaded &&
+        runtime::engine_tier() != runtime::EngineTier::Vm) {
+      try {
+        entry.threaded = std::make_shared<const runtime::ThreadedEngine>(
+            entry.marshal, adapter_with_cache(node, plans, left, right, cache));
+      } catch (const planir::IrError&) {
+        // Too large to specialize: the PlanVm path below still serves it.
+      }
+    }
     std::shared_ptr<const planir::Program> prog =
         remote ? entry.marshal : entry.convert;
 
@@ -547,14 +563,21 @@ runtime::PortAdapter adapter_with_cache(Node& node, const plan::PlanGraph& plans
     return node.open_port(
         &dst_graph, dst_msg,
         [&node, &plans, &left, &right, cache, src_port, src_msg, &src_graph,
-         prog = std::move(prog), remote](const Value& v) {
-          runtime::PlanVm vm(*prog,
-                             adapter_with_cache(node, plans, left, right, cache));
+         prog = std::move(prog), engine = entry.threaded,
+         remote](const Value& v) {
           if (remote) {
             std::vector<uint8_t> buf = node.buffer_pool().acquire();
-            vm.marshal_into(v, buf);
+            if (engine) {
+              engine->marshal_into(v, buf);
+            } else {
+              runtime::PlanVm vm(
+                  *prog, adapter_with_cache(node, plans, left, right, cache));
+              vm.marshal_into(v, buf);
+            }
             node.send_marshaled(src_port, std::move(buf));
           } else {
+            runtime::PlanVm vm(
+                *prog, adapter_with_cache(node, plans, left, right, cache));
             node.send(src_port, src_graph, src_msg, vm.apply(v));
           }
         });
@@ -578,18 +601,67 @@ NativeStub::NativeStub(Node& node, const plan::PlanGraph& plans,
     : node_(node),
       prog_(std::make_shared<const planir::Program>(planir::compile_native_marshal(
           plans, root, dst_graph, dst_msg, std::move(layout)))),
-      vm_(*prog_, std::move(port_adapter), std::move(custom)) {}
+      vm_(*prog_, port_adapter, custom) {
+  // Snapshot the process tier now; degrade quietly where a tier cannot
+  // serve this program (the VM member above always can).
+  runtime::EngineTier tier = runtime::engine_tier();
+  if (tier != runtime::EngineTier::Vm) {
+    try {
+      threaded_ = std::make_unique<const runtime::ThreadedEngine>(
+          prog_, std::move(port_adapter), std::move(custom));
+    } catch (const planir::IrError&) {
+      tier = runtime::EngineTier::Vm;
+    }
+  }
+  if (tier == runtime::EngineTier::Compiled) {
+    stub_ = codegen::StubCache::process().get(*prog_);
+  }
+}
+
+runtime::EngineTier NativeStub::tier() const {
+  if (stub_) return runtime::EngineTier::Compiled;
+  if (threaded_) return runtime::EngineTier::Threaded;
+  return runtime::EngineTier::Vm;
+}
 
 void NativeStub::send(uint64_t dest_port, const runtime::NativeHeap& heap,
                       uint64_t addr) {
   std::vector<uint8_t> buf = node_.buffer_pool().acquire();
-  vm_.marshal_native_into(heap, addr, buf);
+  marshal_into(heap, addr, buf);
   node_.send_marshaled(dest_port, std::move(buf));
 }
 
 std::vector<uint8_t> NativeStub::marshal(const runtime::NativeHeap& heap,
                                          uint64_t addr) const {
-  return vm_.marshal_native(heap, addr);
+  std::vector<uint8_t> out;
+  marshal_into(heap, addr, out);
+  return out;
+}
+
+void NativeStub::marshal_into(const runtime::NativeHeap& heap, uint64_t addr,
+                              std::vector<uint8_t>& out) const {
+  if (stub_) {
+    // One bounds probe covers the whole image (the verifier pins every
+    // stub access inside the layout); the stub then runs check-free.
+    uint64_t img_size = prog_->src_layout->size;
+    const uint8_t* img = img_size != 0 ? heap.at(addr, img_size) : nullptr;
+    size_t mark = out.size();
+    out.resize(mark + stub_->wire_size());
+    size_t n = stub_->fn()(img, out.data() + mark);
+    if (n != static_cast<size_t>(-1)) {
+      out.resize(mark + n);
+      return;
+    }
+    // The stub signals a marshaling fault without the message; re-run on
+    // the interpreter tier, which performs the same checks in the same
+    // order and throws the precise typed error.
+    out.resize(mark);
+  }
+  if (threaded_) {
+    threaded_->marshal_native_into(heap, addr, out);
+    return;
+  }
+  vm_.marshal_native_into(heap, addr, out);
 }
 
 }  // namespace mbird::rpc

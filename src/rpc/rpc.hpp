@@ -31,10 +31,13 @@
 #include <set>
 #include <vector>
 
+#include "codegen/stubcache.hpp"
 #include "mtype/mtype.hpp"
 #include "plan/plan.hpp"
 #include "planir/planir.hpp"
 #include "runtime/convert.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/threaded.hpp"
 #include "runtime/value.hpp"
 #include "runtime/vm.hpp"
 #include "transport/link.hpp"
@@ -257,6 +260,14 @@ struct CallOptions {
 ///
 /// All referenced objects (node, dst_graph, layout target) must outlive the
 /// stub.
+///
+/// The stub snapshots the process engine tier (runtime::engine_tier) at
+/// construction: Vm runs the switch PlanVm, Threaded the direct-threaded
+/// engine, Compiled a dlopen'd C stub from codegen::StubCache. Higher tiers
+/// degrade automatically — an ineligible program or missing toolchain drops
+/// Compiled to Threaded, and a compiled stub that hits a marshaling fault
+/// re-runs the image on the interpreter tier so the caller always sees the
+/// same typed error the VM would throw.
 class NativeStub {
  public:
   NativeStub(Node& node, const plan::PlanGraph& plans, plan::PlanRef root,
@@ -273,14 +284,21 @@ class NativeStub {
   /// Marshal without sending (tests, diagnostics).
   [[nodiscard]] std::vector<uint8_t> marshal(const runtime::NativeHeap& heap,
                                              uint64_t addr) const;
+  /// Append the marshaled bytes to `out` (the send() path; trims on throw).
+  void marshal_into(const runtime::NativeHeap& heap, uint64_t addr,
+                    std::vector<uint8_t>& out) const;
 
   /// The compiled native-marshal program (e.g. to count BlockCopy ops).
   [[nodiscard]] const planir::Program& program() const { return *prog_; }
+  /// The tier this stub actually runs (after automatic degradation).
+  [[nodiscard]] runtime::EngineTier tier() const;
 
  private:
   Node& node_;
   std::shared_ptr<const planir::Program> prog_;
   runtime::PlanVm vm_;
+  std::unique_ptr<const runtime::ThreadedEngine> threaded_;  // non-Vm tiers
+  std::shared_ptr<const codegen::CompiledStub> stub_;        // Compiled tier
 };
 
 /// A PortAdapter for runtime::Converter/PlanVm that realizes PortMap ops as

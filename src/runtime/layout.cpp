@@ -439,19 +439,25 @@ void check_image_ranges(const ImageLayout& il, const NativeHeap& heap,
                         uint64_t base) {
   // nodes is in pre-order = the CReader's read order, so the first failing
   // check here is the first the two-phase path would hit.
-  for (const ImageLayout::Node& n : il.nodes) {
-    switch (n.kind) {
-      case ImageLayout::K::UInt:
-      case ImageLayout::K::SInt:
-        if (n.has_lo || n.has_hi) {
-          check_node_range(n, read_scalar_int(n, heap, base + n.offset));
-        }
-        break;
-      case ImageLayout::K::Enum:
-        (void)enum_ordinal(il, n, heap, base + n.offset);
-        break;
-      default: break;
-    }
+  for (uint32_t i = 0; i < il.nodes.size(); ++i) {
+    check_image_range_node(il, i, heap, base);
+  }
+}
+
+void check_image_range_node(const ImageLayout& il, uint32_t node,
+                            const NativeHeap& heap, uint64_t base) {
+  const ImageLayout::Node& n = il.nodes[node];
+  switch (n.kind) {
+    case ImageLayout::K::UInt:
+    case ImageLayout::K::SInt:
+      if (n.has_lo || n.has_hi) {
+        check_node_range(n, read_scalar_int(n, heap, base + n.offset));
+      }
+      break;
+    case ImageLayout::K::Enum:
+      (void)enum_ordinal(il, n, heap, base + n.offset);
+      break;
+    default: break;
   }
 }
 

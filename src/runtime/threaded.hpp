@@ -1,0 +1,131 @@
+// The direct-threaded PlanIR execution engine (DESIGN.md §4j, tier 2 of
+// the vm → threaded → compiled progression).
+//
+// A ThreadedEngine specializes one verified marshal- or native-marshal-mode
+// program at construction time into a flat, pre-decoded op stream:
+//
+//   * static structure is flattened away — record nesting and field-path
+//     walks become ops with fused paths (no per-op work-stack traffic, no
+//     EmitField indirection), destination wire ranges are pre-resolved
+//     (no dst_graph lookups per integer), and native-marshal streams with
+//     fully static output sizes get a single exact resize with unchecked
+//     stores;
+//   * dynamic constructs (lists, choices, recursion back-edges) run on an
+//     explicit frame stack, so conversion depth stays bounded by memory,
+//     exactly like the switch VM;
+//   * each choice site gets an inline cache memoizing the last taken label
+//     path (see exec::IcRecord for the validity argument);
+//   * the native-marshal range prologue is vectorized: contiguous runs of
+//     annotated byte-wide fields are checked 16 lanes at a time (SSE2 /
+//     NEON); a failing run is re-run through the scalar path so every tier
+//     throws the same error at the same field; and
+//   * dispatch uses computed goto (GNU label values) where available; other
+//     compilers get a portable switch loop over the same op stream
+//     (computed_goto() reports which one this build uses).
+//
+// Output bytes and fault ordering are identical to PlanVm by construction
+// (shared helpers in exec_detail.hpp) and by test (the differential
+// suites). Engines carry mutable per-site caches and are therefore NOT
+// shareable across threads — each thread builds its own engine over the
+// shared verified Program.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "planir/planir.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/value.hpp"
+
+namespace mbird::runtime {
+
+class NativeHeap;
+
+/// Total wire bytes a native-marshal program emits, when every op has a
+/// static width (no LoadOpaque). The threaded engine uses it for the
+/// single-resize fast path; the compiled-stub cache for output buffer
+/// sizing. std::nullopt for dynamic programs (or non-native modes).
+[[nodiscard]] std::optional<size_t> static_native_wire_size(
+    const planir::Program& prog);
+
+class ThreadedEngine {
+ public:
+  struct Stats {
+    uint64_t runs = 0;
+    uint64_t ic_hits = 0;      // choice dispatches served from the cache
+    uint64_t ic_misses = 0;    // full trie walks (cold or invalidated)
+    uint64_t simd_blocks = 0;  // 16-lane range-check blocks executed
+    uint64_t simd_rescans = 0; // runs re-run scalar after a lane failed
+  };
+
+  /// Verifies the program (planir::require_valid) and specializes it.
+  /// Throws planir::IrError on malformed IR, convert-mode programs, or
+  /// programs too large to flatten.
+  explicit ThreadedEngine(std::shared_ptr<const planir::Program> prog,
+                          PortAdapter port_adapter = {},
+                          CustomRegistry custom = {});
+  /// Non-owning variant: `prog` must outlive the engine.
+  explicit ThreadedEngine(const planir::Program& prog,
+                          PortAdapter port_adapter = {},
+                          CustomRegistry custom = {});
+  ~ThreadedEngine();
+  ThreadedEngine(const ThreadedEngine&) = delete;
+  ThreadedEngine& operator=(const ThreadedEngine&) = delete;
+
+  /// Marshal-mode execution; same contract as PlanVm::marshal /
+  /// marshal_into (trim-on-throw included).
+  [[nodiscard]] std::vector<uint8_t> marshal(const Value& in) const;
+  void marshal_into(const Value& in, std::vector<uint8_t>& out) const;
+
+  /// Native-marshal execution; same contract as PlanVm::marshal_native /
+  /// marshal_native_into.
+  [[nodiscard]] std::vector<uint8_t> marshal_native(const NativeHeap& heap,
+                                                    uint64_t addr) const;
+  void marshal_native_into(const NativeHeap& heap, uint64_t addr,
+                           std::vector<uint8_t>& out) const;
+
+  [[nodiscard]] const planir::Program& program() const { return *prog_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] size_t op_count() const;
+  /// The static output size baked in at build time (native mode only).
+  [[nodiscard]] std::optional<size_t> static_size() const;
+  /// True when this build dispatches via computed goto.
+  [[nodiscard]] static bool computed_goto();
+
+ private:
+  struct Op;
+  struct Ic;
+  struct CheckItem;
+  struct MarshalBuild;
+
+  void build_marshal();
+  void build_native();
+  void build_native_checks();
+  void bind_labels();
+  void run_checks(const NativeHeap& heap, uint64_t base) const;
+  // With table_out set, returns the dispatch-label table instead of
+  // executing (computed-goto builds fetch label addresses this way).
+  void run_marshal_stream(const Value* in, std::vector<uint8_t>* out,
+                          const void* const** table_out) const;
+  void run_native_stream(const NativeHeap* heap, uint64_t addr,
+                         std::vector<uint8_t>* out,
+                         const void* const** table_out) const;
+
+  std::shared_ptr<const planir::Program> prog_;
+  PortAdapter adapter_;
+  CustomRegistry customs_;
+  std::vector<Op> ops_;
+  std::vector<uint32_t> path_pool_;   // fused field paths
+  std::vector<uint32_t> arm_pc_;      // global arm index -> segment pc
+  std::vector<CheckItem> checks_;     // native range prologue plan
+  std::vector<uint8_t> simd_lo_, simd_hi_;
+  std::vector<uint32_t> check_nodes_;
+  ptrdiff_t static_size_ = -1;        // native mode: exact bytes, or -1
+  bool needs_image_ = false;          // native mode: any op reads the image
+  mutable std::vector<Ic> ics_;       // per choice site
+  mutable Stats stats_;
+};
+
+}  // namespace mbird::runtime

@@ -5,6 +5,7 @@
 #include <iterator>
 
 #include "obs/metrics.hpp"
+#include "runtime/exec_detail.hpp"
 #include "runtime/layout.hpp"
 #include "support/error.hpp"
 #include "wire/wire.hpp"
@@ -53,6 +54,13 @@ struct OpTally {
   }
 };
 
+}  // namespace
+
+// The helpers below are shared with the direct-threaded engine
+// (runtime/threaded.cpp) through exec_detail.hpp: one implementation, so
+// every tier produces the same bytes and the same error messages.
+namespace exec {
+
 /// Identical to the tree interpreter's path walk (same error text — the
 /// differential suite compares messages verbatim).
 const Value& follow(const Value& v, const uint32_t* path, uint32_t len) {
@@ -75,7 +83,7 @@ const Value& follow(const Value& v, const uint32_t* path, uint32_t len) {
 /// Returns the global arm index; `*payload` is where the arm's op reads.
 uint32_t dispatch_choice(const Program& prog, const Program::ChoiceTab& ct,
                          const Value& in, const Value** payload,
-                         std::deque<Value>& chains) {
+                         std::deque<Value>& chains, IcRecord* rec) {
   const Value* cur = &in;
   const Program::TrieNode* node = &prog.trie[ct.trie_root];
   for (;;) {
@@ -85,6 +93,7 @@ uint32_t dispatch_choice(const Program& prog, const Program::ChoiceTab& ct,
     }
     if (cur->kind() == Value::Kind::List) {
       // nil = arm 0, cons = arm 1 in the canonical list encoding.
+      if (rec) rec->pure = false;
       chains.push_back(Value::chain_from_list(cur->children(), 0, 1));
       cur = &chains.back();
       continue;
@@ -94,6 +103,13 @@ uint32_t dispatch_choice(const Program& prog, const Program::ChoiceTab& ct,
     }
     if (node) {
       uint32_t label = cur->arm();
+      if (rec) {
+        if (rec->n < IcRecord::kMaxDepth) {
+          rec->labels[rec->n++] = label;
+        } else {
+          rec->pure = false;
+        }
+      }
       const Program::TrieNode& tn = *node;
       node = nullptr;
       if (label < tn.kids_len) {
@@ -295,6 +311,16 @@ Value run_convert(const Program& prog, uint32_t entry, const Value& in,
   }
   return std::move(vals.back());
 }
+
+}  // namespace exec
+
+namespace {
+
+using exec::dispatch_choice;
+using exec::find_custom;
+using exec::follow;
+using exec::list_elems;
+using exec::run_convert;
 
 void big(std::vector<uint8_t>& out, unsigned __int128 v, unsigned bytes) {
   for (unsigned i = 0; i < bytes; ++i) {

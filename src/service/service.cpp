@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "codegen/stubcache.hpp"
 #include "lower/lower.hpp"
 #include "planir/planir.hpp"
 #include "store/cachestore.hpp"
@@ -177,6 +178,9 @@ bool ServiceCore::open_cache(const std::string& path, std::string* error) {
   }
   store_ = std::move(s);
   cross_->attach_store(store_.get());
+  // Compiled marshaling stubs persist beside the plan cache, so a warm
+  // restart dlopen's them instead of re-invoking the host compiler.
+  codegen::StubCache::process().set_dir(path + ".stubs");
   return true;
 }
 

@@ -1,0 +1,92 @@
+// Bump-allocation staging for cache-store hydration.
+//
+// Hydrating a durable cache entry used to cost one heap vector per record
+// payload (CacheStore::get's vector<vector<uint8_t>> out-parameter) on a
+// path that runs thousands of times during a warm restart. BumpArena is a
+// chunked bump allocator the store reads payload bytes into instead:
+// allocation is a pointer increment, reset() retains the largest chunk, and
+// a thread-local arena reused across hydrations makes steady-state payload
+// staging malloc-free (see compare/crosscache.cpp's HydrationScratch and
+// BM_PersistentWarmRestart, which pins the win).
+//
+// The arena owns the bytes; PayloadViews into it are valid until the next
+// reset(). Not thread-safe — one arena per thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mbird::store {
+
+/// One record payload staged in a BumpArena.
+struct PayloadView {
+  const uint8_t* data = nullptr;
+  uint32_t len = 0;
+};
+
+class BumpArena {
+ public:
+  BumpArena() = default;
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Uninitialized bytes, naturally aligned for byte payloads. Never
+  /// returns nullptr (n == 0 yields a valid one-past pointer).
+  [[nodiscard]] uint8_t* alloc(size_t n) {
+    if (used_ + n > cap_) grow(n);
+    uint8_t* p = cur_ + used_;
+    used_ += n;
+    return p;
+  }
+
+  /// Invalidates every outstanding allocation. Keeps only the largest
+  /// chunk, so a warmed arena stops allocating once it has seen its peak.
+  void reset() {
+    if (chunks_.size() > 1) {
+      size_t best = 0;
+      for (size_t i = 1; i < chunks_.size(); ++i) {
+        if (chunks_[i].size > chunks_[best].size) best = i;
+      }
+      Chunk keep = std::move(chunks_[best]);
+      chunks_.clear();
+      chunks_.push_back(std::move(keep));
+    }
+    cur_ = chunks_.empty() ? nullptr : chunks_.back().data.get();
+    cap_ = chunks_.empty() ? 0 : chunks_.back().size;
+    used_ = 0;
+  }
+
+  /// Total bytes owned (all chunks), for tests and sizing decisions.
+  [[nodiscard]] size_t capacity() const {
+    size_t c = 0;
+    for (const Chunk& ch : chunks_) c += ch.size;
+    return c;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  void grow(size_t need) {
+    static constexpr size_t kMinChunk = 64 * 1024;
+    size_t size = cap_ * 2;
+    if (size < kMinChunk) size = kMinChunk;
+    if (size < need) size = need;
+    Chunk c{std::make_unique<uint8_t[]>(size), size};
+    cur_ = c.data.get();
+    cap_ = size;
+    used_ = 0;
+    chunks_.push_back(std::move(c));
+  }
+
+  std::vector<Chunk> chunks_;
+  uint8_t* cur_ = nullptr;
+  size_t cap_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace mbird::store

@@ -128,6 +128,30 @@ bool CacheStore::get(const CacheKey& key, uint8_t kind,
   return true;
 }
 
+bool CacheStore::get(const CacheKey& key, uint8_t kind, BumpArena* arena,
+                     std::vector<PayloadView>* out) {
+  std::lock_guard lock(mu_);
+  out->clear();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    std::string err;
+    for (const Span& s : it->second) {
+      if (s.kind != kind) continue;
+      uint8_t* dst = arena->alloc(s.len);
+      if (!file_.read(s.off, dst, s.len, &err)) continue;
+      out->push_back({dst, s.len});
+    }
+  }
+  if (out->empty()) {
+    ++misses_;
+    metrics().misses.add(1);
+    return false;
+  }
+  ++hits_;
+  metrics().hits.add(1);
+  return true;
+}
+
 bool CacheStore::contains(const CacheKey& key, uint8_t kind) {
   std::lock_guard lock(mu_);
   auto it = index_.find(key);

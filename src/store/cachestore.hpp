@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "mtype/canon.hpp"
+#include "store/arena.hpp"
 #include "store/pagefile.hpp"
 
 namespace mbird::store {
@@ -84,6 +85,12 @@ class CacheStore {
   /// a miss (no counter distinction between absent key and absent kind).
   [[nodiscard]] bool get(const CacheKey& key, uint8_t kind,
                          std::vector<std::vector<uint8_t>>* out);
+  /// Same lookup, but payload bytes land in `arena` (views valid until its
+  /// next reset) instead of one heap vector per record — the hydration hot
+  /// path stages through a reused per-thread arena this way. `out` is
+  /// cleared, not shrunk, so its capacity is reused too.
+  [[nodiscard]] bool get(const CacheKey& key, uint8_t kind, BumpArena* arena,
+                         std::vector<PayloadView>* out);
   /// True if at least one record exists for key+kind.
   [[nodiscard]] bool contains(const CacheKey& key, uint8_t kind);
 

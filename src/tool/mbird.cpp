@@ -20,6 +20,7 @@
 #include "obs/trace.hpp"
 #include "planir/planir.hpp"
 #include "project/project.hpp"
+#include "runtime/engine.hpp"
 #include "runtime/layout.hpp"
 #include "service/serve.hpp"
 #include "service/service.hpp"
@@ -161,7 +162,7 @@ bool load_source(Session& s, Lang lang, const std::string& path,
 
 int usage(std::ostream& err) {
   err << "usage: mbird [--trace <out.json>] [--metrics <out.json>]\n"
-         "             [--diag-format=text|json]\n"
+         "             [--diag-format=text|json] [--engine=vm|threaded|compiled]\n"
          "             [--c|--java|--idl|--classfile|--project <file>]...\n"
          "             [--script <file>] [--annotate '<stmts>']\n"
          "             <list|show|mtype|diagram|compare|plan|gen|batch|serve|stats|save> ...\n"
@@ -192,7 +193,11 @@ int usage(std::ostream& err) {
          "  --trace <out.json>         record nested spans, write Chrome\n"
          "                             trace-event JSON (chrome://tracing)\n"
          "  --metrics <out.json>       write the metrics registry snapshot\n"
-         "  --diag-format=text|json    diagnostics as text or JSON lines\n";
+         "  --diag-format=text|json    diagnostics as text or JSON lines\n"
+         "  --engine=vm|threaded|compiled\n"
+         "                             marshal execution tier: switch-loop VM,\n"
+         "                             direct-threaded engine (default), or\n"
+         "                             dlopen'd compiled stubs where eligible\n";
   return 2;
 }
 
@@ -772,6 +777,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   // Stripped before the normal input/command scan so they are valid anywhere
   // on the line (`mbird batch m.txt --jobs 4 --trace t.json` included).
   std::string trace_path, metrics_path, diag_format = "text";
+  std::string engine;
   std::vector<std::string> rest;
   rest.reserve(args.size());
   for (size_t k = 0; k < args.size(); ++k) {
@@ -801,6 +807,12 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       diag_format = *v;
     } else if (starts_with(a, "--diag-format=")) {
       diag_format = a.substr(14);
+    } else if (a == "--engine") {
+      auto v = value_of();
+      if (!v) return 2;
+      engine = *v;
+    } else if (starts_with(a, "--engine=")) {
+      engine = a.substr(9);
     } else {
       rest.push_back(a);
     }
@@ -809,6 +821,15 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     err << "mbird: --diag-format expects 'text' or 'json', got '"
         << diag_format << "'\n";
     return usage(err);
+  }
+  if (!engine.empty()) {
+    runtime::EngineTier tier;
+    if (!runtime::parse_engine_tier(engine, &tier)) {
+      err << "mbird: --engine expects 'vm', 'threaded' or 'compiled', got '"
+          << engine << "'\n";
+      return usage(err);
+    }
+    runtime::set_engine_tier(tier);
   }
   if (!trace_path.empty()) {
     obs::Tracer::global().enable();

@@ -1,6 +1,11 @@
 // Native-marshal differential suite: the layout-fused zero-copy program
 // (planir::compile_native_marshal + PlanVm::marshal_native) against the
-// three-stage oracle read_image -> Converter -> wire::encode.
+// three-stage oracle read_image -> Converter -> wire::encode — and, on the
+// same 10k randomized triples, the switch VM against the direct-threaded
+// engine (byte-identical output, verbatim-identical errors) and against the
+// dlopen'd compiled stub where the generator accepts the program (success
+// bytes identical; the stub's single failure signal must fire exactly when
+// the interpreters throw).
 //
 // Cases are randomized (layout, plan, heap image) triples: layout trees mix
 // aligned and packed placement, annotated integer ranges, enums, bools and
@@ -17,13 +22,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 
+#include "codegen/stubcache.hpp"
 #include "compare/compare.hpp"
 #include "planir/planir.hpp"
 #include "runtime/convert.hpp"
 #include "runtime/layout.hpp"
+#include "runtime/threaded.hpp"
 #include "runtime/vm.hpp"
 #include "support/rng.hpp"
 #include "wire/wire.hpp"
@@ -362,6 +370,15 @@ TEST_P(NativeMarshalDiff, FusedEqualsReadConvertEncode) {
 
   runtime::Converter oracle(c.plan);
   runtime::PlanVm vm(np);
+  runtime::ThreadedEngine threaded(np);
+  // Compiled tier: only where the generator accepts the program (no enums,
+  // no opaque fallbacks) and a host `cc` exists. Capped to the first 25
+  // seeds so the suite doesn't spend its whole budget in the C compiler.
+  static const bool have_cc = std::system("cc --version > /dev/null 2>&1") == 0;
+  std::shared_ptr<const codegen::CompiledStub> stub;
+  if (have_cc && GetParam() < 25) {
+    stub = codegen::StubCache::process().get(np);
+  }
   const ImageLayout& il = *c.layout;
 
   NativeHeap heap;
@@ -407,6 +424,35 @@ TEST_P(NativeMarshalDiff, FusedEqualsReadConvertEncode) {
       EXPECT_TRUE(ferr == uerr || fused_wire)
           << "seed " << GetParam() << "\n  fused:   " << ferr
           << "\n  unfused: " << uerr;
+    }
+
+    // Threaded tier: byte-identical output AND verbatim-identical error
+    // against the switch VM — no wire/convert asymmetry allowed between
+    // interpreter tiers.
+    std::vector<uint8_t> tout;
+    std::string terr;
+    try {
+      tout = threaded.marshal_native(heap, base);
+    } catch (const MbError& e) {
+      terr = e.what();
+    }
+    ASSERT_EQ(terr, ferr) << "seed " << GetParam() << " image " << img;
+    if (ferr.empty()) {
+      ASSERT_EQ(tout, fused) << "seed " << GetParam() << " image " << img;
+    }
+
+    // Compiled tier: identical success bytes; the stub's (size_t)-1
+    // failure signal must fire exactly when the interpreters throw.
+    if (stub != nullptr) {
+      std::vector<uint8_t> cout_buf(stub->wire_size());
+      const uint8_t* img_bytes = il.size != 0 ? heap.at(base, il.size) : nullptr;
+      size_t n = stub->fn()(img_bytes, cout_buf.data());
+      ASSERT_EQ(n == static_cast<size_t>(-1), !ferr.empty())
+          << "seed " << GetParam() << " image " << img << " vm: " << ferr;
+      if (ferr.empty()) {
+        cout_buf.resize(n);
+        ASSERT_EQ(cout_buf, fused) << "seed " << GetParam() << " image " << img;
+      }
     }
   }
 }

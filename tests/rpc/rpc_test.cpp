@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "compare/compare.hpp"
 #include "rpc/rpc.hpp"
+#include "runtime/engine.hpp"
 #include "runtime/layout.hpp"
 
 namespace mbird::rpc {
@@ -404,6 +407,54 @@ TEST(NativeStub, LocalPortDecodesAgainstRegisteredType) {
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0], Value::record({Value::integer(9), Value::integer(512),
                                    Value::real(0.25)}));
+}
+
+TEST(NativeStub, AllEngineTiersProduceIdenticalWire) {
+  // Identity marshal (every field byte-representable without conversion):
+  // eligible for all three tiers, including the dlopen'd compiled stub.
+  // Each tier's bytes must be identical and decode the same value.
+  Graph g;
+  Ref msg = g.record({g.integer(0, 255), g.integer(0, 65535), g.real(24, 8)},
+                     {"tag", "count", "ratio"});
+  auto full = compare::compare_full(g, msg, g, msg);
+  ASSERT_EQ(full.verdict, compare::Verdict::Equivalent);
+  auto layout = tagged_layout();
+
+  runtime::NativeHeap heap;
+  uint64_t base = heap.alloc(8, 4);
+  heap.write_uint(base + 0, 1, 3);
+  heap.write_uint(base + 2, 2, 777);
+  heap.write_f32(base + 4, 2.25f);
+
+  const bool cc = std::system("cc --version > /dev/null 2>&1") == 0;
+  const runtime::EngineTier before = runtime::engine_tier();
+  std::vector<uint8_t> reference;
+  for (auto tier : {runtime::EngineTier::Vm, runtime::EngineTier::Threaded,
+                    runtime::EngineTier::Compiled}) {
+    if (tier == runtime::EngineTier::Compiled && !cc) continue;
+    runtime::set_engine_tier(tier);
+    Node n(1);
+    std::vector<Value> got;
+    uint64_t p =
+        n.open_port(&g, msg, [&](const Value& v) { got.push_back(v); });
+    NativeStub stub(n, full.to_right.plan, full.to_right.root, g, msg, layout);
+    EXPECT_EQ(stub.tier(), tier)
+        << "requested " << runtime::to_string(tier) << ", got "
+        << runtime::to_string(stub.tier());
+    auto bytes = stub.marshal(heap, base);
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference)
+          << "tier " << runtime::to_string(tier) << " diverged";
+    }
+    stub.send(p, heap, base);
+    n.poll();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], Value::record({Value::integer(3), Value::integer(777),
+                                     Value::real(2.25)}));
+  }
+  runtime::set_engine_tier(before);
 }
 
 }  // namespace

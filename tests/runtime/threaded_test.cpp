@@ -1,0 +1,403 @@
+// Direct-threaded engine unit tests (DESIGN.md §4j): tier selection
+// plumbing, marshal/native-marshal parity with the switch VM on targeted
+// shapes (records, choices, lists, customs), choice inline-cache behavior
+// observable through stats(), the SIMD range prologue (block counts,
+// rescan-on-failure, fault ordering identical to the VM), static output
+// sizing, trim-on-throw, and the compiled-stub cache roundtrip.
+//
+// The 10k-triple randomized differential lives in
+// tests/property/native_marshal_test.cpp; these cases pin the mechanisms.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "codegen/stubcache.hpp"
+#include "compare/compare.hpp"
+#include "planir/planir.hpp"
+#include "runtime/convert.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/layout.hpp"
+#include "runtime/threaded.hpp"
+#include "runtime/vm.hpp"
+#include "wire/wire.hpp"
+
+namespace mbird {
+namespace {
+
+using mtype::Graph;
+using mtype::Ref;
+using planir::Program;
+using runtime::ImageLayout;
+using runtime::NativeHeap;
+using runtime::ThreadedEngine;
+using runtime::Value;
+using LK = ImageLayout::K;
+
+bool have_cc() { return std::system("cc --version > /dev/null 2>&1") == 0; }
+
+// ---- tier policy ------------------------------------------------------------
+
+TEST(EngineTier, ParsesAndPrints) {
+  runtime::EngineTier t;
+  EXPECT_TRUE(runtime::parse_engine_tier("vm", &t));
+  EXPECT_EQ(t, runtime::EngineTier::Vm);
+  EXPECT_TRUE(runtime::parse_engine_tier("threaded", &t));
+  EXPECT_EQ(t, runtime::EngineTier::Threaded);
+  EXPECT_TRUE(runtime::parse_engine_tier("compiled", &t));
+  EXPECT_EQ(t, runtime::EngineTier::Compiled);
+  EXPECT_FALSE(runtime::parse_engine_tier("jit", &t));
+  EXPECT_STREQ(runtime::to_string(runtime::EngineTier::Vm), "vm");
+  EXPECT_STREQ(runtime::to_string(runtime::EngineTier::Threaded), "threaded");
+  EXPECT_STREQ(runtime::to_string(runtime::EngineTier::Compiled), "compiled");
+}
+
+TEST(EngineTier, DefaultsToThreadedAndRoundTrips) {
+  runtime::EngineTier before = runtime::engine_tier();
+  EXPECT_EQ(before, runtime::EngineTier::Threaded);
+  runtime::set_engine_tier(runtime::EngineTier::Vm);
+  EXPECT_EQ(runtime::engine_tier(), runtime::EngineTier::Vm);
+  runtime::set_engine_tier(before);
+}
+
+// ---- marshal-mode parity ----------------------------------------------------
+
+struct Built {
+  Graph ga, gb;
+  Ref a = mtype::kNullRef, b = mtype::kNullRef;
+  plan::PlanGraph plan;
+  plan::PlanRef root = plan::kNullPlan;
+};
+
+Built pair_of(Ref (*mk)(Graph&), Ref (*mk_dst)(Graph&)) {
+  Built s;
+  s.a = mk(s.ga);
+  s.b = mk_dst(s.gb);
+  auto res = compare::compare(s.ga, s.a, s.gb, s.b, {});
+  EXPECT_TRUE(res.ok) << res.mismatch.to_string();
+  s.plan = std::move(res.plan);
+  s.root = res.root;
+  return s;
+}
+
+/// Marshal `v` through both tiers; bytes and errors must agree verbatim.
+void expect_marshal_parity(const Program& p, const Value& v) {
+  runtime::PlanVm vm(p);
+  ThreadedEngine te(p);
+  std::vector<uint8_t> vb, tb;
+  std::string verr, terr;
+  try {
+    vb = vm.marshal(v);
+  } catch (const MbError& e) {
+    verr = e.what();
+  }
+  try {
+    tb = te.marshal(v);
+  } catch (const MbError& e) {
+    terr = e.what();
+  }
+  EXPECT_EQ(terr, verr);
+  EXPECT_EQ(tb, vb);
+}
+
+TEST(ThreadedMarshal, RecordReorderMatchesVm) {
+  Built s = pair_of(
+      [](Graph& g) {
+        return g.record({g.integer(0, 100), g.character(stype::Repertoire::Latin1)},
+                        {"n", "c"});
+      },
+      [](Graph& g) {
+        return g.record({g.character(stype::Repertoire::Latin1), g.integer(0, 100)},
+                        {"c", "n"});
+      });
+  Program p = planir::compile_marshal(s.plan, s.root, s.gb, s.b);
+  planir::require_valid(p);
+  expect_marshal_parity(p, Value::record({Value::integer(42), Value::character('x')}));
+  // Out-of-range: same typed error, same text.
+  expect_marshal_parity(p, Value::record({Value::integer(101), Value::character('x')}));
+}
+
+TEST(ThreadedMarshal, ChoiceAndListMatchVm) {
+  Built s = pair_of(
+      [](Graph& g) {
+        return g.list_of(g.choice({g.integer(0, 10), g.unit(), g.real(24, 8)}));
+      },
+      [](Graph& g) {
+        return g.list_of(g.choice({g.real(24, 8), g.integer(0, 10), g.unit()}));
+      });
+  Program p = planir::compile_marshal(s.plan, s.root, s.gb, s.b);
+  planir::require_valid(p);
+  expect_marshal_parity(
+      p, Value::list({Value::choice(0, Value::integer(7)),
+                      Value::choice(1, Value::unit()),
+                      Value::choice(2, Value::real(1.5)),
+                      Value::choice(0, Value::integer(3))}));
+  expect_marshal_parity(p, Value::list({}));
+  // Non-list input: identical shape error.
+  expect_marshal_parity(p, Value::integer(9));
+}
+
+TEST(ThreadedMarshal, CustomConverterMatchesVm) {
+  Built s = pair_of([](Graph& g) { return g.integer(0, 1000); },
+                    [](Graph& g) { return g.integer(0, 1000); });
+  Program p = planir::compile_marshal(s.plan, s.root, s.gb, s.b);
+  // Force the custom path through both tiers.
+  for (auto& ins : p.code) {
+    if (ins.op == planir::OpCode::EmitInt) {
+      ins.op = planir::OpCode::EmitCustom;
+      ins.a = static_cast<uint32_t>(p.custom_names.size());
+    }
+  }
+  p.custom_names.push_back("plus_one");
+  planir::require_valid(p);
+  runtime::CustomRegistry reg;
+  reg["plus_one"] = [](const Value& v) {
+    return Value::integer(v.as_int() + 1);
+  };
+  runtime::PlanVm vm(p, {}, reg);
+  ThreadedEngine te(p, {}, reg);
+  EXPECT_EQ(te.marshal(Value::integer(41)), vm.marshal(Value::integer(41)));
+  // Unregistered converter: verbatim error parity.
+  expect_marshal_parity(p, Value::integer(1));
+}
+
+TEST(ThreadedMarshal, ChoiceInlineCacheHitsOnRepeat) {
+  Built s = pair_of(
+      [](Graph& g) {
+        return g.choice({g.integer(0, 10), g.unit(), g.real(24, 8)});
+      },
+      [](Graph& g) {
+        return g.choice({g.real(24, 8), g.integer(0, 10), g.unit()});
+      });
+  Program p = planir::compile_marshal(s.plan, s.root, s.gb, s.b);
+  planir::require_valid(p);
+  ThreadedEngine te(p);
+  Value v = Value::choice(2, Value::real(0.5));
+  auto first = te.marshal(v);
+  uint64_t misses_after_first = te.stats().ic_misses;
+  EXPECT_GE(misses_after_first, 1u);
+  EXPECT_EQ(te.stats().ic_hits, 0u);
+  auto second = te.marshal(v);
+  EXPECT_EQ(second, first);
+  EXPECT_GE(te.stats().ic_hits, 1u);
+  EXPECT_EQ(te.stats().ic_misses, misses_after_first);
+  // A different arm misses once, then hits too.
+  (void)te.marshal(Value::choice(0, Value::integer(4)));
+  EXPECT_GT(te.stats().ic_misses, misses_after_first);
+}
+
+// ---- native-marshal: SIMD prologue ------------------------------------------
+
+/// A record of `n` contiguous annotated u8 fields ([0..200]) and its
+/// identity clone — every field is lane-eligible, so n >= 16 forms SIMD
+/// blocks in the prologue.
+struct NativeCase {
+  std::shared_ptr<const ImageLayout> layout;
+  Graph ga, gb;
+  Ref a = mtype::kNullRef, b = mtype::kNullRef;
+  Program prog;
+};
+
+NativeCase annotated_bytes_case(size_t n) {
+  NativeCase c;
+  ImageLayout il;
+  il.names = {""};
+  ImageLayout::Node root;
+  root.kind = LK::Record;
+  root.kids_off = 0;
+  root.kids_len = static_cast<uint32_t>(n);
+  il.nodes.push_back(root);
+  std::vector<Ref> kids, dkids;
+  for (size_t k = 0; k < n; ++k) {
+    ImageLayout::Node f;
+    f.kind = LK::UInt;
+    f.width = 1;
+    f.offset = static_cast<uint32_t>(k);
+    f.has_lo = true;
+    f.has_hi = true;
+    f.lo = 0;
+    f.hi = 200;
+    il.kids.push_back(static_cast<uint32_t>(il.nodes.size()));
+    il.nodes.push_back(f);
+    kids.push_back(c.ga.integer(0, 200));
+    dkids.push_back(c.gb.integer(0, 200));
+  }
+  il.size = static_cast<uint32_t>(n);
+  c.layout = std::make_shared<const ImageLayout>(std::move(il));
+  c.a = c.ga.record(std::move(kids));
+  c.b = c.gb.record(std::move(dkids));
+  auto full = compare::compare_full(c.ga, c.a, c.gb, c.b);
+  EXPECT_EQ(full.verdict, compare::Verdict::Equivalent);
+  c.prog = planir::compile_native_marshal(full.to_right.plan,
+                                          full.to_right.root, c.gb, c.b,
+                                          c.layout);
+  planir::require_valid(c.prog);
+  return c;
+}
+
+TEST(ThreadedNative, SimdPrologueMatchesVmOnCleanImage) {
+  NativeCase c = annotated_bytes_case(40);
+  runtime::PlanVm vm(c.prog);
+  ThreadedEngine te(c.prog);
+  NativeHeap heap;
+  uint64_t base = heap.alloc(40, 8);
+  for (int k = 0; k < 40; ++k) {
+    heap.write_uint(base + k, 1, static_cast<uint64_t>((k * 5) % 200));
+  }
+  EXPECT_EQ(te.marshal_native(heap, base), vm.marshal_native(heap, base));
+  // 40 lane-eligible bytes = 2 full 16-lane blocks + 8 scalar tail checks.
+  EXPECT_GE(te.stats().simd_blocks, 2u);
+  EXPECT_EQ(te.stats().simd_rescans, 0u);
+  // Static output size: 40 one-byte ints, known at build time.
+  ASSERT_TRUE(te.static_size().has_value());
+  EXPECT_EQ(*te.static_size(), te.marshal_native(heap, base).size());
+}
+
+TEST(ThreadedNative, SimdFailureRescansAndMatchesVmFaultOrder) {
+  NativeCase c = annotated_bytes_case(40);
+  runtime::PlanVm vm(c.prog);
+  ThreadedEngine te(c.prog);
+  NativeHeap heap;
+  uint64_t base = heap.alloc(40, 8);
+  for (int k = 0; k < 40; ++k) heap.write_uint(base + k, 1, 100);
+
+  auto expect_same_fault = [&]() {
+    std::string verr, terr;
+    try {
+      (void)vm.marshal_native(heap, base);
+    } catch (const MbError& e) {
+      verr = e.what();
+    }
+    try {
+      (void)te.marshal_native(heap, base);
+    } catch (const MbError& e) {
+      terr = e.what();
+    }
+    ASSERT_FALSE(verr.empty());
+    EXPECT_EQ(terr, verr);
+  };
+
+  // A lane failure inside the first block: rescan must surface it with the
+  // VM's exact message.
+  heap.write_uint(base + 5, 1, 250);
+  expect_same_fault();
+  EXPECT_GE(te.stats().simd_rescans, 1u);
+
+  // Two bad fields: the first in pre-order wins in both tiers.
+  heap.write_uint(base + 20, 1, 255);
+  expect_same_fault();
+
+  // Only the tail (scalar-checked) field bad.
+  heap.write_uint(base + 5, 1, 100);
+  heap.write_uint(base + 20, 1, 100);
+  heap.write_uint(base + 38, 1, 201);
+  expect_same_fault();
+}
+
+TEST(ThreadedNative, MarshalIntoTrimsOnThrow) {
+  NativeCase c = annotated_bytes_case(20);
+  ThreadedEngine te(c.prog);
+  NativeHeap heap;
+  uint64_t base = heap.alloc(20, 8);
+  for (int k = 0; k < 20; ++k) heap.write_uint(base + k, 1, 10);
+  heap.write_uint(base + 7, 1, 250);  // out of range
+
+  std::vector<uint8_t> out = {0xaa, 0xbb, 0xcc};
+  std::vector<uint8_t> before = out;
+  EXPECT_THROW(te.marshal_native_into(heap, base, out), ConversionError);
+  EXPECT_EQ(out, before) << "failed marshal must not leave partial output";
+}
+
+TEST(ThreadedNative, RunCounterAdvances) {
+  NativeCase c = annotated_bytes_case(16);
+  ThreadedEngine te(c.prog);
+  NativeHeap heap;
+  uint64_t base = heap.alloc(16, 8);
+  for (int k = 0; k < 16; ++k) heap.write_uint(base + k, 1, 1);
+  EXPECT_EQ(te.stats().runs, 0u);
+  (void)te.marshal_native(heap, base);
+  (void)te.marshal_native(heap, base);
+  EXPECT_EQ(te.stats().runs, 2u);
+  EXPECT_GT(te.op_count(), 0u);
+  (void)ThreadedEngine::computed_goto();  // must not crash either way
+}
+
+TEST(ThreadedNative, RejectsConvertModePrograms) {
+  Built s = pair_of([](Graph& g) { return g.integer(0, 9); },
+                    [](Graph& g) { return g.integer(0, 9); });
+  Program conv = planir::compile(s.plan, s.root);
+  EXPECT_THROW(ThreadedEngine te(conv), planir::IrError);
+}
+
+// ---- compiled-stub cache ----------------------------------------------------
+
+TEST(StubCacheTest, CompilesRunsAndRehits) {
+  if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+  NativeCase c = annotated_bytes_case(24);
+  auto& cache = codegen::StubCache::process();
+  auto s0 = cache.stats();
+  auto stub = cache.get(c.prog);
+  ASSERT_NE(stub, nullptr);
+  EXPECT_EQ(stub->wire_size(),
+            *runtime::static_native_wire_size(c.prog));
+
+  NativeHeap heap;
+  uint64_t base = heap.alloc(24, 8);
+  for (int k = 0; k < 24; ++k) heap.write_uint(base + k, 1, 50 + k);
+  runtime::PlanVm vm(c.prog);
+  std::vector<uint8_t> buf(stub->wire_size());
+  size_t n = stub->fn()(heap.at(base, 24), buf.data());
+  ASSERT_NE(n, static_cast<size_t>(-1));
+  buf.resize(n);
+  EXPECT_EQ(buf, vm.marshal_native(heap, base));
+
+  // Out-of-range byte: the stub signals failure instead of emitting.
+  heap.write_uint(base + 3, 1, 201);
+  buf.assign(stub->wire_size(), 0);
+  EXPECT_EQ(stub->fn()(heap.at(base, 24), buf.data()), static_cast<size_t>(-1));
+  EXPECT_THROW((void)vm.marshal_native(heap, base), ConversionError);
+
+  // Same program again: an in-memory hit, no second compile.
+  auto again = cache.get(c.prog);
+  EXPECT_EQ(again.get(), stub.get());
+  auto s1 = cache.stats();
+  EXPECT_GE(s1.hits, s0.hits + 1);
+}
+
+TEST(StubCacheTest, RejectsEnumPrograms) {
+  // An enum field forces LoadEnum, which the C generator refuses — the
+  // cache must answer nullptr (fallback tier) rather than compile.
+  NativeCase base_case = annotated_bytes_case(4);
+  Graph ga, gb;
+  ImageLayout il;
+  il.names = {""};
+  ImageLayout::Node root;
+  root.kind = LK::Record;
+  root.kids_off = 0;
+  root.kids_len = 1;
+  il.nodes.push_back(root);
+  ImageLayout::Node e;
+  e.kind = LK::Enum;
+  e.width = 4;
+  e.offset = 0;
+  e.enum_off = 0;
+  e.enum_len = 2;
+  il.enum_pool = {10, 20};
+  il.kids.push_back(1);
+  il.nodes.push_back(e);
+  il.size = 4;
+  auto layout = std::make_shared<const ImageLayout>(std::move(il));
+  Ref a = ga.record({ga.integer(0, 1)});
+  Ref b = gb.record({gb.integer(0, 1)});
+  auto full = compare::compare_full(ga, a, gb, b);
+  ASSERT_EQ(full.verdict, compare::Verdict::Equivalent);
+  Program prog = planir::compile_native_marshal(full.to_right.plan,
+                                                full.to_right.root, gb, b,
+                                                layout);
+  planir::require_valid(prog);
+  EXPECT_EQ(codegen::StubCache::process().get(prog), nullptr);
+  EXPECT_TRUE(codegen::StubCache::key_of(prog).empty());
+}
+
+}  // namespace
+}  // namespace mbird
