@@ -34,8 +34,14 @@ struct RpcMetrics {
   obs::Counter& frames_expired = obs::counter("rpc.frames_expired");
   obs::Counter& timed_out_calls = obs::counter("rpc.timed_out_calls");
   obs::Counter& calls = obs::counter("rpc.calls");
+  obs::Counter& chunks_sent = obs::counter("rpc.chunks_sent");
+  obs::Counter& chunks_received = obs::counter("rpc.chunks_received");
+  obs::Counter& messages_chunked = obs::counter("rpc.messages_chunked");
+  obs::Counter& messages_reassembled = obs::counter("rpc.messages_reassembled");
+  obs::Counter& chunk_aborts = obs::counter("rpc.chunk_aborts");
   obs::Gauge& max_inflight = obs::gauge("rpc.max_inflight");
   obs::Gauge& max_dedup_window = obs::gauge("rpc.max_dedup_window");
+  obs::Gauge& send_queue_depth = obs::gauge("rpc.peer.send_queue_depth");
   obs::Histogram& call_ns = obs::histogram("rpc.call_ns");
 };
 RpcMetrics& rm() {
@@ -62,6 +68,7 @@ void Node::transmit(PeerState& ps, PeerState::Pending& p) {
   rm().bytes_sent.add(p.bytes.size());
   p.backoff = relopts_.initial_backoff;
   p.next_resend_tick = tick_ + p.backoff;
+  ps.resend_heap.emplace(p.next_resend_tick, p.seq);
   ps.link->send(p.bytes);
 }
 
@@ -93,7 +100,20 @@ void Node::send_marshaled(uint64_t dest_port, std::vector<uint8_t> payload) {
   send_frame(dest_port, std::move(payload));
 }
 
-void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
+void Node::note_queue_depth(const PeerState& ps) {
+  if (ps.unacked.size() > stats_.max_inflight) {
+    stats_.max_inflight = ps.unacked.size();
+    rm().max_inflight.set_max(static_cast<int64_t>(stats_.max_inflight));
+  }
+  size_t depth = ps.unacked.size() + ps.backlog.size();
+  if (depth > stats_.max_queue_depth) {
+    stats_.max_queue_depth = depth;
+    rm().send_queue_depth.set_max(static_cast<int64_t>(depth));
+  }
+}
+
+void Node::send_frame_kind(uint64_t dest_port, wire::FrameKind kind,
+                           std::vector<uint8_t> payload) {
   uint16_t dest_node = node_of(dest_port);
   auto it = peers_.find(dest_node);
   if (it == peers_.end()) {
@@ -102,14 +122,19 @@ void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
   }
   PeerState& ps = it->second;
   wire::Frame f;
-  f.kind = wire::FrameKind::Data;
+  f.kind = kind;
   f.origin_node = id_;
   f.seq = ps.next_seq++;
   f.cum_ack = ps.cum_recv;  // piggybacked ack for the reverse direction
   f.dest_port = dest_port;
   f.payload = std::move(payload);
-  stats_.frames_sent++;
-  rm().frames_sent.add();
+  if (kind == wire::FrameKind::Chunk) {
+    stats_.chunks_sent++;
+    rm().chunks_sent.add();
+  } else {
+    stats_.frames_sent++;
+    rm().frames_sent.add();
+  }
 
   PeerState::Pending p;
   p.seq = f.seq;
@@ -121,14 +146,131 @@ void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
   pool_.release(std::move(f.payload));
   if (ps.unacked.size() >= relopts_.send_window) {
     ps.backlog.push_back(std::move(p));
+    note_queue_depth(ps);
     return;
   }
   transmit(ps, p);
   ps.unacked.push_back(std::move(p));
-  if (ps.unacked.size() > stats_.max_inflight) {
-    stats_.max_inflight = ps.unacked.size();
-    rm().max_inflight.set_max(static_cast<int64_t>(stats_.max_inflight));
+  note_queue_depth(ps);
+}
+
+void Node::send_frame(uint64_t dest_port, std::vector<uint8_t> payload) {
+  if (payload.size() <= relopts_.max_frame_payload) {
+    send_frame_kind(dest_port, wire::FrameKind::Data, std::move(payload));
+    return;
   }
+  // Oversized payload: slice into CHUNK frames so no single frame buffer
+  // exceeds max_frame_payload. Each chunk frame's payload is sub-header +
+  // piece, so pieces leave room for the sub-header.
+  const size_t piece_max = relopts_.max_frame_payload > wire::kChunkHeaderSize
+                               ? relopts_.max_frame_payload - wire::kChunkHeaderSize
+                               : 1;
+  stats_.messages_chunked++;
+  rm().messages_chunked.add();
+  wire::ChunkInfo info;
+  info.msg_id = next_msg_id_++;
+  size_t off = 0;
+  while (off < payload.size()) {
+    size_t n = std::min(piece_max, payload.size() - off);
+    bool last = off + n == payload.size();
+    info.flags = last ? wire::kChunkFlagLast : 0;
+    std::vector<uint8_t> chunk = pool_.acquire();
+    wire::pack_chunk_into(info, payload.data() + off, n, chunk);
+    send_frame_kind(dest_port, wire::FrameKind::Chunk, std::move(chunk));
+    info.index++;
+    off += n;
+  }
+  pool_.release(std::move(payload));
+}
+
+void Node::send_chunked(
+    uint64_t dest_port,
+    const std::function<void(size_t max_piece,
+                             const runtime::PieceSink& emit)>& produce) {
+  const size_t piece_max = relopts_.max_frame_payload > wire::kChunkHeaderSize
+                               ? relopts_.max_frame_payload - wire::kChunkHeaderSize
+                               : 1;
+  if (is_local(dest_port)) {
+    // No wire to bound: collect the pieces and deliver like send_marshaled.
+    std::vector<uint8_t> buf = pool_.acquire();
+    produce(piece_max, [&buf](std::vector<uint8_t>&& piece, bool) {
+      buf.insert(buf.end(), piece.begin(), piece.end());
+    });
+    send_marshaled(dest_port, std::move(buf));
+    return;
+  }
+  // Fail before producing anything if there is no link to the destination.
+  if (peers_.find(node_of(dest_port)) == peers_.end()) {
+    throw TransportError("node " + std::to_string(id_) + " has no link to node " +
+                         std::to_string(node_of(dest_port)));
+  }
+  // Hold the first piece back one step: a single-piece message (and the
+  // exactly-one-chunk boundary, where the final piece is empty) degrades to
+  // a plain DATA frame instead of a one-chunk stream.
+  struct StreamState {
+    std::vector<uint8_t> held;
+    bool have_held = false;
+    bool started = false;
+    wire::ChunkInfo info;
+  } st;
+  auto flush_held_as_chunk = [&](bool last) {
+    st.info.flags = last ? wire::kChunkFlagLast : 0;
+    std::vector<uint8_t> chunk = pool_.acquire();
+    wire::pack_chunk_into(st.info, st.held.data(), st.held.size(), chunk);
+    send_frame_kind(dest_port, wire::FrameKind::Chunk, std::move(chunk));
+    st.info.index++;
+  };
+  try {
+    produce(piece_max, [&](std::vector<uint8_t>&& piece, bool last) {
+      if (!st.have_held) {
+        if (last) {
+          // Single piece: plain DATA, indistinguishable from send_marshaled.
+          send_frame_kind(dest_port, wire::FrameKind::Data, std::move(piece));
+          st.started = false;
+          st.have_held = true;  // consume: no further pieces expected
+          return;
+        }
+        st.held = std::move(piece);
+        st.have_held = true;
+        return;
+      }
+      if (!st.started) {
+        if (last && piece.empty()) {
+          // Exactly-one-chunk boundary: the held piece IS the message.
+          send_frame_kind(dest_port, wire::FrameKind::Data, std::move(st.held));
+          return;
+        }
+        st.started = true;
+        st.info.msg_id = next_msg_id_++;
+        stats_.messages_chunked++;
+        rm().messages_chunked.add();
+        flush_held_as_chunk(/*last=*/false);
+      }
+      st.held = std::move(piece);
+      flush_held_as_chunk(last);
+    });
+  } catch (...) {
+    if (st.started) {
+      // Chunks already escaped; tell the receiver to discard the stream.
+      st.info.flags = wire::kChunkFlagAbort;
+      std::vector<uint8_t> chunk = pool_.acquire();
+      wire::pack_chunk_into(st.info, nullptr, 0, chunk);
+      send_frame_kind(dest_port, wire::FrameKind::Chunk, std::move(chunk));
+    }
+    throw;
+  }
+}
+
+void Node::send_streaming(uint64_t dest_port, const Graph& g, Ref msg_type,
+                          const Value& v) {
+  if (is_local(dest_port)) {
+    send(dest_port, g, msg_type, v);
+    return;
+  }
+  send_chunked(dest_port,
+               [&](size_t max_piece, const runtime::PieceSink& emit) {
+                 wire::encode_chunked(g, msg_type, v, max_piece, emit);
+               });
 }
 
 void Node::apply_cum_ack(PeerState& ps, uint64_t cum_ack) {
@@ -144,10 +286,7 @@ void Node::apply_cum_ack(PeerState& ps, uint64_t cum_ack) {
     ps.backlog.pop_front();
     transmit(ps, p);
     ps.unacked.push_back(std::move(p));
-    if (ps.unacked.size() > stats_.max_inflight) {
-      stats_.max_inflight = ps.unacked.size();
-      rm().max_inflight.set_max(static_cast<int64_t>(stats_.max_inflight));
-    }
+    note_queue_depth(ps);
   }
 }
 
@@ -178,30 +317,44 @@ bool Node::accept_seq(PeerState& ps, uint64_t seq) {
 }
 
 void Node::retransmit_due(PeerState& ps) {
-  // A frame that spends its retries declares the channel dead for whatever
-  // is queued: keeping the rest pending could never complete (cumulative
-  // acks cannot pass the gap), so drop it all and let callers time out.
-  for (const auto& p : ps.unacked) {
-    if (p.retries_used >= relopts_.max_retries && p.next_resend_tick <= tick_) {
+  // The deadline heap makes this O(expired log n) instead of a full scan of
+  // the retransmit queue: only entries whose deadline has passed are popped.
+  // Entries go stale when a frame is acked (gone from `unacked`) or was
+  // re-scheduled (stored deadline no longer matches); stale pops are
+  // skipped. Each live Pending has exactly one matching heap entry, pushed
+  // by transmit() or by the retransmission below.
+  while (!ps.resend_heap.empty() && ps.resend_heap.top().first <= tick_) {
+    auto [due, seq] = ps.resend_heap.top();
+    ps.resend_heap.pop();
+    auto it = std::lower_bound(
+        ps.unacked.begin(), ps.unacked.end(), seq,
+        [](const PeerState::Pending& p, uint64_t s) { return p.seq < s; });
+    if (it == ps.unacked.end() || it->seq != seq || it->next_resend_tick != due) {
+      continue;  // acked or re-scheduled since this entry was pushed
+    }
+    if (it->retries_used >= relopts_.max_retries) {
+      // A frame that spends its retries declares the channel dead for
+      // whatever is queued: keeping the rest pending could never complete
+      // (cumulative acks cannot pass the gap), so drop it all and let
+      // callers time out.
       stats_.frames_expired += ps.unacked.size() + ps.backlog.size();
       rm().frames_expired.add(ps.unacked.size() + ps.backlog.size());
       for (auto& dead : ps.unacked) pool_.release(std::move(dead.bytes));
       for (auto& dead : ps.backlog) pool_.release(std::move(dead.bytes));
       ps.unacked.clear();
       ps.backlog.clear();
+      ps.resend_heap = {};
       return;
     }
-  }
-  for (auto& p : ps.unacked) {
-    if (p.next_resend_tick > tick_) continue;
-    p.retries_used++;
-    p.backoff = std::min(p.backoff * 2, relopts_.max_backoff);
-    p.next_resend_tick = tick_ + p.backoff;
+    it->retries_used++;
+    it->backoff = std::min(it->backoff * 2, relopts_.max_backoff);
+    it->next_resend_tick = tick_ + it->backoff;
+    ps.resend_heap.emplace(it->next_resend_tick, it->seq);
     stats_.retransmits++;
-    stats_.bytes_sent += p.bytes.size();
+    stats_.bytes_sent += it->bytes.size();
     rm().retransmits.add();
-    rm().bytes_sent.add(p.bytes.size());
-    ps.link->send(p.bytes);
+    rm().bytes_sent.add(it->bytes.size());
+    ps.link->send(it->bytes);
   }
 }
 
@@ -219,12 +372,10 @@ void Node::dispatch(uint64_t port_id, const Value& v) {
   handler(v);
 }
 
-size_t Node::poll() {
+size_t Node::deliver_local() {
+  // Local deliveries queued before this round (messages enqueued by the
+  // handlers run here are processed on the next round, keeping rounds fair).
   size_t processed = 0;
-  tick_++;
-
-  // Local deliveries queued before this poll (messages enqueued by the
-  // handlers run here are processed on the next poll, keeping rounds fair).
   std::vector<std::pair<uint64_t, Value>> batch;
   batch.swap(local_queue_);
   for (auto& [port_id, v] : batch) {
@@ -233,54 +384,159 @@ size_t Node::poll() {
     dispatch(port_id, v);
     ++processed;
   }
+  return processed;
+}
 
-  for (auto& [peer, ps] : peers_) {
-    (void)peer;
-    while (auto bytes = ps.link->poll()) {
-      wire::Frame f = wire::unpack_frame(*bytes);
-      // Every frame carries the peer's cumulative ack; retire covered
-      // retransmit entries whether it is DATA or an explicit ACK.
-      apply_cum_ack(ps, f.cum_ack);
-      if (f.kind == wire::FrameKind::Ack) {
-        stats_.acks_received++;
-        rm().acks_received.add();
-        continue;
-      }
-      if (!accept_seq(ps, f.seq)) {
-        stats_.duplicates_dropped++;
-        rm().duplicates_dropped.add();
-        ps.ack_due = true;  // re-ack: the ack for this frame was likely lost
-        continue;
-      }
-      ps.ack_due = true;
-      auto it = ports_.find(f.dest_port);
-      if (it == ports_.end()) {
-        stats_.unknown_port_drops++;
-        rm().unknown_port_drops.add();
-        continue;
-      }
-      Value v = wire::decode(*it->second.graph, it->second.msg_type, f.payload);
-      stats_.frames_received++;
-      rm().frames_received.add();
-      dispatch(f.dest_port, v);
-      ++processed;
+size_t Node::accept_chunk(uint16_t peer_id, PeerState& ps,
+                          const wire::Frame& frame) {
+  (void)peer_id;
+  wire::ChunkView cv = wire::parse_chunk(frame.payload);
+  stats_.chunks_received++;
+  rm().chunks_received.add();
+  if ((cv.info.flags & wire::kChunkFlagAbort) != 0) {
+    if (ps.reassembly.erase(cv.info.msg_id) != 0) {
+      stats_.chunk_aborts++;
+      rm().chunk_aborts.add();
     }
-    retransmit_due(ps);
-    if (ps.ack_due) {
-      wire::Frame ack;
-      ack.kind = wire::FrameKind::Ack;
-      ack.origin_node = id_;
-      ack.cum_ack = ps.cum_recv;
-      auto ack_bytes = wire::pack_frame(ack);
-      stats_.acks_sent++;
-      stats_.bytes_sent += ack_bytes.size();
-      rm().acks_sent.add();
-      rm().bytes_sent.add(ack_bytes.size());
-      ps.link->send(std::move(ack_bytes));
-      ps.ack_due = false;
+    return 0;
+  }
+  PeerState::Reassembly& r = ps.reassembly[cv.info.msg_id];
+  r.dest_port = frame.dest_port;
+  if (r.bytes + cv.len > relopts_.reassembly_limit) {
+    // Stream exceeded the buffering cap; discard everything collected.
+    ps.reassembly.erase(cv.info.msg_id);
+    stats_.chunk_aborts++;
+    rm().chunk_aborts.add();
+    return 0;
+  }
+  r.bytes += cv.len;
+  r.pieces.emplace(cv.info.index,
+                   std::vector<uint8_t>(cv.data, cv.data + cv.len));
+  if ((cv.info.flags & wire::kChunkFlagLast) != 0) r.total = cv.info.index + 1;
+  if (r.total == 0 || r.pieces.size() < r.total) return 0;
+
+  // Stream complete: concatenate in index order and deliver like one frame.
+  std::vector<uint8_t> whole = pool_.acquire();
+  whole.reserve(r.bytes);
+  for (auto& [idx, piece] : r.pieces) {
+    (void)idx;
+    whole.insert(whole.end(), piece.begin(), piece.end());
+  }
+  uint64_t dest_port = r.dest_port;
+  ps.reassembly.erase(cv.info.msg_id);
+  stats_.messages_reassembled++;
+  rm().messages_reassembled.add();
+  auto it = ports_.find(dest_port);
+  if (it == ports_.end()) {
+    stats_.unknown_port_drops++;
+    rm().unknown_port_drops.add();
+    pool_.release(std::move(whole));
+    return 0;
+  }
+  Value v = wire::decode(*it->second.graph, it->second.msg_type, whole);
+  pool_.release(std::move(whole));
+  stats_.frames_received++;
+  rm().frames_received.add();
+  dispatch(dest_port, v);
+  return 1;
+}
+
+size_t Node::drain_peer(uint16_t peer_id, PeerState& ps) {
+  size_t processed = 0;
+  while (auto bytes = ps.link->poll()) {
+    wire::Frame f = wire::unpack_frame(*bytes);
+    // Every frame carries the peer's cumulative ack; retire covered
+    // retransmit entries whether it is DATA or an explicit ACK.
+    apply_cum_ack(ps, f.cum_ack);
+    if (f.kind == wire::FrameKind::Ack) {
+      stats_.acks_received++;
+      rm().acks_received.add();
+      continue;
     }
+    if (!accept_seq(ps, f.seq)) {
+      stats_.duplicates_dropped++;
+      rm().duplicates_dropped.add();
+      ps.ack_due = true;  // re-ack: the ack for this frame was likely lost
+      continue;
+    }
+    ps.ack_due = true;
+    if (f.kind == wire::FrameKind::Chunk) {
+      processed += accept_chunk(peer_id, ps, f);
+      continue;
+    }
+    auto it = ports_.find(f.dest_port);
+    if (it == ports_.end()) {
+      stats_.unknown_port_drops++;
+      rm().unknown_port_drops.add();
+      continue;
+    }
+    Value v = wire::decode(*it->second.graph, it->second.msg_type, f.payload);
+    stats_.frames_received++;
+    rm().frames_received.add();
+    dispatch(f.dest_port, v);
+    ++processed;
   }
   return processed;
+}
+
+void Node::flush_ack(PeerState& ps) {
+  if (!ps.ack_due) return;
+  wire::Frame ack;
+  ack.kind = wire::FrameKind::Ack;
+  ack.origin_node = id_;
+  ack.cum_ack = ps.cum_recv;
+  auto ack_bytes = wire::pack_frame(ack);
+  stats_.acks_sent++;
+  stats_.bytes_sent += ack_bytes.size();
+  rm().acks_sent.add();
+  rm().bytes_sent.add(ack_bytes.size());
+  ps.link->send(std::move(ack_bytes));
+  ps.ack_due = false;
+}
+
+size_t Node::poll() {
+  tick_++;
+  size_t processed = deliver_local();
+  for (auto& [peer, ps] : peers_) {
+    processed += drain_peer(peer, ps);
+    retransmit_due(ps);
+    flush_ack(ps);
+  }
+  return processed;
+}
+
+size_t Node::poll_peer(uint16_t peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return 0;
+  size_t processed = drain_peer(peer, it->second);
+  flush_ack(it->second);
+  return processed;
+}
+
+size_t Node::tick() {
+  tick_++;
+  size_t processed = deliver_local();
+  for (auto& [peer, ps] : peers_) {
+    (void)peer;
+    retransmit_due(ps);
+    flush_ack(ps);
+  }
+  return processed;
+}
+
+void Node::disconnect(uint16_t peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  PeerState& ps = it->second;
+  for (auto& p : ps.unacked) pool_.release(std::move(p.bytes));
+  for (auto& p : ps.backlog) pool_.release(std::move(p.bytes));
+  peers_.erase(it);
+}
+
+size_t Node::send_queue_depth(uint16_t peer) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return 0;
+  return it->second.unacked.size() + it->second.backlog.size();
 }
 
 bool Node::has_pending() const {
@@ -629,6 +885,25 @@ void NativeStub::send(uint64_t dest_port, const runtime::NativeHeap& heap,
   std::vector<uint8_t> buf = node_.buffer_pool().acquire();
   marshal_into(heap, addr, buf);
   node_.send_marshaled(dest_port, std::move(buf));
+}
+
+void NativeStub::send_streaming(uint64_t dest_port,
+                                const runtime::NativeHeap& heap, uint64_t addr) {
+  if (node_.is_local(dest_port)) {
+    send(dest_port, heap, addr);
+    return;
+  }
+  // Compiled stubs write one contiguous output buffer, so the Compiled tier
+  // cannot stream; degrade to the threaded/vm chunked marshal (same bytes,
+  // same fault ordering).
+  node_.send_chunked(
+      dest_port, [&](size_t max_piece, const runtime::PieceSink& emit) {
+        if (threaded_) {
+          threaded_->marshal_native_chunked(heap, addr, max_piece, emit);
+        } else {
+          vm_.marshal_native_chunked(heap, addr, max_piece, emit);
+        }
+      });
 }
 
 std::vector<uint8_t> NativeStub::marshal(const runtime::NativeHeap& heap,

@@ -28,7 +28,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <queue>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "codegen/stubcache.hpp"
@@ -62,6 +64,12 @@ struct NodeStats {
   uint64_t timed_out_calls = 0;    // call_* helpers that threw CallTimeoutError
   uint64_t max_inflight = 0;       // high-water unacked DATA frames (per peer)
   uint64_t max_dedup_window = 0;   // high-water out-of-order dedup set size
+  uint64_t chunks_sent = 0;        // CHUNK frames submitted
+  uint64_t chunks_received = 0;    // fresh CHUNK frames accepted
+  uint64_t messages_chunked = 0;   // outbound messages split into chunks
+  uint64_t messages_reassembled = 0;  // inbound chunk streams completed
+  uint64_t chunk_aborts = 0;       // reassemblies discarded (sender abort/limit)
+  uint64_t max_queue_depth = 0;    // high-water unacked+backlog frames (per peer)
 };
 
 /// Tuning for the per-peer ack/retransmit machinery. Backoff is measured on
@@ -73,6 +81,13 @@ struct ReliabilityOptions {
   uint64_t max_backoff = 64;     // backoff doubles up to this many ticks
   size_t send_window = 64;       // max unacked frames per peer; excess is queued
   size_t dedup_window = 128;     // max out-of-order seqs remembered per peer
+  // Payloads above this many bytes are split into CHUNK frames (each chunk
+  // rides the normal seq/ack reliability). Bounds the per-frame wire buffer
+  // regardless of message size.
+  size_t max_frame_payload = 64 * 1024;
+  // Cap on buffered bytes per in-progress inbound chunk stream; a stream
+  // exceeding it is discarded (counted as a chunk_abort).
+  size_t reassembly_limit = 64 * 1024 * 1024;
 };
 
 class Node {
@@ -113,8 +128,29 @@ class Node {
   /// Remote destinations frame the payload directly — no intermediate Value
   /// is ever built. Local destinations decode against the port's registered
   /// type and queue the Value (an unknown local port counts an
-  /// unknown_port_drop immediately).
+  /// unknown_port_drop immediately). Payloads above max_frame_payload are
+  /// split into CHUNK frames transparently.
   void send_marshaled(uint64_t dest_port, std::vector<uint8_t> payload);
+
+  /// Streaming send: `produce(max_piece, emit)` must deliver the message's
+  /// wire bytes through `emit` honoring the PieceSink contract (every piece
+  /// except the last exactly max_piece bytes). Each piece becomes one CHUNK
+  /// frame as it arrives, so peak wire buffering is O(max_frame_payload)
+  /// regardless of message size. Single-piece messages degrade to a plain
+  /// DATA frame — the receiver cannot tell this path from send_marshaled.
+  /// If `produce` throws after pieces were emitted, an abort chunk tells the
+  /// receiver to discard the partial stream, then the exception propagates.
+  /// Local destinations buffer and decode the concatenation.
+  void send_chunked(
+      uint64_t dest_port,
+      const std::function<void(size_t max_piece,
+                               const runtime::PieceSink& emit)>& produce);
+
+  /// Send `v` via the chunked streaming encoder (wire::encode_chunked):
+  /// semantically identical to send(), but multi-MB values never stage a
+  /// full contiguous wire buffer on the send side.
+  void send_streaming(uint64_t dest_port, const mtype::Graph& g,
+                      mtype::Ref msg_type, const Value& v);
 
   /// Deliver pending local messages, drain link frames, retransmit unacked
   /// frames whose backoff expired, and emit acks. Advances the logical
@@ -122,9 +158,32 @@ class Node {
   /// (reliability traffic — acks, retransmits — is not counted).
   size_t poll();
 
+  /// Reactor-oriented slice of poll(): drain frames from ONE peer's link and
+  /// deliver them, without advancing the logical clock or touching other
+  /// peers. Returns messages delivered. No-op for unknown peers.
+  size_t poll_peer(uint16_t peer);
+
+  /// Reactor-oriented slice of poll(): advance the logical clock one tick,
+  /// deliver queued local messages, run retransmit backoff for every peer,
+  /// and flush due acks. Returns local messages delivered.
+  size_t tick();
+
+  /// Drop the channel toward `peer`: its link, retransmit queue, and
+  /// reassembly state. Unacked frames are released (not counted as
+  /// expired). Safe for unknown peers.
+  void disconnect(uint16_t peer);
+
   /// True while any peer channel holds unacked or window-queued frames:
   /// the node is not quiescent even if a poll delivers nothing.
   [[nodiscard]] bool has_pending() const;
+
+  /// Outbound frames held for `peer` (unacked + window backlog): the
+  /// per-peer send-queue depth the reactor's backpressure watches.
+  [[nodiscard]] size_t send_queue_depth(uint16_t peer) const;
+
+  [[nodiscard]] const ReliabilityOptions& reliability() const {
+    return relopts_;
+  }
 
   /// Total out-of-order dedup entries across peers (bounded by
   /// dedup_window per peer; exposed for the memory regression tests).
@@ -166,28 +225,65 @@ class Node {
     };
     std::deque<Pending> unacked;
     std::deque<Pending> backlog;
+    // Deadline index over `unacked`: min-heap of (next_resend_tick, seq)
+    // with lazy deletion, so the per-tick retransmit scan touches only due
+    // entries instead of walking the whole queue. Entries go stale when a
+    // frame is acked or re-scheduled; pops cross-check against the live
+    // Pending before acting.
+    std::priority_queue<std::pair<uint64_t, uint64_t>,
+                        std::vector<std::pair<uint64_t, uint64_t>>,
+                        std::greater<>>
+        resend_heap;
     // Inbound: highest contiguous seq delivered plus the bounded
     // out-of-order window of delivered seqs above it.
     uint64_t cum_recv = 0;
     std::set<uint64_t> ooo;
     bool ack_due = false;
+    // In-progress inbound chunk streams, keyed by sender msg_id. Pieces are
+    // stored by index (chunks may arrive out of order within the dedup
+    // window); `total` is learned from the Last-flagged chunk.
+    struct Reassembly {
+      uint64_t dest_port = 0;
+      std::map<uint32_t, std::vector<uint8_t>> pieces;
+      size_t bytes = 0;
+      uint32_t total = 0;  // piece count once known, else 0
+    };
+    std::map<uint32_t, Reassembly> reassembly;
   };
 
   void dispatch(uint64_t port_id, const Value& v);
   /// Frame `payload` as DATA toward a remote port and hand it to the
   /// reliability machinery (shared tail of send / send_marshaled).
+  /// Oversized payloads are split into CHUNK frames.
   void send_frame(uint64_t dest_port, std::vector<uint8_t> payload);
+  /// Frame one payload as `kind` toward a remote port (the common tail of
+  /// DATA and CHUNK sends).
+  void send_frame_kind(uint64_t dest_port, wire::FrameKind kind,
+                       std::vector<uint8_t> payload);
   void transmit(PeerState& ps, PeerState::Pending& p);
   void apply_cum_ack(PeerState& ps, uint64_t cum_ack);
-  /// Dedup + window bookkeeping for an arriving DATA seq. Returns false if
-  /// the frame is a duplicate.
+  /// Dedup + window bookkeeping for an arriving DATA/CHUNK seq. Returns
+  /// false if the frame is a duplicate.
   bool accept_seq(PeerState& ps, uint64_t seq);
   void retransmit_due(PeerState& ps);
+  /// Drain and deliver everything `ps`'s link has to offer (shared by
+  /// poll() and poll_peer()). Returns messages delivered.
+  size_t drain_peer(uint16_t peer_id, PeerState& ps);
+  /// Deliver the local-queue batch staged before this round.
+  size_t deliver_local();
+  /// Emit an explicit ACK frame if one is due for `ps`.
+  void flush_ack(PeerState& ps);
+  /// Route an accepted CHUNK frame into `ps.reassembly`; dispatches the
+  /// message when its stream completes. Returns deliveries (0 or 1).
+  size_t accept_chunk(uint16_t peer_id, PeerState& ps,
+                      const wire::Frame& frame);
+  void note_queue_depth(const PeerState& ps);
 
   uint16_t id_;
   ReliabilityOptions relopts_;
   wire::BufferPool pool_;
   uint64_t next_port_ = 1;
+  uint32_t next_msg_id_ = 1;  // chunk-stream ids (per node, all peers)
   uint64_t tick_ = 0;  // logical clock: one tick per poll()
   std::map<uint64_t, Port> ports_;
   std::map<uint16_t, PeerState> peers_;
@@ -280,6 +376,14 @@ class NativeStub {
   /// `dest_port` (local ports decode against the port's registered type,
   /// remote ports frame the payload directly).
   void send(uint64_t dest_port, const runtime::NativeHeap& heap, uint64_t addr);
+
+  /// Streaming variant of send(): marshal through the chunked engine path
+  /// so remote sends of multi-MB images emit bounded CHUNK frames instead
+  /// of staging one contiguous payload. The Compiled tier (contiguous
+  /// dlopen'd stubs) degrades to the threaded/vm chunked marshal here;
+  /// local destinations fall back to the plain path.
+  void send_streaming(uint64_t dest_port, const runtime::NativeHeap& heap,
+                      uint64_t addr);
 
   /// Marshal without sending (tests, diagnostics).
   [[nodiscard]] std::vector<uint8_t> marshal(const runtime::NativeHeap& heap,

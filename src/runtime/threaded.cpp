@@ -104,15 +104,22 @@ struct OutBuf {
   std::vector<uint8_t>& v;
   size_t w;
   size_t mark;
+  // Chunked mode: drain exactly-max pieces out instead of growing, so the
+  // resident buffer stays bounded by ~two pieces. Only ever set together
+  // with a fresh local buffer (mark == 0).
+  exec::StreamCtl* stream = nullptr;
   explicit OutBuf(std::vector<uint8_t>& out)
       : v(out), w(out.size()), mark(out.size()) {}
   uint8_t* need(size_t n) {
     if (v.size() - w < n) {
-      // Grow in proportion to this run's output, not the caller's total
-      // buffer: a reused append buffer must not pay a zero-fill of its
-      // accumulated contents on every marshal.
-      size_t run = w - mark;
-      v.resize(std::max(w + run / 2 + 16, w + n));
+      if (stream != nullptr) w = stream->drain(v, w);
+      if (v.size() - w < n) {
+        // Grow in proportion to this run's output, not the caller's total
+        // buffer: a reused append buffer must not pay a zero-fill of its
+        // accumulated contents on every marshal.
+        size_t run = w - mark;
+        v.resize(std::max(w + run / 2 + 16, w + n));
+      }
     }
     return v.data() + w;
   }
@@ -128,6 +135,16 @@ struct OutBuf {
     ++w;
   }
   void raw(const uint8_t* src, size_t n) {
+    // Slice big spans in chunked mode so one block copy cannot balloon the
+    // resident buffer past the piece bound.
+    if (stream != nullptr) {
+      while (n > stream->max) {
+        std::memcpy(need(stream->max), src, stream->max);
+        w += stream->max;
+        src += stream->max;
+        n -= stream->max;
+      }
+    }
     std::memcpy(need(n), src, n);
     w += n;
   }
@@ -633,7 +650,8 @@ void ThreadedEngine::run_checks(const NativeHeap& heap, uint64_t base) const {
 #endif
 
 void ThreadedEngine::run_marshal_stream(const Value* in, std::vector<uint8_t>* out_p,
-                                        const void* const** table_out) const {
+                                        const void* const** table_out,
+                                        exec::StreamCtl* stream) const {
 #if MBIRD_THREADED_GOTO
   static const void* const table[kTOpCount] = {
       &&L_Halt,    &&L_MUnit,   &&L_MInt,     &&L_MReal32, &&L_MReal64,
@@ -657,6 +675,7 @@ void ThreadedEngine::run_marshal_stream(const Value* in, std::vector<uint8_t>* o
   const Op* ops = ops_.data();
   const uint32_t* paths = path_pool_.data();
   OutBuf o(*out_p);
+  o.stream = stream;
   struct Frame {
     uint32_t ret_pc;
     uint32_t seg_pc;
@@ -840,7 +859,8 @@ void ThreadedEngine::run_marshal_stream(const Value* in, std::vector<uint8_t>* o
 
 void ThreadedEngine::run_native_stream(const NativeHeap* heap, uint64_t base,
                                        std::vector<uint8_t>* out_p,
-                                       const void* const** table_out) const {
+                                       const void* const** table_out,
+                                       exec::StreamCtl* stream) const {
 #if MBIRD_THREADED_GOTO
   static const void* const table[kTOpCount] = {
       &&L_Halt,
@@ -867,7 +887,10 @@ void ThreadedEngine::run_native_stream(const NativeHeap* heap, uint64_t base,
   const uint8_t* img = needs_image_ ? heap->at(base, il.size) : nullptr;
   const Op* ops = ops_.data();
   OutBuf o(*out_p);
-  if (static_size_ >= 0) {
+  o.stream = stream;
+  // The single-exact-resize fast path would stage the whole message; in
+  // chunked mode the buffer must stay bounded, so take the draining path.
+  if (static_size_ >= 0 && stream == nullptr) {
     out_p->resize(o.w + static_cast<size_t>(static_size_));
   }
   uint32_t pc = 0;
@@ -1078,6 +1101,44 @@ void ThreadedEngine::marshal_native_into(const NativeHeap& heap, uint64_t addr,
     out.resize(mark);
     throw;
   }
+}
+
+void ThreadedEngine::marshal_chunked(const Value& in, size_t max_piece,
+                                     const PieceSink& emit) const {
+  if (prog_->mode != Program::Mode::Marshal) {
+    throw IrError(IrFault::ModeMismatch, "marshal() needs a marshal program");
+  }
+  if (max_piece == 0) {
+    throw IrError(IrFault::BadEntry, "piece size must be positive");
+  }
+  obs::ScopedTimer timer(te_metrics().marshal_ns);
+  if (obs::metrics_on()) te_metrics().marshals.add();
+  ++stats_.runs;
+  std::vector<uint8_t> buf;
+  exec::StreamCtl ctl{max_piece, &emit};
+  run_marshal_stream(&in, &buf, nullptr, &ctl);
+  buf.resize(ctl.drain(buf, buf.size()));
+  emit(std::move(buf), true);
+}
+
+void ThreadedEngine::marshal_native_chunked(const NativeHeap& heap,
+                                            uint64_t addr, size_t max_piece,
+                                            const PieceSink& emit) const {
+  if (prog_->mode != Program::Mode::NativeMarshal) {
+    throw IrError(IrFault::ModeMismatch,
+                  "marshal_native() needs a native-marshal program");
+  }
+  if (max_piece == 0) {
+    throw IrError(IrFault::BadEntry, "piece size must be positive");
+  }
+  obs::ScopedTimer timer(te_metrics().marshal_native_ns);
+  if (obs::metrics_on()) te_metrics().marshals_native.add();
+  ++stats_.runs;
+  std::vector<uint8_t> buf;
+  exec::StreamCtl ctl{max_piece, &emit};
+  run_native_stream(&heap, addr, &buf, nullptr, &ctl);
+  buf.resize(ctl.drain(buf, buf.size()));
+  emit(std::move(buf), true);
 }
 
 size_t ThreadedEngine::op_count() const { return ops_.size(); }

@@ -43,6 +43,10 @@ namespace mbird::runtime {
 
 class NativeHeap;
 
+namespace exec {
+struct StreamCtl;
+}
+
 /// Total wire bytes a native-marshal program emits, when every op has a
 /// static width (no LoadOpaque). The threaded engine uses it for the
 /// single-resize fast path; the compiled-stub cache for output buffer
@@ -86,6 +90,15 @@ class ThreadedEngine {
   void marshal_native_into(const NativeHeap& heap, uint64_t addr,
                            std::vector<uint8_t>& out) const;
 
+  /// Chunked (streaming) marshal; same contract as PlanVm::marshal_chunked:
+  /// bounded pieces through `emit`, concatenation byte-identical to
+  /// marshal(), O(max_piece) resident buffering (the static-size exact
+  /// resize fast path is bypassed in this mode).
+  void marshal_chunked(const Value& in, size_t max_piece,
+                       const PieceSink& emit) const;
+  void marshal_native_chunked(const NativeHeap& heap, uint64_t addr,
+                              size_t max_piece, const PieceSink& emit) const;
+
   [[nodiscard]] const planir::Program& program() const { return *prog_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] size_t op_count() const;
@@ -108,10 +121,12 @@ class ThreadedEngine {
   // With table_out set, returns the dispatch-label table instead of
   // executing (computed-goto builds fetch label addresses this way).
   void run_marshal_stream(const Value* in, std::vector<uint8_t>* out,
-                          const void* const** table_out) const;
+                          const void* const** table_out,
+                          exec::StreamCtl* stream = nullptr) const;
   void run_native_stream(const NativeHeap* heap, uint64_t addr,
                          std::vector<uint8_t>* out,
-                         const void* const** table_out) const;
+                         const void* const** table_out,
+                         exec::StreamCtl* stream = nullptr) const;
 
   std::shared_ptr<const planir::Program> prog_;
   PortAdapter adapter_;

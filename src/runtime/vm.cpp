@@ -312,9 +312,44 @@ Value run_convert(const Program& prog, uint32_t entry, const Value& in,
   return std::move(vals.back());
 }
 
+size_t StreamCtl::drain(std::vector<uint8_t>& buf, size_t len) const {
+  size_t pos = 0;
+  while (len - pos >= max) {
+    (*emit)(std::vector<uint8_t>(buf.begin() + static_cast<long>(pos),
+                                 buf.begin() + static_cast<long>(pos + max)),
+            false);
+    pos += max;
+  }
+  if (pos != 0) {
+    std::memmove(buf.data(), buf.data() + pos, len - pos);
+    len -= pos;
+  }
+  return len;
+}
+
 }  // namespace exec
 
 namespace {
+
+using exec::StreamCtl;
+
+/// Chunk-aware append: in streaming mode big spans are copied in at most
+/// max-size slices with a drain between each, so the resident buffer never
+/// holds more than one piece plus one slice.
+void append_bytes(std::vector<uint8_t>& out, const uint8_t* src, size_t n,
+                  StreamCtl* ctl) {
+  if (ctl == nullptr) {
+    out.insert(out.end(), src, src + n);
+    return;
+  }
+  while (n != 0) {
+    size_t take = n < ctl->max ? n : ctl->max;
+    out.insert(out.end(), src, src + take);
+    src += take;
+    n -= take;
+    if (out.size() >= ctl->max) out.resize(ctl->drain(out, out.size()));
+  }
+}
 
 using exec::dispatch_choice;
 using exec::find_custom;
@@ -330,7 +365,7 @@ void big(std::vector<uint8_t>& out, unsigned __int128 v, unsigned bytes) {
 
 void run_marshal(const Program& prog, const Value& in,
                  const PortAdapter& adapter, const CustomRegistry& customs,
-                 std::vector<uint8_t>& out) {
+                 std::vector<uint8_t>& out, StreamCtl* ctl = nullptr) {
   struct Work {
     enum class K : uint8_t { Emit, EmitField };
     K k;
@@ -431,7 +466,7 @@ void run_marshal(const Program& prog, const Value& in,
       case OpCode::EmitCustom: {
         Value conv = find_custom(customs, prog.custom_names[ins.a])(v);
         auto bytes = wire::encode(*prog.dst_graph, prog.dst_types[ins.b], conv);
-        out.insert(out.end(), bytes.begin(), bytes.end());
+        append_bytes(out, bytes.data(), bytes.size(), ctl);
         break;
       }
       case OpCode::EmitOpaque: {
@@ -439,12 +474,15 @@ void run_marshal(const Program& prog, const Value& in,
         // convert program, then let wire::encode produce the bytes.
         Value conv = run_convert(*prog.fallback, ins.a, v, adapter, customs);
         auto bytes = wire::encode(*prog.dst_graph, prog.dst_types[ins.b], conv);
-        out.insert(out.end(), bytes.begin(), bytes.end());
+        append_bytes(out, bytes.data(), bytes.size(), ctl);
         break;
       }
       default:
         throw IrError(IrFault::BadOpcode,
                       std::string("marshal VM hit ") + to_string(ins.op));
+    }
+    if (ctl != nullptr && out.size() >= ctl->max) {
+      out.resize(ctl->drain(out, out.size()));
     }
   }
 }
@@ -456,7 +494,7 @@ void run_marshal(const Program& prog, const Value& in,
 /// need their own plan/wire checks and enum ordinal lookups cannot fail.
 void run_native(const Program& prog, const NativeHeap& heap, uint64_t base,
                 const PortAdapter& adapter, const CustomRegistry& customs,
-                std::vector<uint8_t>& out) {
+                std::vector<uint8_t>& out, StreamCtl* ctl = nullptr) {
   const ImageLayout& il = *prog.src_layout;
   check_image_ranges(il, heap, base);
   std::vector<uint32_t> work{prog.entry};
@@ -548,13 +586,12 @@ void run_native(const Program& prog, const NativeHeap& heap, uint64_t base,
       case OpCode::BlockCopy: {
         const Program::NativeSlot& s = prog.natives[ins.a];
         const uint8_t* src = heap.at(base + s.src_off, s.width);
-        out.insert(out.end(), src, src + s.width);
+        append_bytes(out, src, s.width, ctl);
         tally.block_bytes += s.width;
         break;
       }
       case OpCode::ConstBytes:
-        out.insert(out.end(), prog.byte_pool.begin() + ins.a,
-                   prog.byte_pool.begin() + ins.a + ins.b);
+        append_bytes(out, prog.byte_pool.data() + ins.a, ins.b, ctl);
         break;
       case OpCode::NativeSeq: {
         const Program::RecordTab& rt = prog.records[ins.a];
@@ -570,12 +607,15 @@ void run_native(const Program& prog, const NativeHeap& heap, uint64_t base,
         Value v = read_image(il, s.layout_node, heap, base);
         Value conv = run_convert(*prog.fallback, s.aux, v, adapter, customs);
         auto bytes = wire::encode(*prog.dst_graph, prog.dst_types[ins.b], conv);
-        out.insert(out.end(), bytes.begin(), bytes.end());
+        append_bytes(out, bytes.data(), bytes.size(), ctl);
         break;
       }
       default:
         throw IrError(IrFault::BadOpcode,
                       std::string("native VM hit ") + to_string(ins.op));
+    }
+    if (ctl != nullptr && out.size() >= ctl->max) {
+      out.resize(ctl->drain(out, out.size()));
     }
   }
 }
@@ -646,6 +686,36 @@ void PlanVm::marshal_native_into(const NativeHeap& heap, uint64_t addr,
     out.resize(mark);
     throw;
   }
+}
+
+void PlanVm::marshal_chunked(const Value& in, size_t max_piece,
+                             const PieceSink& emit) const {
+  if (prog_.mode != Program::Mode::Marshal) {
+    throw IrError(IrFault::ModeMismatch, "marshal() needs a marshal program");
+  }
+  if (max_piece == 0) throw IrError(IrFault::BadEntry, "piece size must be positive");
+  obs::ScopedTimer timer(vm_metrics().marshal_ns);
+  if (obs::metrics_on()) vm_metrics().marshals.add();
+  std::vector<uint8_t> buf;
+  StreamCtl ctl{max_piece, &emit};
+  run_marshal(prog_, in, port_adapter_, custom_, buf, &ctl);
+  emit(std::move(buf), true);
+}
+
+void PlanVm::marshal_native_chunked(const NativeHeap& heap, uint64_t addr,
+                                    size_t max_piece,
+                                    const PieceSink& emit) const {
+  if (prog_.mode != Program::Mode::NativeMarshal) {
+    throw IrError(IrFault::ModeMismatch,
+                  "marshal_native() needs a native-marshal program");
+  }
+  if (max_piece == 0) throw IrError(IrFault::BadEntry, "piece size must be positive");
+  obs::ScopedTimer timer(vm_metrics().marshal_native_ns);
+  if (obs::metrics_on()) vm_metrics().marshals_native.add();
+  std::vector<uint8_t> buf;
+  StreamCtl ctl{max_piece, &emit};
+  run_native(prog_, heap, addr, port_adapter_, custom_, buf, &ctl);
+  emit(std::move(buf), true);
 }
 
 }  // namespace mbird::runtime

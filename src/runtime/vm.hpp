@@ -60,6 +60,19 @@ class PlanVm {
   void marshal_native_into(const NativeHeap& heap, uint64_t addr,
                            std::vector<uint8_t>& out) const;
 
+  /// Chunked (streaming) marshal: deliver the wire bytes as bounded pieces
+  /// through `emit` (see PieceSink for the piece-size/last contract) with
+  /// O(max_piece) resident buffering instead of staging the full message.
+  /// The concatenated pieces are byte-identical to marshal(). If marshaling
+  /// throws after pieces were emitted, no final piece arrives — the caller
+  /// aborts its stream.
+  void marshal_chunked(const Value& in, size_t max_piece,
+                       const PieceSink& emit) const;
+
+  /// Chunked native-marshal (same contract as marshal_chunked).
+  void marshal_native_chunked(const NativeHeap& heap, uint64_t addr,
+                              size_t max_piece, const PieceSink& emit) const;
+
  private:
   const planir::Program& prog_;
   PortAdapter port_adapter_;

@@ -1,6 +1,8 @@
 #include "service/serve.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <istream>
 #include <optional>
@@ -11,6 +13,7 @@
 #include "lower/lower.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rpc/reactor.hpp"
 #include "rpc/rpc.hpp"
 #include "service/service.hpp"
 #include "store/cachestore.hpp"
@@ -39,18 +42,10 @@ struct CompileReply {
   long long program_ops;
   string error;
 };
+struct EchoBlob {
+  string payload;
+};
 )";
-
-std::string string_of(const Value& v) {
-  std::string s;
-  if (auto lst = v.as_list()) {
-    s.reserve(lst->size());
-    for (const auto& c : *lst) {
-      s.push_back(static_cast<char>(c.as_char()));
-    }
-  }
-  return s;
-}
 
 void json_escape(std::ostream& os, const std::string& s) {
   for (char c : s) {
@@ -72,7 +67,64 @@ void json_escape(std::ostream& os, const std::string& s) {
   }
 }
 
+/// The compile handler both serve modes register: decode the request pair,
+/// run it through the service core, encode the reply record.
+std::function<Value(const Value&)> compile_handler(ServiceCore& core) {
+  return [&core](const Value& args) -> Value {
+    obs::Span span("serve.compile");
+    const std::string left = string_of(args.at(0));
+    const std::string right = string_of(args.at(1));
+    PairOutcome o;
+    std::string perr;
+    const bool ok = core.compile_spec(left, right, &o, &perr);
+    if (span.recording()) {
+      span.note("left", left);
+      span.note("right", right);
+      span.note(ok ? "verdict" : "error",
+                ok ? compare::to_string(o.verdict) : perr);
+    }
+    return Value::record({Value::integer(static_cast<int64_t>(o.verdict)),
+                          Value::integer(static_cast<int64_t>(o.steps)),
+                          Value::integer(o.memo_hit ? 1 : 0),
+                          Value::integer(o.program_cached ? 1 : 0),
+                          Value::integer(static_cast<int64_t>(o.program_ops)),
+                          Value::string(ok ? "" : perr)});
+  };
+}
+
+std::atomic<bool> g_serve_stop{false};
+void serve_stop_signal(int) { g_serve_stop.store(true); }
+
 }  // namespace
+
+std::string string_of(const Value& v) {
+  std::string s;
+  if (auto lst = v.as_list()) {
+    s.reserve(lst->size());
+    for (const auto& c : *lst) {
+      s.push_back(static_cast<char>(c.as_char()));
+    }
+  }
+  return s;
+}
+
+ServeProtocol::ServeProtocol() {
+  DiagnosticEngine pdiags;
+  stype::Module proto = idl::parse_idl(kProtocolIdl, "<serve-protocol>", pdiags);
+  request = lower::lower_decl(proto, g, "CompileRequest", pdiags);
+  reply = lower::lower_decl(proto, g, "CompileReply", pdiags);
+  if (request == mtype::kNullRef || reply == mtype::kNullRef ||
+      pdiags.has_errors()) {
+    throw MbError("serve protocol bootstrap failed");  // unreachable
+  }
+  // The paper's function model: invocation = Record(Inputs, port(Outputs)).
+  invocation = g.record({request, g.port(reply)}, {"args", "reply"});
+  mtype::Ref blob = lower::lower_decl(proto, g, "EchoBlob", pdiags);
+  if (blob == mtype::kNullRef || pdiags.has_errors()) {
+    throw MbError("serve protocol bootstrap failed");  // unreachable
+  }
+  echo_invocation = g.record({blob, g.port(blob)}, {"args", "reply"});
+}
 
 int run_serve(std::vector<stype::Module>& modules, std::istream& requests,
               const std::string& requests_name, DiagnosticEngine& diags,
@@ -92,48 +144,20 @@ int run_serve(std::vector<stype::Module>& modules, std::istream& requests,
   }
 
   // ---- protocol bootstrap --------------------------------------------------
-  DiagnosticEngine pdiags;
-  stype::Module proto = idl::parse_idl(kProtocolIdl, "<serve-protocol>",
-                                       pdiags);
-  mtype::Graph gs;
-  mtype::Ref rq = lower::lower_decl(proto, gs, "CompileRequest", pdiags);
-  mtype::Ref rp = lower::lower_decl(proto, gs, "CompileReply", pdiags);
-  if (rq == mtype::kNullRef || rp == mtype::kNullRef || pdiags.has_errors()) {
-    err << "mbird: serve protocol bootstrap failed\n";  // unreachable
-    return 1;
-  }
-  // The paper's function model: invocation = Record(Inputs, port(Outputs)).
-  mtype::Ref invocation = gs.record({rq, gs.port(rp)}, {"args", "reply"});
+  ServeProtocol proto;
+  const mtype::Graph& gs = proto.g;
+  mtype::Ref invocation = proto.invocation;
 
   // One process, two nodes, a real socketpair between them: every request
-  // round-trips through wire marshaling and the reliability sublayer.
-  rpc::Node client(1), server(2);
+  // round-trips through wire marshaling, framing, and the reliability
+  // sublayer.
+  rpc::Node client(2), server(kServeNodeId);
   auto [lc, ls] = transport::make_socket_pair();
-  client.connect(2, std::move(lc));
-  server.connect(1, std::move(ls));
+  client.connect(kServeNodeId, std::move(lc));
+  server.connect(2, std::move(ls));
 
-  uint64_t fn = rpc::serve_function(
-      server, gs, invocation, [&](const Value& args) -> Value {
-        obs::Span span("serve.compile");
-        const std::string left = string_of(args.at(0));
-        const std::string right = string_of(args.at(1));
-        PairOutcome o;
-        std::string perr;
-        const bool ok = core.compile_spec(left, right, &o, &perr);
-        if (span.recording()) {
-          span.note("left", left);
-          span.note("right", right);
-          span.note(ok ? "verdict" : "error",
-                    ok ? compare::to_string(o.verdict) : perr);
-        }
-        return Value::record(
-            {Value::integer(static_cast<int64_t>(o.verdict)),
-             Value::integer(static_cast<int64_t>(o.steps)),
-             Value::integer(o.memo_hit ? 1 : 0),
-             Value::integer(o.program_cached ? 1 : 0),
-             Value::integer(static_cast<int64_t>(o.program_ops)),
-             Value::string(ok ? "" : perr)});
-      });
+  uint64_t fn = rpc::serve_function(server, gs, invocation,
+                                    compile_handler(core));
 
   // ---- request loop --------------------------------------------------------
   auto& req_counter = obs::counter("serve.requests");
@@ -237,6 +261,94 @@ int run_serve(std::vector<stype::Module>& modules, std::istream& requests,
         << ", \"appends\": " << sst.appends << "}";
   }
   out << "}\n";
+  return rc;
+}
+
+int run_serve_listen(std::vector<stype::Module>& modules,
+                     const std::string& addr, DiagnosticEngine& diags,
+                     const ServeListenOptions& options, std::ostream& out,
+                     std::ostream& err) {
+  obs::set_metrics_on(true);
+
+  ServiceCore core(modules, diags);
+  if (!options.cache_path.empty()) {
+    std::string serr;
+    if (!core.open_cache(options.cache_path, &serr)) {
+      err << "mbird: cannot open cache " << options.cache_path << ": " << serr
+          << '\n';
+      return 1;
+    }
+  }
+
+  ServeProtocol proto;
+  // The reactor advances the node's logical clock about once per
+  // millisecond of wall time, so the socketpair-tuned backoff defaults
+  // (first retransmit after 2 ticks) would re-send replies before a remote
+  // client across real sockets can possibly ack. Stretch them.
+  rpc::ReliabilityOptions relopts;
+  relopts.initial_backoff = 8;
+  relopts.max_backoff = 256;
+  rpc::Node server(kServeNodeId, relopts);
+  rpc::Reactor reactor(server);
+  try {
+    reactor.listen(addr);
+  } catch (const std::exception& e) {
+    err << "mbird: cannot listen on " << addr << ": " << e.what() << '\n';
+    return 1;
+  }
+
+  std::atomic<uint64_t> served{0};
+  auto counted = [&served](std::function<Value(const Value&)> fn) {
+    return [fn = std::move(fn), &served](const Value& v) -> Value {
+      served.fetch_add(1, std::memory_order_relaxed);
+      return fn(v);
+    };
+  };
+  uint64_t compile_port = rpc::serve_function(server, proto.g, proto.invocation,
+                                              counted(compile_handler(core)));
+  uint64_t echo_port =
+      rpc::serve_function(server, proto.g, proto.echo_invocation,
+                          counted([](const Value& args) { return args; }));
+  if (compile_port != kServeCompilePort || echo_port != kServeEchoPort) {
+    err << "mbird: serve port convention violated\n";  // unreachable
+    return 1;
+  }
+
+  // The ready line is the dial signal for harnesses: the resolved address
+  // (ephemeral TCP ports filled in) and the two well-known ports.
+  out << "{\"listening\": \"" << reactor.listen_address()
+      << "\", \"compile_port\": " << compile_port
+      << ", \"echo_port\": " << echo_port << "}" << std::endl;
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, serve_stop_signal);
+  std::signal(SIGTERM, serve_stop_signal);
+  reactor.run(
+      [&] {
+        return g_serve_stop.load(std::memory_order_relaxed) ||
+               (options.max_requests != 0 &&
+                served.load(std::memory_order_relaxed) >= options.max_requests);
+      },
+      /*timeout_ms=*/1);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  int rc = 0;
+  std::string ferr;
+  if (!core.flush_cache(&ferr)) {
+    err << "mbird: cache flush failed: " << ferr << '\n';
+    rc = 1;
+  }
+  const auto& ss = server.stats();
+  out << "{\"served\": " << served.load()
+      << ", \"peers\": " << reactor.peer_count()
+      << ", \"rpc\": {\"frames_sent\": " << ss.frames_sent
+      << ", \"frames_received\": " << ss.frames_received
+      << ", \"chunks_sent\": " << ss.chunks_sent
+      << ", \"chunks_received\": " << ss.chunks_received
+      << ", \"bytes_sent\": " << ss.bytes_sent
+      << ", \"retransmits\": " << ss.retransmits
+      << ", \"max_queue_depth\": " << ss.max_queue_depth << "}}" << std::endl;
   return rc;
 }
 

@@ -23,10 +23,13 @@
 // crash-safely before the summary line.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "mtype/mtype.hpp"
+#include "runtime/value.hpp"
 #include "stype/stype.hpp"
 #include "support/diag.hpp"
 
@@ -35,6 +38,51 @@ namespace mbird::service {
 struct ServeOptions {
   std::string cache_path;  // empty: in-memory caches only
 };
+
+/// The serve wire protocol, bootstrapped once: the CompileRequest /
+/// CompileReply IDL lowered to Mtypes, plus the function-model invocation
+/// types (paper §3.3: invocation = Record(Inputs, port(Outputs))). The echo
+/// invocation (string in, string out) is the load-harness workload — it
+/// exercises marshaling and chunking without compile cost. Shared by the
+/// daemon, the listening server, and bench/test clients so both ends lower
+/// the identical graph.
+struct ServeProtocol {
+  mtype::Graph g;
+  mtype::Ref request = mtype::kNullRef;     // CompileRequest
+  mtype::Ref reply = mtype::kNullRef;       // CompileReply
+  mtype::Ref invocation = mtype::kNullRef;  // Record(request, port(reply))
+  mtype::Ref echo_invocation = mtype::kNullRef;  // Record(string, port(string))
+  ServeProtocol();  // throws MbError if the bootstrap IDL fails (unreachable)
+};
+
+/// Port-id convention for a listening server: the server is node
+/// kServeNodeId and opens the compile function first, the echo function
+/// second — so clients can compute both port ids without a directory
+/// round-trip.
+constexpr uint16_t kServeNodeId = 1;
+[[nodiscard]] constexpr uint64_t serve_port(uint64_t local_id) {
+  return (static_cast<uint64_t>(kServeNodeId) << 48) | local_id;
+}
+constexpr uint64_t kServeCompilePort = serve_port(1);
+constexpr uint64_t kServeEchoPort = serve_port(2);
+
+/// Decode the canonical list-of-char string Mtype back to a std::string.
+[[nodiscard]] std::string string_of(const runtime::Value& v);
+
+struct ServeListenOptions {
+  std::string cache_path;     // empty: in-memory caches only
+  uint64_t max_requests = 0;  // stop after this many served (0: run until
+                              // SIGINT/SIGTERM)
+};
+
+/// Run the reactor-hosted multi-client server: bind `addr` ("unix:PATH",
+/// "tcp:HOST:PORT", bare path), print one ready JSON line with the resolved
+/// address and port ids, and serve concurrent clients until a signal
+/// arrives (or max_requests is reached). Returns 0 on clean shutdown.
+int run_serve_listen(std::vector<stype::Module>& modules,
+                     const std::string& addr, DiagnosticEngine& diags,
+                     const ServeListenOptions& options, std::ostream& out,
+                     std::ostream& err);
 
 /// Run the daemon loop over already-loaded modules, reading request lines
 /// from `requests` (`requests_name` labels errors) until EOF. Returns 0

@@ -52,4 +52,13 @@ class CallTimeoutError : public TransportError {
   using TransportError::TransportError;
 };
 
+/// The remote endpoint of a link hung up (EPIPE/ECONNRESET on write, a
+/// fatal recv error). Subtypes TransportError; sends on sockets use
+/// MSG_NOSIGNAL, so a dead peer surfaces as this typed error instead of a
+/// process-terminating SIGPIPE.
+class LinkClosedError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
 }  // namespace mbird

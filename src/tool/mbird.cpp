@@ -183,10 +183,14 @@ int usage(std::ostream& err) {
          "                             --cache persists verdicts and compiled\n"
          "                             programs across runs (warm restart)\n"
          "  serve [--requests <file>] [--cache <file>]\n"
+         "        [--listen <addr>] [--max-requests N]\n"
          "                             long-lived daemon: answer compile-pair\n"
          "                             request lines (stdin or --requests)\n"
          "                             over the in-process rpc stack, one\n"
-         "                             JSON reply line each\n"
+         "                             JSON reply line each; --listen binds\n"
+         "                             unix:PATH or tcp:HOST:PORT instead and\n"
+         "                             serves many concurrent rpc clients\n"
+         "                             through the epoll reactor\n"
          "  stats [metrics.json]       pretty-print a --metrics/batch metrics\n"
          "                             snapshot (no file: this process's own)\n"
          "global flags (valid anywhere on the line):\n"
@@ -700,15 +704,28 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
   if (cmd == "serve") {
     service::ServeOptions sopts;
     std::string requests_path;
+    std::string listen_addr;
+    uint64_t max_requests = 0;
     for (; i < args.size(); ++i) {
       if (args[i] == "--cache" && i + 1 < args.size()) {
         sopts.cache_path = args[++i];
       } else if (args[i] == "--requests" && i + 1 < args.size()) {
         requests_path = args[++i];
+      } else if (args[i] == "--listen" && i + 1 < args.size()) {
+        listen_addr = args[++i];
+      } else if (args[i] == "--max-requests" && i + 1 < args.size()) {
+        max_requests = std::strtoull(args[++i].c_str(), nullptr, 10);
       } else {
         err << "mbird: unknown serve option '" << args[i] << "'\n";
         return 2;
       }
+    }
+    if (!listen_addr.empty()) {
+      service::ServeListenOptions lopts;
+      lopts.cache_path = sopts.cache_path;
+      lopts.max_requests = max_requests;
+      return service::run_serve_listen(s.modules, listen_addr, s.diags, lopts,
+                                       out, err);
     }
     if (requests_path.empty()) {
       return service::run_serve(s.modules, std::cin, "<stdin>", s.diags, sopts,

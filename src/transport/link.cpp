@@ -1,13 +1,13 @@
 #include "transport/link.hpp"
 
 #include <sys/socket.h>
-#include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <deque>
 
 #include "support/error.hpp"
+#include "transport/socket.hpp"
 
 namespace mbird::transport {
 
@@ -53,77 +53,6 @@ class InProcLink : public Link {
   bool is_a_;
 };
 
-// ---- socketpair ------------------------------------------------------------------
-
-class SocketLink : public Link {
- public:
-  explicit SocketLink(int fd) : fd_(fd) {}
-  ~SocketLink() override {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  void send(std::vector<uint8_t> frame) override {
-    uint32_t len = static_cast<uint32_t>(frame.size());
-    uint8_t hdr[4] = {static_cast<uint8_t>(len >> 24), static_cast<uint8_t>(len >> 16),
-                      static_cast<uint8_t>(len >> 8), static_cast<uint8_t>(len)};
-    out_.insert(out_.end(), hdr, hdr + 4);
-    out_.insert(out_.end(), frame.begin(), frame.end());
-    flush();
-  }
-
-  std::optional<std::vector<uint8_t>> poll() override {
-    // A full kernel buffer earlier may have left bytes unflushed; the
-    // poll loop is our next chance to move them.
-    flush();
-    // Pull whatever is available into the reassembly buffer, then try to
-    // extract one frame.
-    for (;;) {
-      uint8_t chunk[4096];
-      ssize_t n = ::recv(fd_, chunk, sizeof chunk, MSG_DONTWAIT);
-      if (n > 0) {
-        buffer_.insert(buffer_.end(), chunk, chunk + n);
-        continue;
-      }
-      if (n == 0) break;  // peer closed; return what we have framed
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      throw TransportError(std::string("recv failed: ") + std::strerror(errno));
-    }
-    if (buffer_.size() < 4) return std::nullopt;
-    uint32_t len = (static_cast<uint32_t>(buffer_[0]) << 24) |
-                   (static_cast<uint32_t>(buffer_[1]) << 16) |
-                   (static_cast<uint32_t>(buffer_[2]) << 8) |
-                   static_cast<uint32_t>(buffer_[3]);
-    if (buffer_.size() < 4 + static_cast<size_t>(len)) return std::nullopt;
-    std::vector<uint8_t> frame(buffer_.begin() + 4, buffer_.begin() + 4 + len);
-    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
-    return frame;
-  }
-
- private:
-  /// Write as much of out_ as the kernel will take. A full socket buffer
-  /// (EAGAIN) is not an error for a polled link — the unsent tail stays
-  /// buffered and the next send()/poll() retries, so two peers flooding
-  /// each other cannot deadlock or spuriously throw.
-  void flush() {
-    size_t off = 0;
-    while (off < out_.size()) {
-      ssize_t n = ::send(fd_, out_.data() + off, out_.size() - off, MSG_DONTWAIT);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        throw TransportError(std::string("send failed: ") + std::strerror(errno));
-      }
-      off += static_cast<size_t>(n);
-    }
-    out_.erase(out_.begin(), out_.begin() + static_cast<long>(off));
-  }
-
-  int fd_;
-  std::vector<uint8_t> buffer_;   // inbound reassembly
-  std::vector<uint8_t> out_;      // outbound bytes the kernel would not take yet
-};
-
 }  // namespace
 
 std::pair<std::unique_ptr<Link>, std::unique_ptr<Link>> make_inproc_pair(
@@ -140,7 +69,7 @@ std::pair<std::unique_ptr<Link>, std::unique_ptr<Link>> make_socket_pair() {
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     throw TransportError(std::string("socketpair failed: ") + std::strerror(errno));
   }
-  return {std::make_unique<SocketLink>(fds[0]), std::make_unique<SocketLink>(fds[1])};
+  return {polled_socket_link(fds[0]), polled_socket_link(fds[1])};
 }
 
 }  // namespace mbird::transport

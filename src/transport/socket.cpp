@@ -1,0 +1,350 @@
+#include "transport/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace mbird::transport {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Parsed address: unix path or tcp host/port.
+struct Addr {
+  bool is_unix = true;
+  std::string path;  // unix
+  std::string host;  // tcp
+  uint16_t port = 0;
+};
+
+Addr parse_addr(const std::string& addr) {
+  Addr a;
+  if (addr.rfind("unix:", 0) == 0) {
+    a.path = addr.substr(5);
+  } else if (addr.rfind("tcp:", 0) == 0) {
+    std::string rest = addr.substr(4);
+    auto colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      throw TransportError("tcp address needs host:port, got '" + addr + "'");
+    }
+    a.is_unix = false;
+    a.host = rest.substr(0, colon);
+    a.port = static_cast<uint16_t>(std::stoi(rest.substr(colon + 1)));
+  } else {
+    a.path = addr;  // bare path = unix
+  }
+  if (a.is_unix && a.path.size() + 1 > sizeof(sockaddr_un{}.sun_path)) {
+    throw TransportError("unix socket path too long: " + a.path);
+  }
+  if (a.is_unix && a.path.empty()) {
+    throw TransportError("empty unix socket path");
+  }
+  return a;
+}
+
+}  // namespace
+
+// ---- SocketPeer -------------------------------------------------------------
+
+SocketPeer::SocketPeer(int fd) : fd_(fd) { set_nonblocking(fd_); }
+
+SocketPeer::~SocketPeer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketPeer::mark_closed(const std::string& why) {
+  if (closed_) return;
+  closed_ = true;
+  close_reason_ = why;
+  out_.clear();  // undeliverable
+}
+
+void SocketPeer::send(std::vector<uint8_t> frame) {
+  if (closed_) return;  // dropped; the reliability layer treats it as loss
+  uint32_t len = static_cast<uint32_t>(frame.size());
+  uint8_t hdr[4] = {static_cast<uint8_t>(len >> 24), static_cast<uint8_t>(len >> 16),
+                    static_cast<uint8_t>(len >> 8), static_cast<uint8_t>(len)};
+  out_.insert(out_.end(), hdr, hdr + 4);
+  out_.insert(out_.end(), frame.begin(), frame.end());
+  flush();
+}
+
+void SocketPeer::flush() {
+  size_t off = 0;
+  while (off < out_.size()) {
+    ssize_t n = ::send(fd_, out_.data() + off, out_.size() - off,
+                       MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // short write: keep tail
+      mark_closed(std::string("send failed: ") + std::strerror(errno));
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+  out_.erase(out_.begin(), out_.begin() + static_cast<long>(off));
+}
+
+bool SocketPeer::on_writable() {
+  if (!closed_) flush();
+  return !closed_;
+}
+
+bool SocketPeer::on_readable() {
+  if (!eof_ && !closed_) {
+    for (;;) {
+      uint8_t chunk[16384];
+      ssize_t n = ::recv(fd_, chunk, sizeof chunk, MSG_DONTWAIT);
+      if (n > 0) {
+        in_.insert(in_.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) {
+        eof_ = true;  // orderly hangup; buffered frames still deliver
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      mark_closed(std::string("recv failed: ") + std::strerror(errno));
+      break;
+    }
+  }
+  // Extract complete frames. in_consumed_ defers the O(n) front-erase until
+  // a batch of frames has been cut out.
+  for (;;) {
+    size_t avail = in_.size() - in_consumed_;
+    if (avail < 4) break;
+    const uint8_t* p = in_.data() + in_consumed_;
+    uint32_t len = (static_cast<uint32_t>(p[0]) << 24) |
+                   (static_cast<uint32_t>(p[1]) << 16) |
+                   (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+    if (avail < 4 + static_cast<size_t>(len)) break;
+    frames_.emplace_back(p + 4, p + 4 + len);
+    in_consumed_ += 4 + len;
+  }
+  if (in_consumed_ != 0) {
+    in_.erase(in_.begin(), in_.begin() + static_cast<long>(in_consumed_));
+    in_consumed_ = 0;
+  }
+  return !(frames_.empty() && (eof_ || closed_));
+}
+
+std::optional<std::vector<uint8_t>> SocketPeer::poll() {
+  if (frames_.empty()) return std::nullopt;
+  auto f = std::move(frames_.front());
+  frames_.pop_front();
+  return f;
+}
+
+// ---- polled wrapper ---------------------------------------------------------
+
+namespace {
+
+/// The polled view over a SocketPeer: poll() performs the recv itself, and
+/// a latched hangup surfaces as a typed LinkClosedError on the next send
+/// (never as SIGPIPE, never as a silent byte drop).
+class PolledSocketLink : public Link {
+ public:
+  explicit PolledSocketLink(int fd) : peer_(fd) {}
+
+  void send(std::vector<uint8_t> frame) override {
+    if (peer_.closed()) {
+      throw LinkClosedError("link closed: " + peer_.close_reason());
+    }
+    peer_.send(std::move(frame));
+    if (peer_.closed()) {
+      throw LinkClosedError("link closed: " + peer_.close_reason());
+    }
+  }
+
+  std::optional<std::vector<uint8_t>> poll() override {
+    // A full kernel buffer earlier may have left bytes unflushed; the poll
+    // loop is our next chance to move them.
+    peer_.on_writable();
+    peer_.on_readable();
+    return peer_.poll();
+  }
+
+ private:
+  SocketPeer peer_;
+};
+
+class LossyLink : public Link {
+ public:
+  LossyLink(std::unique_ptr<Link> inner, const FaultOptions& faults)
+      : inner_(std::move(inner)), faults_(faults), rng_(faults.seed) {}
+
+  void send(std::vector<uint8_t> frame) override {
+    if (faults_.drop_probability > 0 && rng_.chance(faults_.drop_probability)) {
+      return;
+    }
+    bool dup = faults_.duplicate_probability > 0 &&
+               rng_.chance(faults_.duplicate_probability);
+    if (dup) inner_->send(frame);
+    inner_->send(std::move(frame));
+  }
+
+  std::optional<std::vector<uint8_t>> poll() override {
+    // Inbound loss: keep polling past dropped frames so one poll() still
+    // yields the next surviving frame (matching what the wire would carry).
+    for (;;) {
+      auto f = inner_->poll();
+      if (!f) return std::nullopt;
+      if (faults_.drop_probability > 0 && rng_.chance(faults_.drop_probability)) {
+        continue;
+      }
+      return f;
+    }
+  }
+
+ private:
+  std::unique_ptr<Link> inner_;
+  FaultOptions faults_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<Link> polled_socket_link(int fd) {
+  return std::make_unique<PolledSocketLink>(fd);
+}
+
+std::unique_ptr<Link> make_lossy(std::unique_ptr<Link> inner,
+                                 const FaultOptions& faults) {
+  return std::make_unique<LossyLink>(std::move(inner), faults);
+}
+
+// ---- ListenSocket -----------------------------------------------------------
+
+ListenSocket::ListenSocket(const std::string& addr, int backlog) {
+  Addr a = parse_addr(addr);
+  if (a.is_unix) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw TransportError(std::string("socket failed: ") + std::strerror(errno));
+    }
+    ::unlink(a.path.c_str());  // stale socket file from a crashed server
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, a.path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      int e = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw TransportError("bind " + a.path + " failed: " + std::strerror(e));
+    }
+    unlink_path_ = a.path;
+    address_ = "unix:" + a.path;
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw TransportError(std::string("socket failed: ") + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(a.port);
+    if (::inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) != 1) {
+      ::close(fd_);
+      fd_ = -1;
+      throw TransportError("bad tcp host '" + a.host + "'");
+    }
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      int e = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw TransportError("bind " + addr + " failed: " + std::strerror(e));
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    address_ = "tcp:" + a.host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (::listen(fd_, backlog) != 0) {
+    int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("listen failed: " + std::string(std::strerror(e)));
+  }
+  set_nonblocking(fd_);
+}
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+}
+
+int ListenSocket::accept_fd() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nonblocking(fd);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == ECONNABORTED) continue;  // client gave up while queued
+    throw TransportError(std::string("accept failed: ") + std::strerror(errno));
+  }
+}
+
+int dial_fd(const std::string& addr) {
+  Addr a = parse_addr(addr);
+  int fd;
+  if (a.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw TransportError(std::string("socket failed: ") + std::strerror(errno));
+    }
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, a.path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      int e = errno;
+      ::close(fd);
+      throw TransportError("connect " + a.path + " failed: " + std::strerror(e));
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw TransportError(std::string("socket failed: ") + std::strerror(errno));
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(a.port);
+    if (::inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) != 1) {
+      ::close(fd);
+      throw TransportError("bad tcp host '" + a.host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      int e = errno;
+      ::close(fd);
+      throw TransportError("connect " + addr + " failed: " + std::strerror(e));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+std::unique_ptr<Link> dial(const std::string& addr) {
+  return polled_socket_link(dial_fd(addr));
+}
+
+}  // namespace mbird::transport

@@ -48,6 +48,17 @@ class BufferPool {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Buffers currently checked out (acquired and not yet released). The
+  /// reliability layer holds one per unacked/backlogged frame, so this is
+  /// the send-side occupancy signal the reactor's backpressure threshold
+  /// watches. The pool adopts foreign vectors on release, so the count is
+  /// clamped at zero rather than trusted to balance exactly.
+  [[nodiscard]] size_t outstanding() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return acquired_ >= released_ ? static_cast<size_t>(acquired_ - released_)
+                                  : 0;
+  }
+
  private:
   const size_t max_retained_;
   const size_t max_bytes_each_;

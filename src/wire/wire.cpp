@@ -92,7 +92,26 @@ class Source {
 
 constexpr int kMaxDepth = 100000;
 
-void encode_node(const Graph& g, Ref type, const Value& v, Sink& sink, int depth) {
+/// Segmentation state threaded through encode_node when chunking: the
+/// encoder appends into `buf` and ships full `max`-byte prefixes out
+/// through `emit` at container boundaries, so the resident buffer never
+/// grows past max + one scalar.
+struct ChunkCtl {
+  size_t max;
+  std::vector<uint8_t>* buf;
+  const std::function<void(std::vector<uint8_t>&&, bool last)>* emit;
+
+  void maybe_flush() {
+    while (buf->size() >= max) {
+      std::vector<uint8_t> piece(buf->begin(), buf->begin() + static_cast<long>(max));
+      buf->erase(buf->begin(), buf->begin() + static_cast<long>(max));
+      (*emit)(std::move(piece), false);
+    }
+  }
+};
+
+void encode_node(const Graph& g, Ref type, const Value& v, Sink& sink, int depth,
+                 ChunkCtl* ctl = nullptr) {
   if (depth > kMaxDepth) throw WireError("encode recursion limit");
   type = mtype::skip_var(g, type);
   const auto& n = g.at(type);
@@ -129,7 +148,8 @@ void encode_node(const Graph& g, Ref type, const Value& v, Sink& sink, int depth
         throw WireError("value does not match record shape");
       }
       for (size_t i = 0; i < n.children.size(); ++i) {
-        encode_node(g, n.children[i], v.at(i), sink, depth + 1);
+        encode_node(g, n.children[i], v.at(i), sink, depth + 1, ctl);
+        if (ctl) ctl->maybe_flush();
       }
       return;
     }
@@ -144,7 +164,7 @@ void encode_node(const Graph& g, Ref type, const Value& v, Sink& sink, int depth
         throw WireError("value does not match choice shape");
       }
       sink.big(val->arm(), 4);
-      encode_node(g, n.children[val->arm()], val->inner(), sink, depth + 1);
+      encode_node(g, n.children[val->arm()], val->inner(), sink, depth + 1, ctl);
       return;
     }
     case MKind::Rec: {
@@ -153,11 +173,12 @@ void encode_node(const Graph& g, Ref type, const Value& v, Sink& sink, int depth
       if (elems && elems->size() == 1 && lst) {
         sink.big(lst->size(), 4);
         for (const auto& e : *lst) {
-          encode_node(g, (*elems)[0], e, sink, depth + 1);
+          encode_node(g, (*elems)[0], e, sink, depth + 1, ctl);
+          if (ctl) ctl->maybe_flush();
         }
         return;
       }
-      encode_node(g, n.body(), v, sink, depth + 1);
+      encode_node(g, n.body(), v, sink, depth + 1, ctl);
       return;
     }
     case MKind::Port: sink.big(v.as_port(), 8); return;
@@ -278,6 +299,43 @@ void pack_frame_into(const Frame& f, std::vector<uint8_t>& out) {
   sink.big(f.dest_port, 8);
   sink.big(f.payload.size(), 4);
   out.insert(out.end(), f.payload.begin(), f.payload.end());
+}
+
+// ---- chunked (streaming) messages -------------------------------------------
+
+void pack_chunk_into(const ChunkInfo& info, const uint8_t* data, size_t len,
+                     std::vector<uint8_t>& out) {
+  out.reserve(out.size() + kChunkHeaderSize + len);
+  Sink sink(out);
+  sink.big(info.msg_id, 4);
+  sink.big(info.index, 4);
+  sink.u8(info.flags);
+  if (len != 0) out.insert(out.end(), data, data + len);
+}
+
+ChunkView parse_chunk(const std::vector<uint8_t>& payload) {
+  if (payload.size() < kChunkHeaderSize) {
+    throw WireError("chunk payload shorter than its sub-header");
+  }
+  Source src(payload);
+  ChunkView view;
+  view.info.msg_id = static_cast<uint32_t>(src.big(4));
+  view.info.index = static_cast<uint32_t>(src.big(4));
+  view.info.flags = src.u8();
+  view.data = payload.data() + kChunkHeaderSize;
+  view.len = payload.size() - kChunkHeaderSize;
+  return view;
+}
+
+void encode_chunked(const Graph& g, Ref type, const Value& v, size_t max_piece,
+                    const std::function<void(std::vector<uint8_t>&&, bool last)>& emit) {
+  if (max_piece == 0) throw WireError("chunk piece size must be positive");
+  std::vector<uint8_t> buf;
+  ChunkCtl ctl{max_piece, &buf, &emit};
+  Sink sink(buf);
+  encode_node(g, type, v, sink, 0, &ctl);
+  ctl.maybe_flush();
+  emit(std::move(buf), true);
 }
 
 // ---- dynamic type -----------------------------------------------------------
@@ -460,7 +518,7 @@ Frame unpack_frame(const std::vector<uint8_t>& bytes) {
     throw WireError("unsupported frame version " + std::to_string(version));
   }
   uint8_t kind = src.u8();
-  if (kind > static_cast<uint8_t>(FrameKind::Ack)) {
+  if (kind > static_cast<uint8_t>(FrameKind::Chunk)) {
     throw WireError("unknown frame kind " + std::to_string(kind));
   }
   Frame f;

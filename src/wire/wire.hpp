@@ -15,9 +15,19 @@
 // that the rpc reliability sublayer uses for retransmission: every frame
 // carries the highest contiguous sequence its sender has received on that
 // channel, and ACK frames carry nothing else (seq 0, no payload).
+//
+// CHUNK frames segment one logical DATA message into bounded pieces so a
+// multi-megabyte payload never serializes into one giant frame. A chunk's
+// payload starts with a 9-byte sub-header (message id, piece index, flags)
+// followed by that piece's bytes; the receiver reassembles pieces of a
+// message id in index order and delivers the concatenation exactly as if a
+// single DATA frame had arrived. Chunks ride the same seq/cum_ack
+// reliability as DATA, so loss and reordering are already handled below
+// reassembly. A message that fits one piece is sent as plain DATA.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -53,8 +63,9 @@ void encode_into(const mtype::Graph& g, mtype::Ref type,
 [[nodiscard]] unsigned int_width(Int128 lo, Int128 hi);
 
 enum class FrameKind : uint8_t {
-  Data = 0,  // carries a marshaled message for dest_port
-  Ack = 1,   // carries only cum_ack (seq 0, empty payload)
+  Data = 0,   // carries a marshaled message for dest_port
+  Ack = 1,    // carries only cum_ack (seq 0, empty payload)
+  Chunk = 2,  // one bounded piece of a segmented DATA message
 };
 
 struct Frame {
@@ -77,6 +88,52 @@ inline constexpr size_t kFrameHeaderSize = 4 + 2 + 1 + 2 + 8 + 8 + 8 + 4;
 /// (header + payload) — no incremental growth.
 void pack_frame_into(const Frame& f, std::vector<uint8_t>& out);
 [[nodiscard]] Frame unpack_frame(const std::vector<uint8_t>& bytes);
+
+// ---- chunked (streaming) messages -------------------------------------------
+
+/// Final piece of its message: reassembly completes and delivers.
+inline constexpr uint8_t kChunkFlagLast = 0x01;
+/// The sender faulted mid-stream (marshal threw after pieces were already
+/// on the wire); the receiver discards the partial reassembly.
+inline constexpr uint8_t kChunkFlagAbort = 0x02;
+
+/// Sub-header at the front of every Chunk frame payload:
+/// msg_id u32 | index u32 | flags u8.
+inline constexpr size_t kChunkHeaderSize = 4 + 4 + 1;
+
+struct ChunkInfo {
+  /// Sender-scoped id tying the pieces of one message together. Ids from
+  /// different origin nodes are independent namespaces.
+  uint32_t msg_id = 0;
+  uint32_t index = 0;  // 0-based piece position
+  uint8_t flags = 0;
+};
+
+/// Build a Chunk frame payload: sub-header followed by `len` piece bytes.
+void pack_chunk_into(const ChunkInfo& info, const uint8_t* data, size_t len,
+                     std::vector<uint8_t>& out);
+
+struct ChunkView {
+  ChunkInfo info;
+  const uint8_t* data = nullptr;  // piece bytes (borrowed from the payload)
+  size_t len = 0;
+};
+
+/// Split a Chunk frame payload back into sub-header + piece bytes. Throws
+/// WireError when the payload is shorter than the sub-header.
+[[nodiscard]] ChunkView parse_chunk(const std::vector<uint8_t>& payload);
+
+/// Encode `v` delivering the byte stream as bounded pieces: every piece
+/// passed to `emit` is exactly `max_piece` bytes except the final one,
+/// which carries the tail (possibly empty) and last=true. The
+/// concatenation of all pieces is byte-identical to encode(). Peak
+/// buffering inside the encoder is O(max_piece): segmentation happens at
+/// sequence-element and record-field boundaries as the recursion descends,
+/// never by staging the whole message. If encoding throws after pieces
+/// were emitted, the caller must abort the stream (kChunkFlagAbort).
+void encode_chunked(const mtype::Graph& g, mtype::Ref type,
+                    const runtime::Value& v, size_t max_piece,
+                    const std::function<void(std::vector<uint8_t>&&, bool last)>& emit);
 
 // ---- the dynamic type (paper §6: "a dynamic type construct of our own
 // which is similar to [CORBA] Any") ------------------------------------------

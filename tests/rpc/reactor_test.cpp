@@ -1,0 +1,276 @@
+// The epoll reactor: many real-socket clients against one Node, peer
+// identification from the first frame, reconnect supersession, chunked
+// traffic, and backpressure stall/resume.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpc/reactor.hpp"
+#include "rpc/rpc.hpp"
+#include "transport/socket.hpp"
+
+namespace mbird::rpc {
+namespace {
+
+using mtype::Graph;
+using mtype::Ref;
+using runtime::Value;
+
+// f(int x) -> real, the invocation shape the call helpers use.
+struct Fn {
+  Graph g;
+  Ref in = mtype::kNullRef;
+  Ref out = mtype::kNullRef;
+  Ref invocation = mtype::kNullRef;
+};
+
+Fn make_fn() {
+  Fn f;
+  f.in = f.g.record({f.g.integer(-1000, 1000)}, {"x"});
+  f.out = f.g.record({f.g.real(24, 8)}, {"return"});
+  f.invocation = f.g.record({f.in, f.g.port(f.out)}, {"args", "reply"});
+  return f;
+}
+
+std::string test_addr(const char* tag) {
+  return "unix:/tmp/mbird_reactor_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Interleave the reactor loop with the clients' polled links until `done`
+/// (or the round budget runs out). Single-threaded and deterministic: one
+/// reactor iteration + one poll per client per round.
+bool drive(Reactor& reactor, const std::vector<Node*>& clients,
+           const std::function<bool()>& done, int budget = 50000) {
+  for (int i = 0; i < budget && !done(); ++i) {
+    reactor.run_once(0);
+    for (Node* c : clients) c->poll();
+  }
+  return done();
+}
+
+Node* dial_client(std::vector<std::unique_ptr<Node>>& owned, uint16_t id,
+                  const Reactor& reactor, const std::string& addr) {
+  (void)reactor;
+  auto node = std::make_unique<Node>(id);
+  node->connect(1, transport::polled_socket_link(transport::dial_fd(addr)));
+  owned.push_back(std::move(node));
+  return owned.back().get();
+}
+
+TEST(Reactor, EchoRoundTripOverUnixSocket) {
+  Fn fn = make_fn();
+  Node server(1);
+  Reactor reactor(server);
+  reactor.listen(test_addr("echo"));
+  uint64_t fn_port = serve_function(server, fn.g, fn.invocation,
+                                    [](const Value& args) {
+                                      return Value::record({Value::real(
+                                          2.0 * static_cast<double>(
+                                                    args.at(0).as_int()))});
+                                    });
+
+  std::vector<std::unique_ptr<Node>> owned;
+  Node* client = dial_client(owned, 2, reactor, reactor.listen_address());
+  std::optional<Value> reply;
+  uint64_t rp = client->open_port(
+      &fn.g, fn.out, [&](const Value& v) { reply = v; }, true);
+  client->send(fn_port, fn.g, fn.invocation,
+               Value::record({Value::record({Value::integer(21)}),
+                              Value::port(rp)}));
+
+  ASSERT_TRUE(drive(reactor, {client}, [&] { return reply.has_value(); }));
+  EXPECT_EQ(*reply, Value::record({Value::real(42)}));
+  EXPECT_EQ(reactor.peer_count(), 1u);
+  EXPECT_EQ(server.stats().frames_received, 1u);
+}
+
+TEST(Reactor, ManyConcurrentClientsOverTcp) {
+  Fn fn = make_fn();
+  Node server(1);
+  Reactor reactor(server);
+  reactor.listen("tcp:127.0.0.1:0");
+  uint64_t fn_port = serve_function(
+      server, fn.g, fn.invocation, [](const Value& args) {
+        return Value::record({Value::real(
+            static_cast<double>(args.at(0).as_int()) + 0.5)});
+      });
+
+  constexpr int kClients = 6;
+  std::vector<std::unique_ptr<Node>> owned;
+  std::vector<Node*> clients;
+  std::vector<std::optional<Value>> replies(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    Node* c = dial_client(owned, static_cast<uint16_t>(2 + i), reactor,
+                          reactor.listen_address());
+    uint64_t rp = c->open_port(
+        &fn.g, fn.out, [&replies, i](const Value& v) { replies[static_cast<size_t>(i)] = v; },
+        true);
+    c->send(fn_port, fn.g, fn.invocation,
+            Value::record({Value::record({Value::integer(i)}),
+                           Value::port(rp)}));
+    clients.push_back(c);
+  }
+
+  ASSERT_TRUE(drive(reactor, clients, [&] {
+    for (auto& r : replies) {
+      if (!r.has_value()) return false;
+    }
+    return true;
+  }));
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(*replies[static_cast<size_t>(i)],
+              Value::record({Value::real(i + 0.5)}));
+  }
+  EXPECT_EQ(reactor.peer_count(), static_cast<size_t>(kClients));
+}
+
+TEST(Reactor, ReconnectSupersedesStaleChannel) {
+  Fn fn = make_fn();
+  Node server(1);
+  Reactor reactor(server);
+  reactor.listen(test_addr("reconnect"));
+  uint64_t fn_port = serve_function(
+      server, fn.g, fn.invocation, [](const Value& args) {
+        return Value::record(
+            {Value::real(static_cast<double>(args.at(0).as_int()))});
+      });
+
+  auto call_once = [&](Node& client, int x) {
+    std::optional<Value> reply;
+    uint64_t rp = client.open_port(
+        &fn.g, fn.out, [&](const Value& v) { reply = v; }, true);
+    client.send(fn_port, fn.g, fn.invocation,
+                Value::record({Value::record({Value::integer(x)}),
+                               Value::port(rp)}));
+    EXPECT_TRUE(drive(reactor, {&client}, [&] { return reply.has_value(); }));
+    return reply;
+  };
+
+  // First incarnation of node 7, then a second dial under the same id —
+  // the server must adopt the new connection and retire the stale one.
+  auto first = std::make_unique<Node>(7);
+  first->connect(1, transport::polled_socket_link(
+                        transport::dial_fd(reactor.listen_address())));
+  auto r1 = call_once(*first, 3);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(*r1, Value::record({Value::real(3)}));
+  EXPECT_EQ(reactor.peer_count(), 1u);
+  first.reset();  // closes the old socket
+
+  Node second(7);
+  second.connect(1, transport::polled_socket_link(
+                        transport::dial_fd(reactor.listen_address())));
+  auto r2 = call_once(second, 9);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, Value::record({Value::real(9)}));
+  // The superseded (and hung-up) first connection is gone.
+  ASSERT_TRUE(drive(reactor, {&second},
+                    [&] { return reactor.peer_count() == 1u; }, 1000));
+}
+
+TEST(Reactor, ChunkedMessageThroughReactor) {
+  // A message larger than the client's max_frame_payload crosses the
+  // reactor as CHUNK frames and reassembles on the server node.
+  Graph g;
+  Ref bytes = g.list_of(g.integer(0, 255));
+  Node server(1);
+  Reactor reactor(server);
+  reactor.listen(test_addr("chunks"));
+  std::vector<Value> got;
+  uint64_t p =
+      server.open_port(&g, bytes, [&](const Value& v) { got.push_back(v); });
+
+  ReliabilityOptions ro;
+  ro.max_frame_payload = 64;
+  Node client(2, ro);
+  client.connect(1, transport::polled_socket_link(
+                        transport::dial_fd(reactor.listen_address())));
+  std::vector<Value> elems;
+  for (int i = 0; i < 2000; ++i) {
+    elems.push_back(Value::integer(static_cast<uint8_t>(i * 11)));
+  }
+  Value v = Value::list(std::move(elems));
+  client.send_streaming(p, g, bytes, v);
+
+  ASSERT_TRUE(drive(reactor, {&client}, [&] { return !got.empty(); }));
+  EXPECT_EQ(got[0], v);
+  EXPECT_EQ(client.stats().messages_chunked, 1u);
+  EXPECT_EQ(server.stats().messages_reassembled, 1u);
+  EXPECT_GT(server.stats().chunks_received, 10u);
+}
+
+TEST(Reactor, BackpressureStallsAndResumes) {
+  // With a 1-buffer high-water mark the reply's unacked frame trips the
+  // stall (EPOLLIN shed), and the stall clears once the pool drains —
+  // here via retransmit-exhaustion expiry, since the shed ack can't land.
+  Fn fn = make_fn();
+  Node server(1);
+  ReactorOptions opts;
+  opts.pool_high_water = 1;
+  opts.pool_low_water = 0;
+  Reactor reactor(server, opts);
+  reactor.listen(test_addr("stall"));
+  uint64_t fn_port = serve_function(
+      server, fn.g, fn.invocation, [](const Value& args) {
+        return Value::record(
+            {Value::real(static_cast<double>(args.at(0).as_int()))});
+      });
+
+  Node client(2);
+  client.connect(1, transport::polled_socket_link(
+                        transport::dial_fd(reactor.listen_address())));
+  std::optional<Value> reply;
+  uint64_t rp = client.open_port(
+      &fn.g, fn.out, [&](const Value& v) { reply = v; }, true);
+  client.send(fn_port, fn.g, fn.invocation,
+              Value::record({Value::record({Value::integer(4)}),
+                             Value::port(rp)}));
+
+  // The reply itself was flushed to the socket before the stall latched.
+  ASSERT_TRUE(drive(reactor, {&client}, [&] { return reply.has_value(); }));
+  EXPECT_EQ(*reply, Value::record({Value::real(4)}));
+  bool saw_stall = reactor.stalled();
+  // Run the reactor alone long enough for backoff expiry to release the
+  // unacked reply buffer; the stall must have latched and then cleared.
+  for (int i = 0; i < 5000 && (!saw_stall || reactor.stalled()); ++i) {
+    reactor.run_once(0);
+    saw_stall = saw_stall || reactor.stalled();
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_FALSE(reactor.stalled());
+}
+
+TEST(Reactor, AddPeerAdoptsConnectedFd) {
+  // The client side of a reactor-to-reactor topology: adopt an fd whose
+  // peer id is known up front, no identification handshake needed.
+  Graph g;
+  Ref m = g.integer(0, 255);
+  Node server(1);
+  Reactor srv(server);
+  srv.listen(test_addr("adopt"));
+  std::vector<Value> got;
+  uint64_t p = server.open_port(&g, m, [&](const Value& v) { got.push_back(v); });
+
+  Node client(2);
+  Reactor cli(client);
+  cli.add_peer(1, transport::dial_fd(srv.listen_address()));
+  client.send(p, g, m, Value::integer(42));
+
+  for (int i = 0; i < 50000 && got.empty(); ++i) {
+    srv.run_once(0);
+    cli.run_once(0);
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Value::integer(42));
+  EXPECT_EQ(cli.peer_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mbird::rpc
