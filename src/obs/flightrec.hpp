@@ -1,0 +1,131 @@
+// Flight recorder: a fixed-size lock-free ring of recent span events per
+// thread, always recordable at ~zero cost (DESIGN.md §4l).
+//
+// The tracer (trace.hpp) buffers unboundedly and is meant to be switched
+// on around a workload; the flight recorder is the opposite trade — it is
+// left on for the life of a daemon and only ever holds the last ~4k
+// closed spans per thread, overwriting the oldest. When something goes
+// wrong (marshal fault, reassembly abort, peer-retire storm) the daemon
+// dumps the rings as Chrome trace JSON and the operator gets the recent
+// past without `--trace` having been enabled.
+//
+// Concurrency: each thread owns one ring and is its only writer. Slots
+// are published with a per-slot sequence stamp (store-release after the
+// fields, like a seqlock) so a telemetry dump from another thread reads a
+// consistent snapshot or skips the slot — every field is a relaxed
+// std::atomic, so concurrent dump/record is race-free under TSan.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbird::obs {
+
+class FlightRecorder {
+ public:
+  /// Per-thread ring capacity (events). Power of two; the index mask
+  /// relies on it.
+  static constexpr size_t kRingSize = 4096;
+
+  static FlightRecorder& global();
+
+  FlightRecorder();
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Non-inline: the global instance also mirrors its state into the
+  // guard-free flag globally_recording() reads (see below).
+  void enable();
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Append one closed span to this thread's ring. Name must have static
+  /// storage duration (span names are string literals).
+  void record(const char* name, uint64_t t0_ns, uint64_t dur_ns,
+              uint64_t trace_id, uint64_t span_id, uint64_t parent_span_id);
+
+  struct Event {
+    const char* name;
+    uint64_t t0_ns;  // absolute (now_ns clock)
+    uint64_t dur_ns;
+    uint64_t trace_id;
+    uint64_t span_id;
+    uint64_t parent_span_id;
+    uint32_t tid;  // dense 1-based ring id
+  };
+
+  /// Consistent-or-skipped snapshot of every ring, sorted by t0. Safe to
+  /// call while other threads keep recording.
+  std::vector<Event> snapshot() const;
+
+  /// Total events ever recorded (including ones already overwritten).
+  uint64_t total_recorded() const;
+
+  /// Chrome trace-event JSON of snapshot(), timestamps rebased to the
+  /// earliest event. `reason` is embedded as top-level metadata.
+  void write_chrome_json(std::ostream& os, const char* reason) const;
+  std::string chrome_json(const char* reason) const;
+
+  /// Where fault() writes its dump ("" disables fault dumps).
+  void set_fault_path(std::string path);
+  std::string fault_path() const;
+
+  /// Fault hook for the rpc/service layers: dump the rings to the
+  /// configured fault path. Only the FIRST fault per process writes the
+  /// file (a retire storm must not grind the daemon into disk I/O);
+  /// later calls just count. No-op when disabled or no path is set.
+  void fault(const char* reason);
+  uint64_t fault_count() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    // 0 = never written; odd = write in progress is impossible (the stamp
+    // is only stored after the fields), any other change between a
+    // reader's two loads = torn, skip.
+    std::atomic<uint64_t> stamp{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> t0_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> parent_span_id{0};
+  };
+  struct Ring {
+    uint32_t tid = 0;
+    std::atomic<uint64_t> head{0};  // next claim index (monotonic)
+    std::array<Slot, kRingSize> slots;
+  };
+
+  Ring* ring_for_this_thread();
+
+  const uint64_t id_;  // process-unique; keys the thread-local ring cache
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> faults_{0};
+  mutable std::mutex mu_;  // guards rings_ registration + fault_path_
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::string fault_path_;
+};
+
+namespace detail {
+// Mirror of FlightRecorder::global().enabled(). Constant-initialized, so
+// reading it is one relaxed load — no function-static initialization
+// guard, which global() would cost on every disabled-path Span open.
+extern std::atomic<bool> g_global_recording;
+}  // namespace detail
+
+/// Is the GLOBAL flight recorder recording? The Span fast path uses this
+/// instead of FlightRecorder::global().enabled() (same answer, no guard).
+inline bool globally_recording() {
+  return detail::g_global_recording.load(std::memory_order_relaxed);
+}
+
+}  // namespace mbird::obs

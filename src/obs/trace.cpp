@@ -1,16 +1,43 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 
 namespace mbird::obs {
 
 namespace {
+
+// The innermost context on this thread: the open span a child would claim
+// as parent, or a remote caller's context adopted by a ContextGuard. Spans
+// and guards save/restore it like a linked stack.
+thread_local TraceContext tl_current{};
+
+// splitmix64 finalizer — cheap, well-distributed id mixing.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Ids must not collide across the processes whose traces get stitched, so
+// the counter is folded with a per-process (pid, boot-time) seed.
+uint64_t next_global_id() {
+  static const uint64_t seed =
+      mix64((static_cast<uint64_t>(::getpid()) << 32) ^ now_ns());
+  static std::atomic<uint64_t> counter{1};
+  const uint64_t id =
+      mix64(seed + counter.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
 
 // Per-thread cache of (tracer id → ThreadBuf*). A linear scan over at
 // most a handful of entries; tracer ids are never reused, so a stale
@@ -66,6 +93,19 @@ std::string ns_human(uint64_t ns) {
 
 }  // namespace
 
+TraceContext current_context() { return tl_current; }
+
+uint64_t fresh_trace_id() { return next_global_id(); }
+
+ContextGuard::ContextGuard(const TraceContext& ctx) : prev_(tl_current) {
+  // Always assigns: adopting an invalid context CLEARS the slot, so a
+  // handler for an untraced frame cannot leak whatever stale context the
+  // dispatching thread happened to hold into its spans or sends.
+  tl_current = ctx;
+}
+
+ContextGuard::~ContextGuard() { tl_current = prev_; }
+
 Tracer& Tracer::global() {
   static Tracer* t = new Tracer();  // never destroyed (see Registry::global)
   return *t;
@@ -103,13 +143,22 @@ Tracer::ThreadBuf* Tracer::buf_for_this_thread() {
 }
 
 void Tracer::finish(ThreadBuf* buf, uint64_t token) {
-  // Find the span on this thread's stack. The common case is the top;
-  // anything else is an out-of-order close and counts as an orphan.
+  // Find the span on this thread's stack. The common case is the top.
+  // An out-of-order close only counts as an orphan when a span of the
+  // SAME trace is still open above it — a reactor thread legitimately
+  // interleaves spans of different peers' traces on one stack, and
+  // closing trace A under trace B's open span is not a nesting bug.
   auto& stack = buf->stack;
   for (size_t i = stack.size(); i-- > 0;) {
     if (stack[i].token != token) continue;
     Open open = std::move(stack[i]);
-    const bool orphaned = i + 1 != stack.size();
+    bool orphaned = false;
+    for (size_t j = i + 1; j < stack.size(); ++j) {
+      if (stack[j].trace_id == open.trace_id) {
+        orphaned = true;
+        break;
+      }
+    }
     stack.erase(stack.begin() + static_cast<ptrdiff_t>(i));
     if (orphaned) orphans_.fetch_add(1, std::memory_order_relaxed);
     if (buf->events.size() >= kMaxEventsPerThread) {
@@ -124,6 +173,9 @@ void Tracer::finish(ThreadBuf* buf, uint64_t token) {
     ev.tid = buf->tid;
     ev.depth = open.depth;
     ev.orphaned = orphaned;
+    ev.trace_id = open.trace_id;
+    ev.span_id = open.span_id;
+    ev.parent_span_id = open.parent_span_id;
     ev.notes = std::move(open.notes);
     buf->events.push_back(std::move(ev));
     return;
@@ -167,7 +219,7 @@ void Tracer::write_chrome_json(std::ostream& os) const {
        << ",\"ts\":" << std::fixed << std::setprecision(3)
        << static_cast<double>(ev.t0_ns) / 1e3
        << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
-    if (!ev.notes.empty() || ev.orphaned) {
+    if (!ev.notes.empty() || ev.orphaned || ev.trace_id != 0) {
       os << ",\"args\":{";
       bool afirst = true;
       for (const Note& n : ev.notes) {
@@ -176,6 +228,18 @@ void Tracer::write_chrome_json(std::ostream& os) const {
         write_json_escaped(os, n.key);
         os << ":";
         write_json_escaped(os, n.val);
+      }
+      if (ev.trace_id != 0) {
+        char ids[160];
+        std::snprintf(ids, sizeof ids,
+                      "\"trace_id\":\"%016llx\",\"span_id\":\"%016llx\","
+                      "\"parent_span_id\":\"%016llx\"",
+                      static_cast<unsigned long long>(ev.trace_id),
+                      static_cast<unsigned long long>(ev.span_id),
+                      static_cast<unsigned long long>(ev.parent_span_id));
+        if (!afirst) os << ",";
+        afirst = false;
+        os << ids;
       }
       if (ev.orphaned) {
         if (!afirst) os << ",";
@@ -216,19 +280,44 @@ std::string Tracer::text_tree() const {
 #ifndef MBIRD_OBS_OFF
 
 Span::Span(Tracer& t, const char* name) {
-  if (!t.enabled()) return;
+  const bool traced = t.enabled();
+  const bool recorded = globally_recording();
+  if (!traced && !recorded) return;
+  name_ = name;
+  t0_abs_ = now_ns();
+  const TraceContext parent = tl_current;
+  trace_id_ = parent.valid() ? parent.trace_id : next_global_id();
+  parent_span_id_ = parent.span_id;
+  span_id_ = next_global_id();
+  saved_current_ = parent;
+  tl_current = TraceContext{trace_id_, span_id_, true};
+  live_ = true;
+  flightrec_ = recorded;
+  if (!traced) return;
   t_ = &t;
   buf_ = t.buf_for_this_thread();
   token_ = t.next_token_.fetch_add(1, std::memory_order_relaxed);
   Tracer::Open open;
   open.name = name;
-  open.t0 = now_ns() - t.epoch_ns_;
+  open.t0 = t0_abs_ - t.epoch_ns_;
   open.token = token_;
   open.depth = static_cast<uint32_t>(buf_->stack.size());
+  open.trace_id = trace_id_;
+  open.span_id = span_id_;
+  open.parent_span_id = parent_span_id_;
   buf_->stack.push_back(std::move(open));
 }
 
 Span::~Span() {
+  if (live_) {
+    tl_current = saved_current_;
+    if (flightrec_) {
+      const uint64_t now = now_ns();
+      FlightRecorder::global().record(name_, t0_abs_,
+                                      now >= t0_abs_ ? now - t0_abs_ : 0,
+                                      trace_id_, span_id_, parent_span_id_);
+    }
+  }
   if (buf_) t_->finish(buf_, token_);
 }
 

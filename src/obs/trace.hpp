@@ -16,6 +16,13 @@
 // When the tracer is disabled (the default), constructing a Span costs
 // one relaxed load and branch. Under -DMBIRD_OBS_OFF=ON the Span type
 // compiles to an empty struct and every instrumentation site folds away.
+//
+// Trace context (DESIGN.md §4l): every recording span carries a
+// (trace_id, span_id, parent_span_id) triple. The trace id is inherited
+// from the innermost enclosing span on this thread, else from a context
+// adopted via ContextGuard (how the rpc layer continues a caller's trace
+// on the server side), else freshly minted. current_context() exposes the
+// innermost triple so the rpc send path can stamp outgoing frames.
 #pragma once
 
 #include <atomic>
@@ -28,6 +35,39 @@
 #include <vector>
 
 namespace mbird::obs {
+
+/// Propagatable identity of an in-flight request. `span_id` is the id of
+/// the span a child should claim as its parent. trace_id 0 = no context.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool sampled = false;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The context a child span opened right now would inherit: the innermost
+/// open span on this thread, else the adopted context, else invalid.
+TraceContext current_context();
+
+/// Mint a process-unique, never-zero trace id (pid/time seeded so ids from
+/// separate processes don't collide when traces are stitched).
+uint64_t fresh_trace_id();
+
+/// RAII adoption of a remote caller's context: while alive, spans opened
+/// on this thread with no enclosing span become children of `ctx` instead
+/// of starting fresh traces. Nests; restores the previous adoption.
+/// Adopting an invalid context clears the slot for the guard's lifetime —
+/// handlers of untraced work must not inherit an unrelated ambient trace.
+class ContextGuard {
+ public:
+  explicit ContextGuard(const TraceContext& ctx);
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+  ~ContextGuard();
+
+ private:
+  TraceContext prev_;
+};
 
 class Tracer {
  public:
@@ -54,7 +94,10 @@ class Tracer {
     uint64_t dur_ns;
     uint32_t tid;     // dense per-tracer thread id, 1-based
     uint32_t depth;   // nesting depth at open (0 = top level)
-    bool orphaned;    // closed out of stack order
+    bool orphaned;    // closed out of order within its own trace
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
     std::vector<Note> notes;
   };
 
@@ -81,6 +124,9 @@ class Tracer {
     uint64_t t0;
     uint64_t token;
     uint32_t depth;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
     std::vector<Note> notes;
   };
   struct ThreadBuf {
@@ -120,11 +166,24 @@ class Span {
   // True when this span is live in an enabled tracer — lets call sites
   // skip building annotation strings that would be thrown away.
   bool recording() const { return buf_ != nullptr; }
+  // The context a frame sent while this span is open should carry.
+  TraceContext context() const {
+    return TraceContext{trace_id_, span_id_, true};
+  }
 
  private:
   Tracer* t_ = nullptr;
   Tracer::ThreadBuf* buf_ = nullptr;
   uint64_t token_ = 0;
+  // Populated whenever the span is live in the tracer or flight recorder.
+  const char* name_ = nullptr;
+  uint64_t t0_abs_ = 0;  // absolute open time (flight-recorder timeline)
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  TraceContext saved_current_{};  // innermost-open-span slot, restored at close
+  bool live_ = false;             // pushed onto the current-context chain
+  bool flightrec_ = false;        // record into the flight recorder at close
 };
 
 #else  // MBIRD_OBS_OFF: spans compile to nothing.
@@ -138,6 +197,7 @@ class Span {
   void note(std::string_view, std::string_view) {}
   void note(std::string_view, uint64_t) {}
   bool recording() const { return false; }
+  TraceContext context() const { return {}; }
 };
 
 #endif

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "wire/wire.hpp"
@@ -25,6 +26,9 @@ struct ReactorMetrics {
   obs::Gauge& ready_peers = obs::gauge("rpc.reactor.ready_peers");
   obs::Gauge& queue_depth = obs::gauge("rpc.reactor.queue_depth");
   obs::Gauge& stalled = obs::gauge("rpc.reactor.stalled");
+  // Time from epoll wakeup to drain completion on iterations with at
+  // least one ready fd — the dashboard's reactor responsiveness signal.
+  obs::Histogram& loop_lag_ns = obs::histogram("rpc.reactor.loop_lag_ns");
 };
 ReactorMetrics& xm() {
   static ReactorMetrics m;
@@ -172,6 +176,19 @@ void Reactor::retire(int fd) {
   conns_.erase(it);  // SocketPeer destructor closes the fd
   xm().retires.add();
   xm().peers.set(static_cast<int64_t>(conns_.size()));
+  // Retire-storm detection: eight or more retires inside one second is a
+  // fleet-level event (mass disconnect, crashing clients, bad deploy) —
+  // snapshot the flight recorder so the lead-up survives.
+  const uint64_t now = obs::now_ns();
+  retire_times_.push_back(now);
+  retire_times_.erase(
+      std::remove_if(retire_times_.begin(), retire_times_.end(),
+                     [now](uint64_t t) { return now - t > 1'000'000'000ull; }),
+      retire_times_.end());
+  if (retire_times_.size() >= 8) {
+    obs::FlightRecorder::global().fault("rpc.reactor.retire_storm");
+    retire_times_.clear();
+  }
 }
 
 void Reactor::update_interest() {
@@ -187,7 +204,14 @@ void Reactor::update_interest() {
   size_t max_depth = 0;
   for (auto& [fd, c] : conns_) {
     if (c.identified) {
-      max_depth = std::max(max_depth, node_.send_queue_depth(c.peer_id));
+      const size_t depth = node_.send_queue_depth(c.peer_id);
+      max_depth = std::max(max_depth, depth);
+      obs::Gauge*& g = peer_inflight_[c.peer_id];
+      if (g == nullptr) {
+        g = &obs::gauge("rpc.peer." + std::to_string(c.peer_id) +
+                        ".inflight");
+      }
+      g->set(static_cast<int64_t>(depth));
     }
     // Unidentified connections keep EPOLLIN even under stall: their first
     // frame carries no payload burden and unblocks identification.
@@ -212,6 +236,7 @@ size_t Reactor::run_once(int timeout_ms) {
     else
       throw TransportError(std::string("epoll_wait: ") + std::strerror(errno));
   }
+  const uint64_t wake_ns = obs::now_ns();
   size_t processed = 0;
   size_t ready = 0;
   std::vector<int> dead_fds;
@@ -235,6 +260,9 @@ size_t Reactor::run_once(int timeout_ms) {
   processed += node_.tick();
   xm().ready_peers.set(static_cast<int64_t>(ready));
   update_interest();
+  // Loop lag: epoll wakeup -> drain + tick + interest refresh done. Only
+  // iterations that had ready fds count; idle wakeups measure nothing.
+  if (n > 0) xm().loop_lag_ns.record(obs::now_ns() - wake_ns);
   return processed;
 }
 

@@ -29,7 +29,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "transport/socket.hpp"
 
@@ -102,6 +104,11 @@ class Reactor {
   std::map<int, Conn> conns_;            // by fd
   std::map<uint16_t, int> fd_by_peer_;   // identified peers -> fd
   bool stalled_ = false;
+  // Per-peer inflight gauges (rpc.peer.<id>.inflight), resolved once per
+  // peer id — registry lookups are by string, too slow for every loop.
+  std::map<uint16_t, obs::Gauge*> peer_inflight_;
+  // Recent retire timestamps (ns) for retire-storm detection.
+  std::vector<uint64_t> retire_times_;
 };
 
 }  // namespace mbird::rpc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "planir/planir.hpp"
@@ -39,6 +40,7 @@ struct RpcMetrics {
   obs::Counter& messages_chunked = obs::counter("rpc.messages_chunked");
   obs::Counter& messages_reassembled = obs::counter("rpc.messages_reassembled");
   obs::Counter& chunk_aborts = obs::counter("rpc.chunk_aborts");
+  obs::Counter& decode_faults = obs::counter("rpc.decode_faults");
   obs::Gauge& max_inflight = obs::gauge("rpc.max_inflight");
   obs::Gauge& max_dedup_window = obs::gauge("rpc.max_dedup_window");
   obs::Gauge& send_queue_depth = obs::gauge("rpc.peer.send_queue_depth");
@@ -127,6 +129,16 @@ void Node::send_frame_kind(uint64_t dest_port, wire::FrameKind kind,
   f.seq = ps.next_seq++;
   f.cum_ack = ps.cum_recv;  // piggybacked ack for the reverse direction
   f.dest_port = dest_port;
+  // Stamp the caller's trace context (innermost open span, or a context
+  // adopted from an upstream frame) so the receiver can open its handling
+  // spans as children. Packed into the frame bytes, so retransmits carry
+  // it verbatim.
+  const obs::TraceContext ctx = obs::current_context();
+  if (ctx.valid()) {
+    f.trace_id = ctx.trace_id;
+    f.parent_span_id = ctx.span_id;
+    f.sampled = ctx.sampled;
+  }
   f.payload = std::move(payload);
   if (kind == wire::FrameKind::Chunk) {
     stats_.chunks_sent++;
@@ -390,23 +402,36 @@ size_t Node::deliver_local() {
 size_t Node::accept_chunk(uint16_t peer_id, PeerState& ps,
                           const wire::Frame& frame) {
   (void)peer_id;
-  wire::ChunkView cv = wire::parse_chunk(frame.payload);
+  wire::ChunkView cv;
+  try {
+    cv = wire::parse_chunk(frame.payload);
+  } catch (const WireError&) {
+    note_decode_fault("rpc.chunk_fault");
+    return 0;
+  }
   stats_.chunks_received++;
   rm().chunks_received.add();
   if ((cv.info.flags & wire::kChunkFlagAbort) != 0) {
     if (ps.reassembly.erase(cv.info.msg_id) != 0) {
       stats_.chunk_aborts++;
       rm().chunk_aborts.add();
+      obs::FlightRecorder::global().fault("rpc.chunk_abort");
     }
     return 0;
   }
   PeerState::Reassembly& r = ps.reassembly[cv.info.msg_id];
   r.dest_port = frame.dest_port;
+  if (r.trace_id == 0 && frame.trace_id != 0) {
+    r.trace_id = frame.trace_id;
+    r.parent_span_id = frame.parent_span_id;
+    r.sampled = frame.sampled;
+  }
   if (r.bytes + cv.len > relopts_.reassembly_limit) {
     // Stream exceeded the buffering cap; discard everything collected.
     ps.reassembly.erase(cv.info.msg_id);
     stats_.chunk_aborts++;
     rm().chunk_aborts.add();
+    obs::FlightRecorder::global().fault("rpc.reassembly_limit");
     return 0;
   }
   r.bytes += cv.len;
@@ -423,6 +448,10 @@ size_t Node::accept_chunk(uint16_t peer_id, PeerState& ps,
     whole.insert(whole.end(), piece.begin(), piece.end());
   }
   uint64_t dest_port = r.dest_port;
+  // Deliver on behalf of the stream's trace (stored from its first
+  // chunk), not whatever context the final chunk's drain round holds.
+  obs::ContextGuard adopt(
+      obs::TraceContext{r.trace_id, r.parent_span_id, r.sampled});
   ps.reassembly.erase(cv.info.msg_id);
   stats_.messages_reassembled++;
   rm().messages_reassembled.add();
@@ -433,7 +462,14 @@ size_t Node::accept_chunk(uint16_t peer_id, PeerState& ps,
     pool_.release(std::move(whole));
     return 0;
   }
-  Value v = wire::decode(*it->second.graph, it->second.msg_type, whole);
+  Value v;
+  try {
+    v = wire::decode(*it->second.graph, it->second.msg_type, whole);
+  } catch (const WireError&) {
+    pool_.release(std::move(whole));
+    note_decode_fault("rpc.marshal_fault");
+    return 0;
+  }
   pool_.release(std::move(whole));
   stats_.frames_received++;
   rm().frames_received.add();
@@ -444,7 +480,15 @@ size_t Node::accept_chunk(uint16_t peer_id, PeerState& ps,
 size_t Node::drain_peer(uint16_t peer_id, PeerState& ps) {
   size_t processed = 0;
   while (auto bytes = ps.link->poll()) {
-    wire::Frame f = wire::unpack_frame(*bytes);
+    wire::Frame f;
+    try {
+      f = wire::unpack_frame(*bytes);
+    } catch (const WireError&) {
+      // A malformed frame must not take the node down: drop it, count it,
+      // and leave the recent past in the flight recorder.
+      note_decode_fault("rpc.frame_fault");
+      continue;
+    }
     // Every frame carries the peer's cumulative ack; retire covered
     // retransmit entries whether it is DATA or an explicit ACK.
     apply_cum_ack(ps, f.cum_ack);
@@ -460,6 +504,11 @@ size_t Node::drain_peer(uint16_t peer_id, PeerState& ps) {
       continue;
     }
     ps.ack_due = true;
+    // Work on behalf of the frame's originating trace while handling it:
+    // spans opened by the port handler (serve.request, compare, marshal)
+    // become children of the sender's rpc.call span.
+    obs::ContextGuard adopt(
+        obs::TraceContext{f.trace_id, f.parent_span_id, f.sampled});
     if (f.kind == wire::FrameKind::Chunk) {
       processed += accept_chunk(peer_id, ps, f);
       continue;
@@ -470,13 +519,34 @@ size_t Node::drain_peer(uint16_t peer_id, PeerState& ps) {
       rm().unknown_port_drops.add();
       continue;
     }
-    Value v = wire::decode(*it->second.graph, it->second.msg_type, f.payload);
+    Value v;
+    try {
+      v = wire::decode(*it->second.graph, it->second.msg_type, f.payload);
+    } catch (const WireError&) {
+      note_decode_fault("rpc.marshal_fault");
+      continue;
+    }
     stats_.frames_received++;
     rm().frames_received.add();
     dispatch(f.dest_port, v);
     ++processed;
   }
   return processed;
+}
+
+void Node::note_decode_fault(const char* reason) {
+  stats_.decode_faults++;
+  rm().decode_faults.add();
+  // Pin the faulting request's identity into the ring before the dump: the
+  // decode never reached a handler, so no span would otherwise tie the
+  // dump to the trace that caused it. The drain loop's ContextGuard holds
+  // the frame's own context here (zeros for an unparseable frame).
+  auto& fr = obs::FlightRecorder::global();
+  if (fr.enabled()) {
+    const obs::TraceContext ctx = obs::current_context();
+    fr.record(reason, obs::now_ns(), 0, ctx.trace_id, 0, ctx.span_id);
+  }
+  fr.fault(reason);
 }
 
 void Node::flush_ack(PeerState& ps) {
@@ -573,8 +643,6 @@ PumpResult pump(const std::vector<Node*>& nodes, size_t max_rounds) {
   return result;
 }
 
-namespace {
-
 /// For an invocation type Record(I, port(O)), fetch O.
 Ref reply_msg_type(const Graph& g, Ref invocation_type) {
   Ref r = mtype::skip_var(g, invocation_type);
@@ -589,8 +657,6 @@ Ref reply_msg_type(const Graph& g, Ref invocation_type) {
   }
   return port.body();
 }
-
-}  // namespace
 
 uint64_t serve_function(Node& node, const Graph& g, Ref invocation_type,
                         std::function<Value(const Value&)> impl) {

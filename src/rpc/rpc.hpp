@@ -70,6 +70,7 @@ struct NodeStats {
   uint64_t messages_reassembled = 0;  // inbound chunk streams completed
   uint64_t chunk_aborts = 0;       // reassemblies discarded (sender abort/limit)
   uint64_t max_queue_depth = 0;    // high-water unacked+backlog frames (per peer)
+  uint64_t decode_faults = 0;      // malformed frames/payloads dropped
 };
 
 /// Tuning for the per-peer ack/retransmit machinery. Backoff is measured on
@@ -247,6 +248,11 @@ class Node {
       std::map<uint32_t, std::vector<uint8_t>> pieces;
       size_t bytes = 0;
       uint32_t total = 0;  // piece count once known, else 0
+      // Trace context of the stream (every chunk carries the sender's;
+      // the first to arrive wins), re-adopted when delivery completes.
+      uint64_t trace_id = 0;
+      uint64_t parent_span_id = 0;
+      bool sampled = false;
     };
     std::map<uint32_t, Reassembly> reassembly;
   };
@@ -269,6 +275,8 @@ class Node {
   /// Drain and deliver everything `ps`'s link has to offer (shared by
   /// poll() and poll_peer()). Returns messages delivered.
   size_t drain_peer(uint16_t peer_id, PeerState& ps);
+  /// Count a malformed frame/payload and poke the flight recorder.
+  void note_decode_fault(const char* reason);
   /// Deliver the local-queue batch staged before this round.
   size_t deliver_local();
   /// Emit an explicit ACK frame if one is due for `ps`.
@@ -306,6 +314,11 @@ struct PumpResult {
 /// nothing AND no node holds unacked frames awaiting retransmission.
 /// Stops after max_rounds regardless and reports that in the result.
 PumpResult pump(const std::vector<Node*>& nodes, size_t max_rounds = 100000);
+
+/// For an invocation type Record(I, port(O)), fetch O — the message type
+/// a caller's reply port must register. Throws MbError on other shapes.
+[[nodiscard]] mtype::Ref reply_msg_type(const mtype::Graph& g,
+                                        mtype::Ref invocation_type);
 
 /// Serve a function: `invocation_type` is Record(I, port(O)) — the child
 /// of the function's port Mtype. Returns the function's port id.

@@ -1,5 +1,7 @@
 #include "service/serve.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -8,9 +10,11 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "idl/idlparser.hpp"
 #include "lower/lower.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rpc/reactor.hpp"
@@ -18,6 +22,7 @@
 #include "service/service.hpp"
 #include "store/cachestore.hpp"
 #include "transport/link.hpp"
+#include "transport/socket.hpp"
 
 namespace mbird::service {
 
@@ -44,6 +49,12 @@ struct CompileReply {
 };
 struct EchoBlob {
   string payload;
+};
+struct TelemetryRequest {
+  boolean include_rings;
+};
+struct TelemetryReply {
+  string json;
 };
 )";
 
@@ -120,10 +131,14 @@ ServeProtocol::ServeProtocol() {
   // The paper's function model: invocation = Record(Inputs, port(Outputs)).
   invocation = g.record({request, g.port(reply)}, {"args", "reply"});
   mtype::Ref blob = lower::lower_decl(proto, g, "EchoBlob", pdiags);
-  if (blob == mtype::kNullRef || pdiags.has_errors()) {
+  mtype::Ref treq = lower::lower_decl(proto, g, "TelemetryRequest", pdiags);
+  mtype::Ref trep = lower::lower_decl(proto, g, "TelemetryReply", pdiags);
+  if (blob == mtype::kNullRef || treq == mtype::kNullRef ||
+      trep == mtype::kNullRef || pdiags.has_errors()) {
     throw MbError("serve protocol bootstrap failed");  // unreachable
   }
   echo_invocation = g.record({blob, g.port(blob)}, {"args", "reply"});
+  telemetry_invocation = g.record({treq, g.port(trep)}, {"args", "reply"});
 }
 
 int run_serve(std::vector<stype::Module>& modules, std::istream& requests,
@@ -297,10 +312,27 @@ int run_serve_listen(std::vector<stype::Module>& modules,
     return 1;
   }
 
+  // Always-on flight recorder: a few kB of recent spans per thread so the
+  // daemon can explain faults without --trace having been enabled.
+  obs::FlightRecorder::global().enable();
+  if (!options.flightrec_path.empty()) {
+    obs::FlightRecorder::global().set_fault_path(options.flightrec_path);
+  }
+  const auto start = std::chrono::steady_clock::now();
+
   std::atomic<uint64_t> served{0};
-  auto counted = [&served](std::function<Value(const Value&)> fn) {
-    return [fn = std::move(fn), &served](const Value& v) -> Value {
+  auto& req_counter = obs::counter("serve.requests");
+  auto& latency = obs::histogram("serve.latency_us");
+  auto counted = [&](std::function<Value(const Value&)> fn) {
+    return [fn = std::move(fn), &served, &req_counter,
+            &latency](const Value& v) -> Value {
+      // One span per request — a child of the calling frame's trace
+      // context (the rpc layer adopts it around dispatch), so a stitched
+      // client/server trace nests this under the client's rpc.call.
+      obs::Span span("serve.request");
+      obs::ScopedTimer timer(latency);
       served.fetch_add(1, std::memory_order_relaxed);
+      req_counter.add(1);
       return fn(v);
     };
   };
@@ -309,16 +341,49 @@ int run_serve_listen(std::vector<stype::Module>& modules,
   uint64_t echo_port =
       rpc::serve_function(server, proto.g, proto.echo_invocation,
                           counted([](const Value& args) { return args; }));
-  if (compile_port != kServeCompilePort || echo_port != kServeEchoPort) {
+  // The telemetry function: registry snapshot + live counters as one JSON
+  // string, optionally with the flight-recorder rings. NOT wrapped in
+  // counted() — dashboard polls must not count toward --max-requests or
+  // skew the request-rate metrics they report.
+  auto telemetry = [&](const Value& args) -> Value {
+    obs::Span span("serve.telemetry");
+    const bool include_rings = args.at(0).as_int() != 0;
+    const auto uptime_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::ostringstream os;
+    os << "{\"uptime_ms\":" << uptime_ms
+       << ",\"served\":" << served.load(std::memory_order_relaxed)
+       << ",\"peers\":" << reactor.peer_count()
+       << ",\"flightrec_recorded\":"
+       << obs::FlightRecorder::global().total_recorded()
+       << ",\"flightrec_faults\":"
+       << obs::FlightRecorder::global().fault_count() << ",\"metrics\":";
+    obs::Registry::global().snapshot().write_json(os);
+    if (include_rings) {
+      std::string rings =
+          obs::FlightRecorder::global().chrome_json("telemetry.request");
+      while (!rings.empty() && rings.back() == '\n') rings.pop_back();
+      os << ",\"flight_recorder\":" << rings;
+    }
+    os << "}";
+    return Value::record({Value::string(os.str())});
+  };
+  uint64_t telemetry_port = rpc::serve_function(
+      server, proto.g, proto.telemetry_invocation, telemetry);
+  if (compile_port != kServeCompilePort || echo_port != kServeEchoPort ||
+      telemetry_port != kServeTelemetryPort) {
     err << "mbird: serve port convention violated\n";  // unreachable
     return 1;
   }
 
   // The ready line is the dial signal for harnesses: the resolved address
-  // (ephemeral TCP ports filled in) and the two well-known ports.
+  // (ephemeral TCP ports filled in) and the three well-known ports.
   out << "{\"listening\": \"" << reactor.listen_address()
       << "\", \"compile_port\": " << compile_port
-      << ", \"echo_port\": " << echo_port << "}" << std::endl;
+      << ", \"echo_port\": " << echo_port
+      << ", \"telemetry_port\": " << telemetry_port << "}" << std::endl;
 
   g_serve_stop.store(false);
   std::signal(SIGINT, serve_stop_signal);
@@ -348,8 +413,44 @@ int run_serve_listen(std::vector<stype::Module>& modules,
       << ", \"chunks_received\": " << ss.chunks_received
       << ", \"bytes_sent\": " << ss.bytes_sent
       << ", \"retransmits\": " << ss.retransmits
+      << ", \"decode_faults\": " << ss.decode_faults
       << ", \"max_queue_depth\": " << ss.max_queue_depth << "}}" << std::endl;
   return rc;
+}
+
+std::string fetch_telemetry(const ServeProtocol& proto, const std::string& addr,
+                            bool include_rings, int timeout_ms) {
+  // A telemetry client is ephemeral: pick a node id outside the range
+  // ordinary clients use so a dashboard poll never supersedes a worker's
+  // connection (the reactor keys channels by origin node id).
+  rpc::ReliabilityOptions relopts;
+  relopts.initial_backoff = 256;  // this loop polls every ~200µs
+  relopts.max_backoff = 4096;
+  rpc::Node client(
+      static_cast<uint16_t>(0x8000u | (static_cast<unsigned>(::getpid()) &
+                                       0x7fffu)),
+      relopts);
+  client.connect(kServeNodeId,
+                 transport::polled_socket_link(transport::dial_fd(addr)));
+
+  const mtype::Ref reply_type =
+      rpc::reply_msg_type(proto.g, proto.telemetry_invocation);
+  std::optional<Value> reply;
+  uint64_t rp = client.open_port(
+      &proto.g, reply_type, [&reply](const Value& v) { reply = v; },
+      /*once=*/true);
+  client.send(kServeTelemetryPort, proto.g, proto.telemetry_invocation,
+              Value::record({Value::record({Value::integer(include_rings)}),
+                             Value::port(rp)}));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    client.poll();
+    if (reply) return string_of(reply->at(0));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  throw MbError("telemetry fetch from " + addr + " timed out after " +
+                std::to_string(timeout_ms) + "ms");
 }
 
 }  // namespace mbird::service

@@ -52,19 +52,23 @@ struct ServeProtocol {
   mtype::Ref reply = mtype::kNullRef;       // CompileReply
   mtype::Ref invocation = mtype::kNullRef;  // Record(request, port(reply))
   mtype::Ref echo_invocation = mtype::kNullRef;  // Record(string, port(string))
+  // Record(TelemetryRequest, port(TelemetryReply)) — the live telemetry
+  // plane (DESIGN.md §4l): registry snapshot + flight-recorder dump.
+  mtype::Ref telemetry_invocation = mtype::kNullRef;
   ServeProtocol();  // throws MbError if the bootstrap IDL fails (unreachable)
 };
 
 /// Port-id convention for a listening server: the server is node
 /// kServeNodeId and opens the compile function first, the echo function
-/// second — so clients can compute both port ids without a directory
-/// round-trip.
+/// second, and the telemetry function third — so clients can compute all
+/// three port ids without a directory round-trip.
 constexpr uint16_t kServeNodeId = 1;
 [[nodiscard]] constexpr uint64_t serve_port(uint64_t local_id) {
   return (static_cast<uint64_t>(kServeNodeId) << 48) | local_id;
 }
 constexpr uint64_t kServeCompilePort = serve_port(1);
 constexpr uint64_t kServeEchoPort = serve_port(2);
+constexpr uint64_t kServeTelemetryPort = serve_port(3);
 
 /// Decode the canonical list-of-char string Mtype back to a std::string.
 [[nodiscard]] std::string string_of(const runtime::Value& v);
@@ -73,7 +77,21 @@ struct ServeListenOptions {
   std::string cache_path;     // empty: in-memory caches only
   uint64_t max_requests = 0;  // stop after this many served (0: run until
                               // SIGINT/SIGTERM)
+  // Fault-path flight-recorder dump destination (marshal fault,
+  // reassembly-limit abort, peer-retire storm). Empty disables the
+  // on-fault file dump; the telemetry port can still read the rings.
+  std::string flightrec_path = "mbird.flightrec.json";
 };
+
+/// Dial a listening daemon and fetch one telemetry snapshot: a JSON
+/// object with uptime, served count, the full metrics-registry snapshot
+/// under "metrics", and (when `include_rings`) the flight-recorder dump
+/// under "flight_recorder". Throws TransportError/MbError on connect
+/// failure or timeout.
+[[nodiscard]] std::string fetch_telemetry(const ServeProtocol& proto,
+                                          const std::string& addr,
+                                          bool include_rings,
+                                          int timeout_ms = 5000);
 
 /// Run the reactor-hosted multi-client server: bind `addr` ("unix:PATH",
 /// "tcp:HOST:PORT", bare path), print one ready JSON line with the resolved

@@ -1,5 +1,6 @@
 #include "tool/mbird.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -7,6 +8,7 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "annotate/script.hpp"
 #include "cfront/cparser.hpp"
@@ -26,6 +28,7 @@
 #include "service/service.hpp"
 #include "support/strings.hpp"
 #include "tool/batch.hpp"
+#include "tool/metrics_reader.hpp"
 
 namespace mbird::tool {
 
@@ -165,7 +168,7 @@ int usage(std::ostream& err) {
          "             [--diag-format=text|json] [--engine=vm|threaded|compiled]\n"
          "             [--c|--java|--idl|--classfile|--project <file>]...\n"
          "             [--script <file>] [--annotate '<stmts>']\n"
-         "             <list|show|mtype|diagram|compare|plan|gen|batch|serve|stats|save> ...\n"
+         "             <list|show|mtype|diagram|compare|plan|gen|batch|serve|stats|top|save> ...\n"
          "  compare <a> <b> [--cache <file>]\n"
          "                             verdict for one pair (--cache reuses\n"
          "                             and extends a durable verdict store)\n"
@@ -183,16 +186,34 @@ int usage(std::ostream& err) {
          "                             --cache persists verdicts and compiled\n"
          "                             programs across runs (warm restart)\n"
          "  serve [--requests <file>] [--cache <file>]\n"
-         "        [--listen <addr>] [--max-requests N]\n"
+         "        [--listen <addr>] [--max-requests N] [--flightrec <file>]\n"
          "                             long-lived daemon: answer compile-pair\n"
          "                             request lines (stdin or --requests)\n"
          "                             over the in-process rpc stack, one\n"
          "                             JSON reply line each; --listen binds\n"
          "                             unix:PATH or tcp:HOST:PORT instead and\n"
          "                             serves many concurrent rpc clients\n"
-         "                             through the epoll reactor\n"
+         "                             through the epoll reactor; --flightrec\n"
+         "                             sets the on-fault flight-recorder dump\n"
+         "                             file ('none' disables)\n"
          "  stats [metrics.json]       pretty-print a --metrics/batch metrics\n"
-         "                             snapshot (no file: this process's own)\n"
+         "                             snapshot (no file: this process's own);\n"
+         "                             exit 2 on an unparseable snapshot\n"
+         "  stats --stitch <a.json> <b.json>... [-o out.json]\n"
+         "                             merge per-process --trace files into\n"
+         "                             one Chrome trace: clocks aligned by\n"
+         "                             shared trace ids, cross-process rpc\n"
+         "                             hops drawn as flow arrows\n"
+         "  top --connect <addr> [--once] [--json] [--raw] [--rings]\n"
+         "      [--interval <ms>] [--samples N] [--timeout <ms>]\n"
+         "                             live dashboard against a listening\n"
+         "                             daemon's telemetry port: req/s,\n"
+         "                             latency and loop-lag percentiles,\n"
+         "                             per-peer queue depth, cache hit ratio;\n"
+         "                             --once --json emits one machine-\n"
+         "                             readable sample; --raw dumps the\n"
+         "                             telemetry reply (--rings includes the\n"
+         "                             flight-recorder rings)\n"
          "global flags (valid anywhere on the line):\n"
          "  --trace <out.json>         record nested spans, write Chrome\n"
          "                             trace-event JSON (chrome://tracing)\n"
@@ -205,196 +226,333 @@ int usage(std::ostream& err) {
   return 2;
 }
 
-// ---- `mbird stats`: flat metrics-JSON reader --------------------------------
-// Reads exactly the shape Registry::Snapshot::write_json emits — either a
-// --metrics output file or a batch report (whose snapshot sits under a
-// top-level "metrics" key; other report keys are skipped). Not a general
-// JSON parser.
-struct MetricsReader {
-  explicit MetricsReader(const std::string& text) : s(text) {}
+// ---- `mbird top`: live telemetry dashboard ----------------------------------
+// One sample = one telemetry round-trip to a listening daemon: the flat
+// scalars (served, uptime_ms, ...) plus the full metrics snapshot.
+struct TopSample {
+  obs::Registry::Snapshot snap;
+  std::map<std::string, int64_t> ints;
 
-  const std::string& s;
-  size_t i = 0;
-  std::string error;
-
-  void fail(const std::string& why) {
-    if (error.empty()) error = why + " at byte " + std::to_string(i);
+  [[nodiscard]] int64_t flat(const char* k) const {
+    auto it = ints.find(k);
+    return it == ints.end() ? 0 : it->second;
   }
-  void skip_ws() {
-    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
-                            s[i] == '\r')) {
-      ++i;
-    }
+  [[nodiscard]] uint64_t cnt(const char* name) const {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
   }
-  bool peek(char c) {
-    skip_ws();
-    return i < s.size() && s[i] == c;
+  [[nodiscard]] int64_t gauge(const char* name) const {
+    auto it = snap.gauges.find(name);
+    return it == snap.gauges.end() ? 0 : it->second;
   }
-  bool expect(char c) {
-    skip_ws();
-    if (i < s.size() && s[i] == c) {
-      ++i;
-      return true;
-    }
-    fail(std::string("expected '") + c + "'");
-    return false;
+  [[nodiscard]] const obs::Registry::HistView* hist(const char* name) const {
+    auto it = snap.histograms.find(name);
+    return it == snap.histograms.end() ? nullptr : &it->second;
   }
-
-  bool parse_string(std::string* out) {
-    if (!expect('"')) return false;
-    out->clear();
-    while (i < s.size() && s[i] != '"') {
-      char c = s[i++];
-      if (c == '\\' && i < s.size()) {
-        char e = s[i++];
-        switch (e) {
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          case 'u':
-            // Metric names never need \u escapes; skip the four hex digits
-            // and substitute '?' rather than decoding.
-            i = std::min(i + 4, s.size());
-            out->push_back('?');
-            break;
-          default: out->push_back(e);
-        }
-      } else {
-        out->push_back(c);
+  // "rpc.peer.<id>.inflight" gauges, keyed by peer id.
+  [[nodiscard]] std::map<uint64_t, int64_t> peer_inflight() const {
+    std::map<uint64_t, int64_t> by_peer;
+    const std::string prefix = "rpc.peer.";
+    const std::string suffix = ".inflight";
+    for (const auto& [name, v] : snap.gauges) {
+      if (name.size() <= prefix.size() + suffix.size()) continue;
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+        continue;
       }
+      const std::string id =
+          name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+      if (id.empty() || id.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+      by_peer[std::stoull(id)] = v;
     }
-    if (i >= s.size()) {
-      fail("unterminated string");
-      return false;
-    }
-    ++i;  // closing quote
-    return true;
-  }
-
-  bool parse_int(int64_t* out) {
-    skip_ws();
-    size_t start = i;
-    if (i < s.size() && s[i] == '-') ++i;
-    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
-    if (i == start || (i == start + 1 && s[start] == '-')) {
-      fail("expected a number");
-      return false;
-    }
-    *out = std::stoll(s.substr(start, i - start));
-    return true;
-  }
-
-  // Skips any value (object/array/string/number/keyword) — used for batch
-  // report keys that are not part of the metrics snapshot.
-  bool skip_value() {
-    skip_ws();
-    if (i >= s.size()) {
-      fail("unexpected end of input");
-      return false;
-    }
-    char c = s[i];
-    if (c == '"') {
-      std::string ignored;
-      return parse_string(&ignored);
-    }
-    if (c == '{' || c == '[') {
-      const char close = c == '{' ? '}' : ']';
-      ++i;
-      while (!peek(close)) {
-        if (c == '{') {
-          std::string key;
-          if (!parse_string(&key) || !expect(':')) return false;
-        }
-        if (!skip_value()) return false;
-        if (!peek(',')) break;
-        ++i;
-      }
-      return expect(close);
-    }
-    while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
-           s[i] != '\n') {
-      ++i;  // number / true / false / null
-    }
-    return true;
-  }
-
-  // {"name": int, ...} into `out` via `put`.
-  template <typename Put>
-  bool parse_int_map(const Put& put) {
-    if (!expect('{')) return false;
-    while (!peek('}')) {
-      std::string name;
-      int64_t v = 0;
-      if (!parse_string(&name) || !expect(':') || !parse_int(&v)) return false;
-      put(name, v);
-      if (!peek(',')) break;
-      ++i;
-    }
-    return expect('}');
-  }
-
-  bool parse_histograms(obs::Registry::Snapshot* snap) {
-    if (!expect('{')) return false;
-    while (!peek('}')) {
-      std::string name;
-      if (!parse_string(&name) || !expect(':')) return false;
-      obs::Registry::HistView hv;
-      bool ok = parse_int_map([&](const std::string& field, int64_t v) {
-        auto u = static_cast<uint64_t>(v);
-        if (field == "count") hv.count = u;
-        else if (field == "sum") hv.sum = u;
-        else if (field == "p50") hv.p50 = u;
-        else if (field == "p95") hv.p95 = u;
-        else if (field == "p99") hv.p99 = u;
-        else if (field == "max") hv.max = u;
-      });
-      if (!ok) return false;
-      snap->histograms.emplace(std::move(name), hv);
-      if (!peek(',')) break;
-      ++i;
-    }
-    return expect('}');
-  }
-
-  // `nested`: inside a batch report's "metrics" object (no further
-  // descent — a report does not nest reports).
-  bool parse_snapshot(obs::Registry::Snapshot* snap, bool nested) {
-    if (!expect('{')) return false;
-    while (!peek('}')) {
-      std::string key;
-      if (!parse_string(&key) || !expect(':')) return false;
-      bool ok = true;
-      if (key == "counters") {
-        ok = parse_int_map([&](const std::string& n, int64_t v) {
-          snap->counters.emplace(n, static_cast<uint64_t>(v));
-        });
-      } else if (key == "gauges") {
-        ok = parse_int_map(
-            [&](const std::string& n, int64_t v) { snap->gauges.emplace(n, v); });
-      } else if (key == "histograms") {
-        ok = parse_histograms(snap);
-      } else if (key == "metrics" && !nested) {
-        ok = parse_snapshot(snap, true);
-      } else {
-        ok = skip_value();
-      }
-      if (!ok) return false;
-      if (!peek(',')) break;
-      ++i;
-    }
-    return expect('}');
+    return by_peer;
   }
 };
 
-std::optional<obs::Registry::Snapshot> parse_metrics_json(
-    const std::string& text, std::string* error) {
+bool parse_telemetry(const std::string& text, TopSample* sample,
+                     std::string* perr) {
   MetricsReader r{text};
-  obs::Registry::Snapshot snap;
-  if (!r.parse_snapshot(&snap, false)) {
-    *error = r.error.empty() ? "malformed metrics JSON" : r.error;
-    return std::nullopt;
+  if (!r.parse_snapshot(&sample->snap, false)) {
+    *perr = r.error.empty() ? "malformed telemetry JSON" : r.error;
+    return false;
   }
-  return snap;
+  sample->ints = std::move(r.top_ints);
+  return true;
+}
+
+// Requests per second: from the daemon's own uptime on a lone sample, from
+// the served delta between two samples on a refreshing dashboard.
+double top_rate(const TopSample& cur, const TopSample* prev) {
+  if (prev != nullptr) {
+    const double dt_ms =
+        static_cast<double>(cur.flat("uptime_ms") - prev->flat("uptime_ms"));
+    if (dt_ms > 0) {
+      return static_cast<double>(cur.flat("served") - prev->flat("served")) *
+             1e3 / dt_ms;
+    }
+  }
+  const double up_ms = static_cast<double>(cur.flat("uptime_ms"));
+  if (up_ms <= 0) return 0;
+  return static_cast<double>(cur.flat("served")) * 1e3 / up_ms;
+}
+
+// The machine-readable form (`mbird top --once --json`): one flat JSON
+// object with the dashboard's derived numbers — CI smoke asserts on the
+// req_per_sec and loop_lag_ns keys.
+void write_top_json(std::ostream& os, const TopSample& s, double rps) {
+  char num[64];
+  std::snprintf(num, sizeof num, "%.3f", rps);
+  os << "{\"uptime_ms\":" << s.flat("uptime_ms")
+     << ",\"served\":" << s.flat("served") << ",\"req_per_sec\":" << num
+     << ",\"peers\":" << s.flat("peers");
+  const obs::Registry::HistView* lat = s.hist("serve.latency_us");
+  os << ",\"latency_us\":{\"count\":" << (lat ? lat->count : 0)
+     << ",\"p50\":" << (lat ? lat->p50 : 0) << ",\"p95\":" << (lat ? lat->p95 : 0)
+     << ",\"p99\":" << (lat ? lat->p99 : 0) << "}";
+  const obs::Registry::HistView* lag = s.hist("rpc.reactor.loop_lag_ns");
+  os << ",\"loop_lag_ns\":{\"count\":" << (lag ? lag->count : 0)
+     << ",\"p50\":" << (lag ? lag->p50 : 0) << ",\"p95\":" << (lag ? lag->p95 : 0)
+     << ",\"p99\":" << (lag ? lag->p99 : 0) << ",\"max\":" << (lag ? lag->max : 0)
+     << "}";
+  os << ",\"queue_depth\":" << s.gauge("rpc.reactor.queue_depth")
+     << ",\"stalls\":" << s.cnt("rpc.reactor.stalls");
+  const uint64_t hits = s.cnt("crosscache.verdict.hits");
+  const uint64_t misses = s.cnt("crosscache.verdict.misses");
+  std::snprintf(num, sizeof num, "%.4f",
+                hits + misses == 0
+                    ? 0.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(hits + misses));
+  os << ",\"cache_hit_ratio\":" << num;
+  os << ",\"peer_inflight\":{";
+  bool first = true;
+  for (const auto& [peer, depth] : s.peer_inflight()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << peer << "\":" << depth;
+  }
+  os << "},\"flightrec_recorded\":" << s.flat("flightrec_recorded")
+     << ",\"flightrec_faults\":" << s.flat("flightrec_faults") << "}\n";
+}
+
+// The human-readable dashboard frame.
+void write_top_text(std::ostream& os, const std::string& addr,
+                    const TopSample& s, double rps) {
+  char line[256];
+  std::snprintf(line, sizeof line, "mbird top — %s   up %.1fs\n", addr.c_str(),
+                static_cast<double>(s.flat("uptime_ms")) / 1e3);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "requests   served %lld   rate %.1f/s   peers %lld\n",
+                static_cast<long long>(s.flat("served")), rps,
+                static_cast<long long>(s.flat("peers")));
+  os << line;
+  if (const auto* lat = s.hist("serve.latency_us")) {
+    std::snprintf(line, sizeof line,
+                  "latency    p50 %lluus  p95 %lluus  p99 %lluus  (n=%llu)\n",
+                  static_cast<unsigned long long>(lat->p50),
+                  static_cast<unsigned long long>(lat->p95),
+                  static_cast<unsigned long long>(lat->p99),
+                  static_cast<unsigned long long>(lat->count));
+    os << line;
+  }
+  if (const auto* lag = s.hist("rpc.reactor.loop_lag_ns")) {
+    std::snprintf(line, sizeof line,
+                  "loop lag   p50 %.1fus  p99 %.1fus  max %.1fus\n",
+                  static_cast<double>(lag->p50) / 1e3,
+                  static_cast<double>(lag->p99) / 1e3,
+                  static_cast<double>(lag->max) / 1e3);
+    os << line;
+  }
+  const uint64_t hits = s.cnt("crosscache.verdict.hits");
+  const uint64_t misses = s.cnt("crosscache.verdict.misses");
+  std::snprintf(
+      line, sizeof line,
+      "cache      hit ratio %.1f%% (hits %llu, misses %llu)\n",
+      hits + misses == 0 ? 0.0
+                         : 100.0 * static_cast<double>(hits) /
+                               static_cast<double>(hits + misses),
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses));
+  os << line;
+  std::snprintf(line, sizeof line,
+                "reactor    queue depth %lld   stalls %llu   stalled %lld\n",
+                static_cast<long long>(s.gauge("rpc.reactor.queue_depth")),
+                static_cast<unsigned long long>(s.cnt("rpc.reactor.stalls")),
+                static_cast<long long>(s.gauge("rpc.reactor.stalled")));
+  os << line;
+  std::snprintf(line, sizeof line, "flightrec  recorded %lld   faults %lld\n",
+                static_cast<long long>(s.flat("flightrec_recorded")),
+                static_cast<long long>(s.flat("flightrec_faults")));
+  os << line;
+  for (const auto& [peer, depth] : s.peer_inflight()) {
+    std::snprintf(line, sizeof line, "  peer %llu inflight %lld\n",
+                  static_cast<unsigned long long>(peer),
+                  static_cast<long long>(depth));
+    os << line;
+  }
+}
+
+// ---- `mbird stats --stitch`: multi-process trace merge ----------------------
+// Each input file becomes one pid in the merged Chrome trace. Files have
+// independent epochs (each process's tracer starts its own clock), so the
+// merge aligns them by the trace-context links the wire extension carried:
+// a span whose parent_span_id lives in another file pins the two clocks
+// together (child centered inside its parent). Cross-file parent→child
+// links additionally get Chrome flow arrows ("s"/"f" events) so
+// chrome://tracing draws the rpc hop.
+struct StitchFile {
+  std::string path;
+  std::vector<TraceEvent> events;
+  std::map<uint64_t, size_t> by_span;  // span_id → index into events
+  double offset_us = 0;
+};
+
+struct StitchLink {
+  size_t parent_file, parent_ev;
+  size_t child_file, child_ev;
+};
+
+int run_stitch(const std::vector<std::string>& paths,
+               const std::string& out_path, std::ostream& out,
+               std::ostream& err) {
+  std::vector<StitchFile> files;
+  for (const std::string& p : paths) {
+    auto text = read_file(p);
+    if (!text) {
+      err << "mbird: cannot read " << p << '\n';
+      return 1;
+    }
+    StitchFile f;
+    f.path = p;
+    std::string perr;
+    if (!parse_chrome_trace(*text, &f.events, &perr)) {
+      err << "mbird: " << p << ": " << perr << '\n';
+      return 2;
+    }
+    for (size_t k = 0; k < f.events.size(); ++k) {
+      const uint64_t span = f.events[k].id_arg("span_id");
+      if (span != 0) f.by_span.emplace(span, k);
+    }
+    files.push_back(std::move(f));
+  }
+
+  // Clock alignment, first file as the base: for every event whose parent
+  // span lives in an earlier (already-aligned) file and shares its
+  // trace_id, the child "should" sit centered inside the parent; average
+  // the implied offsets over all such links.
+  std::vector<StitchLink> links;
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t ei = 0; ei < files[fi].events.size(); ++ei) {
+      const TraceEvent& ev = files[fi].events[ei];
+      const uint64_t parent = ev.id_arg("parent_span_id");
+      const uint64_t trace = ev.id_arg("trace_id");
+      if (parent == 0 || trace == 0) continue;
+      if (files[fi].by_span.count(parent) != 0) continue;  // same-file nesting
+      for (size_t fj = 0; fj < files.size(); ++fj) {
+        if (fj == fi) continue;
+        auto it = files[fj].by_span.find(parent);
+        if (it == files[fj].by_span.end()) continue;
+        const TraceEvent& pev = files[fj].events[it->second];
+        if (pev.id_arg("trace_id") != trace) continue;
+        links.push_back(StitchLink{fj, it->second, fi, ei});
+        if (fi != 0 && fj < fi) {
+          const double want = pev.ts + files[fj].offset_us +
+                              (pev.dur - ev.dur) / 2.0;
+          sum += want - ev.ts;
+          ++n;
+        }
+        break;
+      }
+    }
+    if (fi != 0 && n > 0) files[fi].offset_us = sum / static_cast<double>(n);
+  }
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  char num[64];
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << fi + 1
+       << ",\"args\":{\"name\":";
+    os << '"';
+    json_escape(os, files[fi].path);
+    os << '"' << "}}";
+  }
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    for (const TraceEvent& ev : files[fi].events) {
+      if (ev.ph != "X") continue;
+      sep();
+      os << "{\"name\":";
+      os << '"';
+      json_escape(os, ev.name);
+      os << '"';
+      os << ",\"cat\":\"mbird\",\"ph\":\"X\",\"pid\":" << fi + 1
+         << ",\"tid\":" << ev.tid;
+      std::snprintf(num, sizeof num, "%.3f", ev.ts + files[fi].offset_us);
+      os << ",\"ts\":" << num;
+      std::snprintf(num, sizeof num, "%.3f", ev.dur);
+      os << ",\"dur\":" << num;
+      if (!ev.args.empty()) {
+        os << ",\"args\":{";
+        bool afirst = true;
+        for (const auto& [k, v] : ev.args) {
+          if (!afirst) os << ",";
+          afirst = false;
+          os << '"';
+          json_escape(os, k);
+          os << "\":\"";
+          json_escape(os, v);
+          os << '"';
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  for (const StitchLink& ln : links) {
+    const TraceEvent& p = files[ln.parent_file].events[ln.parent_ev];
+    const TraceEvent& c = files[ln.child_file].events[ln.child_ev];
+    char id[32];
+    std::snprintf(id, sizeof id, "%016llx",
+                  static_cast<unsigned long long>(c.id_arg("span_id")));
+    sep();
+    std::snprintf(num, sizeof num, "%.3f",
+                  p.ts + files[ln.parent_file].offset_us);
+    os << "{\"name\":\"rpc\",\"cat\":\"mbird.flow\",\"ph\":\"s\",\"id\":\"0x"
+       << id << "\",\"pid\":" << ln.parent_file + 1 << ",\"tid\":" << p.tid
+       << ",\"ts\":" << num << "}";
+    sep();
+    std::snprintf(num, sizeof num, "%.3f",
+                  c.ts + files[ln.child_file].offset_us);
+    os << "{\"name\":\"rpc\",\"cat\":\"mbird.flow\",\"ph\":\"f\",\"bp\":\"e\","
+          "\"id\":\"0x"
+       << id << "\",\"pid\":" << ln.child_file + 1 << ",\"tid\":" << c.tid
+       << ",\"ts\":" << num << "}";
+  }
+  os << (first ? "" : "\n") << "],\"displayTimeUnit\":\"ms\"}\n";
+
+  if (out_path.empty()) {
+    out << os.str();
+  } else if (!write_file(out_path, os.str())) {
+    err << "mbird: cannot write " << out_path << '\n';
+    return 1;
+  } else {
+    out << "stitched " << files.size() << " traces, " << links.size()
+        << " cross-process links";
+    if (!out_path.empty()) out << " -> " << out_path;
+    out << '\n';
+  }
+  return 0;
 }
 
 int run_command(const std::vector<std::string>& args, bool json_diags,
@@ -706,6 +864,7 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
     std::string requests_path;
     std::string listen_addr;
     uint64_t max_requests = 0;
+    std::optional<std::string> flightrec_path;
     for (; i < args.size(); ++i) {
       if (args[i] == "--cache" && i + 1 < args.size()) {
         sopts.cache_path = args[++i];
@@ -715,6 +874,11 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
         listen_addr = args[++i];
       } else if (args[i] == "--max-requests" && i + 1 < args.size()) {
         max_requests = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--flightrec" && i + 1 < args.size()) {
+        // Fault-dump destination; "none" disables the on-fault file (the
+        // telemetry port can still read the rings).
+        flightrec_path = args[++i];
+        if (*flightrec_path == "none") flightrec_path = "";
       } else {
         err << "mbird: unknown serve option '" << args[i] << "'\n";
         return 2;
@@ -724,6 +888,7 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
       service::ServeListenOptions lopts;
       lopts.cache_path = sopts.cache_path;
       lopts.max_requests = max_requests;
+      if (flightrec_path) lopts.flightrec_path = *flightrec_path;
       return service::run_serve_listen(s.modules, listen_addr, s.diags, lopts,
                                        out, err);
     }
@@ -741,6 +906,25 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
   }
 
   if (cmd == "stats") {
+    if (i < args.size() && args[i] == "--stitch") {
+      ++i;
+      std::vector<std::string> trace_files;
+      std::string out_path;
+      for (; i < args.size(); ++i) {
+        if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+        else if (starts_with(args[i], "--")) {
+          err << "mbird: unknown stitch option '" << args[i] << "'\n";
+          return 2;
+        } else {
+          trace_files.push_back(args[i]);
+        }
+      }
+      if (trace_files.size() < 2) {
+        err << "mbird: stats --stitch needs at least two trace files\n";
+        return 2;
+      }
+      return run_stitch(trace_files, out_path, out, err);
+    }
     obs::Registry::Snapshot snap;
     if (i < args.size()) {
       auto text = read_file(args[i]);
@@ -751,8 +935,10 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
       std::string perr;
       auto parsed = parse_metrics_json(*text, &perr);
       if (!parsed) {
+        // Exit 2 — usage-class failure, distinct from I/O's exit 1 — so
+        // scripted consumers can tell "bad snapshot" from "missing file".
         err << "mbird: " << args[i] << ": " << perr << '\n';
-        return 1;
+        return 2;
       }
       snap = std::move(*parsed);
     } else {
@@ -762,6 +948,81 @@ int run_command(const std::vector<std::string>& args, bool json_diags,
     }
     out << snap.to_text();
     return 0;
+  }
+
+  if (cmd == "top") {
+    std::string addr;
+    bool once = false, json = false, raw = false, rings = false;
+    size_t interval_ms = 1000;
+    size_t samples = 0;  // 0: until killed
+    int timeout_ms = 5000;
+    for (; i < args.size(); ++i) {
+      if (args[i] == "--connect" && i + 1 < args.size()) {
+        addr = args[++i];
+      } else if (args[i] == "--once") {
+        once = true;
+      } else if (args[i] == "--json") {
+        json = true;
+      } else if (args[i] == "--raw") {
+        raw = true;
+      } else if (args[i] == "--rings") {
+        rings = true;
+      } else if (args[i] == "--interval" && i + 1 < args.size()) {
+        auto v = parse_count("--interval", args[++i], err);
+        if (!v || *v == 0) return usage(err);
+        interval_ms = *v;
+      } else if (args[i] == "--samples" && i + 1 < args.size()) {
+        auto v = parse_count("--samples", args[++i], err);
+        if (!v) return usage(err);
+        samples = *v;
+      } else if (args[i] == "--timeout" && i + 1 < args.size()) {
+        auto v = parse_count("--timeout", args[++i], err);
+        if (!v) return usage(err);
+        timeout_ms = static_cast<int>(*v);
+      } else {
+        err << "mbird: unknown top option '" << args[i] << "'\n";
+        return 2;
+      }
+    }
+    if (addr.empty()) {
+      err << "mbird: top requires --connect <addr>\n";
+      return usage(err);
+    }
+    try {
+      service::ServeProtocol proto;
+      if (raw) {
+        // The unprocessed telemetry reply — with --rings this is the
+        // on-demand flight-recorder dump path (no --trace, no restart).
+        out << service::fetch_telemetry(proto, addr, rings, timeout_ms);
+        return 0;
+      }
+      std::optional<TopSample> prev;
+      for (size_t n = 0; once || samples == 0 || n < samples; ++n) {
+        const std::string reply =
+            service::fetch_telemetry(proto, addr, rings, timeout_ms);
+        TopSample sample;
+        std::string perr;
+        if (!parse_telemetry(reply, &sample, &perr)) {
+          err << "mbird: telemetry reply: " << perr << '\n';
+          return 2;
+        }
+        const double rps = top_rate(sample, prev ? &*prev : nullptr);
+        if (json) {
+          write_top_json(out, sample, rps);
+        } else {
+          if (!once && samples != 1) out << "\x1b[2J\x1b[H";  // clear screen
+          write_top_text(out, addr, sample, rps);
+        }
+        out.flush();
+        if (once) break;
+        prev = std::move(sample);
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      err << "mbird: top: " << e.what() << '\n';
+      return 1;
+    }
   }
 
   if (cmd == "save") {

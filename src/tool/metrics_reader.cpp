@@ -1,0 +1,301 @@
+#include "tool/metrics_reader.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mbird::tool {
+
+void MetricsReader::fail(const std::string& why) {
+  if (error.empty()) error = why + " at byte " + std::to_string(i);
+}
+
+void MetricsReader::skip_ws() {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' || s[i] == '\r')) {
+    ++i;
+  }
+}
+
+bool MetricsReader::peek(char c) {
+  skip_ws();
+  return i < s.size() && s[i] == c;
+}
+
+bool MetricsReader::expect(char c) {
+  skip_ws();
+  if (i < s.size() && s[i] == c) {
+    ++i;
+    return true;
+  }
+  fail(std::string("expected '") + c + "'");
+  return false;
+}
+
+bool MetricsReader::parse_string(std::string* out) {
+  if (!expect('"')) return false;
+  out->clear();
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i++];
+    if (c == '\\' && i < s.size()) {
+      char e = s[i++];
+      switch (e) {
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'u':
+          // Metric names never need \u escapes; skip the four hex digits
+          // and substitute '?' rather than decoding.
+          i = std::min(i + 4, s.size());
+          out->push_back('?');
+          break;
+        default: out->push_back(e);
+      }
+    } else {
+      out->push_back(c);
+    }
+  }
+  if (i >= s.size()) {
+    fail("unterminated string");
+    return false;
+  }
+  ++i;  // closing quote
+  return true;
+}
+
+bool MetricsReader::parse_int(int64_t* out) {
+  skip_ws();
+  size_t start = i;
+  if (i < s.size() && s[i] == '-') ++i;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  if (i == start || (i == start + 1 && s[start] == '-')) {
+    fail("expected a number");
+    return false;
+  }
+  *out = std::stoll(s.substr(start, i - start));
+  return true;
+}
+
+// Skips any value (object/array/string/number/keyword) — used for report
+// keys that are not part of the metrics snapshot.
+bool MetricsReader::skip_value() {
+  skip_ws();
+  if (i >= s.size()) {
+    fail("unexpected end of input");
+    return false;
+  }
+  char c = s[i];
+  if (c == '"') {
+    std::string ignored;
+    return parse_string(&ignored);
+  }
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    ++i;
+    while (!peek(close)) {
+      if (c == '{') {
+        std::string key;
+        if (!parse_string(&key) || !expect(':')) return false;
+      }
+      if (!skip_value()) return false;
+      if (!peek(',')) break;
+      ++i;
+    }
+    return expect(close);
+  }
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         s[i] != '\n') {
+    ++i;  // number / true / false / null
+  }
+  return true;
+}
+
+bool MetricsReader::parse_histograms(obs::Registry::Snapshot* snap) {
+  if (!expect('{')) return false;
+  while (!peek('}')) {
+    std::string name;
+    if (!parse_string(&name) || !expect(':')) return false;
+    obs::Registry::HistView hv;
+    bool ok = parse_int_map([&](const std::string& field, int64_t v) {
+      auto u = static_cast<uint64_t>(v);
+      if (field == "count") hv.count = u;
+      else if (field == "sum") hv.sum = u;
+      else if (field == "p50") hv.p50 = u;
+      else if (field == "p95") hv.p95 = u;
+      else if (field == "p99") hv.p99 = u;
+      else if (field == "max") hv.max = u;
+    });
+    if (!ok) return false;
+    snap->histograms.emplace(std::move(name), hv);
+    if (!peek(',')) break;
+    ++i;
+  }
+  return expect('}');
+}
+
+bool MetricsReader::parse_snapshot(obs::Registry::Snapshot* snap,
+                                   bool nested) {
+  if (!expect('{')) return false;
+  while (!peek('}')) {
+    std::string key;
+    if (!parse_string(&key) || !expect(':')) return false;
+    bool ok = true;
+    if (key == "counters") {
+      ok = parse_int_map([&](const std::string& n, int64_t v) {
+        snap->counters.emplace(n, static_cast<uint64_t>(v));
+      });
+    } else if (key == "gauges") {
+      ok = parse_int_map(
+          [&](const std::string& n, int64_t v) { snap->gauges.emplace(n, v); });
+    } else if (key == "histograms") {
+      ok = parse_histograms(snap);
+    } else if (key == "metrics" && !nested) {
+      ok = parse_snapshot(snap, true);
+    } else {
+      // A telemetry reply's flat scalars ("served", "uptime_ms", ...) are
+      // worth keeping; anything non-integer is skipped wholesale.
+      skip_ws();
+      if (!nested && i < s.size() && (s[i] == '-' || (s[i] >= '0' && s[i] <= '9'))) {
+        int64_t v = 0;
+        ok = parse_int(&v);
+        if (ok) top_ints[key] = v;
+      } else {
+        ok = skip_value();
+      }
+    }
+    if (!ok) return false;
+    if (!peek(',')) break;
+    ++i;
+  }
+  return expect('}');
+}
+
+std::optional<obs::Registry::Snapshot> parse_metrics_json(
+    const std::string& text, std::string* error) {
+  MetricsReader r{text};
+  obs::Registry::Snapshot snap;
+  if (!r.parse_snapshot(&snap, false)) {
+    *error = r.error.empty() ? "malformed metrics JSON" : r.error;
+    return std::nullopt;
+  }
+  return snap;
+}
+
+// ---- Chrome trace-event reader ---------------------------------------------
+
+uint64_t TraceEvent::id_arg(const char* key) const {
+  auto it = args.find(key);
+  if (it == args.end()) return 0;
+  return std::strtoull(it->second.c_str(), nullptr, 16);
+}
+
+namespace {
+
+// The trace reader rides MetricsReader's scanner; ts/dur need the
+// fractional microseconds a plain int parse would truncate.
+bool parse_double(MetricsReader& r, double* out) {
+  r.skip_ws();
+  const size_t start = r.i;
+  while (r.i < r.s.size() &&
+         (r.s[r.i] == '-' || r.s[r.i] == '+' || r.s[r.i] == '.' ||
+          r.s[r.i] == 'e' || r.s[r.i] == 'E' ||
+          (r.s[r.i] >= '0' && r.s[r.i] <= '9'))) {
+    ++r.i;
+  }
+  if (r.i == start) {
+    r.fail("expected a number");
+    return false;
+  }
+  *out = std::strtod(r.s.substr(start, r.i - start).c_str(), nullptr);
+  return true;
+}
+
+bool parse_event(MetricsReader& r, TraceEvent* ev) {
+  if (!r.expect('{')) return false;
+  while (!r.peek('}')) {
+    std::string key;
+    if (!r.parse_string(&key) || !r.expect(':')) return false;
+    bool ok = true;
+    if (key == "name") ok = r.parse_string(&ev->name);
+    else if (key == "ph") ok = r.parse_string(&ev->ph);
+    else if (key == "pid") ok = r.parse_int(&ev->pid);
+    else if (key == "tid") ok = r.parse_int(&ev->tid);
+    else if (key == "ts") ok = parse_double(r, &ev->ts);
+    else if (key == "dur") ok = parse_double(r, &ev->dur);
+    else if (key == "args") {
+      if (!r.expect('{')) return false;
+      while (!r.peek('}')) {
+        std::string akey;
+        if (!r.parse_string(&akey) || !r.expect(':')) return false;
+        if (r.peek('"')) {
+          std::string aval;
+          if (!r.parse_string(&aval)) return false;
+          ev->args.emplace(std::move(akey), std::move(aval));
+        } else if (!r.skip_value()) {
+          return false;
+        }
+        if (!r.peek(',')) break;
+        ++r.i;
+      }
+      ok = r.expect('}');
+    } else {
+      ok = r.skip_value();
+    }
+    if (!ok) return false;
+    if (!r.peek(',')) break;
+    ++r.i;
+  }
+  return r.expect('}');
+}
+
+}  // namespace
+
+bool parse_chrome_trace(const std::string& text, std::vector<TraceEvent>* out,
+                        std::string* error) {
+  MetricsReader r{text};
+  bool seen_events = false;
+  if (!r.expect('{')) {
+    *error = r.error;
+    return false;
+  }
+  while (!r.peek('}')) {
+    std::string key;
+    if (!r.parse_string(&key) || !r.expect(':')) {
+      *error = r.error.empty() ? "malformed trace JSON" : r.error;
+      return false;
+    }
+    bool ok = true;
+    if (key == "traceEvents") {
+      seen_events = true;
+      if (!r.expect('[')) {
+        *error = r.error;
+        return false;
+      }
+      while (!r.peek(']')) {
+        TraceEvent ev;
+        if (!parse_event(r, &ev)) {
+          *error = r.error.empty() ? "malformed trace event" : r.error;
+          return false;
+        }
+        out->push_back(std::move(ev));
+        if (!r.peek(',')) break;
+        ++r.i;
+      }
+      ok = r.expect(']');
+    } else {
+      ok = r.skip_value();
+    }
+    if (!ok) {
+      *error = r.error.empty() ? "malformed trace JSON" : r.error;
+      return false;
+    }
+    if (!r.peek(',')) break;
+    ++r.i;
+  }
+  if (!r.expect('}') || !seen_events) {
+    *error = r.error.empty() ? "no traceEvents array" : r.error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mbird::tool

@@ -1,0 +1,94 @@
+// Readers for mbird's own observability outputs — shared by the `stats`,
+// `top`, and `stats --stitch` commands. Two minimal scanners, not general
+// JSON parsers:
+//
+//  * MetricsReader reads exactly the shape Registry::Snapshot::write_json
+//    emits — a --metrics output file, a batch report (snapshot under a
+//    top-level "metrics" key), or a telemetry reply from a listening
+//    daemon (same "metrics" key plus flat integer keys like "served" and
+//    "uptime_ms", captured into `top_ints`).
+//
+//  * parse_chrome_trace reads exactly the shape Tracer::write_chrome_json
+//    emits — "X" events with optional string-valued args (trace_id /
+//    span_id / parent_span_id as 16-hex-digit strings).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mbird::tool {
+
+struct MetricsReader {
+  explicit MetricsReader(const std::string& text) : s(text) {}
+
+  const std::string& s;
+  size_t i = 0;
+  std::string error;
+  // Top-level keys outside the snapshot that parse as bare integers
+  // ("served", "uptime_ms", "peers", ...) — the telemetry reply carries
+  // these next to its "metrics" object.
+  std::map<std::string, int64_t> top_ints;
+
+  void fail(const std::string& why);
+  void skip_ws();
+  bool peek(char c);
+  bool expect(char c);
+  bool parse_string(std::string* out);
+  bool parse_int(int64_t* out);
+  bool skip_value();
+
+  // {"name": int, ...} into `out` via `put`.
+  template <typename Put>
+  bool parse_int_map(const Put& put) {
+    if (!expect('{')) return false;
+    while (!peek('}')) {
+      std::string name;
+      int64_t v = 0;
+      if (!parse_string(&name) || !expect(':') || !parse_int(&v)) return false;
+      put(name, v);
+      if (!peek(',')) break;
+      ++i;
+    }
+    return expect('}');
+  }
+
+  bool parse_histograms(obs::Registry::Snapshot* snap);
+
+  // `nested`: inside a batch report's / telemetry reply's "metrics" object
+  // (no further descent — a report does not nest reports).
+  bool parse_snapshot(obs::Registry::Snapshot* snap, bool nested);
+};
+
+/// Parse a metrics snapshot (or a report embedding one under "metrics").
+/// On failure returns nullopt and sets `error`.
+[[nodiscard]] std::optional<obs::Registry::Snapshot> parse_metrics_json(
+    const std::string& text, std::string* error);
+
+// ---- Chrome trace-event reader ---------------------------------------------
+
+struct TraceEvent {
+  std::string name;
+  std::string ph;   // "X" for the spans the tracer emits
+  int64_t pid = 0;
+  int64_t tid = 0;
+  double ts = 0;    // microseconds (fractional)
+  double dur = 0;   // microseconds (fractional)
+  // String-valued args only (the tracer emits nothing else); trace ids
+  // arrive as 16-hex-digit strings under trace_id/span_id/parent_span_id.
+  std::map<std::string, std::string> args;
+
+  [[nodiscard]] uint64_t id_arg(const char* key) const;
+};
+
+/// Parse a Chrome trace-event JSON file (the {"traceEvents":[...]} object
+/// form) into `out`. On failure returns false and sets `error`.
+[[nodiscard]] bool parse_chrome_trace(const std::string& text,
+                                      std::vector<TraceEvent>* out,
+                                      std::string* error);
+
+}  // namespace mbird::tool

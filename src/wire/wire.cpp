@@ -283,21 +283,30 @@ std::vector<uint8_t> pack_frame(const Frame& f) {
 }
 
 void pack_frame_into(const Frame& f, std::vector<uint8_t>& out) {
-  // One exact allocation: the header is a fixed 37 bytes, the payload
-  // length is known, and Sink only appends.
-  out.reserve(out.size() + kFrameHeaderSize + f.payload.size());
+  // One exact allocation: the header is a fixed 37 bytes (+17 when the
+  // trace extension rides along), the payload length is known, and Sink
+  // only appends.
+  const bool traced = f.trace_id != 0;
+  out.reserve(out.size() + kFrameHeaderSize + (traced ? kTraceExtSize : 0) +
+              f.payload.size());
   Sink sink(out);
   sink.u8('M');
   sink.u8('B');
   sink.u8('I');
   sink.u8('R');
   sink.big(kVersion, 2);
-  sink.u8(static_cast<uint8_t>(f.kind));
+  sink.u8(static_cast<uint8_t>(f.kind) |
+          (traced ? kFrameFlagTrace : uint8_t{0}));
   sink.big(f.origin_node, 2);
   sink.big(f.seq, 8);
   sink.big(f.cum_ack, 8);
   sink.big(f.dest_port, 8);
   sink.big(f.payload.size(), 4);
+  if (traced) {
+    sink.big(f.trace_id, 8);
+    sink.big(f.parent_span_id, 8);
+    sink.u8(f.sampled ? 1 : 0);
+  }
   out.insert(out.end(), f.payload.begin(), f.payload.end());
 }
 
@@ -518,6 +527,8 @@ Frame unpack_frame(const std::vector<uint8_t>& bytes) {
     throw WireError("unsupported frame version " + std::to_string(version));
   }
   uint8_t kind = src.u8();
+  const bool traced = (kind & kFrameFlagTrace) != 0;
+  kind &= static_cast<uint8_t>(~kFrameFlagTrace);
   if (kind > static_cast<uint8_t>(FrameKind::Chunk)) {
     throw WireError("unknown frame kind " + std::to_string(kind));
   }
@@ -528,6 +539,14 @@ Frame unpack_frame(const std::vector<uint8_t>& bytes) {
   f.cum_ack = static_cast<uint64_t>(src.big(8));
   f.dest_port = static_cast<uint64_t>(src.big(8));
   uint32_t len = static_cast<uint32_t>(src.big(4));
+  if (traced) {
+    if (bytes.size() - src.pos() < kTraceExtSize) {
+      throw WireError("frame trace extension truncated");
+    }
+    f.trace_id = static_cast<uint64_t>(src.big(8));
+    f.parent_span_id = static_cast<uint64_t>(src.big(8));
+    f.sampled = src.u8() != 0;
+  }
   if (len != bytes.size() - src.pos()) {
     throw WireError("frame length mismatch");
   }

@@ -16,6 +16,15 @@
 // carries the highest contiguous sequence its sender has received on that
 // channel, and ACK frames carry nothing else (seq 0, no payload).
 //
+// A frame may carry an optional trace-context extension (DESIGN.md §4l):
+// the high bit of the kind byte marks its presence, and 17 extension
+// bytes (trace id u64 | parent span id u64 | flags u8, bit 0 = sampled)
+// sit between the fixed header and the payload. payload len still counts
+// payload bytes only, and every fixed header field keeps its offset, so
+// readers that peek at the origin field (reactor peer identification)
+// are unaffected. Retransmits resend the packed bytes, preserving the
+// extension verbatim.
+//
 // CHUNK frames segment one logical DATA message into bounded pieces so a
 // multi-megabyte payload never serializes into one giant frame. A chunk's
 // payload starts with a 9-byte sub-header (message id, piece index, flags)
@@ -76,12 +85,22 @@ struct Frame {
   /// (0 when nothing has been received yet). Piggybacked on every frame.
   uint64_t cum_ack = 0;
   uint64_t dest_port = 0;
+  /// Trace-context extension: nonzero trace_id packs the 17-byte
+  /// extension after the header (kind-byte flag kFrameFlagTrace set).
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = false;
   std::vector<uint8_t> payload;
 };
 
 /// Fixed frame header size: magic + version + kind + origin + seq + cum_ack
 /// + dest_port + payload length.
 inline constexpr size_t kFrameHeaderSize = 4 + 2 + 1 + 2 + 8 + 8 + 8 + 4;
+
+/// Kind-byte flag: a trace-context extension follows the fixed header.
+inline constexpr uint8_t kFrameFlagTrace = 0x80;
+/// Trace-context extension size: trace id + parent span id + flags.
+inline constexpr size_t kTraceExtSize = 8 + 8 + 1;
 
 [[nodiscard]] std::vector<uint8_t> pack_frame(const Frame& f);
 /// Append the packed frame to `out` with a single exact reservation

@@ -11,6 +11,7 @@
 
 #include "compare/compare.hpp"
 #include "planir/planir.hpp"
+#include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/layout.hpp"
@@ -493,6 +494,88 @@ TEST(Streaming, NativeStubStreamingSendAcrossTiers) {
     EXPECT_GE(client.stats().chunks_sent, 2u) << runtime::to_string(tier);
   }
   runtime::set_engine_tier(before);
+}
+
+TEST(Chunking, LossyStreamKeepsSendersTraceContext) {
+  // Trace attribution across the chunk path under 10% loss: every CHUNK
+  // frame of a stream — originals and retransmits — carries the sender's
+  // trace extension, and the reassembled delivery runs under the context
+  // stored from the stream's first-seen chunk, even when the last chunk
+  // to arrive was a retransmit processed long after the sender's span
+  // closed.
+  Graph g;
+  Ref bytes = g.list_of(g.integer(0, 255));
+  Value v = byte_list(400, 9);
+
+  transport::FaultOptions f;
+  f.drop_probability = 0.1;
+  f.reorder_probability = 0.1;
+  f.seed = 21;
+  ReliabilityOptions ro;
+  ro.max_frame_payload = 32;
+  Node a(1, ro), b(2);
+  auto [la, lb] = transport::make_inproc_pair(f);
+  a.connect(2, std::move(la));
+  b.connect(1, std::move(lb));
+
+  std::vector<obs::TraceContext> seen;
+  uint64_t p = b.open_port(&g, bytes, [&](const Value&) {
+    seen.push_back(obs::current_context());
+  });
+  const obs::TraceContext ctx{0x5151, 0xA0A0, true};
+  {
+    obs::ContextGuard guard(ctx);
+    a.send_streaming(p, g, bytes, v);
+  }  // span closed before retransmits drain — the stored context must win
+  pump({&a, &b});
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(seen[0].span_id, ctx.span_id);
+  EXPECT_GT(a.stats().retransmits, 0u) << "seed must exercise loss";
+  EXPECT_EQ(b.stats().messages_reassembled, 1u);
+}
+
+TEST(Chunking, InterleavedStreamsDeliverUnderTheirOwnContexts) {
+  // Two concurrent streams from differently-traced callers: each
+  // reassembled delivery must adopt ITS stream's context, not the other's
+  // and not whichever frame drained last.
+  Graph g;
+  Ref bytes = g.list_of(g.integer(0, 255));
+  transport::FaultOptions f;
+  f.reorder_probability = 0.5;
+  f.seed = 13;
+  ReliabilityOptions ro;
+  ro.max_frame_payload = 32;
+  Node a(1, ro), b(2);
+  auto [la, lb] = transport::make_inproc_pair(f);
+  a.connect(2, std::move(la));
+  b.connect(1, std::move(lb));
+
+  Value v1 = byte_list(200, 3), v2 = byte_list(200, 5);
+  std::vector<std::pair<size_t, uint64_t>> seen;  // (payload size, trace)
+  uint64_t p = b.open_port(&g, bytes, [&](const Value& x) {
+    seen.emplace_back(x.children().size(), obs::current_context().trace_id);
+  });
+  {
+    obs::ContextGuard g1(obs::TraceContext{0xAAAA, 1, true});
+    a.send_streaming(p, g, bytes, v1);
+  }
+  {
+    obs::ContextGuard g2(obs::TraceContext{0xBBBB, 2, true});
+    a.send_streaming(p, g, bytes, v2);
+  }
+  pump({&a, &b});
+  ASSERT_EQ(seen.size(), 2u);
+  for (const auto& [n, trace] : seen) {
+    EXPECT_EQ(n, 200u);
+    EXPECT_NE(trace, 0u);
+  }
+  // Both traces present, one per delivery.
+  EXPECT_NE(seen[0].second, seen[1].second);
+  for (const auto& [n, trace] : seen) {
+    EXPECT_TRUE(trace == 0xAAAA || trace == 0xBBBB);
+  }
 }
 
 }  // namespace

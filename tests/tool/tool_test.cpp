@@ -602,5 +602,131 @@ TEST_F(ToolTest, ServeAnswersRequestFileAndRejectsUnknownOption) {
   EXPECT_NE(r.err.find("cannot read"), std::string::npos);
 }
 
+TEST_F(ToolTest, StatsExitsTwoOnUnparseableSnapshot) {
+  // Exit 2 = bad snapshot (usage class), exit 1 = I/O — scripted consumers
+  // rely on the distinction.
+  write(dir_ + "/garbage.json", "{\"counters\": [this is not json\n");
+  auto r = run_cli({"stats", dir_ + "/garbage.json"});
+  EXPECT_EQ(r.code, 2) << r.out;
+  EXPECT_NE(r.err.find("garbage.json"), std::string::npos) << r.err;
+
+  write(dir_ + "/notjson.json", "hello world\n");
+  auto h = run_cli({"stats", dir_ + "/notjson.json"});
+  EXPECT_EQ(h.code, 2) << h.out;
+
+  auto missing = run_cli({"stats", dir_ + "/nope.json"});
+  EXPECT_EQ(missing.code, 1);
+}
+
+TEST_F(ToolTest, StatsRendersAllThreeInstrumentKinds) {
+  write(dir_ + "/kinds.json",
+        "{\n  \"counters\": {\"serve.requests\": 7},\n"
+        "  \"gauges\": {\"rpc.reactor.queue_depth\": 3},\n"
+        "  \"histograms\": {\"serve.latency_us\": {\"count\": 2, \"sum\": 10,"
+        " \"p50\": 5, \"p95\": 6, \"p99\": 6, \"max\": 6}}\n}\n");
+  auto r = run_cli({"stats", dir_ + "/kinds.json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("counters"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("serve.requests"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("gauges"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("rpc.reactor.queue_depth"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("histograms"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("serve.latency_us"), std::string::npos) << r.out;
+
+  // A gauges-only snapshot must still render its one section.
+  write(dir_ + "/gauges.json",
+        "{\"counters\": {}, \"gauges\": {\"rpc.peer.7.inflight\": 2},"
+        " \"histograms\": {}}");
+  auto g = run_cli({"stats", dir_ + "/gauges.json"});
+  EXPECT_EQ(g.code, 0) << g.err;
+  EXPECT_NE(g.out.find("gauges"), std::string::npos) << g.out;
+  EXPECT_NE(g.out.find("rpc.peer.7.inflight"), std::string::npos) << g.out;
+}
+
+TEST_F(ToolTest, StitchMergesTracesAlignsClocksAndDrawsFlows) {
+  // Client file: epoch starts near 0, one rpc.call span [100, 150].
+  write(dir_ + "/client.json",
+        "{\"traceEvents\":[\n"
+        "{\"name\":\"rpc.call\",\"cat\":\"mbird\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":1,\"ts\":100.000,\"dur\":50.000,\"args\":{"
+        "\"trace_id\":\"00000000000000aa\",\"span_id\":\"0000000000000001\","
+        "\"parent_span_id\":\"0000000000000000\"}}\n"
+        "],\"displayTimeUnit\":\"ms\"}\n");
+  // Daemon file: independent epoch (ts 9000), child of span 1.
+  write(dir_ + "/daemon.json",
+        "{\"traceEvents\":[\n"
+        "{\"name\":\"serve.request\",\"cat\":\"mbird\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":1,\"ts\":9000.000,\"dur\":20.000,\"args\":{"
+        "\"trace_id\":\"00000000000000aa\",\"span_id\":\"0000000000000002\","
+        "\"parent_span_id\":\"0000000000000001\"}}\n"
+        "],\"displayTimeUnit\":\"ms\"}\n");
+
+  auto r = run_cli({"stats", "--stitch", dir_ + "/client.json",
+                    dir_ + "/daemon.json", "-o", dir_ + "/merged.json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1 cross-process links"), std::string::npos) << r.out;
+
+  std::ifstream f(dir_ + "/merged.json");
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string merged = ss.str();
+  // Two process_name metadata rows, one per input file.
+  EXPECT_NE(merged.find("\"process_name\""), std::string::npos) << merged;
+  EXPECT_NE(merged.find("client.json"), std::string::npos) << merged;
+  EXPECT_NE(merged.find("daemon.json"), std::string::npos) << merged;
+  // The daemon span is re-clocked inside the client span: centered means
+  // ts 100 + (50-20)/2 = 115.
+  EXPECT_NE(merged.find("\"serve.request\",\"cat\":\"mbird\",\"ph\":\"X\","
+                        "\"pid\":2,\"tid\":1,\"ts\":115.000"),
+            std::string::npos)
+      << merged;
+  // Flow arrow endpoints keyed by the child span id.
+  EXPECT_NE(merged.find("\"ph\":\"s\",\"id\":\"0x0000000000000002\""),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("\"ph\":\"f\",\"bp\":\"e\","
+                        "\"id\":\"0x0000000000000002\""),
+            std::string::npos)
+      << merged;
+}
+
+TEST_F(ToolTest, StitchRejectsBadInputs) {
+  write(dir_ + "/ok.json",
+        "{\"traceEvents\":[\n{\"name\":\"x\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":1,\"ts\":1.0,\"dur\":1.0}\n],\"displayTimeUnit\":\"ms\"}\n");
+  write(dir_ + "/bad.json", "not a trace\n");
+
+  // Unparseable input: exit 2.
+  auto r = run_cli({"stats", "--stitch", dir_ + "/ok.json",
+                    dir_ + "/bad.json"});
+  EXPECT_EQ(r.code, 2) << r.out;
+  EXPECT_NE(r.err.find("bad.json"), std::string::npos) << r.err;
+
+  // Fewer than two files: usage error.
+  auto one = run_cli({"stats", "--stitch", dir_ + "/ok.json"});
+  EXPECT_EQ(one.code, 2);
+  EXPECT_NE(one.err.find("at least two"), std::string::npos) << one.err;
+
+  // Missing file: I/O error, exit 1.
+  auto io = run_cli({"stats", "--stitch", dir_ + "/ok.json",
+                     dir_ + "/nope.json"});
+  EXPECT_EQ(io.code, 1);
+}
+
+TEST_F(ToolTest, TopRejectsBadArguments) {
+  auto r = run_cli({"top"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--connect"), std::string::npos) << r.err;
+
+  auto unk = run_cli({"top", "--connect", "unix:/tmp/x.sock", "--wat"});
+  EXPECT_EQ(unk.code, 2);
+  EXPECT_NE(unk.err.find("unknown top option"), std::string::npos) << unk.err;
+
+  // Unreachable daemon is a runtime failure, not a usage error.
+  auto down = run_cli({"top", "--connect", "unix:/tmp/mbird-no-such.sock",
+                       "--once", "--json", "--timeout", "500"});
+  EXPECT_EQ(down.code, 1) << down.out;
+}
+
 }  // namespace
 }  // namespace mbird::tool

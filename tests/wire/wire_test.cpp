@@ -148,6 +148,56 @@ TEST(Wire, FrameRoundtrip) {
   EXPECT_EQ(g2.payload, f.payload);
 }
 
+TEST(Wire, FrameTraceExtensionRoundtrip) {
+  Frame f;
+  f.origin_node = 3;
+  f.seq = 7;
+  f.dest_port = (static_cast<uint64_t>(7) << 48) | 21;
+  f.trace_id = 0xdeadbeefcafef00dull;
+  f.parent_span_id = 0x0123456789abcdefull;
+  f.sampled = true;
+  f.payload = {9, 8, 7};
+  auto bytes = pack_frame(f);
+  EXPECT_EQ(bytes.size(), kFrameHeaderSize + kTraceExtSize + f.payload.size());
+  EXPECT_NE(bytes[6] & kFrameFlagTrace, 0);  // kind byte carries the flag
+  Frame g2 = unpack_frame(bytes);
+  EXPECT_EQ(g2.kind, FrameKind::Data);
+  EXPECT_EQ(g2.trace_id, f.trace_id);
+  EXPECT_EQ(g2.parent_span_id, f.parent_span_id);
+  EXPECT_TRUE(g2.sampled);
+  EXPECT_EQ(g2.seq, 7u);
+  EXPECT_EQ(g2.dest_port, f.dest_port);
+  EXPECT_EQ(g2.payload, f.payload);
+}
+
+TEST(Wire, FrameWithoutContextPacksNoExtension) {
+  // trace_id 0 = no context: the v2 header must be byte-identical to what
+  // a pre-extension peer expects (no flag bit, no extra bytes).
+  Frame f;
+  f.payload = {1, 2};
+  auto bytes = pack_frame(f);
+  EXPECT_EQ(bytes.size(), kFrameHeaderSize + f.payload.size());
+  EXPECT_EQ(bytes[6] & kFrameFlagTrace, 0);
+  Frame g2 = unpack_frame(bytes);
+  EXPECT_EQ(g2.trace_id, 0u);
+  EXPECT_FALSE(g2.sampled);
+}
+
+TEST(Wire, FrameTraceExtensionTruncatedDetected) {
+  Frame f;
+  f.trace_id = 42;
+  f.parent_span_id = 43;
+  f.payload = {1, 2, 3};
+  auto bytes = pack_frame(f);
+  // Cut anywhere inside the extension (or the payload behind it): the
+  // length check must reject every truncation, never read OOB.
+  for (size_t keep = kFrameHeaderSize; keep < bytes.size(); ++keep) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<long>(keep));
+    EXPECT_THROW(unpack_frame(cut), WireError) << "prefix of " << keep;
+  }
+}
+
 TEST(Wire, AckFrameRoundtrip) {
   Frame f;
   f.kind = FrameKind::Ack;
